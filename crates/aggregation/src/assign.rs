@@ -1,0 +1,114 @@
+//! Aggregator placement: spreading leaves evenly across the rank space.
+//!
+//! Assigning each leaf to a rank *inside* it would pile aggregation work
+//! onto the nodes that own dense regions (densely populated regions produce
+//! many leaves, and neighboring ranks usually share nodes), oversubscribing
+//! their NICs while sparse-region nodes idle. Following Kumar et al. \[39\],
+//! leaves are instead assigned round-robin *through the whole rank space*
+//! (paper §III-A), evening out receive traffic per node.
+
+use crate::tree::AggLeaf;
+
+/// Assign aggregator ranks to `leaves`, spreading them evenly over
+/// `num_ranks` ranks. Leaf `i` of `m` gets rank `⌊i · num_ranks / m⌋`,
+/// which is unique per leaf whenever `m ≤ num_ranks` (always true, since
+/// every leaf contains at least one rank).
+pub fn assign_aggregators(leaves: &mut [AggLeaf], num_ranks: usize) {
+    let m = leaves.len();
+    if m == 0 {
+        return;
+    }
+    assert!(m <= num_ranks, "more leaves ({m}) than ranks ({num_ranks})");
+    for (i, leaf) in leaves.iter_mut().enumerate() {
+        leaf.aggregator = (i * num_ranks / m) as u32;
+    }
+}
+
+/// Assignment of files to *read* aggregators (paper §IV-A): with more ranks
+/// than files, spread like the write path; with fewer ranks than files,
+/// distribute files evenly among the ranks. Returns `files[i] -> rank`.
+///
+/// Deterministic and computed locally by every rank from the metadata, so
+/// no communication is needed to agree on the assignment.
+pub fn assign_read_aggregators(num_files: usize, num_ranks: usize) -> Vec<u32> {
+    assert!(num_ranks > 0);
+    if num_files == 0 {
+        return Vec::new();
+    }
+    if num_files <= num_ranks {
+        (0..num_files).map(|i| (i * num_ranks / num_files) as u32).collect()
+    } else {
+        // More files than ranks: block-distribute files over ranks.
+        (0..num_files).map(|i| (i * num_ranks / num_files) as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_geom::Aabb;
+
+    fn leaves(n: usize) -> Vec<AggLeaf> {
+        (0..n)
+            .map(|i| AggLeaf {
+                ranks: vec![i as u32],
+                bounds: Aabb::unit(),
+                particles: 1,
+                bytes: 1,
+                aggregator: u32::MAX,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unique_when_fewer_leaves_than_ranks() {
+        let mut ls = leaves(10);
+        assign_aggregators(&mut ls, 64);
+        let aggs: Vec<u32> = ls.iter().map(|l| l.aggregator).collect();
+        let unique: std::collections::HashSet<_> = aggs.iter().collect();
+        assert_eq!(unique.len(), 10, "each leaf gets its own aggregator: {aggs:?}");
+        // Spread across the space, not clustered at the front.
+        assert!(aggs.iter().any(|&a| a >= 32));
+    }
+
+    #[test]
+    fn equal_counts_identity_spread() {
+        let mut ls = leaves(8);
+        assign_aggregators(&mut ls, 8);
+        let aggs: Vec<u32> = ls.iter().map(|l| l.aggregator).collect();
+        assert_eq!(aggs, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn empty_leaves_noop() {
+        let mut ls = leaves(0);
+        assign_aggregators(&mut ls, 16);
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn read_assignment_more_ranks_than_files() {
+        let a = assign_read_aggregators(4, 16);
+        assert_eq!(a, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn read_assignment_fewer_ranks_than_files() {
+        // Reading a dataset written at much larger scale (paper §IV-A).
+        let a = assign_read_aggregators(10, 3);
+        assert_eq!(a.len(), 10);
+        // Files distributed near-evenly: each rank gets 3 or 4 files.
+        for r in 0..3u32 {
+            let cnt = a.iter().filter(|&&x| x == r).count();
+            assert!((3..=4).contains(&cnt), "rank {r} got {cnt}");
+        }
+        // Every file is assigned to a valid rank.
+        assert!(a.iter().all(|&r| r < 3));
+    }
+
+    #[test]
+    fn read_assignment_single_rank_takes_all() {
+        let a = assign_read_aggregators(7, 1);
+        assert!(a.iter().all(|&r| r == 0));
+    }
+}

@@ -1,0 +1,206 @@
+//! The adjustable uniform grid (AUG) baseline of Kumar et al. \[27\].
+//!
+//! The prior state of the art aggregates ranks through a uniform grid: the
+//! grid is sized from the target file size, *adjusted* (translated/scaled)
+//! to fit the bounds of the populated subdomain, and empty cells are
+//! discarded. Every rank maps to the cell containing its bounds center;
+//! each nonempty cell becomes one aggregation leaf/file.
+//!
+//! The grid adapts to where the data *is*, but not to how it is
+//! *distributed* within those bounds — under a nonuniform density, cells in
+//! dense regions receive far more particles than cells in sparse ones,
+//! producing the imbalanced file sizes and transfer hotspots the adaptive
+//! tree avoids (paper §VI-A2: 2–2.5× slower writes, 3× slower reads on the
+//! Coal Boiler and Dam Break).
+//!
+//! Implemented inside this library, against the same leaf/plan structures,
+//! exactly as the paper does for its direct algorithmic comparison.
+
+use crate::rank::RankInfo;
+use crate::tree::{AggConfig, AggLeaf, AggregationTree};
+use bat_geom::{Aabb, Vec3};
+
+/// Grid dimensions chosen for a target cell count over the given bounds:
+/// cells per axis proportional to the axis extents, product ≈ `n_cells`.
+pub fn grid_dims(bounds: &Aabb, n_cells: u64) -> (u32, u32, u32) {
+    let e = bounds.extent();
+    let (ex, ey, ez) = (e.x.max(1e-30) as f64, e.y.max(1e-30) as f64, e.z.max(1e-30) as f64);
+    let vol = ex * ey * ez;
+    let scale = (n_cells as f64 / vol).cbrt();
+    let d = |ext: f64| ((ext * scale).round() as u32).max(1);
+    (d(ex), d(ey), d(ez))
+}
+
+/// Build the AUG aggregation over the gathered rank infos. Returns the same
+/// [`AggregationTree`] shape as the adaptive build (with an empty inner-node
+/// list — the grid is not hierarchical) so the rest of the pipeline is
+/// agnostic to the strategy.
+pub fn build_aug_tree(ranks: &[RankInfo], cfg: &AggConfig) -> AggregationTree {
+    let populated: Vec<&RankInfo> = ranks.iter().filter(|r| r.particles > 0).collect();
+    let mut domain = Aabb::empty();
+    let mut total_bytes = 0u64;
+    for r in &populated {
+        domain = domain.union(&r.bounds);
+        total_bytes += r.bytes(cfg.bytes_per_particle);
+    }
+    let mut tree = AggregationTree {
+        inners: Vec::new(),
+        leaves: Vec::new(),
+        root: None,
+        domain,
+    };
+    if populated.is_empty() {
+        return tree;
+    }
+
+    // Grid sized from the target file size, fit to the populated bounds.
+    let n_cells = (total_bytes / cfg.target_file_bytes.max(1)).max(1);
+    let (dx, dy, dz) = grid_dims(&domain, n_cells);
+
+    // Map each rank to the cell containing its bounds center.
+    let cell_of = |p: Vec3| -> (u32, u32, u32) {
+        let n = domain.normalize(p);
+        let c = |v: f32, d: u32| ((v * d as f32) as u32).min(d - 1);
+        (c(n.x, dx), c(n.y, dy), c(n.z, dz))
+    };
+    let mut cells: std::collections::HashMap<(u32, u32, u32), Vec<&RankInfo>> =
+        std::collections::HashMap::new();
+    for r in &populated {
+        cells.entry(cell_of(r.bounds.center())).or_default().push(r);
+    }
+
+    // Discard empty cells (they were never created) and emit leaves in
+    // deterministic cell order.
+    let mut keys: Vec<_> = cells.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let members = &cells[&key];
+        let mut bounds = Aabb::empty();
+        let mut particles = 0u64;
+        for r in members {
+            bounds = bounds.union(&r.bounds);
+            particles += r.particles;
+        }
+        tree.leaves.push(AggLeaf {
+            ranks: members.iter().map(|r| r.rank).collect(),
+            bounds,
+            particles,
+            bytes: particles * cfg.bytes_per_particle,
+            aggregator: 0,
+        });
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::balance_of;
+    use bat_geom::rng::Xoshiro256;
+
+    fn grid_ranks(g: usize, mut counts: impl FnMut(usize, usize) -> u64) -> Vec<RankInfo> {
+        let mut out = Vec::new();
+        for y in 0..g {
+            for x in 0..g {
+                let min = Vec3::new(x as f32 / g as f32, y as f32 / g as f32, 0.0);
+                let max =
+                    Vec3::new((x + 1) as f32 / g as f32, (y + 1) as f32 / g as f32, 1.0);
+                out.push(RankInfo::new(
+                    (y * g + x) as u32,
+                    Aabb::new(min, max),
+                    counts(x, y),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dims_proportional_to_extent() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(4.0, 2.0, 1.0));
+        let (dx, dy, dz) = grid_dims(&b, 64);
+        assert!(dx > dy && dy >= dz, "({dx},{dy},{dz})");
+        let total = dx * dy * dz;
+        assert!((32..=128).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn degenerate_axis_gets_one_cell() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(4.0, 4.0, 0.0));
+        let (_, _, dz) = grid_dims(&b, 16);
+        assert_eq!(dz, 1);
+    }
+
+    #[test]
+    fn uniform_data_balances_fine() {
+        let ranks = grid_ranks(8, |_, _| 10_000);
+        let cfg = AggConfig::new(10_000 * 100 * 4, 100);
+        let tree = build_aug_tree(&ranks, &cfg);
+        let stats = tree.balance();
+        assert!(stats.num_files > 1);
+        assert!(
+            stats.stddev_bytes / stats.mean_bytes < 0.5,
+            "uniform data should balance under AUG too: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn every_populated_rank_in_exactly_one_cell() {
+        let mut rng = Xoshiro256::new(3);
+        let ranks = grid_ranks(10, |_, _| rng.next_below(10_000));
+        let cfg = AggConfig::new(1_000_000, 100);
+        let tree = build_aug_tree(&ranks, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for leaf in &tree.leaves {
+            for &r in &leaf.ranks {
+                assert!(seen.insert(r));
+            }
+        }
+        let populated = ranks.iter().filter(|r| r.particles > 0).count();
+        assert_eq!(seen.len(), populated);
+    }
+
+    #[test]
+    fn empty_regions_produce_no_files() {
+        // Particles only in the left half: the adjusted grid still covers
+        // only populated bounds, and cells without ranks emit no leaves.
+        let ranks = grid_ranks(8, |x, _| if x < 2 { 50_000 } else { 0 });
+        let cfg = AggConfig::new(500_000, 100);
+        let tree = build_aug_tree(&ranks, &cfg);
+        assert!(!tree.leaves.is_empty());
+        for leaf in &tree.leaves {
+            assert!(leaf.particles > 0);
+            // All leaves live in the populated left quarter.
+            assert!(leaf.bounds.max.x <= 0.26, "{:?}", leaf.bounds);
+        }
+    }
+
+    #[test]
+    fn nonuniform_data_imbalances_aug_but_not_adaptive() {
+        // The paper's core claim (§VI-A2): on skewed distributions the AUG
+        // produces a much wider file-size spread than the adaptive tree.
+        let ranks = grid_ranks(12, |x, y| {
+            // Sharp density peak in one corner.
+            let d2 = (x * x + y * y) as f64;
+            (2_000_000.0 / (1.0 + d2 * d2)) as u64 + 100
+        });
+        let bpp = 100;
+        let total: u64 = ranks.iter().map(|r| r.particles * bpp).sum();
+        let cfg = AggConfig::new(total / 12, bpp);
+
+        let aug = build_aug_tree(&ranks, &cfg);
+        let adaptive = AggregationTree::build(&ranks, &cfg);
+        let s_aug = balance_of(&aug.leaves);
+        let s_ad = balance_of(&adaptive.leaves);
+
+        // Adaptive: tighter spread and smaller worst-case file.
+        assert!(
+            s_ad.stddev_bytes / s_ad.mean_bytes < s_aug.stddev_bytes / s_aug.mean_bytes,
+            "adaptive {s_ad:?} vs aug {s_aug:?}"
+        );
+        assert!(
+            (s_ad.max_bytes as f64) < (s_aug.max_bytes as f64),
+            "adaptive max {s_ad:?} vs aug {s_aug:?}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Spatially aware adaptive aggregation (the paper's primary contribution,
+//! §III-A) plus the adjustable-uniform-grid baseline it is evaluated
+//! against (Kumar et al. \[27\], §VI-A2).
+//!
+//! Rank 0 gathers every rank's spatial bounds and particle count, then
+//! builds the **Aggregation Tree**: a k-d tree over *rank bounds* whose
+//! leaves contain a similar number of particles. Each leaf becomes one
+//! output file, received and written by an aggregator rank. Key properties:
+//!
+//! - split candidates are restricted to rank-boundary edges, so a rank's
+//!   data is never divided between aggregators;
+//! - the split cost `c = |0.5 − n_l/(n_l+n_r)|` measures particle imbalance,
+//!   and the minimum-cost candidate wins;
+//! - "overfull" leaves absorb regions where every available split is badly
+//!   imbalanced, trading file-size uniformity against pathological splits;
+//! - leaves are assigned to aggregators spread evenly through the rank
+//!   space to spread receive traffic over the nodes \[39\].
+//!
+//! The [`aug`] module implements the baseline: a uniform grid fit to the
+//! populated bounds, with empty cells discarded — the method our adaptive
+//! tree is shown to beat by 2–2.5× on nonuniform data (paper Fig. 9, 11).
+//!
+//! The [`meta`] module holds the top-level metadata tree written by rank 0
+//! (paper §III-D): leaf file references, global attribute ranges, and root
+//! bitmaps remapped from each aggregator's local range to the global one,
+//! so readers can treat the whole dataset as a single file.
+
+pub mod assign;
+pub mod aug;
+pub mod meta;
+pub mod rank;
+pub mod sizing;
+pub mod tree;
+
+pub use assign::assign_aggregators;
+pub use aug::build_aug_tree;
+pub use meta::{MetaLeaf, MetaTree};
+pub use rank::RankInfo;
+pub use sizing::{recommended_aggregation_factor, recommended_target_size};
+pub use tree::{AggConfig, AggLeaf, AggregationTree, BalanceStats};

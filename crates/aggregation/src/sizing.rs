@@ -1,0 +1,73 @@
+//! Automatic target-file-size selection (paper §VII future work).
+//!
+//! The paper's recommendations (§VI-A2): "use smaller target sizes at lower
+//! core or particle counts, corresponding to roughly 1:1 to 4:1 aggregation
+//! factors. At larger scales, the target size should be increased to 16:1
+//! or higher to avoid creating a large number of files. If particles are
+//! added during the simulation ... the target size should be increased
+//! correspondingly." This module encodes exactly that policy so callers can
+//! pass `target_file_bytes = 0` ("auto") and let rank 0 resolve it from the
+//! gathered totals.
+
+/// Aggregation factor (ranks per file) recommended for a rank count.
+pub fn recommended_aggregation_factor(n_ranks: usize) -> u64 {
+    match n_ranks {
+        0..=511 => 2,       // 1:1–4:1 regime
+        512..=2047 => 4,    // upper end of the small-scale regime
+        2048..=8191 => 8,   // transition
+        8192..=32767 => 16, // the paper's "16:1 or higher"
+        _ => 32,
+    }
+}
+
+/// Recommended target file size for `total_bytes` of particle payload on
+/// `n_ranks` ranks. Clamped to `[1 MiB, 512 MiB]` so degenerate inputs stay
+/// sane.
+pub fn recommended_target_size(total_bytes: u64, n_ranks: usize) -> u64 {
+    let n = n_ranks.max(1) as u64;
+    let per_rank = (total_bytes / n).max(1);
+    let factor = recommended_aggregation_factor(n_ranks);
+    (per_rank * factor).clamp(1 << 20, 512 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_grows_with_scale() {
+        assert_eq!(recommended_aggregation_factor(96), 2);
+        assert_eq!(recommended_aggregation_factor(1536), 4);
+        assert_eq!(recommended_aggregation_factor(6144), 8);
+        assert_eq!(recommended_aggregation_factor(24_576), 16);
+        assert_eq!(recommended_aggregation_factor(43_008), 32);
+    }
+
+    #[test]
+    fn size_tracks_per_rank_payload() {
+        // 4.06 MB/rank (the uniform benchmark) at 1536 ranks → ~16 MB files,
+        // squarely in the paper's recommended regime.
+        let bpr = 32 * 1024 * 124u64;
+        let t = recommended_target_size(bpr * 1536, 1536);
+        assert!((8 << 20..=32 << 20).contains(&t), "{t}");
+        // At 24k ranks, bigger files.
+        let t2 = recommended_target_size(bpr * 24_576, 24_576);
+        assert!(t2 > t, "{t2} > {t}");
+    }
+
+    #[test]
+    fn clamps() {
+        assert_eq!(recommended_target_size(10, 4), 1 << 20);
+        assert_eq!(recommended_target_size(u64::MAX / 2, 1), 512 << 20);
+        // Zero ranks doesn't panic.
+        assert_eq!(recommended_target_size(0, 0), 1 << 20);
+    }
+
+    #[test]
+    fn growing_population_grows_target() {
+        // The Coal Boiler advice: more particles (same ranks) → larger target.
+        let t1 = recommended_target_size(4_600_000 * 68, 1536);
+        let t2 = recommended_target_size(41_500_000 * 68, 1536);
+        assert!(t2 > t1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Executed baseline strategies over the virtual cluster and local disk.
+//!
+//! These run the real access patterns — one raw file per rank, or one
+//! shared file with per-rank extents — for correctness tests and the
+//! small-scale executed comparisons. Payloads are the raw encoded particle
+//! sets (no layout, no metadata), exactly the "flat arrays without the
+//! metadata or hierarchies" the paper's introduction describes.
+
+use bat_comm::Comm;
+use bat_layout::ParticleSet;
+use bat_wire::{Decoder, Encoder};
+use bytes::Bytes;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// File-per-process write: every rank writes `basename.<rank>.raw`.
+pub fn fpp_write(comm: &Comm, set: &ParticleSet, dir: &Path, basename: &str) -> io::Result<()> {
+    let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
+    set.encode(&mut enc);
+    std::fs::write(dir.join(format!("{basename}.{:05}.raw", comm.rank())), enc.finish())?;
+    comm.barrier();
+    Ok(())
+}
+
+/// File-per-process read: every rank reads its own file back.
+pub fn fpp_read(comm: &Comm, dir: &Path, basename: &str) -> io::Result<ParticleSet> {
+    let bytes = std::fs::read(dir.join(format!("{basename}.{:05}.raw", comm.rank())))?;
+    let set = ParticleSet::decode(&mut Decoder::new(&bytes))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    comm.barrier();
+    Ok(set)
+}
+
+/// Single-shared-file write: ranks agree on extents by exchanging their
+/// payload sizes, rank 0 creates the file, and everyone writes its extent
+/// at its offset (`pwrite`). Returns the rank's `(offset, len)`.
+pub fn shared_write(
+    comm: &Comm,
+    set: &ParticleSet,
+    dir: &Path,
+    name: &str,
+) -> io::Result<(u64, u64)> {
+    let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
+    set.encode(&mut enc);
+    let payload = enc.finish();
+
+    // Exchange sizes to compute extents (an MPI_Allgather of one u64).
+    let sizes: Vec<u64> = comm
+        .allgather(Bytes::copy_from_slice(&(payload.len() as u64).to_le_bytes()))
+        .iter()
+        .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64")))
+        .collect();
+    let offset: u64 = sizes[..comm.rank()].iter().sum();
+    let total: u64 = sizes.iter().sum();
+
+    let path = dir.join(name);
+    if comm.rank() == 0 {
+        // Create and size the file, plus an extent table header written by
+        // rank 0 (the shared-file "metadata").
+        let file = std::fs::File::create(&path)?;
+        file.set_len(header_len(comm.size()) + total)?;
+        let mut header = Encoder::new();
+        header.put_u64(comm.size() as u64);
+        for &s in &sizes {
+            header.put_u64(s);
+        }
+        file.write_at(&header.finish(), 0)?;
+    }
+    comm.barrier();
+
+    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+    file.write_at(&payload, header_len(comm.size()) + offset)?;
+    comm.barrier();
+    Ok((offset, payload.len() as u64))
+}
+
+/// Single-shared-file read: every rank reads its own extent back.
+pub fn shared_read(comm: &Comm, dir: &Path, name: &str) -> io::Result<ParticleSet> {
+    let file = std::fs::File::open(dir.join(name))?;
+    // Parse the extent table.
+    let mut head = vec![0u8; header_len(comm.size()) as usize];
+    file.read_exact_at(&mut head, 0)?;
+    let mut dec = Decoder::new(&head);
+    let n = dec
+        .get_u64("extent count")
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))? as usize;
+    if n != comm.size() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("shared file written by {n} ranks, read by {}", comm.size()),
+        ));
+    }
+    let mut sizes = Vec::with_capacity(n);
+    for _ in 0..n {
+        sizes.push(
+            dec.get_u64("extent size")
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        );
+    }
+    let offset: u64 = sizes[..comm.rank()].iter().sum();
+    let mut payload = vec![0u8; sizes[comm.rank()] as usize];
+    file.read_exact_at(&mut payload, header_len(comm.size()) + offset)?;
+    let set = ParticleSet::decode(&mut Decoder::new(&payload))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    comm.barrier();
+    Ok(set)
+}
+
+fn header_len(ranks: usize) -> u64 {
+    8 + 8 * ranks as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_comm::Cluster;
+    use bat_geom::Vec3;
+    use bat_layout::AttributeDesc;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("bat-baseline-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rank_set(rank: usize, n: usize) -> ParticleSet {
+        let mut set = ParticleSet::new(vec![AttributeDesc::f64("v")]);
+        for i in 0..n {
+            set.push(
+                Vec3::new(rank as f32 + i as f32 * 1e-3, 0.5, 0.5),
+                &[(rank * 1000 + i) as f64],
+            );
+        }
+        set
+    }
+
+    #[test]
+    fn fpp_roundtrip() {
+        let dir = tmpdir("fpp");
+        let d = dir.clone();
+        Cluster::run(4, move |comm| {
+            let set = rank_set(comm.rank(), 100 + comm.rank() * 10);
+            fpp_write(&comm, &set, &d, "step").unwrap();
+            let back = fpp_read(&comm, &d, "step").unwrap();
+            assert_eq!(back, set);
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_roundtrip_uneven_sizes() {
+        let dir = tmpdir("shared");
+        let d = dir.clone();
+        Cluster::run(5, move |comm| {
+            // Wildly uneven extents, including an empty rank.
+            let n = if comm.rank() == 2 { 0 } else { 50 * (comm.rank() + 1) };
+            let set = rank_set(comm.rank(), n);
+            let (off, len) = shared_write(&comm, &set, &d, "shared.dat").unwrap();
+            assert!(len > 0 || n == 0 || len > 0);
+            let back = shared_read(&comm, &d, "shared.dat").unwrap();
+            assert_eq!(back, set);
+            let _ = off;
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_read_wrong_rank_count_fails() {
+        let dir = tmpdir("shared-wrong");
+        let d = dir.clone();
+        Cluster::run(3, move |comm| {
+            let set = rank_set(comm.rank(), 10);
+            shared_write(&comm, &set, &d, "s.dat").unwrap();
+        });
+        let d = dir.clone();
+        Cluster::run(2, move |comm| {
+            assert!(shared_read(&comm, &d, "s.dat").is_err());
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

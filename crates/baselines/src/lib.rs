@@ -1,0 +1,26 @@
+//! IOR-style baseline I/O strategies (paper §VI-A1).
+//!
+//! The weak-scaling figures compare the two-phase approach against the
+//! standard strategies, benchmarked in the paper with IOR on an equivalent
+//! amount of data:
+//!
+//! - **file per process** (FPP): every rank creates and writes its own
+//!   file — fast at small scale, then the metadata storm of creating tens
+//!   of thousands of files kills it;
+//! - **single shared file** (MPI-IO style): one file, every rank writing
+//!   its extent — bounded by the lock/token coordination that grows with
+//!   the writer count;
+//! - **HDF5-like shared file**: the shared-file pattern plus collective
+//!   metadata overhead on open and per-dataset bookkeeping.
+//!
+//! [`modeled`] prices these patterns on the `bat-iosim` queueing model at
+//! supercomputer scale; [`executed`] runs real FPP and shared-file I/O over
+//! the virtual cluster for correctness tests and small-scale comparisons.
+
+pub mod executed;
+pub mod modeled;
+
+pub use modeled::{
+    model_fpp_read, model_fpp_write, model_hdf5_read, model_hdf5_write, model_shared_read,
+    model_shared_write,
+};

@@ -1,0 +1,194 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! Morton encoding, the Karras radix build, shallow tree + treelet
+//! construction, bitmap operations, aggregation-tree construction
+//! (adaptive and AUG), compaction, and the query paths.
+//!
+//! ```sh
+//! cargo bench -p bat-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bat_aggregation::{build_aug_tree, AggConfig, AggregationTree};
+use bat_geom::rng::Xoshiro256;
+use bat_geom::{morton, Aabb, Vec3};
+use bat_layout::{
+    AttributeDesc, BatBuilder, BatConfig, BatFile, Bitmap32, ParticleSet, Query,
+};
+use bat_workloads::{uniform, CoalBoiler, RankGrid};
+
+fn random_positions(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
+        .collect()
+}
+
+fn particle_cloud(n: usize, attrs: usize, seed: u64) -> ParticleSet {
+    let descs: Vec<AttributeDesc> =
+        (0..attrs).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+    let mut rng = Xoshiro256::new(seed);
+    let mut set = ParticleSet::with_capacity(descs, n);
+    let mut vals = vec![0.0f64; attrs];
+    for _ in 0..n {
+        let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+        for (k, v) in vals.iter_mut().enumerate() {
+            *v = p.x as f64 * (k + 1) as f64;
+        }
+        set.push(p, &vals);
+    }
+    set
+}
+
+fn bench_morton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton");
+    let pts = random_positions(1 << 20, 1);
+    let domain = Aabb::unit();
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("encode_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pts {
+                acc ^= morton::encode_point(black_box(p), &domain);
+            }
+            acc
+        })
+    });
+    let codes: Vec<u64> = pts.iter().map(|&p| morton::encode_point(p, &domain)).collect();
+    g.bench_function("decode_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &c in &codes {
+                let (x, y, z) = morton::decode_grid(black_box(c));
+                acc ^= x ^ y ^ z;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix_tree");
+    for m in [256usize, 4096, 65_536] {
+        let mut rng = Xoshiro256::new(7);
+        let mut keys: std::collections::BTreeSet<u64> = Default::default();
+        while keys.len() < m {
+            keys.insert(rng.next_u64() << 1);
+        }
+        let keys: Vec<u64> = keys.into_iter().collect();
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("build", m), &keys, |b, keys| {
+            b.iter(|| bat_layout::radix::RadixTree::build(black_box(keys)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bat_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bat_build");
+    g.sample_size(10);
+    for n in [50_000usize, 500_000] {
+        let set = particle_cloud(n, 7, 3);
+        g.throughput(Throughput::Bytes(set.raw_bytes() as u64));
+        g.bench_with_input(BenchmarkId::new("build", n), &set, |b, set| {
+            b.iter(|| BatBuilder::new(BatConfig::default()).build(set.clone(), Aabb::unit()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compaction");
+    g.sample_size(10);
+    let set = particle_cloud(500_000, 7, 5);
+    let bat = BatBuilder::new(BatConfig::default()).build(set, Aabb::unit());
+    g.throughput(Throughput::Bytes(bat.particles.raw_bytes() as u64));
+    g.bench_function("to_bytes_500k", |b| b.iter(|| black_box(&bat).to_bytes()));
+    g.finish();
+}
+
+fn bench_bitmaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap");
+    let mut rng = Xoshiro256::new(11);
+    let values: Vec<f64> = (0..4096).map(|_| rng.uniform(0.0, 100.0)).collect();
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("from_values_4k", |b| {
+        b.iter(|| Bitmap32::from_values(black_box(values.iter().copied()), 0.0, 100.0))
+    });
+    let bm = Bitmap32::from_values(values.iter().copied(), 0.0, 100.0);
+    g.bench_function("remap", |b| {
+        b.iter(|| black_box(bm).remap((0.0, 100.0), (-500.0, 500.0)))
+    });
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation_tree");
+    g.sample_size(10);
+    // Uniform 24k ranks (the Fig 5 extreme) and a nonuniform 1536-rank
+    // boiler population.
+    let grid = RankGrid::new_3d(24_576, Aabb::unit());
+    let uni = uniform::rank_infos(&grid, uniform::PARTICLES_PER_RANK);
+    let cfg = AggConfig::new(64 << 20, uniform::BYTES_PER_PARTICLE);
+    g.bench_function("adaptive_uniform_24k_ranks", |b| {
+        b.iter(|| AggregationTree::build(black_box(&uni), &cfg))
+    });
+    g.bench_function("aug_uniform_24k_ranks", |b| {
+        b.iter(|| build_aug_tree(black_box(&uni), &cfg))
+    });
+
+    let cb = CoalBoiler::new(1.0, 42);
+    let cgrid = cb.grid(4501, 1536);
+    let coal = cb.rank_infos(4501, &cgrid, 200_000);
+    let ccfg = AggConfig::new(8 << 20, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
+    g.bench_function("adaptive_coal_1536_ranks", |b| {
+        b.iter(|| AggregationTree::build(black_box(&coal), &ccfg))
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query");
+    g.sample_size(10);
+    let set = particle_cloud(1 << 20, 7, 13);
+    let n = set.len() as u64;
+    let bat = BatBuilder::new(BatConfig::default()).build(set, Aabb::unit());
+    let file = BatFile::from_bytes(bat.to_bytes()).expect("valid");
+
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("full_1M", |b| {
+        b.iter(|| {
+            let mut cnt = 0u64;
+            file.query(&Query::new(), |_| cnt += 1).expect("query");
+            cnt
+        })
+    });
+    g.bench_function("spatial_octant_1M", |b| {
+        let q = Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.5)));
+        b.iter(|| file.count(&q).expect("query"))
+    });
+    g.bench_function("attr_filter_selective_1M", |b| {
+        // a0 = x: a 10% band.
+        let q = Query::new().with_filter(0, 0.45, 0.55);
+        b.iter(|| file.count(&q).expect("query"))
+    });
+    g.bench_function("progressive_first_decile_1M", |b| {
+        let q = Query::new().with_quality(0.1);
+        b.iter(|| file.count(&q).expect("query"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_morton,
+    bench_radix,
+    bench_bat_build,
+    bench_compaction,
+    bench_bitmaps,
+    bench_aggregation,
+    bench_queries
+);
+criterion_main!(benches);

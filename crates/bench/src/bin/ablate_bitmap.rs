@@ -1,0 +1,85 @@
+//! Ablation: effectiveness of the fixed 32-bit bitmap indices.
+//!
+//! Paper §VII: "the effectiveness of limiting bitmaps to just 32 bits
+//! warrants further evaluation." We measure what the bitmaps buy: for
+//! attribute range filters of varying selectivity, how many candidate
+//! points the traversal has to test exactly (false positives included)
+//! versus how many it returns — on a spatially *correlated* attribute
+//! (where the paper expects bitmaps to work) and on a pure-noise attribute
+//! (the acknowledged worst case).
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin ablate_bitmap [--quick|--full]
+//! ```
+
+use bat_bench::{report::Table, RunScale};
+use bat_geom::{Aabb, Vec3};
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, BatFile, ParticleSet, Query};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let n: usize = match scale {
+        RunScale::Quick => 200_000,
+        RunScale::Default => 1_000_000,
+        RunScale::Full => 4_000_000,
+    };
+    // Two attributes over the same particles: "temp" follows position
+    // (spatially coherent), "noise" is independent of position.
+    let mut rng = bat_geom::rng::Xoshiro256::new(3);
+    let mut set = ParticleSet::new(vec![
+        AttributeDesc::f64("temp"),
+        AttributeDesc::f64("noise"),
+    ]);
+    for _ in 0..n {
+        let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+        let temp = 1000.0 * p.x as f64 + 5.0 * rng.normal();
+        let noise = rng.uniform(0.0, 1000.0);
+        set.push(p, &[temp, noise]);
+    }
+    let bat = BatBuilder::new(BatConfig::default()).build(set, Aabb::unit());
+    let file = BatFile::from_bytes(bat.to_bytes()).expect("valid");
+
+    let mut table = Table::new(
+        format!("Ablation: 32-bit bitmap filtering effectiveness ({n} particles)"),
+        &[
+            "attribute",
+            "selectivity%",
+            "returned",
+            "tested",
+            "false_pos%",
+            "scan_avoided%",
+        ],
+    );
+    for (attr, name) in [(0usize, "temp (coherent)"), (1, "noise (worst case)")] {
+        let (lo, hi) = file.head().attr_ranges[attr];
+        for sel in [0.01, 0.05, 0.2, 0.5] {
+            let qlo = lo + (0.5 - sel / 2.0) * (hi - lo);
+            let qhi = lo + (0.5 + sel / 2.0) * (hi - lo);
+            let q = Query::new().with_filter(attr, qlo, qhi);
+            let stats = file.query(&q, |_| {}).expect("query");
+            let fp = if stats.points_tested > 0 {
+                (stats.points_tested - stats.points_returned) as f64
+                    / stats.points_tested as f64
+                    * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                name.to_string(),
+                format!("{:.0}", sel * 100.0),
+                stats.points_returned.to_string(),
+                stats.points_tested.to_string(),
+                format!("{fp:.1}"),
+                format!("{:.1}", (1.0 - stats.points_tested as f64 / n as f64) * 100.0),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("ablate_bitmap").expect("csv");
+    println!(
+        "\nReading the table: on the coherent attribute, 32 bins skip most of\n\
+         the data for selective queries (high scan_avoided); on pure noise\n\
+         every node's bitmap fills up and the bitmaps cannot cull — exactly\n\
+         the limitation §VII acknowledges."
+    );
+}

@@ -1,0 +1,53 @@
+//! Ablation: the overfull-leaf policy of the aggregation tree.
+//!
+//! Paper §III-A introduces overfull leaves "to avoid forcing the creation
+//! of extremely imbalanced leaves"; the evaluation runs with a split-cost
+//! threshold of 4 and an overfull factor of 1.5×. This sweep shows both
+//! knobs' effect on the Coal Boiler's file-size distribution.
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin ablate_overfull [--quick|--full]
+//! ```
+
+use bat_bench::{report::Table, sweeps, RunScale};
+use bat_workloads::CoalBoiler;
+use libbat::write::{build_tree, WriteConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let samples = sweeps::mc_samples(scale);
+    let cb = CoalBoiler::new(1.0, 42);
+    let step = 4501;
+    let grid = cb.grid(step, 1536);
+    let infos = cb.rank_infos(step, &grid, samples);
+    let bpp = bat_workloads::coal_boiler::BYTES_PER_PARTICLE;
+
+    let mut table = Table::new(
+        "Ablation: overfull policy (Coal Boiler t=4501, 8 MB target, 1536 ranks)",
+        &["ratio", "factor", "files", "mean_MB", "stddev_MB", "max_MB"],
+    );
+    for ratio in [1.5f64, 2.0, 4.0, 8.0, f64::INFINITY] {
+        for factor in [1.25f64, 1.5, 2.0] {
+            let mut cfg = WriteConfig::with_target_size(8 << 20, bpp);
+            cfg.agg.overfull_ratio = ratio;
+            cfg.agg.overfull_factor = factor;
+            let tree = build_tree(&infos, &cfg);
+            let b = tree.balance();
+            table.row(vec![
+                if ratio.is_infinite() { "off".to_string() } else { format!("{ratio}") },
+                format!("{factor}"),
+                b.num_files.to_string(),
+                format!("{:.1}", b.mean_bytes / 1e6),
+                format!("{:.1}", b.stddev_bytes / 1e6),
+                format!("{:.1}", b.max_bytes as f64 / 1e6),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("ablate_overfull").expect("csv");
+    println!(
+        "\nReading the table: aggressive overfull acceptance (low ratio) makes\n\
+         fewer, fatter files; disabling it (off) forces bad splits that\n\
+         produce many small files. The paper's (4, 1.5x) sits between."
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 10: component breakdowns of adaptive vs. AUG aggregation on the
+//! Coal Boiler at the 8 MB target size, over the time series.
+//!
+//! The paper's point: the adaptive tree's better load balance cuts time in
+//! *every* major pipeline component (transfer, BAT build, file write), not
+//! just one.
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin fig10_coal_breakdown [--quick|--full]
+//! ```
+
+use bat_bench::{calibrate, report::Table, sweeps, RunScale};
+use bat_iosim::WritePhase;
+use bat_workloads::CoalBoiler;
+use libbat::model_write;
+use libbat::write::{Strategy, WriteConfig};
+
+const RANKS: usize = 1536;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (s2, _) = calibrate::calibrated_profiles(scale == RunScale::Quick);
+    let samples = sweeps::mc_samples(scale);
+    let cb = CoalBoiler::new(1.0, 42);
+    let bpp = bat_workloads::coal_boiler::BYTES_PER_PARTICLE;
+
+    let mut table = Table::new(
+        "Fig 10: Coal Boiler breakdowns at 8 MB target, 1536 ranks (seconds)",
+        &[
+            "step", "strategy", "tree", "scatter", "transfer", "build", "write", "meta",
+            "total",
+        ],
+    );
+    for step in sweeps::coal_steps(scale) {
+        let grid = cb.grid(step, RANKS);
+        let infos = cb.rank_infos(step, &grid, samples);
+        for strategy in [Strategy::Adaptive, Strategy::Aug] {
+            let mut cfg = WriteConfig::with_target_size(8 << 20, bpp);
+            cfg.strategy = strategy;
+            let out = model_write(&s2, &infos, &cfg);
+            let mut row = vec![
+                step.to_string(),
+                match strategy {
+                    Strategy::Adaptive => "adaptive".to_string(),
+                    Strategy::Aug => "aug".to_string(),
+                },
+            ];
+            for p in WritePhase::ALL {
+                row.push(format!("{:.4}", out.times[p]));
+            }
+            row.push(format!("{:.4}", out.times.total));
+            table.row(row);
+        }
+    }
+    table.print();
+    table.save_csv("fig10_coal_breakdown").expect("csv");
+    println!(
+        "\nExpected shape (paper): the adaptive strategy spends less time in\n\
+         each major component (transfer, layout build, file write)."
+    );
+}

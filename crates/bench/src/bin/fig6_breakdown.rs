@@ -1,0 +1,57 @@
+//! Figure 6: timing breakdowns of the two-phase write pipeline on both
+//! systems, at 8 MB and 64 MB target sizes, across the weak-scaling sweep.
+//!
+//! The paper's observation: in the scaling regime of each target size the
+//! relative share of each component stays similar; the 8 MB configuration
+//! spends a growing share in file writes at high rank counts (where its
+//! scaling flattens), and the BAT build takes a larger share on Stampede2
+//! than on Summit.
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin fig6_breakdown [--quick|--full]
+//! ```
+
+use bat_bench::{calibrate, report::Table, sweeps, RunScale};
+use bat_geom::Aabb;
+use bat_iosim::{SystemProfile, WritePhase};
+use bat_workloads::{uniform, RankGrid};
+use libbat::model_write;
+use libbat::write::WriteConfig;
+
+fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
+    let mut table = Table::new(
+        format!("Fig 6 ({}) write pipeline breakdown, % of component time", profile.name),
+        &[
+            "target", "ranks", "total_s", "tree%", "scatter%", "transfer%", "build%", "write%",
+            "meta%",
+        ],
+    );
+    for &target_mb in &[8u64, 64] {
+        for &n in ranks_sweep {
+            let grid = RankGrid::new_3d(n, Aabb::unit());
+            let infos = uniform::rank_infos(&grid, uniform::PARTICLES_PER_RANK);
+            let cfg = WriteConfig::with_target_size(target_mb << 20, uniform::BYTES_PER_PARTICLE);
+            let out = model_write(profile, &infos, &cfg);
+            let mut row = vec![
+                format!("{target_mb}MB"),
+                n.to_string(),
+                format!("{:.3}", out.times.total),
+            ];
+            for p in WritePhase::ALL {
+                row.push(format!("{:.1}", out.times.fraction(p) * 100.0));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+    let csv = table.save_csv(&format!("fig6_{}", profile.name)).expect("write csv");
+    println!("saved {}", csv.display());
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (s2, summit) = calibrate::calibrated_profiles(scale == RunScale::Quick);
+    println!("Figure 6: write pipeline component breakdowns");
+    run_system(&s2, &sweeps::stampede2_ranks(scale));
+    run_system(&summit, &sweeps::summit_ranks(scale));
+}

@@ -1,0 +1,58 @@
+//! Run the complete experiment suite: every figure, table, statistic, and
+//! ablation, in order. CSVs land in `target/experiments/`.
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin run_all [--quick|--full]
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig5_write_scaling",
+    "fig6_breakdown",
+    "fig7_read_scaling",
+    "fig9_coal_boiler",
+    "fig10_coal_breakdown",
+    "fig11_dam_break",
+    "fig12_dam_breakdown",
+    "fig13_quality",
+    "table1_progressive_coal",
+    "table2_progressive_dam",
+    "stats_file_sizes",
+    "stats_overhead",
+    "ablate_subprefix",
+    "ablate_bitmap",
+    "ablate_overfull",
+    "ablate_split_axis",
+    "ablate_lod",
+    "extra_cosmology",
+    "extra_executed",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in BINARIES {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED with {status}");
+            failed.push(*bin);
+        }
+    }
+    println!("\n########## summary ##########");
+    if failed.is_empty() {
+        println!("all {} experiments completed", BINARIES.len());
+    } else {
+        println!("{} experiments failed: {failed:?}", failed.len());
+        std::process::exit(1);
+    }
+}

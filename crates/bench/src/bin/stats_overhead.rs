@@ -1,0 +1,68 @@
+//! The §VI-B storage-overhead claim: the BAT layout requires ≈0.9%
+//! additional memory over the raw particle payload, thanks to bounded
+//! bitmaps, the shared dictionary, and LOD-by-reordering (no duplication).
+//!
+//! Measured on real compacted files across both workload schemas and a
+//! range of aggregator population sizes (the overhead amortizes with
+//! particles per treelet).
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin stats_overhead [--quick|--full]
+//! ```
+
+use bat_bench::{report::Table, RunScale};
+use bat_geom::Aabb;
+use bat_layout::{stats::LayoutStats, BatBuilder, BatConfig};
+use bat_workloads::{CoalBoiler, DamBreak};
+
+fn measure(name: &str, set: bat_layout::ParticleSet, domain: Aabb, table: &mut bat_bench::report::Table) {
+    let n = set.len();
+    let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+    let bytes = bat.to_bytes();
+    let stats = LayoutStats::measure(&bytes).expect("valid image");
+    table.row(vec![
+        name.to_string(),
+        n.to_string(),
+        format!("{:.1}", stats.raw_bytes as f64 / 1e6),
+        stats.num_treelets.to_string(),
+        stats.num_nodes.to_string(),
+        stats.dict_entries.to_string(),
+        format!("{:.2}", stats.structure_overhead() * 100.0),
+        format!("{:.2}", stats.overhead() * 100.0),
+    ]);
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let sizes: Vec<u64> = match scale {
+        RunScale::Quick => vec![100_000, 500_000],
+        RunScale::Default => vec![100_000, 500_000, 2_000_000],
+        RunScale::Full => vec![100_000, 500_000, 2_000_000, 8_000_000],
+    };
+    let mut table = Table::new(
+        "BAT layout storage overhead",
+        &["dataset", "particles", "raw_MB", "treelets", "nodes", "dict", "structure%", "file%"],
+    );
+    for &n in &sizes {
+        // Coal Boiler schema (7 × f64): one aggregator's worth of the jet.
+        let cb = CoalBoiler::new(n as f64 / 41_500_000.0, 11);
+        let grid = cb.grid(4501, 1);
+        let set = cb.generate_rank(4501, &grid, 0);
+        let domain = grid.bounds_of(0);
+        measure(&format!("coal_{}k", n / 1000), set, domain, &mut table);
+
+        // Dam Break schema (4 × f64).
+        let db = DamBreak::new(n, 13);
+        let grid = db.grid(1);
+        let set = db.generate_rank(2001, &grid, 0);
+        measure(&format!("dam_{}k", n / 1000), set, db.tank, &mut table);
+    }
+    table.print();
+    table.save_csv("stats_overhead").expect("csv");
+    println!(
+        "\nPaper: ≈0.9% additional memory. `structure%` is the in-memory cost\n\
+         (nodes + bitmap IDs + dictionary); `file%` adds the 4 KiB treelet\n\
+         page alignment of the on-disk image. Overhead falls toward the\n\
+         published figure as aggregator populations grow."
+    );
+}

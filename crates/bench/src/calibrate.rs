@@ -1,0 +1,68 @@
+//! Runtime calibration of the compute-side model constants.
+//!
+//! The modeled pipelines charge BAT construction at a bytes/second rate.
+//! Rather than guessing, we *measure* the real builder on this machine over
+//! a representative workload and scale the two system profiles from it
+//! (keeping Summit's build ~1.5× faster than Stampede2's, matching the
+//! paper's observation that the POWER9's larger L3 favors the build,
+//! §VI-A1).
+
+use bat_geom::rng::Xoshiro256;
+use bat_geom::{Aabb, Vec3};
+use bat_iosim::SystemProfile;
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, ParticleSet};
+use std::time::Instant;
+
+/// Measure the sustained BAT build rate (bytes/second of raw particle
+/// payload) over `n` particles with `attrs` f64 attributes.
+pub fn measure_build_rate(n: usize, attrs: usize) -> f64 {
+    let descs: Vec<AttributeDesc> = (0..attrs).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+    let mut rng = Xoshiro256::new(0xCA11B);
+    let mut set = ParticleSet::with_capacity(descs, n);
+    let mut vals = vec![0.0f64; attrs];
+    for _ in 0..n {
+        let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+        for (k, v) in vals.iter_mut().enumerate() {
+            *v = p.x as f64 * (k + 1) as f64;
+        }
+        set.push(p, &vals);
+    }
+    let bytes = set.raw_bytes() as f64;
+    let bounds = Aabb::unit();
+    // Warm up once, measure the second build.
+    let builder = BatBuilder::new(BatConfig::default());
+    let _ = builder.build(set.clone(), bounds);
+    let t = Instant::now();
+    let bat = builder.build(set, bounds);
+    let secs = t.elapsed().as_secs_f64();
+    assert!(bat.num_particles() == n);
+    bytes / secs
+}
+
+/// The two modeled platforms with their BAT build rates calibrated from
+/// this machine. `quick` uses a smaller calibration workload.
+pub fn calibrated_profiles(quick: bool) -> (SystemProfile, SystemProfile) {
+    let n = if quick { 100_000 } else { 400_000 };
+    let rate = measure_build_rate(n, 14);
+    let mut s2 = SystemProfile::stampede2();
+    let mut summit = SystemProfile::summit();
+    s2.compute.bat_build_rate = rate;
+    summit.compute.bat_build_rate = rate * 1.5;
+    eprintln!(
+        "calibration: measured BAT build rate {:.0} MB/s over {n} particles",
+        rate / 1e6
+    );
+    (s2, summit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rate_is_positive_and_plausible() {
+        let rate = measure_build_rate(20_000, 7);
+        // Anything from 1 MB/s (slow debug build) to 100 GB/s.
+        assert!(rate > 1e6 && rate < 1e11, "rate {rate}");
+    }
+}

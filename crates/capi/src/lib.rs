@@ -1,0 +1,695 @@
+//! C API for libbat (paper §III, §IV: "We provide a C API to ease
+//! integration of our proposed I/O strategy into simulations written in a
+//! range of programming languages").
+//!
+//! The interface follows the array-based attribute storage model of
+//! HDF5/ADIOS/Silo, as the paper does: a write context accumulates named
+//! attribute arrays plus positions, then a collective `bat_write` call runs
+//! the two-phase pipeline. Reads come in two forms: the collective restart
+//! read, and the single-process visualization query with a point callback
+//! (mirroring §V: "The user also provides a callback that is called for
+//! each point contained in the query").
+//!
+//! All functions return 0 on success and a negative error code otherwise;
+//! out-parameters are written only on success. Handles are opaque pointers
+//! owned by the library; every `*_create`/`*_open` has a matching
+//! `*_destroy`/`*_close`.
+//!
+//! # Safety
+//!
+//! This is an FFI surface: callers must pass valid pointers and respect
+//! handle lifetimes, exactly as with any C library. The Rust side checks
+//! for NULL where possible and never unwinds across the boundary.
+
+use bat_geom::{Aabb, Vec3};
+use bat_layout::{AttributeDesc, AttributeType, ParticleSet, Query};
+use libbat::write::{write_particles, WriteConfig};
+use libbat::Dataset;
+use std::ffi::{c_char, c_double, c_float, c_int, c_void, CStr};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Success.
+pub const BAT_OK: c_int = 0;
+/// A required pointer was NULL.
+pub const BAT_ERR_NULL: c_int = -1;
+/// A string was not valid UTF-8.
+pub const BAT_ERR_UTF8: c_int = -2;
+/// An I/O or decode error occurred.
+pub const BAT_ERR_IO: c_int = -3;
+/// An argument was out of range (bad attribute index, bad type tag...).
+pub const BAT_ERR_ARG: c_int = -4;
+/// A panic was caught at the boundary (a bug; report it).
+pub const BAT_ERR_PANIC: c_int = -5;
+
+/// Attribute type tag for `bat_writer_add_attribute`: 32-bit float.
+pub const BAT_TYPE_F32: c_int = 0;
+/// Attribute type tag for `bat_writer_add_attribute`: 64-bit float.
+pub const BAT_TYPE_F64: c_int = 1;
+
+fn guard(f: impl FnOnce() -> c_int) -> c_int {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(code) => code,
+        Err(_) => BAT_ERR_PANIC,
+    }
+}
+
+unsafe fn cstr<'a>(p: *const c_char) -> Result<&'a str, c_int> {
+    if p.is_null() {
+        return Err(BAT_ERR_NULL);
+    }
+    CStr::from_ptr(p).to_str().map_err(|_| BAT_ERR_UTF8)
+}
+
+// ---------------------------------------------------------------------------
+// Write context
+// ---------------------------------------------------------------------------
+
+/// Opaque write context: schema + accumulated local particles.
+pub struct BatWriter {
+    descs: Vec<AttributeDesc>,
+    set: Option<ParticleSet>,
+    bounds: Aabb,
+    target_bytes: u64,
+}
+
+/// Create a write context. Attributes are declared before pushing data.
+///
+/// # Safety
+/// `out` must be a valid pointer to receive the handle.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_create(out: *mut *mut BatWriter) -> c_int {
+    guard(|| {
+        if out.is_null() {
+            return BAT_ERR_NULL;
+        }
+        let w = Box::new(BatWriter {
+            descs: Vec::new(),
+            set: None,
+            bounds: Aabb::empty(),
+            target_bytes: 0, // auto by default (§VII target-size selection)
+        });
+        *out = Box::into_raw(w);
+        BAT_OK
+    })
+}
+
+/// Declare an attribute (`BAT_TYPE_F32` or `BAT_TYPE_F64`). Must be called
+/// before any `bat_writer_push`.
+///
+/// # Safety
+/// `writer` must be a live handle; `name` a NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_add_attribute(
+    writer: *mut BatWriter,
+    name: *const c_char,
+    dtype: c_int,
+) -> c_int {
+    guard(|| {
+        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        if w.set.is_some() {
+            return BAT_ERR_ARG; // schema is frozen once data arrives
+        }
+        let name = match cstr(name) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let dtype = match dtype {
+            0 => AttributeType::F32,
+            1 => AttributeType::F64,
+            _ => return BAT_ERR_ARG,
+        };
+        w.descs.push(AttributeDesc::new(name, dtype));
+        BAT_OK
+    })
+}
+
+/// Set this rank's bounds in the simulation domain.
+///
+/// # Safety
+/// `writer` must be a live handle; `min`/`max` point to 3 floats each.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_set_bounds(
+    writer: *mut BatWriter,
+    min: *const c_float,
+    max: *const c_float,
+) -> c_int {
+    guard(|| {
+        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        if min.is_null() || max.is_null() {
+            return BAT_ERR_NULL;
+        }
+        let mn = std::slice::from_raw_parts(min, 3);
+        let mx = std::slice::from_raw_parts(max, 3);
+        w.bounds = Aabb::new(Vec3::new(mn[0], mn[1], mn[2]), Vec3::new(mx[0], mx[1], mx[2]));
+        BAT_OK
+    })
+}
+
+/// Set the target file size in bytes (0 = automatic, the default).
+///
+/// # Safety
+/// `writer` must be a live handle.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_set_target_size(
+    writer: *mut BatWriter,
+    bytes: u64,
+) -> c_int {
+    guard(|| {
+        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        w.target_bytes = bytes;
+        BAT_OK
+    })
+}
+
+/// Append `n` particles: `positions` is `n × 3` floats (xyzxyz...), and
+/// `attrs` is one pointer per declared attribute to `n` doubles (values are
+/// narrowed for f32 attributes).
+///
+/// # Safety
+/// `writer` live; `positions` holds `3n` floats; `attrs` holds one valid
+/// array pointer of `n` doubles per declared attribute.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_push(
+    writer: *mut BatWriter,
+    n: usize,
+    positions: *const c_float,
+    attrs: *const *const c_double,
+) -> c_int {
+    guard(|| {
+        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        if n > 0 && positions.is_null() {
+            return BAT_ERR_NULL;
+        }
+        if !w.descs.is_empty() && n > 0 && attrs.is_null() {
+            return BAT_ERR_NULL;
+        }
+        let set = w.set.get_or_insert_with(|| ParticleSet::new(w.descs.clone()));
+        let pos = std::slice::from_raw_parts(positions, 3 * n);
+        let na = w.descs.len();
+        let attr_ptrs: &[*const c_double] =
+            if na > 0 { std::slice::from_raw_parts(attrs, na) } else { &[] };
+        let mut values = vec![0.0f64; na];
+        for i in 0..n {
+            for (a, v) in values.iter_mut().enumerate() {
+                let ptr = attr_ptrs[a];
+                if ptr.is_null() {
+                    return BAT_ERR_NULL;
+                }
+                *v = *ptr.add(i);
+            }
+            set.push(Vec3::new(pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]), &values);
+        }
+        BAT_OK
+    })
+}
+
+/// Destroy a write context without writing.
+///
+/// # Safety
+/// `writer` must be a handle from `bat_writer_create`, not yet destroyed.
+#[no_mangle]
+pub unsafe extern "C" fn bat_writer_destroy(writer: *mut BatWriter) {
+    if !writer.is_null() {
+        drop(Box::from_raw(writer));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual cluster + collective write/read
+// ---------------------------------------------------------------------------
+
+/// Opaque per-rank communicator handle (wraps `bat_comm::Comm`).
+pub struct BatComm {
+    comm: bat_comm::Comm,
+}
+
+/// Run `ranks` virtual ranks; `body(rank, comm, user)` is invoked on each
+/// rank thread with its communicator. This stands in for `MPI_Init` +
+/// communicator plumbing on systems without MPI (see DESIGN.md §2).
+///
+/// # Safety
+/// `body` must be a valid function pointer, safe to call from multiple
+/// threads; `user` must be valid for the duration of the call on all
+/// threads.
+#[no_mangle]
+pub unsafe extern "C" fn bat_cluster_run(
+    ranks: usize,
+    body: Option<extern "C" fn(rank: usize, comm: *mut BatComm, user: *mut c_void)>,
+    user: *mut c_void,
+) -> c_int {
+    guard(|| {
+        let Some(body) = body else { return BAT_ERR_NULL };
+        if ranks == 0 {
+            return BAT_ERR_ARG;
+        }
+        struct SendPtr(*mut c_void);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let user = SendPtr(user);
+        let user_ref = &user;
+        bat_comm::Cluster::run(ranks, move |comm| {
+            let rank = comm.rank();
+            let mut handle = BatComm { comm };
+            body(rank, &mut handle as *mut BatComm, user_ref.0);
+        });
+        BAT_OK
+    })
+}
+
+/// Collectively write the accumulated particles of `writer` as dataset
+/// `basename` in `dir`. Consumes the writer's data (the context can be
+/// reused for the next timestep). `files_out` (optional) receives the leaf
+/// file count.
+///
+/// # Safety
+/// `comm` and `writer` live handles; `dir`/`basename` NUL-terminated.
+#[no_mangle]
+pub unsafe extern "C" fn bat_write(
+    comm: *mut BatComm,
+    writer: *mut BatWriter,
+    dir: *const c_char,
+    basename: *const c_char,
+    files_out: *mut u64,
+) -> c_int {
+    guard(|| {
+        let Some(c) = comm.as_mut() else { return BAT_ERR_NULL };
+        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let dir = match cstr(dir) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let basename = match cstr(basename) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let set = w.set.take().unwrap_or_else(|| ParticleSet::new(w.descs.clone()));
+        let bounds = if w.bounds.is_empty() { set.bounds() } else { w.bounds };
+        let cfg = WriteConfig::with_target_size(
+            w.target_bytes,
+            set.bytes_per_particle() as u64,
+        );
+        match write_particles(&c.comm, set, bounds, &cfg, dir.as_ref(), basename) {
+            Ok(report) => {
+                if !files_out.is_null() {
+                    *files_out = report.files as u64;
+                }
+                BAT_OK
+            }
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+/// Collectively read back every particle overlapping `[min, max]` from
+/// dataset `basename` in `dir`. The result is delivered through `cb`, one
+/// call per particle (positions as 3 floats, attributes widened to f64).
+///
+/// # Safety
+/// `comm` live; strings NUL-terminated; `min`/`max` point to 3 floats; `cb`
+/// valid; `user` valid for the duration of the call.
+#[no_mangle]
+pub unsafe extern "C" fn bat_read(
+    comm: *mut BatComm,
+    dir: *const c_char,
+    basename: *const c_char,
+    min: *const c_float,
+    max: *const c_float,
+    cb: Option<extern "C" fn(pos: *const c_float, attrs: *const c_double, n_attrs: usize, user: *mut c_void)>,
+    user: *mut c_void,
+) -> c_int {
+    guard(|| {
+        let Some(c) = comm.as_mut() else { return BAT_ERR_NULL };
+        let Some(cb) = cb else { return BAT_ERR_NULL };
+        let dir = match cstr(dir) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let basename = match cstr(basename) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        if min.is_null() || max.is_null() {
+            return BAT_ERR_NULL;
+        }
+        let mn = std::slice::from_raw_parts(min, 3);
+        let mx = std::slice::from_raw_parts(max, 3);
+        let bounds = Aabb::new(Vec3::new(mn[0], mn[1], mn[2]), Vec3::new(mx[0], mx[1], mx[2]));
+        match libbat::read::read_particles(&c.comm, bounds, dir.as_ref(), basename) {
+            Ok(set) => {
+                let na = set.num_attrs();
+                let mut attrs = vec![0.0f64; na];
+                for i in 0..set.len() {
+                    let p = set.positions[i];
+                    let pos = [p.x, p.y, p.z];
+                    for (a, v) in attrs.iter_mut().enumerate() {
+                        *v = set.value(a, i);
+                    }
+                    cb(pos.as_ptr(), attrs.as_ptr(), na, user);
+                }
+                BAT_OK
+            }
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Visualization reads (single process, no cluster)
+// ---------------------------------------------------------------------------
+
+/// Opaque dataset handle for postprocess visualization reads.
+pub struct BatDataset {
+    ds: Dataset,
+}
+
+/// Open dataset `basename` in `dir` for visualization queries.
+///
+/// # Safety
+/// Strings NUL-terminated; `out` valid.
+#[no_mangle]
+pub unsafe extern "C" fn bat_dataset_open(
+    dir: *const c_char,
+    basename: *const c_char,
+    out: *mut *mut BatDataset,
+) -> c_int {
+    guard(|| {
+        if out.is_null() {
+            return BAT_ERR_NULL;
+        }
+        let dir = match cstr(dir) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let basename = match cstr(basename) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        match Dataset::open(dir, basename) {
+            Ok(ds) => {
+                *out = Box::into_raw(Box::new(BatDataset { ds }));
+                BAT_OK
+            }
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+/// Total particle count of the dataset.
+///
+/// # Safety
+/// `ds` live; `out` valid.
+#[no_mangle]
+pub unsafe extern "C" fn bat_dataset_num_particles(ds: *const BatDataset, out: *mut u64) -> c_int {
+    guard(|| {
+        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        if out.is_null() {
+            return BAT_ERR_NULL;
+        }
+        *out = d.ds.num_particles();
+        BAT_OK
+    })
+}
+
+/// Number of attributes in the schema.
+///
+/// # Safety
+/// `ds` live; `out` valid.
+#[no_mangle]
+pub unsafe extern "C" fn bat_dataset_num_attributes(
+    ds: *const BatDataset,
+    out: *mut usize,
+) -> c_int {
+    guard(|| {
+        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        if out.is_null() {
+            return BAT_ERR_NULL;
+        }
+        *out = d.ds.descs().len();
+        BAT_OK
+    })
+}
+
+/// One attribute range filter for [`bat_dataset_query`].
+#[repr(C)]
+pub struct BatFilter {
+    /// Attribute index in the dataset schema.
+    pub attr: usize,
+    /// Inclusive lower bound.
+    pub lo: c_double,
+    /// Inclusive upper bound.
+    pub hi: c_double,
+}
+
+/// Run a visualization query (paper §V): quality level in `[0, 1]`, a
+/// previously loaded quality for progressive reads, an optional bounding
+/// box (`min`/`max` may be NULL for the whole domain), and optional
+/// attribute filters. `cb` is invoked per matching point.
+///
+/// # Safety
+/// `ds` live; box pointers NULL or 3 floats; `filters` holds `n_filters`
+/// entries; `cb` valid; `user` valid for the call.
+#[no_mangle]
+pub unsafe extern "C" fn bat_dataset_query(
+    ds: *const BatDataset,
+    quality: c_double,
+    prev_quality: c_double,
+    min: *const c_float,
+    max: *const c_float,
+    filters: *const BatFilter,
+    n_filters: usize,
+    cb: Option<extern "C" fn(pos: *const c_float, attrs: *const c_double, n_attrs: usize, user: *mut c_void)>,
+    user: *mut c_void,
+) -> c_int {
+    guard(|| {
+        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        let Some(cb) = cb else { return BAT_ERR_NULL };
+        let mut q = Query::new().with_quality(quality).with_prev_quality(prev_quality);
+        if !min.is_null() && !max.is_null() {
+            let mn = std::slice::from_raw_parts(min, 3);
+            let mx = std::slice::from_raw_parts(max, 3);
+            q = q.with_bounds(Aabb::new(
+                Vec3::new(mn[0], mn[1], mn[2]),
+                Vec3::new(mx[0], mx[1], mx[2]),
+            ));
+        }
+        if n_filters > 0 {
+            if filters.is_null() {
+                return BAT_ERR_NULL;
+            }
+            for f in std::slice::from_raw_parts(filters, n_filters) {
+                q = q.with_filter(f.attr, f.lo, f.hi);
+            }
+        }
+        let result = d.ds.query(&q, |p| {
+            let pos = [p.position.x, p.position.y, p.position.z];
+            cb(pos.as_ptr(), p.attrs.as_ptr(), p.attrs.len(), user);
+        });
+        match result {
+            Ok(_) => BAT_OK,
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+/// Close a dataset handle.
+///
+/// # Safety
+/// `ds` must be a handle from `bat_dataset_open`, not yet closed.
+#[no_mangle]
+pub unsafe extern "C" fn bat_dataset_close(ds: *mut BatDataset) {
+    if !ds.is_null() {
+        drop(Box::from_raw(ds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    struct Ctx {
+        dir: CString,
+        count: u64,
+    }
+
+    extern "C" fn count_cb(
+        _pos: *const c_float,
+        _attrs: *const c_double,
+        n_attrs: usize,
+        user: *mut c_void,
+    ) {
+        assert_eq!(n_attrs, 2);
+        let ctx = unsafe { &mut *(user as *mut Ctx) };
+        ctx.count += 1;
+    }
+
+    extern "C" fn rank_body(rank: usize, comm: *mut BatComm, user: *mut c_void) {
+        let ctx = unsafe { &*(user as *const Ctx) };
+        unsafe {
+            let mut writer: *mut BatWriter = std::ptr::null_mut();
+            assert_eq!(bat_writer_create(&mut writer), BAT_OK);
+            let mass = CString::new("mass").unwrap();
+            let temp = CString::new("temp").unwrap();
+            assert_eq!(bat_writer_add_attribute(writer, mass.as_ptr(), BAT_TYPE_F64), BAT_OK);
+            assert_eq!(bat_writer_add_attribute(writer, temp.as_ptr(), BAT_TYPE_F32), BAT_OK);
+
+            // This rank's slab of the unit cube.
+            let lo = rank as f32 * 0.25;
+            let min = [lo, 0.0, 0.0];
+            let max = [lo + 0.25, 1.0, 1.0];
+            assert_eq!(bat_writer_set_bounds(writer, min.as_ptr(), max.as_ptr()), BAT_OK);
+
+            // 100 particles strictly inside the slab.
+            let n = 100;
+            let mut positions = Vec::with_capacity(3 * n);
+            let mut mass_v = Vec::with_capacity(n);
+            let mut temp_v = Vec::with_capacity(n);
+            for i in 0..n {
+                let t = (i as f32 + 0.5) / n as f32;
+                positions.extend_from_slice(&[lo + t * 0.25, t, 0.5]);
+                mass_v.push(i as f64);
+                temp_v.push(300.0 + i as f64);
+            }
+            let attr_ptrs = [mass_v.as_ptr(), temp_v.as_ptr()];
+            assert_eq!(
+                bat_writer_push(writer, n, positions.as_ptr(), attr_ptrs.as_ptr()),
+                BAT_OK
+            );
+
+            let base = CString::new("capi").unwrap();
+            let mut files = 0u64;
+            assert_eq!(
+                bat_write(comm, writer, ctx.dir.as_ptr(), base.as_ptr(), &mut files),
+                BAT_OK
+            );
+            assert!(files >= 1);
+            bat_writer_destroy(writer);
+
+            // Collective read back of this rank's slab.
+            let mut readback = Ctx { dir: ctx.dir.clone(), count: 0 };
+            assert_eq!(
+                bat_read(
+                    comm,
+                    ctx.dir.as_ptr(),
+                    base.as_ptr(),
+                    min.as_ptr(),
+                    max.as_ptr(),
+                    Some(count_cb),
+                    &mut readback as *mut Ctx as *mut c_void,
+                ),
+                BAT_OK
+            );
+            assert_eq!(readback.count, 100, "rank {rank} restart");
+        }
+    }
+
+    #[test]
+    fn full_c_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bat-capi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ctx = Ctx {
+            dir: CString::new(dir.to_str().unwrap()).unwrap(),
+            count: 0,
+        };
+        unsafe {
+            assert_eq!(
+                bat_cluster_run(4, Some(rank_body), &ctx as *const Ctx as *mut c_void),
+                BAT_OK
+            );
+
+            // Postprocess visualization query through the C dataset API.
+            let base = CString::new("capi").unwrap();
+            let mut ds: *mut BatDataset = std::ptr::null_mut();
+            assert_eq!(bat_dataset_open(ctx.dir.as_ptr(), base.as_ptr(), &mut ds), BAT_OK);
+            let mut total = 0u64;
+            assert_eq!(bat_dataset_num_particles(ds, &mut total), BAT_OK);
+            assert_eq!(total, 400);
+            let mut na = 0usize;
+            assert_eq!(bat_dataset_num_attributes(ds, &mut na), BAT_OK);
+            assert_eq!(na, 2);
+
+            // Full query.
+            let mut counter = Ctx { dir: ctx.dir.clone(), count: 0 };
+            assert_eq!(
+                bat_dataset_query(
+                    ds,
+                    1.0,
+                    0.0,
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    0,
+                    Some(count_cb),
+                    &mut counter as *mut Ctx as *mut c_void,
+                ),
+                BAT_OK
+            );
+            assert_eq!(counter.count, 400);
+
+            // Filtered query: mass in [0, 49] on each rank → 50 × 4.
+            let filter = BatFilter { attr: 0, lo: 0.0, hi: 49.0 };
+            let mut counter = Ctx { dir: ctx.dir.clone(), count: 0 };
+            assert_eq!(
+                bat_dataset_query(
+                    ds,
+                    1.0,
+                    0.0,
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    &filter,
+                    1,
+                    Some(count_cb),
+                    &mut counter as *mut Ctx as *mut c_void,
+                ),
+                BAT_OK
+            );
+            assert_eq!(counter.count, 200);
+
+            bat_dataset_close(ds);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn null_safety() {
+        unsafe {
+            assert_eq!(bat_writer_create(std::ptr::null_mut()), BAT_ERR_NULL);
+            assert_eq!(
+                bat_writer_add_attribute(std::ptr::null_mut(), std::ptr::null(), 0),
+                BAT_ERR_NULL
+            );
+            let mut w: *mut BatWriter = std::ptr::null_mut();
+            assert_eq!(bat_writer_create(&mut w), BAT_OK);
+            assert_eq!(bat_writer_add_attribute(w, std::ptr::null(), 0), BAT_ERR_NULL);
+            let name = CString::new("x").unwrap();
+            assert_eq!(bat_writer_add_attribute(w, name.as_ptr(), 99), BAT_ERR_ARG);
+            bat_writer_destroy(w);
+            // Double-safe destroy of NULL.
+            bat_writer_destroy(std::ptr::null_mut());
+            bat_dataset_close(std::ptr::null_mut());
+            // Opening a missing dataset is an IO error, not a crash.
+            let dir = CString::new("/nonexistent-path").unwrap();
+            let base = CString::new("nope").unwrap();
+            let mut ds: *mut BatDataset = std::ptr::null_mut();
+            assert_eq!(bat_dataset_open(dir.as_ptr(), base.as_ptr(), &mut ds), BAT_ERR_IO);
+        }
+    }
+
+    #[test]
+    fn schema_frozen_after_push() {
+        unsafe {
+            let mut w: *mut BatWriter = std::ptr::null_mut();
+            assert_eq!(bat_writer_create(&mut w), BAT_OK);
+            let name = CString::new("a").unwrap();
+            assert_eq!(bat_writer_add_attribute(w, name.as_ptr(), BAT_TYPE_F64), BAT_OK);
+            let pos = [0.5f32, 0.5, 0.5];
+            let vals = [1.0f64];
+            let ptrs = [vals.as_ptr()];
+            assert_eq!(bat_writer_push(w, 1, pos.as_ptr(), ptrs.as_ptr()), BAT_OK);
+            // Adding attributes after data exists must fail.
+            let late = CString::new("late").unwrap();
+            assert_eq!(bat_writer_add_attribute(w, late.as_ptr(), BAT_TYPE_F64), BAT_ERR_ARG);
+            bat_writer_destroy(w);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Cluster entry point: spawn rank threads and collect their results.
+
+use crate::comm::Comm;
+use crate::state::ClusterState;
+use std::panic::AssertUnwindSafe;
+
+/// A virtual cluster. Stateless; [`Cluster::run`] is the entry point.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on `n` rank threads, each with its own [`Comm`], and return
+    /// the per-rank results in rank order.
+    ///
+    /// If any rank panics, the cluster is poisoned (ranks blocked in `recv`
+    /// wake up and panic rather than deadlock) and the first panic is
+    /// propagated to the caller.
+    ///
+    /// Rank counts well above the physical core count are fine: blocked
+    /// ranks park on condition variables rather than spinning.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(n > 0, "cluster needs at least one rank");
+        let state = ClusterState::new(n);
+        let f = &f;
+
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let comm = Comm::new(state.clone(), rank);
+                let state = state.clone();
+                handles.push(scope.spawn(move || {
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
+                    if out.is_err() {
+                        state.poison();
+                    }
+                    out
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                // Threads never leak panics past catch_unwind, so join() is
+                // infallible here.
+                match h.join().expect("rank thread join") {
+                    Ok(v) => results[rank] = Some(v),
+                    Err(p) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(p);
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        results.into_iter().map(|r| r.expect("all ranks returned")).collect()
+    }
+}

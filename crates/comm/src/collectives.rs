@@ -1,0 +1,162 @@
+//! Blocking collectives built on the point-to-point layer.
+//!
+//! As in a real MPI implementation, collectives are ordinary messages on
+//! reserved tags. Per-(source, tag) FIFO ordering makes back-to-back
+//! collectives safe without sequence numbers: each operation sends and
+//! receives a deterministic number of messages per peer pair.
+//!
+//! The aggregation pipeline is dominated by rank 0's serial tree build
+//! (paper §III-A), so gather/scatter use simple linear algorithms at the
+//! root; broadcast uses a binomial tree.
+
+use crate::comm::Comm;
+use crate::MAX_USER_TAG;
+use bytes::Bytes;
+
+const TAG_GATHER: u32 = MAX_USER_TAG + 2;
+const TAG_SCATTER: u32 = MAX_USER_TAG + 3;
+const TAG_BCAST: u32 = MAX_USER_TAG + 4;
+const TAG_REDUCE: u32 = MAX_USER_TAG + 5;
+/// Barrier rounds occupy their own tag range (one tag per round).
+const TAG_BARRIER: u32 = MAX_USER_TAG + 0x100;
+
+impl Comm {
+    /// Blocking dissemination barrier.
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let rounds = (n as u64).next_power_of_two().trailing_zeros();
+        for k in 0..rounds {
+            let dist = 1usize << k;
+            let dst = (self.rank() + dist) % n;
+            let src = (self.rank() + n - dist % n) % n;
+            self.isend_internal(dst, TAG_BARRIER + k, Bytes::new());
+            let _ = self.recv_internal(Some(src), TAG_BARRIER + k);
+        }
+    }
+
+    /// Gather one byte payload from every rank at `root` (rank order).
+    /// Returns `Some(all_payloads)` at the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(self.size());
+            for src in 0..self.size() {
+                if src == root {
+                    out.push(data.clone());
+                } else {
+                    out.push(self.recv_internal(Some(src), TAG_GATHER).payload);
+                }
+            }
+            Some(out)
+        } else {
+            self.isend_internal(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// Scatter one byte payload to every rank from `root`. The root passes
+    /// `Some(parts)` with exactly `size` entries; other ranks pass `None`.
+    /// Every rank returns its own part.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        if self.rank() == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            let mut mine = Bytes::new();
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst == root {
+                    mine = part;
+                } else {
+                    self.isend_internal(dst, TAG_SCATTER, part);
+                }
+            }
+            mine
+        } else {
+            assert!(parts.is_none(), "non-root ranks must pass None to scatter");
+            self.recv_internal(Some(root), TAG_SCATTER).payload
+        }
+    }
+
+    /// Broadcast from `root` via a binomial tree. The root passes
+    /// `Some(data)`; every rank returns the payload.
+    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        let n = self.size();
+        // Rotate ranks so the root is virtual rank 0.
+        let vrank = (self.rank() + n - root) % n;
+        let payload = if vrank == 0 {
+            data.expect("root must supply bcast data")
+        } else {
+            // Receive from the parent: clear the lowest set bit of vrank.
+            let parent_v = vrank & (vrank - 1);
+            let parent = (parent_v + root) % n;
+            self.recv_internal(Some(parent), TAG_BCAST).payload
+        };
+        // Forward to children: set each bit above our lowest set bit.
+        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        for b in 0..lowest.min(usize::BITS - 1) {
+            let child_v = vrank | (1 << b);
+            if child_v != vrank && child_v < n {
+                let child = (child_v + root) % n;
+                self.isend_internal(child, TAG_BCAST, payload.clone());
+            }
+        }
+        payload
+    }
+
+    /// All-reduce a `u64` with an associative, commutative operator.
+    pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let gathered = self.gather_u64(0, value);
+        let reduced = if self.rank() == 0 {
+            let vals = gathered.expect("root gathers");
+            Some(Bytes::copy_from_slice(
+                &vals.into_iter().reduce(&op).expect("nonempty").to_le_bytes(),
+            ))
+        } else {
+            None
+        };
+        let out = self.bcast(0, reduced);
+        u64::from_le_bytes(out[..8].try_into().expect("u64 payload"))
+    }
+
+    /// Gather a `u64` from every rank at `root`.
+    pub fn gather_u64(&self, root: usize, value: u64) -> Option<Vec<u64>> {
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(self.size());
+            for src in 0..self.size() {
+                if src == root {
+                    out.push(value);
+                } else {
+                    let m = self.recv_internal(Some(src), TAG_REDUCE);
+                    out.push(u64::from_le_bytes(m.payload[..8].try_into().expect("u64")));
+                }
+            }
+            Some(out)
+        } else {
+            self.isend_internal(root, TAG_REDUCE, Bytes::copy_from_slice(&value.to_le_bytes()));
+            None
+        }
+    }
+
+    /// Gather everyone's payload on every rank (gather at 0 + broadcast).
+    pub fn allgather(&self, data: Bytes) -> Vec<Bytes> {
+        let gathered = self.gather(0, data);
+        let packed = if self.rank() == 0 {
+            let parts = gathered.expect("root gathers");
+            let mut enc = bat_wire::Encoder::new();
+            enc.put_u64(parts.len() as u64);
+            for p in &parts {
+                enc.put_bytes(p);
+            }
+            Some(Bytes::from(enc.finish()))
+        } else {
+            None
+        };
+        let all = self.bcast(0, packed);
+        let mut dec = bat_wire::Decoder::new(&all);
+        let count = dec.get_u64("allgather count").expect("valid packing") as usize;
+        (0..count)
+            .map(|_| Bytes::from(dec.get_bytes("allgather part").expect("valid packing")))
+            .collect()
+    }
+}

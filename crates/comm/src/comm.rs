@@ -1,0 +1,144 @@
+//! The per-rank communicator handle: point-to-point operations.
+
+use crate::request::RecvRequest;
+use crate::state::{ClusterState, Mailbox};
+use crate::{IBarrier, MAX_USER_TAG};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// A message delivered to a rank.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Metadata returned by [`Comm::iprobe`] without consuming the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// Sending rank of the queued message.
+    pub src: usize,
+    /// Its tag.
+    pub tag: u32,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A rank's handle to the cluster: knows its rank, the cluster size, and how
+/// to exchange messages. Clone-able; clones refer to the same rank.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) state: Arc<ClusterState>,
+    pub(crate) rank: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(state: Arc<ClusterState>, rank: usize) -> Comm {
+        Comm { state, rank }
+    }
+
+    /// This rank's index in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.state.size
+    }
+
+    #[inline]
+    fn check_alive(&self) {
+        if self.state.is_poisoned() {
+            panic!("cluster poisoned: another rank panicked");
+        }
+    }
+
+    fn check_user_tag(tag: u32) {
+        assert!(
+            tag < MAX_USER_TAG,
+            "tag {tag} is reserved for internal collectives (must be < {MAX_USER_TAG})"
+        );
+    }
+
+    /// Nonblocking send with a user tag. Eager: the payload is enqueued at
+    /// the destination before this returns, so there is no request to wait
+    /// on (matching MPI's eager protocol for small/medium messages).
+    pub fn isend(&self, dst: usize, tag: u32, payload: Bytes) {
+        Self::check_user_tag(tag);
+        self.isend_internal(dst, tag, payload);
+    }
+
+    /// Internal send that may use reserved tags (collectives).
+    pub(crate) fn isend_internal(&self, dst: usize, tag: u32, payload: Bytes) {
+        self.check_alive();
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        self.state.deliver(
+            dst,
+            Message { src: self.rank, tag, payload },
+        );
+    }
+
+    /// Post a nonblocking receive for `(src, tag)`; `src = None` matches any
+    /// source. Complete it with [`RecvRequest::wait`] or poll with
+    /// [`RecvRequest::test`].
+    pub fn irecv(&self, src: Option<usize>, tag: u32) -> RecvRequest {
+        Self::check_user_tag(tag);
+        RecvRequest::new(self.clone(), src, tag)
+    }
+
+    /// Blocking receive: waits until a matching message arrives.
+    pub fn recv(&self, src: Option<usize>, tag: u32) -> Message {
+        Self::check_user_tag(tag);
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal(&self, src: Option<usize>, tag: u32) -> Message {
+        let mb = &self.state.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if self.state.is_poisoned() {
+                panic!("cluster poisoned: another rank panicked");
+            }
+            if let Some(i) = Mailbox::find(&q, src, tag) {
+                return q.remove(i);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Try to receive without blocking; returns `None` when no matching
+    /// message is queued.
+    pub(crate) fn try_recv_internal(&self, src: Option<usize>, tag: u32) -> Option<Message> {
+        self.check_alive();
+        let mb = &self.state.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| q.remove(i))
+    }
+
+    /// Nonblocking probe: report the first queued message matching
+    /// `(src, tag)` without consuming it.
+    pub fn iprobe(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
+        Self::check_user_tag(tag);
+        self.check_alive();
+        let mb = &self.state.mailboxes[self.rank];
+        let q = mb.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| ProbeInfo {
+            src: q[i].src,
+            tag: q[i].tag,
+            len: q[i].payload.len(),
+        })
+    }
+
+    /// Begin a nonblocking barrier (the `MPI_Ibarrier` of the read pipeline,
+    /// paper §IV-B). Poll the returned handle with [`IBarrier::test`].
+    pub fn ibarrier(&self) -> IBarrier {
+        IBarrier::new(self.clone())
+    }
+}

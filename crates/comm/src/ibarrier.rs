@@ -1,0 +1,104 @@
+//! Nonblocking dissemination barrier (`MPI_Ibarrier` analogue).
+//!
+//! The paper's parallel read pipeline (§IV-B) has each rank enter a
+//! nonblocking barrier once it has received its own particles, then keep
+//! polling for and serving incoming data queries until the barrier reports
+//! completion — at which point every rank has its data and the servers can
+//! stop. That protocol requires a barrier that makes progress only when
+//! polled, which this type provides.
+
+use crate::comm::Comm;
+use bytes::Bytes;
+
+/// Tag base for ibarrier round messages, above all user tags.
+const IBARRIER_TAG_BASE: u32 = crate::MAX_USER_TAG + 0x1000;
+/// Round tags cycle over this many generations to stay bounded.
+const GENERATIONS: u32 = 1024;
+/// Maximum dissemination rounds (supports up to 2^32 ranks).
+const MAX_ROUNDS: u32 = 32;
+
+/// In-flight nonblocking barrier. Create with [`Comm::ibarrier`]; poll with
+/// [`IBarrier::test`] until it returns `true`.
+pub struct IBarrier {
+    comm: Comm,
+    generation: u32,
+    round: u32,
+    rounds_total: u32,
+    done: bool,
+}
+
+impl IBarrier {
+    pub(crate) fn new(comm: Comm) -> IBarrier {
+        let n = comm.size();
+        let rounds_total = if n <= 1 { 0 } else { (n as u64).next_power_of_two().trailing_zeros() };
+        debug_assert!(rounds_total <= MAX_ROUNDS);
+        let generation = comm.state.next_ibarrier_generation(comm.rank()) % GENERATIONS as u64;
+        let ib = IBarrier {
+            comm,
+            generation: generation as u32,
+            round: 0,
+            rounds_total,
+            done: rounds_total == 0,
+        };
+        if !ib.done {
+            ib.send_round(0);
+        }
+        ib
+    }
+
+    fn tag_for(&self, round: u32) -> u32 {
+        IBARRIER_TAG_BASE + self.generation * MAX_ROUNDS + round
+    }
+
+    fn send_round(&self, round: u32) {
+        let n = self.comm.size();
+        let dst = (self.comm.rank() + (1 << round)) % n;
+        self.comm.isend_internal(dst, self.tag_for(round), Bytes::new());
+    }
+
+    /// Make progress and report completion. Nonblocking: consumes any round
+    /// tokens that have arrived, advances through dissemination rounds, and
+    /// returns `true` once every rank is known to have entered the barrier.
+    ///
+    /// Returns `true` on every call after completion.
+    pub fn test(&mut self) -> bool {
+        while !self.done {
+            let n = self.comm.size();
+            let src = (self.comm.rank() + n - ((1usize << self.round) % n) % n) % n;
+            let tag = self.tag_for(self.round);
+            match self.comm.try_recv_internal(Some(src), tag) {
+                Some(_) => {
+                    self.round += 1;
+                    if self.round == self.rounds_total {
+                        self.done = true;
+                    } else {
+                        self.send_round(self.round);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.done
+    }
+
+    /// Block until the barrier completes (degenerates to a plain barrier).
+    pub fn wait(&mut self) {
+        while !self.done {
+            let n = self.comm.size();
+            let src = (self.comm.rank() + n - ((1usize << self.round) % n) % n) % n;
+            let tag = self.tag_for(self.round);
+            let _ = self.comm.recv_internal(Some(src), tag);
+            self.round += 1;
+            if self.round == self.rounds_total {
+                self.done = true;
+            } else {
+                self.send_round(self.round);
+            }
+        }
+    }
+
+    /// True once the barrier has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+}

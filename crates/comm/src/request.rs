@@ -1,0 +1,64 @@
+//! Nonblocking receive requests.
+
+use crate::comm::{Comm, Message};
+
+/// A posted nonblocking receive (`MPI_Irecv` analogue).
+///
+/// Complete it with [`RecvRequest::wait`] (blocking) or poll with
+/// [`RecvRequest::test`]. Multiple outstanding requests on the same
+/// `(source, tag)` complete in the order they are waited on, each taking the
+/// earliest queued match.
+pub struct RecvRequest {
+    comm: Comm,
+    src: Option<usize>,
+    tag: u32,
+    done: bool,
+}
+
+impl RecvRequest {
+    pub(crate) fn new(comm: Comm, src: Option<usize>, tag: u32) -> RecvRequest {
+        RecvRequest { comm, src, tag, done: false }
+    }
+
+    /// Block until the matching message arrives and return it.
+    ///
+    /// Panics if the request was already completed by a successful `test`.
+    pub fn wait(mut self) -> Message {
+        assert!(!self.done, "receive request already completed");
+        self.done = true;
+        self.comm.recv_internal(self.src, self.tag)
+    }
+
+    /// Poll for completion: returns the message if one is queued, without
+    /// blocking. After a successful `test`, the request is complete and must
+    /// not be waited on.
+    pub fn test(&mut self) -> Option<Message> {
+        assert!(!self.done, "receive request already completed");
+        let msg = self.comm.try_recv_internal(self.src, self.tag);
+        if msg.is_some() {
+            self.done = true;
+        }
+        msg
+    }
+
+    /// True once the request has delivered its message.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// The source filter this request matches (`None` = any source).
+    pub fn source(&self) -> Option<usize> {
+        self.src
+    }
+
+    /// The tag this request matches.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+}
+
+/// Wait for a set of receive requests, returning messages in request order
+/// (`MPI_Waitall` analogue).
+pub fn wait_all(reqs: Vec<RecvRequest>) -> Vec<Message> {
+    reqs.into_iter().map(RecvRequest::wait).collect()
+}

@@ -1,0 +1,77 @@
+//! Shared cluster state: per-rank mailboxes with condvar wakeups.
+
+use crate::comm::Message;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One rank's incoming-message queue.
+///
+/// Messages are kept in arrival order; matching scans from the front so
+/// per-(source, tag) delivery is FIFO (MPI's non-overtaking guarantee).
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<Vec<Message>>,
+    pub(crate) cv: Condvar,
+}
+
+impl Mailbox {
+    /// Index of the first queued message matching `(src, tag)`.
+    pub(crate) fn find(queue: &[Message], src: Option<usize>, tag: u32) -> Option<usize> {
+        queue
+            .iter()
+            .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src))
+    }
+}
+
+/// State shared by every rank thread in a cluster.
+pub(crate) struct ClusterState {
+    pub(crate) size: usize,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    /// Set when any rank panics; blocked ranks wake and panic instead of
+    /// deadlocking on messages that will never arrive.
+    poisoned: AtomicBool,
+    /// Per-rank ibarrier invocation counters, used to disambiguate the round
+    /// tags of successive nonblocking barriers.
+    ibarrier_gen: Vec<AtomicU64>,
+}
+
+impl ClusterState {
+    pub(crate) fn new(size: usize) -> Arc<ClusterState> {
+        Arc::new(ClusterState {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            poisoned: AtomicBool::new(false),
+            ibarrier_gen: (0..size).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Allocate the next ibarrier generation number for `rank`. Barriers are
+    /// collective, so all ranks observe matching sequences.
+    pub(crate) fn next_ibarrier_generation(&self, rank: usize) -> u64 {
+        self.ibarrier_gen[rank].fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Mark the cluster dead and wake every blocked rank.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            // Acquire the lock so a rank between its poison-check and its
+            // condvar wait cannot miss the notification.
+            let _guard = mb.queue.lock();
+            mb.cv.notify_all();
+        }
+    }
+
+    /// Deliver a message into `dst`'s mailbox and wake it.
+    pub(crate) fn deliver(&self, dst: usize, msg: Message) {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        q.push(msg);
+        mb.cv.notify_all();
+    }
+}

@@ -1,0 +1,114 @@
+//! Postprocess visualization reads over a written dataset (paper §V).
+//!
+//! [`Dataset::open`] loads the top-level metadata and lazily memory-maps
+//! the leaf files. Queries run against the whole timestep as if it were a
+//! single file: the metadata tree culls leaf files by bounds and by the
+//! global root bitmaps, then each surviving file resolves the query with
+//! its own shallow tree, treelets, and exact checks. Progressive
+//! multiresolution reads (quality in `[0, 1]`, with an optional previous
+//! quality) work across all files, which is how the paper's prototype web
+//! viewer streams data (Fig. 4).
+
+use bat_aggregation::meta::MetaTree;
+use bat_layout::reader::QueryStats;
+use bat_layout::{AttributeDesc, BatFile, PointRecord, Query};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A written timestep opened for visualization/analysis reads.
+pub struct Dataset {
+    meta: MetaTree,
+    dir: PathBuf,
+    /// Lazily opened leaf files (mmap handles are cheap but opening all
+    /// files of a large dataset up front is not).
+    files: Mutex<HashMap<u32, std::sync::Arc<BatFile>>>,
+}
+
+impl Dataset {
+    /// Open dataset `basename` from `dir` (reads `basename.batmeta`).
+    pub fn open(dir: impl AsRef<Path>, basename: &str) -> io::Result<Dataset> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
+        let meta = MetaTree::decode(&meta_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(Dataset { meta, dir, files: Mutex::new(HashMap::new()) })
+    }
+
+    /// The parsed top-level metadata.
+    pub fn meta(&self) -> &MetaTree {
+        &self.meta
+    }
+
+    /// Attribute schema of the dataset.
+    pub fn descs(&self) -> &[AttributeDesc] {
+        &self.meta.descs
+    }
+
+    /// Total particles across all leaf files.
+    pub fn num_particles(&self) -> u64 {
+        self.meta.total_particles
+    }
+
+    /// Number of leaf files.
+    pub fn num_files(&self) -> usize {
+        self.meta.leaves.len()
+    }
+
+    /// Global `(min, max)` of attribute `a`.
+    pub fn global_range(&self, a: usize) -> (f64, f64) {
+        self.meta.global_ranges[a]
+    }
+
+    fn file(&self, leaf: u32) -> io::Result<std::sync::Arc<BatFile>> {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get(&leaf) {
+            return Ok(f.clone());
+        }
+        let path = self.dir.join(&self.meta.leaves[leaf as usize].file);
+        let f = std::sync::Arc::new(BatFile::open(&path)?);
+        files.insert(leaf, f.clone());
+        Ok(files[&leaf].clone())
+    }
+
+    /// Run a query across the whole dataset, invoking `cb` per matching
+    /// point. Quality/progressive parameters apply per leaf file, so a
+    /// progressive sweep over the dataset refines every region uniformly.
+    pub fn query(
+        &self,
+        q: &Query,
+        mut cb: impl FnMut(PointRecord<'_>),
+    ) -> io::Result<QueryStats> {
+        let candidates = self
+            .meta
+            .candidate_leaves(q)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut stats = QueryStats::default();
+        for leaf in candidates {
+            let file = self.file(leaf)?;
+            let s = file
+                .query(q, &mut cb)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            stats.nodes_visited += s.nodes_visited;
+            stats.treelets_visited += s.treelets_visited;
+            stats.points_tested += s.points_tested;
+            stats.points_returned += s.points_returned;
+        }
+        Ok(stats)
+    }
+
+    /// Count matching points.
+    pub fn count(&self, q: &Query) -> io::Result<u64> {
+        Ok(self.query(q, |_| {})?.points_returned)
+    }
+
+    /// Total on-disk bytes of all leaf files (for overhead reporting).
+    pub fn total_file_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for leaf in &self.meta.leaves {
+            total += std::fs::metadata(self.dir.join(&leaf.file))?.len();
+        }
+        Ok(total)
+    }
+}

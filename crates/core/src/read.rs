@@ -1,0 +1,309 @@
+//! The executed two-phase parallel read pipeline (paper §IV, Fig. 3).
+//!
+//! Checkpoint-restart reads mirror the two-phase write: every rank parses
+//! the top-level metadata, a deterministic subset of ranks becomes *read
+//! aggregators* (each responsible for a set of leaf files), and each rank
+//! requests the particles overlapping its bounds from the aggregators of
+//! the leaves it overlaps.
+//!
+//! Because an aggregator may need data served by another aggregator, the
+//! transfer runs as a client/server loop over nonblocking operations: a
+//! rank serves incoming queries, collects its own replies, then enters a
+//! nonblocking barrier and *keeps serving* until the barrier completes —
+//! the paper's `MPI_Ibarrier` termination protocol (§IV-B). Queries a rank
+//! would send to itself are answered locally after the loop.
+
+use bat_aggregation::assign::assign_read_aggregators;
+use bat_aggregation::meta::MetaTree;
+use bat_comm::Comm;
+use bat_geom::Aabb;
+use bat_iosim::{PhaseTimes, WritePhase};
+use bat_layout::{BatFile, ParticleSet, Query};
+use bat_wire::{Decoder, Encoder};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Tag for spatial queries to read aggregators.
+const TAG_QUERY: u32 = 2;
+/// Tag for query replies.
+const TAG_REPLY: u32 = 3;
+
+/// Result of a collective read on one rank.
+#[derive(Debug, Clone)]
+pub struct ReadReport {
+    /// Particles overlapping the caller's bounds.
+    pub particles: ParticleSet,
+    /// Slowest-rank component times (Transfer = query/reply traffic,
+    /// FileWrite slot holds file-read time, Metadata = metadata parse).
+    pub times: PhaseTimes,
+}
+
+/// Collectively read back every particle overlapping `bounds` from the
+/// dataset `basename` in `dir`. Works for any rank count relative to the
+/// writing run (paper §IV-A).
+pub fn read_particles(
+    comm: &Comm,
+    bounds: Aabb,
+    dir: &Path,
+    basename: &str,
+) -> io::Result<ParticleSet> {
+    Ok(read_particles_timed(comm, bounds, dir, basename)?.particles)
+}
+
+/// As [`read_particles`], returning per-phase timings as well.
+pub fn read_particles_timed(
+    comm: &Comm,
+    bounds: Aabb,
+    dir: &Path,
+    basename: &str,
+) -> io::Result<ReadReport> {
+    let mut times = PhaseTimes::new();
+    comm.barrier();
+    let t_start = Instant::now();
+
+    // --- Phase 1: all ranks read the metadata (Fig. 3a). ---
+    let t0 = Instant::now();
+    let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
+    let meta = MetaTree::decode(&meta_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let num_files = meta.leaves.len();
+    let file_owner = assign_read_aggregators(num_files, comm.size());
+    times[WritePhase::Metadata] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 2: open the files I aggregate (Fig. 3a). ---
+    let t0 = Instant::now();
+    let my_files: Vec<u32> = (0..num_files as u32)
+        .filter(|&l| file_owner[l as usize] == comm.rank() as u32)
+        .collect();
+    let mut open_files: HashMap<u32, BatFile> = HashMap::new();
+    for &l in &my_files {
+        let path = dir.join(&meta.leaves[l as usize].file);
+        open_files.insert(l, BatFile::open(&path)?);
+    }
+    times[WritePhase::FileWrite] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 3: request overlapping leaves (Fig. 3b, c). ---
+    let t0 = Instant::now();
+    let wanted = meta.overlapping_leaves(&bounds);
+    let mut local_leaves: Vec<u32> = Vec::new();
+    let mut outstanding = 0usize;
+    for &l in &wanted {
+        let owner = file_owner[l as usize] as usize;
+        if owner == comm.rank() {
+            local_leaves.push(l);
+        } else {
+            let mut enc = Encoder::new();
+            enc.put_u32(l);
+            for v in [bounds.min.x, bounds.min.y, bounds.min.z, bounds.max.x, bounds.max.y,
+                bounds.max.z]
+            {
+                enc.put_f32(v);
+            }
+            comm.isend(owner, TAG_QUERY, Bytes::from(enc.finish()));
+            outstanding += 1;
+        }
+    }
+
+    // Client/server loop with ibarrier termination (§IV-B).
+    let mut result = ParticleSet::new(meta.descs.clone());
+    let mut barrier: Option<bat_comm::IBarrier> = None;
+    let mut done = false;
+    while !done {
+        // Serve one incoming query if present.
+        if comm.iprobe(None, TAG_QUERY).is_some() {
+            let msg = comm.recv(None, TAG_QUERY);
+            let reply = serve_query(&open_files, &msg.payload);
+            comm.isend(msg.src, TAG_REPLY, reply);
+        }
+        // Collect one reply if present.
+        if outstanding > 0 && comm.iprobe(None, TAG_REPLY).is_some() {
+            let msg = comm.recv(None, TAG_REPLY);
+            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
+                .expect("valid reply payload");
+            result.append(&part);
+            outstanding -= 1;
+        }
+        // Once all replies are in, enter the nonblocking barrier; keep
+        // serving until it completes.
+        if outstanding == 0 && barrier.is_none() {
+            barrier = Some(comm.ibarrier());
+        }
+        if let Some(b) = &mut barrier {
+            if b.test() {
+                done = true;
+            }
+        }
+        if !done {
+            std::thread::yield_now();
+        }
+    }
+    // Drain any stragglers (none should exist after the barrier, but a
+    // query sent just before a peer's barrier entry may still be queued).
+    while comm.iprobe(None, TAG_QUERY).is_some() {
+        let msg = comm.recv(None, TAG_QUERY);
+        let reply = serve_query(&open_files, &msg.payload);
+        comm.isend(msg.src, TAG_REPLY, reply);
+    }
+    times[WritePhase::Transfer] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 4: local queries against my own files (§IV-B). ---
+    let t0 = Instant::now();
+    for l in local_leaves {
+        let file = &open_files[&l];
+        append_query(file, &bounds, &mut result);
+    }
+    times[WritePhase::LayoutBuild] = t0.elapsed().as_secs_f64();
+    times.total = t_start.elapsed().as_secs_f64();
+
+    let merged = crate::write::reduce_times(comm, &times);
+    Ok(ReadReport { particles: result, times: merged })
+}
+
+/// Answer one query message: spatial query over the requested leaf file.
+fn serve_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes {
+    let mut dec = Decoder::new(payload);
+    let leaf = dec.get_u32("query leaf").expect("valid query");
+    let vals: Vec<f32> = (0..6)
+        .map(|_| dec.get_f32("query bounds").expect("valid query bounds"))
+        .collect();
+    let qb = Aabb::new(
+        bat_geom::Vec3::new(vals[0], vals[1], vals[2]),
+        bat_geom::Vec3::new(vals[3], vals[4], vals[5]),
+    );
+    let file = open_files
+        .get(&leaf)
+        .expect("query for a leaf this rank does not own");
+    let mut out = ParticleSet::new(file.head().descs.clone());
+    append_query(file, &qb, &mut out);
+    let mut enc = Encoder::with_capacity(out.raw_bytes() + 64);
+    out.encode(&mut enc);
+    Bytes::from(enc.finish())
+}
+
+/// Run an exact spatial query on a file and append the hits.
+fn append_query(file: &BatFile, bounds: &Aabb, out: &mut ParticleSet) {
+    let q = Query::new().with_bounds(*bounds);
+    file.query(&q, |p| {
+        out.push(p.position, p.attrs);
+    })
+    .expect("valid file");
+}
+
+/// Tag for full-query messages (distributed in situ access, §IV-B).
+const TAG_FULL_QUERY: u32 = 4;
+/// Tag for full-query replies.
+const TAG_FULL_REPLY: u32 = 5;
+
+/// Collectively run an arbitrary [`Query`] against a written dataset — the
+/// paper's distributed in situ analytics path (§IV-B: "This query mechanism
+/// can also be leveraged to enable distributed data access for in situ
+/// analytics").
+///
+/// Every rank passes its *own* query (different ranks may ask different
+/// questions); the metadata tree culls candidate leaf files by bounds and
+/// global bitmaps, read aggregators resolve each query against their files
+/// (including progressive quality levels), and the union of the per-file
+/// results returns to the asking rank. Termination uses the same
+/// nonblocking-barrier server loop as checkpoint reads.
+pub fn query_distributed(
+    comm: &Comm,
+    q: &Query,
+    dir: &Path,
+    basename: &str,
+) -> io::Result<ParticleSet> {
+    let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
+    let meta = MetaTree::decode(&meta_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let num_files = meta.leaves.len();
+    let file_owner = assign_read_aggregators(num_files, comm.size());
+
+    // Open the files this rank serves.
+    let my_files: Vec<u32> = (0..num_files as u32)
+        .filter(|&l| file_owner[l as usize] == comm.rank() as u32)
+        .collect();
+    let mut open_files: HashMap<u32, BatFile> = HashMap::new();
+    for &l in &my_files {
+        let path = dir.join(&meta.leaves[l as usize].file);
+        open_files.insert(l, BatFile::open(&path)?);
+    }
+
+    // Metadata-level culling, then fan the query out.
+    let wanted = meta
+        .candidate_leaves(q)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut local_leaves: Vec<u32> = Vec::new();
+    let mut outstanding = 0usize;
+    for &l in &wanted {
+        let owner = file_owner[l as usize] as usize;
+        if owner == comm.rank() {
+            local_leaves.push(l);
+        } else {
+            let mut enc = Encoder::new();
+            enc.put_u32(l);
+            q.encode(&mut enc);
+            comm.isend(owner, TAG_FULL_QUERY, Bytes::from(enc.finish()));
+            outstanding += 1;
+        }
+    }
+
+    let mut result = ParticleSet::new(meta.descs.clone());
+    let mut barrier: Option<bat_comm::IBarrier> = None;
+    let mut done = false;
+    while !done {
+        if comm.iprobe(None, TAG_FULL_QUERY).is_some() {
+            let msg = comm.recv(None, TAG_FULL_QUERY);
+            let reply = serve_full_query(&open_files, &msg.payload);
+            comm.isend(msg.src, TAG_FULL_REPLY, reply);
+        }
+        if outstanding > 0 && comm.iprobe(None, TAG_FULL_REPLY).is_some() {
+            let msg = comm.recv(None, TAG_FULL_REPLY);
+            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
+                .expect("valid reply payload");
+            result.append(&part);
+            outstanding -= 1;
+        }
+        if outstanding == 0 && barrier.is_none() {
+            barrier = Some(comm.ibarrier());
+        }
+        if let Some(b) = &mut barrier {
+            if b.test() {
+                done = true;
+            }
+        }
+        if !done {
+            std::thread::yield_now();
+        }
+    }
+    while comm.iprobe(None, TAG_FULL_QUERY).is_some() {
+        let msg = comm.recv(None, TAG_FULL_QUERY);
+        let reply = serve_full_query(&open_files, &msg.payload);
+        comm.isend(msg.src, TAG_FULL_REPLY, reply);
+    }
+
+    // Local leaves resolved after the server loop (paper §IV-B).
+    for l in local_leaves {
+        let file = &open_files[&l];
+        let mut out = result;
+        file.query(q, |p| out.push(p.position, p.attrs)).expect("valid file");
+        result = out;
+    }
+    Ok(result)
+}
+
+/// Answer one full-query message against the served files.
+fn serve_full_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes {
+    let mut dec = Decoder::new(payload);
+    let leaf = dec.get_u32("query leaf").expect("valid query");
+    let q = Query::decode(&mut dec).expect("valid query body");
+    let file = open_files
+        .get(&leaf)
+        .expect("query for a leaf this rank does not own");
+    let mut out = ParticleSet::new(file.head().descs.clone());
+    file.query(&q, |p| out.push(p.position, p.attrs)).expect("valid file");
+    let mut enc = Encoder::with_capacity(out.raw_bytes() + 64);
+    out.encode(&mut enc);
+    Bytes::from(enc.finish())
+}

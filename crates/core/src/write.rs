@@ -1,0 +1,530 @@
+//! The executed two-phase write pipeline (paper §III, Fig. 1).
+//!
+//! Every rank calls [`write_particles`] collectively. Rank 0 gathers each
+//! rank's particle count and spatial bounds, builds the Aggregation Tree
+//! (adaptive k-d by default, or the AUG baseline for comparisons), assigns
+//! leaves to aggregator ranks spread across the rank space, and scatters
+//! the assignments. Ranks then send their particles to their leaf's
+//! aggregator with nonblocking sends; each aggregator builds a Binned
+//! Attribute Tree over what it received, compacts it, and writes one file.
+//! Finally rank 0 gathers every aggregator's value ranges and root bitmaps
+//! and writes the top-level `.batmeta` (paper §III-D).
+
+use bat_aggregation::meta::{LeafReport, MetaTree};
+use bat_aggregation::{assign_aggregators, build_aug_tree, AggConfig, AggregationTree, BalanceStats, RankInfo};
+use bat_comm::Comm;
+use bat_geom::Aabb;
+use bat_iosim::{PhaseTimes, WritePhase};
+use bat_layout::{BatBuilder, BatConfig, ParticleSet};
+use bat_wire::{Decoder, Encoder, WireResult};
+use bytes::Bytes;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Tag for particle payloads flowing to write aggregators.
+pub(crate) const TAG_DATA: u32 = 1;
+
+/// Which aggregation strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's adaptive k-d aggregation tree (§III-A).
+    Adaptive,
+    /// The adjustable-uniform-grid baseline of Kumar et al. \[27\].
+    Aug,
+}
+
+/// Write pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteConfig {
+    /// Aggregation strategy (adaptive tree or AUG baseline).
+    pub strategy: Strategy,
+    /// Aggregation-tree parameters (target size, overfull policy).
+    pub agg: AggConfig,
+    /// BAT layout parameters.
+    pub bat: BatConfig,
+}
+
+impl WriteConfig {
+    /// Adaptive aggregation at the given target file size, with the paper's
+    /// default overfull policy and BAT parameters.
+    pub fn with_target_size(target_file_bytes: u64, bytes_per_particle: u64) -> WriteConfig {
+        WriteConfig {
+            strategy: Strategy::Adaptive,
+            agg: AggConfig::new(target_file_bytes, bytes_per_particle),
+            // Auto subprefix: resolves to the paper's 12 bits at realistic
+            // aggregator populations, fewer for small ones (less padding).
+            bat: BatConfig::auto(),
+        }
+    }
+
+    /// Automatic target-size selection: rank 0 picks the size from the
+    /// gathered totals using the paper's recommendations (§VI-A2, encoded
+    /// in [`bat_aggregation::recommended_target_size`]). Addresses the
+    /// §VII future-work item.
+    pub fn auto(bytes_per_particle: u64) -> WriteConfig {
+        WriteConfig::with_target_size(0, bytes_per_particle)
+    }
+
+    /// Same parameters but using the AUG baseline.
+    pub fn aug(mut self) -> WriteConfig {
+        self.strategy = Strategy::Aug;
+        self
+    }
+}
+
+/// Result of a collective write, identical on every rank.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Slowest-rank time per pipeline component, plus end-to-end total.
+    pub times: PhaseTimes,
+    /// Leaf-file balance statistics.
+    pub balance: BalanceStats,
+    /// Number of leaf files written.
+    pub files: usize,
+    /// Total particle payload bytes across all ranks.
+    pub bytes_total: u64,
+}
+
+/// One aggregator duty: which leaf to receive and write.
+#[derive(Debug, Clone)]
+struct LeafDuty {
+    leaf_idx: u32,
+    file: String,
+    bounds: Aabb,
+    /// `(source rank, particle count)` pairs, including the aggregator
+    /// itself if it owns particles in the leaf.
+    sources: Vec<(u32, u64)>,
+}
+
+/// Per-rank assignment scattered from rank 0.
+#[derive(Debug, Clone, Default)]
+struct Assignment {
+    /// Aggregator to send this rank's particles to (`None` = no particles).
+    agg_of_me: Option<u32>,
+    /// Set when this rank aggregates a leaf.
+    duty: Option<LeafDuty>,
+}
+
+fn put_aabb(enc: &mut Encoder, b: &Aabb) {
+    for v in [b.min.x, b.min.y, b.min.z, b.max.x, b.max.y, b.max.z] {
+        enc.put_f32(v);
+    }
+}
+
+fn get_aabb(dec: &mut Decoder) -> WireResult<Aabb> {
+    Ok(Aabb::new(
+        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+    ))
+}
+
+impl Assignment {
+    fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        match self.agg_of_me {
+            Some(a) => {
+                enc.put_bool(true);
+                enc.put_u32(a);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.duty {
+            Some(d) => {
+                enc.put_bool(true);
+                enc.put_u32(d.leaf_idx);
+                enc.put_str(&d.file);
+                put_aabb(&mut enc, &d.bounds);
+                enc.put_u64(d.sources.len() as u64);
+                for &(r, c) in &d.sources {
+                    enc.put_u32(r);
+                    enc.put_u64(c);
+                }
+            }
+            None => enc.put_bool(false),
+        }
+        Bytes::from(enc.finish())
+    }
+
+    fn decode(data: &[u8]) -> WireResult<Assignment> {
+        let mut dec = Decoder::new(data);
+        let agg_of_me = if dec.get_bool("has agg")? {
+            Some(dec.get_u32("agg rank")?)
+        } else {
+            None
+        };
+        let duty = if dec.get_bool("has duty")? {
+            let leaf_idx = dec.get_u32("leaf idx")?;
+            let file = dec.get_str("leaf file")?;
+            let bounds = get_aabb(&mut dec)?;
+            let ns = dec.get_usize("num sources")?;
+            let mut sources = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let r = dec.get_u32("source rank")?;
+                let c = dec.get_u64("source count")?;
+                sources.push((r, c));
+            }
+            Some(LeafDuty { leaf_idx, file, bounds, sources })
+        } else {
+            None
+        };
+        Ok(Assignment { agg_of_me, duty })
+    }
+}
+
+/// Resolve an automatic target size (`target_file_bytes == 0`) from the
+/// gathered rank population.
+pub fn resolve_config(ranks: &[RankInfo], cfg: &WriteConfig) -> WriteConfig {
+    let mut resolved = *cfg;
+    if resolved.agg.target_file_bytes == 0 {
+        let total: u64 = ranks
+            .iter()
+            .map(|r| r.particles * cfg.agg.bytes_per_particle)
+            .sum();
+        resolved.agg.target_file_bytes =
+            bat_aggregation::recommended_target_size(total, ranks.len());
+    }
+    resolved
+}
+
+/// Build the aggregation tree for the chosen strategy (resolving an
+/// automatic target size first).
+pub fn build_tree(ranks: &[RankInfo], cfg: &WriteConfig) -> AggregationTree {
+    let cfg = resolve_config(ranks, cfg);
+    match cfg.strategy {
+        Strategy::Adaptive => AggregationTree::build(ranks, &cfg.agg),
+        Strategy::Aug => build_aug_tree(ranks, &cfg.agg),
+    }
+}
+
+/// The leaf file name for a dataset `basename`.
+pub fn leaf_file_name(basename: &str, leaf_idx: u32) -> String {
+    format!("{basename}.{leaf_idx:05}.bat")
+}
+
+/// The metadata file name for a dataset `basename`.
+pub fn meta_file_name(basename: &str) -> String {
+    format!("{basename}.batmeta")
+}
+
+/// Collectively write a timestep. Every rank passes its local particles and
+/// its bounds in the simulation domain; files land in `dir` under
+/// `basename`. Returns the same [`WriteReport`] on every rank.
+pub fn write_particles(
+    comm: &Comm,
+    set: ParticleSet,
+    bounds: Aabb,
+    cfg: &WriteConfig,
+    dir: &Path,
+    basename: &str,
+) -> io::Result<WriteReport> {
+    write_particles_in_transit(comm, set, bounds, cfg, dir, basename, |_, _| {})
+}
+
+/// As [`write_particles`], additionally invoking `hook(leaf_index, &bat)`
+/// on every aggregator once its BAT is built, *before* it is written — the
+/// paper's in-transit visualization/analysis entry point (§III-C: "the
+/// tree can be used for in transit visualization and analysis on the
+/// aggregators before or instead of being written to disk").
+pub fn write_particles_in_transit(
+    comm: &Comm,
+    set: ParticleSet,
+    bounds: Aabb,
+    cfg: &WriteConfig,
+    dir: &Path,
+    basename: &str,
+    mut hook: impl FnMut(u32, &bat_layout::Bat),
+) -> io::Result<WriteReport> {
+    let bat_cfg = cfg.bat;
+    write_pipeline(comm, set, bounds, cfg, dir, basename, |leaf_idx, merged, leaf_bounds| {
+        let bat = BatBuilder::new(bat_cfg).build(merged, leaf_bounds);
+        hook(leaf_idx, &bat);
+        let local_bitmaps = (0..bat.descs().len()).map(|a| bat.root_bitmap(a)).collect();
+        (bat.to_bytes(), bat.attr_ranges.clone(), local_bitmaps)
+    })
+}
+
+/// A user-defined aggregator-side layout (paper §VII future work: "Allowing
+/// users to build their own data layout would ease adoption of our method
+/// for simulation-analysis pipelines that already use a specific layout").
+///
+/// The adaptive aggregation, transfer, and metadata machinery are reused
+/// unchanged; only the bytes written per leaf file come from the sink. The
+/// top-level metadata still carries exact global attribute ranges and
+/// conservative root bitmaps (computed generically from the merged
+/// particles), so metadata-level spatial/attribute culling keeps working —
+/// but the leaf files themselves are opaque to [`crate::Dataset`] and the
+/// parallel read pipeline; reading them back is the layout owner's job.
+pub trait LayoutSink: Sync {
+    /// Produce the leaf file's bytes for the merged particles of one
+    /// aggregation leaf.
+    fn build(&self, leaf_idx: u32, set: &ParticleSet, bounds: Aabb) -> Vec<u8>;
+}
+
+/// As [`write_particles`], but writing each leaf with a user-supplied
+/// [`LayoutSink`] instead of the BAT (§VII).
+pub fn write_particles_with_sink(
+    comm: &Comm,
+    set: ParticleSet,
+    bounds: Aabb,
+    cfg: &WriteConfig,
+    dir: &Path,
+    basename: &str,
+    sink: &impl LayoutSink,
+) -> io::Result<WriteReport> {
+    write_pipeline(comm, set, bounds, cfg, dir, basename, |leaf_idx, merged, leaf_bounds| {
+        let bytes = sink.build(leaf_idx, &merged, leaf_bounds);
+        // Generic metadata stats: exact local ranges, bitmaps binned over
+        // them (identical semantics to the BAT's root bitmaps).
+        let ranges: Vec<(f64, f64)> =
+            (0..merged.num_attrs()).map(|a| merged.attr(a).value_range()).collect();
+        let bitmaps = ranges
+            .iter()
+            .enumerate()
+            .map(|(a, &(lo, hi))| {
+                bat_layout::Bitmap32::from_values(
+                    (0..merged.len()).map(|i| merged.value(a, i)),
+                    lo,
+                    hi,
+                )
+            })
+            .collect();
+        (bytes, ranges, bitmaps)
+    })
+}
+
+/// The shared two-phase pipeline; `leaf_builder` maps one leaf's merged
+/// particles to `(file bytes, local attribute ranges, root bitmaps)`.
+fn write_pipeline(
+    comm: &Comm,
+    set: ParticleSet,
+    bounds: Aabb,
+    cfg: &WriteConfig,
+    dir: &Path,
+    basename: &str,
+    mut leaf_builder: impl FnMut(u32, ParticleSet, Aabb) -> (Vec<u8>, Vec<(f64, f64)>, Vec<bat_layout::Bitmap32>),
+) -> io::Result<WriteReport> {
+    let descs = set.descs().to_vec();
+    let mut times = PhaseTimes::new();
+    comm.barrier();
+    let t_start = Instant::now();
+
+    // --- Phase 1: gather rank infos; rank 0 builds the tree (§III-A). ---
+    let t0 = Instant::now();
+    let info = RankInfo::new(comm.rank() as u32, bounds, set.len() as u64);
+    let mut enc = Encoder::new();
+    info.encode(&mut enc);
+    let gathered = comm.gather(0, Bytes::from(enc.finish()));
+
+    let assignment_bytes = if comm.rank() == 0 {
+        let infos: Vec<RankInfo> = gathered
+            .expect("root gathers")
+            .iter()
+            .map(|b| RankInfo::decode(&mut Decoder::new(b)).expect("valid rank info"))
+            .collect();
+        let mut tree = build_tree(&infos, cfg);
+        assign_aggregators(&mut tree.leaves, comm.size());
+
+        // Build per-rank assignments.
+        let mut assignments: Vec<Assignment> = vec![Assignment::default(); comm.size()];
+        for (li, leaf) in tree.leaves.iter().enumerate() {
+            let duty = LeafDuty {
+                leaf_idx: li as u32,
+                file: leaf_file_name(basename, li as u32),
+                bounds: leaf.bounds,
+                sources: leaf
+                    .ranks
+                    .iter()
+                    .map(|&r| (r, infos[r as usize].particles))
+                    .collect(),
+            };
+            for &(r, _) in &duty.sources {
+                assignments[r as usize].agg_of_me = Some(leaf.aggregator);
+            }
+            assignments[leaf.aggregator as usize].duty = Some(duty);
+        }
+        Some(assignments.iter().map(Assignment::encode).collect::<Vec<_>>())
+    } else {
+        None
+    };
+    times[WritePhase::TreeBuild] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 2: scatter assignments. ---
+    let t0 = Instant::now();
+    let mine = comm.scatter(0, assignment_bytes);
+    let assignment = Assignment::decode(&mine).expect("valid assignment");
+    times[WritePhase::Scatter] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 3: transfer particles to aggregators (§III-B). ---
+    let t0 = Instant::now();
+    let my_bytes = set.raw_bytes() as u64;
+    if let Some(agg) = assignment.agg_of_me {
+        let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
+        set.encode(&mut enc);
+        comm.isend(agg as usize, TAG_DATA, Bytes::from(enc.finish()));
+    }
+    // Aggregators receive from every source (self-sends included above).
+    let mut received: Option<ParticleSet> = None;
+    if let Some(duty) = &assignment.duty {
+        let mut merged = ParticleSet::new(descs.clone());
+        for &(src, count) in &duty.sources {
+            let msg = comm.recv(Some(src as usize), TAG_DATA);
+            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
+                .expect("valid particle payload");
+            assert_eq!(part.len() as u64, count, "source {src} count mismatch");
+            merged.append(&part);
+        }
+        received = Some(merged);
+    }
+    times[WritePhase::Transfer] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 4: build the layout on each aggregator (§III-C). ---
+    let t0 = Instant::now();
+    let mut compacted: Option<Vec<u8>> = None;
+    let mut report: Option<LeafReport> = None;
+    if let Some(duty) = &assignment.duty {
+        let merged = received.take().expect("aggregator received data");
+        let particles = merged.len() as u64;
+        let (bytes, local_ranges, local_bitmaps) =
+            leaf_builder(duty.leaf_idx, merged, duty.bounds);
+        report = Some(LeafReport {
+            file: duty.file.clone(),
+            bounds: duty.bounds,
+            particles,
+            aggregator: comm.rank() as u32,
+            local_ranges,
+            local_bitmaps,
+        });
+        compacted = Some(bytes);
+    }
+    times[WritePhase::LayoutBuild] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 5: write leaf files. ---
+    let t0 = Instant::now();
+    if let (Some(bytes), Some(duty)) = (&compacted, &assignment.duty) {
+        std::fs::write(dir.join(&duty.file), bytes)?;
+    }
+    times[WritePhase::FileWrite] = t0.elapsed().as_secs_f64();
+
+    // --- Phase 6: gather leaf reports; rank 0 writes metadata (§III-D). ---
+    let t0 = Instant::now();
+    let payload = match &report {
+        Some(r) => {
+            let mut enc = Encoder::new();
+            enc.put_bool(true);
+            r.encode(&mut enc);
+            Bytes::from(enc.finish())
+        }
+        None => {
+            let mut enc = Encoder::new();
+            enc.put_bool(false);
+            Bytes::from(enc.finish())
+        }
+    };
+    let reports = comm.gather(0, payload);
+    let mut meta_summary: Option<(usize, BalanceStats)> = None;
+    if comm.rank() == 0 {
+        let mut leaf_reports = Vec::new();
+        for b in reports.expect("root gathers") {
+            let mut dec = Decoder::new(&b);
+            if dec.get_bool("has report").expect("valid report flag") {
+                leaf_reports.push(LeafReport::decode(&mut dec).expect("valid leaf report"));
+            }
+        }
+        // Order leaves by index for stable metadata.
+        leaf_reports.sort_by(|a, b| a.file.cmp(&b.file));
+        let balance = balance_from_reports(&leaf_reports, cfg.agg.bytes_per_particle);
+        let files = leaf_reports.len();
+        let meta = MetaTree::build(descs.clone(), leaf_reports);
+        std::fs::write(dir.join(meta_file_name(basename)), meta.encode())?;
+        meta_summary = Some((files, balance));
+    }
+    times[WritePhase::Metadata] = t0.elapsed().as_secs_f64();
+    times.total = t_start.elapsed().as_secs_f64();
+
+    // --- Merge the report across ranks so every rank returns the same. ---
+    let bytes_total = comm.allreduce_u64(my_bytes, |a, b| a + b);
+    let merged_times = reduce_times(comm, &times);
+    let (files, balance) = broadcast_summary(comm, meta_summary);
+
+    Ok(WriteReport { times: merged_times, balance, files, bytes_total })
+}
+
+/// Max-merge phase times across ranks and broadcast the result.
+pub(crate) fn reduce_times(comm: &Comm, times: &PhaseTimes) -> PhaseTimes {
+    let mut enc = Encoder::new();
+    for p in WritePhase::ALL {
+        enc.put_f64(times[p]);
+    }
+    enc.put_f64(times.total);
+    let gathered = comm.gather(0, Bytes::from(enc.finish()));
+    let merged_bytes = if comm.rank() == 0 {
+        let mut merged = PhaseTimes::new();
+        for b in gathered.expect("root gathers") {
+            let mut dec = Decoder::new(&b);
+            let mut pt = PhaseTimes::new();
+            for p in WritePhase::ALL {
+                pt[p] = dec.get_f64("phase time").expect("valid time");
+            }
+            pt.total = dec.get_f64("total time").expect("valid total");
+            merged.max_merge(&pt);
+        }
+        let mut enc = Encoder::new();
+        for p in WritePhase::ALL {
+            enc.put_f64(merged[p]);
+        }
+        enc.put_f64(merged.total);
+        Some(Bytes::from(enc.finish()))
+    } else {
+        None
+    };
+    let out = comm.bcast(0, merged_bytes);
+    let mut dec = Decoder::new(&out);
+    let mut pt = PhaseTimes::new();
+    for p in WritePhase::ALL {
+        pt[p] = dec.get_f64("merged phase").expect("valid merged");
+    }
+    pt.total = dec.get_f64("merged total").expect("valid merged total");
+    pt
+}
+
+fn balance_from_reports(reports: &[LeafReport], bpp: u64) -> BalanceStats {
+    let leaves: Vec<bat_aggregation::AggLeaf> = reports
+        .iter()
+        .map(|r| bat_aggregation::AggLeaf {
+            ranks: Vec::new(),
+            bounds: r.bounds,
+            particles: r.particles,
+            bytes: r.particles * bpp,
+            aggregator: r.aggregator,
+        })
+        .collect();
+    bat_aggregation::tree::balance_of(&leaves)
+}
+
+fn broadcast_summary(
+    comm: &Comm,
+    summary: Option<(usize, BalanceStats)>,
+) -> (usize, BalanceStats) {
+    let payload = summary.map(|(files, b)| {
+        let mut enc = Encoder::new();
+        enc.put_u64(files as u64);
+        enc.put_u64(b.num_files as u64);
+        enc.put_f64(b.mean_bytes);
+        enc.put_f64(b.stddev_bytes);
+        enc.put_u64(b.max_bytes);
+        enc.put_u64(b.min_bytes);
+        Bytes::from(enc.finish())
+    });
+    let out = comm.bcast(0, payload);
+    let mut dec = Decoder::new(&out);
+    let files = dec.get_u64("files").expect("valid summary") as usize;
+    let balance = BalanceStats {
+        num_files: dec.get_u64("num files").expect("valid") as usize,
+        mean_bytes: dec.get_f64("mean").expect("valid"),
+        stddev_bytes: dec.get_f64("stddev").expect("valid"),
+        max_bytes: dec.get_u64("max").expect("valid"),
+        min_bytes: dec.get_u64("min").expect("valid"),
+    };
+    (files, balance)
+}

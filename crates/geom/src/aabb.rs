@@ -1,0 +1,281 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec3::{Axis, Vec3};
+
+/// An axis-aligned bounding box `[min, max]` (inclusive on both ends).
+///
+/// Rank bounds, aggregation-tree node bounds, treelet node bounds, and query
+/// boxes are all `Aabb`s. An *empty* box (as produced by [`Aabb::empty`]) has
+/// `min > max` and unions as the identity element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box: identity for [`Aabb::union`], contains nothing.
+    #[inline]
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning `min..=max`. Does not require `min <= max`; degenerate
+    /// input is allowed and treated as empty by [`Aabb::is_empty`].
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Aabb {
+        Aabb { min, max }
+    }
+
+    /// The unit cube `[0,1]^3`.
+    #[inline]
+    pub const fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    /// True when the box contains no points (some `min > max`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Smallest box containing both operands.
+    #[inline]
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb::new(self.min.min(o.min), self.max.max(o.max))
+    }
+
+    /// Grow to include a point.
+    #[inline]
+    pub fn extend(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Intersection of two boxes (may be empty).
+    #[inline]
+    pub fn intersection(&self, o: &Aabb) -> Aabb {
+        Aabb::new(self.min.max(o.min), self.max.min(o.max))
+    }
+
+    /// True when the point lies inside (inclusive bounds).
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when `o` is entirely inside `self` (inclusive).
+    #[inline]
+    pub fn contains_box(&self, o: &Aabb) -> bool {
+        !o.is_empty()
+            && self.min.x <= o.min.x
+            && self.min.y <= o.min.y
+            && self.min.z <= o.min.z
+            && self.max.x >= o.max.x
+            && self.max.y >= o.max.y
+            && self.max.z >= o.max.z
+    }
+
+    /// True when the boxes share any point (inclusive touch counts).
+    #[inline]
+    pub fn overlaps(&self, o: &Aabb) -> bool {
+        !self.is_empty()
+            && !o.is_empty()
+            && self.min.x <= o.max.x
+            && self.max.x >= o.min.x
+            && self.min.y <= o.max.y
+            && self.max.y >= o.min.y
+            && self.min.z <= o.max.z
+            && self.max.z >= o.min.z
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Per-axis extent (`max - min`), zero vector for empty boxes.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// The axis with the largest extent — the k-d split axis heuristic used
+    /// by both the aggregation tree and treelet builds (paper §III-A, §III-C2).
+    #[inline]
+    pub fn longest_axis(&self) -> Axis {
+        self.extent().largest_axis()
+    }
+
+    /// Volume of the box; zero when empty.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x as f64 * e.y as f64 * e.z as f64
+    }
+
+    /// Surface area of the box; zero when empty.
+    #[inline]
+    pub fn surface_area(&self) -> f64 {
+        let e = self.extent();
+        2.0 * (e.x as f64 * e.y as f64 + e.y as f64 * e.z as f64 + e.z as f64 * e.x as f64)
+    }
+
+    /// Split at `pos` along `axis`, returning `(left, right)` half-boxes.
+    /// `pos` is clamped into the box's range on that axis.
+    #[inline]
+    pub fn split(&self, axis: Axis, pos: f32) -> (Aabb, Aabb) {
+        let pos = pos.clamp(self.min[axis], self.max[axis]);
+        let mut left = *self;
+        let mut right = *self;
+        left.max[axis] = pos;
+        right.min[axis] = pos;
+        (left, right)
+    }
+
+    /// Normalize a point into `[0,1]^3` relative to this box. Degenerate axes
+    /// (zero extent) map to 0.5 so all such points share a Morton cell.
+    #[inline]
+    pub fn normalize(&self, p: Vec3) -> Vec3 {
+        let e = self.extent();
+        let f = |v: f32, lo: f32, ext: f32| {
+            if ext > 0.0 {
+                ((v - lo) / ext).clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        };
+        Vec3::new(
+            f(p.x, self.min.x, e.x),
+            f(p.y, self.min.y, e.y),
+            f(p.z, self.min.z, e.z),
+        )
+    }
+
+    /// Smallest box containing a set of points; empty for an empty slice.
+    pub fn from_points(points: &[Vec3]) -> Aabb {
+        let mut b = Aabb::empty();
+        for &p in points {
+            b.extend(p);
+        }
+        b
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Aabb {
+        Aabb::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaves_as_identity() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(e.union(&b), b);
+        assert_eq!(b.union(&e), b);
+        assert!(!e.overlaps(&b));
+        assert!(!b.overlaps(&e));
+        assert_eq!(e.volume(), 0.0);
+        assert_eq!(e.extent(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let mut b = Aabb::empty();
+        b.extend(Vec3::new(1.0, -1.0, 0.0));
+        b.extend(Vec3::new(-1.0, 2.0, 3.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn containment() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        assert!(b.contains_point(Vec3::ONE));
+        assert!(b.contains_point(Vec3::ZERO)); // inclusive
+        assert!(b.contains_point(Vec3::splat(2.0))); // inclusive
+        assert!(!b.contains_point(Vec3::splat(2.1)));
+        assert!(b.contains_box(&Aabb::new(Vec3::splat(0.5), Vec3::ONE)));
+        assert!(!b.contains_box(&Aabb::new(Vec3::splat(0.5), Vec3::splat(3.0))));
+        assert!(!b.contains_box(&Aabb::empty()));
+    }
+
+    #[test]
+    fn overlap_inclusive_touch() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        let c = Aabb::new(Vec3::new(1.5, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection(&b).volume(), 0.0);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn split_halves() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(4.0));
+        let (l, r) = b.split(Axis::Y, 1.0);
+        assert_eq!(l.max.y, 1.0);
+        assert_eq!(r.min.y, 1.0);
+        assert_eq!(l.min, b.min);
+        assert_eq!(r.max, b.max);
+        // Out-of-range positions clamp.
+        let (l2, _) = b.split(Axis::X, -5.0);
+        assert_eq!(l2.max.x, 0.0);
+    }
+
+    #[test]
+    fn longest_axis() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 5.0, 2.0));
+        assert_eq!(b.longest_axis(), Axis::Y);
+    }
+
+    #[test]
+    fn normalize_maps_into_unit_cube() {
+        let b = Aabb::new(Vec3::new(-2.0, 0.0, 10.0), Vec3::new(2.0, 4.0, 10.0));
+        let n = b.normalize(Vec3::new(0.0, 1.0, 10.0));
+        assert_eq!(n, Vec3::new(0.5, 0.25, 0.5)); // degenerate z -> 0.5
+        // Out-of-bounds points clamp.
+        let n2 = b.normalize(Vec3::new(100.0, -5.0, 10.0));
+        assert_eq!(n2.x, 1.0);
+        assert_eq!(n2.y, 0.0);
+    }
+
+    #[test]
+    fn from_points() {
+        let pts = [Vec3::new(1.0, 2.0, 3.0), Vec3::new(-1.0, 0.0, 5.0)];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 3.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 5.0));
+        assert!(Aabb::from_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn measures() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.volume(), 6.0);
+        assert_eq!(b.surface_area(), 22.0);
+        assert_eq!(b.center(), Vec3::new(0.5, 1.0, 1.5));
+    }
+}

@@ -1,0 +1,27 @@
+//! Geometry primitives shared across the libbat workspace.
+//!
+//! This crate provides the small, dependency-free building blocks used by the
+//! aggregation tree, the Binned Attribute Tree layout, and the workload
+//! generators:
+//!
+//! - [`Vec3`]: a 3-component `f32` vector (particle positions are single
+//!   precision, matching the paper's data model of three single-precision
+//!   coordinates per particle).
+//! - [`Aabb`]: axis-aligned bounding boxes with the split/partition helpers
+//!   required by k-d tree construction.
+//! - [`morton`]: 63-bit (21 bits per axis) Morton codes used by the
+//!   Karras-style bottom-up shallow-tree build.
+//! - [`rng`]: small deterministic PRNGs (SplitMix64, xoshiro256**) so every
+//!   workload, sample, and test in the workspace is reproducible without
+//!   external dependencies.
+//! - [`sampling`]: the stratified sampling used to pick LOD particles for
+//!   treelet inner nodes (paper §III-C2).
+
+pub mod aabb;
+pub mod morton;
+pub mod rng;
+pub mod sampling;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use vec3::{Axis, Vec3};

@@ -1,0 +1,249 @@
+//! 63-bit Morton (Z-order) codes: 21 bits per axis, interleaved x-y-z.
+//!
+//! The BAT shallow tree (paper §III-C1) sorts particles by Morton code and
+//! runs Karras's bottom-up radix-tree construction over the sorted codes. We
+//! use 21 bits per axis so the full code fits a `u64` with the top bit clear,
+//! which also gives the radix build a sentinel-free 63-bit key space.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// Bits of resolution per axis.
+pub const BITS_PER_AXIS: u32 = 21;
+
+/// Total significant bits in a code (`3 * BITS_PER_AXIS`).
+pub const CODE_BITS: u32 = 3 * BITS_PER_AXIS;
+
+/// Number of cells per axis (`2^21`).
+pub const GRID_DIM: u32 = 1 << BITS_PER_AXIS;
+
+/// Spread the lower 21 bits of `v` so each lands 3 positions apart.
+///
+/// Standard magic-number bit spreading for 21-bit inputs.
+#[inline]
+pub fn expand_bits(v: u32) -> u64 {
+    let mut x = v as u64 & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`expand_bits`]: collect every third bit back into 21 bits.
+#[inline]
+pub fn compact_bits(mut x: u64) -> u32 {
+    x &= 0x1249249249249249;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x ^ (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x ^ (x >> 16)) & 0x1f00000000ffff;
+    x = (x ^ (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Interleave three 21-bit grid coordinates into a 63-bit Morton code.
+///
+/// Bit layout (LSB first): x0 y0 z0 x1 y1 z1 ... so the *most significant*
+/// interleaved bit belongs to x, matching the k-d interpretation where the
+/// first split is on x.
+#[inline]
+pub fn encode_grid(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x < GRID_DIM && y < GRID_DIM && z < GRID_DIM);
+    (expand_bits(x) << 2) | (expand_bits(y) << 1) | expand_bits(z)
+}
+
+/// Recover the three 21-bit grid coordinates from a Morton code.
+#[inline]
+pub fn decode_grid(code: u64) -> (u32, u32, u32) {
+    (
+        compact_bits(code >> 2),
+        compact_bits(code >> 1),
+        compact_bits(code),
+    )
+}
+
+/// Quantize a point in `bounds` to 21-bit grid coordinates.
+#[inline]
+pub fn quantize(p: Vec3, bounds: &Aabb) -> (u32, u32, u32) {
+    let n = bounds.normalize(p);
+    let q = |v: f32| -> u32 {
+        // Scale into [0, GRID_DIM) with the top edge mapping into the last cell.
+        let s = (v as f64 * GRID_DIM as f64) as u64;
+        (s.min(GRID_DIM as u64 - 1)) as u32
+    };
+    (q(n.x), q(n.y), q(n.z))
+}
+
+/// Morton code of a point relative to `bounds`.
+#[inline]
+pub fn encode_point(p: Vec3, bounds: &Aabb) -> u64 {
+    let (x, y, z) = quantize(p, bounds);
+    encode_grid(x, y, z)
+}
+
+/// Center of the grid cell a code names, mapped back into `bounds`.
+pub fn cell_center(code: u64, bounds: &Aabb) -> Vec3 {
+    let (x, y, z) = decode_grid(code);
+    let e = bounds.extent();
+    let f = |c: u32, lo: f32, ext: f32| lo + ((c as f32 + 0.5) / GRID_DIM as f32) * ext;
+    Vec3::new(
+        f(x, bounds.min.x, e.x),
+        f(y, bounds.min.y, e.y),
+        f(z, bounds.min.z, e.z),
+    )
+}
+
+/// The `bits`-long most-significant subprefix of a code, right-aligned.
+///
+/// The shallow tree (paper §III-C1) is built over merged subprefixes; 12 bits
+/// is the paper's default.
+#[inline]
+pub fn subprefix(code: u64, bits: u32) -> u64 {
+    debug_assert!(bits <= CODE_BITS);
+    if bits == 0 {
+        0
+    } else {
+        code >> (CODE_BITS - bits)
+    }
+}
+
+/// The axis-aligned box covered by a subprefix of `bits` bits inside the
+/// normalized unit cube of `bounds`.
+///
+/// Each bit of the prefix halves the box along successive axes (x, y, z, x,
+/// ...), exactly the k-d interpretation of the radix tree.
+pub fn subprefix_bounds(prefix: u64, bits: u32, bounds: &Aabb) -> Aabb {
+    let mut b = *bounds;
+    for i in 0..bits {
+        let bit = (prefix >> (bits - 1 - i)) & 1;
+        let axis = crate::vec3::Axis::from_index((i % 3) as usize);
+        let mid = 0.5 * (b.min[axis] + b.max[axis]);
+        if bit == 0 {
+            b.max[axis] = mid;
+        } else {
+            b.min[axis] = mid;
+        }
+    }
+    b
+}
+
+/// Sort `codes` (with parallel payload `idx`) by code. Stable, out of place.
+///
+/// Returns the permutation applied, i.e. `perm[i]` is the original index of
+/// the element now at position `i`.
+pub fn sort_by_code(codes: &mut Vec<u64>) -> Vec<u32> {
+    let n = codes.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by_key(|&i| codes[i as usize]);
+    let sorted: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
+    *codes = sorted;
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn expand_compact_roundtrip() {
+        for v in [0u32, 1, 2, 0x15_5555, 0x0a_aaaa, 0x1f_ffff] {
+            assert_eq!(compact_bits(expand_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = (rng.next_u64() % GRID_DIM as u64) as u32;
+            let y = (rng.next_u64() % GRID_DIM as u64) as u32;
+            let z = (rng.next_u64() % GRID_DIM as u64) as u32;
+            assert_eq!(decode_grid(encode_grid(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn top_bit_clear() {
+        let c = encode_grid(GRID_DIM - 1, GRID_DIM - 1, GRID_DIM - 1);
+        assert_eq!(c >> CODE_BITS, 0);
+        assert_eq!(c, (1u64 << CODE_BITS) - 1);
+    }
+
+    #[test]
+    fn x_is_most_significant() {
+        // A point in the right half (x high) must compare greater than any
+        // point in the left half, regardless of y/z.
+        let right = encode_grid(GRID_DIM / 2, 0, 0);
+        let left = encode_grid(GRID_DIM / 2 - 1, GRID_DIM - 1, GRID_DIM - 1);
+        assert!(right > left);
+    }
+
+    #[test]
+    fn quantize_edges() {
+        let b = Aabb::unit();
+        assert_eq!(quantize(Vec3::ZERO, &b), (0, 0, 0));
+        let (x, y, z) = quantize(Vec3::ONE, &b);
+        assert_eq!((x, y, z), (GRID_DIM - 1, GRID_DIM - 1, GRID_DIM - 1));
+    }
+
+    #[test]
+    fn cell_center_within_bounds() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, 1.0, 4.0));
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let p = Vec3::new(
+                -1.0 + 4.0 * rng.next_f32(),
+                rng.next_f32(),
+                2.0 + 2.0 * rng.next_f32(),
+            );
+            let c = encode_point(p, &b);
+            let q = cell_center(c, &b);
+            assert!(b.contains_point(q));
+            // The cell center must be close to the original point.
+            assert!((q - p).length() < 1e-3, "{q:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn morton_order_respects_space() {
+        // Points sharing a half-space on x sort together at the top level.
+        let b = Aabb::unit();
+        let lo = encode_point(Vec3::new(0.25, 0.9, 0.9), &b);
+        let hi = encode_point(Vec3::new(0.75, 0.1, 0.1), &b);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn subprefix_extraction() {
+        let c = encode_grid(GRID_DIM - 1, 0, 0);
+        // x bits are at positions 62, 59, 56... so the top 3 bits are 100.
+        assert_eq!(subprefix(c, 3), 0b100);
+        assert_eq!(subprefix(c, 0), 0);
+        assert_eq!(subprefix(c, CODE_BITS), c);
+    }
+
+    #[test]
+    fn subprefix_bounds_nest() {
+        let b = Aabb::unit();
+        let p = Vec3::new(0.8, 0.3, 0.6);
+        let code = encode_point(p, &b);
+        let mut prev = b;
+        for bits in 1..=12 {
+            let sb = subprefix_bounds(subprefix(code, bits), bits, &b);
+            assert!(prev.contains_box(&sb), "bits={bits}");
+            assert!(sb.contains_point(p), "bits={bits}");
+            prev = sb;
+        }
+    }
+
+    #[test]
+    fn sort_by_code_returns_permutation() {
+        let mut codes = vec![5u64, 1, 9, 3];
+        let perm = sort_by_code(&mut codes);
+        assert_eq!(codes, vec![1, 3, 5, 9]);
+        assert_eq!(perm, vec![1, 3, 0, 2]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Stratified sampling used to select LOD particles (paper §III-C2).
+//!
+//! When a treelet inner node is created, a fixed number of representative
+//! particles is *set aside* from the node's particle range — no duplication,
+//! no synthesized representatives. Stratified selection (one pick per equal
+//! stratum of the Morton-sorted range) keeps the coarse subset spatially
+//! spread across the node.
+
+use crate::rng::SplitMix64;
+
+/// Choose `k` indices from `0..n` by stratified sampling: the range is cut
+/// into `k` equal strata and one index is drawn uniformly from each.
+///
+/// Returns the indices in ascending order. When `k >= n`, returns all of
+/// `0..n` (every element is its own stratum).
+pub fn stratified_indices(n: usize, k: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut out = Vec::with_capacity(k);
+    for s in 0..k {
+        // Stratum s covers [s*n/k, (s+1)*n/k).
+        let lo = s * n / k;
+        let hi = (s + 1) * n / k;
+        debug_assert!(hi > lo);
+        let pick = lo + rng.next_below((hi - lo) as u64) as usize;
+        out.push(pick);
+    }
+    out
+}
+
+/// Partition `items` in place so the elements at `selected` (ascending,
+/// unique) occupy the front `selected.len()` positions, preserving the
+/// relative order of the selected elements. Returns the number moved.
+///
+/// Treelet construction uses this to carve each inner node's LOD particles
+/// off the front of its range before recursing on the remainder.
+pub fn partition_selected<T>(items: &mut [T], selected: &[usize]) -> usize {
+    debug_assert!(selected.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(selected.last().is_none_or(|&l| l < items.len()));
+    for (dst, &src) in selected.iter().enumerate() {
+        items.swap(dst, src);
+    }
+    selected.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cases() {
+        let mut rng = SplitMix64::new(1);
+        assert!(stratified_indices(0, 4, &mut rng).is_empty());
+        assert!(stratified_indices(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn oversample_returns_all() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(stratified_indices(3, 8, &mut rng), vec![0, 1, 2]);
+        assert_eq!(stratified_indices(3, 3, &mut rng), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn one_pick_per_stratum() {
+        let mut rng = SplitMix64::new(42);
+        let n = 1000;
+        let k = 10;
+        let picks = stratified_indices(n, k, &mut rng);
+        assert_eq!(picks.len(), k);
+        for (s, &p) in picks.iter().enumerate() {
+            assert!(p >= s * n / k && p < (s + 1) * n / k, "stratum {s} pick {p}");
+        }
+        // Ascending and unique follow from the strata being disjoint.
+        assert!(picks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn uneven_strata_all_nonempty() {
+        let mut rng = SplitMix64::new(7);
+        // 7 into 3 strata: sizes 2,3,2 — all valid.
+        let picks = stratified_indices(7, 3, &mut rng);
+        assert_eq!(picks.len(), 3);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]));
+        assert!(picks.iter().all(|&p| p < 7));
+    }
+
+    #[test]
+    fn partition_moves_selected_to_front() {
+        let mut v: Vec<i32> = (0..10).collect();
+        let sel = [1, 4, 7];
+        let k = partition_selected(&mut v, &sel);
+        assert_eq!(k, 3);
+        assert_eq!(&v[..3], &[1, 4, 7]);
+        // Remainder is a permutation of the unselected elements.
+        let mut rest: Vec<i32> = v[3..].to_vec();
+        rest.sort();
+        assert_eq!(rest, vec![0, 2, 3, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn partition_selected_at_front_is_noop() {
+        let mut v: Vec<i32> = (0..5).collect();
+        partition_selected(&mut v, &[0, 1]);
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = stratified_indices(500, 16, &mut SplitMix64::new(99));
+        let b = stratified_indices(500, 16, &mut SplitMix64::new(99));
+        assert_eq!(a, b);
+    }
+}

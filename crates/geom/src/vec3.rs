@@ -1,0 +1,341 @@
+//! 3-component single-precision vector and spatial axis labels.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub};
+
+/// One of the three spatial axes. Used to label k-d tree split planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Axis {
+    /// The x axis.
+    X = 0,
+    /// The y axis.
+    Y = 1,
+    /// The z axis.
+    Z = 2,
+}
+
+impl Axis {
+    /// All axes in order, for iteration over candidate split axes.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Convert a `0..3` index to an axis. Panics on out-of-range input.
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+
+    /// The `0..3` index of this axis.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// A 3-component `f32` vector.
+///
+/// Particle positions in the paper's data model are three single-precision
+/// floats; all spatial bookkeeping in the workspace uses this type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// All components one.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// All three components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Vec3 {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the sqrt when comparing distances).
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// The axis along which the vector has its largest component.
+    #[inline]
+    pub fn largest_axis(self) -> Axis {
+        if self.x >= self.y && self.x >= self.z {
+            Axis::X
+        } else if self.y >= self.z {
+            Axis::Y
+        } else {
+            Axis::Z
+        }
+    }
+
+    /// Component-wise clamp of each component into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Vec3, hi: Vec3) -> Vec3 {
+        self.max(lo).min(hi)
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// View as a fixed-size array (x, y, z).
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Build from a fixed-size array (x, y, z).
+    #[inline]
+    pub fn from_array(a: [f32; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Index<Axis> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, a: Axis) -> &f32 {
+        match a {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+            Axis::Z => &self.z,
+        }
+    }
+}
+
+impl IndexMut<Axis> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, a: Axis) -> &mut f32 {
+        match a {
+            Axis::X => &mut self.x,
+            Axis::Y => &mut self.y,
+            Axis::Z => &mut self.z,
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, i: usize) -> &f32 {
+        self.index(Axis::from_index(i))
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        self.index_mut(Axis::from_index(i))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Mul<Vec3> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Div<Vec3> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x / o.x, self.y / o.y, self.z / o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_roundtrip() {
+        for i in 0..3 {
+            assert_eq!(Axis::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn axis_out_of_range_panics() {
+        let _ = Axis::from_index(3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+        assert_eq!(b / a, Vec3::new(4.0, 2.5, 2.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 3.0));
+        assert_eq!(
+            Vec3::new(-1.0, 0.5, 9.0).clamp(Vec3::ZERO, Vec3::ONE),
+            Vec3::new(0.0, 0.5, 1.0)
+        );
+    }
+
+    #[test]
+    fn largest_axis_picks_dominant_component() {
+        assert_eq!(Vec3::new(3.0, 1.0, 2.0).largest_axis(), Axis::X);
+        assert_eq!(Vec3::new(1.0, 3.0, 2.0).largest_axis(), Axis::Y);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).largest_axis(), Axis::Z);
+        // Ties break toward the earlier axis, deterministically.
+        assert_eq!(Vec3::splat(1.0).largest_axis(), Axis::X);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[Axis::Y], 2.0);
+        assert_eq!(v[2], 3.0);
+        v[Axis::Z] = 7.0;
+        assert_eq!(v.z, 7.0);
+        v[0] = -1.0;
+        assert_eq!(v.x, -1.0);
+    }
+
+    #[test]
+    fn length() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

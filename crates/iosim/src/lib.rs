@@ -1,0 +1,40 @@
+//! Discrete-event storage and network performance model.
+//!
+//! The paper's evaluation (§VI-A) runs on two supercomputers — Stampede2
+//! (Lustre scratch, 330 GB/s peak, 100 Gb/s fat-tree) and Summit (IBM
+//! Spectrum Scale/GPFS, 2.5 TB/s peak, 184 Gb/s fat-tree) — at up to 24k and
+//! 43k ranks. Neither machine is available here, so this crate models the
+//! first-order contention effects that shape the paper's scaling curves:
+//!
+//! - a **metadata server** that serializes file creates (the file-per-process
+//!   killer at scale);
+//! - **storage targets** (Lustre OSTs / GPFS NSD servers) with finite
+//!   per-target bandwidth, over which striped writes are distributed;
+//! - **lock/token management** for single-shared-file writes, whose overhead
+//!   grows with the number of writers;
+//! - **per-node NICs** with finite injection bandwidth, shared by all ranks
+//!   on a node, plus an aggregate network core capacity with a fat-tree
+//!   oversubscription factor.
+//!
+//! All of these are expressed through a tiny queueing engine ([`des`]): each
+//! resource is a FIFO server with a service rate and per-op latency; a job's
+//! completion time emerges from the queue states. The *plans* fed to the
+//! model (which rank sends how many bytes to which aggregator, which files
+//! get created at what size) come from running the paper's **real**
+//! algorithms — only the durations of I/O and network operations are
+//! modeled. See DESIGN.md §2 for the substitution argument.
+//!
+//! Absolute numbers are not the goal (and cannot be, off-machine); the
+//! model's job is to reproduce *shapes*: who wins, roughly by how much, and
+//! where the crossovers fall.
+
+pub mod des;
+pub mod network;
+pub mod phases;
+pub mod profile;
+pub mod storage;
+
+pub use network::NetworkModel;
+pub use phases::{PhaseTimes, WritePhase};
+pub use profile::{ComputeProfile, StorageKind, StorageProfile, SystemProfile};
+pub use storage::StorageModel;

@@ -1,0 +1,179 @@
+//! Fat-tree network model: per-node NICs plus a shared core.
+//!
+//! A transfer from node A to node B passes through three FIFO stages: A's
+//! injection NIC, the network core (sized at `nodes * nic_bw /
+//! oversubscription`), and B's ejection NIC. Aggregation traffic — many
+//! ranks funneling into few aggregators — therefore contends exactly where
+//! it does on a real machine: at the receiving aggregator's NIC, shared by
+//! every aggregator placed on that node. This is what makes the even
+//! aggregator placement of paper §III-A matter in the model.
+
+use crate::des::{Server, ServerPool};
+use crate::profile::SystemProfile;
+
+/// Queueing state for one cluster network of a given node count.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// One injection/ejection NIC per node (full duplex approximated as a
+    /// single queue: aggregation phases are strongly unidirectional).
+    nics: ServerPool,
+    /// Aggregate core capacity.
+    core: Server,
+    /// Per-message latency, seconds.
+    latency: f64,
+    /// Intra-node transfer bandwidth, bytes/s.
+    memcpy_bw: f64,
+    cores_per_node: usize,
+}
+
+impl NetworkModel {
+    /// Build the network for a run spanning `nodes` nodes.
+    pub fn new(profile: &SystemProfile, nodes: usize) -> NetworkModel {
+        let nodes = nodes.max(1);
+        let net = &profile.network;
+        let core_rate = (nodes as f64 * net.nic_bw / net.oversubscription).max(net.nic_bw);
+        NetworkModel {
+            nics: ServerPool::new(nodes, net.nic_bw, 0.0),
+            core: Server::new(core_rate, 0.0),
+            latency: net.latency,
+            memcpy_bw: net.memcpy_bw,
+            cores_per_node: profile.cores_per_node,
+        }
+    }
+
+    /// The node a rank lives on (block placement).
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Submit a rank-to-rank transfer of `bytes` arriving at `arrival`;
+    /// returns the completion time.
+    pub fn transfer(&mut self, src_rank: usize, dst_rank: usize, arrival: f64, bytes: u64) -> f64 {
+        let src = self.node_of(src_rank);
+        let dst = self.node_of(dst_rank);
+        if src == dst {
+            // Intra-node: shared-memory copy, no NIC involvement.
+            return arrival + self.latency + bytes as f64 / self.memcpy_bw;
+        }
+        // Charge the bytes to every stage's queue (so each resource's
+        // contention accumulates) but let the stages overlap: large messages
+        // pipeline through the network, so the completion is governed by the
+        // most backlogged stage, not the sum of stages.
+        let b = bytes as f64;
+        let t1 = self.nics.submit_to(src, arrival, b);
+        let t2 = self.core.submit(arrival, b);
+        let t3 = self.nics.submit_to(dst, arrival, b);
+        t1.max(t2).max(t3) + self.latency
+    }
+
+    /// Charge `bytes` through one node's NIC without crossing the core
+    /// (e.g. storage traffic leaving an aggregator node). Returns completion.
+    pub fn inject(&mut self, rank: usize, arrival: f64, bytes: u64) -> f64 {
+        let node = self.node_of(rank);
+        self.nics.submit_to(node, arrival, bytes as f64)
+    }
+
+    /// Completion time of everything submitted so far.
+    pub fn drain_time(&self) -> f64 {
+        self.nics.drain_time().max(self.core.free_at())
+    }
+
+    /// Reset all queues for a new phase.
+    pub fn reset(&mut self) {
+        self.nics.reset();
+        self.core.reset();
+    }
+
+    /// Per-message latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Model a small-message collective rooted at rank 0 (gather or scatter
+    /// of per-rank control structures): latency-dominated, log-depth fan-in
+    /// plus serial processing of `ranks * bytes_per_rank` at the root NIC.
+    pub fn control_collective(&mut self, ranks: usize, bytes_per_rank: u64, arrival: f64) -> f64 {
+        if ranks <= 1 {
+            return arrival;
+        }
+        let depth = (ranks as f64).log2().ceil();
+        let root_bytes = ranks as f64 * bytes_per_rank as f64;
+        let t = self.nics.submit_to(0, arrival, root_bytes);
+        t + depth * self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemProfile;
+
+    fn model(nodes: usize) -> NetworkModel {
+        NetworkModel::new(&SystemProfile::stampede2(), nodes)
+    }
+
+    #[test]
+    fn intra_node_avoids_nic() {
+        let mut m = model(2);
+        // Ranks 0 and 1 are on node 0.
+        let t = m.transfer(0, 1, 0.0, 10_000_000_000);
+        assert!(t < 1.1, "10 GB at 10 GB/s memcpy ≈ 1s, got {t}");
+        assert_eq!(m.nics.drain_time(), 0.0, "NICs untouched");
+    }
+
+    #[test]
+    fn inter_node_single_transfer_rate() {
+        let mut m = model(4);
+        let t = m.transfer(0, 48, 0.0, 12_500_000_000);
+        // 12.5 GB through 12.5 GB/s NICs with pipelined stages ≈ 1 s.
+        assert!(t > 0.9 && t < 1.2, "got {t}");
+    }
+
+    #[test]
+    fn funnel_into_one_aggregator_contends_at_receiver() {
+        // 47 remote senders to one receiver: receiver NIC serializes.
+        let mut m = model(48);
+        let bytes = 125_000_000u64; // 0.125 GB each → 5.875 GB total at receiver
+        let mut done = 0.0f64;
+        for src_node in 1..48 {
+            let t = m.transfer(src_node * 48, 0, 0.0, bytes);
+            done = done.max(t);
+        }
+        // Receiver NIC: 47 * 0.125 GB / 12.5 GB/s = 0.47 s lower bound.
+        assert!(done >= 0.47, "got {done}");
+        assert!(done < 1.0, "got {done}");
+    }
+
+    #[test]
+    fn spreading_receivers_across_nodes_beats_oversubscribing_one() {
+        let bytes = 125_000_000u64;
+        // Case 1: two aggregators on the same node.
+        let mut m1 = model(16);
+        let mut t1 = 0.0f64;
+        for src_node in 2..16 {
+            t1 = t1.max(m1.transfer(src_node * 48, 0, 0.0, bytes));
+            t1 = t1.max(m1.transfer(src_node * 48 + 1, 1, 0.0, bytes));
+        }
+        // Case 2: aggregators on different nodes.
+        let mut m2 = model(16);
+        let mut t2 = 0.0f64;
+        for src_node in 2..16 {
+            t2 = t2.max(m2.transfer(src_node * 48, 0, 0.0, bytes));
+            t2 = t2.max(m2.transfer(src_node * 48 + 1, 48, 0.0, bytes));
+        }
+        assert!(
+            t2 < t1 * 0.7,
+            "spread placement should be much faster: same-node {t1}, spread {t2}"
+        );
+    }
+
+    #[test]
+    fn control_collective_scales_gently() {
+        let mut m = model(512);
+        let t1 = m.control_collective(1536, 32, 0.0);
+        m.reset();
+        let t2 = m.control_collective(24576, 32, 0.0);
+        assert!(t2 > t1);
+        assert!(t2 < 0.01, "control messages stay sub-10ms, got {t2}");
+    }
+}

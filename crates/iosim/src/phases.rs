@@ -1,0 +1,202 @@
+//! Per-phase timing breakdowns for the two-phase I/O pipeline.
+//!
+//! Figures 6, 10, and 12 of the paper are component breakdowns of the write
+//! pipeline. Both the executed pipelines (real rank threads, wall-clock
+//! timers) and the modeled pipelines (queueing completions) report their
+//! timings through this one structure, so the figure harnesses don't care
+//! which mode produced the numbers.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The components of a two-phase write, in pipeline order (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePhase {
+    /// Gather counts/bounds at rank 0 and build the aggregation tree (§III-A).
+    TreeBuild,
+    /// Scatter aggregator assignments to all ranks.
+    Scatter,
+    /// Transfer particle data to aggregators (§III-B).
+    Transfer,
+    /// Construct the BAT layout on each aggregator (§III-C).
+    LayoutBuild,
+    /// Write aggregator files to storage.
+    FileWrite,
+    /// Gather root bitmaps/ranges and write top-level metadata (§III-D).
+    Metadata,
+}
+
+impl WritePhase {
+    /// All phases in pipeline order.
+    pub const ALL: [WritePhase; 6] = [
+        WritePhase::TreeBuild,
+        WritePhase::Scatter,
+        WritePhase::Transfer,
+        WritePhase::LayoutBuild,
+        WritePhase::FileWrite,
+        WritePhase::Metadata,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WritePhase::TreeBuild => "tree_build",
+            WritePhase::Scatter => "scatter",
+            WritePhase::Transfer => "transfer",
+            WritePhase::LayoutBuild => "layout_build",
+            WritePhase::FileWrite => "file_write",
+            WritePhase::Metadata => "metadata",
+        }
+    }
+}
+
+impl fmt::Display for WritePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Seconds spent in each pipeline component, plus the end-to-end total.
+///
+/// The total is *not* necessarily the sum of the components: phases overlap
+/// (e.g. one aggregator can be writing while another still builds), so the
+/// executed pipeline records the slowest rank's wall-clock per phase and the
+/// critical-path total separately.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTimes {
+    times: [f64; 6],
+    /// End-to-end seconds for the whole operation.
+    pub total: f64,
+}
+
+impl PhaseTimes {
+    /// All-zero breakdown.
+    pub fn new() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    /// Sum of the recorded component times.
+    pub fn component_sum(&self) -> f64 {
+        self.times.iter().sum()
+    }
+
+    /// Achieved bandwidth in bytes/second for a payload of `bytes`.
+    pub fn bandwidth(&self, bytes: u64) -> f64 {
+        if self.total > 0.0 {
+            bytes as f64 / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the component sum spent in `phase` (0 when empty).
+    pub fn fraction(&self, phase: WritePhase) -> f64 {
+        let sum = self.component_sum();
+        if sum > 0.0 {
+            self[phase] / sum
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge with another breakdown, keeping the max of each component and
+    /// of the total (the slowest-rank view of a collective operation).
+    pub fn max_merge(&mut self, other: &PhaseTimes) {
+        for i in 0..self.times.len() {
+            self.times[i] = self.times[i].max(other.times[i]);
+        }
+        self.total = self.total.max(other.total);
+    }
+
+    /// Accumulate another breakdown (for averaging across repetitions).
+    pub fn add(&mut self, other: &PhaseTimes) {
+        for i in 0..self.times.len() {
+            self.times[i] += other.times[i];
+        }
+        self.total += other.total;
+    }
+
+    /// Divide every component (for averaging across repetitions).
+    pub fn scale(&mut self, factor: f64) {
+        for t in &mut self.times {
+            *t *= factor;
+        }
+        self.total *= factor;
+    }
+}
+
+impl Index<WritePhase> for PhaseTimes {
+    type Output = f64;
+    fn index(&self, p: WritePhase) -> &f64 {
+        &self.times[WritePhase::ALL.iter().position(|&q| q == p).expect("phase")]
+    }
+}
+
+impl IndexMut<WritePhase> for PhaseTimes {
+    fn index_mut(&mut self, p: WritePhase) -> &mut f64 {
+        &mut self.times[WritePhase::ALL.iter().position(|&q| q == p).expect("phase")]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let mut pt = PhaseTimes::new();
+        pt[WritePhase::Transfer] = 1.5;
+        pt[WritePhase::FileWrite] = 2.5;
+        assert_eq!(pt[WritePhase::Transfer], 1.5);
+        assert_eq!(pt.component_sum(), 4.0);
+    }
+
+    #[test]
+    fn bandwidth_and_fraction() {
+        let mut pt = PhaseTimes::new();
+        pt[WritePhase::FileWrite] = 3.0;
+        pt[WritePhase::Transfer] = 1.0;
+        pt.total = 4.0;
+        assert_eq!(pt.bandwidth(8), 2.0);
+        assert_eq!(pt.fraction(WritePhase::FileWrite), 0.75);
+        let empty = PhaseTimes::new();
+        assert_eq!(empty.bandwidth(100), 0.0);
+        assert_eq!(empty.fraction(WritePhase::Metadata), 0.0);
+    }
+
+    #[test]
+    fn max_merge_takes_slowest() {
+        let mut a = PhaseTimes::new();
+        a[WritePhase::Transfer] = 1.0;
+        a.total = 3.0;
+        let mut b = PhaseTimes::new();
+        b[WritePhase::Transfer] = 2.0;
+        b[WritePhase::Metadata] = 0.5;
+        b.total = 2.5;
+        a.max_merge(&b);
+        assert_eq!(a[WritePhase::Transfer], 2.0);
+        assert_eq!(a[WritePhase::Metadata], 0.5);
+        assert_eq!(a.total, 3.0);
+    }
+
+    #[test]
+    fn averaging() {
+        let mut acc = PhaseTimes::new();
+        for i in 1..=3 {
+            let mut pt = PhaseTimes::new();
+            pt[WritePhase::FileWrite] = i as f64;
+            pt.total = i as f64;
+            acc.add(&pt);
+        }
+        acc.scale(1.0 / 3.0);
+        assert_eq!(acc[WritePhase::FileWrite], 2.0);
+        assert_eq!(acc.total, 2.0);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            WritePhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), WritePhase::ALL.len());
+    }
+}

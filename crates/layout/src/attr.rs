@@ -1,0 +1,297 @@
+//! Attribute descriptors and typed attribute arrays.
+//!
+//! The paper's data model (§III, §VI-A1) is positions as three `f32`s plus a
+//! set of named per-particle attributes, typically `f64` (the uniform
+//! benchmark uses 14 doubles, the Coal Boiler 7, the Dam Break 4). The API
+//! follows the array-based attribute storage model of HDF5/ADIOS/Silo: one
+//! SoA array per attribute.
+
+use bat_wire::{Decoder, Encoder, WireError, WireResult};
+
+/// Element type of an attribute array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AttributeType {
+    /// 32-bit float elements.
+    F32 = 0,
+    /// 64-bit float elements.
+    F64 = 1,
+}
+
+impl AttributeType {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            AttributeType::F32 => 4,
+            AttributeType::F64 => 8,
+        }
+    }
+
+    /// Decode from a wire tag.
+    pub fn from_tag(tag: u8) -> WireResult<AttributeType> {
+        match tag {
+            0 => Ok(AttributeType::F32),
+            1 => Ok(AttributeType::F64),
+            t => Err(WireError::BadTag { what: "attribute type", tag: t as u64 }),
+        }
+    }
+}
+
+/// Name and type of one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDesc {
+    /// Attribute name (e.g. "temperature").
+    pub name: String,
+    /// Element type.
+    pub dtype: AttributeType,
+}
+
+impl AttributeDesc {
+    /// Construct from name and element type.
+    pub fn new(name: impl Into<String>, dtype: AttributeType) -> AttributeDesc {
+        AttributeDesc { name: name.into(), dtype }
+    }
+
+    /// Convenience: an `f64` attribute (the common case in the paper).
+    pub fn f64(name: impl Into<String>) -> AttributeDesc {
+        AttributeDesc::new(name, AttributeType::F64)
+    }
+
+    /// Convenience: an `f32` attribute.
+    pub fn f32(name: impl Into<String>) -> AttributeDesc {
+        AttributeDesc::new(name, AttributeType::F32)
+    }
+
+    /// Serialize name + type tag.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_u8(self.dtype as u8);
+    }
+
+    /// Inverse of [`AttributeDesc::encode`].
+    pub fn decode(dec: &mut Decoder) -> WireResult<AttributeDesc> {
+        let name = dec.get_str("attribute name")?;
+        let dtype = AttributeType::from_tag(dec.get_u8("attribute type")?)?;
+        Ok(AttributeDesc { name, dtype })
+    }
+}
+
+/// A typed SoA attribute array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeArray {
+    /// 32-bit float elements.
+    F32(Vec<f32>),
+    /// 64-bit float elements.
+    F64(Vec<f64>),
+}
+
+impl AttributeArray {
+    /// Empty array of the given type.
+    pub fn new(dtype: AttributeType) -> AttributeArray {
+        match dtype {
+            AttributeType::F32 => AttributeArray::F32(Vec::new()),
+            AttributeType::F64 => AttributeArray::F64(Vec::new()),
+        }
+    }
+
+    /// Empty array with reserved capacity.
+    pub fn with_capacity(dtype: AttributeType, cap: usize) -> AttributeArray {
+        match dtype {
+            AttributeType::F32 => AttributeArray::F32(Vec::with_capacity(cap)),
+            AttributeType::F64 => AttributeArray::F64(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Element type of this array.
+    pub fn dtype(&self) -> AttributeType {
+        match self {
+            AttributeArray::F32(_) => AttributeType::F32,
+            AttributeArray::F64(_) => AttributeType::F64,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            AttributeArray::F32(v) => v.len(),
+            AttributeArray::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element `i` widened to `f64`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            AttributeArray::F32(v) => v[i] as f64,
+            AttributeArray::F64(v) => v[i],
+        }
+    }
+
+    /// Append a value (narrowed for `f32` arrays).
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        match self {
+            AttributeArray::F32(a) => a.push(v as f32),
+            AttributeArray::F64(a) => a.push(v),
+        }
+    }
+
+    /// Append all elements of `other`. Panics on type mismatch.
+    pub fn extend_from(&mut self, other: &AttributeArray) {
+        match (self, other) {
+            (AttributeArray::F32(a), AttributeArray::F32(b)) => a.extend_from_slice(b),
+            (AttributeArray::F64(a), AttributeArray::F64(b)) => a.extend_from_slice(b),
+            _ => panic!("attribute type mismatch in extend_from"),
+        }
+    }
+
+    /// `(min, max)` over the array, ignoring NaNs; `(0, 0)` when empty or
+    /// all-NaN. This is the aggregator-local range used for bitmap binning.
+    pub fn value_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        match self {
+            AttributeArray::F32(v) => {
+                for &x in v {
+                    if !x.is_nan() {
+                        lo = lo.min(x as f64);
+                        hi = hi.max(x as f64);
+                    }
+                }
+            }
+            AttributeArray::F64(v) => {
+                for &x in v {
+                    if !x.is_nan() {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                }
+            }
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Reorder so element `i` of the output is element `perm[i]` of the input.
+    pub fn permute(&self, perm: &[u32]) -> AttributeArray {
+        match self {
+            AttributeArray::F32(v) => {
+                AttributeArray::F32(perm.iter().map(|&i| v[i as usize]).collect())
+            }
+            AttributeArray::F64(v) => {
+                AttributeArray::F64(perm.iter().map(|&i| v[i as usize]).collect())
+            }
+        }
+    }
+
+    /// Copy the subrange `[start, start+len)`.
+    pub fn slice(&self, start: usize, len: usize) -> AttributeArray {
+        match self {
+            AttributeArray::F32(v) => AttributeArray::F32(v[start..start + len].to_vec()),
+            AttributeArray::F64(v) => AttributeArray::F64(v[start..start + len].to_vec()),
+        }
+    }
+
+    /// Serialized size in bytes (without length prefix).
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.dtype().size()
+    }
+
+    /// Encode the raw element data (length-prefixed).
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            AttributeArray::F32(v) => enc.put_f32_slice(v),
+            AttributeArray::F64(v) => enc.put_f64_slice(v),
+        }
+    }
+
+    /// Decode raw element data of a known type.
+    pub fn decode(dec: &mut Decoder, dtype: AttributeType) -> WireResult<AttributeArray> {
+        Ok(match dtype {
+            AttributeType::F32 => AttributeArray::F32(dec.get_f32_vec("attribute f32 data")?),
+            AttributeType::F64 => AttributeArray::F64(dec.get_f64_vec("attribute f64 data")?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_roundtrip() {
+        let d = AttributeDesc::f64("velocity_x");
+        let mut e = Encoder::new();
+        d.encode(&mut e);
+        let buf = e.finish();
+        let out = AttributeDesc::decode(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(out, d);
+    }
+
+    #[test]
+    fn bad_type_tag_rejected() {
+        assert!(AttributeType::from_tag(7).is_err());
+    }
+
+    #[test]
+    fn push_get_widen() {
+        let mut a = AttributeArray::new(AttributeType::F32);
+        a.push(1.5);
+        a.push(2.5);
+        assert_eq!(a.get(1), 2.5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.byte_size(), 8);
+        let mut b = AttributeArray::new(AttributeType::F64);
+        b.push(std::f64::consts::PI);
+        assert_eq!(b.get(0), std::f64::consts::PI);
+        assert_eq!(b.byte_size(), 8);
+    }
+
+    #[test]
+    fn value_range_ignores_nan() {
+        let a = AttributeArray::F64(vec![3.0, f64::NAN, -1.0, 7.0]);
+        assert_eq!(a.value_range(), (-1.0, 7.0));
+        let empty = AttributeArray::new(AttributeType::F64);
+        assert_eq!(empty.value_range(), (0.0, 0.0));
+        let all_nan = AttributeArray::F64(vec![f64::NAN]);
+        assert_eq!(all_nan.value_range(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn permute_and_slice() {
+        let a = AttributeArray::F64(vec![10.0, 20.0, 30.0]);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p, AttributeArray::F64(vec![30.0, 10.0, 20.0]));
+        let s = a.slice(1, 2);
+        assert_eq!(s, AttributeArray::F64(vec![20.0, 30.0]));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        for arr in [
+            AttributeArray::F32(vec![1.0, -2.0]),
+            AttributeArray::F64(vec![4.0, 5.0, 6.0]),
+        ] {
+            let mut e = Encoder::new();
+            arr.encode(&mut e);
+            let buf = e.finish();
+            let out = AttributeArray::decode(&mut Decoder::new(&buf), arr.dtype()).unwrap();
+            assert_eq!(out, arr);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn extend_type_mismatch_panics() {
+        let mut a = AttributeArray::new(AttributeType::F32);
+        a.extend_from(&AttributeArray::new(AttributeType::F64));
+    }
+}

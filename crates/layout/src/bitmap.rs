@@ -1,0 +1,251 @@
+//! 32-bit binned bitmap indices (paper §III-C2).
+//!
+//! Unlike classic bitmap indexing (FastBit et al.) where index size grows
+//! with cardinality, the BAT fixes every bitmap at 32 bits: bit `i` covers
+//! the `i`-th of 32 equal-width bins spanning the *aggregator-local* value
+//! range of an attribute. The local range is usually much tighter than the
+//! global one (simulation attributes are spatially correlated), recovering
+//! precision that a fixed 32-bin global index would lose.
+//!
+//! Bitmaps merge with bitwise OR (parent = union of children) and test
+//! against a query with bitwise AND — a node whose AND with the query mask
+//! is zero cannot contain a matching particle, so its subtree is skipped.
+//! Bins guarantee **no false negatives**; a final exact check on candidate
+//! particles removes false positives (paper §V-A).
+
+use bat_wire::{Decoder, Encoder, WireResult};
+
+/// Number of bins in every bitmap.
+pub const NUM_BINS: u32 = 32;
+
+/// A 32-bin bitmap index over one attribute's local value range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bitmap32(pub u32);
+
+impl Bitmap32 {
+    /// The empty bitmap (no bins occupied).
+    pub const EMPTY: Bitmap32 = Bitmap32(0);
+    /// All bins occupied — matches any query; the conservative fallback.
+    pub const FULL: Bitmap32 = Bitmap32(u32::MAX);
+
+    /// Which bin a value falls into for a `[lo, hi]` range. Values outside
+    /// the range clamp to the edge bins; a degenerate range maps everything
+    /// to bin 0. NaNs clamp to bin 0 (they are present but unordered; the
+    /// exact-check pass resolves them).
+    #[inline]
+    pub fn bin_of(value: f64, lo: f64, hi: f64) -> u32 {
+        if hi <= lo || !value.is_finite() {
+            return 0;
+        }
+        let t = (value - lo) / (hi - lo);
+        let b = (t * NUM_BINS as f64).floor();
+        if b < 0.0 {
+            0
+        } else if b >= NUM_BINS as f64 {
+            NUM_BINS - 1
+        } else {
+            b as u32
+        }
+    }
+
+    /// Set the bin containing `value`.
+    #[inline]
+    pub fn insert(&mut self, value: f64, lo: f64, hi: f64) {
+        self.0 |= 1 << Self::bin_of(value, lo, hi);
+    }
+
+    /// Bitmap of a value collection.
+    pub fn from_values(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64) -> Bitmap32 {
+        let mut bm = Bitmap32::EMPTY;
+        for v in values {
+            bm.insert(v, lo, hi);
+        }
+        bm
+    }
+
+    /// Union (parent-from-children merge).
+    #[inline]
+    pub fn or(self, other: Bitmap32) -> Bitmap32 {
+        Bitmap32(self.0 | other.0)
+    }
+
+    /// True when this bitmap shares at least one occupied bin with `query` —
+    /// i.e. the node *may* contain a match and must be descended.
+    #[inline]
+    pub fn overlaps(self, query: Bitmap32) -> bool {
+        self.0 & query.0 != 0
+    }
+
+    /// Number of occupied bins.
+    #[inline]
+    pub fn count_bins(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The query mask for values in `[qlo, qhi]` against a bitmap built over
+    /// `[lo, hi]`: every bin that intersects the query interval is set.
+    ///
+    /// When the query interval misses the local range entirely, the mask is
+    /// empty (no node can match). When the local range is degenerate, the
+    /// mask is bin 0 if the query covers the single value, else empty.
+    pub fn query_mask(qlo: f64, qhi: f64, lo: f64, hi: f64) -> Bitmap32 {
+        if qhi < qlo {
+            return Bitmap32::EMPTY;
+        }
+        if hi <= lo {
+            // Degenerate local range: all values are `lo`.
+            return if qlo <= lo && lo <= qhi { Bitmap32(1) } else { Bitmap32::EMPTY };
+        }
+        if qhi < lo || qlo > hi {
+            return Bitmap32::EMPTY;
+        }
+        let first = Self::bin_of(qlo.max(lo), lo, hi);
+        let last = Self::bin_of(qhi.min(hi), lo, hi);
+        let mut bm = 0u32;
+        for b in first..=last {
+            bm |= 1 << b;
+        }
+        Bitmap32(bm)
+    }
+
+    /// Remap a bitmap built over `(from_lo, from_hi)` onto bins over
+    /// `(to_lo, to_hi)`: every occupied source bin marks all target bins its
+    /// value span overlaps. Used when rank 0 lifts each aggregator's root
+    /// bitmaps from the local range to the global range (paper §III-D).
+    /// Conservative: never loses occupancy, may widen it.
+    pub fn remap(self, from: (f64, f64), to: (f64, f64)) -> Bitmap32 {
+        let (flo, fhi) = from;
+        let (tlo, thi) = to;
+        if self.0 == 0 {
+            return Bitmap32::EMPTY;
+        }
+        if fhi <= flo {
+            // Single-valued source: mark the target bin containing it.
+            return Bitmap32(1 << Self::bin_of(flo, tlo, thi));
+        }
+        let fw = (fhi - flo) / NUM_BINS as f64;
+        let mut out = Bitmap32::EMPTY;
+        for b in 0..NUM_BINS {
+            if self.0 & (1 << b) != 0 {
+                let span_lo = flo + b as f64 * fw;
+                let span_hi = span_lo + fw;
+                out = out.or(Self::query_mask(span_lo, span_hi, tlo, thi));
+            }
+        }
+        out
+    }
+
+    /// Serialize the raw 32 bits.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+
+    /// Inverse of [`Bitmap32::encode`].
+    pub fn decode(dec: &mut Decoder) -> WireResult<Bitmap32> {
+        Ok(Bitmap32(dec.get_u32("bitmap")?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_edges() {
+        assert_eq!(Bitmap32::bin_of(0.0, 0.0, 32.0), 0);
+        assert_eq!(Bitmap32::bin_of(1.0, 0.0, 32.0), 1);
+        assert_eq!(Bitmap32::bin_of(31.999, 0.0, 32.0), 31);
+        assert_eq!(Bitmap32::bin_of(32.0, 0.0, 32.0), 31); // top edge inclusive
+        assert_eq!(Bitmap32::bin_of(-5.0, 0.0, 32.0), 0); // clamps
+        assert_eq!(Bitmap32::bin_of(99.0, 0.0, 32.0), 31); // clamps
+        assert_eq!(Bitmap32::bin_of(7.0, 5.0, 5.0), 0); // degenerate range
+        assert_eq!(Bitmap32::bin_of(f64::NAN, 0.0, 1.0), 0);
+    }
+
+    #[test]
+    fn from_values_and_count() {
+        let bm = Bitmap32::from_values([0.0, 0.5, 16.5, 31.5], 0.0, 32.0);
+        assert_eq!(bm.count_bins(), 3); // 0.0 and 0.5 share bin 0
+        assert!(bm.overlaps(Bitmap32(1)));
+        assert!(!bm.overlaps(Bitmap32(1 << 5)));
+    }
+
+    #[test]
+    fn or_merges() {
+        let a = Bitmap32(0b0011);
+        let b = Bitmap32(0b0110);
+        assert_eq!(a.or(b), Bitmap32(0b0111));
+    }
+
+    #[test]
+    fn query_mask_covers_interval() {
+        let m = Bitmap32::query_mask(8.0, 16.0, 0.0, 32.0);
+        // Bins 8..=16 (bin 16 intersects at its left edge).
+        for b in 8..=16 {
+            assert!(m.0 & (1 << b) != 0, "bin {b}");
+        }
+        assert_eq!(m.count_bins(), 9);
+    }
+
+    #[test]
+    fn query_mask_disjoint_is_empty() {
+        assert_eq!(Bitmap32::query_mask(100.0, 200.0, 0.0, 32.0), Bitmap32::EMPTY);
+        assert_eq!(Bitmap32::query_mask(-10.0, -1.0, 0.0, 32.0), Bitmap32::EMPTY);
+        assert_eq!(Bitmap32::query_mask(5.0, 2.0, 0.0, 32.0), Bitmap32::EMPTY);
+    }
+
+    #[test]
+    fn query_mask_degenerate_range() {
+        assert_eq!(Bitmap32::query_mask(4.0, 6.0, 5.0, 5.0), Bitmap32(1));
+        assert_eq!(Bitmap32::query_mask(6.0, 7.0, 5.0, 5.0), Bitmap32::EMPTY);
+    }
+
+    #[test]
+    fn no_false_negatives_property() {
+        // Any value inserted must be matched by any query interval that
+        // contains it.
+        let mut rng = bat_geom::rng::SplitMix64::new(17);
+        for _ in 0..2000 {
+            let lo = rng.next_f64() * 10.0 - 5.0;
+            let hi = lo + rng.next_f64() * 20.0 + 1e-6;
+            let v = lo + rng.next_f64() * (hi - lo);
+            let bm = Bitmap32::from_values([v], lo, hi);
+            let qlo = v - rng.next_f64();
+            let qhi = v + rng.next_f64();
+            let mask = Bitmap32::query_mask(qlo, qhi, lo, hi);
+            assert!(bm.overlaps(mask), "v={v} in [{qlo},{qhi}] over [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn remap_is_conservative() {
+        // Values binned over a local range, remapped to global, must still
+        // match queries phrased over the global range.
+        let mut rng = bat_geom::rng::SplitMix64::new(23);
+        for _ in 0..2000 {
+            let glo = -100.0;
+            let ghi = 100.0;
+            let llo = rng.next_f64() * 50.0 - 50.0;
+            let lhi = llo + rng.next_f64() * 50.0 + 1e-6;
+            let v = llo + rng.next_f64() * (lhi - llo);
+            let local = Bitmap32::from_values([v], llo, lhi);
+            let global = local.remap((llo, lhi), (glo, ghi));
+            let mask = Bitmap32::query_mask(v - 0.5, v + 0.5, glo, ghi);
+            assert!(global.overlaps(mask), "v={v} local=[{llo},{lhi}]");
+        }
+    }
+
+    #[test]
+    fn remap_empty_stays_empty() {
+        assert_eq!(Bitmap32::EMPTY.remap((0.0, 1.0), (0.0, 2.0)), Bitmap32::EMPTY);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let bm = Bitmap32(0xdeadbeef);
+        let mut e = Encoder::new();
+        bm.encode(&mut e);
+        let buf = e.finish();
+        assert_eq!(Bitmap32::decode(&mut Decoder::new(&buf)).unwrap(), bm);
+    }
+}

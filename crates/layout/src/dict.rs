@@ -1,0 +1,181 @@
+//! Shared bitmap dictionary with 16-bit IDs (paper §III-C3).
+//!
+//! Attribute bitmaps repeat heavily across tree nodes (spatially correlated
+//! attributes produce few distinct bin patterns), so the compacted file
+//! stores each *unique* bitmap once and replaces per-node bitmaps with
+//! 16-bit dictionary IDs — a 2× reduction over storing raw `u32` bitmaps,
+//! on top of the dedup itself.
+//!
+//! 16-bit IDs cap the dictionary at 65 536 entries, which the paper found
+//! "more than sufficient in practice". We keep the same bound but degrade
+//! gracefully instead of failing: entry 0 is reserved for the all-ones
+//! bitmap, and once the dictionary is full, new bitmaps intern to entry 0.
+//! That widens those nodes' filters (more false positives, pruned by the
+//! exact check) but can never cause a false negative.
+
+use crate::bitmap::Bitmap32;
+use bat_wire::{Decoder, Encoder, WireResult};
+use std::collections::HashMap;
+
+/// Maximum number of dictionary entries (16-bit IDs).
+pub const MAX_ENTRIES: usize = u16::MAX as usize + 1;
+
+/// The ID every overflow bitmap maps to (the reserved all-ones entry).
+pub const OVERFLOW_ID: u16 = 0;
+
+/// An interning dictionary of unique 32-bit bitmaps.
+#[derive(Debug, Clone)]
+pub struct BitmapDictionary {
+    entries: Vec<Bitmap32>,
+    index: HashMap<u32, u16>,
+    /// Number of interns that overflowed to the all-ones entry.
+    overflowed: u64,
+}
+
+impl Default for BitmapDictionary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitmapDictionary {
+    /// A dictionary holding only the reserved all-ones entry.
+    pub fn new() -> BitmapDictionary {
+        let mut d = BitmapDictionary {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            overflowed: 0,
+        };
+        let id = d.intern(Bitmap32::FULL);
+        debug_assert_eq!(id, OVERFLOW_ID);
+        d
+    }
+
+    /// Intern a bitmap, returning its ID. Duplicate bitmaps share an ID; a
+    /// full dictionary interns new bitmaps to the conservative
+    /// [`OVERFLOW_ID`].
+    pub fn intern(&mut self, bm: Bitmap32) -> u16 {
+        if let Some(&id) = self.index.get(&bm.0) {
+            return id;
+        }
+        if self.entries.len() >= MAX_ENTRIES {
+            self.overflowed += 1;
+            return OVERFLOW_ID;
+        }
+        let id = self.entries.len() as u16;
+        self.entries.push(bm);
+        self.index.insert(bm.0, id);
+        id
+    }
+
+    /// Look up a bitmap by ID.
+    #[inline]
+    pub fn get(&self, id: u16) -> Bitmap32 {
+        self.entries[id as usize]
+    }
+
+    /// Number of entries (including the reserved all-ones entry).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never true: entry 0 (all-ones) always exists.
+    pub fn is_empty(&self) -> bool {
+        false // entry 0 always exists
+    }
+
+    /// How many interns overflowed to the all-ones fallback.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Serialized byte size in the compacted file.
+    pub fn byte_size(&self) -> usize {
+        8 + self.entries.len() * 4
+    }
+
+    /// Serialize the entry table.
+    pub fn encode(&self, enc: &mut Encoder) {
+        let raw: Vec<u32> = self.entries.iter().map(|b| b.0).collect();
+        enc.put_u32_slice(&raw);
+    }
+
+    /// Inverse of [`BitmapDictionary::encode`]; rebuilds the intern index.
+    pub fn decode(dec: &mut Decoder) -> WireResult<BitmapDictionary> {
+        let raw = dec.get_u32_vec("bitmap dictionary")?;
+        let entries: Vec<Bitmap32> = raw.iter().map(|&v| Bitmap32(v)).collect();
+        let index = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u16))
+            .collect();
+        Ok(BitmapDictionary { entries, index, overflowed: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut d = BitmapDictionary::new();
+        let a = d.intern(Bitmap32(0b1010));
+        let b = d.intern(Bitmap32(0b1010));
+        let c = d.intern(Bitmap32(0b0101));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(d.len(), 3); // all-ones + two uniques
+        assert_eq!(d.get(a), Bitmap32(0b1010));
+    }
+
+    #[test]
+    fn reserved_all_ones() {
+        let mut d = BitmapDictionary::new();
+        assert_eq!(d.get(OVERFLOW_ID), Bitmap32::FULL);
+        // Interning all-ones returns the reserved slot.
+        assert_eq!(d.intern(Bitmap32::FULL), OVERFLOW_ID);
+    }
+
+    #[test]
+    fn overflow_degrades_to_full() {
+        let mut d = BitmapDictionary::new();
+        // Fill the dictionary (entry 0 is taken).
+        for i in 0..(MAX_ENTRIES - 1) as u32 {
+            // Skip u32::MAX which is already interned as entry 0.
+            d.intern(Bitmap32(i));
+        }
+        assert_eq!(d.len(), MAX_ENTRIES);
+        // A brand new bitmap must intern to the conservative fallback.
+        let id = d.intern(Bitmap32(0xf0f0_0001));
+        assert_eq!(id, OVERFLOW_ID);
+        assert_eq!(d.overflow_count(), 1);
+        // Existing entries are still found exactly.
+        let id42 = d.intern(Bitmap32(42));
+        assert_eq!(d.get(id42), Bitmap32(42));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = BitmapDictionary::new();
+        d.intern(Bitmap32(1));
+        d.intern(Bitmap32(2));
+        let mut e = Encoder::new();
+        d.encode(&mut e);
+        let buf = e.finish();
+        let out = BitmapDictionary::decode(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(out.len(), d.len());
+        assert_eq!(out.get(1), Bitmap32(1));
+        assert_eq!(out.get(2), Bitmap32(2));
+        // The decoded index still interns consistently.
+        let mut out = out;
+        assert_eq!(out.intern(Bitmap32(2)), 2);
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        let mut d = BitmapDictionary::new();
+        d.intern(Bitmap32(9));
+        assert_eq!(d.byte_size(), 8 + 2 * 4);
+    }
+}

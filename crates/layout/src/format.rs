@@ -1,0 +1,470 @@
+//! The compacted BAT file format (paper §III-C3, Figure 2).
+//!
+//! Layout, all little-endian:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ header: magic, version, counts, domain, build config       │
+//! │ attribute table: name, type, local (min, max) per attr     │
+//! │ shallow inner nodes: children, bounds, bitmap IDs          │
+//! │ shallow leaf table: treelet offset, particle range         │
+//! │ shared bitmap dictionary (unique u32 bitmaps)              │
+//! ├─── 4 KiB boundary ─────────────────────────────────────────┤
+//! │ treelet 0: header, nodes (+bitmap IDs), particle data      │
+//! ├─── 4 KiB boundary ─────────────────────────────────────────┤
+//! │ treelet 1: ...                                             │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The head of the file (everything before the first treelet) is small and
+//! parsed eagerly on open; treelets sit on page boundaries and are accessed
+//! lazily through memory mapping or in-memory slices, with node records
+//! decoded in place during traversal (no treelet-wide deserialization).
+
+use crate::attr::AttributeDesc;
+use crate::build::Bat;
+use crate::dict::BitmapDictionary;
+use crate::radix::NodeRef;
+use bat_geom::{Aabb, Vec3};
+use bat_wire::{Decoder, Encoder, WireError, WireResult};
+
+/// File magic: "BATF".
+pub const MAGIC: u32 = 0x4241_5446;
+/// Format version.
+pub const VERSION: u32 = 1;
+/// Treelet alignment (one page).
+pub const TREELET_ALIGN: usize = 4096;
+
+/// Fixed-size node record inside a treelet block:
+/// bounds (24) + start/count/left/right/depth (20).
+pub const NODE_FIXED_BYTES: usize = 44;
+
+/// Parsed file head (everything before the treelets).
+#[derive(Debug, Clone)]
+pub struct FileHead {
+    /// Byte length of the head payload (header through dictionary); the
+    /// first treelet starts at the next page boundary. Lets size accounting
+    /// separate structure bytes from alignment padding exactly.
+    pub head_end: u64,
+    /// Total particles in the file.
+    pub num_particles: u64,
+    /// Bounds the Morton codes were quantized against.
+    pub domain: Aabb,
+    /// Shallow-tree subprefix length used by the build.
+    pub subprefix_bits: u32,
+    /// LOD particles per treelet inner node.
+    pub lod_per_inner: u32,
+    /// Maximum particles per treelet leaf.
+    pub max_leaf: u32,
+    /// Deepest treelet depth in the file.
+    pub max_treelet_depth: u32,
+    /// Attribute schema.
+    pub descs: Vec<AttributeDesc>,
+    /// Aggregator-local `(min, max)` per attribute.
+    pub attr_ranges: Vec<(f64, f64)>,
+    /// Shallow inner nodes.
+    pub inners: Vec<ShallowInnerRec>,
+    /// Shallow leaves (treelet references).
+    pub leaves: Vec<LeafRec>,
+    /// The shared bitmap dictionary.
+    pub dict: BitmapDictionary,
+}
+
+/// A shallow inner node as stored in the file.
+#[derive(Debug, Clone)]
+pub struct ShallowInnerRec {
+    /// Left child reference.
+    pub left: NodeRef,
+    /// Right child reference.
+    pub right: NodeRef,
+    /// Conservative cell bounds for culling.
+    pub bounds: Aabb,
+    /// One dictionary ID per attribute.
+    pub bitmap_ids: Vec<u16>,
+}
+
+/// A shallow leaf (treelet reference) as stored in the file.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafRec {
+    /// Absolute byte offset of the treelet block.
+    pub offset: u64,
+    /// First particle of the treelet (file-global index).
+    pub first_particle: u64,
+    /// Particle count of the treelet.
+    pub num_particles: u32,
+    /// Number of nodes in the treelet (lets readers size scans without
+    /// touching the block).
+    pub num_nodes: u32,
+    /// Deepest node depth inside the treelet.
+    pub max_depth: u32,
+}
+
+fn put_aabb(enc: &mut Encoder, b: &Aabb) {
+    enc.put_f32(b.min.x);
+    enc.put_f32(b.min.y);
+    enc.put_f32(b.min.z);
+    enc.put_f32(b.max.x);
+    enc.put_f32(b.max.y);
+    enc.put_f32(b.max.z);
+}
+
+fn get_aabb(dec: &mut Decoder) -> WireResult<Aabb> {
+    Ok(Aabb::new(
+        Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+        Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+    ))
+}
+
+/// Serialize a [`Bat`] into the compacted on-disk form.
+pub fn write_bat(bat: &Bat) -> Vec<u8> {
+    let na = bat.particles.num_attrs();
+    let mut dict = BitmapDictionary::new();
+
+    // Intern every node bitmap: shallow inners first, then treelet nodes.
+    let shallow_ids: Vec<Vec<u16>> = (0..na)
+        .map(|a| {
+            let bms = bat.shallow_bitmaps(a);
+            bms.iter().map(|&b| dict.intern(b)).collect()
+        })
+        .collect();
+    // treelet_ids[t][node][attr]
+    let treelet_ids: Vec<Vec<Vec<u16>>> = bat
+        .treelets
+        .iter()
+        .map(|t| {
+            t.bitmaps
+                .iter()
+                .map(|per_node| per_node.iter().map(|&b| dict.intern(b)).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut enc = Encoder::with_capacity(
+        bat.particles.raw_bytes() + 4096 * (bat.treelets.len() + 2),
+    );
+
+    // --- Header ---
+    enc.put_u32(MAGIC);
+    enc.put_u32(VERSION);
+    let head_end_slot = enc.len();
+    enc.put_u64(0); // head_end, patched once the dictionary is written
+    enc.put_u64(bat.num_particles() as u64);
+    put_aabb(&mut enc, &bat.domain);
+    enc.put_u32(bat.config.subprefix_bits);
+    enc.put_u32(bat.config.treelet.lod_per_inner);
+    enc.put_u32(bat.config.treelet.max_leaf);
+    enc.put_u32(na as u32);
+    enc.put_u32(bat.shallow.nodes.len() as u32);
+    enc.put_u32(bat.treelets.len() as u32);
+    enc.put_u32(bat.max_treelet_depth);
+
+    // --- Attribute table ---
+    for (d, &(lo, hi)) in bat.particles.descs().iter().zip(&bat.attr_ranges) {
+        d.encode(&mut enc);
+        enc.put_f64(lo);
+        enc.put_f64(hi);
+    }
+
+    // --- Shallow inner nodes ---
+    for (ni, n) in bat.shallow.nodes.iter().enumerate() {
+        enc.put_u32(n.left.pack());
+        enc.put_u32(n.right.pack());
+        put_aabb(&mut enc, &n.bounds);
+        for ids in shallow_ids.iter() {
+            enc.put_u16(ids[ni]);
+        }
+    }
+
+    // --- Shallow leaf table (offsets patched after treelets are placed) ---
+    let mut offset_slots = Vec::with_capacity(bat.treelets.len());
+    for t in &bat.treelets {
+        offset_slots.push(enc.len());
+        enc.put_u64(0); // treelet offset placeholder
+        enc.put_u64(t.first_particle);
+        enc.put_u32(t.num_particles);
+        enc.put_u32(t.nodes.len() as u32);
+        enc.put_u32(t.max_depth);
+    }
+
+    // --- Dictionary ---
+    dict.encode(&mut enc);
+    enc.patch_u64(head_end_slot, enc.len() as u64);
+
+    // --- Treelets ---
+    for (ti, t) in bat.treelets.iter().enumerate() {
+        enc.pad_to(TREELET_ALIGN);
+        enc.patch_u64(offset_slots[ti], enc.len() as u64);
+
+        // Node records.
+        for (ni, node) in t.nodes.iter().enumerate() {
+            put_aabb(&mut enc, &node.bounds);
+            enc.put_u32(node.start);
+            enc.put_u32(node.count);
+            enc.put_u32(node.left);
+            enc.put_u32(node.right);
+            enc.put_u32(node.depth);
+            for &id in treelet_ids[ti][ni].iter().take(na) {
+                enc.put_u16(id);
+            }
+        }
+
+        // Particle data: positions then attribute arrays, raw (counts are
+        // known from the leaf record).
+        let s = t.first_particle as usize;
+        let n = t.num_particles as usize;
+        for p in &bat.particles.positions[s..s + n] {
+            enc.put_f32(p.x);
+            enc.put_f32(p.y);
+            enc.put_f32(p.z);
+        }
+        for a in 0..na {
+            let arr = bat.particles.attr(a).slice(s, n);
+            match arr {
+                crate::attr::AttributeArray::F32(v) => {
+                    for x in v {
+                        enc.put_f32(x);
+                    }
+                }
+                crate::attr::AttributeArray::F64(v) => {
+                    for x in v {
+                        enc.put_f64(x);
+                    }
+                }
+            }
+        }
+    }
+
+    enc.finish()
+}
+
+/// Parse the head of a compacted BAT file.
+pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
+    let mut dec = Decoder::new(data);
+    dec.expect_magic(MAGIC)?;
+    let version = dec.get_u32("version")?;
+    if version != VERSION {
+        return Err(WireError::BadTag { what: "format version", tag: version as u64 });
+    }
+    let head_end = dec.get_u64("head end")?;
+    if head_end as usize > data.len() {
+        return Err(WireError::BadLength {
+            what: "head end",
+            len: head_end,
+            remaining: data.len(),
+        });
+    }
+    let num_particles = dec.get_u64("num particles")?;
+    let domain = get_aabb(&mut dec)?;
+    let subprefix_bits = dec.get_u32("subprefix bits")?;
+    let lod_per_inner = dec.get_u32("lod per inner")?;
+    let max_leaf = dec.get_u32("max leaf")?;
+    let na = dec.get_u32("num attrs")? as usize;
+    let num_inners = dec.get_u32("num shallow inners")? as usize;
+    let num_leaves = dec.get_u32("num treelets")? as usize;
+    let max_treelet_depth = dec.get_u32("max treelet depth")?;
+
+    // Guard allocation sizes against corrupt counts.
+    let sane = |n: usize, what: &'static str| -> WireResult<usize> {
+        if n > data.len() {
+            Err(WireError::BadLength { what, len: n as u64, remaining: data.len() })
+        } else {
+            Ok(n)
+        }
+    };
+    let na = sane(na, "num attrs")?;
+    let num_inners = sane(num_inners, "num shallow inners")?;
+    let num_leaves = sane(num_leaves, "num treelets")?;
+
+    let mut descs = Vec::with_capacity(na);
+    let mut attr_ranges = Vec::with_capacity(na);
+    for _ in 0..na {
+        descs.push(AttributeDesc::decode(&mut dec)?);
+        let lo = dec.get_f64("attr lo")?;
+        let hi = dec.get_f64("attr hi")?;
+        attr_ranges.push((lo, hi));
+    }
+
+    let mut inners = Vec::with_capacity(num_inners);
+    for _ in 0..num_inners {
+        let left = NodeRef::unpack(dec.get_u32("inner left")?);
+        let right = NodeRef::unpack(dec.get_u32("inner right")?);
+        let bounds = get_aabb(&mut dec)?;
+        let mut bitmap_ids = Vec::with_capacity(na);
+        for _ in 0..na {
+            bitmap_ids.push(dec.get_u16("inner bitmap id")?);
+        }
+        inners.push(ShallowInnerRec { left, right, bounds, bitmap_ids });
+    }
+
+    let mut leaves = Vec::with_capacity(num_leaves);
+    for _ in 0..num_leaves {
+        let offset = dec.get_u64("treelet offset")?;
+        let first_particle = dec.get_u64("first particle")?;
+        let num_particles = dec.get_u32("treelet particles")?;
+        let num_nodes = dec.get_u32("treelet nodes")?;
+        let max_depth = dec.get_u32("treelet depth")?;
+        if offset as usize >= data.len().max(1) {
+            return Err(WireError::BadLength {
+                what: "treelet offset",
+                len: offset,
+                remaining: data.len(),
+            });
+        }
+        leaves.push(LeafRec { offset, first_particle, num_particles, num_nodes, max_depth });
+    }
+
+    let dict = BitmapDictionary::decode(&mut dec)?;
+
+    Ok(FileHead {
+        head_end,
+        num_particles,
+        domain,
+        subprefix_bits,
+        lod_per_inner,
+        max_leaf,
+        max_treelet_depth,
+        descs,
+        attr_ranges,
+        inners,
+        leaves,
+        dict,
+    })
+}
+
+/// Byte size of one treelet node record for `na` attributes.
+pub fn node_record_bytes(na: usize) -> usize {
+    NODE_FIXED_BYTES + 2 * na
+}
+
+/// Byte size of a particle's position record.
+pub const POSITION_BYTES: usize = 12;
+
+/// Byte offsets of the sections inside a treelet block with `num_nodes`
+/// nodes and `num_points` particles over attributes `descs`.
+#[derive(Debug, Clone)]
+pub struct TreeletLayout {
+    /// Offset of the node records (relative to block start).
+    pub nodes_off: usize,
+    /// Offset of the positions array.
+    pub positions_off: usize,
+    /// Offset of each attribute array.
+    pub attr_offs: Vec<usize>,
+    /// Total block payload size.
+    pub size: usize,
+}
+
+impl TreeletLayout {
+    /// Section offsets for a block of `num_nodes` nodes and `num_points`
+    /// particles under the given schema.
+    pub fn compute(num_nodes: usize, num_points: usize, descs: &[AttributeDesc]) -> TreeletLayout {
+        let nodes_off = 0;
+        let positions_off = nodes_off + num_nodes * node_record_bytes(descs.len());
+        let mut off = positions_off + num_points * POSITION_BYTES;
+        let mut attr_offs = Vec::with_capacity(descs.len());
+        for d in descs {
+            attr_offs.push(off);
+            off += num_points * d.dtype.size();
+        }
+        TreeletLayout { nodes_off, positions_off, attr_offs, size: off }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{BatBuilder, BatConfig};
+    use crate::particles::ParticleSet;
+    use bat_geom::rng::Xoshiro256;
+
+    fn sample_bat(n: usize) -> Bat {
+        let mut rng = Xoshiro256::new(71);
+        let mut set = ParticleSet::new(vec![
+            AttributeDesc::f64("mass"),
+            AttributeDesc::f32("temp"),
+        ]);
+        for _ in 0..n {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            set.push(p, &[p.x as f64, p.y as f64 * 50.0]);
+        }
+        BatBuilder::new(BatConfig::default()).build(set, Aabb::unit())
+    }
+
+    #[test]
+    fn head_roundtrip() {
+        let bat = sample_bat(5000);
+        let bytes = write_bat(&bat);
+        let head = read_head(&bytes).unwrap();
+        assert_eq!(head.num_particles, 5000);
+        assert_eq!(head.descs, bat.particles.descs());
+        assert_eq!(head.attr_ranges.len(), 2);
+        assert_eq!(head.leaves.len(), bat.treelets.len());
+        assert_eq!(head.inners.len(), bat.shallow.nodes.len());
+        assert_eq!(head.max_treelet_depth, bat.max_treelet_depth);
+    }
+
+    #[test]
+    fn treelets_are_page_aligned() {
+        let bat = sample_bat(20_000);
+        let bytes = write_bat(&bat);
+        let head = read_head(&bytes).unwrap();
+        for leaf in &head.leaves {
+            assert_eq!(leaf.offset as usize % TREELET_ALIGN, 0);
+            assert!((leaf.offset as usize) < bytes.len());
+        }
+    }
+
+    #[test]
+    fn empty_bat_roundtrip() {
+        let bat = sample_bat(0);
+        let bytes = write_bat(&bat);
+        let head = read_head(&bytes).unwrap();
+        assert_eq!(head.num_particles, 0);
+        assert!(head.leaves.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let bat = sample_bat(100);
+        let mut bytes = write_bat(&bat);
+        bytes[0] ^= 0xff;
+        assert!(matches!(read_head(&bytes), Err(WireError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bat = sample_bat(100);
+        let bytes = write_bat(&bat);
+        for cut in [3, 20, 60] {
+            assert!(read_head(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn treelet_layout_sizes() {
+        let descs = vec![AttributeDesc::f64("a"), AttributeDesc::f32("b")];
+        let l = TreeletLayout::compute(3, 10, &descs);
+        assert_eq!(l.positions_off, 3 * (44 + 4));
+        assert_eq!(l.attr_offs[0], l.positions_off + 120);
+        assert_eq!(l.attr_offs[1], l.attr_offs[0] + 80);
+        assert_eq!(l.size, l.attr_offs[1] + 40);
+    }
+
+    #[test]
+    fn block_sizes_match_layout() {
+        let bat = sample_bat(3000);
+        let bytes = write_bat(&bat);
+        let head = read_head(&bytes).unwrap();
+        for (i, leaf) in head.leaves.iter().enumerate() {
+            let layout = TreeletLayout::compute(
+                leaf.num_nodes as usize,
+                leaf.num_particles as usize,
+                &head.descs,
+            );
+            let end = leaf.offset as usize + layout.size;
+            assert!(end <= bytes.len(), "treelet {i} exceeds file");
+            if i + 1 < head.leaves.len() {
+                assert!(end <= head.leaves[i + 1].offset as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Optional lossy pre-write quantization (paper §VII: "our BAT layout does
+//! not make use of compression or quantization, which would reduce memory
+//! use further").
+//!
+//! Prior LOD systems compensate for hierarchy overhead by quantizing
+//! positions \[19\], \[20\]. This module provides that as an *opt-in*
+//! preprocessing step: positions snap to a `2^bits`-per-axis grid over the
+//! domain, which bounds the error at half a cell and makes the position
+//! stream highly compressible (and deduplicates coincident particles'
+//! coordinates). The BAT build, file format, and queries are unchanged —
+//! quantization happens before the layout is built, so the feature composes
+//! with everything else.
+
+use crate::particles::ParticleSet;
+use bat_geom::{Aabb, Vec3};
+
+/// Outcome of a quantization pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizeReport {
+    /// Bits per axis used.
+    pub bits: u32,
+    /// Largest displacement applied to any particle.
+    pub max_error: f32,
+    /// The guaranteed error bound (half a grid cell diagonal).
+    pub error_bound: f32,
+}
+
+/// Snap every position to the center of its cell on a `2^bits` grid over
+/// `domain`, in place. Returns the achieved and guaranteed error bounds.
+///
+/// `bits` must be in `1..=21` (the Morton resolution is 21 bits/axis, so
+/// finer quantization would be invisible to the layout anyway).
+pub fn quantize_positions(set: &mut ParticleSet, domain: &Aabb, bits: u32) -> QuantizeReport {
+    assert!((1..=21).contains(&bits), "bits must be in 1..=21");
+    let cells = (1u32 << bits) as f32;
+    let e = domain.extent();
+    let cell = Vec3::new(e.x / cells, e.y / cells, e.z / cells);
+    let error_bound = 0.5 * cell.length();
+
+    let mut max_error = 0.0f32;
+    for p in &mut set.positions {
+        let n = domain.normalize(*p);
+        let snap = |v: f32, lo: f32, ext: f32| -> f32 {
+            if ext <= 0.0 {
+                return lo;
+            }
+            let c = (v * cells).floor().min(cells - 1.0);
+            lo + (c + 0.5) / cells * ext
+        };
+        let q = Vec3::new(
+            snap(n.x, domain.min.x, e.x),
+            snap(n.y, domain.min.y, e.y),
+            snap(n.z, domain.min.z, e.z),
+        );
+        max_error = max_error.max((q - *p).length());
+        *p = q;
+    }
+    QuantizeReport { bits, max_error, error_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeDesc;
+    use bat_geom::rng::Xoshiro256;
+
+    fn cloud(n: usize, domain: &Aabb, seed: u64) -> ParticleSet {
+        let mut rng = Xoshiro256::new(seed);
+        let mut set = ParticleSet::new(vec![AttributeDesc::f64("v")]);
+        for i in 0..n {
+            let e = domain.extent();
+            set.push(
+                Vec3::new(
+                    domain.min.x + rng.next_f32() * e.x,
+                    domain.min.y + rng.next_f32() * e.y,
+                    domain.min.z + rng.next_f32() * e.z,
+                ),
+                &[i as f64],
+            );
+        }
+        set
+    }
+
+    #[test]
+    fn error_respects_bound() {
+        let domain = Aabb::new(Vec3::new(-3.0, 0.0, 10.0), Vec3::new(5.0, 2.0, 11.0));
+        for bits in [4u32, 8, 12, 16] {
+            let mut set = cloud(5000, &domain, bits as u64);
+            let before = set.positions.clone();
+            let report = quantize_positions(&mut set, &domain, bits);
+            assert!(report.max_error <= report.error_bound * 1.0001, "{report:?}");
+            // Every particle stays inside the domain and near its original.
+            for (p, q) in before.iter().zip(&set.positions) {
+                assert!(domain.contains_point(*q));
+                assert!((*q - *p).length() <= report.error_bound * 1.0001);
+            }
+        }
+    }
+
+    #[test]
+    fn finer_bits_smaller_error() {
+        let domain = Aabb::unit();
+        let mut coarse = cloud(2000, &domain, 1);
+        let mut fine = coarse.clone();
+        let rc = quantize_positions(&mut coarse, &domain, 4);
+        let rf = quantize_positions(&mut fine, &domain, 12);
+        assert!(rf.error_bound < rc.error_bound / 100.0);
+        assert!(rf.max_error < rc.max_error);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let domain = Aabb::unit();
+        let mut set = cloud(1000, &domain, 7);
+        quantize_positions(&mut set, &domain, 8);
+        let once = set.positions.clone();
+        let second = quantize_positions(&mut set, &domain, 8);
+        assert_eq!(set.positions, once, "re-quantizing must not move points");
+        assert_eq!(second.max_error, 0.0);
+    }
+
+    #[test]
+    fn coincident_particles_dedup_coordinates() {
+        // Quantization collapses nearby particles onto shared coordinates —
+        // the compressibility the paper's future-work note is after.
+        let domain = Aabb::unit();
+        let mut set = cloud(10_000, &domain, 9);
+        quantize_positions(&mut set, &domain, 5); // 32^3 grid
+        let unique: std::collections::HashSet<_> = set
+            .positions
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+            .collect();
+        assert!(unique.len() <= 32 * 32 * 32);
+        assert!(unique.len() < 10_000);
+    }
+
+    #[test]
+    fn degenerate_domain_axis() {
+        let domain = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 0.0)); // flat in z
+        let mut set = cloud(100, &domain, 11);
+        let report = quantize_positions(&mut set, &domain, 8);
+        assert!(report.max_error.is_finite());
+        for p in &set.positions {
+            assert_eq!(p.z, 0.0);
+        }
+    }
+
+    #[test]
+    fn layout_roundtrip_after_quantization() {
+        // The quantized set flows through the normal build + query path.
+        let domain = Aabb::unit();
+        let mut set = cloud(3000, &domain, 13);
+        quantize_positions(&mut set, &domain, 10);
+        let bat = crate::BatBuilder::new(crate::BatConfig::default()).build(set, domain);
+        let file = crate::BatFile::from_bytes(bat.to_bytes()).unwrap();
+        assert_eq!(file.count(&crate::Query::new()).unwrap(), 3000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_rejected() {
+        let mut set = cloud(1, &Aabb::unit(), 1);
+        quantize_positions(&mut set, &Aabb::unit(), 0);
+    }
+}

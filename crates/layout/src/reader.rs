@@ -1,0 +1,619 @@
+//! Reading compacted BAT files: spatial, attribute, and progressive
+//! multiresolution queries (paper §V).
+//!
+//! [`BatFile`] opens a compacted buffer either from memory or through a
+//! memory mapping (the paper's read path; the OS page cache then serves
+//! frequently accessed treelets). The file head is parsed eagerly; treelet
+//! blocks are interpreted in place — node records are decoded as the
+//! traversal touches them, and particle data is read directly out of the
+//! mapped pages.
+
+use crate::attr::AttributeType;
+use crate::bitmap::Bitmap32;
+use crate::format::{self, FileHead, LeafRec, TreeletLayout};
+use crate::query::{contribution, quality_to_depth, PointRecord, Query};
+use crate::radix::NodeRef;
+use crate::treelet::NO_CHILD;
+use bat_geom::{Aabb, Vec3};
+use bat_wire::{WireError, WireResult};
+use std::path::Path;
+
+/// Backing storage for an opened file.
+enum DataSource {
+    Owned(Vec<u8>),
+    Mapped(memmap2::Mmap),
+}
+
+impl std::ops::Deref for DataSource {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            DataSource::Owned(v) => v,
+            DataSource::Mapped(m) => m,
+        }
+    }
+}
+
+/// Counters describing how much work a query did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Shallow + treelet nodes visited.
+    pub nodes_visited: u64,
+    /// Treelets whose blocks were touched.
+    pub treelets_visited: u64,
+    /// Points read and tested against exact filters.
+    pub points_tested: u64,
+    /// Points passed to the callback.
+    pub points_returned: u64,
+}
+
+/// An opened, compacted BAT file.
+pub struct BatFile {
+    data: DataSource,
+    head: FileHead,
+}
+
+impl BatFile {
+    /// Open from an in-memory buffer (also the in-transit path: aggregators
+    /// can query the compacted tree before/instead of writing it; §III-C).
+    pub fn from_bytes(bytes: Vec<u8>) -> WireResult<BatFile> {
+        let head = format::read_head(&bytes)?;
+        Ok(BatFile { data: DataSource::Owned(bytes), head })
+    }
+
+    /// Open a file on disk through a memory mapping.
+    ///
+    /// The mapping assumes the file is not concurrently truncated or
+    /// modified (the write-once model of simulation output).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<BatFile> {
+        let file = std::fs::File::open(path)?;
+        // SAFETY: BAT files follow a write-once-read-many model; mapping a
+        // file nobody mutates is sound. A hostile concurrent writer could at
+        // worst cause decode errors, which the panic-free parser reports.
+        let map = unsafe { memmap2::Mmap::map(&file)? };
+        let head = format::read_head(&map)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(BatFile { data: DataSource::Mapped(map), head })
+    }
+
+    /// Parsed file head (schema, ranges, shallow tree, dictionary).
+    pub fn head(&self) -> &FileHead {
+        &self.head
+    }
+
+    /// Total particle count in the file.
+    pub fn num_particles(&self) -> u64 {
+        self.head.num_particles
+    }
+
+    /// Raw byte size of the backing buffer.
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Domain bounds the layout was built over.
+    pub fn domain(&self) -> Aabb {
+        self.head.domain
+    }
+
+    /// Run a query, invoking `cb` for every matching point, and return work
+    /// counters. See [`Query`] for the knobs.
+    pub fn query(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
+        let mut stats = QueryStats::default();
+        let na = self.head.descs.len();
+
+        // Per-filter query masks over this file's local ranges. An empty
+        // mask proves no particle here can match (bins have no false
+        // negatives), so the whole file is skipped.
+        let mut masks: Vec<(usize, Bitmap32)> = Vec::with_capacity(q.filters.len());
+        for f in &q.filters {
+            if f.attr >= na {
+                return Err(WireError::BadTag { what: "filter attribute index", tag: f.attr as u64 });
+            }
+            let (lo, hi) = self.head.attr_ranges[f.attr];
+            let mask = Bitmap32::query_mask(f.lo, f.hi, lo, hi);
+            if mask == Bitmap32::EMPTY {
+                return Ok(stats);
+            }
+            masks.push((f.attr, mask));
+        }
+
+        let root = match self.head.leaves.len() {
+            0 => return Ok(stats),
+            1 => NodeRef::Leaf(0),
+            _ => NodeRef::Inner(0),
+        };
+
+        let mut attr_buf = vec![0.0f64; na];
+        let mut stack = vec![root];
+        while let Some(nref) = stack.pop() {
+            match nref {
+                NodeRef::Inner(i) => {
+                    stats.nodes_visited += 1;
+                    let node = &self.head.inners[i as usize];
+                    if let Some(qb) = &q.bounds {
+                        if !qb.overlaps(&node.bounds) {
+                            continue;
+                        }
+                    }
+                    if !masks.iter().all(|&(a, m)| {
+                        self.head.dict.get(node.bitmap_ids[a]).overlaps(m)
+                    }) {
+                        continue;
+                    }
+                    stack.push(node.left);
+                    stack.push(node.right);
+                }
+                NodeRef::Leaf(l) => {
+                    self.query_treelet(
+                        &self.head.leaves[l as usize],
+                        q,
+                        &masks,
+                        &mut attr_buf,
+                        &mut stats,
+                        &mut cb,
+                    )?;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Count matching points without materializing them.
+    pub fn count(&self, q: &Query) -> WireResult<u64> {
+        let stats = self.query(q, |_| {})?;
+        Ok(stats.points_returned)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn query_treelet(
+        &self,
+        leaf: &LeafRec,
+        q: &Query,
+        masks: &[(usize, Bitmap32)],
+        attr_buf: &mut [f64],
+        stats: &mut QueryStats,
+        cb: &mut impl FnMut(PointRecord<'_>),
+    ) -> WireResult<()> {
+        let view = self.treelet_view(leaf)?;
+        stats.treelets_visited += 1;
+
+        // Quality maps to a depth within *this* treelet: the LOD particle
+        // count roughly doubles per level of each treelet (§V-B), so the
+        // log remap is applied against the treelet's own depth. This keeps
+        // refinement uniform across regions even when treelet depths vary.
+        let limit = quality_to_depth(q.quality, leaf.max_depth);
+        let prev = quality_to_depth(q.prev_quality, leaf.max_depth);
+
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = view.node(ni as usize)?;
+            if node.depth > limit.0 {
+                continue;
+            }
+            if let Some(qb) = &q.bounds {
+                if !qb.overlaps(&node.bounds) {
+                    continue;
+                }
+            }
+            let mut bitmaps_pass = true;
+            for &(a, m) in masks {
+                let id = view.bitmap_id(ni as usize, a)?;
+                if !self.head.dict.get(id).overlaps(m) {
+                    bitmaps_pass = false;
+                    break;
+                }
+            }
+            if !bitmaps_pass {
+                continue;
+            }
+
+            // Emit the progressive slice of this node's own particle block.
+            let now = contribution(node.count, node.depth, limit.0, limit.1);
+            let before = contribution(node.count, node.depth, prev.0, prev.1);
+            for o in before..now {
+                let local = node.start + o;
+                stats.points_tested += 1;
+                let pos = view.position(local as usize)?;
+                if let Some(qb) = &q.bounds {
+                    if !qb.contains_point(pos) {
+                        continue;
+                    }
+                }
+                for (a, slot) in attr_buf.iter_mut().enumerate() {
+                    *slot = view.attr(a, local as usize)?;
+                }
+                // Exact false-positive rejection for attribute filters.
+                if !q
+                    .filters
+                    .iter()
+                    .all(|f| attr_buf[f.attr] >= f.lo && attr_buf[f.attr] <= f.hi)
+                {
+                    continue;
+                }
+                stats.points_returned += 1;
+                cb(PointRecord {
+                    position: pos,
+                    attrs: attr_buf,
+                    index: leaf.first_particle + local as u64,
+                });
+            }
+
+            if node.depth < limit.0 && node.left != NO_CHILD {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+        Ok(())
+    }
+
+    /// Interpret a treelet block in place.
+    fn treelet_view(&self, leaf: &LeafRec) -> WireResult<TreeletView<'_>> {
+        let layout = TreeletLayout::compute(
+            leaf.num_nodes as usize,
+            leaf.num_particles as usize,
+            &self.head.descs,
+        );
+        let start = leaf.offset as usize;
+        let end = start + layout.size;
+        if end > self.data.len() {
+            return Err(WireError::Truncated {
+                what: "treelet block",
+                needed: end,
+                remaining: self.data.len(),
+            });
+        }
+        // Pre-slice the block's sections once: every per-point access below
+        // is then a cheap in-bounds index (section lengths are exact by
+        // construction, and node-supplied indices are range-checked against
+        // `num_points`/`num_nodes` before use, so corrupt files surface as
+        // errors, never panics).
+        let block = &self.data[start..end];
+        let num_nodes = leaf.num_nodes as usize;
+        let num_points = leaf.num_particles as usize;
+        let nodes =
+            &block[layout.nodes_off..layout.nodes_off + num_nodes * format::node_record_bytes(self.head.descs.len())];
+        let positions =
+            &block[layout.positions_off..layout.positions_off + num_points * format::POSITION_BYTES];
+        let attr_sections = self
+            .head
+            .descs
+            .iter()
+            .zip(&layout.attr_offs)
+            .map(|(d, &off)| (&block[off..off + num_points * d.dtype.size()], d.dtype))
+            .collect();
+        Ok(TreeletView {
+            nodes,
+            positions,
+            attr_sections,
+            na: self.head.descs.len(),
+            num_nodes,
+            num_points,
+        })
+    }
+}
+
+/// Decoded treelet node (mirror of [`crate::treelet::TreeletNode`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FileTreeletNode {
+    /// Tight bounds of the node's subtree.
+    pub bounds: Aabb,
+    /// Treelet-local start of the node's own particle block.
+    pub start: u32,
+    /// Particle count of the node's own block.
+    pub count: u32,
+    /// Left child index; `NO_CHILD` for leaves.
+    pub left: u32,
+    /// Right child index; `NO_CHILD` for leaves.
+    pub right: u32,
+    /// Depth below the treelet root.
+    pub depth: u32,
+}
+
+/// Zero-copy interpretation of one treelet block.
+pub struct TreeletView<'a> {
+    /// Node records section, exactly `num_nodes * node_record_bytes` long.
+    nodes: &'a [u8],
+    /// Positions section, exactly `num_points * 12` bytes.
+    positions: &'a [u8],
+    /// One section per attribute, exactly `num_points * elem_size` each.
+    attr_sections: Vec<(&'a [u8], AttributeType)>,
+    na: usize,
+    num_nodes: usize,
+    num_points: usize,
+}
+
+impl<'a> TreeletView<'a> {
+    /// Decode node `i`'s record.
+    pub fn node(&self, i: usize) -> WireResult<FileTreeletNode> {
+        if i >= self.num_nodes {
+            return Err(WireError::BadTag { what: "treelet node index", tag: i as u64 });
+        }
+        let off = i * format::node_record_bytes(self.na);
+        let rec = &self.nodes[off..off + format::NODE_FIXED_BYTES];
+        let f = |k: usize| f32::from_le_bytes(rec[k..k + 4].try_into().expect("len 4"));
+        let u = |k: usize| u32::from_le_bytes(rec[k..k + 4].try_into().expect("len 4"));
+        Ok(FileTreeletNode {
+            bounds: Aabb::new(Vec3::new(f(0), f(4), f(8)), Vec3::new(f(12), f(16), f(20))),
+            start: u(24),
+            count: u(28),
+            left: u(32),
+            right: u(36),
+            depth: u(40),
+        })
+    }
+
+    /// Dictionary ID of node `i`'s bitmap for attribute `a`.
+    pub fn bitmap_id(&self, i: usize, a: usize) -> WireResult<u16> {
+        if i >= self.num_nodes || a >= self.na {
+            return Err(WireError::BadTag { what: "bitmap id index", tag: i as u64 });
+        }
+        let off = i * format::node_record_bytes(self.na) + format::NODE_FIXED_BYTES + 2 * a;
+        Ok(u16::from_le_bytes(self.nodes[off..off + 2].try_into().expect("len 2")))
+    }
+
+    /// Position of treelet-local particle `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> WireResult<Vec3> {
+        if i >= self.num_points {
+            return Err(WireError::BadTag { what: "treelet particle index", tag: i as u64 });
+        }
+        let rec = &self.positions[i * format::POSITION_BYTES..(i + 1) * format::POSITION_BYTES];
+        Ok(Vec3::new(
+            f32::from_le_bytes(rec[0..4].try_into().expect("len 4")),
+            f32::from_le_bytes(rec[4..8].try_into().expect("len 4")),
+            f32::from_le_bytes(rec[8..12].try_into().expect("len 4")),
+        ))
+    }
+
+    /// Attribute `a` of treelet-local particle `i`, widened to `f64`.
+    #[inline]
+    pub fn attr(&self, a: usize, i: usize) -> WireResult<f64> {
+        if i >= self.num_points {
+            return Err(WireError::BadTag { what: "treelet particle index", tag: i as u64 });
+        }
+        let (section, dtype) = self.attr_sections[a];
+        Ok(match dtype {
+            AttributeType::F32 => {
+                f32::from_le_bytes(section[i * 4..i * 4 + 4].try_into().expect("len 4")) as f64
+            }
+            AttributeType::F64 => {
+                f64::from_le_bytes(section[i * 8..i * 8 + 8].try_into().expect("len 8"))
+            }
+        })
+    }
+
+    /// Number of nodes in the treelet.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeDesc;
+    use crate::build::{Bat, BatBuilder, BatConfig};
+    use crate::particles::ParticleSet;
+    use bat_geom::rng::Xoshiro256;
+    use std::collections::HashSet;
+
+    /// A particle cloud with two attributes correlated with position.
+    fn sample(n: usize, seed: u64) -> (ParticleSet, Aabb) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut set = ParticleSet::new(vec![
+            AttributeDesc::f64("energy"),
+            AttributeDesc::f32("speed"),
+        ]);
+        for _ in 0..n {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            set.push(p, &[p.x as f64 * 100.0, p.z as f64 * 10.0]);
+        }
+        (set, Aabb::unit())
+    }
+
+    fn build(n: usize, seed: u64) -> (Bat, BatFile) {
+        let (set, domain) = sample(n, seed);
+        let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+        let file = BatFile::from_bytes(bat.to_bytes()).unwrap();
+        (bat, file)
+    }
+
+    #[test]
+    fn full_read_returns_every_particle_once() {
+        let (bat, file) = build(10_000, 1);
+        let mut seen = HashSet::new();
+        let stats = file
+            .query(&Query::new(), |p| {
+                assert!(seen.insert(p.index), "particle {} duplicated", p.index);
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 10_000);
+        assert_eq!(stats.points_returned, 10_000);
+        let _ = bat;
+    }
+
+    #[test]
+    fn spatial_query_matches_brute_force() {
+        let (bat, file) = build(5_000, 2);
+        let qb = Aabb::new(Vec3::new(0.2, 0.3, 0.1), Vec3::new(0.6, 0.7, 0.5));
+        let expect = bat
+            .particles
+            .positions
+            .iter()
+            .filter(|p| qb.contains_point(**p))
+            .count();
+        let q = Query::new().with_bounds(qb);
+        let mut got = 0;
+        file.query(&q, |p| {
+            assert!(qb.contains_point(p.position));
+            got += 1;
+        })
+        .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn attribute_query_matches_brute_force() {
+        let (bat, file) = build(5_000, 3);
+        let (lo, hi) = (25.0, 60.0);
+        let expect = (0..bat.num_particles())
+            .filter(|&i| {
+                let v = bat.particles.value(0, i);
+                v >= lo && v <= hi
+            })
+            .count();
+        let q = Query::new().with_filter(0, lo, hi);
+        let mut got = 0;
+        let stats = file
+            .query(&q, |p| {
+                assert!(p.attrs[0] >= lo && p.attrs[0] <= hi);
+                got += 1;
+            })
+            .unwrap();
+        assert_eq!(got, expect);
+        // Bitmap culling should have pruned work: we must not have tested
+        // every particle in the file.
+        assert!(
+            stats.points_tested < 5_000,
+            "bitmap filtering should prune: tested {}",
+            stats.points_tested
+        );
+    }
+
+    #[test]
+    fn combined_spatial_and_attribute_query() {
+        let (bat, file) = build(8_000, 4);
+        let qb = Aabb::new(Vec3::ZERO, Vec3::splat(0.5));
+        let (lo, hi) = (0.0, 30.0);
+        let expect = (0..bat.num_particles())
+            .filter(|&i| {
+                let p = bat.particles.positions[i];
+                let v = bat.particles.value(0, i);
+                qb.contains_point(p) && v >= lo && v <= hi
+            })
+            .count();
+        let q = Query::new().with_bounds(qb).with_filter(0, lo, hi);
+        assert_eq!(file.count(&q).unwrap() as usize, expect);
+    }
+
+    #[test]
+    fn disjoint_filter_skips_file_entirely() {
+        let (_, file) = build(1_000, 5);
+        // energy = x*100 is in [0, 100]; ask for 500..900.
+        let q = Query::new().with_filter(0, 500.0, 900.0);
+        let stats = file.query(&q, |_| panic!("no point should match")).unwrap();
+        assert_eq!(stats.nodes_visited, 0, "empty mask must skip the whole file");
+    }
+
+    #[test]
+    fn quality_zero_returns_nothing_and_one_everything() {
+        let (_, file) = build(3_000, 6);
+        assert_eq!(file.count(&Query::new().with_quality(0.0)).unwrap(), 0);
+        assert_eq!(file.count(&Query::new().with_quality(1.0)).unwrap(), 3_000);
+    }
+
+    #[test]
+    fn quality_monotonically_adds_points() {
+        let (_, file) = build(20_000, 7);
+        let mut prev = 0;
+        for i in 1..=10 {
+            let q = Query::new().with_quality(i as f64 / 10.0);
+            let n = file.count(&q).unwrap();
+            assert!(n >= prev, "quality {i}: {n} < {prev}");
+            prev = n;
+        }
+        assert_eq!(prev, 20_000);
+    }
+
+    #[test]
+    fn progressive_reads_partition_the_data() {
+        // Reading 0→0.3, 0.3→0.7, 0.7→1.0 must return every particle
+        // exactly once (the paper's progressive streaming use case, §V-B).
+        let (_, file) = build(15_000, 8);
+        let mut seen = HashSet::new();
+        for (prev, cur) in [(0.0, 0.3), (0.3, 0.7), (0.7, 1.0)] {
+            let q = Query::new().with_prev_quality(prev).with_quality(cur);
+            file.query(&q, |p| {
+                assert!(seen.insert(p.index), "particle {} seen twice", p.index);
+            })
+            .unwrap();
+        }
+        assert_eq!(seen.len(), 15_000);
+    }
+
+    #[test]
+    fn progressive_fine_steps_match_table_one_protocol() {
+        // The Table I/II protocol: 0.1 steps from 0.1 to 1.0.
+        let (_, file) = build(10_000, 9);
+        let mut seen = HashSet::new();
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let cur = i as f64 / 10.0;
+            let q = Query::new().with_prev_quality(prev).with_quality(cur);
+            file.query(&q, |p| {
+                assert!(seen.insert(p.index));
+            })
+            .unwrap();
+            prev = cur;
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn low_quality_reads_fraction_of_data() {
+        let (_, file) = build(50_000, 10);
+        let n = file.count(&Query::new().with_quality(0.1)).unwrap();
+        // ~10% of the data at quality 0.1, log-remapped: must be well under
+        // half and nonzero.
+        assert!(n > 0);
+        assert!(n < 25_000, "quality 0.1 returned {n} of 50k");
+    }
+
+    #[test]
+    fn mmap_open_matches_in_memory() {
+        let (_, file) = build(4_000, 11);
+        let dir = std::env::temp_dir().join(format!("battest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bat");
+        // Write the same bytes and re-open via mmap.
+        let (bat, _) = build(4_000, 11);
+        std::fs::write(&path, bat.to_bytes()).unwrap();
+        let mapped = BatFile::open(&path).unwrap();
+        assert_eq!(mapped.num_particles(), file.num_particles());
+        let q = Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.4)));
+        assert_eq!(mapped.count(&q).unwrap(), file.count(&q).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_queries_cleanly() {
+        let (set, domain) = sample(0, 12);
+        let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+        let file = BatFile::from_bytes(bat.to_bytes()).unwrap();
+        assert_eq!(file.count(&Query::new()).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_filter_attr_is_an_error() {
+        let (_, file) = build(100, 13);
+        let q = Query::new().with_filter(99, 0.0, 1.0);
+        assert!(file.query(&q, |_| {}).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_culling() {
+        let (_, file) = build(30_000, 14);
+        let all = file.query(&Query::new(), |_| {}).unwrap();
+        let tiny = file
+            .query(
+                &Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.1))),
+                |_| {},
+            )
+            .unwrap();
+        assert!(tiny.nodes_visited < all.nodes_visited);
+        assert!(tiny.treelets_visited < all.treelets_visited);
+        assert!(tiny.points_tested < all.points_tested);
+    }
+}

@@ -1,0 +1,157 @@
+//! Layout size accounting (paper §VI-B reports ≈0.9 % storage overhead).
+//!
+//! "Overhead" is everything in the compacted file that is not raw particle
+//! payload: headers, the shallow tree, node records, bitmap IDs, the
+//! dictionary, and page-alignment padding. Because LOD particles are set
+//! aside rather than duplicated, the layout's only cost *is* this structure.
+
+use crate::format;
+
+/// Size breakdown of a compacted BAT image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutStats {
+    /// Raw particle payload bytes (positions + attributes).
+    pub raw_bytes: u64,
+    /// Total compacted file bytes.
+    pub file_bytes: u64,
+    /// Structure bytes: headers, trees, bitmap IDs, dictionary.
+    pub structure_bytes: u64,
+    /// Page-alignment padding bytes.
+    pub padding_bytes: u64,
+    /// Number of treelets.
+    pub num_treelets: u64,
+    /// Total treelet nodes.
+    pub num_nodes: u64,
+    /// Dictionary entries.
+    pub dict_entries: u64,
+}
+
+impl LayoutStats {
+    /// Overhead fraction including padding: `(file − raw) / raw`.
+    pub fn overhead(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 0.0;
+        }
+        (self.file_bytes - self.raw_bytes) as f64 / self.raw_bytes as f64
+    }
+
+    /// Overhead fraction for structure only (the paper's "additional memory
+    /// to store" the layout — padding exists only in the on-disk image).
+    pub fn structure_overhead(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 0.0;
+        }
+        self.structure_bytes as f64 / self.raw_bytes as f64
+    }
+
+    /// Measure a compacted BAT image exactly from its own bookkeeping.
+    pub fn measure(bytes: &[u8]) -> bat_wire::WireResult<LayoutStats> {
+        let head = format::read_head(bytes)?;
+        let bpp: usize = 12 + head.descs.iter().map(|d| d.dtype.size()).sum::<usize>();
+        let raw = head.num_particles * bpp as u64;
+        let num_nodes: u64 = head.leaves.iter().map(|l| l.num_nodes as u64).sum();
+
+        // Padding = gap after the head payload + gaps between blocks.
+        let mut leaves_sorted: Vec<_> = head.leaves.iter().collect();
+        leaves_sorted.sort_by_key(|l| l.offset);
+        let mut padding = 0u64;
+        let mut payload_end = head.head_end as usize;
+        for l in &leaves_sorted {
+            padding += l.offset - payload_end as u64;
+            let layout = format::TreeletLayout::compute(
+                l.num_nodes as usize,
+                l.num_particles as usize,
+                &head.descs,
+            );
+            payload_end = l.offset as usize + layout.size;
+        }
+        padding += (bytes.len() - payload_end) as u64;
+
+        Ok(LayoutStats {
+            raw_bytes: raw,
+            file_bytes: bytes.len() as u64,
+            structure_bytes: bytes.len() as u64 - raw - padding,
+            padding_bytes: padding,
+            num_treelets: head.leaves.len() as u64,
+            num_nodes,
+            dict_entries: head.dict.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeDesc;
+    use crate::build::{Bat, BatBuilder, BatConfig};
+    use crate::particles::ParticleSet;
+    use bat_geom::rng::Xoshiro256;
+    use bat_geom::{Aabb, Vec3};
+
+    fn coal_like_bat(n: usize) -> Bat {
+        // 3 f32 coords + 7 f64 attributes, like the Coal Boiler (§VI-A2).
+        let mut rng = Xoshiro256::new(13);
+        let descs: Vec<AttributeDesc> =
+            (0..7).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+        let mut set = ParticleSet::new(descs);
+        for _ in 0..n {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            let vals: Vec<f64> = (0..7).map(|k| p.x as f64 * (k + 1) as f64).collect();
+            set.push(p, &vals);
+        }
+        BatBuilder::new(BatConfig::default()).build(set, Aabb::unit())
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let bat = coal_like_bat(50_000);
+        let bytes = bat.to_bytes();
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        assert_eq!(
+            stats.raw_bytes + stats.structure_bytes + stats.padding_bytes,
+            stats.file_bytes
+        );
+        assert_eq!(stats.raw_bytes, 50_000 * (12 + 7 * 8));
+        assert_eq!(stats.num_treelets, bat.treelets.len() as u64);
+        assert!(stats.dict_entries >= 1);
+    }
+
+    #[test]
+    fn structure_overhead_is_low() {
+        // The paper reports ≈0.9% additional memory for the layout. The
+        // overhead amortizes with particles per treelet: at 200k uniform
+        // particles the 4096 shallow cells are sparsely filled, so we only
+        // require the few-percent regime here; the `stats_overhead`
+        // experiment reports the sub-1% numbers at realistic file sizes.
+        let bat = coal_like_bat(200_000);
+        let bytes = bat.to_bytes();
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        let ov = stats.structure_overhead();
+        assert!(ov < 0.06, "structure overhead {ov:.4} should be a few percent");
+        assert!(ov > 0.001, "structure overhead {ov:.4} suspiciously low");
+    }
+
+    #[test]
+    fn structure_overhead_amortizes_with_density() {
+        // More particles over the same shallow cells → lower overhead.
+        let small = {
+            let bat = coal_like_bat(50_000);
+            LayoutStats::measure(&bat.to_bytes()).unwrap().structure_overhead()
+        };
+        let large = {
+            let bat = coal_like_bat(400_000);
+            LayoutStats::measure(&bat.to_bytes()).unwrap().structure_overhead()
+        };
+        assert!(large < small, "overhead should shrink: {small:.4} -> {large:.4}");
+    }
+
+    #[test]
+    fn empty_bat_stats() {
+        let bat = coal_like_bat(0);
+        let bytes = bat.to_bytes();
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        assert_eq!(stats.raw_bytes, 0);
+        assert_eq!(stats.overhead(), 0.0);
+        assert_eq!(stats.padding_bytes + stats.structure_bytes, stats.file_bytes);
+    }
+}

@@ -1,0 +1,390 @@
+//! Treelets: median-split k-d trees with embedded LOD particles
+//! (paper §III-C2).
+//!
+//! One treelet is built inside each shallow-tree leaf. Every *inner* node
+//! sets aside a fixed number of LOD particles, chosen by stratified sampling
+//! from the node's particles — a coarse representation of the subtree with
+//! **zero** duplication or synthesized representatives. The remaining
+//! particles are split at the median along the node's longest axis.
+//!
+//! The build produces a particle *ordering*: a node's own particles (its
+//! LOD set, or everything for a leaf) occupy a contiguous range, and a
+//! subtree occupies a contiguous span starting with its root's LOD block.
+//! A progressive read to depth `d` therefore touches a prefix of each
+//! relevant span — exactly what the quality-driven reads of §V-B need.
+
+use crate::bitmap::Bitmap32;
+use crate::particles::ParticleSet;
+use bat_geom::rng::SplitMix64;
+use bat_geom::sampling::{partition_selected, stratified_indices};
+use bat_geom::{Aabb, Vec3};
+
+/// Sentinel for "no child".
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Treelet build parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeletConfig {
+    /// LOD particles stored at each inner node (paper default: 8).
+    pub lod_per_inner: u32,
+    /// Maximum particles in a treelet leaf (paper default: 128).
+    pub max_leaf: u32,
+    /// Seed for the stratified sampling.
+    pub seed: u64,
+}
+
+impl Default for TreeletConfig {
+    fn default() -> TreeletConfig {
+        TreeletConfig { lod_per_inner: 8, max_leaf: 128, seed: 0x9E3779B97F4A7C15 }
+    }
+}
+
+/// One node of a treelet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeletNode {
+    /// Tight bounds over every particle in the subtree (including LOD).
+    pub bounds: Aabb,
+    /// Start of this node's own particle block, treelet-local.
+    pub start: u32,
+    /// Number of particles in the block (LOD count for inner, all for leaf).
+    pub count: u32,
+    /// Left child node index; `NO_CHILD` for leaves.
+    pub left: u32,
+    /// Right child node index; `NO_CHILD` for leaves.
+    pub right: u32,
+    /// Depth below the treelet root (root = 0).
+    pub depth: u32,
+}
+
+impl TreeletNode {
+    /// True for leaf nodes (no children).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left == NO_CHILD
+    }
+}
+
+/// A built treelet: nodes plus per-node, per-attribute bitmaps. Particle
+/// data lives in the owning [`crate::Bat`]'s reordered arrays at
+/// `[first_particle, first_particle + num_particles)`.
+#[derive(Debug, Clone)]
+pub struct Treelet {
+    /// Nodes in preorder (children follow their parent).
+    pub nodes: Vec<TreeletNode>,
+    /// `bitmaps[node][attr]`.
+    pub bitmaps: Vec<Vec<Bitmap32>>,
+    /// Start of this treelet's particles in the BAT's global order.
+    pub first_particle: u64,
+    /// Number of particles in the treelet.
+    pub num_particles: u32,
+    /// Deepest node depth in this treelet.
+    pub max_depth: u32,
+}
+
+impl Treelet {
+    /// Root node (index 0). Panics on an empty treelet, which cannot be
+    /// constructed through [`build_structure`].
+    pub fn root(&self) -> &TreeletNode {
+        &self.nodes[0]
+    }
+}
+
+/// Outcome of the structural phase of a treelet build: nodes plus the local
+/// particle ordering (output slot `i` holds input-local index `order[i]`).
+pub struct TreeletStructure {
+    /// Nodes in preorder.
+    pub nodes: Vec<TreeletNode>,
+    /// Local particle ordering (slot `i` holds input index `order[i]`).
+    pub order: Vec<u32>,
+    /// Deepest node depth.
+    pub max_depth: u32,
+}
+
+/// Build the treelet structure over `positions` (one shallow leaf's
+/// particles, any order). Only geometry is needed; bitmaps are computed
+/// afterwards from the reordered attribute data by [`compute_bitmaps`].
+pub fn build_structure(positions: &[Vec3], cfg: &TreeletConfig, salt: u64) -> TreeletStructure {
+    let n = positions.len();
+    assert!(n > 0, "treelet needs at least one particle");
+    assert!(cfg.max_leaf >= 1, "max_leaf must be at least 1");
+    let mut nodes: Vec<TreeletNode> = Vec::with_capacity(2 * n / cfg.max_leaf.max(1) as usize + 1);
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SplitMix64::new(cfg.seed ^ salt);
+    let mut max_depth = 0;
+    build_node(positions, &mut idx, cfg, 0, &mut nodes, &mut order, &mut rng, &mut max_depth);
+    debug_assert_eq!(order.len(), n);
+    TreeletStructure { nodes, order, max_depth }
+}
+
+/// Recursive node construction. Appends this subtree's particle order to
+/// `order` and returns the node's index.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    positions: &[Vec3],
+    idx: &mut [u32],
+    cfg: &TreeletConfig,
+    depth: u32,
+    nodes: &mut Vec<TreeletNode>,
+    order: &mut Vec<u32>,
+    rng: &mut SplitMix64,
+    max_depth: &mut u32,
+) -> u32 {
+    *max_depth = (*max_depth).max(depth);
+    let mut bounds = Aabb::empty();
+    for &i in idx.iter() {
+        bounds.extend(positions[i as usize]);
+    }
+    let node_id = nodes.len() as u32;
+    let n = idx.len();
+
+    if n as u32 <= cfg.max_leaf {
+        nodes.push(TreeletNode {
+            bounds,
+            start: order.len() as u32,
+            count: n as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+            depth,
+        });
+        order.extend_from_slice(idx);
+        return node_id;
+    }
+
+    // Inner node: set aside LOD particles first (stratified over the slice,
+    // which is in the parent's spatial order), then median-split the rest.
+    // Keep at least two particles for the children.
+    let k = (cfg.lod_per_inner as usize).min(n.saturating_sub(2));
+    let picks = stratified_indices(n, k, rng);
+    partition_selected(idx, &picks);
+    let start = order.len() as u32;
+    order.extend_from_slice(&idx[..k]);
+
+    nodes.push(TreeletNode {
+        bounds,
+        start,
+        count: k as u32,
+        left: NO_CHILD, // patched below
+        right: NO_CHILD,
+        depth,
+    });
+
+    let rest = &mut idx[k..];
+    let axis = bounds.longest_axis();
+    let mid = rest.len() / 2;
+    rest.select_nth_unstable_by(mid, |&a, &b| {
+        positions[a as usize][axis].total_cmp(&positions[b as usize][axis])
+    });
+    let (lo, hi) = rest.split_at_mut(mid);
+    // A degenerate axis (all equal positions) can still split by count:
+    // select_nth gives mid elements on the left regardless.
+    debug_assert!(!lo.is_empty() && !hi.is_empty());
+    let left = build_node(positions, lo, cfg, depth + 1, nodes, order, rng, max_depth);
+    let right = build_node(positions, hi, cfg, depth + 1, nodes, order, rng, max_depth);
+    nodes[node_id as usize].left = left;
+    nodes[node_id as usize].right = right;
+    node_id
+}
+
+/// Compute per-node, per-attribute bitmaps for a treelet whose particles
+/// have already been reordered into build order. `particles` is the global
+/// reordered set; the treelet's particles start at `first_particle`.
+///
+/// Leaves bin their own particles; inner nodes merge their children's
+/// bitmaps with the bitmaps of their own LOD particles (paper §III-C2).
+pub fn compute_bitmaps(
+    nodes: &[TreeletNode],
+    particles: &ParticleSet,
+    first_particle: usize,
+    attr_ranges: &[(f64, f64)],
+) -> Vec<Vec<Bitmap32>> {
+    let na = attr_ranges.len();
+    let mut bitmaps = vec![vec![Bitmap32::EMPTY; na]; nodes.len()];
+    // Children always have larger indices than their parent (preorder
+    // construction), so a reverse scan is a valid bottom-up order.
+    for ni in (0..nodes.len()).rev() {
+        let node = &nodes[ni];
+        for (a, &(lo, hi)) in attr_ranges.iter().enumerate() {
+            let mut bm = Bitmap32::EMPTY;
+            let begin = first_particle + node.start as usize;
+            for i in begin..begin + node.count as usize {
+                bm.insert(particles.value(a, i), lo, hi);
+            }
+            if !node.is_leaf() {
+                bm = bm
+                    .or(bitmaps[node.left as usize][a])
+                    .or(bitmaps[node.right as usize][a]);
+            }
+            bitmaps[ni][a] = bm;
+        }
+    }
+    bitmaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeDesc;
+    use bat_geom::rng::Xoshiro256;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
+            .collect()
+    }
+
+    fn check_structure(positions: &[Vec3], s: &TreeletStructure, cfg: &TreeletConfig) {
+        // Order is a permutation.
+        let mut seen = vec![false; positions.len()];
+        for &i in &s.order {
+            assert!(!seen[i as usize], "index {i} duplicated");
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "order must cover all particles");
+
+        for (ni, node) in s.nodes.iter().enumerate() {
+            // Every particle in the node's own block lies inside its bounds.
+            for o in node.start..node.start + node.count {
+                let p = positions[s.order[o as usize] as usize];
+                assert!(node.bounds.contains_point(p), "node {ni}");
+            }
+            if node.is_leaf() {
+                assert!(node.count <= cfg.max_leaf);
+                assert_eq!(node.right, NO_CHILD);
+            } else {
+                assert!(node.count <= cfg.lod_per_inner);
+                let l = &s.nodes[node.left as usize];
+                let r = &s.nodes[node.right as usize];
+                assert_eq!(l.depth, node.depth + 1);
+                assert_eq!(r.depth, node.depth + 1);
+                assert!(node.bounds.contains_box(&l.bounds));
+                assert!(node.bounds.contains_box(&r.bounds));
+                // Subtree spans: LOD block, then left subtree, then right.
+                assert_eq!(l.start, node.start + node.count);
+            }
+        }
+        // Total stored particles across nodes equals the input count.
+        let total: u32 = s.nodes.iter().map(|n| n.count).sum();
+        assert_eq!(total as usize, positions.len());
+    }
+
+    #[test]
+    fn tiny_input_single_leaf() {
+        let pts = cloud(5, 1);
+        let cfg = TreeletConfig::default();
+        let s = build_structure(&pts, &cfg, 0);
+        assert_eq!(s.nodes.len(), 1);
+        assert!(s.nodes[0].is_leaf());
+        assert_eq!(s.max_depth, 0);
+        check_structure(&pts, &s, &cfg);
+    }
+
+    #[test]
+    fn structure_invariants_random() {
+        let cfg = TreeletConfig { lod_per_inner: 8, max_leaf: 32, seed: 7 };
+        for (n, seed) in [(33, 2u64), (100, 3), (1000, 4), (5000, 5)] {
+            let pts = cloud(n, seed);
+            let s = build_structure(&pts, &cfg, seed);
+            assert!(s.nodes.len() > 1, "n={n}");
+            check_structure(&pts, &s, &cfg);
+        }
+    }
+
+    #[test]
+    fn degenerate_coincident_points_still_split() {
+        // All particles at the same position: median split by count must
+        // terminate (no infinite recursion on zero-extent bounds).
+        let pts = vec![Vec3::splat(0.5); 1000];
+        let cfg = TreeletConfig { lod_per_inner: 4, max_leaf: 16, seed: 1 };
+        let s = build_structure(&pts, &cfg, 0);
+        check_structure(&pts, &s, &cfg);
+    }
+
+    #[test]
+    fn lod_particles_spread_across_subtree() {
+        // The root's LOD block should span the node spatially, not cluster.
+        let pts = cloud(10_000, 11);
+        let cfg = TreeletConfig::default();
+        let s = build_structure(&pts, &cfg, 0);
+        let root = &s.nodes[0];
+        let mut lod_bounds = Aabb::empty();
+        for o in root.start..root.start + root.count {
+            lod_bounds.extend(pts[s.order[o as usize] as usize]);
+        }
+        // The 8 stratified picks should cover a decent share of the volume.
+        assert!(
+            lod_bounds.volume() > 0.1 * root.bounds.volume(),
+            "LOD bounds {lod_bounds:?} too tight vs {:?}",
+            root.bounds
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = cloud(500, 21);
+        let cfg = TreeletConfig::default();
+        let a = build_structure(&pts, &cfg, 3);
+        let b = build_structure(&pts, &cfg, 3);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.nodes.len(), b.nodes.len());
+    }
+
+    #[test]
+    fn bitmaps_no_false_negatives() {
+        let pts = cloud(2000, 31);
+        let cfg = TreeletConfig { lod_per_inner: 8, max_leaf: 64, seed: 9 };
+        let s = build_structure(&pts, &cfg, 0);
+
+        // One attribute: value = x coordinate scaled.
+        let mut set = ParticleSet::new(vec![AttributeDesc::f64("v")]);
+        for &i in &s.order {
+            let p = pts[i as usize];
+            set.push(p, &[p.x as f64 * 100.0]);
+        }
+        let ranges = [(0.0, 100.0)];
+        let bitmaps = compute_bitmaps(&s.nodes, &set, 0, &ranges);
+
+        // For every node, every particle in its subtree must fall in an
+        // occupied bin of the node's bitmap.
+        for ni in 0..s.nodes.len() {
+            let bm = bitmaps[ni][0];
+            let span = subtree_span(&s.nodes, ni);
+            for i in span.0..span.1 {
+                let v = set.value(0, i);
+                let single = Bitmap32::from_values([v], 0.0, 100.0);
+                assert!(bm.overlaps(single), "node {ni} value {v}");
+            }
+        }
+    }
+
+    /// The contiguous particle span `[start, end)` of a subtree.
+    fn subtree_span(nodes: &[TreeletNode], ni: usize) -> (usize, usize) {
+        let node = &nodes[ni];
+        if node.is_leaf() {
+            return (node.start as usize, (node.start + node.count) as usize);
+        }
+        let (_, rend) = subtree_span(nodes, node.right as usize);
+        (node.start as usize, rend)
+    }
+
+    #[test]
+    fn inner_bitmap_includes_lod_and_children() {
+        let pts = cloud(300, 41);
+        let cfg = TreeletConfig { lod_per_inner: 4, max_leaf: 32, seed: 2 };
+        let s = build_structure(&pts, &cfg, 0);
+        let mut set = ParticleSet::new(vec![AttributeDesc::f64("v")]);
+        for &i in &s.order {
+            set.push(pts[i as usize], &[pts[i as usize].y as f64]);
+        }
+        let bitmaps = compute_bitmaps(&s.nodes, &set, 0, &[(0.0, 1.0)]);
+        for (ni, node) in s.nodes.iter().enumerate() {
+            let _ = ni;
+            if !node.is_leaf() {
+                let merged = bitmaps[node.left as usize][0].or(bitmaps[node.right as usize][0]);
+                // Parent ⊇ children.
+                assert_eq!(bitmaps[ni][0].or(merged), bitmaps[ni][0]);
+            }
+        }
+    }
+}

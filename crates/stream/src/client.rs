@@ -1,0 +1,225 @@
+//! The streaming client: a viewer-side session.
+
+use crate::protocol::{read_frame, write_frame, Chunk, Request, Schema, ServerMsg};
+use bat_layout::Query;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream};
+
+/// A connected viewer session.
+pub struct StreamClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    schema: Schema,
+}
+
+impl StreamClient {
+    /// Connect and receive the dataset schema.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<StreamClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = stream.try_clone()?;
+        let writer = BufWriter::new(stream);
+        let payload = read_frame(&mut reader)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed during hello")
+        })?;
+        let schema = match ServerMsg::decode(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            ServerMsg::Schema(s) => s,
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected schema, got {other:?}"),
+                ))
+            }
+        };
+        Ok(StreamClient { reader, writer, schema })
+    }
+
+    /// The dataset schema received at connect time.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Run one query, invoking `on_chunk` as batches arrive. Returns the
+    /// total number of points streamed.
+    pub fn request(
+        &mut self,
+        query: &Query,
+        mut on_chunk: impl FnMut(&Chunk),
+    ) -> std::io::Result<u64> {
+        let req = Request { query: query.clone() };
+        write_frame(&mut self.writer, &req.encode())?;
+        use std::io::Write;
+        self.writer.flush()?;
+
+        let mut received = 0u64;
+        loop {
+            let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed mid-stream")
+            })?;
+            match ServerMsg::decode(&payload)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                ServerMsg::Chunk(c) => {
+                    received += c.len() as u64;
+                    on_chunk(&c);
+                }
+                ServerMsg::Done { points } => {
+                    if points != received {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("server reported {points} points, received {received}"),
+                        ));
+                    }
+                    return Ok(received);
+                }
+                ServerMsg::Schema(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected schema mid-session",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamServer;
+    use bat_comm::Cluster;
+    use bat_geom::{Aabb, Vec3};
+    use bat_workloads::{uniform, RankGrid};
+    use libbat::write::{write_particles, WriteConfig};
+    use libbat::Dataset;
+
+    fn make_dataset(tag: &str, per_rank: u64) -> (std::path::PathBuf, u64) {
+        let dir = std::env::temp_dir().join(format!("bat-stream-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let n = 4;
+        let grid = RankGrid::new_3d(n, Aabb::unit());
+        let d = dir.clone();
+        Cluster::run(n, move |comm| {
+            let set = uniform::generate_rank(&grid, comm.rank(), per_rank, 5);
+            let cfg = WriteConfig::with_target_size(100_000, set.bytes_per_particle() as u64);
+            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &d, "s").unwrap();
+        });
+        (dir, per_rank * n as u64)
+    }
+
+    fn start(dir: &std::path::Path) -> crate::ServerHandle {
+        let ds = Dataset::open(dir, "s").unwrap();
+        StreamServer::bind("127.0.0.1:0", ds).unwrap().spawn()
+    }
+
+    #[test]
+    fn full_stream_matches_dataset() {
+        let (dir, total) = make_dataset("full", 3000);
+        let handle = start(&dir);
+        let mut client = StreamClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.schema().total_particles, total);
+        assert_eq!(client.schema().descs.len(), 14);
+        let mut points = 0u64;
+        let mut chunks = 0;
+        let n = client
+            .request(&Query::new(), |c| {
+                points += c.len() as u64;
+                chunks += 1;
+                assert!(c.len() <= crate::CHUNK_POINTS);
+                assert_eq!(c.num_attrs, 14);
+            })
+            .unwrap();
+        assert_eq!(n, total);
+        assert_eq!(points, total);
+        assert!(chunks >= 2, "expected multiple chunks, got {chunks}");
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progressive_session_partitions_data() {
+        let (dir, total) = make_dataset("prog", 2500);
+        let handle = start(&dir);
+        let mut client = StreamClient::connect(handle.addr()).unwrap();
+        // The Fig. 4 viewer loop: quality sweep with progressive baselines.
+        let mut received = 0u64;
+        let mut prev = 0.0;
+        for i in 1..=5 {
+            let q = i as f64 / 5.0;
+            received += client
+                .request(
+                    &Query::new().with_prev_quality(prev).with_quality(q),
+                    |_| {},
+                )
+                .unwrap();
+            prev = q;
+        }
+        assert_eq!(received, total);
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spatial_and_attribute_filtering_served() {
+        let (dir, _) = make_dataset("filter", 2000);
+        let ds = Dataset::open(&dir, "s").unwrap();
+        let qb = Aabb::new(Vec3::ZERO, Vec3::splat(0.5));
+        let q = Query::new().with_bounds(qb).with_filter(0, -0.5, 0.5);
+        let expect = ds.count(&q).unwrap();
+
+        let handle = start(&dir);
+        let mut client = StreamClient::connect(handle.addr()).unwrap();
+        let mut ok = true;
+        let got = client
+            .request(&q, |c| {
+                for (i, p) in c.positions.iter().enumerate() {
+                    ok &= qb.contains_point(*p);
+                    let v = c.attr(i, 0);
+                    ok &= (-0.5..=0.5).contains(&v);
+                }
+            })
+            .unwrap();
+        assert!(ok, "streamed points must satisfy the filters");
+        assert_eq!(got, expect);
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (dir, total) = make_dataset("multi", 1500);
+        let handle = start(&dir);
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = StreamClient::connect(addr).unwrap();
+                    client.request(&Query::new(), |_| {}).unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), total);
+        }
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequential_requests_reuse_connection() {
+        let (dir, total) = make_dataset("seq", 1000);
+        let handle = start(&dir);
+        let mut client = StreamClient::connect(handle.addr()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(client.request(&Query::new(), |_| {}).unwrap(), total);
+        }
+        drop(client);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

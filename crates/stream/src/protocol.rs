@@ -1,0 +1,311 @@
+//! The streaming wire protocol: length-framed messages over a byte stream.
+//!
+//! Every message is a `u32` little-endian length followed by that many
+//! payload bytes (encoded with `bat-wire`). The session flow:
+//!
+//! ```text
+//! client → server   Request  { query }
+//! server → client   Schema   { attribute names/types, domain, total }   (first request only)
+//! server → client   Chunk    { ≤ CHUNK_POINTS points }                  (repeated)
+//! server → client   Done     { points_sent }
+//! ```
+//!
+//! Chunks are bounded so a viewer can render while the stream continues —
+//! the paper's progressive loading behavior (Fig. 4, §V-B).
+
+use bat_geom::Vec3;
+use bat_layout::{AttributeDesc, Query};
+use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use std::io::{Read, Write};
+
+/// Maximum points per chunk.
+pub const CHUNK_POINTS: usize = 4096;
+
+/// Message type tags.
+const MSG_REQUEST: u8 = 1;
+const MSG_SCHEMA: u8 = 2;
+const MSG_CHUNK: u8 = 3;
+const MSG_DONE: u8 = 4;
+/// Hard cap on any framed message (a sanity bound against corrupt frames).
+const MAX_FRAME: u32 = 64 << 20;
+
+/// A client request: run this query and stream the results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The query to evaluate (quality, progressive baseline, bounds,
+    /// attribute filters).
+    pub query: Query,
+}
+
+/// Dataset schema sent on a session's first response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Attribute descriptors.
+    pub descs: Vec<AttributeDesc>,
+    /// Total particles in the dataset.
+    pub total_particles: u64,
+}
+
+/// A batch of streamed points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Chunk {
+    /// Positions, one per point.
+    pub positions: Vec<Vec3>,
+    /// Attribute values, `num_attrs` per point, point-major.
+    pub attrs: Vec<f64>,
+    /// Attributes per point.
+    pub num_attrs: usize,
+}
+
+impl Chunk {
+    /// Number of points in the chunk.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the chunk holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Attribute `a` of point `i`.
+    pub fn attr(&self, i: usize, a: usize) -> f64 {
+        self.attrs[i * self.num_attrs + a]
+    }
+}
+
+/// Messages a server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Session schema (first reply of a connection).
+    Schema(Schema),
+    /// A batch of points.
+    Chunk(Chunk),
+    /// End of the current request; `points` were sent in total.
+    Done {
+        /// Total points streamed for the request.
+        points: u64,
+    },
+}
+
+/// Write one length-framed message.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one length-framed message; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the session).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(MSG_REQUEST);
+        self.query.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> WireResult<Request> {
+        let mut dec = Decoder::new(payload);
+        let tag = dec.get_u8("message tag")?;
+        if tag != MSG_REQUEST {
+            return Err(WireError::BadTag { what: "request tag", tag: tag as u64 });
+        }
+        Ok(Request { query: Query::decode(&mut dec)? })
+    }
+}
+
+impl ServerMsg {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            ServerMsg::Schema(s) => {
+                enc.put_u8(MSG_SCHEMA);
+                enc.put_u64(s.descs.len() as u64);
+                for d in &s.descs {
+                    d.encode(&mut enc);
+                }
+                enc.put_u64(s.total_particles);
+            }
+            ServerMsg::Chunk(c) => {
+                enc.put_u8(MSG_CHUNK);
+                enc.put_u64(c.num_attrs as u64);
+                enc.put_u64(c.positions.len() as u64);
+                for p in &c.positions {
+                    enc.put_f32(p.x);
+                    enc.put_f32(p.y);
+                    enc.put_f32(p.z);
+                }
+                enc.put_f64_slice(&c.attrs);
+            }
+            ServerMsg::Done { points } => {
+                enc.put_u8(MSG_DONE);
+                enc.put_u64(*points);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> WireResult<ServerMsg> {
+        let mut dec = Decoder::new(payload);
+        match dec.get_u8("message tag")? {
+            MSG_SCHEMA => {
+                let na = dec.get_usize("schema attr count")?;
+                if na > 4096 {
+                    return Err(WireError::BadLength {
+                        what: "schema attr count",
+                        len: na as u64,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut descs = Vec::with_capacity(na);
+                for _ in 0..na {
+                    descs.push(AttributeDesc::decode(&mut dec)?);
+                }
+                let total_particles = dec.get_u64("schema total")?;
+                Ok(ServerMsg::Schema(Schema { descs, total_particles }))
+            }
+            MSG_CHUNK => {
+                let num_attrs = dec.get_usize("chunk attrs")?;
+                let n = dec.get_usize("chunk points")?;
+                if n > CHUNK_POINTS || num_attrs > 4096 {
+                    return Err(WireError::BadLength {
+                        what: "chunk size",
+                        len: n as u64,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut positions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    positions.push(Vec3::new(
+                        dec.get_f32("chunk x")?,
+                        dec.get_f32("chunk y")?,
+                        dec.get_f32("chunk z")?,
+                    ));
+                }
+                let attrs = dec.get_f64_vec("chunk attrs data")?;
+                if attrs.len() != n * num_attrs {
+                    return Err(WireError::BadLength {
+                        what: "chunk attr payload",
+                        len: attrs.len() as u64,
+                        remaining: dec.remaining(),
+                    });
+                }
+                Ok(ServerMsg::Chunk(Chunk { positions, attrs, num_attrs }))
+            }
+            MSG_DONE => Ok(ServerMsg::Done { points: dec.get_u64("done points")? }),
+            tag => Err(WireError::BadTag { what: "server message tag", tag: tag as u64 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_geom::Aabb;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            query: Query::new()
+                .with_quality(0.4)
+                .with_prev_quality(0.2)
+                .with_bounds(Aabb::unit())
+                .with_filter(1, -2.0, 5.0),
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn server_msgs_roundtrip() {
+        let msgs = [
+            ServerMsg::Schema(Schema {
+                descs: vec![AttributeDesc::f64("m"), AttributeDesc::f32("t")],
+                total_particles: 99,
+            }),
+            ServerMsg::Chunk(Chunk {
+                positions: vec![Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO],
+                attrs: vec![4.0, 5.0, 6.0, 7.0],
+                num_attrs: 2,
+            }),
+            ServerMsg::Done { points: 123 },
+        ];
+        for m in msgs {
+            assert_eq!(ServerMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn wrong_tags_rejected() {
+        let done = ServerMsg::Done { points: 1 }.encode();
+        assert!(Request::decode(&done).is_err());
+        let req = Request { query: Query::new() }.encode();
+        assert!(ServerMsg::decode(&req).is_err());
+    }
+
+    #[test]
+    fn chunk_accessors() {
+        let c = Chunk {
+            positions: vec![Vec3::ZERO, Vec3::ONE],
+            attrs: vec![1.0, 2.0, 3.0, 4.0],
+            num_attrs: 2,
+        };
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.attr(0, 1), 2.0);
+        assert_eq!(c.attr(1, 0), 3.0);
+    }
+}

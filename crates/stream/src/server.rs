@@ -1,0 +1,153 @@
+//! The streaming server: serves a dataset to concurrent viewer clients.
+
+use crate::protocol::{read_frame, write_frame, Chunk, Request, Schema, ServerMsg, CHUNK_POINTS};
+use libbat::Dataset;
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound but not yet running server.
+pub struct StreamServer {
+    listener: TcpListener,
+    dataset: Arc<Dataset>,
+}
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StreamServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) serving
+    /// `dataset`.
+    pub fn bind(addr: &str, dataset: Dataset) -> std::io::Result<StreamServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(StreamServer { listener, dataset: Arc::new(dataset) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Start accepting connections on a background thread. Each connection
+    /// gets its own session thread; queries within a session run
+    /// sequentially (the viewer protocol is request/response).
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr();
+        let stop2 = stop.clone();
+        let thread = std::thread::spawn(move || {
+            self.listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            loop {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let ds = self.dataset.clone();
+                        std::thread::spawn(move || {
+                            // A failed session only affects that client.
+                            let _ = serve_connection(stream, &ds);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        ServerHandle { stop, addr, thread: Some(thread) }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// sessions finish their current request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// Serve one client session: schema first, then request/stream cycles until
+/// the client disconnects.
+fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    // Session preamble: the schema.
+    let schema = ServerMsg::Schema(Schema {
+        descs: ds.descs().to_vec(),
+        total_particles: ds.num_particles(),
+    });
+    write_frame(&mut writer, &schema.encode())?;
+    use std::io::Write;
+    writer.flush()?;
+
+    while let Some(payload) = read_frame(&mut reader)? {
+        let request = Request::decode(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+
+        // Stream the query's results in bounded chunks.
+        let num_attrs = ds.descs().len();
+        let mut chunk = Chunk {
+            positions: Vec::with_capacity(CHUNK_POINTS),
+            attrs: Vec::with_capacity(CHUNK_POINTS * num_attrs),
+            num_attrs,
+        };
+        let mut sent = 0u64;
+        let mut io_err: Option<std::io::Error> = None;
+        let result = ds.query(&request.query, |p| {
+            if io_err.is_some() {
+                return;
+            }
+            chunk.positions.push(p.position);
+            chunk.attrs.extend_from_slice(p.attrs);
+            if chunk.len() == CHUNK_POINTS {
+                sent += chunk.len() as u64;
+                let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
+                chunk.num_attrs = num_attrs;
+                chunk.positions.reserve(CHUNK_POINTS);
+                if let Err(e) = write_frame(&mut writer, &msg.encode()) {
+                    io_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        result.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if !chunk.is_empty() {
+            sent += chunk.len() as u64;
+            let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
+            write_frame(&mut writer, &msg.encode())?;
+        }
+        write_frame(&mut writer, &ServerMsg::Done { points: sent }.encode())?;
+        writer.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,363 @@
+//! Implementations of the `bat` subcommands.
+
+use bat_layout::stats::LayoutStats;
+use bat_layout::{BatFile, Query};
+use libbat::Dataset;
+use std::fmt::Write as _;
+
+type Result<T> = std::result::Result<T, String>;
+
+fn open(args: &[String]) -> Result<(Dataset, String, Vec<String>)> {
+    let (dir, basename) = match (args.first(), args.get(1)) {
+        (Some(d), Some(b)) => (d.clone(), b.clone()),
+        _ => return Err("expected <dir> <basename>".into()),
+    };
+    let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+    Ok((ds, dir, args[2..].to_vec()))
+}
+
+/// `bat info` — dataset summary.
+pub fn info(args: &[String]) -> Result<()> {
+    let (ds, _, _) = open(args)?;
+    let meta = ds.meta();
+    println!("particles : {}", ds.num_particles());
+    println!("files     : {}", ds.num_files());
+    let d = meta.domain;
+    println!(
+        "domain    : [{:.4}, {:.4}, {:.4}] .. [{:.4}, {:.4}, {:.4}]",
+        d.min.x, d.min.y, d.min.z, d.max.x, d.max.y, d.max.z
+    );
+    println!("attributes:");
+    for (i, (desc, &(lo, hi))) in meta.descs.iter().zip(&meta.global_ranges).enumerate() {
+        println!("  [{i}] {:<20} {:?}  global range [{lo:.6}, {hi:.6}]", desc.name, desc.dtype);
+    }
+    println!("total size: {} bytes on disk", ds.total_file_bytes().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+/// `bat files` — per-leaf table.
+pub fn files(args: &[String]) -> Result<()> {
+    let (ds, dir, _) = open(args)?;
+    let meta = ds.meta();
+    println!(
+        "{:>5}  {:>12}  {:>12}  {:>10}  bounds",
+        "leaf", "particles", "bytes", "aggregator"
+    );
+    for (i, leaf) in meta.leaves.iter().enumerate() {
+        let path = std::path::Path::new(&dir).join(&leaf.file);
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let b = leaf.bounds;
+        println!(
+            "{i:>5}  {:>12}  {size:>12}  {:>10}  [{:.3},{:.3},{:.3}]..[{:.3},{:.3},{:.3}]  {}",
+            leaf.particles,
+            leaf.aggregator,
+            b.min.x,
+            b.min.y,
+            b.min.z,
+            b.max.x,
+            b.max.y,
+            b.max.z,
+            leaf.file,
+        );
+    }
+    Ok(())
+}
+
+/// `bat verify` — integrity check: metadata parses, every leaf file opens,
+/// per-file particle counts match the metadata, and a full query returns
+/// exactly the advertised total.
+pub fn verify(args: &[String]) -> Result<()> {
+    let (ds, dir, _) = open(args)?;
+    let meta = ds.meta();
+    let mut problems = Vec::new();
+    let mut total = 0u64;
+    for (i, leaf) in meta.leaves.iter().enumerate() {
+        let path = std::path::Path::new(&dir).join(&leaf.file);
+        match BatFile::open(&path) {
+            Ok(file) => {
+                if file.num_particles() != leaf.particles {
+                    problems.push(format!(
+                        "leaf {i}: file holds {} particles, metadata says {}",
+                        file.num_particles(),
+                        leaf.particles
+                    ));
+                }
+                match file.count(&Query::new()) {
+                    Ok(n) => {
+                        if n != leaf.particles {
+                            problems.push(format!(
+                                "leaf {i}: full query returned {n}, expected {}",
+                                leaf.particles
+                            ));
+                        }
+                        total += n;
+                    }
+                    Err(e) => problems.push(format!("leaf {i}: query failed: {e}")),
+                }
+            }
+            Err(e) => problems.push(format!("leaf {i} ({}): open failed: {e}", leaf.file)),
+        }
+    }
+    if total != meta.total_particles {
+        problems.push(format!(
+            "dataset total {} does not match metadata {}",
+            total, meta.total_particles
+        ));
+    }
+    if problems.is_empty() {
+        println!(
+            "OK: {} files, {} particles, all counts consistent",
+            meta.leaves.len(),
+            total
+        );
+        Ok(())
+    } else {
+        for p in &problems {
+            eprintln!("FAIL: {p}");
+        }
+        Err(format!("{} problem(s) found", problems.len()))
+    }
+}
+
+/// `bat query` — count or dump matching points.
+pub fn query(args: &[String]) -> Result<()> {
+    let (ds, _, rest) = open(args)?;
+    let mut q = Query::new();
+    let mut dump: Option<usize> = None;
+    let mut it = rest.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quality" => {
+                q.quality = next_f64(&mut it, "--quality")?;
+            }
+            "--prev-quality" => {
+                q.prev_quality = next_f64(&mut it, "--prev-quality")?;
+            }
+            "--bounds" => {
+                let v = next_list(&mut it, "--bounds", 6)?;
+                q = q.with_bounds(bat_geom::Aabb::new(
+                    bat_geom::Vec3::new(v[0] as f32, v[1] as f32, v[2] as f32),
+                    bat_geom::Vec3::new(v[3] as f32, v[4] as f32, v[5] as f32),
+                ));
+            }
+            "--filter" => {
+                let v = next_list(&mut it, "--filter", 3)?;
+                q = q.with_filter(v[0] as usize, v[1], v[2]);
+            }
+            "--dump" => {
+                let n = it
+                    .peek()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .inspect(|_| {
+                        it.next();
+                    })
+                    .unwrap_or(20);
+                dump = Some(n);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    let limit = dump.unwrap_or(0);
+    let mut shown = 0usize;
+    let stats = ds
+        .query(&q, |p| {
+            if shown < limit {
+                let mut line = format!(
+                    "({:.5}, {:.5}, {:.5})",
+                    p.position.x, p.position.y, p.position.z
+                );
+                for v in p.attrs {
+                    let _ = write!(line, "  {v:.6}");
+                }
+                println!("{line}");
+                shown += 1;
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "matched {} points ({} tested, {} treelets, {} nodes visited)",
+        stats.points_returned, stats.points_tested, stats.treelets_visited, stats.nodes_visited
+    );
+    Ok(())
+}
+
+/// `bat density` — ASCII top-down density projection of the dataset (a
+/// quick look at the spatial distribution, in the spirit of the paper's
+/// Fig. 8 dataset renderings).
+pub fn density(args: &[String]) -> Result<()> {
+    let (ds, _, rest) = open(args)?;
+    let quality = match rest.first().map(|s| s.as_str()) {
+        Some("--quality") => rest
+            .get(1)
+            .ok_or("--quality needs a value")?
+            .parse::<f64>()
+            .map_err(|e| format!("--quality: {e}"))?,
+        _ => 0.3,
+    };
+    const W: usize = 72;
+    const H: usize = 24;
+    let dom = ds.meta().domain;
+    let mut grid = vec![0u64; W * H];
+    ds.query(&Query::new().with_quality(quality), |p| {
+        let n = dom.normalize(p.position);
+        let x = ((n.x * W as f32) as usize).min(W - 1);
+        // Project along y; rows show z top-down.
+        let z = ((n.z * H as f32) as usize).min(H - 1);
+        grid[(H - 1 - z) * W + x] += 1;
+    })
+    .map_err(|e| e.to_string())?;
+    let max = *grid.iter().max().unwrap_or(&1);
+    let ramp: &[u8] = b" .:-=+*#%@";
+    println!("x → (width {:.2}), z ↑ (height {:.2}), projected along y, quality {quality}", dom.extent().x, dom.extent().z);
+    for row in 0..H {
+        let line: String = (0..W)
+            .map(|col| {
+                let v = grid[row * W + col];
+                if v == 0 {
+                    ' '
+                } else {
+                    let idx = 1 + (v * (ramp.len() as u64 - 2) / max.max(1)) as usize;
+                    ramp[idx.min(ramp.len() - 1)] as char
+                }
+            })
+            .collect();
+        println!("|{line}|");
+    }
+    Ok(())
+}
+
+/// `bat stats` — layout overhead per leaf file and dataset-wide.
+pub fn stats(args: &[String]) -> Result<()> {
+    let (ds, dir, _) = open(args)?;
+    let meta = ds.meta();
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>8}  {:>6}",
+        "leaf", "raw_B", "file_B", "struct_B", "pad_B", "treelets", "dict"
+    );
+    let mut acc = (0u64, 0u64, 0u64, 0u64);
+    for (i, leaf) in meta.leaves.iter().enumerate() {
+        let path = std::path::Path::new(&dir).join(&leaf.file);
+        let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", leaf.file))?;
+        let s = LayoutStats::measure(&bytes).map_err(|e| e.to_string())?;
+        println!(
+            "{i:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>8}  {:>6}",
+            s.raw_bytes, s.file_bytes, s.structure_bytes, s.padding_bytes, s.num_treelets,
+            s.dict_entries
+        );
+        acc.0 += s.raw_bytes;
+        acc.1 += s.file_bytes;
+        acc.2 += s.structure_bytes;
+        acc.3 += s.padding_bytes;
+    }
+    if acc.0 > 0 {
+        println!(
+            "total: raw {} B, files {} B — structure overhead {:.2}%, with padding {:.2}%",
+            acc.0,
+            acc.1,
+            acc.2 as f64 / acc.0 as f64 * 100.0,
+            (acc.1 - acc.0) as f64 / acc.0 as f64 * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn next_f64(it: &mut std::iter::Peekable<std::slice::Iter<String>>, opt: &str) -> Result<f64> {
+    it.next()
+        .ok_or_else(|| format!("{opt} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{opt}: {e}"))
+}
+
+fn next_list(
+    it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+    opt: &str,
+    n: usize,
+) -> Result<Vec<f64>> {
+    let raw = it.next().ok_or_else(|| format!("{opt} needs a value"))?;
+    let vals: std::result::Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
+    let vals = vals.map_err(|e| format!("{opt}: {e}"))?;
+    if vals.len() != n {
+        return Err(format!("{opt} needs {n} comma-separated numbers"));
+    }
+    Ok(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_comm::Cluster;
+    use bat_workloads::{uniform, RankGrid};
+    use libbat::write::{write_particles, WriteConfig};
+
+    fn make_dataset(tag: &str) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("bat-tools-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid = RankGrid::new_3d(4, bat_geom::Aabb::unit());
+        let d = dir.clone();
+        Cluster::run(4, move |comm| {
+            let set = uniform::generate_rank(&grid, comm.rank(), 2000, 3);
+            let cfg = WriteConfig::with_target_size(100_000, set.bytes_per_particle() as u64);
+            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &d, "t").unwrap();
+        });
+        (dir, "t".to_string())
+    }
+
+    fn args(dir: &std::path::Path, base: &str, extra: &[&str]) -> Vec<String> {
+        let mut v = vec![dir.to_str().unwrap().to_string(), base.to_string()];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    }
+
+    #[test]
+    fn info_files_stats_succeed() {
+        let (dir, base) = make_dataset("info");
+        info(&args(&dir, &base, &[])).unwrap();
+        files(&args(&dir, &base, &[])).unwrap();
+        stats(&args(&dir, &base, &[])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_ok_and_detects_damage() {
+        let (dir, base) = make_dataset("verify");
+        verify(&args(&dir, &base, &[])).unwrap();
+        // Damage a leaf file: verify must fail.
+        let leaf = dir.join(libbat::write::leaf_file_name(&base, 0));
+        let mut bytes = std::fs::read(&leaf).unwrap();
+        let cut = bytes.len() / 2;
+        bytes.truncate(cut);
+        std::fs::write(&leaf, bytes).unwrap();
+        assert!(verify(&args(&dir, &base, &[])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_options_parse_and_run() {
+        let (dir, base) = make_dataset("query");
+        query(&args(&dir, &base, &[])).unwrap();
+        query(&args(&dir, &base, &["--quality", "0.5"])).unwrap();
+        query(&args(&dir, &base, &["--bounds", "0,0,0,0.5,0.5,0.5", "--dump", "2"])).unwrap();
+        query(&args(&dir, &base, &["--filter", "0,-1,1"])).unwrap();
+        assert!(query(&args(&dir, &base, &["--bogus"])).is_err());
+        assert!(query(&args(&dir, &base, &["--bounds", "1,2"])).is_err());
+        assert!(query(&args(&dir, &base, &["--quality"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn density_renders() {
+        let (dir, base) = make_dataset("density");
+        density(&args(&dir, &base, &[])).unwrap();
+        density(&args(&dir, &base, &["--quality", "0.2"])).unwrap();
+        assert!(density(&args(&dir, &base, &["--quality"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let bogus = vec!["/nonexistent".to_string(), "x".to_string()];
+        assert!(info(&bogus).is_err());
+        assert!(verify(&bogus).is_err());
+    }
+}

@@ -1,0 +1,4 @@
+//! Library half of the `bat` CLI (see `src/main.rs`), exposed so the
+//! subcommands are unit-testable.
+
+pub mod commands;

@@ -1,0 +1,63 @@
+//! `batcli` — command-line tools for BAT datasets.
+//!
+//! ```text
+//! batcli info   <dir> <basename>            dataset summary (files, attrs, ranges)
+//! batcli files  <dir> <basename>            per-leaf-file table (sizes, bounds, counts)
+//! batcli verify <dir> <basename>            integrity check of metadata + every leaf
+//! batcli query  <dir> <basename> [options]  count/dump points matching a query
+//! batcli stats  <dir> <basename>            layout overhead breakdown per file
+//! batcli density <dir> <basename>           ASCII density projection
+//! ```
+//!
+//! Run `batcli <command> --help` for options.
+
+use bat_tools::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "info" => commands::info(rest),
+        "files" => commands::files(rest),
+        "verify" => commands::verify(rest),
+        "query" => commands::query(rest),
+        "stats" => commands::stats(rest),
+        "density" => commands::density(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "batcli — inspect and query BAT particle datasets
+
+USAGE:
+    batcli info   <dir> <basename>
+    batcli files  <dir> <basename>
+    batcli verify <dir> <basename>
+    batcli query  <dir> <basename> [--quality Q] [--prev-quality Q]
+                                   [--bounds x0,y0,z0,x1,y1,z1]
+                                   [--filter ATTR,LO,HI]... [--dump [N]]
+    batcli stats  <dir> <basename>
+    batcli density <dir> <basename> [--quality Q]"
+}

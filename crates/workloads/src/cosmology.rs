@@ -1,0 +1,257 @@
+//! A cosmology-style halo workload.
+//!
+//! The paper's introduction motivates particle I/O with cosmology:
+//! populations "span large ranges of space, with localized groups
+//! representing, e.g., clustered galactic masses". This generator produces
+//! that structure — a periodic box of dark-matter-style halos with a
+//! power-law mass function, each halo a Plummer sphere, plus a diffuse
+//! background — to exercise the aggregation strategies on a third,
+//! differently-shaped nonuniform distribution (deep point clusters rather
+//! than jets or a traveling wave).
+
+use crate::decomp::RankGrid;
+use bat_aggregation::RankInfo;
+use bat_geom::rng::Xoshiro256;
+use bat_geom::{Aabb, Vec3};
+use bat_layout::{AttributeDesc, ParticleSet};
+
+/// Bytes per particle: 3 × f32 + 6 × f64 (velocity, mass, potential, id-ish
+/// density proxy — a typical N-body snapshot schema).
+pub const BYTES_PER_PARTICLE: u64 = 12 + 6 * 8;
+/// Number of attributes.
+pub const NUM_ATTRS: usize = 6;
+
+/// The attribute schema.
+pub fn descs() -> Vec<AttributeDesc> {
+    ["vel_x", "vel_y", "vel_z", "mass", "potential", "local_density"]
+        .into_iter()
+        .map(AttributeDesc::f64)
+        .collect()
+}
+
+/// One halo: a Plummer sphere of particles.
+#[derive(Debug, Clone, Copy)]
+struct Halo {
+    center: Vec3,
+    /// Plummer scale radius.
+    radius: f32,
+    /// Fraction of the clustered particles in this halo.
+    weight: f64,
+}
+
+/// The halo-box generator.
+#[derive(Debug, Clone)]
+pub struct Cosmology {
+    /// Simulation box (periodic in spirit; sampling clamps).
+    pub boxsize: f32,
+    /// Total particles.
+    pub n_particles: u64,
+    /// Fraction of particles in the diffuse background (the rest cluster).
+    pub background_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+    halos: Vec<Halo>,
+}
+
+impl Cosmology {
+    /// A box with `n_halos` halos whose weights follow a power-law mass
+    /// function (`w ∝ rank^{-1.8}`) and radii scale with mass.
+    pub fn new(n_particles: u64, n_halos: usize, seed: u64) -> Cosmology {
+        assert!(n_halos > 0);
+        let boxsize = 100.0;
+        let mut rng = Xoshiro256::new(seed);
+        let mut halos = Vec::with_capacity(n_halos);
+        let mut total_w = 0.0;
+        for i in 0..n_halos {
+            let w = ((i + 1) as f64).powf(-1.8);
+            total_w += w;
+            let mass_scale = (w * n_halos as f64).cbrt() as f32;
+            halos.push(Halo {
+                center: Vec3::new(
+                    rng.uniform_f32(0.0, boxsize),
+                    rng.uniform_f32(0.0, boxsize),
+                    rng.uniform_f32(0.0, boxsize),
+                ),
+                radius: 0.5 * mass_scale.max(0.2),
+                weight: w,
+            });
+        }
+        for h in &mut halos {
+            h.weight /= total_w;
+        }
+        Cosmology {
+            boxsize,
+            n_particles,
+            background_fraction: 0.15,
+            seed,
+            halos,
+        }
+    }
+
+    /// Simulation box bounds.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(self.boxsize))
+    }
+
+    /// Sample one particle position.
+    fn sample_position(&self, rng: &mut Xoshiro256) -> Vec3 {
+        if rng.next_f64() < self.background_fraction {
+            return Vec3::new(
+                rng.uniform_f32(0.0, self.boxsize),
+                rng.uniform_f32(0.0, self.boxsize),
+                rng.uniform_f32(0.0, self.boxsize),
+            );
+        }
+        // Pick a halo by weight.
+        let mut u = rng.next_f64();
+        let mut halo = self.halos[0];
+        for h in &self.halos {
+            if u < h.weight {
+                halo = *h;
+                break;
+            }
+            u -= h.weight;
+        }
+        // Plummer radial profile: r = a / sqrt(u^{-2/3} − 1).
+        let uu = rng.next_f64().clamp(1e-9, 1.0 - 1e-9);
+        let r = (halo.radius as f64 / (uu.powf(-2.0 / 3.0) - 1.0).sqrt()) as f32;
+        let r = r.min(self.boxsize * 0.25);
+        // Isotropic direction.
+        let z = rng.uniform(-1.0, 1.0);
+        let phi = rng.uniform(0.0, std::f64::consts::TAU);
+        let s = (1.0 - z * z).sqrt();
+        let dir = Vec3::new((s * phi.cos()) as f32, (s * phi.sin()) as f32, z as f32);
+        (halo.center + dir * r).clamp(self.bounds().min, self.bounds().max)
+    }
+
+    /// 3D rank grid over the box.
+    pub fn grid(&self, n_ranks: usize) -> RankGrid {
+        RankGrid::new_3d(n_ranks, self.bounds())
+    }
+
+    /// Per-rank counts by Monte Carlo (modeled mode).
+    pub fn rank_infos(&self, grid: &RankGrid, samples: usize) -> Vec<RankInfo> {
+        let mut rng = Xoshiro256::new(self.seed ^ 0xC05);
+        let mut hits = vec![0u64; grid.len()];
+        for _ in 0..samples {
+            let p = self.sample_position(&mut rng);
+            hits[grid.rank_of_point(p)] += 1;
+        }
+        let total = self.n_particles;
+        let mut infos: Vec<RankInfo> = (0..grid.len())
+            .map(|r| {
+                let count = (hits[r] as f64 / samples as f64 * total as f64).round() as u64;
+                RankInfo::new(r as u32, grid.bounds_of(r), count)
+            })
+            .collect();
+        let assigned: u64 = infos.iter().map(|i| i.particles).sum();
+        if assigned != total {
+            let busiest = infos
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, i)| i.particles)
+                .map(|(i, _)| i)
+                .expect("nonempty grid");
+            let p = &mut infos[busiest].particles;
+            *p = (*p + total).saturating_sub(assigned);
+        }
+        infos
+    }
+
+    /// Generate one rank's particles (executed mode).
+    pub fn generate_rank(&self, grid: &RankGrid, rank: usize) -> ParticleSet {
+        let mut rng = Xoshiro256::new(self.seed ^ 0x6E0);
+        let mut set = ParticleSet::new(descs());
+        for _ in 0..self.n_particles {
+            let p = self.sample_position(&mut rng);
+            // Attributes drawn for every particle to keep the stream stable
+            // across rank counts.
+            let vals = [
+                100.0 * rng.normal(),
+                100.0 * rng.normal(),
+                100.0 * rng.normal(),
+                1e10 * (1.0 + 0.1 * rng.normal()).abs(),
+                -(1.0 / (0.1 + p.length() as f64)),
+                rng.next_f64(),
+            ];
+            if grid.rank_of_point(p) == rank {
+                set.push(p, &vals);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_aggregation::tree::balance_of;
+    use bat_aggregation::{build_aug_tree, AggConfig, AggregationTree};
+
+    #[test]
+    fn schema() {
+        let d = descs();
+        assert_eq!(d.len(), NUM_ATTRS);
+        let bpp: usize = 12 + d.iter().map(|a| a.dtype.size()).sum::<usize>();
+        assert_eq!(bpp as u64, BYTES_PER_PARTICLE);
+    }
+
+    #[test]
+    fn counts_sum_and_cluster() {
+        let cosmo = Cosmology::new(1_000_000, 64, 3);
+        let grid = cosmo.grid(128);
+        let infos = cosmo.rank_infos(&grid, 100_000);
+        let total: u64 = infos.iter().map(|i| i.particles).sum();
+        assert_eq!(total, 1_000_000);
+        // Halo clustering: the top 10% of ranks hold most of the mass.
+        let mut counts: Vec<u64> = infos.iter().map(|i| i.particles).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = counts[..counts.len() / 10].iter().sum();
+        assert!(
+            top as f64 > 0.4 * total as f64,
+            "top decile holds {top} of {total}"
+        );
+    }
+
+    #[test]
+    fn executed_generation_partitions() {
+        let cosmo = Cosmology::new(20_000, 16, 9);
+        let grid = cosmo.grid(8);
+        let mut total = 0;
+        for r in 0..8 {
+            let set = cosmo.generate_rank(&grid, r);
+            for p in &set.positions {
+                assert_eq!(grid.rank_of_point(*p), r);
+            }
+            total += set.len() as u64;
+        }
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn adaptive_beats_aug_on_halos() {
+        // A third distribution shape (deep point clusters) where the
+        // adaptive tree should again out-balance the uniform grid.
+        let cosmo = Cosmology::new(10_000_000, 96, 21);
+        let grid = cosmo.grid(512);
+        let infos = cosmo.rank_infos(&grid, 200_000);
+        let cfg = AggConfig::new(8 << 20, BYTES_PER_PARTICLE);
+        let adaptive = AggregationTree::build(&infos, &cfg);
+        let aug = build_aug_tree(&infos, &cfg);
+        let s_ad = balance_of(&adaptive.leaves);
+        let s_aug = balance_of(&aug.leaves);
+        assert!(
+            s_ad.stddev_bytes / s_ad.mean_bytes < s_aug.stddev_bytes / s_aug.mean_bytes,
+            "adaptive {s_ad:?} vs aug {s_aug:?}"
+        );
+        assert!(s_ad.max_bytes <= s_aug.max_bytes);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Cosmology::new(5_000, 8, 7);
+        let b = Cosmology::new(5_000, 8, 7);
+        let g = a.grid(4);
+        assert_eq!(a.generate_rank(&g, 1), b.generate_rank(&g, 1));
+    }
+}

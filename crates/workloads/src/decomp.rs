@@ -1,0 +1,214 @@
+//! Rank-grid domain decompositions.
+//!
+//! The evaluations partition their domains with regular rank grids: the
+//! uniform study and the Coal Boiler use a 3D grid (resized to the data
+//! bounds as they evolve, like Uintah), and the Dam Break uses a 2D grid
+//! over x and y — the floor — for compute load balance (§VI-A2), which is
+//! exactly what makes its I/O imbalanced as the wave passes over.
+
+use bat_geom::{Aabb, Vec3};
+
+/// Factor `n` into three near-equal factors `(a, b, c)`, `a ≥ b ≥ c`.
+pub fn factor3(n: usize) -> (usize, usize, usize) {
+    assert!(n > 0);
+    let mut best = (n, 1, 1);
+    let mut best_score = usize::MAX;
+    let mut c = 1;
+    while c * c * c <= n {
+        if n.is_multiple_of(c) {
+            let m = n / c;
+            let mut b = c.max((m as f64).sqrt() as usize);
+            // Find the divisor of m closest to sqrt(m), at or above c.
+            while b >= c {
+                if m.is_multiple_of(b) {
+                    break;
+                }
+                b -= 1;
+            }
+            if b >= c && m.is_multiple_of(b) {
+                let a = m / b;
+                let (a, b) = if a >= b { (a, b) } else { (b, a) };
+                let score = a - c; // spread; smaller is more cubic
+                if score < best_score {
+                    best_score = score;
+                    best = (a, b, c);
+                }
+            }
+        }
+        c += 1;
+    }
+    best
+}
+
+/// Factor `n` into two near-equal factors `(a, b)`, `a ≥ b`.
+pub fn factor2(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut b = (n as f64).sqrt() as usize;
+    while b >= 1 {
+        if n.is_multiple_of(b) {
+            return (n / b, b);
+        }
+        b -= 1;
+    }
+    (n, 1)
+}
+
+/// A regular grid of rank subdomains over an axis-aligned domain.
+#[derive(Debug, Clone)]
+pub struct RankGrid {
+    /// Grid dimensions (ranks per axis).
+    pub dims: (usize, usize, usize),
+    /// The decomposed domain.
+    pub domain: Aabb,
+}
+
+impl RankGrid {
+    /// Near-cubic 3D decomposition for `n_ranks`.
+    pub fn new_3d(n_ranks: usize, domain: Aabb) -> RankGrid {
+        let (a, b, c) = factor3(n_ranks);
+        // Assign the most subdivisions to the longest domain axes.
+        let e = domain.extent();
+        let mut axes = [(e.x, 0usize), (e.y, 1), (e.z, 2)];
+        axes.sort_by(|x, y| y.0.total_cmp(&x.0));
+        let mut dims = [1usize; 3];
+        dims[axes[0].1] = a;
+        dims[axes[1].1] = b;
+        dims[axes[2].1] = c;
+        RankGrid { dims: (dims[0], dims[1], dims[2]), domain }
+    }
+
+    /// 2D decomposition over x and y (the Dam Break floor), one slab in z.
+    pub fn new_2d(n_ranks: usize, domain: Aabb) -> RankGrid {
+        let (a, b) = factor2(n_ranks);
+        let e = domain.extent();
+        let (dx, dy) = if e.x >= e.y { (a, b) } else { (b, a) };
+        RankGrid { dims: (dx, dy, 1), domain }
+    }
+
+    /// Number of ranks in the grid.
+    pub fn len(&self) -> usize {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+
+    /// Never true: dimensions are at least 1 each.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Same grid dims over different domain bounds (the "resized to fit the
+    /// data bounds" behavior of the Coal Boiler decomposition).
+    pub fn fit_to(&self, data_bounds: Aabb) -> RankGrid {
+        RankGrid { dims: self.dims, domain: data_bounds }
+    }
+
+    /// The 3D grid cell of a rank (x-fastest order).
+    pub fn cell_of(&self, rank: usize) -> (usize, usize, usize) {
+        let (dx, dy, _) = self.dims;
+        (rank % dx, (rank / dx) % dy, rank / (dx * dy))
+    }
+
+    /// Subdomain bounds of `rank`.
+    pub fn bounds_of(&self, rank: usize) -> Aabb {
+        assert!(rank < self.len());
+        let (x, y, z) = self.cell_of(rank);
+        let (dx, dy, dz) = self.dims;
+        let e = self.domain.extent();
+        let min = Vec3::new(
+            self.domain.min.x + e.x * x as f32 / dx as f32,
+            self.domain.min.y + e.y * y as f32 / dy as f32,
+            self.domain.min.z + e.z * z as f32 / dz as f32,
+        );
+        let max = Vec3::new(
+            self.domain.min.x + e.x * (x + 1) as f32 / dx as f32,
+            self.domain.min.y + e.y * (y + 1) as f32 / dy as f32,
+            self.domain.min.z + e.z * (z + 1) as f32 / dz as f32,
+        );
+        Aabb::new(min, max)
+    }
+
+    /// The rank whose subdomain contains `p` (clamped into the domain).
+    pub fn rank_of_point(&self, p: Vec3) -> usize {
+        let n = self.domain.normalize(p);
+        let (dx, dy, dz) = self.dims;
+        let c = |v: f32, d: usize| ((v * d as f32) as usize).min(d - 1);
+        let (x, y, z) = (c(n.x, dx), c(n.y, dy), c(n.z, dz));
+        x + dx * (y + dy * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor3_products() {
+        for n in [1, 2, 6, 8, 48, 64, 100, 512, 1536, 6144, 24_576] {
+            let (a, b, c) = factor3(n);
+            assert_eq!(a * b * c, n, "n={n}");
+            assert!(a >= b && b >= c);
+            // Near-cubic: the spread should be modest for composite n.
+            if n >= 8 && n % 8 == 0 {
+                assert!(a / c <= 8, "n={n}: ({a},{b},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn factor2_products() {
+        for n in [1, 2, 9, 10, 1536, 6144] {
+            let (a, b) = factor2(n);
+            assert_eq!(a * b, n);
+            assert!(a >= b);
+        }
+        assert_eq!(factor2(1536), (48, 32));
+    }
+
+    #[test]
+    fn bounds_tile_domain() {
+        let g = RankGrid::new_3d(24, Aabb::new(Vec3::ZERO, Vec3::new(4.0, 2.0, 1.0)));
+        assert_eq!(g.len(), 24);
+        let mut vol = 0.0;
+        for r in 0..g.len() {
+            let b = g.bounds_of(r);
+            vol += b.volume();
+            assert!(g.domain.contains_box(&b));
+        }
+        assert!((vol - g.domain.volume()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn longest_axis_gets_most_cuts() {
+        let g = RankGrid::new_3d(12, Aabb::new(Vec3::ZERO, Vec3::new(100.0, 1.0, 10.0)));
+        assert!(g.dims.0 >= g.dims.2 && g.dims.2 >= g.dims.1, "{:?}", g.dims);
+    }
+
+    #[test]
+    fn rank_of_point_inverts_bounds() {
+        let g = RankGrid::new_3d(64, Aabb::unit());
+        for r in 0..g.len() {
+            let c = g.bounds_of(r).center();
+            assert_eq!(g.rank_of_point(c), r);
+        }
+        // Out-of-domain points clamp to edge ranks.
+        let r = g.rank_of_point(Vec3::new(99.0, 99.0, 99.0));
+        assert_eq!(r, g.len() - 1);
+    }
+
+    #[test]
+    fn two_d_grid_single_z_slab() {
+        let g = RankGrid::new_2d(1536, Aabb::unit());
+        assert_eq!(g.dims.2, 1);
+        assert_eq!(g.len(), 1536);
+        let b = g.bounds_of(0);
+        assert_eq!(b.min.z, 0.0);
+        assert_eq!(b.max.z, 1.0);
+    }
+
+    #[test]
+    fn fit_to_preserves_dims() {
+        let g = RankGrid::new_3d(8, Aabb::unit());
+        let f = g.fit_to(Aabb::new(Vec3::ZERO, Vec3::splat(0.5)));
+        assert_eq!(f.dims, g.dims);
+        assert!(f.bounds_of(7).max.x <= 0.5 + 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+//! Particle workload generators for the paper's three evaluations.
+//!
+//! - [`uniform`]: the fixed uniform distribution of the weak-scaling study
+//!   (§VI-A1): 32k particles per rank, 3 × f32 coordinates + 14 × f64
+//!   attributes ≈ 4.06 MB/rank.
+//! - [`coal_boiler`]: a synthetic stand-in for the Uintah Coal Boiler
+//!   (§VI-A2, Fig. 8a): coal particles injected through inlets into a
+//!   boiler, growing from 4.6M particles at step 501 to 41.5M at step 4501,
+//!   strongly clustered around the injection jets. The rank grid is resized
+//!   to fit the populated bounds each step, as Uintah does.
+//! - [`dam_break`]: a stand-in for the ExaMPM/Cabana Dam Break (§VI-A2,
+//!   Fig. 8b): a fixed population of water-column particles collapsing and
+//!   sweeping across a 2D x-y rank decomposition. Two generators are
+//!   provided: an analytic shallow-water (Ritter) profile that reproduces
+//!   the traveling-wave load imbalance at any scale, and a real (small)
+//!   weakly compressible SPH solver ([`sph`]) for executed runs.
+//!
+//! All generators are deterministic in their seeds. For *modeled* runs the
+//! generators produce per-rank particle **counts** (what rank 0's tree
+//! build consumes) by integrating their density models; for *executed* runs
+//! they produce actual [`bat_layout::ParticleSet`]s.
+
+pub mod coal_boiler;
+pub mod cosmology;
+pub mod dam_break;
+pub mod decomp;
+pub mod sph;
+pub mod uniform;
+
+pub use coal_boiler::CoalBoiler;
+pub use cosmology::Cosmology;
+pub use dam_break::DamBreak;
+pub use decomp::RankGrid;

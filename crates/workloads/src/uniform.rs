@@ -1,0 +1,103 @@
+//! The uniform weak-scaling workload (paper §VI-A1).
+//!
+//! Each rank owns 32k particles uniformly distributed inside its subdomain.
+//! Every particle carries three single-precision coordinates and 14
+//! double-precision attributes — 124 bytes, so 32k particles ≈ 4.06 MB per
+//! rank, "representing a moderately sized simulation".
+
+use crate::decomp::RankGrid;
+use bat_aggregation::RankInfo;
+use bat_geom::rng::Xoshiro256;
+use bat_geom::Vec3;
+use bat_layout::{AttributeDesc, ParticleSet};
+
+/// Particles per rank in the paper's benchmark.
+pub const PARTICLES_PER_RANK: u64 = 32 * 1024;
+/// Bytes per particle: 3 × f32 + 14 × f64.
+pub const BYTES_PER_PARTICLE: u64 = 12 + 14 * 8;
+/// Number of f64 attributes.
+pub const NUM_ATTRS: usize = 14;
+
+/// The 14-attribute schema of the uniform benchmark.
+pub fn descs() -> Vec<AttributeDesc> {
+    (0..NUM_ATTRS).map(|i| AttributeDesc::f64(format!("attr{i:02}"))).collect()
+}
+
+/// Rank infos for a modeled run: every rank reports `per_rank` particles.
+pub fn rank_infos(grid: &RankGrid, per_rank: u64) -> Vec<RankInfo> {
+    (0..grid.len())
+        .map(|r| RankInfo::new(r as u32, grid.bounds_of(r), per_rank))
+        .collect()
+}
+
+/// Generate one rank's particles for an executed run. Deterministic in
+/// `(seed, rank)`. Attribute values are smooth functions of position plus
+/// noise, giving the spatial correlation the bitmap indices rely on.
+pub fn generate_rank(grid: &RankGrid, rank: usize, per_rank: u64, seed: u64) -> ParticleSet {
+    let bounds = grid.bounds_of(rank);
+    let mut rng = Xoshiro256::new(seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut set = ParticleSet::with_capacity(descs(), per_rank as usize);
+    let mut values = [0.0f64; NUM_ATTRS];
+    for _ in 0..per_rank {
+        let p = Vec3::new(
+            rng.uniform_f32(bounds.min.x, bounds.max.x),
+            rng.uniform_f32(bounds.min.y, bounds.max.y),
+            rng.uniform_f32(bounds.min.z, bounds.max.z),
+        );
+        for (i, v) in values.iter_mut().enumerate() {
+            let k = (i + 1) as f64;
+            *v = (p.x as f64 * k).sin() + (p.y as f64 / k).cos() + 0.05 * rng.normal();
+        }
+        set.push(p, &values);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_geom::Aabb;
+
+    #[test]
+    fn schema_matches_paper() {
+        let d = descs();
+        assert_eq!(d.len(), 14);
+        let bpp: usize = 12 + d.iter().map(|a| a.dtype.size()).sum::<usize>();
+        assert_eq!(bpp as u64, BYTES_PER_PARTICLE);
+        // 32k particles ≈ 4.06 MB (paper §VI-A1).
+        let mb = PARTICLES_PER_RANK as f64 * BYTES_PER_PARTICLE as f64 / 1e6;
+        assert!((mb - 4.06).abs() < 0.01, "{mb}");
+    }
+
+    #[test]
+    fn particles_inside_rank_bounds() {
+        let grid = RankGrid::new_3d(8, Aabb::unit());
+        for rank in 0..8 {
+            let set = generate_rank(&grid, rank, 1000, 42);
+            assert_eq!(set.len(), 1000);
+            let b = grid.bounds_of(rank);
+            for p in &set.positions {
+                assert!(b.contains_point(*p));
+            }
+            set.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_rank() {
+        let grid = RankGrid::new_3d(4, Aabb::unit());
+        let a = generate_rank(&grid, 2, 500, 7);
+        let b = generate_rank(&grid, 2, 500, 7);
+        assert_eq!(a, b);
+        let c = generate_rank(&grid, 3, 500, 7);
+        assert_ne!(a.positions, c.positions);
+    }
+
+    #[test]
+    fn rank_infos_uniform() {
+        let grid = RankGrid::new_3d(27, Aabb::unit());
+        let infos = rank_infos(&grid, PARTICLES_PER_RANK);
+        assert_eq!(infos.len(), 27);
+        assert!(infos.iter().all(|i| i.particles == PARTICLES_PER_RANK));
+    }
+}

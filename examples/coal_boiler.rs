@@ -1,0 +1,85 @@
+//! Coal Boiler time series: adaptive vs. AUG aggregation on a growing,
+//! strongly clustered particle population (paper §VI-A2, Fig. 9/10).
+//!
+//! Runs a scaled-down boiler on a 12-rank virtual cluster, writes several
+//! timesteps with both strategies, and prints the file-balance statistics
+//! and slowest-rank pipeline times side by side.
+//!
+//! ```sh
+//! cargo run --release --example coal_boiler
+//! ```
+
+use bat_comm::Cluster;
+use bat_iosim::WritePhase;
+use bat_workloads::CoalBoiler;
+use libbat::write::{write_particles, Strategy, WriteConfig, WriteReport};
+
+fn run_step(
+    dir: &std::path::Path,
+    cb: &CoalBoiler,
+    step: u32,
+    n_ranks: usize,
+    strategy: Strategy,
+) -> WriteReport {
+    let grid = cb.grid(step, n_ranks);
+    let dir = dir.to_path_buf();
+    let cb = cb.clone();
+    let name = format!("coal-{step}-{strategy:?}");
+    let reports = Cluster::run(n_ranks, move |comm| {
+        let set = cb.generate_rank(step, &grid, comm.rank());
+        let mut cfg = WriteConfig::with_target_size(
+            128 << 10, // 128 KiB target at this scale
+            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
+        );
+        cfg.strategy = strategy;
+        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, &name)
+            .expect("write succeeds")
+    });
+    reports.into_iter().next().expect("rank 0 report")
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("libbat-coal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let n_ranks = 12;
+    let cb = CoalBoiler::new(2e-3, 2024); // ~9.2k → 83k particles
+
+    println!("Coal Boiler time series on {n_ranks} ranks (scaled to {:.0e} of the original)", 2e-3);
+    println!(
+        "{:>6} {:>10} | {:>9} {:>11} {:>11} {:>11} | {:>9}",
+        "step", "particles", "files", "mean KB", "sigma KB", "max KB", "write ms"
+    );
+    for step in [501u32, 1501, 2501, 3501, 4501] {
+        for strategy in [Strategy::Adaptive, Strategy::Aug] {
+            let r = run_step(&dir, &cb, step, n_ranks, strategy);
+            println!(
+                "{:>6} {:>10} | {:>9} {:>11.1} {:>11.1} {:>11.1} | {:>9.1}  {}",
+                step,
+                cb.particle_count(step),
+                r.files,
+                r.balance.mean_bytes / 1e3,
+                r.balance.stddev_bytes / 1e3,
+                r.balance.max_bytes as f64 / 1e3,
+                r.times.total * 1e3,
+                match strategy {
+                    Strategy::Adaptive => "adaptive",
+                    Strategy::Aug => "AUG",
+                },
+            );
+        }
+    }
+
+    // Component breakdown for the final step (the Fig. 10 view).
+    println!("\npipeline breakdown at step 4501 (slowest rank, ms):");
+    for strategy in [Strategy::Adaptive, Strategy::Aug] {
+        let r = run_step(&dir, &cb, 4501, n_ranks, strategy);
+        print!("  {:>8}:", format!("{strategy:?}"));
+        for p in WritePhase::ALL {
+            print!(" {}={:.2}", p, r.times[p] * 1e3);
+        }
+        println!();
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! In situ and in transit analytics: analyze data *while* it is being
+//! written, and query it collectively afterwards without a postprocess
+//! conversion step — the workflow the paper's layout exists to enable
+//! (§III-C in-transit use, §IV-B distributed access).
+//!
+//! Three stages:
+//! 1. During the collective write, every aggregator's freshly built BAT is
+//!    handed to an in-transit hook that computes per-region statistics
+//!    before the bytes reach disk.
+//! 2. After the write, all ranks run *different* distributed queries
+//!    against the read aggregators (the §IV-B client/server mechanism).
+//! 3. A streaming server (the Fig. 4 viewer backend) serves the same
+//!    timestep to a progressive client.
+//!
+//! ```sh
+//! cargo run --release --example in_situ_analytics
+//! ```
+
+use bat_comm::Cluster;
+use bat_layout::Query;
+use bat_stream::{StreamClient, StreamServer};
+use bat_workloads::CoalBoiler;
+use libbat::read::query_distributed;
+use libbat::write::{write_particles_in_transit, WriteConfig};
+use libbat::Dataset;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("libbat-insitu-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let n_ranks = 8;
+    let cb = CoalBoiler::new(3e-3, 11);
+    let step = 3001;
+    let grid = cb.grid(step, n_ranks);
+
+    // --- Stage 1: write with an in-transit hook. ---
+    let hot_particles = Arc::new(AtomicU64::new(0));
+    let written = Arc::new(AtomicU64::new(0));
+    let d = dir.clone();
+    let cbx = cb.clone();
+    let gx = grid.clone();
+    let hot = hot_particles.clone();
+    let tot = written.clone();
+    Cluster::run(n_ranks, move |comm| {
+        let set = cbx.generate_rank(step, &gx, comm.rank());
+        let cfg = WriteConfig::auto(bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
+        let hot = hot.clone();
+        let tot = tot.clone();
+        write_particles_in_transit(
+            &comm,
+            set,
+            gx.bounds_of(comm.rank()),
+            &cfg,
+            &d,
+            "insitu",
+            |_leaf, bat| {
+                // In-transit analysis on the aggregator, before the write:
+                // count particles hotter than 1000 K using the just-built
+                // tree (no extra data copy, no conversion step).
+                let file = bat_layout::BatFile::from_bytes(bat.to_bytes()).expect("valid");
+                let n = file
+                    .count(&Query::new().with_filter(3, 1000.0, f64::INFINITY))
+                    .expect("query");
+                hot.fetch_add(n, Ordering::Relaxed);
+                tot.fetch_add(bat.num_particles() as u64, Ordering::Relaxed);
+            },
+        )
+        .expect("write");
+    });
+    println!(
+        "in-transit: saw {} particles on the aggregators, {} hotter than 1000 K",
+        written.load(Ordering::Relaxed),
+        hot_particles.load(Ordering::Relaxed)
+    );
+
+    // --- Stage 2: distributed per-rank queries (§IV-B). ---
+    let d = dir.clone();
+    let answers = Cluster::run(n_ranks, move |comm| {
+        // Each rank studies a different temperature band.
+        let lo = 400.0 + comm.rank() as f64 * 100.0;
+        let hi = lo + 100.0;
+        let q = Query::new().with_filter(3, lo, hi);
+        let mine = query_distributed(&comm, &q, &d, "insitu").expect("distributed query");
+        (lo, hi, mine.len())
+    });
+    println!("\ndistributed in situ queries (temperature histogram, one band per rank):");
+    for (lo, hi, n) in answers {
+        println!("  {lo:4.0}..{hi:4.0} K: {n:7} particles");
+    }
+
+    // --- Stage 3: stream the timestep to a progressive viewer. ---
+    let ds = Dataset::open(&dir, "insitu")?;
+    let total = ds.num_particles();
+    let server = StreamServer::bind("127.0.0.1:0", ds)?;
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = StreamClient::connect(addr)?;
+    println!("\nstreaming server on {addr}: schema has {} attributes", client.schema().descs.len());
+    let mut shown = 0u64;
+    let mut prev = 0.0;
+    for i in 1..=4 {
+        let q = i as f64 / 4.0;
+        let got = client.request(
+            &Query::new().with_prev_quality(prev).with_quality(q),
+            |_chunk| {},
+        )?;
+        shown += got;
+        println!("  quality {q:.2}: +{got} points ({shown}/{total} on screen)");
+        prev = q;
+    }
+    drop(client);
+    handle.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Using the modeled pipelines: plan and price a write campaign for a
+//! supercomputer-scale run before you have the machine time.
+//!
+//! The real aggregation algorithms run over the full rank population (the
+//! same code the executed pipeline uses); only I/O and network durations
+//! come from the `bat-iosim` queueing model. This is how the repository
+//! reproduces the paper's 24k/43k-core figures — and how a user can answer
+//! "what target size should I configure for my run?" offline.
+//!
+//! ```sh
+//! cargo run --release --example scaling_model
+//! ```
+
+use bat_geom::Aabb;
+use bat_iosim::{SystemProfile, WritePhase};
+use bat_workloads::{uniform, RankGrid};
+use libbat::model_write;
+use libbat::write::WriteConfig;
+
+fn main() {
+    let profile = SystemProfile::summit();
+    let ranks = 10_752; // 256 nodes
+    let grid = RankGrid::new_3d(ranks, Aabb::unit());
+    let infos = uniform::rank_infos(&grid, uniform::PARTICLES_PER_RANK);
+    let total_gb =
+        ranks as f64 * (uniform::PARTICLES_PER_RANK * uniform::BYTES_PER_PARTICLE) as f64 / 1e9;
+
+    println!(
+        "planning a write of {total_gb:.1} GB from {ranks} ranks on a {}-like system\n",
+        profile.name
+    );
+    println!(
+        "{:>8}  {:>7}  {:>9}  {:>24}",
+        "target", "files", "GB/s", "dominant phase"
+    );
+    let mut best = (0u64, 0.0f64);
+    for target_mb in [4u64, 8, 16, 32, 64, 128, 256, 512] {
+        let cfg = WriteConfig::with_target_size(target_mb << 20, uniform::BYTES_PER_PARTICLE);
+        let out = model_write(&profile, &infos, &cfg);
+        let dominant = WritePhase::ALL
+            .into_iter()
+            .max_by(|&a, &b| out.times[a].total_cmp(&out.times[b]))
+            .expect("phases nonempty");
+        println!(
+            "{:>7}M  {:>7}  {:>9.2}  {:>16} ({:.0}%)",
+            target_mb,
+            out.files,
+            out.bandwidth() / 1e9,
+            dominant.label(),
+            out.times.fraction(dominant) * 100.0
+        );
+        if out.bandwidth() > best.1 {
+            best = (target_mb, out.bandwidth());
+        }
+    }
+    println!(
+        "\nbest modeled target: {} MB at {:.1} GB/s",
+        best.0,
+        best.1 / 1e9
+    );
+
+    // Compare with the paper-recommendation autopilot (§VI-A2 encoded).
+    let auto = WriteConfig::auto(uniform::BYTES_PER_PARTICLE);
+    let out = model_write(&profile, &infos, &auto);
+    let resolved = bat_aggregation::recommended_target_size(
+        (uniform::PARTICLES_PER_RANK * uniform::BYTES_PER_PARTICLE) * ranks as u64,
+        ranks,
+    );
+    println!(
+        "auto target resolves to {} MB → {:.1} GB/s",
+        resolved >> 20,
+        out.bandwidth() / 1e9
+    );
+}

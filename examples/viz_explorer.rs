@@ -1,0 +1,110 @@
+//! An interactive-style exploration session over a written dataset — the
+//! access pattern of the paper's prototype web viewer (Fig. 4): progressive
+//! quality sweeps while "the user" zooms into a region and brushes an
+//! attribute range.
+//!
+//! ```sh
+//! cargo run --release --example viz_explorer
+//! ```
+
+use bat_comm::Cluster;
+use bat_geom::{Aabb, Vec3};
+use bat_layout::Query;
+use bat_workloads::CoalBoiler;
+use libbat::write::{write_particles, WriteConfig};
+use libbat::Dataset;
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("libbat-viz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    // Produce a dataset: one boiler step at ~120k particles on 8 ranks.
+    let cb = CoalBoiler::new(4e-3, 3);
+    let step = 3501;
+    let grid = cb.grid(step, 8);
+    let d = dir.clone();
+    let cbx = cb.clone();
+    let gx = grid.clone();
+    Cluster::run(8, move |comm| {
+        let set = cbx.generate_rank(step, &gx, comm.rank());
+        let cfg = WriteConfig::with_target_size(
+            512 << 10,
+            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
+        );
+        write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &d, "boiler")
+            .expect("write");
+    });
+
+    let ds = Dataset::open(&dir, "boiler")?;
+    println!(
+        "dataset: {} particles, {} files, attributes: {:?}",
+        ds.num_particles(),
+        ds.num_files(),
+        ds.descs().iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
+    );
+
+    // --- Scene load: progressive quality sweep, streaming increments. ---
+    println!("\nprogressive load (whole domain):");
+    let mut prev = 0.0;
+    let mut shown = 0u64;
+    for i in 1..=5 {
+        let q = i as f64 * 0.2;
+        let t = Instant::now();
+        let query = Query::new().with_prev_quality(prev).with_quality(q);
+        let mut new_pts = 0u64;
+        ds.query(&query, |_| new_pts += 1)?;
+        shown += new_pts;
+        println!(
+            "  quality {q:.1}: +{new_pts:7} points ({shown:7} on screen) in {:6.2} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        prev = q;
+    }
+
+    // --- Zoom: spatial subset at medium quality. ---
+    let dom = ds.meta().domain;
+    let zoom = Aabb::new(
+        dom.min,
+        dom.min + dom.extent() * 0.4,
+    );
+    let t = Instant::now();
+    let n = ds.count(&Query::new().with_bounds(zoom).with_quality(0.6))?;
+    println!(
+        "\nzoom into the inlet corner at quality 0.6: {n} points in {:.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // --- Attribute brush: the hottest particles anywhere. ---
+    let temp = ds.descs().iter().position(|d| d.name == "temperature").unwrap();
+    let (lo, hi) = ds.global_range(temp);
+    let t = Instant::now();
+    let q = Query::new().with_filter(temp, lo + 0.9 * (hi - lo), hi);
+    let stats = ds.query(&q, |_| {})?;
+    println!(
+        "hottest 10% band ({:.0}..{:.0} K): {} points, tested only {} candidates, in {:.2} ms",
+        lo + 0.9 * (hi - lo),
+        hi,
+        stats.points_returned,
+        stats.points_tested,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // --- Combined: brush + zoom + coarse preview (lowest latency). ---
+    let t = Instant::now();
+    let q = Query::new()
+        .with_bounds(Aabb::new(
+            Vec3::new(dom.min.x, dom.min.y, dom.center().z),
+            dom.max,
+        ))
+        .with_filter(temp, lo + 0.5 * (hi - lo), hi)
+        .with_quality(0.3);
+    let n = ds.count(&q)?;
+    println!(
+        "coarse preview of hot upper half: {n} points in {:.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Meta-crate re-exporting the libbat workspace.
+pub use libbat as core;

@@ -1,0 +1,44 @@
+//! Shared helpers for the integration tests.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory; removed on drop.
+pub struct ScratchDir {
+    pub path: PathBuf,
+}
+
+impl ScratchDir {
+    pub fn new(tag: &str) -> ScratchDir {
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "bat-itest-{tag}-{}-{id}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
+}
+
+/// Order-independent fingerprint of a particle set: sums of positions and
+/// attributes. Robust to the reordering the BAT layout performs.
+pub fn fingerprint(set: &bat_layout::ParticleSet) -> (usize, f64) {
+    let mut acc = 0.0f64;
+    for p in &set.positions {
+        acc += p.x as f64 + 2.0 * p.y as f64 + 3.0 * p.z as f64;
+    }
+    for a in 0..set.num_attrs() {
+        for i in 0..set.len() {
+            acc += set.value(a, i) * (a + 1) as f64 * 1e-3;
+        }
+    }
+    (set.len(), acc)
+}

@@ -1,0 +1,348 @@
+//! End-to-end collective write → read tests across the whole stack:
+//! workload generators → comm runtime → aggregation → BAT layout → files →
+//! parallel read pipeline.
+
+mod common;
+
+use bat_comm::Cluster;
+use bat_geom::Aabb;
+use bat_layout::ParticleSet;
+use bat_workloads::{uniform, RankGrid};
+use common::{fingerprint, ScratchDir};
+use libbat::read::read_particles;
+use libbat::write::{write_particles, WriteConfig};
+
+/// Write the uniform workload on `n` ranks and return per-rank fingerprints.
+fn write_uniform(
+    dir: &std::path::Path,
+    n: usize,
+    per_rank: u64,
+    target: u64,
+    aug: bool,
+) -> Vec<(usize, f64)> {
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = dir.to_path_buf();
+    Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), per_rank, 42);
+        let fp = fingerprint(&set);
+        let mut cfg = WriteConfig::with_target_size(target, set.bytes_per_particle() as u64);
+        if aug {
+            cfg = cfg.aug();
+        }
+        let report = write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "u")
+            .expect("write succeeds");
+        assert!(report.files >= 1);
+        assert!(report.times.total > 0.0);
+        fp
+    })
+}
+
+#[test]
+fn same_rank_count_roundtrip() {
+    let scratch = ScratchDir::new("same");
+    let n = 8;
+    let fps = write_uniform(&scratch.path, n, 2000, 200_000, false);
+
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let read_fps = Cluster::run(n, move |comm| {
+        let set = read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u")
+            .expect("read succeeds");
+        fingerprint(&set)
+    });
+    for (rank, (w, r)) in fps.iter().zip(&read_fps).enumerate() {
+        assert_eq!(w.0, r.0, "rank {rank} particle count");
+        assert!((w.1 - r.1).abs() < 1e-6 * w.1.abs().max(1.0), "rank {rank} checksum");
+    }
+}
+
+#[test]
+fn restart_on_more_ranks() {
+    let scratch = ScratchDir::new("more");
+    let fps = write_uniform(&scratch.path, 4, 3000, 150_000, false);
+    let total_written: usize = fps.iter().map(|f| f.0).sum();
+
+    // 12 readers re-partition the same domain.
+    let grid = RankGrid::new_3d(12, Aabb::unit());
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(12, move |comm| {
+        read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u")
+            .expect("read succeeds")
+            .len()
+    });
+    let total_read: usize = counts.iter().sum();
+    assert_eq!(total_read, total_written, "12-rank restart must recover every particle");
+}
+
+#[test]
+fn restart_on_fewer_ranks() {
+    let scratch = ScratchDir::new("fewer");
+    let fps = write_uniform(&scratch.path, 8, 2000, 100_000, false);
+    let total_written: usize = fps.iter().map(|f| f.0).sum();
+
+    let grid = RankGrid::new_3d(3, Aabb::unit());
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(3, move |comm| {
+        read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u")
+            .expect("read succeeds")
+            .len()
+    });
+    let total_read: usize = counts.iter().sum();
+    assert_eq!(total_read, total_written, "3-rank restart must recover every particle");
+}
+
+#[test]
+fn single_rank_write_and_read() {
+    let scratch = ScratchDir::new("single");
+    let fps = write_uniform(&scratch.path, 1, 5000, 1 << 20, false);
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(1, move |comm| {
+        read_particles(&comm, Aabb::unit(), &dir, "u").unwrap().len()
+    });
+    assert_eq!(counts[0], fps[0].0);
+}
+
+#[test]
+fn aug_strategy_roundtrip() {
+    let scratch = ScratchDir::new("aug");
+    let fps = write_uniform(&scratch.path, 8, 1500, 100_000, true);
+    let total: usize = fps.iter().map(|f| f.0).sum();
+    let grid = RankGrid::new_3d(8, Aabb::unit());
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(8, move |comm| {
+        read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), total);
+}
+
+#[test]
+fn empty_ranks_are_skipped() {
+    let scratch = ScratchDir::new("empty");
+    let n = 6;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    // Only ranks 0 and 3 have particles.
+    Cluster::run(n, move |comm| {
+        let set = if comm.rank() == 0 || comm.rank() == 3 {
+            uniform::generate_rank(&grid, comm.rank(), 1000, 7)
+        } else {
+            ParticleSet::new(uniform::descs())
+        };
+        let cfg = WriteConfig::with_target_size(50_000, 124);
+        let report =
+            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "sparse")
+                .expect("write succeeds");
+        assert!(report.files >= 1);
+    });
+    let grid2 = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(n, move |comm| {
+        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "sparse").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), 2000);
+}
+
+#[test]
+fn all_ranks_empty_writes_empty_dataset() {
+    let scratch = ScratchDir::new("all-empty");
+    let dir = scratch.path.clone();
+    Cluster::run(4, move |comm| {
+        let set = ParticleSet::new(uniform::descs());
+        let cfg = WriteConfig::with_target_size(50_000, 124);
+        let report = write_particles(
+            &comm,
+            set,
+            Aabb::unit(),
+            &cfg,
+            &dir,
+            "void",
+        )
+        .expect("empty write succeeds");
+        assert_eq!(report.files, 0);
+    });
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(4, move |comm| {
+        read_particles(&comm, Aabb::unit(), &dir, "void").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), 0);
+}
+
+#[test]
+fn grossly_imbalanced_rank_roundtrip() {
+    // One rank holds 100x the particles of the others; the write must
+    // still succeed with that rank's data unsplit (possibly an oversized
+    // file) and reads must recover everything.
+    let scratch = ScratchDir::new("imbalanced");
+    let n = 6;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let written = Cluster::run(n, move |comm| {
+        let count = if comm.rank() == 2 { 20_000 } else { 200 };
+        let set = uniform::generate_rank(&grid, comm.rank(), count, 11);
+        let cfg = WriteConfig::with_target_size(60_000, set.bytes_per_particle() as u64);
+        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "imb")
+            .expect("write succeeds");
+        count as usize
+    });
+    let grid2 = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(n, move |comm| {
+        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "imb").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), written.iter().sum::<usize>());
+}
+
+#[test]
+fn multiple_timesteps_coexist() {
+    let scratch = ScratchDir::new("steps");
+    let n = 4;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    for (step, seed) in [(0u32, 1u64), (1, 2), (2, 3)] {
+        let dir = scratch.path.clone();
+        let g = grid.clone();
+        Cluster::run(n, move |comm| {
+            let set = uniform::generate_rank(&g, comm.rank(), 500 + 100 * step as u64, seed);
+            let cfg = WriteConfig::with_target_size(40_000, set.bytes_per_particle() as u64);
+            write_particles(
+                &comm,
+                set,
+                g.bounds_of(comm.rank()),
+                &cfg,
+                &dir,
+                &format!("step{step}"),
+            )
+            .expect("write succeeds");
+        });
+    }
+    // Each timestep reads back its own population.
+    for step in 0..3u32 {
+        let dir = scratch.path.clone();
+        let g = grid.clone();
+        let counts = Cluster::run(n, move |comm| {
+            read_particles(&comm, g.bounds_of(comm.rank()), &dir, &format!("step{step}"))
+                .unwrap()
+                .len()
+        });
+        assert_eq!(counts.iter().sum::<usize>() as u64, (500 + 100 * step as u64) * n as u64);
+    }
+}
+
+#[test]
+fn in_transit_hook_sees_every_particle() {
+    use libbat::write::write_particles_in_transit;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let scratch = ScratchDir::new("in-transit");
+    let n = 6;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let seen = std::sync::Arc::new(AtomicU64::new(0));
+    let seen2 = seen.clone();
+    Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), 1000, 13);
+        let cfg = WriteConfig::with_target_size(60_000, set.bytes_per_particle() as u64);
+        let seen = seen2.clone();
+        write_particles_in_transit(
+            &comm,
+            set,
+            grid.bounds_of(comm.rank()),
+            &cfg,
+            &dir,
+            "intransit",
+            |_leaf, bat| {
+                // In-transit analysis: count particles before the write.
+                seen.fetch_add(bat.num_particles() as u64, Ordering::Relaxed);
+            },
+        )
+        .expect("write succeeds");
+    });
+    assert_eq!(seen.load(Ordering::Relaxed), 6000);
+    // The data still landed on disk normally.
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(n, move |comm| {
+        let g = RankGrid::new_3d(n, Aabb::unit());
+        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "intransit").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), 6000);
+}
+
+#[test]
+fn auto_target_size_roundtrip() {
+    let scratch = ScratchDir::new("auto-target");
+    let n = 8;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let reports = Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), 2000, 17);
+        // target_file_bytes = 0 → rank 0 picks it from the totals.
+        let cfg = WriteConfig::auto(set.bytes_per_particle() as u64);
+        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "auto")
+            .expect("write succeeds")
+    });
+    assert!(reports[0].files >= 1);
+    let dir = scratch.path.clone();
+    let counts = Cluster::run(n, move |comm| {
+        let g = RankGrid::new_3d(n, Aabb::unit());
+        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "auto").unwrap().len()
+    });
+    assert_eq!(counts.iter().sum::<usize>(), 16_000);
+}
+
+#[test]
+fn custom_layout_sink() {
+    use libbat::write::{write_particles_with_sink, LayoutSink};
+
+    /// A trivial user layout: raw encoded particle set with a magic header.
+    struct RawSink;
+    impl LayoutSink for RawSink {
+        fn build(&self, _leaf: u32, set: &bat_layout::ParticleSet, _bounds: Aabb) -> Vec<u8> {
+            let mut enc = bat_wire::Encoder::new();
+            enc.put_u32(0xCAFE);
+            set.encode(&mut enc);
+            enc.finish()
+        }
+    }
+
+    let scratch = ScratchDir::new("sink");
+    let n = 6;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    let reports = Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), 1200, 3);
+        let cfg = WriteConfig::with_target_size(80_000, set.bytes_per_particle() as u64);
+        write_particles_with_sink(
+            &comm,
+            set,
+            grid.bounds_of(comm.rank()),
+            &cfg,
+            &dir,
+            "custom",
+            &RawSink,
+        )
+        .expect("sink write succeeds")
+    });
+    let files = reports[0].files;
+    assert!(files >= 1);
+
+    // The metadata is a normal .batmeta: ranges/bitmaps support culling.
+    let meta_bytes =
+        std::fs::read(scratch.path.join(libbat::write::meta_file_name("custom"))).unwrap();
+    let meta = bat_aggregation::meta::MetaTree::decode(&meta_bytes).unwrap();
+    assert_eq!(meta.leaves.len(), files);
+    assert_eq!(meta.total_particles, 1200 * n as u64);
+    let candidates = meta
+        .candidate_leaves(&bat_layout::Query::new().with_filter(0, 1e9, 2e9))
+        .unwrap();
+    assert!(candidates.is_empty(), "out-of-range filter culls all leaves");
+
+    // The leaf files hold the user's layout, decodable by its owner.
+    let mut total = 0u64;
+    for leaf in &meta.leaves {
+        let bytes = std::fs::read(scratch.path.join(&leaf.file)).unwrap();
+        let mut dec = bat_wire::Decoder::new(&bytes);
+        assert_eq!(dec.get_u32("magic").unwrap(), 0xCAFE);
+        let set = bat_layout::ParticleSet::decode(&mut dec).unwrap();
+        assert_eq!(set.len() as u64, leaf.particles);
+        total += set.len() as u64;
+    }
+    assert_eq!(total, 1200 * n as u64);
+}

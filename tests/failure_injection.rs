@@ -1,0 +1,126 @@
+//! Failure injection: corrupt files, missing files, and malformed inputs
+//! must surface as errors, never as panics or silent wrong answers.
+
+mod common;
+
+use bat_comm::Cluster;
+use bat_geom::Aabb;
+use bat_layout::{BatFile, Query};
+use bat_workloads::{uniform, RankGrid};
+use common::ScratchDir;
+use libbat::read::read_particles;
+use libbat::write::{leaf_file_name, meta_file_name, write_particles, WriteConfig};
+use libbat::Dataset;
+
+fn write_sample(dir: &std::path::Path, n: usize) {
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = dir.to_path_buf();
+    Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), 1500, 5);
+        let cfg = WriteConfig::with_target_size(80_000, set.bytes_per_particle() as u64);
+        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "x")
+            .expect("write succeeds");
+    });
+}
+
+#[test]
+fn missing_metadata_is_an_error() {
+    let scratch = ScratchDir::new("missing-meta");
+    assert!(Dataset::open(&scratch.path, "nope").is_err());
+    let dir = scratch.path.clone();
+    Cluster::run(2, move |comm| {
+        assert!(read_particles(&comm, Aabb::unit(), &dir, "nope").is_err());
+    });
+}
+
+#[test]
+fn truncated_metadata_is_an_error() {
+    let scratch = ScratchDir::new("trunc-meta");
+    write_sample(&scratch.path, 4);
+    let meta_path = scratch.path.join(meta_file_name("x"));
+    let bytes = std::fs::read(&meta_path).unwrap();
+    std::fs::write(&meta_path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(Dataset::open(&scratch.path, "x").is_err());
+}
+
+#[test]
+fn corrupted_magic_in_leaf_file_is_an_error() {
+    let scratch = ScratchDir::new("bad-magic");
+    write_sample(&scratch.path, 4);
+    let leaf = scratch.path.join(leaf_file_name("x", 0));
+    let mut bytes = std::fs::read(&leaf).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&leaf, &bytes).unwrap();
+    // Metadata opens fine; the query touching leaf 0 fails cleanly.
+    let ds = Dataset::open(&scratch.path, "x").unwrap();
+    assert!(ds.count(&Query::new()).is_err());
+}
+
+#[test]
+fn missing_leaf_file_is_an_error() {
+    let scratch = ScratchDir::new("missing-leaf");
+    write_sample(&scratch.path, 4);
+    std::fs::remove_file(scratch.path.join(leaf_file_name("x", 0))).unwrap();
+    let ds = Dataset::open(&scratch.path, "x").unwrap();
+    assert!(ds.count(&Query::new()).is_err());
+}
+
+#[test]
+fn bit_flips_in_leaf_body_never_panic() {
+    // Flipping bytes anywhere in a leaf file must produce either an error
+    // or a (possibly wrong-valued) successful parse — never a panic or an
+    // out-of-bounds access.
+    let scratch = ScratchDir::new("bitflip");
+    write_sample(&scratch.path, 2);
+    let leaf = scratch.path.join(leaf_file_name("x", 0));
+    let original = std::fs::read(&leaf).unwrap();
+    let mut rng = bat_geom::rng::SplitMix64::new(99);
+    for _ in 0..60 {
+        let mut bytes = original.clone();
+        let pos = rng.next_below(bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << rng.next_below(8);
+        match BatFile::from_bytes(bytes) {
+            Ok(file) => {
+                // Querying the damaged file must not panic either.
+                let _ = file.query(&Query::new(), |_| {});
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn truncated_leaf_tails_never_panic() {
+    let scratch = ScratchDir::new("trunc-leaf");
+    write_sample(&scratch.path, 2);
+    let leaf = scratch.path.join(leaf_file_name("x", 0));
+    let original = std::fs::read(&leaf).unwrap();
+    for frac in [0.1, 0.4, 0.7, 0.95, 0.999] {
+        let cut = (original.len() as f64 * frac) as usize;
+        match BatFile::from_bytes(original[..cut].to_vec()) {
+            Ok(file) => {
+                let _ = file.query(&Query::new(), |_| {});
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn empty_directory_dataset_open_fails_cleanly() {
+    let scratch = ScratchDir::new("empty-dir");
+    match Dataset::open(&scratch.path, "whatever") {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::NotFound),
+        Ok(_) => panic!("open of a missing dataset must fail"),
+    }
+}
+
+#[test]
+fn metadata_from_wrong_file_type_rejected() {
+    let scratch = ScratchDir::new("wrong-type");
+    write_sample(&scratch.path, 2);
+    // Point the metadata name at a leaf file (wrong magic).
+    let leaf_bytes = std::fs::read(scratch.path.join(leaf_file_name("x", 0))).unwrap();
+    std::fs::write(scratch.path.join(meta_file_name("y")), leaf_bytes).unwrap();
+    assert!(Dataset::open(&scratch.path, "y").is_err());
+}
