@@ -19,6 +19,13 @@ use libbat::model_write;
 use libbat::write::WriteConfig;
 
 fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
+    // Collect observability metrics for the whole sweep: the modeled
+    // pipeline publishes per-resource queue/utilization gauges, printed as
+    // an appendix after the breakdown table.
+    let metrics = bat_bench::report::bench_metrics(
+        format!("Fig 6 ({})", profile.name),
+        Some(&format!("fig6_{}", profile.name)),
+    );
     let mut table = Table::new(
         format!("Fig 6 ({}) write pipeline breakdown, % of component time", profile.name),
         &[
@@ -46,6 +53,7 @@ fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
     table.print();
     let csv = table.save_csv(&format!("fig6_{}", profile.name)).expect("write csv");
     println!("saved {}", csv.display());
+    metrics.finish();
 }
 
 fn main() {

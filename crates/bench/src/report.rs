@@ -83,6 +83,71 @@ impl Table {
     }
 }
 
+/// Guard from [`bench_metrics`]: while alive, metrics record into a fresh
+/// registry; on [`MetricsSection::finish`] (or drop) the collected snapshot
+/// is printed as an appendix to the experiment's tables and optionally
+/// saved as JSON next to the CSVs.
+pub struct MetricsSection {
+    registry: std::sync::Arc<bat_obs::Registry>,
+    title: String,
+    json_name: Option<String>,
+    _on: bat_obs::EnabledGuard,
+    _scope: bat_obs::ScopeGuard,
+    finished: bool,
+}
+
+/// Start collecting observability metrics for a benchmark section. Enables
+/// recording and scopes it to a registry owned by the guard, so repeated
+/// sections don't bleed into each other.
+pub fn bench_metrics(title: impl Into<String>, json_name: Option<&str>) -> MetricsSection {
+    let registry = std::sync::Arc::new(bat_obs::Registry::new());
+    MetricsSection {
+        _on: bat_obs::enable(),
+        _scope: bat_obs::scope(registry.clone()),
+        registry,
+        title: title.into(),
+        json_name: json_name.map(str::to_string),
+        finished: false,
+    }
+}
+
+impl MetricsSection {
+    /// Snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> bat_obs::Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Print the collected metrics (and save JSON if configured), consuming
+    /// the section.
+    pub fn finish(mut self) {
+        self.finished = true;
+        let snap = self.registry.snapshot();
+        if snap.is_empty() {
+            return;
+        }
+        println!("\n== {} — observability ==", self.title);
+        print!("{}", snap.to_table());
+        if let Some(name) = &self.json_name {
+            let path = experiments_dir().join(format!("{name}.metrics.json"));
+            if std::fs::write(&path, snap.to_json()).is_ok() {
+                println!("saved {}", path.display());
+            }
+        }
+    }
+}
+
+impl Drop for MetricsSection {
+    fn drop(&mut self) {
+        if !self.finished {
+            let snap = self.registry.snapshot();
+            if !snap.is_empty() {
+                println!("\n== {} — observability ==", self.title);
+                print!("{}", snap.to_table());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

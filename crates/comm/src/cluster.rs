@@ -26,6 +26,17 @@ impl Cluster {
         let state = ClusterState::new(n);
         let f = &f;
 
+        // When metrics are on, each rank thread records into its own scoped
+        // registry (so concurrent ranks never contend on one map) which is
+        // drained into the launcher's registry after the join: counters add
+        // and histograms merge across ranks, giving cluster-wide totals and
+        // across-rank latency distributions.
+        let rank_regs: Vec<std::sync::Arc<bat_obs::Registry>> = if bat_obs::enabled() {
+            (0..n).map(|_| std::sync::Arc::new(bat_obs::Registry::new())).collect()
+        } else {
+            Vec::new()
+        };
+
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
@@ -34,7 +45,9 @@ impl Cluster {
             for rank in 0..n {
                 let comm = Comm::new(state.clone(), rank);
                 let state = state.clone();
+                let rank_reg = rank_regs.get(rank).cloned();
                 handles.push(scope.spawn(move || {
+                    let _obs_scope = rank_reg.map(bat_obs::scope);
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                     if out.is_err() {
                         state.poison();
@@ -55,6 +68,10 @@ impl Cluster {
                 }
             }
         });
+
+        for reg in &rank_regs {
+            reg.drain_into_current();
+        }
 
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);

@@ -393,7 +393,7 @@ mod randomized_tests {
             let n = 10;
             let results = Cluster::run(n, move |comm| {
                 use bat_wire::{Decoder, Encoder};
-                let mut rng = bat_geom_rng(seed + comm.rank() as u64);
+                let rng = bat_geom_rng(seed + comm.rank() as u64);
                 // Decide sends: up to 20 messages to random peers.
                 let mut sent_to = vec![0u64; comm.size()];
                 let n_msgs = (rng % 21) as usize;

@@ -84,6 +84,7 @@ pub fn model_write(
         }
     }
     times[WritePhase::Transfer] = transfer_done;
+    net.publish_metrics("iosim.write.network");
 
     // --- Phase 4: BAT construction on each aggregator. ---
     let build_rate = profile.compute.bat_build_rate;
@@ -113,6 +114,7 @@ pub fn model_write(
     let created = storage.create_file(write_done);
     let t_meta = storage.write_file(tree.leaves.len(), created, meta_bytes) - write_done;
     times[WritePhase::Metadata] = t_reports + t_meta;
+    storage.publish_metrics("iosim.write.storage");
 
     times.total = times.component_sum();
     let bytes_total: u64 = ranks.iter().map(|r| r.particles * bpp).sum();
@@ -180,6 +182,8 @@ pub fn model_read(
         }
     }
     times[WritePhase::Transfer] = transfer_done;
+    net.publish_metrics("iosim.read.network");
+    storage.publish_metrics("iosim.read.storage");
 
     times.total = times.component_sum();
     let bytes_total: u64 = ranks.iter().map(|r| r.particles * bpp).sum();

@@ -315,7 +315,9 @@ fn write_pipeline(
     let mut enc = Encoder::new();
     info.encode(&mut enc);
     let gathered = comm.gather(0, Bytes::from(enc.finish()));
+    bat_obs::observe_duration("write.gather_bounds_ns", t0.elapsed());
 
+    let t_tree = Instant::now();
     let assignment_bytes = if comm.rank() == 0 {
         let infos: Vec<RankInfo> = gathered
             .expect("root gathers")
@@ -347,13 +349,18 @@ fn write_pipeline(
     } else {
         None
     };
+    if comm.rank() == 0 {
+        bat_obs::observe_duration("write.agg_tree_build_ns", t_tree.elapsed());
+    }
     times[WritePhase::TreeBuild] = t0.elapsed().as_secs_f64();
 
     // --- Phase 2: scatter assignments. ---
     let t0 = Instant::now();
     let mine = comm.scatter(0, assignment_bytes);
     let assignment = Assignment::decode(&mine).expect("valid assignment");
-    times[WritePhase::Scatter] = t0.elapsed().as_secs_f64();
+    let el = t0.elapsed();
+    bat_obs::observe_duration("write.scatter_ns", el);
+    times[WritePhase::Scatter] = el.as_secs_f64();
 
     // --- Phase 3: transfer particles to aggregators (§III-B). ---
     let t0 = Instant::now();
@@ -361,7 +368,10 @@ fn write_pipeline(
     if let Some(agg) = assignment.agg_of_me {
         let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
         set.encode(&mut enc);
-        comm.isend(agg as usize, TAG_DATA, Bytes::from(enc.finish()));
+        let payload = Bytes::from(enc.finish());
+        bat_obs::counter_add("write.shuffle.send_bytes", payload.len() as u64);
+        bat_obs::counter_add("write.shuffle.send_msgs", 1);
+        comm.isend(agg as usize, TAG_DATA, payload);
     }
     // Aggregators receive from every source (self-sends included above).
     let mut received: Option<ParticleSet> = None;
@@ -369,6 +379,8 @@ fn write_pipeline(
         let mut merged = ParticleSet::new(descs.clone());
         for &(src, count) in &duty.sources {
             let msg = comm.recv(Some(src as usize), TAG_DATA);
+            bat_obs::counter_add("write.shuffle.recv_bytes", msg.payload.len() as u64);
+            bat_obs::counter_add("write.shuffle.recv_msgs", 1);
             let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
                 .expect("valid particle payload");
             assert_eq!(part.len() as u64, count, "source {src} count mismatch");
@@ -376,7 +388,9 @@ fn write_pipeline(
         }
         received = Some(merged);
     }
-    times[WritePhase::Transfer] = t0.elapsed().as_secs_f64();
+    let el = t0.elapsed();
+    bat_obs::observe_duration("write.shuffle_ns", el);
+    times[WritePhase::Transfer] = el.as_secs_f64();
 
     // --- Phase 4: build the layout on each aggregator (§III-C). ---
     let t0 = Instant::now();
@@ -397,12 +411,19 @@ fn write_pipeline(
         });
         compacted = Some(bytes);
     }
-    times[WritePhase::LayoutBuild] = t0.elapsed().as_secs_f64();
+    let el = t0.elapsed();
+    if assignment.duty.is_some() {
+        bat_obs::observe_duration("write.layout_build_ns", el);
+    }
+    times[WritePhase::LayoutBuild] = el.as_secs_f64();
 
     // --- Phase 5: write leaf files. ---
     let t0 = Instant::now();
     if let (Some(bytes), Some(duty)) = (&compacted, &assignment.duty) {
         std::fs::write(dir.join(&duty.file), bytes)?;
+        bat_obs::counter_add("write.file.bytes", bytes.len() as u64);
+        bat_obs::counter_add("write.file.count", 1);
+        bat_obs::observe_duration("write.file_write_ns", t0.elapsed());
     }
     times[WritePhase::FileWrite] = t0.elapsed().as_secs_f64();
 
@@ -439,8 +460,12 @@ fn write_pipeline(
         std::fs::write(dir.join(meta_file_name(basename)), meta.encode())?;
         meta_summary = Some((files, balance));
     }
-    times[WritePhase::Metadata] = t0.elapsed().as_secs_f64();
+    let el = t0.elapsed();
+    bat_obs::observe_duration("write.metadata_ns", el);
+    times[WritePhase::Metadata] = el.as_secs_f64();
     times.total = t_start.elapsed().as_secs_f64();
+    bat_obs::observe_duration("write.total_ns", t_start.elapsed());
+    bat_obs::counter_add("write.particles", set.len() as u64);
 
     // --- Merge the report across ranks so every rank returns the same. ---
     let bytes_total = comm.allreduce_u64(my_bytes, |a, b| a + b);

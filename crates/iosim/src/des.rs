@@ -26,6 +26,9 @@ pub struct Server {
     bytes_served: f64,
     /// Total operations served.
     ops_served: u64,
+    /// Accumulated service time (latency + bytes/rate per op); utilization
+    /// is this over the drain window.
+    busy: f64,
 }
 
 impl Server {
@@ -34,7 +37,7 @@ impl Server {
     pub fn new(rate: f64, latency: f64) -> Server {
         assert!(rate > 0.0, "server rate must be positive");
         assert!(latency >= 0.0);
-        Server { rate, latency, free_at: 0.0, bytes_served: 0.0, ops_served: 0 }
+        Server { rate, latency, free_at: 0.0, bytes_served: 0.0, ops_served: 0, busy: 0.0 }
     }
 
     /// Submit a job of `bytes` arriving at `arrival`; returns its completion
@@ -42,10 +45,12 @@ impl Server {
     pub fn submit(&mut self, arrival: f64, bytes: f64) -> f64 {
         debug_assert!(bytes >= 0.0);
         let start = arrival.max(self.free_at);
-        let done = start + self.latency + bytes / self.rate;
+        let service = self.latency + bytes / self.rate;
+        let done = start + service;
         self.free_at = done;
         self.bytes_served += bytes;
         self.ops_served += 1;
+        self.busy += service;
         done
     }
 
@@ -64,11 +69,22 @@ impl Server {
         self.ops_served
     }
 
+    /// Fraction of the drain window this server spent serving (1.0 = never
+    /// idle between arrival and drain; 0.0 before any job).
+    pub fn utilization(&self) -> f64 {
+        if self.free_at > 0.0 {
+            self.busy / self.free_at
+        } else {
+            0.0
+        }
+    }
+
     /// Reset the queue state, keeping the configuration.
     pub fn reset(&mut self) {
         self.free_at = 0.0;
         self.bytes_served = 0.0;
         self.ops_served = 0;
+        self.busy = 0.0;
     }
 
     /// Configured service rate in bytes/second.
@@ -128,6 +144,27 @@ impl ServerPool {
     /// Aggregate configured bandwidth of the pool.
     pub fn aggregate_rate(&self) -> f64 {
         self.servers.iter().map(|s| s.rate).sum()
+    }
+
+    /// Total bytes pushed through the whole pool.
+    pub fn bytes_served(&self) -> f64 {
+        self.servers.iter().map(|s| s.bytes_served).sum()
+    }
+
+    /// Total operations served across the pool.
+    pub fn ops_served(&self) -> u64 {
+        self.servers.iter().map(|s| s.ops_served).sum()
+    }
+
+    /// Mean per-server utilization over the pool's drain window: the
+    /// fraction of pool capacity the submitted jobs kept busy.
+    pub fn utilization(&self) -> f64 {
+        let drain = self.drain_time();
+        if drain > 0.0 {
+            self.servers.iter().map(|s| s.busy).sum::<f64>() / (drain * self.servers.len() as f64)
+        } else {
+            0.0
+        }
     }
 
     /// Reset all queues.

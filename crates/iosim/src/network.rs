@@ -89,6 +89,21 @@ impl NetworkModel {
         self.latency
     }
 
+    /// Publish per-resource queue state to the current metrics registry
+    /// under `prefix` (e.g. `iosim.network`): NIC and core drain times,
+    /// bytes, and utilization. No-op when metrics are disabled.
+    pub fn publish_metrics(&self, prefix: &str) {
+        if !bat_obs::enabled() {
+            return;
+        }
+        bat_obs::gauge_set(&format!("{prefix}.nics.queue_s"), self.nics.drain_time());
+        bat_obs::gauge_set(&format!("{prefix}.nics.bytes"), self.nics.bytes_served());
+        bat_obs::gauge_set(&format!("{prefix}.nics.utilization"), self.nics.utilization());
+        bat_obs::gauge_set(&format!("{prefix}.core.queue_s"), self.core.free_at());
+        bat_obs::gauge_set(&format!("{prefix}.core.bytes"), self.core.bytes_served());
+        bat_obs::gauge_set(&format!("{prefix}.core.utilization"), self.core.utilization());
+    }
+
     /// Model a small-message collective rooted at rank 0 (gather or scatter
     /// of per-rank control structures): latency-dominated, log-depth fan-in
     /// plus serial processing of `ranks * bytes_per_rank` at the root NIC.

@@ -192,6 +192,24 @@ impl StorageModel {
         self.targets.aggregate_rate()
     }
 
+    /// Publish per-resource queue state to the current metrics registry
+    /// under `prefix` (e.g. `iosim.storage`): drain times (the queue-depth
+    /// measure of a free-at server), operation counts, bytes, and target
+    /// utilization. No-op when metrics are disabled.
+    pub fn publish_metrics(&self, prefix: &str) {
+        if !bat_obs::enabled() {
+            return;
+        }
+        bat_obs::gauge_set(&format!("{prefix}.mds.queue_s"), self.mds.free_at());
+        bat_obs::gauge_set(&format!("{prefix}.mds.ops"), self.mds.ops_served() as f64);
+        bat_obs::gauge_set(&format!("{prefix}.lock.queue_s"), self.lock.free_at());
+        bat_obs::gauge_set(&format!("{prefix}.lock.ops"), self.lock.ops_served() as f64);
+        bat_obs::gauge_set(&format!("{prefix}.targets.queue_s"), self.targets.drain_time());
+        bat_obs::gauge_set(&format!("{prefix}.targets.bytes"), self.targets.bytes_served());
+        bat_obs::gauge_set(&format!("{prefix}.targets.ops"), self.targets.ops_served() as f64);
+        bat_obs::gauge_set(&format!("{prefix}.targets.utilization"), self.targets.utilization());
+    }
+
     /// The profile this model was built from.
     pub fn profile(&self) -> &StorageProfile {
         &self.profile
@@ -270,7 +288,7 @@ mod tests {
     #[test]
     fn gpfs_spreads_blocks_over_all_servers() {
         let mut fs = gpfs();
-        fs.write_file(0, 0.0, 16 * 154 << 20); // 154 blocks of 16 MB
+        fs.write_file(0, 0.0, (16 * 154) << 20); // 154 blocks of 16 MB
         let touched = (0..154).filter(|&i| fs.targets.server(i).free_at() > 0.0).count();
         assert_eq!(touched, 154);
     }

@@ -100,7 +100,9 @@ impl Bat {
     /// what the aggregator writes to its file, and what
     /// [`crate::BatFile::from_bytes`] queries in transit.
     pub fn to_bytes(&self) -> Vec<u8> {
-        crate::format::write_bat(self)
+        let bytes = bat_obs::time("bat.compact_ns", || crate::format::write_bat(self));
+        bat_obs::counter_add("bat.compact_bytes", bytes.len() as u64);
+        bytes
     }
 
     /// Compact and open for querying in one step — the in-transit analysis
@@ -172,38 +174,48 @@ impl BatBuilder {
         }
 
         // 1. Morton codes + parallel sort-by-key.
-        let codes: Vec<u64> = set
-            .positions
-            .par_iter()
-            .map(|&p| morton::encode_point(p, &domain))
-            .collect();
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.par_sort_unstable_by_key(|&i| codes[i as usize]);
-        let sorted_codes: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
-        let sorted = set.permute(&perm);
+        let (sorted, sorted_codes) = bat_obs::time("bat.morton_sort_ns", || {
+            let codes: Vec<u64> = set
+                .positions
+                .par_iter()
+                .map(|&p| morton::encode_point(p, &domain))
+                .collect();
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.par_sort_unstable_by_key(|&i| codes[i as usize]);
+            let sorted_codes: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
+            (set.permute(&perm), sorted_codes)
+        });
 
         // 2. Shallow tree over merged subprefixes.
-        let shallow = ShallowTree::build(&sorted_codes, config.subprefix_bits, &domain);
+        let shallow = bat_obs::time("bat.shallow_tree_ns", || {
+            ShallowTree::build(&sorted_codes, config.subprefix_bits, &domain)
+        });
 
         // 3. Independent treelet builds per shallow leaf (parallel).
-        let structures: Vec<treelet::TreeletStructure> = shallow
-            .leaf_ranges
-            .par_iter()
-            .map(|&(s, e)| {
-                let span = &sorted.positions[s as usize..e as usize];
-                treelet::build_structure(span, &config.treelet, s as u64)
-            })
-            .collect();
+        let structures: Vec<treelet::TreeletStructure> =
+            bat_obs::time("bat.treelet_build_ns", || {
+                shallow
+                    .leaf_ranges
+                    .par_iter()
+                    .map(|&(s, e)| {
+                        let span = &sorted.positions[s as usize..e as usize];
+                        treelet::build_structure(span, &config.treelet, s as u64)
+                    })
+                    .collect()
+            });
 
         // 4. Compose the treelet-local orders into one global permutation
         //    and reorder the particle arrays once.
-        let mut final_perm: Vec<u32> = Vec::with_capacity(n);
-        for (&(s, _), st) in shallow.leaf_ranges.iter().zip(&structures) {
-            final_perm.extend(st.order.iter().map(|&o| s + o));
-        }
-        let particles = sorted.permute(&final_perm);
+        let particles = bat_obs::time("bat.permute_ns", || {
+            let mut final_perm: Vec<u32> = Vec::with_capacity(n);
+            for (&(s, _), st) in shallow.leaf_ranges.iter().zip(&structures) {
+                final_perm.extend(st.order.iter().map(|&o| s + o));
+            }
+            sorted.permute(&final_perm)
+        });
 
         // 5. Aggregator-local attribute ranges, then per-node bitmaps.
+        let _span = bat_obs::span("bat.bitmap_bin_ns");
         let attr_ranges: Vec<(f64, f64)> = (0..particles.num_attrs())
             .map(|a| particles.attr(a).value_range())
             .collect();
@@ -225,6 +237,9 @@ impl BatBuilder {
                 }
             })
             .collect();
+        drop(_span);
+        bat_obs::counter_add("bat.treelets", treelets.len() as u64);
+        bat_obs::counter_add("bat.particles", n as u64);
 
         Bat {
             config,

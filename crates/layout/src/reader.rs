@@ -45,6 +45,13 @@ pub struct QueryStats {
     pub points_tested: u64,
     /// Points passed to the callback.
     pub points_returned: u64,
+    /// Distinct 4 KiB pages covered by the treelet blocks touched (the
+    /// I/O cost proxy for an mmap-backed read; §V).
+    pub pages_touched: u64,
+    /// Nodes whose bitmaps overlapped every filter mask (descended).
+    pub bitmap_hits: u64,
+    /// Nodes culled because a bitmap missed a filter mask.
+    pub bitmap_skips: u64,
 }
 
 /// An opened, compacted BAT file.
@@ -98,7 +105,26 @@ impl BatFile {
 
     /// Run a query, invoking `cb` for every matching point, and return work
     /// counters. See [`Query`] for the knobs.
-    pub fn query(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
+    pub fn query(&self, q: &Query, cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
+        let _span = bat_obs::span("read.query_ns");
+        let result = self.query_impl(q, cb);
+        if let (Ok(stats), true) = (&result, bat_obs::enabled()) {
+            bat_obs::counter_add("read.query.count", 1);
+            bat_obs::counter_add("read.query.treelets", stats.treelets_visited);
+            bat_obs::counter_add("read.query.pages_4k", stats.pages_touched);
+            bat_obs::counter_add("read.query.points_tested", stats.points_tested);
+            bat_obs::counter_add("read.query.points_returned", stats.points_returned);
+            bat_obs::counter_add("read.query.bitmap_hits", stats.bitmap_hits);
+            bat_obs::counter_add("read.query.bitmap_skips", stats.bitmap_skips);
+        }
+        result
+    }
+
+    fn query_impl(
+        &self,
+        q: &Query,
+        mut cb: impl FnMut(PointRecord<'_>),
+    ) -> WireResult<QueryStats> {
         let mut stats = QueryStats::default();
         let na = self.head.descs.len();
 
@@ -139,7 +165,11 @@ impl BatFile {
                     if !masks.iter().all(|&(a, m)| {
                         self.head.dict.get(node.bitmap_ids[a]).overlaps(m)
                     }) {
+                        stats.bitmap_skips += 1;
                         continue;
+                    }
+                    if !masks.is_empty() {
+                        stats.bitmap_hits += 1;
                     }
                     stack.push(node.left);
                     stack.push(node.right);
@@ -177,6 +207,7 @@ impl BatFile {
     ) -> WireResult<()> {
         let view = self.treelet_view(leaf)?;
         stats.treelets_visited += 1;
+        stats.pages_touched += view.pages_4k;
 
         // Quality maps to a depth within *this* treelet: the LOD particle
         // count roughly doubles per level of each treelet (§V-B), so the
@@ -206,7 +237,11 @@ impl BatFile {
                 }
             }
             if !bitmaps_pass {
+                stats.bitmap_skips += 1;
                 continue;
+            }
+            if !masks.is_empty() {
+                stats.bitmap_hits += 1;
             }
 
             // Emit the progressive slice of this node's own particle block.
@@ -290,6 +325,13 @@ impl BatFile {
             na: self.head.descs.len(),
             num_nodes,
             num_points,
+            // Distinct 4 KiB pages the block spans in the file — the unit
+            // the OS faults in on the mmap read path.
+            pages_4k: if layout.size == 0 {
+                0
+            } else {
+                (end - 1) as u64 / 4096 - start as u64 / 4096 + 1
+            },
         })
     }
 }
@@ -322,6 +364,8 @@ pub struct TreeletView<'a> {
     na: usize,
     num_nodes: usize,
     num_points: usize,
+    /// Distinct 4 KiB pages the backing block spans.
+    pages_4k: u64,
 }
 
 impl<'a> TreeletView<'a> {

@@ -199,7 +199,7 @@ mod tests {
             let mut cell = t.leaf_bounds[li];
             let eps = 1e-4;
             cell.min = cell.min - Vec3::splat(eps);
-            cell.max = cell.max + Vec3::splat(eps);
+            cell.max += Vec3::splat(eps);
             for p in &pts[s as usize..e as usize] {
                 assert!(cell.contains_point(*p), "leaf {li}: {p:?} outside {cell:?}");
             }
@@ -218,7 +218,7 @@ mod tests {
         for n in &t.nodes {
             let mut grown = n.bounds;
             grown.min = grown.min - eps;
-            grown.max = grown.max + eps;
+            grown.max += eps;
             for c in [n.left, n.right] {
                 let cb = match c {
                     NodeRef::Leaf(i) => t.leaf_bounds[i as usize],

@@ -347,8 +347,8 @@ mod tests {
 
         // For every node, every particle in its subtree must fall in an
         // occupied bin of the node's bitmap.
-        for ni in 0..s.nodes.len() {
-            let bm = bitmaps[ni][0];
+        for (ni, node_bitmaps) in bitmaps.iter().enumerate() {
+            let bm = node_bitmaps[0];
             let span = subtree_span(&s.nodes, ni);
             for i in span.0..span.1 {
                 let v = set.value(0, i);

@@ -1,0 +1,273 @@
+//! Log-linear histograms with bounded relative error.
+//!
+//! The bucket layout is HDR-style log-linear: values below
+//! [`SUB_BUCKETS`] get one exact bucket each; every power-of-two octave
+//! above that is split into [`SUB_BUCKETS`] equal sub-buckets. A bucket's
+//! width is therefore at most `1/SUB_BUCKETS` of its lower bound, so any
+//! quantile estimate is within 12.5% relative error of the true sample
+//! quantile — tight enough for per-phase latency breakdowns, with a fixed
+//! 496-slot footprint covering the whole `u64` range (nanoseconds to
+//! half-millennia, bytes to exbibytes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (8 ⇒ ≤ 12.5% relative bucket width).
+pub const SUB_BUCKETS: u64 = 8;
+const SUB_BITS: u32 = 3;
+/// Total bucket count: 62 octaves × 8 sub-buckets (the first "octave"
+/// being the exact linear range `0..8`).
+pub const NUM_BUCKETS: usize = 62 * SUB_BUCKETS as usize;
+
+/// Index of the bucket containing `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) - SUB_BUCKETS) as usize;
+    (octave + 1) * SUB_BUCKETS as usize + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        return i as u64;
+    }
+    let octave = i / SUB_BUCKETS as usize - 1;
+    let sub = (i % SUB_BUCKETS as usize) as u64;
+    (SUB_BUCKETS + sub) << octave
+}
+
+/// Exclusive upper bound of bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        return i as u64 + 1;
+    }
+    let octave = i / SUB_BUCKETS as usize - 1;
+    bucket_lo(i).saturating_add(1u64 << octave)
+}
+
+/// Lock-free concurrent histogram.
+///
+/// Recording is a single atomic increment into the value's bucket plus
+/// bookkeeping (count, sum, min, max); all updates are `Relaxed` — the
+/// histogram promises not to lose updates, not to order them against
+/// other memory.
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Saturating atomic add: matches [`HistData::record`]'s saturating sum,
+/// so `load()` after any interleaving equals the sequential merge.
+fn fetch_add_saturating(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_add_saturating(&self.sum, v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy out a consistent-enough view (individual fields are atomic;
+    /// cross-field skew is possible under concurrent writers, bounded by
+    /// in-flight records).
+    pub fn load(&self) -> HistData {
+        HistData {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold `data` into this histogram (used when a rank-scoped registry
+    /// drains into its parent).
+    pub fn absorb(&self, data: &HistData) {
+        for (b, &v) in self.buckets.iter().zip(&data.buckets) {
+            if v > 0 {
+                b.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(data.count, Ordering::Relaxed);
+        fetch_add_saturating(&self.sum, data.sum);
+        self.min.fetch_min(data.min, Ordering::Relaxed);
+        self.max.fetch_max(data.max, Ordering::Relaxed);
+    }
+}
+
+/// Plain (non-atomic) histogram contents: what snapshots and merges work
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    /// Saturating sum of recorded values (saturation keeps merging
+    /// associative even at the limit).
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> HistData {
+        HistData {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistData {
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merge `other` into `self`. Bucket-wise addition plus min/max, so
+    /// the operation is associative and commutative (the property tests
+    /// pin this).
+    pub fn merge(&mut self, other: &HistData) {
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`).
+    ///
+    /// Finds the bucket containing the sample of rank `⌈q·count⌉` and
+    /// returns that bucket's midpoint, clamped into the observed
+    /// `[min, max]`. The estimate therefore lies inside the bounds of the
+    /// bucket holding the true sample quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_a_partition() {
+        // Every bucket's hi is the next bucket's lo, and indexing agrees
+        // with the bounds, across the exact range and octave boundaries.
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_hi(i), bucket_lo(i + 1), "bucket {i}");
+        }
+        for v in (0..4096u64).chain([u64::MAX, u64::MAX / 2, 1 << 40]) {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v, "v={v} i={i}");
+            // The top bucket's bound saturates at u64::MAX and is inclusive.
+            let saturated_top = i == NUM_BUCKETS - 1 && bucket_hi(i) == u64::MAX;
+            assert!(v < bucket_hi(i) || saturated_top, "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bound_holds() {
+        for i in SUB_BUCKETS as usize..NUM_BUCKETS {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(hi - lo <= lo / SUB_BUCKETS + 1, "bucket {i}: [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_range() {
+        for v in 0..SUB_BUCKETS {
+            let i = bucket_index(v);
+            assert_eq!((bucket_lo(i), bucket_hi(i)), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut h = HistData::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Within one bucket (12.5%) of the exact order statistics.
+        assert!((p50 as f64 - 500.0).abs() <= 500.0 * 0.125 + 1.0, "p50={p50}");
+        assert!((p99 as f64 - 990.0).abs() <= 990.0 * 0.125 + 1.0, "p99={p99}");
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0).max(h.max), h.max);
+    }
+
+    #[test]
+    fn atomic_and_plain_agree() {
+        let a = AtomicHistogram::default();
+        let mut p = HistData::default();
+        for v in [0, 1, 7, 8, 9, 1000, 123_456_789] {
+            a.record(v);
+            p.record(v);
+        }
+        assert_eq!(a.load(), p);
+    }
+}

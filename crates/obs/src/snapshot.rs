@@ -1,0 +1,247 @@
+//! Point-in-time registry contents, renderable as an aligned text table
+//! or JSON.
+//!
+//! Both renderers are hand-rolled (the crate is dependency-free); JSON
+//! output escapes strings per RFC 8259 and prints non-finite gauge
+//! values as `null`.
+
+use crate::hist::HistData;
+
+/// Copy of every metric in a registry at one instant. Vectors are kept
+/// sorted by name (registries iterate a `BTreeMap`).
+#[derive(Default, Debug, Clone)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistData)>,
+}
+
+/// The reduced view of one histogram used for display.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistSummary {
+    pub fn of(h: &HistData) -> HistSummary {
+        HistSummary {
+            count: h.count,
+            sum: h.sum,
+            min: if h.is_empty() { 0 } else { h.min },
+            max: h.max,
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistData> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Human-readable aligned table, one metric per row. Histogram names
+    /// ending in `_ns` render durations in scaled units; everything else
+    /// prints raw values.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .chain(self.gauges.iter().map(|(n, _)| n.len()))
+                .max()
+                .unwrap_or(0);
+            out.push_str("counters/gauges\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v:.3}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let width =
+                self.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(4);
+            out.push_str(&format!(
+                "{:<width$}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "histogram", "count", "mean", "p50", "p95", "p99", "total"
+            ));
+            for (name, h) in &self.histograms {
+                let s = HistSummary::of(h);
+                let scale = if name.ends_with("_ns") { fmt_ns } else { fmt_raw };
+                out.push_str(&format!(
+                    "{:<width$}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                    name,
+                    s.count,
+                    scale(s.mean as u64),
+                    scale(s.p50),
+                    scale(s.p95),
+                    scale(s.p99),
+                    scale(s.sum),
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), json_f64(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = HistSummary::of(h);
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_str(name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                json_f64(s.mean),
+                s.p50,
+                s.p95,
+                s.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Scaled duration for table cells: ns → µs → ms → s.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn fmt_raw(v: u64) -> String {
+    v.to_string()
+}
+
+/// RFC 8259 string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Guarantee a number token JSON parsers accept (never `1e5`-less
+        // integer-looking NaN or bare `inf`).
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut h = HistData::default();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        Snapshot {
+            counters: vec![("a.count".into(), 7)],
+            gauges: vec![("b.depth".into(), 2.5)],
+            histograms: vec![("c.lat_ns".into(), h)],
+        }
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let t = sample().to_table();
+        assert!(t.contains("a.count") && t.contains('7'));
+        assert!(t.contains("b.depth") && t.contains("2.500"));
+        assert!(t.contains("c.lat_ns") && t.contains("p95"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"a.count\":7"));
+        assert!(j.contains("\"b.depth\":2.5"));
+        assert!(j.contains("\"c.lat_ns\":{\"count\":3"));
+        // Balanced braces (cheap well-formedness check without a parser).
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(250_000), "250.0us");
+        assert_eq!(fmt_ns(15_000_000), "15.0ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the observability primitives.
+//!
+//! These pin the algebraic contracts the rest of the workspace relies on:
+//! histogram merging must be associative (per-rank registries drain into
+//! the caller's in arbitrary order), quantile estimates must stay inside
+//! the bucket that holds the true sample quantile, and counters must not
+//! lose updates under concurrent increments.
+
+use bat_obs::hist::{bucket_hi, bucket_index, bucket_lo};
+use bat_obs::{AtomicHistogram, HistData, Registry};
+use proptest::prelude::*;
+
+/// Build a histogram from a list of samples.
+fn hist_of(values: &[u64]) -> HistData {
+    let mut h = HistData::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Spread (exponent, mantissa) pairs across the full dynamic range; plain
+/// uniform u64 ranges would almost never exercise small buckets.
+fn expand(samples: &[(u32, u64)]) -> Vec<u64> {
+    samples.iter().map(|&(e, m)| m.saturating_mul(1 << e.min(53))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec((0u32..54, 0u64..1024), 0..40),
+        b in prop::collection::vec((0u32..54, 0u64..1024), 0..40),
+        c in prop::collection::vec((0u32..54, 0u64..1024), 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&expand(&a)), hist_of(&expand(&b)), hist_of(&expand(&c)));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b (commutativity).
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenation.
+        let mut all = expand(&a);
+        all.extend(expand(&b));
+        all.extend(expand(&c));
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_stays_in_true_quantile_bucket(
+        samples in prop::collection::vec((0u32..54, 0u64..1024), 1..80),
+        q_millis in 0u64..1001,
+    ) {
+        let values = expand(&samples);
+        let h = hist_of(&values);
+        let q = q_millis as f64 / 1000.0;
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let true_q = sorted[rank - 1];
+        let bucket = bucket_index(true_q);
+
+        let est = h.quantile(q);
+        prop_assert!(
+            est >= bucket_lo(bucket) && est <= bucket_hi(bucket),
+            "estimate {} outside bucket {} = [{}, {}] holding true quantile {}",
+            est, bucket, bucket_lo(bucket), bucket_hi(bucket), true_q
+        );
+        // Estimates never leave the observed range.
+        prop_assert!(est >= h.min && est <= h.max);
+    }
+
+    #[test]
+    fn atomic_absorb_matches_sequential_merge(
+        a in prop::collection::vec((0u32..54, 0u64..1024), 0..30),
+        b in prop::collection::vec((0u32..54, 0u64..1024), 0..30),
+    ) {
+        let atomic = AtomicHistogram::default();
+        for &v in &expand(&a) {
+            atomic.record(v);
+        }
+        atomic.absorb(&hist_of(&expand(&b)));
+
+        let mut expected = hist_of(&expand(&a));
+        expected.merge(&hist_of(&expand(&b)));
+        prop_assert_eq!(&atomic.load(), &expected);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_no_updates(
+        threads_log2 in 1u32..5,
+        per_thread in 1u64..2000,
+    ) {
+        let reg = Registry::new();
+        let counter = reg.counter("prop.hits");
+        let hist = reg.histogram("prop.obs");
+
+        // Fan out with rayon::join so increments race on real threads.
+        fn fan_out(depth: u32, per_thread: u64, work: &(impl Fn(u64) + Sync)) {
+            if depth == 0 {
+                work(per_thread);
+            } else {
+                rayon::join(
+                    || fan_out(depth - 1, per_thread, work),
+                    || fan_out(depth - 1, per_thread, work),
+                );
+            }
+        }
+        fan_out(threads_log2, per_thread, &|n: u64| {
+            for i in 0..n {
+                counter.add(1);
+                hist.record(i);
+            }
+        });
+
+        let leaves = 1u64 << threads_log2;
+        prop_assert_eq!(counter.get(), leaves * per_thread);
+        prop_assert_eq!(hist.load().count, leaves * per_thread);
+    }
+}

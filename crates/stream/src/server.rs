@@ -109,6 +109,8 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
     writer.flush()?;
 
     while let Some(payload) = read_frame(&mut reader)? {
+        let req_span = bat_obs::span("stream.request_ns");
+        let mut bytes_out = 0u64;
         let request = Request::decode(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
 
@@ -132,7 +134,9 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
                 let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
                 chunk.num_attrs = num_attrs;
                 chunk.positions.reserve(CHUNK_POINTS);
-                if let Err(e) = write_frame(&mut writer, &msg.encode()) {
+                let encoded = msg.encode();
+                bytes_out += encoded.len() as u64;
+                if let Err(e) = write_frame(&mut writer, &encoded) {
                     io_err = Some(e);
                 }
             }
@@ -144,10 +148,18 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
         if !chunk.is_empty() {
             sent += chunk.len() as u64;
             let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
-            write_frame(&mut writer, &msg.encode())?;
+            let encoded = msg.encode();
+            bytes_out += encoded.len() as u64;
+            write_frame(&mut writer, &encoded)?;
         }
-        write_frame(&mut writer, &ServerMsg::Done { points: sent }.encode())?;
+        let done = ServerMsg::Done { points: sent }.encode();
+        bytes_out += done.len() as u64;
+        write_frame(&mut writer, &done)?;
         writer.flush()?;
+        bat_obs::counter_add("stream.requests", 1);
+        bat_obs::counter_add("stream.bytes_sent", bytes_out);
+        bat_obs::counter_add("stream.points_sent", sent);
+        req_span.end();
     }
     Ok(())
 }

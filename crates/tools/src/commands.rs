@@ -229,6 +229,9 @@ pub fn density(args: &[String]) -> Result<()> {
 
 /// `bat stats` — layout overhead per leaf file and dataset-wide.
 pub fn stats(args: &[String]) -> Result<()> {
+    if args.is_empty() || args[0].starts_with("--") {
+        return stats_demo(args);
+    }
     let (ds, dir, _) = open(args)?;
     let meta = ds.meta();
     println!(
@@ -258,6 +261,73 @@ pub fn stats(args: &[String]) -> Result<()> {
             acc.2 as f64 / acc.0 as f64 * 100.0,
             (acc.1 - acc.0) as f64 / acc.0 as f64 * 100.0
         );
+    }
+    Ok(())
+}
+
+/// `bat stats` with no dataset: run a small in-process two-phase
+/// write → read with metrics enabled and print the per-phase
+/// observability breakdown — aggregation-tree build, shuffle, the BAT
+/// build stages (Morton sort, shallow tree, treelets, bitmap binning,
+/// compaction), file writes, and the read path. `--json` switches the
+/// output to machine-readable JSON.
+fn stats_demo(args: &[String]) -> Result<()> {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| *a != "--json") {
+        return Err(format!("unknown option '{bad}' (expected --json or a <dir> <basename>)"));
+    }
+
+    let reg = std::sync::Arc::new(bat_obs::Registry::new());
+    let _on = bat_obs::enable();
+    let _scope = bat_obs::scope(reg.clone());
+
+    let dir = std::env::temp_dir().join(format!("batcli-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create scratch dir: {e}"))?;
+
+    // A small but real collective write: 4 rank threads, each generating a
+    // slab of the uniform benchmark workload, aggregated two-phase into
+    // leaf files + metadata.
+    let ranks = 4;
+    let per_rank = 20_000u64;
+    let grid = bat_workloads::RankGrid::new_3d(ranks, bat_geom::Aabb::unit());
+    {
+        let grid = grid.clone();
+        let dir = dir.clone();
+        bat_comm::Cluster::run(ranks, move |comm| {
+            let set = bat_workloads::uniform::generate_rank(&grid, comm.rank(), per_rank, 7);
+            let cfg = libbat::write::WriteConfig::with_target_size(
+                1 << 20,
+                set.bytes_per_particle() as u64,
+            );
+            libbat::write::write_particles(
+                &comm,
+                set,
+                grid.bounds_of(comm.rank()),
+                &cfg,
+                &dir,
+                "demo",
+            )
+            .expect("demo write succeeds");
+        });
+    }
+
+    // Exercise the read path too: a progressive query plus a filtered one
+    // (so treelet fetches, page touches, and bitmap hit/skip all record).
+    let ds = Dataset::open(&dir, "demo").map_err(|e| format!("open demo dataset: {e}"))?;
+    ds.query(&Query::new().with_quality(0.5), |_| {}).map_err(|e| e.to_string())?;
+    let (lo, hi) = ds.meta().global_ranges[0];
+    let mid = lo + 0.5 * (hi - lo);
+    ds.query(&Query::new().with_filter(0, lo, mid), |_| {}).map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let snap = reg.snapshot();
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        println!(
+            "two-phase pipeline breakdown — demo write ({ranks} ranks × {per_rank} particles) + read back"
+        );
+        print!("{}", snap.to_table());
     }
     Ok(())
 }

@@ -6,6 +6,8 @@
 //! batcli verify <dir> <basename>            integrity check of metadata + every leaf
 //! batcli query  <dir> <basename> [options]  count/dump points matching a query
 //! batcli stats  <dir> <basename>            layout overhead breakdown per file
+//! batcli stats  [--json]                    run an instrumented demo write/read and
+//!                                           print the per-phase metrics breakdown
 //! batcli density <dir> <basename>           ASCII density projection
 //! ```
 //!
@@ -59,5 +61,7 @@ USAGE:
                                    [--bounds x0,y0,z0,x1,y1,z1]
                                    [--filter ATTR,LO,HI]... [--dump [N]]
     batcli stats  <dir> <basename>
+    batcli stats  [--json]            (no dataset: instrumented demo write/read,
+                                       prints the per-phase metrics breakdown)
     batcli density <dir> <basename> [--quality Q]"
 }

@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! A time-bounded microbenchmark harness with criterion's call shapes:
+//! groups, throughput annotation, `bench_function` / `bench_with_input`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! warms up once, then doubles its batch size until the batch takes long
+//! enough to time reliably, and reports ns/iter plus derived throughput.
+//! No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(80);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, throughput: None }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.into(), None, f);
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(&format!("{}/{}", self.name, id.label), self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut payload: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Warmup and batch sizing: double until a batch takes >= TARGET_BATCH.
+    let mut b = Bencher { batch: 1, elapsed: Duration::ZERO };
+    loop {
+        f(&mut b);
+        if b.elapsed >= TARGET_BATCH || b.batch >= 1 << 20 {
+            break;
+        }
+        b.batch *= 2;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.batch as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>10.1} Melem/s", n as f64 / per_iter / 1e6),
+        Some(Throughput::Bytes(n)) => format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!("{label:<48} {:>12.0} ns/iter{rate}", per_iter * 1e9);
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo may pass (--bench, --test, ...).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `memmap2` (see `shims/README.md`).
+//!
+//! Without libc there is no way to issue a real `mmap(2)`, so
+//! [`Mmap::map`] reads the whole file into an owned buffer. Callers see
+//! the same `Deref<Target = [u8]>` view; only the paging behavior differs
+//! (the buffer is materialized eagerly instead of faulted in lazily).
+
+use std::fs::File;
+use std::io::Read;
+
+/// An immutable "memory map" of a file.
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    /// The real memmap2 is unsafe because a concurrently truncated file
+    /// invalidates mapped pages. This shim copies the contents up front,
+    /// so the call is actually safe; the signature keeps `unsafe` for
+    /// drop-in compatibility.
+    pub unsafe fn map(file: &File) -> std::io::Result<Mmap> {
+        let mut data = Vec::new();
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_reads_file_contents() {
+        let path = std::env::temp_dir().join(format!("mmap-shim-{}", std::process::id()));
+        std::fs::write(&path, b"hello map").unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], b"hello map");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `parking_lot` (see `shims/README.md`).
+//!
+//! Wraps std's `Mutex`/`Condvar` behind parking_lot's API: `lock()`
+//! returns the guard directly (poisoning is ignored, matching
+//! parking_lot's no-poisoning semantics — a panicking rank thread in
+//! `bat-comm` must not cascade lock panics into the other ranks), and
+//! `Condvar::wait` takes the guard by `&mut` instead of by value.
+
+use std::sync::{self, PoisonError};
+
+/// A mutex whose `lock` never fails and ignores poisoning.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`].
+///
+/// The inner std guard lives in an `Option` so [`Condvar::wait`] can take
+/// it by value (std's API) while the caller keeps holding `&mut` to this
+/// wrapper (parking_lot's API). It is `None` only transiently inside
+/// `wait`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Atomically release the guard's lock and wait; the lock is re-held
+    /// when this returns. Spurious wakeups are possible, as upstream.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let held = guard.inner.take().expect("guard present outside wait");
+        guard.inner =
+            Some(self.inner.wait(held).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_pass_a_value_between_threads() {
+        let shared = Arc::new((Mutex::new(Vec::<u32>::new()), Condvar::new()));
+        let consumer = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                let (m, cv) = &*shared;
+                let mut q = m.lock();
+                while q.is_empty() {
+                    cv.wait(&mut q);
+                }
+                q.pop().unwrap()
+            })
+        };
+        {
+            let (m, cv) = &*shared;
+            m.lock().push(42);
+            cv.notify_all();
+        }
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+}

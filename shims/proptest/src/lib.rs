@@ -1,0 +1,242 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! A deterministic mini property-testing framework covering the API this
+//! workspace uses: range strategies over the numeric primitives, tuple
+//! and `Vec` composition, `prop_map`, the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` attribute, and the `prop_assert*`
+//! macros. Differences from upstream:
+//!
+//! - **No shrinking.** A failing case reports its case index and the
+//!   generated inputs' debug formatting is up to the test author.
+//! - **Deterministic by default.** The RNG seed is derived from the test
+//!   function's name, so runs are reproducible across machines; set
+//!   `PROPTEST_SEED=<u64>` to explore a different sequence.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; the shim halves that to keep offline
+        // CI turnaround short. Tests that care set it explicitly.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Strategy combinators namespaced like upstream's `prop` module.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-lo, exclusive-hi bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of upstream's `prop` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests over generated inputs.
+///
+/// Supported grammar (the subset upstream tests in this repo use):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0f64..1.0, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // Strategies are built once; each case draws fresh values.
+                $(let $arg = $strat;)+
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{} (seed {}): {}",
+                            stringify!($name), case, config.cases, rng.seed(), e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails only the current case
+/// runner with a formatted message (no unwinding through generated data).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -2.0f64..2.0, n in 0usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(n < 9);
+        }
+
+        #[test]
+        fn vec_and_tuple_composition(
+            v in prop::collection::vec((0.0f32..1.0, 10u64..20), 2..30),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 30);
+            for &(f, u) in &v {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!((10..20).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(len in prop::collection::vec(0u8..255, 0..8).prop_map(|v| v.len())) {
+            prop_assert!(len < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("same");
+        let mut b = crate::TestRng::for_test("same");
+        let mut c = crate::TestRng::for_test("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

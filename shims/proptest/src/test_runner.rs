@@ -1,0 +1,71 @@
+//! Deterministic RNG and case-failure plumbing for the shim runner.
+
+/// Failure raised by `prop_assert*` inside a generated case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64-based generator; seeded from the test name (or
+/// `PROPTEST_SEED`) so failures reproduce across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    seed: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()) {
+            Some(s) => s,
+            None => fnv1a(name.as_bytes()),
+        };
+        TestRng::from_seed(seed)
+    }
+
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed, seed }
+    }
+
+    /// The seed this generator started from (printed on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele et al.): passes BigCrush, one add + two xors.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

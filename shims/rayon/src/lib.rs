@@ -1,0 +1,153 @@
+//! Offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! [`join`] runs its two closures on real threads, bounded by the
+//! machine's available parallelism, so divide-and-conquer call sites (the
+//! aggregation-tree build) still overlap. The parallel-iterator traits
+//! keep rayon's names and call shapes but yield ordinary sequential std
+//! iterators — every adaptor the workspace chains on them (`map`,
+//! `enumerate`, `collect`, ...) is the std one, so results are identical
+//! to rayon's (rayon guarantees order-preserving collects).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Threads currently spawned by [`join`]; bounds recursion fan-out.
+static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
+
+fn parallelism_budget() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+struct JoinTicket;
+
+impl JoinTicket {
+    fn try_acquire() -> Option<JoinTicket> {
+        if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < parallelism_budget() {
+            Some(JoinTicket)
+        } else {
+            ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+impl Drop for JoinTicket {
+    fn drop(&mut self) {
+        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// Matches `rayon::join`'s signature and panic behavior: a panic in
+/// either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match JoinTicket::try_acquire() {
+        Some(_ticket) => std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        }),
+        None => (a(), b()),
+    }
+}
+
+/// `.par_iter()` on slices (and, via deref, `Vec`s).
+pub trait IntoParallelRefIterator {
+    type Item;
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `.into_par_iter()` on anything iterable (ranges, `Vec`s, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// Parallel in-place slice operations.
+pub trait ParallelSliceMut<T> {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_and_runs_closures() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn sum(v: &[u64]) -> u64 {
+            if v.len() <= 2 {
+                return v.iter().sum();
+            }
+            let (l, r) = v.split_at(v.len() / 2);
+            let (a, b) = crate::join(|| sum(l), || sum(r));
+            a + b
+        }
+        let v: Vec<u64> = (0..1000).collect();
+        assert_eq!(sum(&v), 999 * 1000 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        crate::join(|| (), || panic!("boom"));
+    }
+
+    #[test]
+    fn par_iter_adapters_match_sequential() {
+        let v = [3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+        let mut s = vec![3u32, 1, 2];
+        s.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(s, vec![1, 2, 3]);
+    }
+}

@@ -30,6 +30,7 @@ impl Drop for ScratchDir {
 
 /// Order-independent fingerprint of a particle set: sums of positions and
 /// attributes. Robust to the reordering the BAT layout performs.
+#[allow(dead_code)] // not every test binary that includes this module uses it
 pub fn fingerprint(set: &bat_layout::ParticleSet) -> (usize, f64) {
     let mut acc = 0.0f64;
     for p in &set.positions {

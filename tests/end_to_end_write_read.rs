@@ -287,6 +287,58 @@ fn auto_target_size_roundtrip() {
     assert_eq!(counts.iter().sum::<usize>(), 16_000);
 }
 
+/// FNV-1a over a file's bytes; enough to detect any single-byte drift.
+fn hash_file(path: &std::path::Path) -> u64 {
+    let bytes = std::fs::read(path).unwrap();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sorted (name, size, hash) triples for every regular file in `dir`.
+fn dir_digest(dir: &std::path::Path) -> Vec<(String, u64, u64)> {
+    let mut out: Vec<(String, u64, u64)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_type().unwrap().is_file())
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let size = e.metadata().unwrap().len();
+            (name, size, hash_file(&e.path()))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn metrics_do_not_change_written_bytes() {
+    // The observability layer must be purely passive: writing with metrics
+    // enabled produces byte-identical leaf files and metadata to writing
+    // with them disabled.
+    let scratch_off = ScratchDir::new("det-off");
+    write_uniform(&scratch_off.path, 6, 1800, 90_000, false);
+
+    let scratch_on = ScratchDir::new("det-on");
+    {
+        let registry = std::sync::Arc::new(bat_obs::Registry::new());
+        let _on = bat_obs::enable();
+        let _scope = bat_obs::scope(registry.clone());
+        write_uniform(&scratch_on.path, 6, 1800, 90_000, false);
+        // The instrumentation actually fired while enabled.
+        let snap = registry.snapshot();
+        assert!(snap.counter("write.particles").is_some(), "write path recorded metrics");
+        assert!(snap.histogram("bat.morton_sort_ns").is_some(), "BAT build recorded spans");
+    }
+
+    let off = dir_digest(&scratch_off.path);
+    let on = dir_digest(&scratch_on.path);
+    assert!(!off.is_empty(), "write produced files");
+    assert_eq!(off, on, "metrics-enabled write must be byte-identical to disabled");
+}
+
 #[test]
 fn custom_layout_sink() {
     use libbat::write::{write_particles_with_sink, LayoutSink};
