@@ -36,10 +36,14 @@ pub fn assign_read_aggregators(num_files: usize, num_ranks: usize) -> Vec<u32> {
         return Vec::new();
     }
     if num_files <= num_ranks {
-        (0..num_files).map(|i| (i * num_ranks / num_files) as u32).collect()
+        (0..num_files)
+            .map(|i| (i * num_ranks / num_files) as u32)
+            .collect()
     } else {
         // More files than ranks: block-distribute files over ranks.
-        (0..num_files).map(|i| (i * num_ranks / num_files) as u32).collect()
+        (0..num_files)
+            .map(|i| (i * num_ranks / num_files) as u32)
+            .collect()
     }
 }
 
@@ -66,7 +70,11 @@ mod tests {
         assign_aggregators(&mut ls, 64);
         let aggs: Vec<u32> = ls.iter().map(|l| l.aggregator).collect();
         let unique: std::collections::HashSet<_> = aggs.iter().collect();
-        assert_eq!(unique.len(), 10, "each leaf gets its own aggregator: {aggs:?}");
+        assert_eq!(
+            unique.len(),
+            10,
+            "each leaf gets its own aggregator: {aggs:?}"
+        );
         // Spread across the space, not clustered at the front.
         assert!(aggs.iter().any(|&a| a >= 32));
     }

@@ -24,7 +24,11 @@ use bat_geom::{Aabb, Vec3};
 /// cells per axis proportional to the axis extents, product ≈ `n_cells`.
 pub fn grid_dims(bounds: &Aabb, n_cells: u64) -> (u32, u32, u32) {
     let e = bounds.extent();
-    let (ex, ey, ez) = (e.x.max(1e-30) as f64, e.y.max(1e-30) as f64, e.z.max(1e-30) as f64);
+    let (ex, ey, ez) = (
+        e.x.max(1e-30) as f64,
+        e.y.max(1e-30) as f64,
+        e.z.max(1e-30) as f64,
+    );
     let vol = ex * ey * ez;
     let scale = (n_cells as f64 / vol).cbrt();
     let d = |ext: f64| ((ext * scale).round() as u32).max(1);
@@ -103,8 +107,7 @@ mod tests {
         for y in 0..g {
             for x in 0..g {
                 let min = Vec3::new(x as f32 / g as f32, y as f32 / g as f32, 0.0);
-                let max =
-                    Vec3::new((x + 1) as f32 / g as f32, (y + 1) as f32 / g as f32, 1.0);
+                let max = Vec3::new((x + 1) as f32 / g as f32, (y + 1) as f32 / g as f32, 1.0);
                 out.push(RankInfo::new(
                     (y * g + x) as u32,
                     Aabb::new(min, max),

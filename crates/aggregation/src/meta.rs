@@ -141,7 +141,14 @@ impl LeafReport {
             local_ranges.push((lo, hi));
             local_bitmaps.push(Bitmap32::decode(dec)?);
         }
-        Ok(LeafReport { file, bounds, particles, aggregator, local_ranges, local_bitmaps })
+        Ok(LeafReport {
+            file,
+            bounds,
+            particles,
+            aggregator,
+            local_ranges,
+            local_bitmaps,
+        })
     }
 }
 
@@ -153,8 +160,16 @@ fn put_aabb(enc: &mut Encoder, b: &Aabb) {
 
 fn get_aabb(dec: &mut Decoder) -> WireResult<Aabb> {
     Ok(Aabb::new(
-        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
-        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+        bat_geom::Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
+        bat_geom::Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
     ))
 }
 
@@ -251,7 +266,9 @@ impl MetaTree {
             }
             masks.push((f.attr, mask));
         }
-        let Some(root) = self.root else { return Ok(Vec::new()) };
+        let Some(root) = self.root else {
+            return Ok(Vec::new());
+        };
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(c) = stack.pop() {
@@ -332,7 +349,10 @@ impl MetaTree {
         dec.expect_magic(META_MAGIC)?;
         let version = dec.get_u32("meta version")?;
         if version != META_VERSION {
-            return Err(WireError::BadTag { what: "meta version", tag: version as u64 });
+            return Err(WireError::BadTag {
+                what: "meta version",
+                tag: version as u64,
+            });
         }
         let total_particles = dec.get_u64("total particles")?;
         let domain = get_aabb(&mut dec)?;
@@ -353,7 +373,11 @@ impl MetaTree {
             global_ranges.push((lo, hi));
         }
         let root_raw = dec.get_u32("meta root")?;
-        let root = if root_raw == u32::MAX { None } else { Some(MetaChild::unpack(root_raw)) };
+        let root = if root_raw == u32::MAX {
+            None
+        } else {
+            Some(MetaChild::unpack(root_raw))
+        };
         let ni = dec.get_usize("meta inner count")?;
         if ni > data.len() {
             return Err(WireError::BadLength {
@@ -371,7 +395,12 @@ impl MetaTree {
             for _ in 0..na {
                 bitmaps.push(Bitmap32::decode(&mut dec)?);
             }
-            inners.push(MetaInner { left, right, bounds, bitmaps });
+            inners.push(MetaInner {
+                left,
+                right,
+                bounds,
+                bitmaps,
+            });
         }
         let nl = dec.get_usize("meta leaf count")?;
         if nl > data.len() {
@@ -491,7 +520,10 @@ mod tests {
     fn global_range_is_union() {
         let tree = MetaTree::build(
             descs(),
-            vec![report(0, 0.0, 0.5, 10.0, 20.0, 100), report(1, 0.5, 1.0, -5.0, 15.0, 100)],
+            vec![
+                report(0, 0.0, 0.5, 10.0, 20.0, 100),
+                report(1, 0.5, 1.0, -5.0, 15.0, 100),
+            ],
         );
         assert_eq!(tree.global_ranges[0], (-5.0, 20.0));
         assert_eq!(tree.total_particles, 200);
@@ -513,7 +545,16 @@ mod tests {
         let tree = MetaTree::build(
             descs(),
             (0..13)
-                .map(|i| report(i, i as f32 * 0.1, i as f32 * 0.1 + 0.1, 0.0, i as f64 + 1.0, 50))
+                .map(|i| {
+                    report(
+                        i,
+                        i as f32 * 0.1,
+                        i as f32 * 0.1 + 0.1,
+                        0.0,
+                        i as f64 + 1.0,
+                        50,
+                    )
+                })
                 .collect(),
         );
         let bytes = tree.encode();
@@ -551,7 +592,10 @@ mod tests {
         // Leaf 0 has values 0..10, leaf 1 has 100..200.
         let tree = MetaTree::build(
             descs(),
-            vec![report(0, 0.0, 0.5, 0.0, 10.0, 10), report(1, 0.5, 1.0, 100.0, 200.0, 10)],
+            vec![
+                report(0, 0.0, 0.5, 0.0, 10.0, 10),
+                report(1, 0.5, 1.0, 100.0, 200.0, 10),
+            ],
         );
         let q = Query::new().with_filter(0, 150.0, 160.0);
         let c = tree.candidate_leaves(&q).unwrap();
@@ -572,7 +616,14 @@ mod tests {
         // query interval must survive.
         let reports: Vec<LeafReport> = (0..20)
             .map(|i| {
-                report(i, i as f32 * 0.05, i as f32 * 0.05 + 0.05, i as f64, i as f64 + 5.0, 10)
+                report(
+                    i,
+                    i as f32 * 0.05,
+                    i as f32 * 0.05 + 0.05,
+                    i as f64,
+                    i as f64 + 5.0,
+                    10,
+                )
             })
             .collect();
         let tree = MetaTree::build(descs(), reports.clone());
@@ -600,6 +651,8 @@ mod tests {
     #[test]
     fn bad_filter_attr_rejected() {
         let tree = MetaTree::build(descs(), vec![report(0, 0.0, 1.0, 0.0, 1.0, 1)]);
-        assert!(tree.candidate_leaves(&Query::new().with_filter(5, 0.0, 1.0)).is_err());
+        assert!(tree
+            .candidate_leaves(&Query::new().with_filter(5, 0.0, 1.0))
+            .is_err());
     }
 }

@@ -19,7 +19,11 @@ pub struct RankInfo {
 impl RankInfo {
     /// Construct from parts.
     pub fn new(rank: u32, bounds: Aabb, particles: u64) -> RankInfo {
-        RankInfo { rank, bounds, particles }
+        RankInfo {
+            rank,
+            bounds,
+            particles,
+        }
     }
 
     /// Payload bytes this rank contributes at `bytes_per_particle`.
@@ -55,7 +59,11 @@ impl RankInfo {
             ),
         );
         let particles = dec.get_u64("rank particles")?;
-        Ok(RankInfo { rank, bounds, particles })
+        Ok(RankInfo {
+            rank,
+            bounds,
+            particles,
+        })
     }
 }
 
@@ -66,11 +74,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let info = RankInfo::new(
-            7,
-            Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)),
-            123_456,
-        );
+        let info = RankInfo::new(7, Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)), 123_456);
         let mut e = Encoder::new();
         info.encode(&mut e);
         let buf = e.finish();

@@ -123,8 +123,7 @@ impl AggregationTree {
     pub fn build(ranks: &[RankInfo], cfg: &AggConfig) -> AggregationTree {
         assert!(cfg.target_file_bytes > 0);
         assert!(cfg.bytes_per_particle > 0);
-        let populated: Vec<RankInfo> =
-            ranks.iter().filter(|r| r.particles > 0).copied().collect();
+        let populated: Vec<RankInfo> = ranks.iter().filter(|r| r.particles > 0).copied().collect();
         let mut domain = Aabb::empty();
         for r in &populated {
             domain = domain.union(&r.bounds);
@@ -197,7 +196,11 @@ pub fn balance_of(leaves: &[AggLeaf]) -> BalanceStats {
     }
     let n = leaves.len() as f64;
     let mean = leaves.iter().map(|l| l.bytes as f64).sum::<f64>() / n;
-    let var = leaves.iter().map(|l| (l.bytes as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = leaves
+        .iter()
+        .map(|l| (l.bytes as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     BalanceStats {
         num_files: leaves.len(),
         mean_bytes: mean,
@@ -229,11 +232,7 @@ fn make_leaf(tree: &mut AggregationTree, ranks: Vec<RankInfo>, cfg: &AggConfig) 
 ///
 /// Candidates are the unique rank-bound edges along each considered axis;
 /// ranks partition by bounds-center so no rank's data is ever divided.
-fn best_split(
-    ranks: &[RankInfo],
-    bounds: &Aabb,
-    cfg: &AggConfig,
-) -> Option<(Axis, f32, f64, f64)> {
+fn best_split(ranks: &[RankInfo], bounds: &Aabb, cfg: &AggConfig) -> Option<(Axis, f32, f64, f64)> {
     // Axes ordered by extent (longest first). In longest-axis mode we take
     // the first axis that yields any valid split: an axis the rank grid
     // does not decompose (e.g. z under the Dam Break's 2D x-y grid) has no
@@ -321,23 +320,42 @@ fn build_subtree(ranks: Vec<RankInfo>, cfg: &AggConfig) -> BuiltNode {
     }
 
     let parallel = ranks.len() >= PARALLEL_THRESHOLD;
-    let (left_ranks, right_ranks): (Vec<RankInfo>, Vec<RankInfo>) =
-        ranks.into_iter().partition(|r| r.bounds.center()[axis] < pos);
+    let (left_ranks, right_ranks): (Vec<RankInfo>, Vec<RankInfo>) = ranks
+        .into_iter()
+        .partition(|r| r.bounds.center()[axis] < pos);
     debug_assert!(!left_ranks.is_empty() && !right_ranks.is_empty());
 
     let (left, right) = if parallel {
-        rayon::join(|| build_subtree(left_ranks, cfg), || build_subtree(right_ranks, cfg))
+        rayon::join(
+            || build_subtree(left_ranks, cfg),
+            || build_subtree(right_ranks, cfg),
+        )
     } else {
-        (build_subtree(left_ranks, cfg), build_subtree(right_ranks, cfg))
+        (
+            build_subtree(left_ranks, cfg),
+            build_subtree(right_ranks, cfg),
+        )
     };
-    BuiltNode::Inner { axis, pos, bounds, left: Box::new(left), right: Box::new(right) }
+    BuiltNode::Inner {
+        axis,
+        pos,
+        bounds,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
 }
 
 /// Serial left-to-right flatten so leaf indices match a serial build.
 fn flatten(tree: &mut AggregationTree, node: BuiltNode, cfg: &AggConfig) -> AggChild {
     match node {
         BuiltNode::Leaf(ranks) => make_leaf(tree, ranks, cfg),
-        BuiltNode::Inner { axis, pos, bounds, left, right } => {
+        BuiltNode::Inner {
+            axis,
+            pos,
+            bounds,
+            left,
+            right,
+        } => {
             let node_idx = tree.inners.len();
             tree.inners.push(AggInner {
                 axis,
@@ -362,8 +380,12 @@ mod tests {
     use bat_geom::Vec3;
 
     /// A `gx × gy × gz` grid decomposition of the unit cube.
-    fn grid_ranks(gx: usize, gy: usize, gz: usize, mut counts: impl FnMut(usize, usize, usize) -> u64)
-        -> Vec<RankInfo> {
+    fn grid_ranks(
+        gx: usize,
+        gy: usize,
+        gz: usize,
+        mut counts: impl FnMut(usize, usize, usize) -> u64,
+    ) -> Vec<RankInfo> {
         let mut out = Vec::new();
         let mut rank = 0;
         for z in 0..gz {
@@ -395,9 +417,16 @@ mod tests {
                 assert!(seen.insert(r), "rank {r} in two leaves");
             }
         }
-        let populated: Vec<u32> =
-            ranks.iter().filter(|r| r.particles > 0).map(|r| r.rank).collect();
-        assert_eq!(seen.len(), populated.len(), "every populated rank in a leaf");
+        let populated: Vec<u32> = ranks
+            .iter()
+            .filter(|r| r.particles > 0)
+            .map(|r| r.rank)
+            .collect();
+        assert_eq!(
+            seen.len(),
+            populated.len(),
+            "every populated rank in a leaf"
+        );
         for r in populated {
             assert!(seen.contains(&r));
         }
@@ -458,7 +487,8 @@ mod tests {
         let tree = AggregationTree::build(&ranks, &cfg);
         check_partition(&tree, &ranks);
         for leaf in &tree.leaves {
-            let over_target = leaf.bytes > (cfg.overfull_factor * cfg.target_file_bytes as f64) as u64;
+            let over_target =
+                leaf.bytes > (cfg.overfull_factor * cfg.target_file_bytes as f64) as u64;
             assert!(
                 !over_target || leaf.ranks.len() == 1,
                 "oversize leaf must be a single unsplittable rank: {leaf:?}"
@@ -505,7 +535,10 @@ mod tests {
         for leaf in &tree.leaves {
             for &r in &leaf.ranks {
                 let rb = ranks[r as usize].bounds;
-                assert!(leaf.bounds.contains_box(&rb), "leaf must contain whole rank boxes");
+                assert!(
+                    leaf.bounds.contains_box(&rb),
+                    "leaf must contain whole rank boxes"
+                );
             }
         }
     }
@@ -517,11 +550,7 @@ mod tests {
         // overfull leaf over a terrible cut.
         let ranks = vec![
             RankInfo::new(0, Aabb::new(Vec3::ZERO, Vec3::new(0.5, 1.0, 1.0)), 9000),
-            RankInfo::new(
-                1,
-                Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::ONE),
-                1000,
-            ),
+            RankInfo::new(1, Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::ONE), 1000),
         ];
         let cfg = AggConfig {
             target_file_bytes: 900_000, // total = 1MB ≤ 1.5 × target
@@ -533,7 +562,10 @@ mod tests {
         let tree = AggregationTree::build(&ranks, &cfg);
         assert_eq!(tree.leaves.len(), 1, "overfull leaf expected");
         // With the escape disabled, it must split.
-        let cfg2 = AggConfig { overfull_ratio: f64::INFINITY, ..cfg };
+        let cfg2 = AggConfig {
+            overfull_ratio: f64::INFINITY,
+            ..cfg
+        };
         let tree2 = AggregationTree::build(&ranks, &cfg2);
         assert_eq!(tree2.leaves.len(), 2);
     }
@@ -543,7 +575,10 @@ mod tests {
         let mut rng = Xoshiro256::new(5);
         let ranks = grid_ranks(6, 6, 2, |_, _, _| 1 + rng.next_below(100_000));
         let cfg1 = AggConfig::new(1_500_000, 100);
-        let cfg2 = AggConfig { split_all_axes: true, ..cfg1 };
+        let cfg2 = AggConfig {
+            split_all_axes: true,
+            ..cfg1
+        };
         let t1 = AggregationTree::build(&ranks, &cfg1);
         let t2 = AggregationTree::build(&ranks, &cfg2);
         check_partition(&t1, &ranks);
@@ -567,10 +602,7 @@ mod tests {
         assert!(few.len() < all.len());
         assert!(!few.is_empty());
         // Disjoint box overlaps none.
-        let none = tree.overlapping_leaves(&Aabb::new(
-            Vec3::splat(5.0),
-            Vec3::splat(6.0),
-        ));
+        let none = tree.overlapping_leaves(&Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0)));
         assert!(none.is_empty());
     }
 
@@ -589,8 +621,20 @@ mod tests {
     #[test]
     fn balance_stats_math() {
         let leaves = vec![
-            AggLeaf { ranks: vec![0], bounds: Aabb::unit(), particles: 1, bytes: 10, aggregator: 0 },
-            AggLeaf { ranks: vec![1], bounds: Aabb::unit(), particles: 3, bytes: 30, aggregator: 0 },
+            AggLeaf {
+                ranks: vec![0],
+                bounds: Aabb::unit(),
+                particles: 1,
+                bytes: 10,
+                aggregator: 0,
+            },
+            AggLeaf {
+                ranks: vec![1],
+                bounds: Aabb::unit(),
+                particles: 3,
+                bytes: 30,
+                aggregator: 0,
+            },
         ];
         let s = balance_of(&leaves);
         assert_eq!(s.num_files, 2);

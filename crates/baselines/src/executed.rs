@@ -18,7 +18,10 @@ use std::path::Path;
 pub fn fpp_write(comm: &Comm, set: &ParticleSet, dir: &Path, basename: &str) -> io::Result<()> {
     let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
     set.encode(&mut enc);
-    std::fs::write(dir.join(format!("{basename}.{:05}.raw", comm.rank())), enc.finish())?;
+    std::fs::write(
+        dir.join(format!("{basename}.{:05}.raw", comm.rank())),
+        enc.finish(),
+    )?;
     comm.barrier();
     Ok(())
 }
@@ -47,7 +50,9 @@ pub fn shared_write(
 
     // Exchange sizes to compute extents (an MPI_Allgather of one u64).
     let sizes: Vec<u64> = comm
-        .allgather(Bytes::copy_from_slice(&(payload.len() as u64).to_le_bytes()))
+        .allgather(Bytes::copy_from_slice(
+            &(payload.len() as u64).to_le_bytes(),
+        ))
         .iter()
         .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64")))
         .collect();
@@ -154,7 +159,11 @@ mod tests {
         let d = dir.clone();
         Cluster::run(5, move |comm| {
             // Wildly uneven extents, including an empty rank.
-            let n = if comm.rank() == 2 { 0 } else { 50 * (comm.rank() + 1) };
+            let n = if comm.rank() == 2 {
+                0
+            } else {
+                50 * (comm.rank() + 1)
+            };
             let set = rank_set(comm.rank(), n);
             let (off, len) = shared_write(&comm, &set, &d, "shared.dat").unwrap();
             assert!(len > 0 || n == 0);

@@ -13,9 +13,7 @@ use std::hint::black_box;
 use bat_aggregation::{build_aug_tree, AggConfig, AggregationTree};
 use bat_geom::rng::Xoshiro256;
 use bat_geom::{morton, Aabb, Vec3};
-use bat_layout::{
-    AttributeDesc, BatBuilder, BatConfig, BatFile, Bitmap32, ParticleSet, Query,
-};
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, BatFile, Bitmap32, ParticleSet, Query};
 use bat_workloads::{uniform, CoalBoiler, RankGrid};
 
 fn random_positions(n: usize, seed: u64) -> Vec<Vec3> {
@@ -26,8 +24,9 @@ fn random_positions(n: usize, seed: u64) -> Vec<Vec3> {
 }
 
 fn particle_cloud(n: usize, attrs: usize, seed: u64) -> ParticleSet {
-    let descs: Vec<AttributeDesc> =
-        (0..attrs).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+    let descs: Vec<AttributeDesc> = (0..attrs)
+        .map(|i| AttributeDesc::f64(format!("a{i}")))
+        .collect();
     let mut rng = Xoshiro256::new(seed);
     let mut set = ParticleSet::with_capacity(descs, n);
     let mut vals = vec![0.0f64; attrs];
@@ -55,7 +54,10 @@ fn bench_morton(c: &mut Criterion) {
             acc
         })
     });
-    let codes: Vec<u64> = pts.iter().map(|&p| morton::encode_point(p, &domain)).collect();
+    let codes: Vec<u64> = pts
+        .iter()
+        .map(|&p| morton::encode_point(p, &domain))
+        .collect();
     g.bench_function("decode_1M", |b| {
         b.iter(|| {
             let mut acc = 0u32;

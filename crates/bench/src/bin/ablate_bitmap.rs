@@ -58,8 +58,7 @@ fn main() {
             let q = Query::new().with_filter(attr, qlo, qhi);
             let stats = file.query(&q, |_| {}).expect("query");
             let fp = if stats.points_tested > 0 {
-                (stats.points_tested - stats.points_returned) as f64
-                    / stats.points_tested as f64
+                (stats.points_tested - stats.points_returned) as f64 / stats.points_tested as f64
                     * 100.0
             } else {
                 0.0
@@ -70,7 +69,10 @@ fn main() {
                 stats.points_returned.to_string(),
                 stats.points_tested.to_string(),
                 format!("{fp:.1}"),
-                format!("{:.1}", (1.0 - stats.points_tested as f64 / n as f64) * 100.0),
+                format!(
+                    "{:.1}",
+                    (1.0 - stats.points_tested as f64 / n as f64) * 100.0
+                ),
             ]);
         }
     }

@@ -42,12 +42,22 @@ fn main() {
 
     let mut table = Table::new(
         format!("Ablation: LOD particles per inner node ({total} particles)"),
-        &["lod", "build_ms", "q0.2_points", "q0.2_coverage%", "max_depth"],
+        &[
+            "lod",
+            "build_ms",
+            "q0.2_points",
+            "q0.2_coverage%",
+            "max_depth",
+        ],
     );
     for lod in [2u32, 4, 8, 16, 32] {
         let cfg = BatConfig {
             subprefix_bits: 12,
-            treelet: TreeletConfig { lod_per_inner: lod, max_leaf: 128, seed: 1 },
+            treelet: TreeletConfig {
+                lod_per_inner: lod,
+                max_leaf: 128,
+                seed: 1,
+            },
         };
         let t = Instant::now();
         let bat = BatBuilder::new(cfg).build(set.clone(), domain);
@@ -65,7 +75,10 @@ fn main() {
             lod.to_string(),
             format!("{build_ms:.1}"),
             pts.to_string(),
-            format!("{:.1}", voxels.len() as f64 / full_voxels.len() as f64 * 100.0),
+            format!(
+                "{:.1}",
+                voxels.len() as f64 / full_voxels.len() as f64 * 100.0
+            ),
             max_depth.to_string(),
         ]);
     }

@@ -34,7 +34,11 @@ fn main() {
             let tree = build_tree(&infos, &cfg);
             let b = tree.balance();
             table.row(vec![
-                if ratio.is_infinite() { "off".to_string() } else { format!("{ratio}") },
+                if ratio.is_infinite() {
+                    "off".to_string()
+                } else {
+                    format!("{ratio}")
+                },
                 format!("{factor}"),
                 b.num_files.to_string(),
                 format!("{:.1}", b.mean_bytes / 1e6),

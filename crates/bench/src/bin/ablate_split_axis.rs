@@ -19,7 +19,14 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: split axis policy",
-        &["workload", "mode", "build_ms", "files", "stddev_MB", "max_MB"],
+        &[
+            "workload",
+            "mode",
+            "build_ms",
+            "files",
+            "stddev_MB",
+            "max_MB",
+        ],
     );
 
     let cb = CoalBoiler::new(1.0, 42);
@@ -30,8 +37,18 @@ fn main() {
     let dam = db.rank_infos(2001, &dam_grid, samples);
 
     for (name, infos, bpp, target) in [
-        ("coal t=4501", &coal, bat_workloads::coal_boiler::BYTES_PER_PARTICLE, 8u64 << 20),
-        ("dam 8M t=2001", &dam, bat_workloads::dam_break::BYTES_PER_PARTICLE, 3 << 20),
+        (
+            "coal t=4501",
+            &coal,
+            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
+            8u64 << 20,
+        ),
+        (
+            "dam 8M t=2001",
+            &dam,
+            bat_workloads::dam_break::BYTES_PER_PARTICLE,
+            3 << 20,
+        ),
     ] {
         for all_axes in [false, true] {
             let mut cfg = WriteConfig::with_target_size(target, bpp);
@@ -42,7 +59,11 @@ fn main() {
             let b = tree.balance();
             table.row(vec![
                 name.to_string(),
-                if all_axes { "all-axes".to_string() } else { "longest".to_string() },
+                if all_axes {
+                    "all-axes".to_string()
+                } else {
+                    "longest".to_string()
+                },
                 format!("{ms:.1}"),
                 b.num_files.to_string(),
                 format!("{:.1}", b.stddev_bytes / 1e6),

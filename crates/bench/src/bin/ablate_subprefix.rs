@@ -28,13 +28,25 @@ fn main() {
     let domain = grid.bounds_of(0);
 
     let mut table = Table::new(
-        format!("Ablation: subprefix bits ({} particles, coal jet)", set.len()),
+        format!(
+            "Ablation: subprefix bits ({} particles, coal jet)",
+            set.len()
+        ),
         &[
-            "bits", "treelets", "max_depth", "build_ms", "structure%", "file%", "full_query_ms",
+            "bits",
+            "treelets",
+            "max_depth",
+            "build_ms",
+            "structure%",
+            "file%",
+            "full_query_ms",
         ],
     );
     for bits in [6u32, 9, 12, 15, 18] {
-        let cfg = BatConfig { subprefix_bits: bits, ..BatConfig::default() };
+        let cfg = BatConfig {
+            subprefix_bits: bits,
+            ..BatConfig::default()
+        };
         let t = Instant::now();
         let bat = BatBuilder::new(cfg).build(set.clone(), domain);
         let build_ms = t.elapsed().as_secs_f64() * 1e3;

@@ -22,8 +22,15 @@ fn main() {
     let mut table = Table::new(
         "Extra: cosmology halos, adaptive vs AUG (Stampede2-like)",
         &[
-            "particles", "ranks", "target", "strategy", "files", "sigma_MB", "max_MB",
-            "write_GBs", "read_GBs",
+            "particles",
+            "ranks",
+            "target",
+            "strategy",
+            "files",
+            "sigma_MB",
+            "max_MB",
+            "write_GBs",
+            "read_GBs",
         ],
     );
     let configs: &[(u64, usize)] = match scale {

@@ -37,7 +37,14 @@ fn main() {
             "Executed comparison: {ranks} ranks × {per_rank} particles ({:.1} MB), best of {reps}",
             total_bytes as f64 / 1e6
         ),
-        &["strategy", "write_ms", "read_ms", "write_MBs", "read_MBs", "queryable"],
+        &[
+            "strategy",
+            "write_ms",
+            "read_ms",
+            "write_MBs",
+            "read_MBs",
+            "queryable",
+        ],
     );
 
     let mut runs: Vec<(&str, f64, f64, &str)> = Vec::new();
@@ -53,8 +60,7 @@ fn main() {
             let set = uniform::generate_rank(&g, comm.rank(), per_rank, rep as u64);
             let cfg = WriteConfig::auto(uniform::BYTES_PER_PARTICLE);
             let t = Instant::now();
-            write_particles(&comm, set, g.bounds_of(comm.rank()), &cfg, &d, &name)
-                .expect("write");
+            write_particles(&comm, set, g.bounds_of(comm.rank()), &cfg, &d, &name).expect("write");
             let tw = t.elapsed().as_secs_f64();
             comm.barrier();
             let t = Instant::now();

@@ -27,8 +27,7 @@ fn main() {
     let mut table = Table::new(
         "Fig 10: Coal Boiler breakdowns at 8 MB target, 1536 ranks (seconds)",
         &[
-            "step", "strategy", "tree", "scatter", "transfer", "build", "write", "meta",
-            "total",
+            "step", "strategy", "tree", "scatter", "transfer", "build", "write", "meta", "total",
         ],
     );
     for step in sweeps::coal_steps(scale) {

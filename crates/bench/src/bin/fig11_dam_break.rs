@@ -32,10 +32,14 @@ fn run_config(
         headers.push(format!("aug_{t}MB"));
     }
     let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut wtable =
-        Table::new(format!("Fig 11 Dam Break {label}: write bandwidth (GB/s)"), &href);
-    let mut rtable =
-        Table::new(format!("Fig 11 Dam Break {label}: read bandwidth (GB/s)"), &href);
+    let mut wtable = Table::new(
+        format!("Fig 11 Dam Break {label}: write bandwidth (GB/s)"),
+        &href,
+    );
+    let mut rtable = Table::new(
+        format!("Fig 11 Dam Break {label}: read bandwidth (GB/s)"),
+        &href,
+    );
 
     let total_bytes = particles * bpp;
     // FPP moves each rank's own data; bytes/rank varies, but IOR-style FPP

@@ -29,8 +29,7 @@ fn main() {
     let mut table = Table::new(
         "Fig 12: 8M Dam Break breakdowns at 3 MB target, 6144 ranks (seconds)",
         &[
-            "step", "strategy", "tree", "scatter", "transfer", "build", "write", "meta",
-            "total",
+            "step", "strategy", "tree", "scatter", "transfer", "build", "write", "meta", "total",
         ],
     );
     let mut adaptive_totals = Vec::new();

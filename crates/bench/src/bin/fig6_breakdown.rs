@@ -8,15 +8,22 @@
 //! than on Summit.
 //!
 //! ```sh
-//! cargo run --release -p bat-bench --bin fig6_breakdown [--quick|--full]
+//! cargo run --release -p bat-bench --bin fig6_breakdown [--quick|--full|--smoke]
 //! ```
+//!
+//! `--smoke` skips the modeled sweep and instead runs one small *executed*
+//! collective write, asserting the zero-copy data plane's
+//! `shuffle.bytes_copied` / `compact.bytes_copied` metrics appendix is
+//! present and has shrunk versus the committed seed baseline
+//! (`baselines/copy_baseline.json`). CI runs this mode.
 
 use bat_bench::{calibrate, report::Table, sweeps, RunScale};
+use bat_comm::Cluster;
 use bat_geom::Aabb;
 use bat_iosim::{SystemProfile, WritePhase};
 use bat_workloads::{uniform, RankGrid};
 use libbat::model_write;
-use libbat::write::WriteConfig;
+use libbat::write::{write_particles, WriteConfig};
 
 fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
     // Collect observability metrics for the whole sweep: the modeled
@@ -27,9 +34,19 @@ fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
         Some(&format!("fig6_{}", profile.name)),
     );
     let mut table = Table::new(
-        format!("Fig 6 ({}) write pipeline breakdown, % of component time", profile.name),
+        format!(
+            "Fig 6 ({}) write pipeline breakdown, % of component time",
+            profile.name
+        ),
         &[
-            "target", "ranks", "total_s", "tree%", "scatter%", "transfer%", "build%", "write%",
+            "target",
+            "ranks",
+            "total_s",
+            "tree%",
+            "scatter%",
+            "transfer%",
+            "build%",
+            "write%",
             "meta%",
         ],
     );
@@ -51,12 +68,102 @@ fn run_system(profile: &SystemProfile, ranks_sweep: &[usize]) {
         }
     }
     table.print();
-    let csv = table.save_csv(&format!("fig6_{}", profile.name)).expect("write csv");
+    let csv = table
+        .save_csv(&format!("fig6_{}", profile.name))
+        .expect("write csv");
     println!("saved {}", csv.display());
     metrics.finish();
 }
 
+/// Pull an integer field out of the baseline JSON (the file is flat and
+/// dependency-free parsing keeps the harness offline).
+fn baseline_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\"");
+    let at = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("baseline JSON is missing {key}"));
+    let rest = body[at + pat.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .unwrap_or_else(|| panic!("baseline {key} is not a field"));
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("baseline {key} is not an integer"))
+}
+
+/// `--smoke`: one executed (not modeled) 4-rank write; the copy-accounting
+/// counters must exist and beat the committed seed-era baseline.
+fn run_smoke() {
+    const RANKS: usize = 4;
+    const PARTICLES_PER_RANK: u64 = 2000;
+    const SEED: u64 = 5;
+    const TARGET_BYTES: u64 = 120_000;
+
+    let metrics = bat_bench::report::bench_metrics(
+        "Fig 6 smoke (executed write, copy accounting)",
+        Some("fig6_smoke"),
+    );
+    let dir = std::env::temp_dir().join(format!("bat-fig6-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create smoke dir");
+    let run_dir = dir.clone();
+    Cluster::run(RANKS, move |comm| {
+        let grid = RankGrid::new_3d(RANKS, Aabb::unit());
+        let set = uniform::generate_rank(&grid, comm.rank(), PARTICLES_PER_RANK, SEED);
+        let cfg = WriteConfig::with_target_size(TARGET_BYTES, set.bytes_per_particle() as u64);
+        write_particles(
+            &comm,
+            set,
+            grid.bounds_of(comm.rank()),
+            &cfg,
+            &run_dir,
+            "smoke",
+        )
+        .expect("smoke write succeeds");
+    });
+
+    let snap = metrics.snapshot();
+    let shuffle = snap
+        .counter("shuffle.bytes_copied")
+        .expect("shuffle.bytes_copied missing from the metrics appendix");
+    let compact = snap
+        .counter("compact.bytes_copied")
+        .expect("compact.bytes_copied missing from the metrics appendix");
+
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/copy_baseline.json");
+    let body = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let base_shuffle = baseline_u64(&body, "shuffle_bytes_copied");
+    let base_compact = baseline_u64(&body, "compact_bytes_copied");
+
+    println!("shuffle.bytes_copied: {shuffle} (seed baseline {base_shuffle})");
+    println!("compact.bytes_copied: {compact} (seed baseline {base_compact})");
+    assert!(
+        shuffle < base_shuffle,
+        "shuffle copies regressed: {shuffle} >= baseline {base_shuffle}"
+    );
+    assert!(
+        compact < base_compact,
+        "compaction staging regressed: {compact} >= baseline {base_compact}"
+    );
+    metrics.finish();
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "smoke OK: shuffle copies at {:.0}% and compaction staging at {:.1}% of the seed pipeline",
+        shuffle as f64 / base_shuffle as f64 * 100.0,
+        compact as f64 / base_compact as f64 * 100.0,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
     let scale = RunScale::from_args();
     let (s2, summit) = calibrate::calibrated_profiles(scale == RunScale::Quick);
     println!("Figure 6: write pipeline component breakdowns");

@@ -18,8 +18,13 @@ use libbat::write::WriteConfig;
 
 fn run_system(profile: &SystemProfile, ranks_sweep: &[usize], targets_mb: &[u64]) {
     let bpr = uniform::PARTICLES_PER_RANK * uniform::BYTES_PER_PARTICLE;
-    let mut headers: Vec<String> =
-        vec!["ranks".into(), "total_GB".into(), "fpp".into(), "shared".into(), "hdf5".into()];
+    let mut headers: Vec<String> = vec![
+        "ranks".into(),
+        "total_GB".into(),
+        "fpp".into(),
+        "shared".into(),
+        "hdf5".into(),
+    ];
     for t in targets_mb {
         headers.push(format!("ours_{t}MB"));
     }
@@ -37,9 +42,18 @@ fn run_system(profile: &SystemProfile, ranks_sweep: &[usize], targets_mb: &[u64]
         let mut row = vec![
             n.to_string(),
             format!("{:.1}", total_bytes as f64 / 1e9),
-            format!("{:.2}", total_bytes as f64 / model_fpp_read(profile, n, bpr) / 1e9),
-            format!("{:.2}", total_bytes as f64 / model_shared_read(profile, n, bpr) / 1e9),
-            format!("{:.2}", total_bytes as f64 / model_hdf5_read(profile, n, bpr) / 1e9),
+            format!(
+                "{:.2}",
+                total_bytes as f64 / model_fpp_read(profile, n, bpr) / 1e9
+            ),
+            format!(
+                "{:.2}",
+                total_bytes as f64 / model_shared_read(profile, n, bpr) / 1e9
+            ),
+            format!(
+                "{:.2}",
+                total_bytes as f64 / model_hdf5_read(profile, n, bpr) / 1e9
+            ),
         ];
         for &t in targets_mb {
             let cfg = WriteConfig::with_target_size(t << 20, uniform::BYTES_PER_PARTICLE);
@@ -49,7 +63,9 @@ fn run_system(profile: &SystemProfile, ranks_sweep: &[usize], targets_mb: &[u64]
         table.row(row);
     }
     table.print();
-    let csv = table.save_csv(&format!("fig7_{}", profile.name)).expect("write csv");
+    let csv = table
+        .save_csv(&format!("fig7_{}", profile.name))
+        .expect("write csv");
     println!("saved {}", csv.display());
 }
 

@@ -30,8 +30,14 @@ fn main() {
         headers.push(format!("aug_{t}MB"));
     }
     let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut wtable = Table::new("Fig 9a: Coal Boiler write bandwidth (GB/s), 1536 ranks", &href);
-    let mut rtable = Table::new("Fig 9b: Coal Boiler read bandwidth (GB/s), 1536 ranks", &href);
+    let mut wtable = Table::new(
+        "Fig 9a: Coal Boiler write bandwidth (GB/s), 1536 ranks",
+        &href,
+    );
+    let mut rtable = Table::new(
+        "Fig 9b: Coal Boiler read bandwidth (GB/s), 1536 ranks",
+        &href,
+    );
 
     for step in sweeps::coal_steps(scale) {
         let grid = cb.grid(step, RANKS);

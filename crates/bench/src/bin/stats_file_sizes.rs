@@ -28,7 +28,14 @@ fn main() {
 
     let mut table = Table::new(
         "File-size balance, Coal Boiler t=4501, 8 MB target, 1536 ranks",
-        &["strategy", "files", "mean_MB", "stddev_MB", "max_MB", "paper"],
+        &[
+            "strategy",
+            "files",
+            "mean_MB",
+            "stddev_MB",
+            "max_MB",
+            "paper",
+        ],
     );
     for (strategy, paper) in [
         (Strategy::Aug, "296 files, 10.2 ± 13.9, max 72.9"),

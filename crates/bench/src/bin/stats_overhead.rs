@@ -15,7 +15,12 @@ use bat_geom::Aabb;
 use bat_layout::{stats::LayoutStats, BatBuilder, BatConfig};
 use bat_workloads::{CoalBoiler, DamBreak};
 
-fn measure(name: &str, set: bat_layout::ParticleSet, domain: Aabb, table: &mut bat_bench::report::Table) {
+fn measure(
+    name: &str,
+    set: bat_layout::ParticleSet,
+    domain: Aabb,
+    table: &mut bat_bench::report::Table,
+) {
     let n = set.len();
     let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
     let bytes = bat.to_bytes();
@@ -41,7 +46,16 @@ fn main() {
     };
     let mut table = Table::new(
         "BAT layout storage overhead",
-        &["dataset", "particles", "raw_MB", "treelets", "nodes", "dict", "structure%", "file%"],
+        &[
+            "dataset",
+            "particles",
+            "raw_MB",
+            "treelets",
+            "nodes",
+            "dict",
+            "structure%",
+            "file%",
+        ],
     );
     for &n in &sizes {
         // Coal Boiler schema (7 × f64): one aggregator's worth of the jet.

@@ -16,7 +16,9 @@ use std::time::Instant;
 /// Measure the sustained BAT build rate (bytes/second of raw particle
 /// payload) over `n` particles with `attrs` f64 attributes.
 pub fn measure_build_rate(n: usize, attrs: usize) -> f64 {
-    let descs: Vec<AttributeDesc> = (0..attrs).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+    let descs: Vec<AttributeDesc> = (0..attrs)
+        .map(|i| AttributeDesc::f64(format!("a{i}")))
+        .collect();
     let mut rng = Xoshiro256::new(0xCA11B);
     let mut set = ParticleSet::with_capacity(descs, n);
     let mut vals = vec![0.0f64; attrs];

@@ -168,8 +168,15 @@ pub mod executed {
                 bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
             );
             cfg.strategy = strategy;
-            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, &basename)
-                .expect("executed coal write")
+            write_particles(
+                &comm,
+                set,
+                grid.bounds_of(comm.rank()),
+                &cfg,
+                &dir,
+                &basename,
+            )
+            .expect("executed coal write")
         })
         .into_iter()
         .next()
@@ -197,8 +204,15 @@ pub mod executed {
                 bat_workloads::dam_break::BYTES_PER_PARTICLE,
             );
             cfg.strategy = strategy;
-            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, &basename)
-                .expect("executed dam write")
+            write_particles(
+                &comm,
+                set,
+                grid.bounds_of(comm.rank()),
+                &cfg,
+                &dir,
+                &basename,
+            )
+            .expect("executed dam write")
         })
         .into_iter()
         .next()

@@ -22,7 +22,8 @@
 //! for NULL where possible and never unwinds across the boundary.
 
 use bat_geom::{Aabb, Vec3};
-use bat_layout::{AttributeDesc, AttributeType, ParticleSet, Query};
+use bat_layout::{AttributeDesc, AttributeType, BatFile, ParticleSet, Query};
+use bat_wire::Block;
 use libbat::write::{write_particles, WriteConfig};
 use libbat::Dataset;
 use std::ffi::{c_char, c_double, c_float, c_int, c_void, CStr};
@@ -105,7 +106,9 @@ pub unsafe extern "C" fn bat_writer_add_attribute(
     dtype: c_int,
 ) -> c_int {
     guard(|| {
-        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let Some(w) = writer.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         if w.set.is_some() {
             return BAT_ERR_ARG; // schema is frozen once data arrives
         }
@@ -134,13 +137,18 @@ pub unsafe extern "C" fn bat_writer_set_bounds(
     max: *const c_float,
 ) -> c_int {
     guard(|| {
-        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let Some(w) = writer.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         if min.is_null() || max.is_null() {
             return BAT_ERR_NULL;
         }
         let mn = std::slice::from_raw_parts(min, 3);
         let mx = std::slice::from_raw_parts(max, 3);
-        w.bounds = Aabb::new(Vec3::new(mn[0], mn[1], mn[2]), Vec3::new(mx[0], mx[1], mx[2]));
+        w.bounds = Aabb::new(
+            Vec3::new(mn[0], mn[1], mn[2]),
+            Vec3::new(mx[0], mx[1], mx[2]),
+        );
         BAT_OK
     })
 }
@@ -150,12 +158,11 @@ pub unsafe extern "C" fn bat_writer_set_bounds(
 /// # Safety
 /// `writer` must be a live handle.
 #[no_mangle]
-pub unsafe extern "C" fn bat_writer_set_target_size(
-    writer: *mut BatWriter,
-    bytes: u64,
-) -> c_int {
+pub unsafe extern "C" fn bat_writer_set_target_size(writer: *mut BatWriter, bytes: u64) -> c_int {
     guard(|| {
-        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let Some(w) = writer.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         w.target_bytes = bytes;
         BAT_OK
     })
@@ -176,18 +183,25 @@ pub unsafe extern "C" fn bat_writer_push(
     attrs: *const *const c_double,
 ) -> c_int {
     guard(|| {
-        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let Some(w) = writer.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         if n > 0 && positions.is_null() {
             return BAT_ERR_NULL;
         }
         if !w.descs.is_empty() && n > 0 && attrs.is_null() {
             return BAT_ERR_NULL;
         }
-        let set = w.set.get_or_insert_with(|| ParticleSet::new(w.descs.clone()));
+        let set = w
+            .set
+            .get_or_insert_with(|| ParticleSet::new(w.descs.clone()));
         let pos = std::slice::from_raw_parts(positions, 3 * n);
         let na = w.descs.len();
-        let attr_ptrs: &[*const c_double] =
-            if na > 0 { std::slice::from_raw_parts(attrs, na) } else { &[] };
+        let attr_ptrs: &[*const c_double] = if na > 0 {
+            std::slice::from_raw_parts(attrs, na)
+        } else {
+            &[]
+        };
         let mut values = vec![0.0f64; na];
         for i in 0..n {
             for (a, v) in values.iter_mut().enumerate() {
@@ -197,7 +211,10 @@ pub unsafe extern "C" fn bat_writer_push(
                 }
                 *v = *ptr.add(i);
             }
-            set.push(Vec3::new(pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]), &values);
+            set.push(
+                Vec3::new(pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]),
+                &values,
+            );
         }
         BAT_OK
     })
@@ -238,7 +255,9 @@ pub unsafe extern "C" fn bat_cluster_run(
     user: *mut c_void,
 ) -> c_int {
     guard(|| {
-        let Some(body) = body else { return BAT_ERR_NULL };
+        let Some(body) = body else {
+            return BAT_ERR_NULL;
+        };
         if ranks == 0 {
             return BAT_ERR_ARG;
         }
@@ -272,8 +291,12 @@ pub unsafe extern "C" fn bat_write(
     files_out: *mut u64,
 ) -> c_int {
     guard(|| {
-        let Some(c) = comm.as_mut() else { return BAT_ERR_NULL };
-        let Some(w) = writer.as_mut() else { return BAT_ERR_NULL };
+        let Some(c) = comm.as_mut() else {
+            return BAT_ERR_NULL;
+        };
+        let Some(w) = writer.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         let dir = match cstr(dir) {
             Ok(s) => s,
             Err(e) => return e,
@@ -282,12 +305,16 @@ pub unsafe extern "C" fn bat_write(
             Ok(s) => s,
             Err(e) => return e,
         };
-        let set = w.set.take().unwrap_or_else(|| ParticleSet::new(w.descs.clone()));
-        let bounds = if w.bounds.is_empty() { set.bounds() } else { w.bounds };
-        let cfg = WriteConfig::with_target_size(
-            w.target_bytes,
-            set.bytes_per_particle() as u64,
-        );
+        let set = w
+            .set
+            .take()
+            .unwrap_or_else(|| ParticleSet::new(w.descs.clone()));
+        let bounds = if w.bounds.is_empty() {
+            set.bounds()
+        } else {
+            w.bounds
+        };
+        let cfg = WriteConfig::with_target_size(w.target_bytes, set.bytes_per_particle() as u64);
         match write_particles(&c.comm, set, bounds, &cfg, dir.as_ref(), basename) {
             Ok(report) => {
                 if !files_out.is_null() {
@@ -314,11 +341,20 @@ pub unsafe extern "C" fn bat_read(
     basename: *const c_char,
     min: *const c_float,
     max: *const c_float,
-    cb: Option<extern "C" fn(pos: *const c_float, attrs: *const c_double, n_attrs: usize, user: *mut c_void)>,
+    cb: Option<
+        extern "C" fn(
+            pos: *const c_float,
+            attrs: *const c_double,
+            n_attrs: usize,
+            user: *mut c_void,
+        ),
+    >,
     user: *mut c_void,
 ) -> c_int {
     guard(|| {
-        let Some(c) = comm.as_mut() else { return BAT_ERR_NULL };
+        let Some(c) = comm.as_mut() else {
+            return BAT_ERR_NULL;
+        };
         let Some(cb) = cb else { return BAT_ERR_NULL };
         let dir = match cstr(dir) {
             Ok(s) => s,
@@ -333,7 +369,10 @@ pub unsafe extern "C" fn bat_read(
         }
         let mn = std::slice::from_raw_parts(min, 3);
         let mx = std::slice::from_raw_parts(max, 3);
-        let bounds = Aabb::new(Vec3::new(mn[0], mn[1], mn[2]), Vec3::new(mx[0], mx[1], mx[2]));
+        let bounds = Aabb::new(
+            Vec3::new(mn[0], mn[1], mn[2]),
+            Vec3::new(mx[0], mx[1], mx[2]),
+        );
         match libbat::read::read_particles(&c.comm, bounds, dir.as_ref(), basename) {
             Ok(set) => {
                 let na = set.num_attrs();
@@ -401,7 +440,9 @@ pub unsafe extern "C" fn bat_dataset_open(
 #[no_mangle]
 pub unsafe extern "C" fn bat_dataset_num_particles(ds: *const BatDataset, out: *mut u64) -> c_int {
     guard(|| {
-        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        let Some(d) = ds.as_ref() else {
+            return BAT_ERR_NULL;
+        };
         if out.is_null() {
             return BAT_ERR_NULL;
         }
@@ -420,7 +461,9 @@ pub unsafe extern "C" fn bat_dataset_num_attributes(
     out: *mut usize,
 ) -> c_int {
     guard(|| {
-        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        let Some(d) = ds.as_ref() else {
+            return BAT_ERR_NULL;
+        };
         if out.is_null() {
             return BAT_ERR_NULL;
         }
@@ -457,13 +500,24 @@ pub unsafe extern "C" fn bat_dataset_query(
     max: *const c_float,
     filters: *const BatFilter,
     n_filters: usize,
-    cb: Option<extern "C" fn(pos: *const c_float, attrs: *const c_double, n_attrs: usize, user: *mut c_void)>,
+    cb: Option<
+        extern "C" fn(
+            pos: *const c_float,
+            attrs: *const c_double,
+            n_attrs: usize,
+            user: *mut c_void,
+        ),
+    >,
     user: *mut c_void,
 ) -> c_int {
     guard(|| {
-        let Some(d) = ds.as_ref() else { return BAT_ERR_NULL };
+        let Some(d) = ds.as_ref() else {
+            return BAT_ERR_NULL;
+        };
         let Some(cb) = cb else { return BAT_ERR_NULL };
-        let mut q = Query::new().with_quality(quality).with_prev_quality(prev_quality);
+        let mut q = Query::new()
+            .with_quality(quality)
+            .with_prev_quality(prev_quality);
         if !min.is_null() && !max.is_null() {
             let mn = std::slice::from_raw_parts(min, 3);
             let mx = std::slice::from_raw_parts(max, 3);
@@ -502,6 +556,159 @@ pub unsafe extern "C" fn bat_dataset_close(ds: *mut BatDataset) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-file in-memory reads (zero-copy over a caller-owned buffer)
+// ---------------------------------------------------------------------------
+
+/// A caller-owned byte range used as a [`bat_wire::Block`] backing. The
+/// caller guarantees the buffer outlives the handle (see
+/// [`bat_file_open_buffer`]), which makes the shared-reference reads sound.
+struct ExternBuffer {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the buffer is read-only for the lifetime of the handle and the
+// caller keeps it alive and unmodified; shared reads from any thread are
+// therefore safe.
+unsafe impl Send for ExternBuffer {}
+unsafe impl Sync for ExternBuffer {}
+
+impl AsRef<[u8]> for ExternBuffer {
+    fn as_ref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: upheld by the bat_file_open_buffer contract.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// Opaque handle to a single compacted BAT file viewed in place.
+pub struct BatFileHandle {
+    file: BatFile,
+}
+
+/// Open one compacted BAT file directly from memory, without copying:
+/// queries read positions and attribute columns straight out of the
+/// caller's buffer, exactly as the mmap-backed [`bat_dataset_open`] path
+/// reads pages from disk. Use this to serve queries over a file received
+/// from the network or embedded in another container format.
+///
+/// # Safety
+/// `data` must point to `len` readable bytes that stay alive and unmodified
+/// until [`bat_file_close`]; `out` must be a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn bat_file_open_buffer(
+    data: *const u8,
+    len: usize,
+    out: *mut *mut BatFileHandle,
+) -> c_int {
+    guard(|| {
+        if out.is_null() || (len > 0 && data.is_null()) {
+            return BAT_ERR_NULL;
+        }
+        let block = Block::from_arc(std::sync::Arc::new(ExternBuffer { ptr: data, len }));
+        match BatFile::from_block(block) {
+            Ok(file) => {
+                *out = Box::into_raw(Box::new(BatFileHandle { file }));
+                BAT_OK
+            }
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+/// Particle count of an in-memory BAT file.
+///
+/// # Safety
+/// `f` live; `out` valid.
+#[no_mangle]
+pub unsafe extern "C" fn bat_file_num_particles(f: *const BatFileHandle, out: *mut u64) -> c_int {
+    guard(|| {
+        let Some(f) = f.as_ref() else {
+            return BAT_ERR_NULL;
+        };
+        if out.is_null() {
+            return BAT_ERR_NULL;
+        }
+        *out = f.file.num_particles();
+        BAT_OK
+    })
+}
+
+/// Run a visualization query against an in-memory BAT file. Parameters and
+/// callback match [`bat_dataset_query`].
+///
+/// # Safety
+/// `f` live; box pointers NULL or 3 floats; `filters` holds `n_filters`
+/// entries; `cb` valid; `user` valid for the call.
+#[no_mangle]
+pub unsafe extern "C" fn bat_file_query(
+    f: *const BatFileHandle,
+    quality: c_double,
+    prev_quality: c_double,
+    min: *const c_float,
+    max: *const c_float,
+    filters: *const BatFilter,
+    n_filters: usize,
+    cb: Option<
+        extern "C" fn(
+            pos: *const c_float,
+            attrs: *const c_double,
+            n_attrs: usize,
+            user: *mut c_void,
+        ),
+    >,
+    user: *mut c_void,
+) -> c_int {
+    guard(|| {
+        let Some(f) = f.as_ref() else {
+            return BAT_ERR_NULL;
+        };
+        let Some(cb) = cb else { return BAT_ERR_NULL };
+        let mut q = Query::new()
+            .with_quality(quality)
+            .with_prev_quality(prev_quality);
+        if !min.is_null() && !max.is_null() {
+            let mn = std::slice::from_raw_parts(min, 3);
+            let mx = std::slice::from_raw_parts(max, 3);
+            q = q.with_bounds(Aabb::new(
+                Vec3::new(mn[0], mn[1], mn[2]),
+                Vec3::new(mx[0], mx[1], mx[2]),
+            ));
+        }
+        if n_filters > 0 {
+            if filters.is_null() {
+                return BAT_ERR_NULL;
+            }
+            for flt in std::slice::from_raw_parts(filters, n_filters) {
+                q = q.with_filter(flt.attr, flt.lo, flt.hi);
+            }
+        }
+        let result = f.file.query(&q, |p| {
+            let pos = [p.position.x, p.position.y, p.position.z];
+            cb(pos.as_ptr(), p.attrs.as_ptr(), p.attrs.len(), user);
+        });
+        match result {
+            Ok(_) => BAT_OK,
+            Err(_) => BAT_ERR_IO,
+        }
+    })
+}
+
+/// Close an in-memory file handle. The caller's buffer may be freed after
+/// this returns.
+///
+/// # Safety
+/// `f` must be a handle from `bat_file_open_buffer`, not yet closed.
+#[no_mangle]
+pub unsafe extern "C" fn bat_file_close(f: *mut BatFileHandle) {
+    if !f.is_null() {
+        drop(Box::from_raw(f));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,14 +737,23 @@ mod tests {
             assert_eq!(bat_writer_create(&mut writer), BAT_OK);
             let mass = CString::new("mass").unwrap();
             let temp = CString::new("temp").unwrap();
-            assert_eq!(bat_writer_add_attribute(writer, mass.as_ptr(), BAT_TYPE_F64), BAT_OK);
-            assert_eq!(bat_writer_add_attribute(writer, temp.as_ptr(), BAT_TYPE_F32), BAT_OK);
+            assert_eq!(
+                bat_writer_add_attribute(writer, mass.as_ptr(), BAT_TYPE_F64),
+                BAT_OK
+            );
+            assert_eq!(
+                bat_writer_add_attribute(writer, temp.as_ptr(), BAT_TYPE_F32),
+                BAT_OK
+            );
 
             // This rank's slab of the unit cube.
             let lo = rank as f32 * 0.25;
             let min = [lo, 0.0, 0.0];
             let max = [lo + 0.25, 1.0, 1.0];
-            assert_eq!(bat_writer_set_bounds(writer, min.as_ptr(), max.as_ptr()), BAT_OK);
+            assert_eq!(
+                bat_writer_set_bounds(writer, min.as_ptr(), max.as_ptr()),
+                BAT_OK
+            );
 
             // 100 particles strictly inside the slab.
             let n = 100;
@@ -566,7 +782,10 @@ mod tests {
             bat_writer_destroy(writer);
 
             // Collective read back of this rank's slab.
-            let mut readback = Ctx { dir: ctx.dir.clone(), count: 0 };
+            let mut readback = Ctx {
+                dir: ctx.dir.clone(),
+                count: 0,
+            };
             assert_eq!(
                 bat_read(
                     comm,
@@ -600,7 +819,10 @@ mod tests {
             // Postprocess visualization query through the C dataset API.
             let base = CString::new("capi").unwrap();
             let mut ds: *mut BatDataset = std::ptr::null_mut();
-            assert_eq!(bat_dataset_open(ctx.dir.as_ptr(), base.as_ptr(), &mut ds), BAT_OK);
+            assert_eq!(
+                bat_dataset_open(ctx.dir.as_ptr(), base.as_ptr(), &mut ds),
+                BAT_OK
+            );
             let mut total = 0u64;
             assert_eq!(bat_dataset_num_particles(ds, &mut total), BAT_OK);
             assert_eq!(total, 400);
@@ -609,7 +831,10 @@ mod tests {
             assert_eq!(na, 2);
 
             // Full query.
-            let mut counter = Ctx { dir: ctx.dir.clone(), count: 0 };
+            let mut counter = Ctx {
+                dir: ctx.dir.clone(),
+                count: 0,
+            };
             assert_eq!(
                 bat_dataset_query(
                     ds,
@@ -627,8 +852,15 @@ mod tests {
             assert_eq!(counter.count, 400);
 
             // Filtered query: mass in [0, 49] on each rank → 50 × 4.
-            let filter = BatFilter { attr: 0, lo: 0.0, hi: 49.0 };
-            let mut counter = Ctx { dir: ctx.dir.clone(), count: 0 };
+            let filter = BatFilter {
+                attr: 0,
+                lo: 0.0,
+                hi: 49.0,
+            };
+            let mut counter = Ctx {
+                dir: ctx.dir.clone(),
+                count: 0,
+            };
             assert_eq!(
                 bat_dataset_query(
                     ds,
@@ -660,7 +892,10 @@ mod tests {
             );
             let mut w: *mut BatWriter = std::ptr::null_mut();
             assert_eq!(bat_writer_create(&mut w), BAT_OK);
-            assert_eq!(bat_writer_add_attribute(w, std::ptr::null(), 0), BAT_ERR_NULL);
+            assert_eq!(
+                bat_writer_add_attribute(w, std::ptr::null(), 0),
+                BAT_ERR_NULL
+            );
             let name = CString::new("x").unwrap();
             assert_eq!(bat_writer_add_attribute(w, name.as_ptr(), 99), BAT_ERR_ARG);
             bat_writer_destroy(w);
@@ -671,7 +906,98 @@ mod tests {
             let dir = CString::new("/nonexistent-path").unwrap();
             let base = CString::new("nope").unwrap();
             let mut ds: *mut BatDataset = std::ptr::null_mut();
-            assert_eq!(bat_dataset_open(dir.as_ptr(), base.as_ptr(), &mut ds), BAT_ERR_IO);
+            assert_eq!(
+                bat_dataset_open(dir.as_ptr(), base.as_ptr(), &mut ds),
+                BAT_ERR_IO
+            );
+        }
+    }
+
+    extern "C" fn tally_cb(
+        _pos: *const c_float,
+        _attrs: *const c_double,
+        _n_attrs: usize,
+        user: *mut c_void,
+    ) {
+        unsafe { *(user as *mut u64) += 1 };
+    }
+
+    #[test]
+    fn in_memory_file_query_is_zero_copy_over_caller_bytes() {
+        use bat_layout::{BatBuilder, BatConfig};
+        let mut set = ParticleSet::new(vec![AttributeDesc::f64("m")]);
+        let n = 500usize;
+        for i in 0..n {
+            let t = (i as f32 + 0.5) / n as f32;
+            set.push(Vec3::new(t, 1.0 - t, 0.5), &[i as f64]);
+        }
+        let bytes = BatBuilder::new(BatConfig::default())
+            .build(set, Aabb::unit())
+            .to_bytes();
+        unsafe {
+            let mut f: *mut BatFileHandle = std::ptr::null_mut();
+            assert_eq!(
+                bat_file_open_buffer(bytes.as_ptr(), bytes.len(), &mut f),
+                BAT_OK
+            );
+            let mut total = 0u64;
+            assert_eq!(bat_file_num_particles(f, &mut total), BAT_OK);
+            assert_eq!(total, n as u64);
+            let mut count = 0u64;
+            assert_eq!(
+                bat_file_query(
+                    f,
+                    1.0,
+                    0.0,
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    0,
+                    Some(tally_cb),
+                    &mut count as *mut u64 as *mut c_void,
+                ),
+                BAT_OK
+            );
+            assert_eq!(count, n as u64);
+            // A filter that halves the ids halves the hits.
+            let filter = BatFilter {
+                attr: 0,
+                lo: 0.0,
+                hi: (n / 2 - 1) as f64,
+            };
+            let mut count = 0u64;
+            assert_eq!(
+                bat_file_query(
+                    f,
+                    1.0,
+                    0.0,
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    &filter,
+                    1,
+                    Some(tally_cb),
+                    &mut count as *mut u64 as *mut c_void,
+                ),
+                BAT_OK
+            );
+            assert_eq!(count, (n / 2) as u64);
+            bat_file_close(f);
+
+            // Truncated/corrupt buffers fail cleanly with BAT_ERR_IO.
+            let mut bad: *mut BatFileHandle = std::ptr::null_mut();
+            assert_eq!(
+                bat_file_open_buffer(bytes.as_ptr(), 10, &mut bad),
+                BAT_ERR_IO
+            );
+            assert_eq!(
+                bat_file_open_buffer(std::ptr::null(), 8, &mut bad),
+                BAT_ERR_NULL
+            );
+            assert_eq!(
+                bat_file_open_buffer(std::ptr::null(), 0, &mut bad),
+                BAT_ERR_IO
+            );
+            bat_file_close(std::ptr::null_mut());
         }
     }
 
@@ -681,14 +1007,20 @@ mod tests {
             let mut w: *mut BatWriter = std::ptr::null_mut();
             assert_eq!(bat_writer_create(&mut w), BAT_OK);
             let name = CString::new("a").unwrap();
-            assert_eq!(bat_writer_add_attribute(w, name.as_ptr(), BAT_TYPE_F64), BAT_OK);
+            assert_eq!(
+                bat_writer_add_attribute(w, name.as_ptr(), BAT_TYPE_F64),
+                BAT_OK
+            );
             let pos = [0.5f32, 0.5, 0.5];
             let vals = [1.0f64];
             let ptrs = [vals.as_ptr()];
             assert_eq!(bat_writer_push(w, 1, pos.as_ptr(), ptrs.as_ptr()), BAT_OK);
             // Adding attributes after data exists must fail.
             let late = CString::new("late").unwrap();
-            assert_eq!(bat_writer_add_attribute(w, late.as_ptr(), BAT_TYPE_F64), BAT_ERR_ARG);
+            assert_eq!(
+                bat_writer_add_attribute(w, late.as_ptr(), BAT_TYPE_F64),
+                BAT_ERR_ARG
+            );
             bat_writer_destroy(w);
         }
     }

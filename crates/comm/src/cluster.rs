@@ -32,7 +32,9 @@ impl Cluster {
         // and histograms merge across ranks, giving cluster-wide totals and
         // across-rank latency distributions.
         let rank_regs: Vec<std::sync::Arc<bat_obs::Registry>> = if bat_obs::enabled() {
-            (0..n).map(|_| std::sync::Arc::new(bat_obs::Registry::new())).collect()
+            (0..n)
+                .map(|_| std::sync::Arc::new(bat_obs::Registry::new()))
+                .collect()
         } else {
             Vec::new()
         };
@@ -76,6 +78,9 @@ impl Cluster {
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
-        results.into_iter().map(|r| r.expect("all ranks returned")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks returned"))
+            .collect()
     }
 }

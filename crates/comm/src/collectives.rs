@@ -93,7 +93,11 @@ impl Comm {
             self.recv_internal(Some(parent), TAG_BCAST).payload
         };
         // Forward to children: set each bit above our lowest set bit.
-        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        let lowest = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
         for b in 0..lowest.min(usize::BITS - 1) {
             let child_v = vrank | (1 << b);
             if child_v != vrank && child_v < n {
@@ -110,7 +114,11 @@ impl Comm {
         let reduced = if self.rank() == 0 {
             let vals = gathered.expect("root gathers");
             Some(Bytes::copy_from_slice(
-                &vals.into_iter().reduce(&op).expect("nonempty").to_le_bytes(),
+                &vals
+                    .into_iter()
+                    .reduce(&op)
+                    .expect("nonempty")
+                    .to_le_bytes(),
             ))
         } else {
             None
@@ -133,7 +141,11 @@ impl Comm {
             }
             Some(out)
         } else {
-            self.isend_internal(root, TAG_REDUCE, Bytes::copy_from_slice(&value.to_le_bytes()));
+            self.isend_internal(
+                root,
+                TAG_REDUCE,
+                Bytes::copy_from_slice(&value.to_le_bytes()),
+            );
             None
         }
     }

@@ -17,6 +17,15 @@ pub struct Message {
     pub payload: Bytes,
 }
 
+impl Message {
+    /// The payload as a zero-copy [`bat_wire::Block`] view. Receivers that
+    /// parse columnar frames slice their sections out of this block without
+    /// copying the message body.
+    pub fn block(&self) -> bat_wire::Block {
+        bat_wire::Block::from(self.payload.clone())
+    }
+}
+
 /// Metadata returned by [`Comm::iprobe`] without consuming the message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeInfo {
@@ -81,7 +90,11 @@ impl Comm {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         self.state.deliver(
             dst,
-            Message { src: self.rank, tag, payload },
+            Message {
+                src: self.rank,
+                tag,
+                payload,
+            },
         );
     }
 

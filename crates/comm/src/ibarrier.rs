@@ -30,7 +30,11 @@ pub struct IBarrier {
 impl IBarrier {
     pub(crate) fn new(comm: Comm) -> IBarrier {
         let n = comm.size();
-        let rounds_total = if n <= 1 { 0 } else { (n as u64).next_power_of_two().trailing_zeros() };
+        let rounds_total = if n <= 1 {
+            0
+        } else {
+            (n as u64).next_power_of_two().trailing_zeros()
+        };
         debug_assert!(rounds_total <= MAX_ROUNDS);
         let generation = comm.state.next_ibarrier_generation(comm.rank()) % GENERATIONS as u64;
         let ib = IBarrier {
@@ -53,7 +57,8 @@ impl IBarrier {
     fn send_round(&self, round: u32) {
         let n = self.comm.size();
         let dst = (self.comm.rank() + (1 << round)) % n;
-        self.comm.isend_internal(dst, self.tag_for(round), Bytes::new());
+        self.comm
+            .isend_internal(dst, self.tag_for(round), Bytes::new());
     }
 
     /// Make progress and report completion. Nonblocking: consumes any round

@@ -230,7 +230,10 @@ mod tests {
                 let g = gathered.expect("root gets data");
                 assert_eq!(g.len(), comm.size());
                 for (r, b) in g.iter().enumerate() {
-                    assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), r as u64 * 10);
+                    assert_eq!(
+                        u64::from_le_bytes(b[..8].try_into().unwrap()),
+                        r as u64 * 10
+                    );
                 }
             } else {
                 assert!(gathered.is_none());
@@ -247,14 +250,21 @@ mod tests {
                 None
             };
             let mine = comm.scatter(0, parts);
-            assert_eq!(u64::from_le_bytes(mine[..8].try_into().unwrap()), comm.rank() as u64 + 1);
+            assert_eq!(
+                u64::from_le_bytes(mine[..8].try_into().unwrap()),
+                comm.rank() as u64 + 1
+            );
         });
     }
 
     #[test]
     fn bcast_from_nonzero_root() {
         Cluster::run(7, |comm| {
-            let data = if comm.rank() == 3 { Some(payload(555)) } else { None };
+            let data = if comm.rank() == 3 {
+                Some(payload(555))
+            } else {
+                None
+            };
             let got = comm.bcast(3, data);
             assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), 555);
         });
@@ -490,8 +500,9 @@ mod waitall_tests {
         Cluster::run(4, |comm| {
             if comm.rank() == 0 {
                 // Post receives for ranks 1..4 on distinct tags, in order.
-                let reqs: Vec<RecvRequest> =
-                    (1..4).map(|src| comm.irecv(Some(src), src as u32)).collect();
+                let reqs: Vec<RecvRequest> = (1..4)
+                    .map(|src| comm.irecv(Some(src), src as u32))
+                    .collect();
                 let msgs = wait_all(reqs);
                 for (i, m) in msgs.iter().enumerate() {
                     assert_eq!(m.src, i + 1);

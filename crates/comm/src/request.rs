@@ -17,7 +17,12 @@ pub struct RecvRequest {
 
 impl RecvRequest {
     pub(crate) fn new(comm: Comm, src: Option<usize>, tag: u32) -> RecvRequest {
-        RecvRequest { comm, src, tag, done: false }
+        RecvRequest {
+            comm,
+            src,
+            tag,
+            done: false,
+        }
     }
 
     /// Block until the matching message arrives and return it.

@@ -33,7 +33,11 @@ impl Dataset {
         let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
         let meta = MetaTree::decode(&meta_bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(Dataset { meta, dir, files: Mutex::new(HashMap::new()) })
+        Ok(Dataset {
+            meta,
+            dir,
+            files: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The parsed top-level metadata.
@@ -75,11 +79,7 @@ impl Dataset {
     /// Run a query across the whole dataset, invoking `cb` per matching
     /// point. Quality/progressive parameters apply per leaf file, so a
     /// progressive sweep over the dataset refines every region uniformly.
-    pub fn query(
-        &self,
-        q: &Query,
-        mut cb: impl FnMut(PointRecord<'_>),
-    ) -> io::Result<QueryStats> {
+    pub fn query(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> io::Result<QueryStats> {
         let candidates = self
             .meta
             .candidate_leaves(q)

@@ -240,7 +240,12 @@ mod tests {
         let ranks = uniform_ranks(3072, 32_768);
         let small = model_write(&profile, &ranks, &cfg(8));
         let large = model_write(&profile, &ranks, &cfg(128));
-        assert!(large.files < small.files, "{} vs {}", large.files, small.files);
+        assert!(
+            large.files < small.files,
+            "{} vs {}",
+            large.files,
+            small.files
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use bat_aggregation::meta::MetaTree;
 use bat_comm::Comm;
 use bat_geom::Aabb;
 use bat_iosim::{PhaseTimes, WritePhase};
-use bat_layout::{BatFile, ParticleSet, Query};
+use bat_layout::{BatFile, ColumnarParticles, ParticleSet, Query};
 use bat_wire::{Decoder, Encoder};
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -67,8 +67,8 @@ pub fn read_particles_timed(
     // --- Phase 1: all ranks read the metadata (Fig. 3a). ---
     let t0 = Instant::now();
     let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
-    let meta = MetaTree::decode(&meta_bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let meta =
+        MetaTree::decode(&meta_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let num_files = meta.leaves.len();
     let file_owner = assign_read_aggregators(num_files, comm.size());
     times[WritePhase::Metadata] = t0.elapsed().as_secs_f64();
@@ -97,9 +97,14 @@ pub fn read_particles_timed(
         } else {
             let mut enc = Encoder::new();
             enc.put_u32(l);
-            for v in [bounds.min.x, bounds.min.y, bounds.min.z, bounds.max.x, bounds.max.y,
-                bounds.max.z]
-            {
+            for v in [
+                bounds.min.x,
+                bounds.min.y,
+                bounds.min.z,
+                bounds.max.x,
+                bounds.max.y,
+                bounds.max.z,
+            ] {
                 enc.put_f32(v);
             }
             comm.isend(owner, TAG_QUERY, Bytes::from(enc.finish()));
@@ -107,8 +112,11 @@ pub fn read_particles_timed(
         }
     }
 
-    // Client/server loop with ibarrier termination (§IV-B).
+    // Client/server loop with ibarrier termination (§IV-B). A corrupt
+    // reply is recorded but the protocol still runs to completion, so the
+    // error surfaces on this rank without hanging the others.
     let mut result = ParticleSet::new(meta.descs.clone());
+    let mut reply_err: Option<bat_wire::WireError> = None;
     let mut barrier: Option<bat_comm::IBarrier> = None;
     let mut done = false;
     while !done {
@@ -118,12 +126,15 @@ pub fn read_particles_timed(
             let reply = serve_query(&open_files, &msg.payload);
             comm.isend(msg.src, TAG_REPLY, reply);
         }
-        // Collect one reply if present.
+        // Collect one reply if present: parse the columnar frame zero-copy
+        // out of the message and bulk-append it.
         if outstanding > 0 && comm.iprobe(None, TAG_REPLY).is_some() {
             let msg = comm.recv(None, TAG_REPLY);
-            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
-                .expect("valid reply payload");
-            result.append(&part);
+            if let Err(e) = ColumnarParticles::parse_frame(&msg.block())
+                .and_then(|view| result.extend_from_columns(&view))
+            {
+                reply_err.get_or_insert(e);
+            }
             outstanding -= 1;
         }
         // Once all replies are in, enter the nonblocking barrier; keep
@@ -158,8 +169,16 @@ pub fn read_particles_timed(
     times[WritePhase::LayoutBuild] = t0.elapsed().as_secs_f64();
     times.total = t_start.elapsed().as_secs_f64();
 
+    // Run the trailing collective before reporting any reply error so
+    // healthy ranks are never left waiting on this one.
     let merged = crate::write::reduce_times(comm, &times);
-    Ok(ReadReport { particles: result, times: merged })
+    if let Some(e) = reply_err {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+    }
+    Ok(ReadReport {
+        particles: result,
+        times: merged,
+    })
 }
 
 /// Answer one query message: spatial query over the requested leaf file.
@@ -178,9 +197,7 @@ fn serve_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes {
         .expect("query for a leaf this rank does not own");
     let mut out = ParticleSet::new(file.head().descs.clone());
     append_query(file, &qb, &mut out);
-    let mut enc = Encoder::with_capacity(out.raw_bytes() + 64);
-    out.encode(&mut enc);
-    Bytes::from(enc.finish())
+    ColumnarParticles::encode_frame(&out)
 }
 
 /// Run an exact spatial query on a file and append the hits.
@@ -215,8 +232,8 @@ pub fn query_distributed(
     basename: &str,
 ) -> io::Result<ParticleSet> {
     let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
-    let meta = MetaTree::decode(&meta_bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let meta =
+        MetaTree::decode(&meta_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let num_files = meta.leaves.len();
     let file_owner = assign_read_aggregators(num_files, comm.size());
 
@@ -250,6 +267,7 @@ pub fn query_distributed(
     }
 
     let mut result = ParticleSet::new(meta.descs.clone());
+    let mut reply_err: Option<bat_wire::WireError> = None;
     let mut barrier: Option<bat_comm::IBarrier> = None;
     let mut done = false;
     while !done {
@@ -260,9 +278,11 @@ pub fn query_distributed(
         }
         if outstanding > 0 && comm.iprobe(None, TAG_FULL_REPLY).is_some() {
             let msg = comm.recv(None, TAG_FULL_REPLY);
-            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
-                .expect("valid reply payload");
-            result.append(&part);
+            if let Err(e) = ColumnarParticles::parse_frame(&msg.block())
+                .and_then(|view| result.extend_from_columns(&view))
+            {
+                reply_err.get_or_insert(e);
+            }
             outstanding -= 1;
         }
         if outstanding == 0 && barrier.is_none() {
@@ -282,12 +302,16 @@ pub fn query_distributed(
         let reply = serve_full_query(&open_files, &msg.payload);
         comm.isend(msg.src, TAG_FULL_REPLY, reply);
     }
+    if let Some(e) = reply_err {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+    }
 
     // Local leaves resolved after the server loop (paper §IV-B).
     for l in local_leaves {
         let file = &open_files[&l];
         let mut out = result;
-        file.query(q, |p| out.push(p.position, p.attrs)).expect("valid file");
+        file.query(q, |p| out.push(p.position, p.attrs))
+            .expect("valid file");
         result = out;
     }
     Ok(result)
@@ -302,8 +326,7 @@ fn serve_full_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes
         .get(&leaf)
         .expect("query for a leaf this rank does not own");
     let mut out = ParticleSet::new(file.head().descs.clone());
-    file.query(&q, |p| out.push(p.position, p.attrs)).expect("valid file");
-    let mut enc = Encoder::with_capacity(out.raw_bytes() + 64);
-    out.encode(&mut enc);
-    Bytes::from(enc.finish())
+    file.query(&q, |p| out.push(p.position, p.attrs))
+        .expect("valid file");
+    ColumnarParticles::encode_frame(&out)
 }

@@ -11,12 +11,14 @@
 //! and writes the top-level `.batmeta` (paper §III-D).
 
 use bat_aggregation::meta::{LeafReport, MetaTree};
-use bat_aggregation::{assign_aggregators, build_aug_tree, AggConfig, AggregationTree, BalanceStats, RankInfo};
+use bat_aggregation::{
+    assign_aggregators, build_aug_tree, AggConfig, AggregationTree, BalanceStats, RankInfo,
+};
 use bat_comm::Comm;
 use bat_geom::Aabb;
 use bat_iosim::{PhaseTimes, WritePhase};
-use bat_layout::{BatBuilder, BatConfig, ParticleSet};
-use bat_wire::{Decoder, Encoder, WireResult};
+use bat_layout::{BatBuilder, BatConfig, ColumnarParticles, ParticleSet};
+use bat_wire::{Decoder, Encoder, WireError, WireResult};
 use bytes::Bytes;
 use std::io;
 use std::path::Path;
@@ -114,8 +116,16 @@ fn put_aabb(enc: &mut Encoder, b: &Aabb) {
 
 fn get_aabb(dec: &mut Decoder) -> WireResult<Aabb> {
     Ok(Aabb::new(
-        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
-        bat_geom::Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+        bat_geom::Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
+        bat_geom::Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
     ))
 }
 
@@ -164,7 +174,12 @@ impl Assignment {
                 let c = dec.get_u64("source count")?;
                 sources.push((r, c));
             }
-            Some(LeafDuty { leaf_idx, file, bounds, sources })
+            Some(LeafDuty {
+                leaf_idx,
+                file,
+                bounds,
+                sources,
+            })
         } else {
             None
         };
@@ -236,12 +251,21 @@ pub fn write_particles_in_transit(
     mut hook: impl FnMut(u32, &bat_layout::Bat),
 ) -> io::Result<WriteReport> {
     let bat_cfg = cfg.bat;
-    write_pipeline(comm, set, bounds, cfg, dir, basename, |leaf_idx, merged, leaf_bounds| {
-        let bat = BatBuilder::new(bat_cfg).build(merged, leaf_bounds);
-        hook(leaf_idx, &bat);
-        let local_bitmaps = (0..bat.descs().len()).map(|a| bat.root_bitmap(a)).collect();
-        (bat.to_bytes(), bat.attr_ranges.clone(), local_bitmaps)
-    })
+    write_pipeline(
+        comm,
+        set,
+        bounds,
+        cfg,
+        dir,
+        basename,
+        |leaf_idx, merged, leaf_bounds| {
+            let bat = BatBuilder::new(bat_cfg).build(merged, leaf_bounds);
+            hook(leaf_idx, &bat);
+            let local_bitmaps = (0..bat.descs().len()).map(|a| bat.root_bitmap(a)).collect();
+            let ranges = bat.attr_ranges.clone();
+            (LeafData::Bat(Box::new(bat)), ranges, local_bitmaps)
+        },
+    )
 }
 
 /// A user-defined aggregator-side layout (paper §VII future work: "Allowing
@@ -272,29 +296,85 @@ pub fn write_particles_with_sink(
     basename: &str,
     sink: &impl LayoutSink,
 ) -> io::Result<WriteReport> {
-    write_pipeline(comm, set, bounds, cfg, dir, basename, |leaf_idx, merged, leaf_bounds| {
-        let bytes = sink.build(leaf_idx, &merged, leaf_bounds);
-        // Generic metadata stats: exact local ranges, bitmaps binned over
-        // them (identical semantics to the BAT's root bitmaps).
-        let ranges: Vec<(f64, f64)> =
-            (0..merged.num_attrs()).map(|a| merged.attr(a).value_range()).collect();
-        let bitmaps = ranges
-            .iter()
-            .enumerate()
-            .map(|(a, &(lo, hi))| {
-                bat_layout::Bitmap32::from_values(
-                    (0..merged.len()).map(|i| merged.value(a, i)),
-                    lo,
-                    hi,
-                )
-            })
-            .collect();
-        (bytes, ranges, bitmaps)
-    })
+    write_pipeline(
+        comm,
+        set,
+        bounds,
+        cfg,
+        dir,
+        basename,
+        |leaf_idx, merged, leaf_bounds| {
+            let bytes = sink.build(leaf_idx, &merged, leaf_bounds);
+            // Generic metadata stats: exact local ranges, bitmaps binned over
+            // them (identical semantics to the BAT's root bitmaps).
+            let ranges: Vec<(f64, f64)> = (0..merged.num_attrs())
+                .map(|a| merged.attr(a).value_range())
+                .collect();
+            let bitmaps = ranges
+                .iter()
+                .enumerate()
+                .map(|(a, &(lo, hi))| {
+                    bat_layout::Bitmap32::from_values(
+                        (0..merged.len()).map(|i| merged.value(a, i)),
+                        lo,
+                        hi,
+                    )
+                })
+                .collect();
+            (LeafData::Raw(bytes), ranges, bitmaps)
+        },
+    )
+}
+
+/// Bytes destined for one leaf file: a built BAT is streamed to disk head
+/// first, then treelet by treelet (never materializing the file in memory);
+/// a [`LayoutSink`] hands over an opaque buffer.
+enum LeafData {
+    Bat(Box<bat_layout::Bat>),
+    Raw(Vec<u8>),
+}
+
+fn write_leaf_file(path: &Path, data: &LeafData) -> io::Result<u64> {
+    match data {
+        LeafData::Bat(bat) => {
+            let file = std::fs::File::create(path)?;
+            let mut w = io::BufWriter::new(file);
+            let written = bat.write_to(&mut w)?;
+            w.into_inner().map_err(io::IntoInnerError::into_error)?;
+            Ok(written)
+        }
+        LeafData::Raw(bytes) => {
+            std::fs::write(path, bytes)?;
+            Ok(bytes.len() as u64)
+        }
+    }
+}
+
+/// Decode the rank infos rank 0 gathered in phase 1.
+fn decode_infos(blobs: &[Bytes]) -> WireResult<Vec<RankInfo>> {
+    blobs
+        .iter()
+        .map(|b| RankInfo::decode(&mut Decoder::new(b)))
+        .collect()
+}
+
+fn wire_io_err(stage: &str, err: Option<WireError>) -> io::Error {
+    let msg = match err {
+        Some(e) => format!("collective write aborted during {stage}: {e}"),
+        None => format!(
+            "collective write aborted during {stage}: a peer rank reported corrupt wire data"
+        ),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 /// The shared two-phase pipeline; `leaf_builder` maps one leaf's merged
-/// particles to `(file bytes, local attribute ranges, root bitmaps)`.
+/// particles to `(leaf data, local attribute ranges, root bitmaps)`.
+///
+/// Corrupt wire payloads and file-write failures never panic a rank:
+/// errors are recorded, the protocol (sends, receives, and every trailing
+/// collective) runs to completion so no healthy rank is left blocked, and
+/// then all ranks return `Err` together.
 fn write_pipeline(
     comm: &Comm,
     set: ParticleSet,
@@ -302,9 +382,13 @@ fn write_pipeline(
     cfg: &WriteConfig,
     dir: &Path,
     basename: &str,
-    mut leaf_builder: impl FnMut(u32, ParticleSet, Aabb) -> (Vec<u8>, Vec<(f64, f64)>, Vec<bat_layout::Bitmap32>),
+    mut leaf_builder: impl FnMut(
+        u32,
+        ParticleSet,
+        Aabb,
+    ) -> (LeafData, Vec<(f64, f64)>, Vec<bat_layout::Bitmap32>),
 ) -> io::Result<WriteReport> {
-    let descs = set.descs().to_vec();
+    let descs = set.descs_arc();
     let mut times = PhaseTimes::new();
     comm.barrier();
     let t_start = Instant::now();
@@ -318,34 +402,45 @@ fn write_pipeline(
     bat_obs::observe_duration("write.gather_bounds_ns", t0.elapsed());
 
     let t_tree = Instant::now();
+    let mut setup_err: Option<WireError> = None;
     let assignment_bytes = if comm.rank() == 0 {
-        let infos: Vec<RankInfo> = gathered
-            .expect("root gathers")
-            .iter()
-            .map(|b| RankInfo::decode(&mut Decoder::new(b)).expect("valid rank info"))
-            .collect();
-        let mut tree = build_tree(&infos, cfg);
-        assign_aggregators(&mut tree.leaves, comm.size());
+        match decode_infos(&gathered.expect("root gathers")) {
+            Ok(infos) => {
+                let mut tree = build_tree(&infos, cfg);
+                assign_aggregators(&mut tree.leaves, comm.size());
 
-        // Build per-rank assignments.
-        let mut assignments: Vec<Assignment> = vec![Assignment::default(); comm.size()];
-        for (li, leaf) in tree.leaves.iter().enumerate() {
-            let duty = LeafDuty {
-                leaf_idx: li as u32,
-                file: leaf_file_name(basename, li as u32),
-                bounds: leaf.bounds,
-                sources: leaf
-                    .ranks
-                    .iter()
-                    .map(|&r| (r, infos[r as usize].particles))
-                    .collect(),
-            };
-            for &(r, _) in &duty.sources {
-                assignments[r as usize].agg_of_me = Some(leaf.aggregator);
+                // Build per-rank assignments.
+                let mut assignments: Vec<Assignment> = vec![Assignment::default(); comm.size()];
+                for (li, leaf) in tree.leaves.iter().enumerate() {
+                    let duty = LeafDuty {
+                        leaf_idx: li as u32,
+                        file: leaf_file_name(basename, li as u32),
+                        bounds: leaf.bounds,
+                        sources: leaf
+                            .ranks
+                            .iter()
+                            .map(|&r| (r, infos[r as usize].particles))
+                            .collect(),
+                    };
+                    for &(r, _) in &duty.sources {
+                        assignments[r as usize].agg_of_me = Some(leaf.aggregator);
+                    }
+                    assignments[leaf.aggregator as usize].duty = Some(duty);
+                }
+                Some(
+                    assignments
+                        .iter()
+                        .map(Assignment::encode)
+                        .collect::<Vec<_>>(),
+                )
             }
-            assignments[leaf.aggregator as usize].duty = Some(duty);
+            Err(e) => {
+                // Scatter well-formed empty assignments; the agreement
+                // collective below turns this into an error on every rank.
+                setup_err = Some(e);
+                Some(vec![Assignment::default().encode(); comm.size()])
+            }
         }
-        Some(assignments.iter().map(Assignment::encode).collect::<Vec<_>>())
     } else {
         None
     };
@@ -357,7 +452,20 @@ fn write_pipeline(
     // --- Phase 2: scatter assignments. ---
     let t0 = Instant::now();
     let mine = comm.scatter(0, assignment_bytes);
-    let assignment = Assignment::decode(&mine).expect("valid assignment");
+    let assignment = match Assignment::decode(&mine) {
+        Ok(a) => a,
+        Err(e) => {
+            setup_err.get_or_insert(e);
+            Assignment::default()
+        }
+    };
+    // Agreement: every rank learns whether any rank failed setup. Erring
+    // together here (before any data flows) keeps phase 3's sends and
+    // receives matched on the surviving ranks.
+    let abort = comm.allreduce_u64(setup_err.is_some() as u64, |a, b| a | b) != 0;
+    if abort {
+        return Err(wire_io_err("setup", setup_err));
+    }
     let el = t0.elapsed();
     bat_obs::observe_duration("write.scatter_ns", el);
     times[WritePhase::Scatter] = el.as_secs_f64();
@@ -366,27 +474,46 @@ fn write_pipeline(
     let t0 = Instant::now();
     let my_bytes = set.raw_bytes() as u64;
     if let Some(agg) = assignment.agg_of_me {
-        let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
-        set.encode(&mut enc);
-        let payload = Bytes::from(enc.finish());
+        let payload = ColumnarParticles::encode_frame(&set);
         bat_obs::counter_add("write.shuffle.send_bytes", payload.len() as u64);
         bat_obs::counter_add("write.shuffle.send_msgs", 1);
         comm.isend(agg as usize, TAG_DATA, payload);
     }
     // Aggregators receive from every source (self-sends included above).
+    // Each frame stays a zero-copy columnar view over the message body;
+    // the single merge below is the only copy on the receive side.
     let mut received: Option<ParticleSet> = None;
+    let mut agg_err: Option<WireError> = None;
     if let Some(duty) = &assignment.duty {
-        let mut merged = ParticleSet::new(descs.clone());
+        let mut views = Vec::with_capacity(duty.sources.len());
         for &(src, count) in &duty.sources {
+            // Consume the message even after an earlier source failed so
+            // no payload is left queued for a later collective to trip on.
             let msg = comm.recv(Some(src as usize), TAG_DATA);
             bat_obs::counter_add("write.shuffle.recv_bytes", msg.payload.len() as u64);
             bat_obs::counter_add("write.shuffle.recv_msgs", 1);
-            let part = ParticleSet::decode(&mut Decoder::new(&msg.payload))
-                .expect("valid particle payload");
-            assert_eq!(part.len() as u64, count, "source {src} count mismatch");
-            merged.append(&part);
+            match ColumnarParticles::parse_frame(&msg.block()) {
+                Ok(view) if view.len() as u64 == count => views.push(view),
+                Ok(view) => {
+                    agg_err.get_or_insert(WireError::BadLength {
+                        what: "shuffled particle count",
+                        len: view.len() as u64,
+                        remaining: count as usize,
+                    });
+                }
+                Err(e) => {
+                    agg_err.get_or_insert(e);
+                }
+            }
         }
-        received = Some(merged);
+        if agg_err.is_none() {
+            match ColumnarParticles::concat_owned(descs.clone(), &views) {
+                Ok(merged) => received = Some(merged),
+                Err(e) => {
+                    agg_err.get_or_insert(e);
+                }
+            }
+        }
     }
     let el = t0.elapsed();
     bat_obs::observe_duration("write.shuffle_ns", el);
@@ -394,13 +521,11 @@ fn write_pipeline(
 
     // --- Phase 4: build the layout on each aggregator (§III-C). ---
     let t0 = Instant::now();
-    let mut compacted: Option<Vec<u8>> = None;
+    let mut compacted: Option<LeafData> = None;
     let mut report: Option<LeafReport> = None;
-    if let Some(duty) = &assignment.duty {
-        let merged = received.take().expect("aggregator received data");
+    if let (Some(duty), Some(merged)) = (&assignment.duty, received.take()) {
         let particles = merged.len() as u64;
-        let (bytes, local_ranges, local_bitmaps) =
-            leaf_builder(duty.leaf_idx, merged, duty.bounds);
+        let (data, local_ranges, local_bitmaps) = leaf_builder(duty.leaf_idx, merged, duty.bounds);
         report = Some(LeafReport {
             file: duty.file.clone(),
             bounds: duty.bounds,
@@ -409,7 +534,7 @@ fn write_pipeline(
             local_ranges,
             local_bitmaps,
         });
-        compacted = Some(bytes);
+        compacted = Some(data);
     }
     let el = t0.elapsed();
     if assignment.duty.is_some() {
@@ -417,48 +542,80 @@ fn write_pipeline(
     }
     times[WritePhase::LayoutBuild] = el.as_secs_f64();
 
-    // --- Phase 5: write leaf files. ---
+    // --- Phase 5: write leaf files (streamed; see `LeafData`). ---
     let t0 = Instant::now();
-    if let (Some(bytes), Some(duty)) = (&compacted, &assignment.duty) {
-        std::fs::write(dir.join(&duty.file), bytes)?;
-        bat_obs::counter_add("write.file.bytes", bytes.len() as u64);
-        bat_obs::counter_add("write.file.count", 1);
-        bat_obs::observe_duration("write.file_write_ns", t0.elapsed());
+    let mut local_io: Option<io::Error> = None;
+    if let (Some(data), Some(duty)) = (&compacted, &assignment.duty) {
+        match write_leaf_file(&dir.join(&duty.file), data) {
+            Ok(written) => {
+                bat_obs::counter_add("write.file.bytes", written);
+                bat_obs::counter_add("write.file.count", 1);
+                bat_obs::observe_duration("write.file_write_ns", t0.elapsed());
+            }
+            Err(e) => {
+                report = None; // the leaf is not on disk; don't advertise it
+                local_io = Some(e);
+            }
+        }
     }
     times[WritePhase::FileWrite] = t0.elapsed().as_secs_f64();
 
     // --- Phase 6: gather leaf reports; rank 0 writes metadata (§III-D). ---
     let t0 = Instant::now();
-    let payload = match &report {
-        Some(r) => {
-            let mut enc = Encoder::new();
-            enc.put_bool(true);
-            r.encode(&mut enc);
-            Bytes::from(enc.finish())
+    // Report status: 0 = not an aggregator, 1 = report follows, 2 = this
+    // aggregator failed (corrupt frame or file-write error).
+    let failed = agg_err.is_some() || local_io.is_some();
+    let payload = {
+        let mut enc = Encoder::new();
+        match &report {
+            _ if failed => enc.put_u8(2),
+            Some(r) => {
+                enc.put_u8(1);
+                r.encode(&mut enc);
+            }
+            None => enc.put_u8(0),
         }
-        None => {
-            let mut enc = Encoder::new();
-            enc.put_bool(false);
-            Bytes::from(enc.finish())
-        }
+        Bytes::from(enc.finish())
     };
     let reports = comm.gather(0, payload);
     let mut meta_summary: Option<(usize, BalanceStats)> = None;
+    let mut root_err: Option<WireError> = None;
     if comm.rank() == 0 {
         let mut leaf_reports = Vec::new();
         for b in reports.expect("root gathers") {
             let mut dec = Decoder::new(&b);
-            if dec.get_bool("has report").expect("valid report flag") {
-                leaf_reports.push(LeafReport::decode(&mut dec).expect("valid leaf report"));
+            match dec.get_u8("report status") {
+                Ok(0) => {}
+                Ok(1) => match LeafReport::decode(&mut dec) {
+                    Ok(r) => leaf_reports.push(r),
+                    Err(e) => {
+                        root_err.get_or_insert(e);
+                    }
+                },
+                Ok(tag) => {
+                    root_err.get_or_insert(WireError::BadTag {
+                        what: "leaf report status",
+                        tag: tag as u64,
+                    });
+                }
+                Err(e) => {
+                    root_err.get_or_insert(e);
+                }
             }
         }
-        // Order leaves by index for stable metadata.
-        leaf_reports.sort_by(|a, b| a.file.cmp(&b.file));
-        let balance = balance_from_reports(&leaf_reports, cfg.agg.bytes_per_particle);
-        let files = leaf_reports.len();
-        let meta = MetaTree::build(descs.clone(), leaf_reports);
-        std::fs::write(dir.join(meta_file_name(basename)), meta.encode())?;
-        meta_summary = Some((files, balance));
+        if root_err.is_none() {
+            // Order leaves by index for stable metadata.
+            leaf_reports.sort_by(|a, b| a.file.cmp(&b.file));
+            let balance = balance_from_reports(&leaf_reports, cfg.agg.bytes_per_particle);
+            let files = leaf_reports.len();
+            let meta = MetaTree::build(descs.to_vec(), leaf_reports);
+            match std::fs::write(dir.join(meta_file_name(basename)), meta.encode()) {
+                Ok(()) => meta_summary = Some((files, balance)),
+                Err(e) => {
+                    local_io.get_or_insert(e);
+                }
+            }
+        }
     }
     let el = t0.elapsed();
     bat_obs::observe_duration("write.metadata_ns", el);
@@ -468,11 +625,27 @@ fn write_pipeline(
     bat_obs::counter_add("write.particles", set.len() as u64);
 
     // --- Merge the report across ranks so every rank returns the same. ---
+    // These trailing collectives always run, error or not: every rank is
+    // still in the protocol here, and skipping one would strand peers.
     let bytes_total = comm.allreduce_u64(my_bytes, |a, b| a + b);
     let merged_times = reduce_times(comm, &times);
-    let (files, balance) = broadcast_summary(comm, meta_summary);
+    let summary = broadcast_summary(comm, meta_summary);
 
-    Ok(WriteReport { times: merged_times, balance, files, bytes_total })
+    if let Some(e) = local_io {
+        return Err(e);
+    }
+    if let Some(e) = agg_err.or(root_err) {
+        return Err(wire_io_err("aggregation", Some(e)));
+    }
+    let Some((files, balance)) = summary else {
+        return Err(wire_io_err("aggregation", None));
+    };
+    Ok(WriteReport {
+        times: merged_times,
+        balance,
+        files,
+        bytes_total,
+    })
 }
 
 /// Max-merge phase times across ranks and broadcast the result.
@@ -527,22 +700,33 @@ fn balance_from_reports(reports: &[LeafReport], bpp: u64) -> BalanceStats {
     bat_aggregation::tree::balance_of(&leaves)
 }
 
+/// Broadcast rank 0's `(files, balance)` summary, or its absence when the
+/// metadata step failed; `None` tells every rank to report the abort.
 fn broadcast_summary(
     comm: &Comm,
     summary: Option<(usize, BalanceStats)>,
-) -> (usize, BalanceStats) {
-    let payload = summary.map(|(files, b)| {
+) -> Option<(usize, BalanceStats)> {
+    let payload = (comm.rank() == 0).then(|| {
         let mut enc = Encoder::new();
-        enc.put_u64(files as u64);
-        enc.put_u64(b.num_files as u64);
-        enc.put_f64(b.mean_bytes);
-        enc.put_f64(b.stddev_bytes);
-        enc.put_u64(b.max_bytes);
-        enc.put_u64(b.min_bytes);
+        match summary {
+            Some((files, b)) => {
+                enc.put_u8(1);
+                enc.put_u64(files as u64);
+                enc.put_u64(b.num_files as u64);
+                enc.put_f64(b.mean_bytes);
+                enc.put_f64(b.stddev_bytes);
+                enc.put_u64(b.max_bytes);
+                enc.put_u64(b.min_bytes);
+            }
+            None => enc.put_u8(0),
+        }
         Bytes::from(enc.finish())
     });
     let out = comm.bcast(0, payload);
     let mut dec = Decoder::new(&out);
+    if dec.get_u8("summary status").expect("valid summary") == 0 {
+        return None;
+    }
     let files = dec.get_u64("files").expect("valid summary") as usize;
     let balance = BalanceStats {
         num_files: dec.get_u64("num files").expect("valid") as usize,
@@ -551,5 +735,51 @@ fn broadcast_summary(
         max_bytes: dec.get_u64("max").expect("valid"),
         min_bytes: dec.get_u64("min").expect("valid"),
     };
-    (files, balance)
+    Some((files, balance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_geom::Vec3;
+
+    #[test]
+    fn rank_info_decode_errors_are_propagated_not_panicked() {
+        // A well-formed gather round-trips.
+        let info = RankInfo::new(3, Aabb::unit(), 42);
+        let mut enc = Encoder::new();
+        info.encode(&mut enc);
+        let good = Bytes::from(enc.finish());
+        let infos = decode_infos(std::slice::from_ref(&good)).expect("valid rank info decodes");
+        assert_eq!(infos[0].particles, 42);
+
+        // Any corrupt entry fails the whole decode with Err, never a panic.
+        assert!(decode_infos(&[Bytes::copy_from_slice(b"junk")]).is_err());
+        assert!(decode_infos(&[good.clone(), Bytes::new()]).is_err());
+        let truncated = Bytes::copy_from_slice(&good[..good.len() / 2]);
+        assert!(decode_infos(&[truncated]).is_err());
+    }
+
+    #[test]
+    fn assignment_decode_rejects_garbage() {
+        let duty = LeafDuty {
+            leaf_idx: 7,
+            file: leaf_file_name("ts", 7),
+            bounds: Aabb::new(Vec3::ZERO, Vec3::ONE),
+            sources: vec![(0, 10), (3, 20)],
+        };
+        let a = Assignment {
+            agg_of_me: Some(2),
+            duty: Some(duty),
+        };
+        let bytes = a.encode();
+        let back = Assignment::decode(&bytes).unwrap();
+        assert_eq!(back.agg_of_me, Some(2));
+        let d = back.duty.expect("duty survives");
+        assert_eq!(d.leaf_idx, 7);
+        assert_eq!(d.sources, vec![(0, 10), (3, 20)]);
+
+        assert!(Assignment::decode(b"\xff\xff\xff").is_err());
+        assert!(Assignment::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
 }

@@ -256,7 +256,7 @@ mod tests {
         let b = Aabb::new(Vec3::new(-2.0, 0.0, 10.0), Vec3::new(2.0, 4.0, 10.0));
         let n = b.normalize(Vec3::new(0.0, 1.0, 10.0));
         assert_eq!(n, Vec3::new(0.5, 0.25, 0.5)); // degenerate z -> 0.5
-        // Out-of-bounds points clamp.
+                                                  // Out-of-bounds points clamp.
         let n2 = b.normalize(Vec3::new(100.0, -5.0, 10.0));
         assert_eq!(n2.x, 1.0);
         assert_eq!(n2.y, 0.0);

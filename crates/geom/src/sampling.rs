@@ -73,7 +73,10 @@ mod tests {
         let picks = stratified_indices(n, k, &mut rng);
         assert_eq!(picks.len(), k);
         for (s, &p) in picks.iter().enumerate() {
-            assert!(p >= s * n / k && p < (s + 1) * n / k, "stratum {s} pick {p}");
+            assert!(
+                p >= s * n / k && p < (s + 1) * n / k,
+                "stratum {s} pick {p}"
+            );
         }
         // Ascending and unique follow from the strata being disjoint.
         assert!(picks.windows(2).all(|w| w[0] < w[1]));

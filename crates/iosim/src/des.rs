@@ -37,7 +37,14 @@ impl Server {
     pub fn new(rate: f64, latency: f64) -> Server {
         assert!(rate > 0.0, "server rate must be positive");
         assert!(latency >= 0.0);
-        Server { rate, latency, free_at: 0.0, bytes_served: 0.0, ops_served: 0, busy: 0.0 }
+        Server {
+            rate,
+            latency,
+            free_at: 0.0,
+            bytes_served: 0.0,
+            ops_served: 0,
+            busy: 0.0,
+        }
     }
 
     /// Submit a job of `bytes` arriving at `arrival`; returns its completion
@@ -103,7 +110,9 @@ impl ServerPool {
     /// `n` servers, each of `rate` bytes/s and `latency` s/op.
     pub fn new(n: usize, rate: f64, latency: f64) -> ServerPool {
         assert!(n > 0, "pool needs at least one server");
-        ServerPool { servers: vec![Server::new(rate, latency); n] }
+        ServerPool {
+            servers: vec![Server::new(rate, latency); n],
+        }
     }
 
     /// Number of servers in the pool.
@@ -210,7 +219,10 @@ mod tests {
         for _ in 0..100 {
             t = s.submit(0.0, 0.0);
         }
-        assert!((t - 0.1).abs() < 1e-9, "100 creates at 1ms each ≈ 0.1s, got {t}");
+        assert!(
+            (t - 0.1).abs() < 1e-9,
+            "100 creates at 1ms each ≈ 0.1s, got {t}"
+        );
     }
 
     #[test]

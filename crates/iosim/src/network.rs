@@ -98,10 +98,16 @@ impl NetworkModel {
         }
         bat_obs::gauge_set(&format!("{prefix}.nics.queue_s"), self.nics.drain_time());
         bat_obs::gauge_set(&format!("{prefix}.nics.bytes"), self.nics.bytes_served());
-        bat_obs::gauge_set(&format!("{prefix}.nics.utilization"), self.nics.utilization());
+        bat_obs::gauge_set(
+            &format!("{prefix}.nics.utilization"),
+            self.nics.utilization(),
+        );
         bat_obs::gauge_set(&format!("{prefix}.core.queue_s"), self.core.free_at());
         bat_obs::gauge_set(&format!("{prefix}.core.bytes"), self.core.bytes_served());
-        bat_obs::gauge_set(&format!("{prefix}.core.utilization"), self.core.utilization());
+        bat_obs::gauge_set(
+            &format!("{prefix}.core.utilization"),
+            self.core.utilization(),
+        );
     }
 
     /// Model a small-message collective rooted at rank 0 (gather or scatter

@@ -112,7 +112,10 @@ impl SystemProfile {
                 block_size: 1 << 20,
                 lock_latency: 2.5e-5,
             },
-            compute: ComputeProfile { bat_build_rate: 900e6, pack_rate: 4e9 },
+            compute: ComputeProfile {
+                bat_build_rate: 900e6,
+                pack_rate: 4e9,
+            },
         }
     }
 
@@ -142,7 +145,10 @@ impl SystemProfile {
             },
             // Larger L3 on POWER9 helps the build (§VI-A1 observes the BAT
             // build takes a smaller share of time on Summit).
-            compute: ComputeProfile { bat_build_rate: 1.4e9, pack_rate: 5e9 },
+            compute: ComputeProfile {
+                bat_build_rate: 1.4e9,
+                pack_rate: 5e9,
+            },
         }
     }
 

@@ -52,12 +52,14 @@ impl StorageModel {
     /// Create a file at `arrival`; returns the create completion time.
     /// Creates serialize at the metadata service.
     pub fn create_file(&mut self, arrival: f64) -> f64 {
-        self.mds.submit(arrival, self.profile.create_latency * Self::MDS_RATE)
+        self.mds
+            .submit(arrival, self.profile.create_latency * Self::MDS_RATE)
     }
 
     /// Open/stat an existing file (cheaper than create, same queue).
     pub fn open_file(&mut self, arrival: f64) -> f64 {
-        self.mds.submit(arrival, self.profile.open_latency * Self::MDS_RATE)
+        self.mds
+            .submit(arrival, self.profile.open_latency * Self::MDS_RATE)
     }
 
     /// Write `bytes` to independent file `file_id` starting at `arrival`
@@ -204,10 +206,22 @@ impl StorageModel {
         bat_obs::gauge_set(&format!("{prefix}.mds.ops"), self.mds.ops_served() as f64);
         bat_obs::gauge_set(&format!("{prefix}.lock.queue_s"), self.lock.free_at());
         bat_obs::gauge_set(&format!("{prefix}.lock.ops"), self.lock.ops_served() as f64);
-        bat_obs::gauge_set(&format!("{prefix}.targets.queue_s"), self.targets.drain_time());
-        bat_obs::gauge_set(&format!("{prefix}.targets.bytes"), self.targets.bytes_served());
-        bat_obs::gauge_set(&format!("{prefix}.targets.ops"), self.targets.ops_served() as f64);
-        bat_obs::gauge_set(&format!("{prefix}.targets.utilization"), self.targets.utilization());
+        bat_obs::gauge_set(
+            &format!("{prefix}.targets.queue_s"),
+            self.targets.drain_time(),
+        );
+        bat_obs::gauge_set(
+            &format!("{prefix}.targets.bytes"),
+            self.targets.bytes_served(),
+        );
+        bat_obs::gauge_set(
+            &format!("{prefix}.targets.ops"),
+            self.targets.ops_served() as f64,
+        );
+        bat_obs::gauge_set(
+            &format!("{prefix}.targets.utilization"),
+            self.targets.utilization(),
+        );
     }
 
     /// The profile this model was built from.
@@ -245,7 +259,9 @@ mod tests {
         let mut fs = lustre();
         // 4 MB file with 8 MB stripes touches one OST.
         fs.write_file(0, 0.0, 4 << 20);
-        let touched = (0..66).filter(|&i| fs.targets.server(i).free_at() > 0.0).count();
+        let touched = (0..66)
+            .filter(|&i| fs.targets.server(i).free_at() > 0.0)
+            .count();
         assert_eq!(touched, 1);
     }
 
@@ -254,7 +270,9 @@ mod tests {
         let mut fs = lustre();
         // 256 MB with 8 MB stripes and stripe_count 32 touches 32 OSTs.
         fs.write_file(0, 0.0, 256 << 20);
-        let touched = (0..66).filter(|&i| fs.targets.server(i).free_at() > 0.0).count();
+        let touched = (0..66)
+            .filter(|&i| fs.targets.server(i).free_at() > 0.0)
+            .count();
         assert_eq!(touched, 32);
     }
 
@@ -270,7 +288,10 @@ mod tests {
         }
         let bw = total as f64 / done;
         let peak = fs.peak_bw();
-        assert!(bw > 0.85 * peak && bw <= peak * 1.01, "bw {bw:.3e} vs peak {peak:.3e}");
+        assert!(
+            bw > 0.85 * peak && bw <= peak * 1.01,
+            "bw {bw:.3e} vs peak {peak:.3e}"
+        );
     }
 
     #[test]
@@ -289,7 +310,9 @@ mod tests {
     fn gpfs_spreads_blocks_over_all_servers() {
         let mut fs = gpfs();
         fs.write_file(0, 0.0, (16 * 154) << 20); // 154 blocks of 16 MB
-        let touched = (0..154).filter(|&i| fs.targets.server(i).free_at() > 0.0).count();
+        let touched = (0..154)
+            .filter(|&i| fs.targets.server(i).free_at() > 0.0)
+            .count();
         assert_eq!(touched, 154);
     }
 

@@ -32,7 +32,10 @@ impl AttributeType {
         match tag {
             0 => Ok(AttributeType::F32),
             1 => Ok(AttributeType::F64),
-            t => Err(WireError::BadTag { what: "attribute type", tag: t as u64 }),
+            t => Err(WireError::BadTag {
+                what: "attribute type",
+                tag: t as u64,
+            }),
         }
     }
 }
@@ -49,7 +52,10 @@ pub struct AttributeDesc {
 impl AttributeDesc {
     /// Construct from name and element type.
     pub fn new(name: impl Into<String>, dtype: AttributeType) -> AttributeDesc {
-        AttributeDesc { name: name.into(), dtype }
+        AttributeDesc {
+            name: name.into(),
+            dtype,
+        }
     }
 
     /// Convenience: an `f64` attribute (the common case in the paper).
@@ -211,6 +217,55 @@ impl AttributeArray {
             AttributeArray::F32(v) => enc.put_f32_slice(v),
             AttributeArray::F64(v) => enc.put_f64_slice(v),
         }
+    }
+
+    /// Encode the elements as a bare little-endian column, no length prefix
+    /// (the columnar wire/file form; the element count travels out of band).
+    pub fn encode_raw(&self, enc: &mut Encoder) {
+        match self {
+            AttributeArray::F32(v) => {
+                for &x in v {
+                    enc.put_f32(x);
+                }
+            }
+            AttributeArray::F64(v) => {
+                for &x in v {
+                    enc.put_f64(x);
+                }
+            }
+        }
+    }
+
+    /// Bulk-append elements from a bare little-endian column produced by
+    /// [`AttributeArray::encode_raw`]. `raw` must be a whole number of
+    /// elements of this array's type.
+    pub fn extend_from_raw(&mut self, raw: &[u8], what: &'static str) -> WireResult<usize> {
+        let esize = self.dtype().size();
+        if !raw.len().is_multiple_of(esize) {
+            return Err(WireError::BadLength {
+                what,
+                len: raw.len() as u64,
+                remaining: raw.len() % esize,
+            });
+        }
+        let n = raw.len() / esize;
+        match self {
+            AttributeArray::F32(v) => {
+                v.reserve(n);
+                v.extend(
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+            }
+            AttributeArray::F64(v) => {
+                v.reserve(n);
+                v.extend(
+                    raw.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("len 8"))),
+                );
+            }
+        }
+        Ok(n)
     }
 
     /// Decode raw element data of a known type.

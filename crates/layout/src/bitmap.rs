@@ -94,7 +94,11 @@ impl Bitmap32 {
         }
         if hi <= lo {
             // Degenerate local range: all values are `lo`.
-            return if qlo <= lo && lo <= qhi { Bitmap32(1) } else { Bitmap32::EMPTY };
+            return if qlo <= lo && lo <= qhi {
+                Bitmap32(1)
+            } else {
+                Bitmap32::EMPTY
+            };
         }
         if qhi < lo || qlo > hi {
             return Bitmap32::EMPTY;
@@ -189,8 +193,14 @@ mod tests {
 
     #[test]
     fn query_mask_disjoint_is_empty() {
-        assert_eq!(Bitmap32::query_mask(100.0, 200.0, 0.0, 32.0), Bitmap32::EMPTY);
-        assert_eq!(Bitmap32::query_mask(-10.0, -1.0, 0.0, 32.0), Bitmap32::EMPTY);
+        assert_eq!(
+            Bitmap32::query_mask(100.0, 200.0, 0.0, 32.0),
+            Bitmap32::EMPTY
+        );
+        assert_eq!(
+            Bitmap32::query_mask(-10.0, -1.0, 0.0, 32.0),
+            Bitmap32::EMPTY
+        );
         assert_eq!(Bitmap32::query_mask(5.0, 2.0, 0.0, 32.0), Bitmap32::EMPTY);
     }
 
@@ -237,7 +247,10 @@ mod tests {
 
     #[test]
     fn remap_empty_stays_empty() {
-        assert_eq!(Bitmap32::EMPTY.remap((0.0, 1.0), (0.0, 2.0)), Bitmap32::EMPTY);
+        assert_eq!(
+            Bitmap32::EMPTY.remap((0.0, 1.0), (0.0, 2.0)),
+            Bitmap32::EMPTY
+        );
     }
 
     #[test]

@@ -32,14 +32,20 @@ pub struct BatConfig {
 
 impl Default for BatConfig {
     fn default() -> BatConfig {
-        BatConfig { subprefix_bits: 12, treelet: TreeletConfig::default() }
+        BatConfig {
+            subprefix_bits: 12,
+            treelet: TreeletConfig::default(),
+        }
     }
 }
 
 impl BatConfig {
     /// Paper parameters but with automatic subprefix selection.
     pub fn auto() -> BatConfig {
-        BatConfig { subprefix_bits: 0, ..BatConfig::default() }
+        BatConfig {
+            subprefix_bits: 0,
+            ..BatConfig::default()
+        }
     }
 
     /// Resolve an automatic subprefix length for `n` particles.
@@ -103,6 +109,23 @@ impl Bat {
         let bytes = bat_obs::time("bat.compact_ns", || crate::format::write_bat(self));
         bat_obs::counter_add("bat.compact_bytes", bytes.len() as u64);
         bytes
+    }
+
+    /// A precomputed streaming writer for this BAT. Use when the compacted
+    /// form goes straight to a file: [`crate::format::BatWriter::write_to`]
+    /// emits the same bytes as [`Bat::to_bytes`] without ever materializing
+    /// the treelet payload in memory.
+    pub fn writer(&self) -> crate::format::BatWriter<'_> {
+        crate::format::BatWriter::new(self)
+    }
+
+    /// Stream the compacted form to `w` (byte-identical to
+    /// [`Bat::to_bytes`]). Wrap file sinks in a `BufWriter`.
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<u64> {
+        let writer = self.writer();
+        bat_obs::time("bat.compact_ns", || writer.write_to(w))?;
+        bat_obs::counter_add("bat.compact_bytes", writer.file_size() as u64);
+        Ok(writer.file_size() as u64)
     }
 
     /// Compact and open for querying in one step — the in-transit analysis
@@ -262,10 +285,8 @@ mod tests {
 
     pub(crate) fn random_set(n: usize, seed: u64) -> (ParticleSet, Aabb) {
         let mut rng = Xoshiro256::new(seed);
-        let mut set = ParticleSet::new(vec![
-            AttributeDesc::f64("mass"),
-            AttributeDesc::f32("temp"),
-        ]);
+        let mut set =
+            ParticleSet::new(vec![AttributeDesc::f64("mass"), AttributeDesc::f32("temp")]);
         for _ in 0..n {
             let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
             set.push(p, &[p.x as f64 * 10.0, p.y as f64 * 100.0]);
@@ -288,7 +309,10 @@ mod tests {
         let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
         assert_eq!(bat.num_particles(), 5000);
         let after: f64 = (0..5000).map(|i| bat.particles.value(0, i)).sum();
-        assert!((before - after).abs() < 1e-6, "no particle lost or duplicated");
+        assert!(
+            (before - after).abs() < 1e-6,
+            "no particle lost or duplicated"
+        );
         bat.particles.validate().unwrap();
     }
 

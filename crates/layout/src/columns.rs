@@ -1,0 +1,333 @@
+//! Zero-copy columnar particle views for the transfer plane.
+//!
+//! The shuffle phase used to move particles as fully re-encoded
+//! [`ParticleSet`] payloads: the sender serialized every length-prefixed
+//! array into a fresh buffer, the receiver decoded it into a temporary set,
+//! and the aggregator copied that temporary into its accumulation set —
+//! three full copies of the payload per particle. A [`ColumnarParticles`]
+//! frame removes the middle copy: the sender lays the columns out bare
+//! (schema header, then raw little-endian positions, then one raw column
+//! per attribute) and the receiver *slices* each column out of the arriving
+//! [`Block`] without touching the data. Only the final gather into the
+//! aggregator's owned set copies bytes, and that copy is a bulk
+//! `chunks_exact` append instead of a per-element decode loop.
+//!
+//! Copy accounting: every byte the data plane physically copies is counted
+//! on the `shuffle.bytes_copied` counter — once when a frame is built
+//! ([`ColumnarParticles::encode_frame`]) and once when a view is gathered
+//! into an owned set ([`ParticleSet::extend_from_columns`]). The seed path
+//! paid a third copy (the decode into a temporary set) that the columnar
+//! path never performs.
+
+use crate::attr::AttributeDesc;
+use crate::particles::ParticleSet;
+use bat_geom::Vec3;
+use bat_wire::{Block, Decoder, Encoder, WireError, WireResult};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Magic prefix of a columnar particle frame ("BATC" little-endian).
+pub const FRAME_MAGIC: u32 = 0x4241_5443;
+
+/// Bytes per raw position record (3 × f32).
+const POSITION_BYTES: usize = 12;
+
+/// A borrowed columnar view of particles: the schema plus one [`Block`]
+/// per column, all sharing the backing buffer of the message (or file)
+/// they were parsed from. Cloning and slicing never copy particle data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarParticles {
+    descs: Arc<[AttributeDesc]>,
+    len: usize,
+    positions: Block,
+    attrs: Vec<Block>,
+}
+
+impl ColumnarParticles {
+    /// Serialize `set` as a columnar wire frame: schema header, raw
+    /// little-endian positions, then each attribute as a bare column.
+    ///
+    /// This is the *one* sender-side copy of the payload; it is charged to
+    /// `shuffle.bytes_copied`.
+    pub fn encode_frame(set: &ParticleSet) -> Bytes {
+        let mut enc = Encoder::new();
+        enc.put_u32(FRAME_MAGIC);
+        enc.put_u64(set.num_attrs() as u64);
+        for d in set.descs() {
+            d.encode(&mut enc);
+        }
+        enc.put_u64(set.len() as u64);
+        for p in &set.positions {
+            enc.put_f32(p.x);
+            enc.put_f32(p.y);
+            enc.put_f32(p.z);
+        }
+        for a in 0..set.num_attrs() {
+            set.attr(a).encode_raw(&mut enc);
+        }
+        bat_obs::counter_add("shuffle.bytes_copied", set.raw_bytes() as u64);
+        Bytes::from(enc.finish())
+    }
+
+    /// Parse a frame produced by [`ColumnarParticles::encode_frame`],
+    /// slicing every column zero-copy out of `block`.
+    ///
+    /// Only the schema header is materialized; positions and attribute
+    /// columns stay inside the frame's backing buffer. All column extents
+    /// are bounds-checked here, so later bulk appends cannot run past the
+    /// buffer.
+    pub fn parse_frame(block: &Block) -> WireResult<ColumnarParticles> {
+        let mut dec = Decoder::new(block.as_slice());
+        dec.expect_magic(FRAME_MAGIC)?;
+        let na = dec.get_usize("columnar attr count")?;
+        let mut descs = Vec::with_capacity(na);
+        for _ in 0..na {
+            descs.push(AttributeDesc::decode(&mut dec)?);
+        }
+        let len = dec.get_usize("columnar particle count")?;
+        let attr_bytes = descs.iter().try_fold(0usize, |acc, d| {
+            d.dtype
+                .size()
+                .checked_mul(len)
+                .and_then(|b| acc.checked_add(b))
+        });
+        let need = attr_bytes
+            .and_then(|ab| {
+                len.checked_mul(POSITION_BYTES)
+                    .and_then(|p| p.checked_add(ab))
+            })
+            .ok_or(WireError::BadLength {
+                what: "columnar frame size",
+                len: len as u64,
+                remaining: dec.remaining(),
+            })?;
+        if dec.remaining() != need {
+            return Err(WireError::BadLength {
+                what: "columnar frame payload",
+                len: need as u64,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut off = dec.position();
+        let positions = block.slice(off..off + len * POSITION_BYTES);
+        off += len * POSITION_BYTES;
+        let mut attrs = Vec::with_capacity(na);
+        for d in &descs {
+            let nbytes = d.dtype.size() * len;
+            attrs.push(block.slice(off..off + nbytes));
+            off += nbytes;
+        }
+        Ok(ColumnarParticles {
+            descs: descs.into(),
+            len,
+            positions,
+            attrs,
+        })
+    }
+
+    /// Number of particles in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The attribute schema.
+    pub fn descs(&self) -> &[AttributeDesc] {
+        &self.descs
+    }
+
+    /// Shared handle to the schema.
+    pub fn descs_arc(&self) -> Arc<[AttributeDesc]> {
+        self.descs.clone()
+    }
+
+    /// Raw payload bytes the view covers (positions + attribute columns).
+    pub fn raw_bytes(&self) -> usize {
+        self.positions.len() + self.attrs.iter().map(Block::len).sum::<usize>()
+    }
+
+    /// The raw position column (3 × f32 per particle, little-endian).
+    pub fn positions_raw(&self) -> &[u8] {
+        &self.positions
+    }
+
+    /// The raw column of attribute `a`.
+    pub fn attr_raw(&self, a: usize) -> &[u8] {
+        &self.attrs[a]
+    }
+
+    /// Zero-copy subrange `[start, start+len)` of the view: every column
+    /// block is narrowed in place, sharing the same backing buffer.
+    pub fn slice(&self, start: usize, len: usize) -> ColumnarParticles {
+        assert!(start + len <= self.len, "columnar slice out of bounds");
+        let positions = self
+            .positions
+            .slice(start * POSITION_BYTES..(start + len) * POSITION_BYTES);
+        let attrs = self
+            .descs
+            .iter()
+            .zip(&self.attrs)
+            .map(|(d, b)| {
+                let es = d.dtype.size();
+                b.slice(start * es..(start + len) * es)
+            })
+            .collect();
+        ColumnarParticles {
+            descs: self.descs.clone(),
+            len,
+            positions,
+            attrs,
+        }
+    }
+
+    /// Materialize the view as an owned [`ParticleSet`] (one bulk copy).
+    pub fn to_set(&self) -> WireResult<ParticleSet> {
+        ColumnarParticles::concat_owned(self.descs.clone(), std::slice::from_ref(self))
+    }
+
+    /// Gather many views into one owned set, allocating each column exactly
+    /// once at the total size. This is the receiver-side copy of the
+    /// shuffle; each view's bytes are charged to `shuffle.bytes_copied` by
+    /// [`ParticleSet::extend_from_columns`].
+    pub fn concat_owned(
+        descs: Arc<[AttributeDesc]>,
+        views: &[ColumnarParticles],
+    ) -> WireResult<ParticleSet> {
+        let total: usize = views.iter().map(ColumnarParticles::len).sum();
+        let mut set = ParticleSet::with_capacity(descs, total);
+        for v in views {
+            set.extend_from_columns(v)?;
+        }
+        Ok(set)
+    }
+}
+
+/// Bulk-append raw little-endian position records onto `out`. Returns the
+/// number of positions appended; errors when `raw` is not a whole number
+/// of 12-byte records.
+pub(crate) fn extend_positions_raw(raw: &[u8], out: &mut Vec<Vec3>) -> WireResult<usize> {
+    if !raw.len().is_multiple_of(POSITION_BYTES) {
+        return Err(WireError::BadLength {
+            what: "columnar position column",
+            len: raw.len() as u64,
+            remaining: raw.len() % POSITION_BYTES,
+        });
+    }
+    let n = raw.len() / POSITION_BYTES;
+    out.reserve(n);
+    out.extend(raw.chunks_exact(POSITION_BYTES).map(|c| {
+        Vec3::new(
+            f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+            f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+        )
+    }));
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributeDesc;
+
+    fn sample(n: usize) -> ParticleSet {
+        let mut s = ParticleSet::new(vec![AttributeDesc::f64("mass"), AttributeDesc::f32("temp")]);
+        for i in 0..n {
+            let x = i as f32 * 0.25;
+            s.push(
+                Vec3::new(x, -x, x * 2.0),
+                &[i as f64 * 10.0, i as f64 + 0.5],
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn frame_roundtrip_equals_owned_path() {
+        let set = sample(37);
+        let frame = Block::from(ColumnarParticles::encode_frame(&set));
+        let view = ColumnarParticles::parse_frame(&frame).unwrap();
+        assert_eq!(view.len(), 37);
+        assert_eq!(view.descs(), set.descs());
+        assert_eq!(view.raw_bytes(), set.raw_bytes());
+        let out = view.to_set().unwrap();
+        assert_eq!(out, set);
+    }
+
+    #[test]
+    fn columns_are_views_into_the_frame_not_copies() {
+        let set = sample(16);
+        let frame = Block::from(ColumnarParticles::encode_frame(&set));
+        let view = ColumnarParticles::parse_frame(&frame).unwrap();
+        // Each column's backing offset sits inside the frame, past the header.
+        assert!(view.positions.backing_offset() > 0);
+        assert_eq!(
+            view.attrs[0].backing_offset(),
+            view.positions.backing_offset() + 16 * POSITION_BYTES
+        );
+    }
+
+    #[test]
+    fn slice_selects_rows() {
+        let set = sample(20);
+        let frame = Block::from(ColumnarParticles::encode_frame(&set));
+        let view = ColumnarParticles::parse_frame(&frame).unwrap();
+        let sub = view.slice(5, 10);
+        assert_eq!(sub.to_set().unwrap(), set.slice(5, 10));
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let set = ParticleSet::new(vec![AttributeDesc::f32("x")]);
+        let frame = Block::from(ColumnarParticles::encode_frame(&set));
+        let view = ColumnarParticles::parse_frame(&frame).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.to_set().unwrap(), set);
+    }
+
+    #[test]
+    fn concat_many_views() {
+        let a = sample(7);
+        let b = sample(11);
+        let fa = Block::from(ColumnarParticles::encode_frame(&a));
+        let fb = Block::from(ColumnarParticles::encode_frame(&b));
+        let va = ColumnarParticles::parse_frame(&fa).unwrap();
+        let vb = ColumnarParticles::parse_frame(&fb).unwrap();
+        let merged = ColumnarParticles::concat_owned(a.descs_arc(), &[va, vb]).unwrap();
+        let mut expect = a.clone();
+        expect.append(&b);
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_rejected() {
+        let set = sample(9);
+        let frame = ColumnarParticles::encode_frame(&set);
+        // Wrong magic.
+        let mut bad = frame.to_vec();
+        bad[0] ^= 0xff;
+        assert!(ColumnarParticles::parse_frame(&Block::from_vec(bad)).is_err());
+        // Truncations at every point must error, never panic.
+        for cut in [1, 4, 20, frame.len() - 1] {
+            let blk = Block::from_vec(frame[..cut].to_vec());
+            assert!(ColumnarParticles::parse_frame(&blk).is_err());
+        }
+        // Trailing garbage is also rejected (frames are exact).
+        let mut long = frame.to_vec();
+        long.push(0);
+        assert!(ColumnarParticles::parse_frame(&Block::from_vec(long)).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_on_gather_rejected() {
+        let set = sample(3);
+        let frame = Block::from(ColumnarParticles::encode_frame(&set));
+        let view = ColumnarParticles::parse_frame(&frame).unwrap();
+        let mut other = ParticleSet::new(vec![AttributeDesc::f64("other")]);
+        assert!(other.extend_from_columns(&view).is_err());
+    }
+}

@@ -109,7 +109,11 @@ impl BitmapDictionary {
             .enumerate()
             .map(|(i, &v)| (v, i as u16))
             .collect();
-        Ok(BitmapDictionary { entries, index, overflowed: 0 })
+        Ok(BitmapDictionary {
+            entries,
+            index,
+            overflowed: 0,
+        })
     }
 }
 

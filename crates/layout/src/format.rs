@@ -21,12 +21,13 @@
 //! lazily through memory mapping or in-memory slices, with node records
 //! decoded in place during traversal (no treelet-wide deserialization).
 
-use crate::attr::AttributeDesc;
+use crate::attr::{AttributeArray, AttributeDesc};
 use crate::build::Bat;
 use crate::dict::BitmapDictionary;
 use crate::radix::NodeRef;
 use bat_geom::{Aabb, Vec3};
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use std::io::{self, Write};
 
 /// File magic: "BATF".
 pub const MAGIC: u32 = 0x4241_5446;
@@ -83,6 +84,40 @@ pub struct ShallowInnerRec {
     pub bitmap_ids: Vec<u16>,
 }
 
+impl ShallowInnerRec {
+    /// Record size for `na` attributes.
+    pub const fn byte_size(na: usize) -> usize {
+        32 + 2 * na
+    }
+
+    /// Serialize the record (writer and reader share this definition).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.left.pack());
+        enc.put_u32(self.right.pack());
+        put_aabb(enc, &self.bounds);
+        for &id in &self.bitmap_ids {
+            enc.put_u16(id);
+        }
+    }
+
+    /// Inverse of [`ShallowInnerRec::encode`] for `na` attributes.
+    pub fn decode(dec: &mut Decoder, na: usize) -> WireResult<ShallowInnerRec> {
+        let left = NodeRef::unpack(dec.get_u32("inner left")?);
+        let right = NodeRef::unpack(dec.get_u32("inner right")?);
+        let bounds = get_aabb(dec)?;
+        let mut bitmap_ids = Vec::with_capacity(na);
+        for _ in 0..na {
+            bitmap_ids.push(dec.get_u16("inner bitmap id")?);
+        }
+        Ok(ShallowInnerRec {
+            left,
+            right,
+            bounds,
+            bitmap_ids,
+        })
+    }
+}
+
 /// A shallow leaf (treelet reference) as stored in the file.
 #[derive(Debug, Clone, Copy)]
 pub struct LeafRec {
@@ -99,6 +134,43 @@ pub struct LeafRec {
     pub max_depth: u32,
 }
 
+impl LeafRec {
+    /// Fixed record size.
+    pub const BYTES: usize = 28;
+
+    /// Serialize the record (writer and reader share this definition).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.offset);
+        enc.put_u64(self.first_particle);
+        enc.put_u32(self.num_particles);
+        enc.put_u32(self.num_nodes);
+        enc.put_u32(self.max_depth);
+    }
+
+    /// Inverse of [`LeafRec::encode`]; `file_len` bounds the offset check.
+    pub fn decode(dec: &mut Decoder, file_len: usize) -> WireResult<LeafRec> {
+        let offset = dec.get_u64("treelet offset")?;
+        let first_particle = dec.get_u64("first particle")?;
+        let num_particles = dec.get_u32("treelet particles")?;
+        let num_nodes = dec.get_u32("treelet nodes")?;
+        let max_depth = dec.get_u32("treelet depth")?;
+        if offset as usize >= file_len.max(1) {
+            return Err(WireError::BadLength {
+                what: "treelet offset",
+                len: offset,
+                remaining: file_len,
+            });
+        }
+        Ok(LeafRec {
+            offset,
+            first_particle,
+            num_particles,
+            num_nodes,
+            max_depth,
+        })
+    }
+}
+
 fn put_aabb(enc: &mut Encoder, b: &Aabb) {
     enc.put_f32(b.min.x);
     enc.put_f32(b.min.y);
@@ -110,131 +182,261 @@ fn put_aabb(enc: &mut Encoder, b: &Aabb) {
 
 fn get_aabb(dec: &mut Decoder) -> WireResult<Aabb> {
     Ok(Aabb::new(
-        Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
-        Vec3::new(dec.get_f32("aabb")?, dec.get_f32("aabb")?, dec.get_f32("aabb")?),
+        Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
+        Vec3::new(
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+            dec.get_f32("aabb")?,
+        ),
     ))
 }
 
-/// Serialize a [`Bat`] into the compacted on-disk form.
+/// Streaming serializer for the compacted on-disk form.
+///
+/// The seed implementation encoded the whole file into one growing
+/// `Vec<u8>`, backpatching `head_end` and every treelet offset once the
+/// data behind them had been written. But nothing in the format actually
+/// needs backpatching: the head's byte length is exactly determined by the
+/// schema and node counts, and every treelet's offset follows from
+/// [`TreeletLayout::compute`] plus page alignment. `BatWriter` precomputes
+/// the complete section table up front and then emits the file in a single
+/// forward pass over any [`io::Write`] — head first, then each treelet
+/// block at its 4 KiB boundary — so a file of any size is written with only
+/// the head ever materialized in memory.
+///
+/// The emitted bytes are identical to the seed encoder's output
+/// (guarded by the golden-bytes tests in `tests/golden_format.rs`).
+///
+/// Copy accounting: bytes staged in memory before reaching the sink are
+/// charged to `compact.bytes_copied` — the head here, plus the whole file
+/// when the caller asks for an in-memory `Vec` via [`write_bat`].
+pub struct BatWriter<'a> {
+    bat: &'a Bat,
+    dict: BitmapDictionary,
+    /// `shallow_ids[attr][shallow_node]` — dictionary ID per inner node.
+    shallow_ids: Vec<Vec<u16>>,
+    /// `treelet_ids[treelet][node][attr]`.
+    treelet_ids: Vec<Vec<Vec<u16>>>,
+    head_end: usize,
+    treelet_offsets: Vec<usize>,
+    file_size: usize,
+}
+
+impl<'a> BatWriter<'a> {
+    /// Precompute the dictionary and the full section table for `bat`.
+    pub fn new(bat: &'a Bat) -> BatWriter<'a> {
+        let na = bat.particles.num_attrs();
+        let mut dict = BitmapDictionary::new();
+
+        // Intern every node bitmap: shallow inners first, then treelet
+        // nodes. The order is part of the byte format — IDs are assigned
+        // in interning order.
+        let shallow_ids: Vec<Vec<u16>> = (0..na)
+            .map(|a| {
+                let bms = bat.shallow_bitmaps(a);
+                bms.iter().map(|&b| dict.intern(b)).collect()
+            })
+            .collect();
+        let treelet_ids: Vec<Vec<Vec<u16>>> = bat
+            .treelets
+            .iter()
+            .map(|t| {
+                t.bitmaps
+                    .iter()
+                    .map(|per_node| per_node.iter().map(|&b| dict.intern(b)).collect())
+                    .collect()
+            })
+            .collect();
+
+        // Head size: fixed header + attribute table + inner records + leaf
+        // table + dictionary. Every term is exact, so nothing needs to be
+        // patched after the fact.
+        let mut head_end = HEADER_BYTES;
+        for d in bat.particles.descs() {
+            head_end += attr_entry_bytes(d);
+        }
+        head_end += bat.shallow.nodes.len() * ShallowInnerRec::byte_size(na);
+        head_end += bat.treelets.len() * LeafRec::BYTES;
+        head_end += dict.byte_size();
+
+        // Treelet placement: each block starts at the next page boundary
+        // after the previous section and spans its layout size exactly.
+        let descs = bat.particles.descs();
+        let mut off = head_end;
+        let mut treelet_offsets = Vec::with_capacity(bat.treelets.len());
+        for t in &bat.treelets {
+            off = bat_wire::page_align(off);
+            treelet_offsets.push(off);
+            off += TreeletLayout::compute(t.nodes.len(), t.num_particles as usize, descs).size;
+        }
+
+        BatWriter {
+            bat,
+            dict,
+            shallow_ids,
+            treelet_ids,
+            head_end,
+            treelet_offsets,
+            file_size: off,
+        }
+    }
+
+    /// Byte length of the head (header through dictionary).
+    pub fn head_end(&self) -> u64 {
+        self.head_end as u64
+    }
+
+    /// Exact byte length of the finished file.
+    pub fn file_size(&self) -> usize {
+        self.file_size
+    }
+
+    /// Absolute byte offset of each treelet block.
+    pub fn treelet_offsets(&self) -> &[usize] {
+        &self.treelet_offsets
+    }
+
+    /// Emit the complete file to `w` in one forward pass. Wrap file sinks
+    /// in a `BufWriter`; treelet data is streamed field by field.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let bat = self.bat;
+        let na = bat.particles.num_attrs();
+
+        // --- Head (the only section staged in memory) ---
+        let mut enc = Encoder::with_capacity(self.head_end);
+        enc.put_u32(MAGIC);
+        enc.put_u32(VERSION);
+        enc.put_u64(self.head_end as u64);
+        enc.put_u64(bat.num_particles() as u64);
+        put_aabb(&mut enc, &bat.domain);
+        enc.put_u32(bat.config.subprefix_bits);
+        enc.put_u32(bat.config.treelet.lod_per_inner);
+        enc.put_u32(bat.config.treelet.max_leaf);
+        enc.put_u32(na as u32);
+        enc.put_u32(bat.shallow.nodes.len() as u32);
+        enc.put_u32(bat.treelets.len() as u32);
+        enc.put_u32(bat.max_treelet_depth);
+
+        for (d, &(lo, hi)) in bat.particles.descs().iter().zip(&bat.attr_ranges) {
+            d.encode(&mut enc);
+            enc.put_f64(lo);
+            enc.put_f64(hi);
+        }
+
+        for (ni, n) in bat.shallow.nodes.iter().enumerate() {
+            let rec = ShallowInnerRec {
+                left: n.left,
+                right: n.right,
+                bounds: n.bounds,
+                bitmap_ids: self.shallow_ids.iter().map(|ids| ids[ni]).collect(),
+            };
+            rec.encode(&mut enc);
+        }
+
+        for (t, &offset) in bat.treelets.iter().zip(&self.treelet_offsets) {
+            let rec = LeafRec {
+                offset: offset as u64,
+                first_particle: t.first_particle,
+                num_particles: t.num_particles,
+                num_nodes: t.nodes.len() as u32,
+                max_depth: t.max_depth,
+            };
+            rec.encode(&mut enc);
+        }
+
+        self.dict.encode(&mut enc);
+        debug_assert_eq!(enc.len(), self.head_end, "head layout mismatch");
+        bat_obs::counter_add("compact.bytes_copied", enc.len() as u64);
+        w.write_all(&enc.finish())?;
+
+        // --- Treelets, streamed at their page boundaries ---
+        const ZEROS: [u8; TREELET_ALIGN] = [0; TREELET_ALIGN];
+        let mut pos = self.head_end;
+        for (ti, t) in bat.treelets.iter().enumerate() {
+            let target = self.treelet_offsets[ti];
+            debug_assert!(target >= pos && target.is_multiple_of(TREELET_ALIGN));
+            w.write_all(&ZEROS[..target - pos])?;
+            pos = target;
+
+            // Node records.
+            for (ni, node) in t.nodes.iter().enumerate() {
+                for b in [node.bounds.min, node.bounds.max] {
+                    w.write_all(&b.x.to_le_bytes())?;
+                    w.write_all(&b.y.to_le_bytes())?;
+                    w.write_all(&b.z.to_le_bytes())?;
+                }
+                w.write_all(&node.start.to_le_bytes())?;
+                w.write_all(&node.count.to_le_bytes())?;
+                w.write_all(&node.left.to_le_bytes())?;
+                w.write_all(&node.right.to_le_bytes())?;
+                w.write_all(&node.depth.to_le_bytes())?;
+                for &id in self.treelet_ids[ti][ni].iter().take(na) {
+                    w.write_all(&id.to_le_bytes())?;
+                }
+            }
+
+            // Particle data: positions then attribute columns, raw (counts
+            // are known from the leaf record). Columns are streamed straight
+            // from the build arrays — the seed path copied each range into a
+            // temporary array first.
+            let s = t.first_particle as usize;
+            let n = t.num_particles as usize;
+            for p in &bat.particles.positions[s..s + n] {
+                w.write_all(&p.x.to_le_bytes())?;
+                w.write_all(&p.y.to_le_bytes())?;
+                w.write_all(&p.z.to_le_bytes())?;
+            }
+            for a in 0..na {
+                match bat.particles.attr(a) {
+                    AttributeArray::F32(v) => {
+                        for x in &v[s..s + n] {
+                            w.write_all(&x.to_le_bytes())?;
+                        }
+                    }
+                    AttributeArray::F64(v) => {
+                        for x in &v[s..s + n] {
+                            w.write_all(&x.to_le_bytes())?;
+                        }
+                    }
+                }
+            }
+            pos += TreeletLayout::compute(t.nodes.len(), n, bat.particles.descs()).size;
+        }
+        debug_assert_eq!(pos, self.file_size, "file size mismatch");
+        Ok(())
+    }
+}
+
+/// Fixed header length (magic through `max_treelet_depth`).
+pub const HEADER_BYTES: usize = 76;
+
+/// Byte length of one attribute-table entry.
+fn attr_entry_bytes(d: &AttributeDesc) -> usize {
+    // length-prefixed name + dtype tag + (lo, hi) range
+    8 + d.name.len() + 1 + 16
+}
+
+/// Serialize a [`Bat`] into the compacted on-disk form as one in-memory
+/// buffer. Thin wrapper over [`BatWriter`]; prefer [`BatWriter::write_to`]
+/// when the destination is a file, which stages only the head in memory.
 pub fn write_bat(bat: &Bat) -> Vec<u8> {
-    let na = bat.particles.num_attrs();
-    let mut dict = BitmapDictionary::new();
-
-    // Intern every node bitmap: shallow inners first, then treelet nodes.
-    let shallow_ids: Vec<Vec<u16>> = (0..na)
-        .map(|a| {
-            let bms = bat.shallow_bitmaps(a);
-            bms.iter().map(|&b| dict.intern(b)).collect()
-        })
-        .collect();
-    // treelet_ids[t][node][attr]
-    let treelet_ids: Vec<Vec<Vec<u16>>> = bat
-        .treelets
-        .iter()
-        .map(|t| {
-            t.bitmaps
-                .iter()
-                .map(|per_node| per_node.iter().map(|&b| dict.intern(b)).collect())
-                .collect()
-        })
-        .collect();
-
-    let mut enc = Encoder::with_capacity(
-        bat.particles.raw_bytes() + 4096 * (bat.treelets.len() + 2),
+    let writer = BatWriter::new(bat);
+    let mut out = Vec::with_capacity(writer.file_size());
+    writer
+        .write_to(&mut out)
+        .expect("writing to a Vec cannot fail");
+    // Materializing the full file in memory is exactly the copy the
+    // streaming path avoids; charge the body on top of the head that
+    // `write_to` already counted.
+    bat_obs::counter_add(
+        "compact.bytes_copied",
+        out.len().saturating_sub(writer.head_end) as u64,
     );
-
-    // --- Header ---
-    enc.put_u32(MAGIC);
-    enc.put_u32(VERSION);
-    let head_end_slot = enc.len();
-    enc.put_u64(0); // head_end, patched once the dictionary is written
-    enc.put_u64(bat.num_particles() as u64);
-    put_aabb(&mut enc, &bat.domain);
-    enc.put_u32(bat.config.subprefix_bits);
-    enc.put_u32(bat.config.treelet.lod_per_inner);
-    enc.put_u32(bat.config.treelet.max_leaf);
-    enc.put_u32(na as u32);
-    enc.put_u32(bat.shallow.nodes.len() as u32);
-    enc.put_u32(bat.treelets.len() as u32);
-    enc.put_u32(bat.max_treelet_depth);
-
-    // --- Attribute table ---
-    for (d, &(lo, hi)) in bat.particles.descs().iter().zip(&bat.attr_ranges) {
-        d.encode(&mut enc);
-        enc.put_f64(lo);
-        enc.put_f64(hi);
-    }
-
-    // --- Shallow inner nodes ---
-    for (ni, n) in bat.shallow.nodes.iter().enumerate() {
-        enc.put_u32(n.left.pack());
-        enc.put_u32(n.right.pack());
-        put_aabb(&mut enc, &n.bounds);
-        for ids in shallow_ids.iter() {
-            enc.put_u16(ids[ni]);
-        }
-    }
-
-    // --- Shallow leaf table (offsets patched after treelets are placed) ---
-    let mut offset_slots = Vec::with_capacity(bat.treelets.len());
-    for t in &bat.treelets {
-        offset_slots.push(enc.len());
-        enc.put_u64(0); // treelet offset placeholder
-        enc.put_u64(t.first_particle);
-        enc.put_u32(t.num_particles);
-        enc.put_u32(t.nodes.len() as u32);
-        enc.put_u32(t.max_depth);
-    }
-
-    // --- Dictionary ---
-    dict.encode(&mut enc);
-    enc.patch_u64(head_end_slot, enc.len() as u64);
-
-    // --- Treelets ---
-    for (ti, t) in bat.treelets.iter().enumerate() {
-        enc.pad_to(TREELET_ALIGN);
-        enc.patch_u64(offset_slots[ti], enc.len() as u64);
-
-        // Node records.
-        for (ni, node) in t.nodes.iter().enumerate() {
-            put_aabb(&mut enc, &node.bounds);
-            enc.put_u32(node.start);
-            enc.put_u32(node.count);
-            enc.put_u32(node.left);
-            enc.put_u32(node.right);
-            enc.put_u32(node.depth);
-            for &id in treelet_ids[ti][ni].iter().take(na) {
-                enc.put_u16(id);
-            }
-        }
-
-        // Particle data: positions then attribute arrays, raw (counts are
-        // known from the leaf record).
-        let s = t.first_particle as usize;
-        let n = t.num_particles as usize;
-        for p in &bat.particles.positions[s..s + n] {
-            enc.put_f32(p.x);
-            enc.put_f32(p.y);
-            enc.put_f32(p.z);
-        }
-        for a in 0..na {
-            let arr = bat.particles.attr(a).slice(s, n);
-            match arr {
-                crate::attr::AttributeArray::F32(v) => {
-                    for x in v {
-                        enc.put_f32(x);
-                    }
-                }
-                crate::attr::AttributeArray::F64(v) => {
-                    for x in v {
-                        enc.put_f64(x);
-                    }
-                }
-            }
-        }
-    }
-
-    enc.finish()
+    out
 }
 
 /// Parse the head of a compacted BAT file.
@@ -243,7 +445,10 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
     dec.expect_magic(MAGIC)?;
     let version = dec.get_u32("version")?;
     if version != VERSION {
-        return Err(WireError::BadTag { what: "format version", tag: version as u64 });
+        return Err(WireError::BadTag {
+            what: "format version",
+            tag: version as u64,
+        });
     }
     let head_end = dec.get_u64("head end")?;
     if head_end as usize > data.len() {
@@ -266,7 +471,11 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
     // Guard allocation sizes against corrupt counts.
     let sane = |n: usize, what: &'static str| -> WireResult<usize> {
         if n > data.len() {
-            Err(WireError::BadLength { what, len: n as u64, remaining: data.len() })
+            Err(WireError::BadLength {
+                what,
+                len: n as u64,
+                remaining: data.len(),
+            })
         } else {
             Ok(n)
         }
@@ -286,31 +495,12 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
 
     let mut inners = Vec::with_capacity(num_inners);
     for _ in 0..num_inners {
-        let left = NodeRef::unpack(dec.get_u32("inner left")?);
-        let right = NodeRef::unpack(dec.get_u32("inner right")?);
-        let bounds = get_aabb(&mut dec)?;
-        let mut bitmap_ids = Vec::with_capacity(na);
-        for _ in 0..na {
-            bitmap_ids.push(dec.get_u16("inner bitmap id")?);
-        }
-        inners.push(ShallowInnerRec { left, right, bounds, bitmap_ids });
+        inners.push(ShallowInnerRec::decode(&mut dec, na)?);
     }
 
     let mut leaves = Vec::with_capacity(num_leaves);
     for _ in 0..num_leaves {
-        let offset = dec.get_u64("treelet offset")?;
-        let first_particle = dec.get_u64("first particle")?;
-        let num_particles = dec.get_u32("treelet particles")?;
-        let num_nodes = dec.get_u32("treelet nodes")?;
-        let max_depth = dec.get_u32("treelet depth")?;
-        if offset as usize >= data.len().max(1) {
-            return Err(WireError::BadLength {
-                what: "treelet offset",
-                len: offset,
-                remaining: data.len(),
-            });
-        }
-        leaves.push(LeafRec { offset, first_particle, num_particles, num_nodes, max_depth });
+        leaves.push(LeafRec::decode(&mut dec, data.len())?);
     }
 
     let dict = BitmapDictionary::decode(&mut dec)?;
@@ -365,7 +555,12 @@ impl TreeletLayout {
             attr_offs.push(off);
             off += num_points * d.dtype.size();
         }
-        TreeletLayout { nodes_off, positions_off, attr_offs, size: off }
+        TreeletLayout {
+            nodes_off,
+            positions_off,
+            attr_offs,
+            size: off,
+        }
     }
 }
 
@@ -378,10 +573,8 @@ mod tests {
 
     fn sample_bat(n: usize) -> Bat {
         let mut rng = Xoshiro256::new(71);
-        let mut set = ParticleSet::new(vec![
-            AttributeDesc::f64("mass"),
-            AttributeDesc::f32("temp"),
-        ]);
+        let mut set =
+            ParticleSet::new(vec![AttributeDesc::f64("mass"), AttributeDesc::f32("temp")]);
         for _ in 0..n {
             let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
             set.push(p, &[p.x as f64, p.y as f64 * 50.0]);

@@ -55,6 +55,7 @@
 pub mod attr;
 pub mod bitmap;
 pub mod build;
+pub mod columns;
 pub mod dict;
 pub mod format;
 pub mod particles;
@@ -69,6 +70,7 @@ pub mod treelet;
 pub use attr::{AttributeArray, AttributeDesc, AttributeType};
 pub use bitmap::Bitmap32;
 pub use build::{Bat, BatBuilder, BatConfig};
+pub use columns::ColumnarParticles;
 pub use dict::BitmapDictionary;
 pub use particles::ParticleSet;
 pub use quantize::{quantize_positions, QuantizeReport};

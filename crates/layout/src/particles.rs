@@ -1,8 +1,10 @@
 //! SoA particle container: positions plus typed attribute arrays.
 
 use crate::attr::{AttributeArray, AttributeDesc};
+use crate::columns::ColumnarParticles;
 use bat_geom::{Aabb, Vec3};
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use std::sync::Arc;
 
 /// A set of particles in structure-of-arrays form.
 ///
@@ -10,28 +12,42 @@ use bat_wire::{Decoder, Encoder, WireError, WireResult};
 /// an aggregator assembles from its leaf's ranks. Invariant: every attribute
 /// array has exactly `positions.len()` elements (checked by [`ParticleSet::validate`]
 /// and maintained by the mutators).
+///
+/// The schema is reference-counted: cloning, slicing, and permuting a set
+/// shares one `Arc<[AttributeDesc]>` instead of reallocating the descriptor
+/// table per copy (the write pipeline used to clone it once per rank).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParticleSet {
     /// Particle positions (3 × f32 each, the paper's data model).
     pub positions: Vec<Vec3>,
-    descs: Vec<AttributeDesc>,
+    descs: Arc<[AttributeDesc]>,
     arrays: Vec<AttributeArray>,
 }
 
 impl ParticleSet {
     /// Empty set with the given attribute schema.
-    pub fn new(descs: Vec<AttributeDesc>) -> ParticleSet {
+    pub fn new(descs: impl Into<Arc<[AttributeDesc]>>) -> ParticleSet {
+        let descs = descs.into();
         let arrays = descs.iter().map(|d| AttributeArray::new(d.dtype)).collect();
-        ParticleSet { positions: Vec::new(), descs, arrays }
+        ParticleSet {
+            positions: Vec::new(),
+            descs,
+            arrays,
+        }
     }
 
     /// Empty set with reserved capacity.
-    pub fn with_capacity(descs: Vec<AttributeDesc>, cap: usize) -> ParticleSet {
+    pub fn with_capacity(descs: impl Into<Arc<[AttributeDesc]>>, cap: usize) -> ParticleSet {
+        let descs = descs.into();
         let arrays = descs
             .iter()
             .map(|d| AttributeArray::with_capacity(d.dtype, cap))
             .collect();
-        ParticleSet { positions: Vec::with_capacity(cap), descs, arrays }
+        ParticleSet {
+            positions: Vec::with_capacity(cap),
+            descs,
+            arrays,
+        }
     }
 
     /// Number of particles.
@@ -47,6 +63,11 @@ impl ParticleSet {
     /// The attribute schema.
     pub fn descs(&self) -> &[AttributeDesc] {
         &self.descs
+    }
+
+    /// Shared handle to the schema (refcount bump, no clone of the table).
+    pub fn descs_arc(&self) -> Arc<[AttributeDesc]> {
+        self.descs.clone()
     }
 
     /// Number of attributes.
@@ -81,6 +102,25 @@ impl ParticleSet {
         for (a, b) in self.arrays.iter_mut().zip(&other.arrays) {
             a.extend_from(b);
         }
+    }
+
+    /// Bulk-append every particle of a columnar view (the receiver-side
+    /// gather of the shuffle). Unlike [`ParticleSet::append`] this takes
+    /// untrusted wire data, so a schema mismatch is an error, not a panic.
+    /// The bytes copied here are charged to `shuffle.bytes_copied`.
+    pub fn extend_from_columns(&mut self, cols: &ColumnarParticles) -> WireResult<()> {
+        if self.descs() != cols.descs() {
+            return Err(WireError::BadTag {
+                what: "columnar frame schema",
+                tag: cols.descs().len() as u64,
+            });
+        }
+        crate::columns::extend_positions_raw(cols.positions_raw(), &mut self.positions)?;
+        for (a, arr) in self.arrays.iter_mut().enumerate() {
+            arr.extend_from_raw(cols.attr_raw(a), "columnar attribute column")?;
+        }
+        bat_obs::counter_add("shuffle.bytes_copied", cols.raw_bytes() as u64);
+        Ok(())
     }
 
     /// Bytes per particle under this schema (3 × f32 position + attributes).
@@ -144,7 +184,7 @@ impl ParticleSet {
     /// Serialize schema + data (the transfer payload of the write pipeline).
     pub fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.descs.len() as u64);
-        for d in &self.descs {
+        for d in self.descs.iter() {
             d.encode(enc);
         }
         enc.put_u64(self.positions.len() as u64);
@@ -193,7 +233,11 @@ impl ParticleSet {
             }
             arrays.push(a);
         }
-        Ok(ParticleSet { positions, descs, arrays })
+        Ok(ParticleSet {
+            positions,
+            descs: descs.into(),
+            arrays,
+        })
     }
 }
 
@@ -203,10 +247,7 @@ mod tests {
     use crate::attr::AttributeType;
 
     fn sample() -> ParticleSet {
-        let mut s = ParticleSet::new(vec![
-            AttributeDesc::f64("mass"),
-            AttributeDesc::f32("temp"),
-        ]);
+        let mut s = ParticleSet::new(vec![AttributeDesc::f64("mass"), AttributeDesc::f32("temp")]);
         s.push(Vec3::new(0.0, 1.0, 2.0), &[10.0, 100.0]);
         s.push(Vec3::new(3.0, 4.0, 5.0), &[20.0, 200.0]);
         s.push(Vec3::new(-1.0, 0.0, 1.0), &[30.0, 300.0]);

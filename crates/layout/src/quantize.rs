@@ -55,7 +55,11 @@ pub fn quantize_positions(set: &mut ParticleSet, domain: &Aabb, bits: u32) -> Qu
         max_error = max_error.max((q - *p).length());
         *p = q;
     }
-    QuantizeReport { bits, max_error, error_bound }
+    QuantizeReport {
+        bits,
+        max_error,
+        error_bound,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +92,10 @@ mod tests {
             let mut set = cloud(5000, &domain, bits as u64);
             let before = set.positions.clone();
             let report = quantize_positions(&mut set, &domain, bits);
-            assert!(report.max_error <= report.error_bound * 1.0001, "{report:?}");
+            assert!(
+                report.max_error <= report.error_bound * 1.0001,
+                "{report:?}"
+            );
             // Every particle stays inside the domain and near its original.
             for (p, q) in before.iter().zip(&set.positions) {
                 assert!(domain.contains_point(*q));

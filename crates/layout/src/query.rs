@@ -41,7 +41,12 @@ impl Default for Query {
 impl Query {
     /// A full-quality, unfiltered read.
     pub fn new() -> Query {
-        Query { bounds: None, filters: Vec::new(), quality: 1.0, prev_quality: 0.0 }
+        Query {
+            bounds: None,
+            filters: Vec::new(),
+            quality: 1.0,
+            prev_quality: 0.0,
+        }
     }
 
     /// Restrict to a bounding box.
@@ -243,7 +248,10 @@ impl Query {
             for x in &mut v {
                 *x = dec.get_f32("query bounds")?;
             }
-            Some(Aabb::new(Vec3::new(v[0], v[1], v[2]), Vec3::new(v[3], v[4], v[5])))
+            Some(Aabb::new(
+                Vec3::new(v[0], v[1], v[2]),
+                Vec3::new(v[3], v[4], v[5]),
+            ))
         } else {
             None
         };
@@ -265,7 +273,12 @@ impl Query {
         }
         let quality = dec.get_f64("query quality")?;
         let prev_quality = dec.get_f64("query prev quality")?;
-        Ok(Query { bounds, filters, quality, prev_quality })
+        Ok(Query {
+            bounds,
+            filters,
+            quality,
+            prev_quality,
+        })
     }
 }
 

@@ -90,9 +90,15 @@ impl RadixTree {
     pub fn build(keys: &[u64]) -> RadixTree {
         let m = keys.len();
         assert!(m >= 1, "radix tree needs at least one key");
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted and distinct");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted and distinct"
+        );
         if m == 1 {
-            return RadixTree { nodes: Vec::new(), num_leaves: 1 };
+            return RadixTree {
+                nodes: Vec::new(),
+                num_leaves: 1,
+            };
         }
 
         // δ(i, j): common prefix length of keys i and j, -1 out of range.
@@ -111,7 +117,11 @@ impl RadixTree {
             .map(|i| {
                 let ii = i as isize;
                 // Direction of the range containing i.
-                let d: isize = if delta(i, ii + 1) > delta(i, ii - 1) { 1 } else { -1 };
+                let d: isize = if delta(i, ii + 1) > delta(i, ii - 1) {
+                    1
+                } else {
+                    -1
+                };
                 let delta_min = delta(i, ii - d);
                 // Find an upper bound for the range length by doubling.
                 let mut lmax: isize = 2;
@@ -154,11 +164,20 @@ impl RadixTree {
                 } else {
                     NodeRef::Inner(gamma as u32 + 1)
                 };
-                RadixNode { left, right, first, last, prefix_len: delta_node as u32 }
+                RadixNode {
+                    left,
+                    right,
+                    first,
+                    last,
+                    prefix_len: delta_node as u32,
+                }
             })
             .collect();
 
-        RadixTree { nodes, num_leaves: m }
+        RadixTree {
+            nodes,
+            num_leaves: m,
+        }
     }
 }
 
@@ -191,7 +210,11 @@ mod tests {
             }
         }
         assert_eq!(leaf_refs.len(), m, "every leaf referenced once");
-        assert_eq!(inner_refs.len(), m - 2, "every non-root inner referenced once");
+        assert_eq!(
+            inner_refs.len(),
+            m - 2,
+            "every non-root inner referenced once"
+        );
         // Root covers everything.
         assert_eq!(tree.nodes[0].first, 0);
         assert_eq!(tree.nodes[0].last as usize, m - 1);
@@ -299,8 +322,12 @@ mod tests {
 
     #[test]
     fn noderef_pack_roundtrip() {
-        for r in [NodeRef::Inner(0), NodeRef::Leaf(0), NodeRef::Inner(12345), NodeRef::Leaf(67890)]
-        {
+        for r in [
+            NodeRef::Inner(0),
+            NodeRef::Leaf(0),
+            NodeRef::Inner(12345),
+            NodeRef::Leaf(67890),
+        ] {
             assert_eq!(NodeRef::unpack(r.pack()), r);
         }
     }

@@ -15,24 +15,9 @@ use crate::query::{contribution, quality_to_depth, PointRecord, Query};
 use crate::radix::NodeRef;
 use crate::treelet::NO_CHILD;
 use bat_geom::{Aabb, Vec3};
-use bat_wire::{WireError, WireResult};
+use bat_wire::{Block, WireError, WireResult};
 use std::path::Path;
-
-/// Backing storage for an opened file.
-enum DataSource {
-    Owned(Vec<u8>),
-    Mapped(memmap2::Mmap),
-}
-
-impl std::ops::Deref for DataSource {
-    type Target = [u8];
-    fn deref(&self) -> &[u8] {
-        match self {
-            DataSource::Owned(v) => v,
-            DataSource::Mapped(m) => m,
-        }
-    }
-}
+use std::sync::Arc;
 
 /// Counters describing how much work a query did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,8 +40,12 @@ pub struct QueryStats {
 }
 
 /// An opened, compacted BAT file.
+///
+/// The backing storage is one [`Block`] regardless of where the bytes came
+/// from — an owned buffer, a received message payload, or a memory map —
+/// so every open path shares the same zero-copy treelet access.
 pub struct BatFile {
-    data: DataSource,
+    data: Block,
     head: FileHead,
 }
 
@@ -64,8 +53,14 @@ impl BatFile {
     /// Open from an in-memory buffer (also the in-transit path: aggregators
     /// can query the compacted tree before/instead of writing it; §III-C).
     pub fn from_bytes(bytes: Vec<u8>) -> WireResult<BatFile> {
-        let head = format::read_head(&bytes)?;
-        Ok(BatFile { data: DataSource::Owned(bytes), head })
+        BatFile::from_block(Block::from_vec(bytes))
+    }
+
+    /// Open from any [`Block`] — e.g. a comm message payload or a slice of
+    /// a larger mapped region — without copying the file bytes.
+    pub fn from_block(block: Block) -> WireResult<BatFile> {
+        let head = format::read_head(&block)?;
+        Ok(BatFile { data: block, head })
     }
 
     /// Open a file on disk through a memory mapping.
@@ -78,9 +73,14 @@ impl BatFile {
         // file nobody mutates is sound. A hostile concurrent writer could at
         // worst cause decode errors, which the panic-free parser reports.
         let map = unsafe { memmap2::Mmap::map(&file)? };
-        let head = format::read_head(&map)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        Ok(BatFile { data: DataSource::Mapped(map), head })
+        let block = Block::from_arc(Arc::new(map));
+        BatFile::from_block(block)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// The backing block (shared, zero-copy).
+    pub fn block(&self) -> &Block {
+        &self.data
     }
 
     /// Parsed file head (schema, ranges, shallow tree, dictionary).
@@ -120,11 +120,7 @@ impl BatFile {
         result
     }
 
-    fn query_impl(
-        &self,
-        q: &Query,
-        mut cb: impl FnMut(PointRecord<'_>),
-    ) -> WireResult<QueryStats> {
+    fn query_impl(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
         let mut stats = QueryStats::default();
         let na = self.head.descs.len();
 
@@ -134,7 +130,10 @@ impl BatFile {
         let mut masks: Vec<(usize, Bitmap32)> = Vec::with_capacity(q.filters.len());
         for f in &q.filters {
             if f.attr >= na {
-                return Err(WireError::BadTag { what: "filter attribute index", tag: f.attr as u64 });
+                return Err(WireError::BadTag {
+                    what: "filter attribute index",
+                    tag: f.attr as u64,
+                });
             }
             let (lo, hi) = self.head.attr_ranges[f.attr];
             let mask = Bitmap32::query_mask(f.lo, f.hi, lo, hi);
@@ -162,9 +161,10 @@ impl BatFile {
                             continue;
                         }
                     }
-                    if !masks.iter().all(|&(a, m)| {
-                        self.head.dict.get(node.bitmap_ids[a]).overlaps(m)
-                    }) {
+                    if !masks
+                        .iter()
+                        .all(|&(a, m)| self.head.dict.get(node.bitmap_ids[a]).overlaps(m))
+                    {
                         stats.bitmap_skips += 1;
                         continue;
                     }
@@ -307,10 +307,10 @@ impl BatFile {
         let block = &self.data[start..end];
         let num_nodes = leaf.num_nodes as usize;
         let num_points = leaf.num_particles as usize;
-        let nodes =
-            &block[layout.nodes_off..layout.nodes_off + num_nodes * format::node_record_bytes(self.head.descs.len())];
-        let positions =
-            &block[layout.positions_off..layout.positions_off + num_points * format::POSITION_BYTES];
+        let nodes = &block[layout.nodes_off
+            ..layout.nodes_off + num_nodes * format::node_record_bytes(self.head.descs.len())];
+        let positions = &block
+            [layout.positions_off..layout.positions_off + num_points * format::POSITION_BYTES];
         let attr_sections = self
             .head
             .descs
@@ -327,11 +327,7 @@ impl BatFile {
             num_points,
             // Distinct 4 KiB pages the block spans in the file — the unit
             // the OS faults in on the mmap read path.
-            pages_4k: if layout.size == 0 {
-                0
-            } else {
-                (end - 1) as u64 / 4096 - start as u64 / 4096 + 1
-            },
+            pages_4k: bat_wire::pages_spanned(start, end),
         })
     }
 }
@@ -372,7 +368,10 @@ impl<'a> TreeletView<'a> {
     /// Decode node `i`'s record.
     pub fn node(&self, i: usize) -> WireResult<FileTreeletNode> {
         if i >= self.num_nodes {
-            return Err(WireError::BadTag { what: "treelet node index", tag: i as u64 });
+            return Err(WireError::BadTag {
+                what: "treelet node index",
+                tag: i as u64,
+            });
         }
         let off = i * format::node_record_bytes(self.na);
         let rec = &self.nodes[off..off + format::NODE_FIXED_BYTES];
@@ -391,17 +390,25 @@ impl<'a> TreeletView<'a> {
     /// Dictionary ID of node `i`'s bitmap for attribute `a`.
     pub fn bitmap_id(&self, i: usize, a: usize) -> WireResult<u16> {
         if i >= self.num_nodes || a >= self.na {
-            return Err(WireError::BadTag { what: "bitmap id index", tag: i as u64 });
+            return Err(WireError::BadTag {
+                what: "bitmap id index",
+                tag: i as u64,
+            });
         }
         let off = i * format::node_record_bytes(self.na) + format::NODE_FIXED_BYTES + 2 * a;
-        Ok(u16::from_le_bytes(self.nodes[off..off + 2].try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(
+            self.nodes[off..off + 2].try_into().expect("len 2"),
+        ))
     }
 
     /// Position of treelet-local particle `i`.
     #[inline]
     pub fn position(&self, i: usize) -> WireResult<Vec3> {
         if i >= self.num_points {
-            return Err(WireError::BadTag { what: "treelet particle index", tag: i as u64 });
+            return Err(WireError::BadTag {
+                what: "treelet particle index",
+                tag: i as u64,
+            });
         }
         let rec = &self.positions[i * format::POSITION_BYTES..(i + 1) * format::POSITION_BYTES];
         Ok(Vec3::new(
@@ -415,7 +422,10 @@ impl<'a> TreeletView<'a> {
     #[inline]
     pub fn attr(&self, a: usize, i: usize) -> WireResult<f64> {
         if i >= self.num_points {
-            return Err(WireError::BadTag { what: "treelet particle index", tag: i as u64 });
+            return Err(WireError::BadTag {
+                what: "treelet particle index",
+                tag: i as u64,
+            });
         }
         let (section, dtype) = self.attr_sections[a];
         Ok(match dtype {
@@ -548,7 +558,10 @@ mod tests {
         // energy = x*100 is in [0, 100]; ask for 500..900.
         let q = Query::new().with_filter(0, 500.0, 900.0);
         let stats = file.query(&q, |_| panic!("no point should match")).unwrap();
-        assert_eq!(stats.nodes_visited, 0, "empty mask must skip the whole file");
+        assert_eq!(
+            stats.nodes_visited, 0,
+            "empty mask must skip the whole file"
+        );
     }
 
     #[test]

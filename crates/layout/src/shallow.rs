@@ -101,7 +101,10 @@ impl ShallowTree {
             .collect();
 
         // MSB-align the prefixes so the radix build's δ works on bit 63 down.
-        let keys: Vec<u64> = prefixes.iter().map(|&p| p << (64 - subprefix_bits)).collect();
+        let keys: Vec<u64> = prefixes
+            .iter()
+            .map(|&p| p << (64 - subprefix_bits))
+            .collect();
         let radix = RadixTree::build(&keys);
 
         // Derive each inner node's cell bounds from its common prefix.
@@ -110,7 +113,11 @@ impl ShallowTree {
             .par_iter()
             .map(|n| {
                 let plen = n.prefix_len.min(subprefix_bits);
-                let prefix = if plen == 0 { 0 } else { keys[n.first as usize] >> (64 - plen) };
+                let prefix = if plen == 0 {
+                    0
+                } else {
+                    keys[n.first as usize] >> (64 - plen)
+                };
                 ShallowNode {
                     left: n.left,
                     right: n.right,
@@ -121,7 +128,12 @@ impl ShallowTree {
             })
             .collect();
 
-        ShallowTree { subprefix_bits, nodes, leaf_ranges, leaf_bounds }
+        ShallowTree {
+            subprefix_bits,
+            nodes,
+            leaf_ranges,
+            leaf_bounds,
+        }
     }
 }
 
@@ -132,7 +144,10 @@ mod tests {
     use bat_geom::Vec3;
 
     fn codes_for(points: &[Vec3], domain: &Aabb) -> Vec<u64> {
-        let mut codes: Vec<u64> = points.iter().map(|&p| morton::encode_point(p, domain)).collect();
+        let mut codes: Vec<u64> = points
+            .iter()
+            .map(|&p| morton::encode_point(p, domain))
+            .collect();
         codes.sort_unstable();
         codes
     }
@@ -192,7 +207,10 @@ mod tests {
             .collect();
         // Sort points by code so leaf ranges index them directly.
         pts.sort_by_key(|&p| morton::encode_point(p, &domain));
-        let codes: Vec<u64> = pts.iter().map(|&p| morton::encode_point(p, &domain)).collect();
+        let codes: Vec<u64> = pts
+            .iter()
+            .map(|&p| morton::encode_point(p, &domain))
+            .collect();
         let t = ShallowTree::build(&codes, 9, &domain);
         for (li, &(s, e)) in t.leaf_ranges.iter().enumerate() {
             // Cells are half-open along each axis; allow epsilon at the seam.

@@ -91,8 +91,9 @@ mod tests {
     fn coal_like_bat(n: usize) -> Bat {
         // 3 f32 coords + 7 f64 attributes, like the Coal Boiler (§VI-A2).
         let mut rng = Xoshiro256::new(13);
-        let descs: Vec<AttributeDesc> =
-            (0..7).map(|i| AttributeDesc::f64(format!("a{i}"))).collect();
+        let descs: Vec<AttributeDesc> = (0..7)
+            .map(|i| AttributeDesc::f64(format!("a{i}")))
+            .collect();
         let mut set = ParticleSet::new(descs);
         for _ in 0..n {
             let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
@@ -127,7 +128,10 @@ mod tests {
         let bytes = bat.to_bytes();
         let stats = LayoutStats::measure(&bytes).unwrap();
         let ov = stats.structure_overhead();
-        assert!(ov < 0.06, "structure overhead {ov:.4} should be a few percent");
+        assert!(
+            ov < 0.06,
+            "structure overhead {ov:.4} should be a few percent"
+        );
         assert!(ov > 0.001, "structure overhead {ov:.4} suspiciously low");
     }
 
@@ -136,13 +140,20 @@ mod tests {
         // More particles over the same shallow cells → lower overhead.
         let small = {
             let bat = coal_like_bat(50_000);
-            LayoutStats::measure(&bat.to_bytes()).unwrap().structure_overhead()
+            LayoutStats::measure(&bat.to_bytes())
+                .unwrap()
+                .structure_overhead()
         };
         let large = {
             let bat = coal_like_bat(400_000);
-            LayoutStats::measure(&bat.to_bytes()).unwrap().structure_overhead()
+            LayoutStats::measure(&bat.to_bytes())
+                .unwrap()
+                .structure_overhead()
         };
-        assert!(large < small, "overhead should shrink: {small:.4} -> {large:.4}");
+        assert!(
+            large < small,
+            "overhead should shrink: {small:.4} -> {large:.4}"
+        );
     }
 
     #[test]
@@ -152,6 +163,9 @@ mod tests {
         let stats = LayoutStats::measure(&bytes).unwrap();
         assert_eq!(stats.raw_bytes, 0);
         assert_eq!(stats.overhead(), 0.0);
-        assert_eq!(stats.padding_bytes + stats.structure_bytes, stats.file_bytes);
+        assert_eq!(
+            stats.padding_bytes + stats.structure_bytes,
+            stats.file_bytes
+        );
     }
 }

@@ -35,7 +35,11 @@ pub struct TreeletConfig {
 
 impl Default for TreeletConfig {
     fn default() -> TreeletConfig {
-        TreeletConfig { lod_per_inner: 8, max_leaf: 128, seed: 0x9E3779B97F4A7C15 }
+        TreeletConfig {
+            lod_per_inner: 8,
+            max_leaf: 128,
+            seed: 0x9E3779B97F4A7C15,
+        }
     }
 }
 
@@ -112,9 +116,22 @@ pub fn build_structure(positions: &[Vec3], cfg: &TreeletConfig, salt: u64) -> Tr
     let mut idx: Vec<u32> = (0..n as u32).collect();
     let mut rng = SplitMix64::new(cfg.seed ^ salt);
     let mut max_depth = 0;
-    build_node(positions, &mut idx, cfg, 0, &mut nodes, &mut order, &mut rng, &mut max_depth);
+    build_node(
+        positions,
+        &mut idx,
+        cfg,
+        0,
+        &mut nodes,
+        &mut order,
+        &mut rng,
+        &mut max_depth,
+    );
     debug_assert_eq!(order.len(), n);
-    TreeletStructure { nodes, order, max_depth }
+    TreeletStructure {
+        nodes,
+        order,
+        max_depth,
+    }
 }
 
 /// Recursive node construction. Appends this subtree's particle order to
@@ -282,7 +299,11 @@ mod tests {
 
     #[test]
     fn structure_invariants_random() {
-        let cfg = TreeletConfig { lod_per_inner: 8, max_leaf: 32, seed: 7 };
+        let cfg = TreeletConfig {
+            lod_per_inner: 8,
+            max_leaf: 32,
+            seed: 7,
+        };
         for (n, seed) in [(33, 2u64), (100, 3), (1000, 4), (5000, 5)] {
             let pts = cloud(n, seed);
             let s = build_structure(&pts, &cfg, seed);
@@ -296,7 +317,11 @@ mod tests {
         // All particles at the same position: median split by count must
         // terminate (no infinite recursion on zero-extent bounds).
         let pts = vec![Vec3::splat(0.5); 1000];
-        let cfg = TreeletConfig { lod_per_inner: 4, max_leaf: 16, seed: 1 };
+        let cfg = TreeletConfig {
+            lod_per_inner: 4,
+            max_leaf: 16,
+            seed: 1,
+        };
         let s = build_structure(&pts, &cfg, 0);
         check_structure(&pts, &s, &cfg);
     }
@@ -333,7 +358,11 @@ mod tests {
     #[test]
     fn bitmaps_no_false_negatives() {
         let pts = cloud(2000, 31);
-        let cfg = TreeletConfig { lod_per_inner: 8, max_leaf: 64, seed: 9 };
+        let cfg = TreeletConfig {
+            lod_per_inner: 8,
+            max_leaf: 64,
+            seed: 9,
+        };
         let s = build_structure(&pts, &cfg, 0);
 
         // One attribute: value = x coordinate scaled.
@@ -371,7 +400,11 @@ mod tests {
     #[test]
     fn inner_bitmap_includes_lod_and_children() {
         let pts = cloud(300, 41);
-        let cfg = TreeletConfig { lod_per_inner: 4, max_leaf: 32, seed: 2 };
+        let cfg = TreeletConfig {
+            lod_per_inner: 4,
+            max_leaf: 32,
+            seed: 2,
+        };
         let s = build_structure(&pts, &cfg, 0);
         let mut set = ParticleSet::new(vec![AttributeDesc::f64("v")]);
         for &i in &s.order {

@@ -1,0 +1,150 @@
+//! Property tests for the columnar shuffle frames: any particle set must
+//! survive encode → (slice) → decode with positions and attribute values
+//! intact, and the zero-copy view path must agree with the owned path.
+
+use bat_geom::Vec3;
+use bat_layout::{AttributeDesc, ColumnarParticles, ParticleSet};
+use bat_wire::Block;
+use proptest::prelude::*;
+
+type Point = ((f32, f32, f32), f64, f64);
+
+fn make_set(points: &[Point]) -> ParticleSet {
+    let mut set = ParticleSet::new(vec![AttributeDesc::f64("mass"), AttributeDesc::f32("temp")]);
+    for &((x, y, z), m, t) in points {
+        set.push(Vec3::new(x, y, z), &[m, t]);
+    }
+    set
+}
+
+/// Positions and (width-narrowed) attribute values of `a` and `b` agree.
+fn sets_equal(a: &ParticleSet, b: &ParticleSet) -> bool {
+    a.len() == b.len()
+        && a.descs() == b.descs()
+        && a.positions == b.positions
+        && (0..a.num_attrs()).all(|at| (0..a.len()).all(|i| a.value(at, i) == b.value(at, i)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frame_roundtrip_matches_owned(
+        points in prop::collection::vec(
+            ((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            0..200,
+        ),
+    ) {
+        let set = make_set(&points);
+        let frame = ColumnarParticles::encode_frame(&set);
+        let view = ColumnarParticles::parse_frame(&Block::from(frame)).unwrap();
+        prop_assert_eq!(view.len(), set.len());
+        prop_assert_eq!(view.raw_bytes(), set.raw_bytes());
+        let back = view.to_set().unwrap();
+        prop_assert!(sets_equal(&back, &set), "decoded set diverged");
+    }
+
+    #[test]
+    fn sliced_views_match_owned_subranges(
+        points in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            1..150,
+        ),
+        cut in 0.0f64..1.0,
+        width in 0.0f64..1.0,
+    ) {
+        let set = make_set(&points);
+        let frame = ColumnarParticles::encode_frame(&set);
+        let view = ColumnarParticles::parse_frame(&Block::from(frame)).unwrap();
+        let start = (cut * set.len() as f64) as usize;
+        let len = (width * (set.len() - start) as f64) as usize;
+        let sliced = view.slice(start, len).to_set().unwrap();
+        let owned = make_set(&points[start..start + len]);
+        prop_assert!(sets_equal(&sliced, &owned), "slice [{}, {}) diverged", start, start + len);
+    }
+
+    #[test]
+    fn extend_from_columns_matches_append(
+        first in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            0..100,
+        ),
+        second in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            0..100,
+        ),
+    ) {
+        let a = make_set(&first);
+        let b = make_set(&second);
+        let mut merged = make_set(&first);
+        let frame = ColumnarParticles::encode_frame(&b);
+        let view = ColumnarParticles::parse_frame(&Block::from(frame)).unwrap();
+        merged.extend_from_columns(&view).unwrap();
+
+        let mut both = first.clone();
+        both.extend_from_slice(&second);
+        let owned = make_set(&both);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        prop_assert!(sets_equal(&merged, &owned), "extend_from_columns diverged from append");
+    }
+
+    #[test]
+    fn concat_owned_matches_sequential_extend(
+        points in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            0..120,
+        ),
+        pieces in 1usize..6,
+    ) {
+        let set = make_set(&points);
+        let frame = ColumnarParticles::encode_frame(&set);
+        let view = ColumnarParticles::parse_frame(&Block::from(frame)).unwrap();
+        // Split the view into `pieces` contiguous slices and re-concatenate.
+        let mut views = Vec::new();
+        let mut at = 0;
+        for p in 0..pieces {
+            let end = (set.len() * (p + 1)) / pieces;
+            views.push(view.slice(at, end - at));
+            at = end;
+        }
+        let cat = ColumnarParticles::concat_owned(set.descs_arc(), &views).unwrap();
+        prop_assert!(sets_equal(&cat, &set), "concat of {} pieces diverged", pieces);
+    }
+
+    #[test]
+    fn corrupt_frames_never_panic(
+        points in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            1..40,
+        ),
+        flip_at in 0.0f64..1.0,
+        flip_bit in 0usize..8,
+    ) {
+        let set = make_set(&points);
+        let mut bytes = ColumnarParticles::encode_frame(&set).to_vec();
+        let pos = ((flip_at * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << flip_bit;
+        // A bit flip must yield Ok (values may differ) or Err — never a
+        // panic or out-of-bounds slice.
+        if let Ok(view) = ColumnarParticles::parse_frame(&Block::from(bytes)) {
+            let _ = view.to_set();
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(
+        points in prop::collection::vec(
+            ((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), -5.0f64..5.0, 0.0f64..700.0),
+            1..40,
+        ),
+        frac in 0.0f64..1.0,
+    ) {
+        let set = make_set(&points);
+        let bytes = ColumnarParticles::encode_frame(&set).to_vec();
+        let cut = (frac * (bytes.len() - 1) as f64) as usize;
+        prop_assert!(
+            ColumnarParticles::parse_frame(&Block::from(bytes[..cut].to_vec())).is_err(),
+            "a frame cut to {} of {} bytes must not parse", cut, bytes.len()
+        );
+    }
+}

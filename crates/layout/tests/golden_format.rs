@@ -1,0 +1,107 @@
+//! Golden-bytes guard for the compacted BAT format.
+//!
+//! The FNV-1a hashes below were generated from the seed (pre-`BatWriter`)
+//! `write_bat` implementation on fixed-RNG datasets. Any change to the
+//! on-disk encoding — intentional or not — trips this test; a format bump
+//! must update the hashes *and* the format `VERSION` together.
+
+use bat_geom::rng::Xoshiro256;
+use bat_geom::{Aabb, Vec3};
+use bat_layout::build::Bat;
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, ParticleSet};
+
+/// FNV-1a 64-bit over a byte slice (stable, dependency-free).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn golden_bat(n: usize, seed: u64) -> Bat {
+    let mut rng = Xoshiro256::new(seed);
+    let mut set = ParticleSet::new(vec![
+        AttributeDesc::f64("mass"),
+        AttributeDesc::f32("temp"),
+        AttributeDesc::f64("vx"),
+    ]);
+    for _ in 0..n {
+        let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+        set.push(
+            p,
+            &[p.x as f64 * 10.0, p.y as f64 * 100.0, rng.next_f32() as f64],
+        );
+    }
+    BatBuilder::new(BatConfig::default()).build(set, Aabb::unit())
+}
+
+/// `(n, rng seed, file length, FNV-1a of the whole file)` captured from the
+/// seed encoder.
+const GOLDEN: [(usize, u64, usize, u64); 4] = [
+    (0, 1, 173, 0x210b_3bed_6ef0_1b15),
+    (257, 2, 1_032_274, 0x1102_a642_d05b_fda4),
+    (5000, 3, 12_173_394, 0x2078_0a1d_883f_942a),
+    (20_000, 4, 16_957_842, 0x14da_86f9_fdd2_09cf),
+];
+
+#[test]
+fn bytes_identical_to_seed_encoder() {
+    for (n, seed, len, fnv) in GOLDEN {
+        let bytes = golden_bat(n, seed).to_bytes();
+        assert_eq!(bytes.len(), len, "file length changed for n={n}");
+        assert_eq!(fnv1a(&bytes), fnv, "file bytes changed for n={n}");
+    }
+}
+
+#[test]
+fn streaming_writer_matches_vec_writer() {
+    for (n, seed, ..) in GOLDEN {
+        let bat = golden_bat(n, seed);
+        let vec_path = bat.to_bytes();
+        let mut streamed = Vec::new();
+        let written = bat.write_to(&mut streamed).unwrap();
+        assert_eq!(written as usize, streamed.len());
+        assert_eq!(streamed, vec_path, "streaming output diverged for n={n}");
+    }
+}
+
+#[test]
+fn writer_precomputes_exact_sizes_and_offsets() {
+    let bat = golden_bat(5000, 3);
+    let writer = bat.writer();
+    let bytes = bat.to_bytes();
+    assert_eq!(writer.file_size(), bytes.len());
+    let head = bat_layout::format::read_head(&bytes).unwrap();
+    assert_eq!(writer.head_end(), head.head_end);
+    let offsets: Vec<usize> = head.leaves.iter().map(|l| l.offset as usize).collect();
+    assert_eq!(writer.treelet_offsets(), &offsets[..]);
+}
+
+#[test]
+fn copy_accounting_streaming_stages_only_the_head() {
+    let bat = golden_bat(5000, 3);
+    let writer = bat.writer();
+    let head = writer.head_end();
+    let file = writer.file_size() as u64;
+    assert!(
+        head < file / 10,
+        "head should be a small fraction of the file"
+    );
+
+    let reg = std::sync::Arc::new(bat_obs::Registry::new());
+    let _on = bat_obs::enable();
+    let _scope = bat_obs::scope(reg.clone());
+    let _ = bat.to_bytes();
+    let vec_copied = reg.snapshot().counter("compact.bytes_copied").unwrap_or(0);
+    let mut sink = std::io::sink();
+    bat.write_to(&mut sink).unwrap();
+    let total = reg.snapshot().counter("compact.bytes_copied").unwrap_or(0);
+    assert_eq!(vec_copied, file, "Vec path materializes the whole file");
+    assert_eq!(
+        total - vec_copied,
+        head,
+        "streaming path stages only the head"
+    );
+}

@@ -102,7 +102,11 @@ impl AtomicHistogram {
     /// in-flight records).
     pub fn load(&self) -> HistData {
         HistData {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
@@ -254,8 +258,14 @@ mod tests {
         let p50 = h.quantile(0.50);
         let p99 = h.quantile(0.99);
         // Within one bucket (12.5%) of the exact order statistics.
-        assert!((p50 as f64 - 500.0).abs() <= 500.0 * 0.125 + 1.0, "p50={p50}");
-        assert!((p99 as f64 - 990.0).abs() <= 990.0 * 0.125 + 1.0, "p99={p99}");
+        assert!(
+            (p50 as f64 - 500.0).abs() <= 500.0 * 0.125 + 1.0,
+            "p50={p50}"
+        );
+        assert!(
+            (p99 as f64 - 990.0).abs() <= 990.0 * 0.125 + 1.0,
+            "p99={p99}"
+        );
         assert_eq!(h.quantile(0.0), h.min);
         assert_eq!(h.quantile(1.0).max(h.max), h.max);
     }

@@ -210,7 +210,10 @@ impl Registry {
 
     /// Remove every metric (counts reset to nothing, names forgotten).
     pub fn clear(&self) {
-        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 
@@ -336,7 +339,10 @@ pub fn span(name: &'static str) -> Span {
     if !enabled() {
         return Span { name, start: None };
     }
-    Span { name, start: Some(Instant::now()) }
+    Span {
+        name,
+        start: Some(Instant::now()),
+    }
 }
 
 /// Live span from [`span`].
@@ -451,7 +457,11 @@ mod tests {
             let _span = span("work_ns");
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        let h = reg.snapshot().histogram("work_ns").cloned().expect("recorded");
+        let h = reg
+            .snapshot()
+            .histogram("work_ns")
+            .cloned()
+            .expect("recorded");
         assert_eq!(h.count, 1);
         assert!(h.min >= 1_000_000, "slept 2ms, recorded {}ns", h.min);
     }

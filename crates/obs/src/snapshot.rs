@@ -50,7 +50,10 @@ impl Snapshot {
     }
 
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     pub fn gauge(&self, name: &str) -> Option<f64> {
@@ -58,7 +61,10 @@ impl Snapshot {
     }
 
     pub fn histogram(&self, name: &str) -> Option<&HistData> {
-        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 
     /// Human-readable aligned table, one metric per row. Histogram names
@@ -86,15 +92,24 @@ impl Snapshot {
             if !out.is_empty() {
                 out.push('\n');
             }
-            let width =
-                self.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max(4);
+            let width = self
+                .histograms
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0)
+                .max(4);
             out.push_str(&format!(
                 "{:<width$}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
                 "histogram", "count", "mean", "p50", "p95", "p99", "total"
             ));
             for (name, h) in &self.histograms {
                 let s = HistSummary::of(h);
-                let scale = if name.ends_with("_ns") { fmt_ns } else { fmt_raw };
+                let scale = if name.ends_with("_ns") {
+                    fmt_ns
+                } else {
+                    fmt_raw
+                };
                 out.push_str(&format!(
                     "{:<width$}  {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
                     name,

@@ -22,7 +22,10 @@ fn hist_of(values: &[u64]) -> HistData {
 /// Spread (exponent, mantissa) pairs across the full dynamic range; plain
 /// uniform u64 ranges would almost never exercise small buckets.
 fn expand(samples: &[(u32, u64)]) -> Vec<u64> {
-    samples.iter().map(|&(e, m)| m.saturating_mul(1 << e.min(53))).collect()
+    samples
+        .iter()
+        .map(|&(e, m)| m.saturating_mul(1 << e.min(53)))
+        .collect()
 }
 
 proptest! {

@@ -20,7 +20,10 @@ impl StreamClient {
         let mut reader = stream.try_clone()?;
         let writer = BufWriter::new(stream);
         let payload = read_frame(&mut reader)?.ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed during hello")
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed during hello",
+            )
         })?;
         let schema = match ServerMsg::decode(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
@@ -33,7 +36,11 @@ impl StreamClient {
                 ))
             }
         };
-        Ok(StreamClient { reader, writer, schema })
+        Ok(StreamClient {
+            reader,
+            writer,
+            schema,
+        })
     }
 
     /// The dataset schema received at connect time.
@@ -48,7 +55,9 @@ impl StreamClient {
         query: &Query,
         mut on_chunk: impl FnMut(&Chunk),
     ) -> std::io::Result<u64> {
-        let req = Request { query: query.clone() };
+        let req = Request {
+            query: query.clone(),
+        };
         write_frame(&mut self.writer, &req.encode())?;
         use std::io::Write;
         self.writer.flush()?;
@@ -56,7 +65,10 @@ impl StreamClient {
         let mut received = 0u64;
         loop {
             let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed mid-stream")
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-stream",
+                )
             })?;
             match ServerMsg::decode(&payload)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?

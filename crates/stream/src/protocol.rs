@@ -132,9 +132,14 @@ impl Request {
         let mut dec = Decoder::new(payload);
         let tag = dec.get_u8("message tag")?;
         if tag != MSG_REQUEST {
-            return Err(WireError::BadTag { what: "request tag", tag: tag as u64 });
+            return Err(WireError::BadTag {
+                what: "request tag",
+                tag: tag as u64,
+            });
         }
-        Ok(Request { query: Query::decode(&mut dec)? })
+        Ok(Request {
+            query: Query::decode(&mut dec)?,
+        })
     }
 }
 
@@ -188,7 +193,10 @@ impl ServerMsg {
                     descs.push(AttributeDesc::decode(&mut dec)?);
                 }
                 let total_particles = dec.get_u64("schema total")?;
-                Ok(ServerMsg::Schema(Schema { descs, total_particles }))
+                Ok(ServerMsg::Schema(Schema {
+                    descs,
+                    total_particles,
+                }))
             }
             MSG_CHUNK => {
                 let num_attrs = dec.get_usize("chunk attrs")?;
@@ -200,14 +208,18 @@ impl ServerMsg {
                         remaining: dec.remaining(),
                     });
                 }
-                let mut positions = Vec::with_capacity(n);
-                for _ in 0..n {
-                    positions.push(Vec3::new(
-                        dec.get_f32("chunk x")?,
-                        dec.get_f32("chunk y")?,
-                        dec.get_f32("chunk z")?,
-                    ));
-                }
+                // Positions are a bare column; decode them in one bulk pass.
+                let raw = dec.get_raw(n * 12, "chunk positions")?;
+                let positions: Vec<Vec3> = raw
+                    .chunks_exact(12)
+                    .map(|c| {
+                        Vec3::new(
+                            f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                            f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                            f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+                        )
+                    })
+                    .collect();
                 let attrs = dec.get_f64_vec("chunk attrs data")?;
                 if attrs.len() != n * num_attrs {
                     return Err(WireError::BadLength {
@@ -216,10 +228,19 @@ impl ServerMsg {
                         remaining: dec.remaining(),
                     });
                 }
-                Ok(ServerMsg::Chunk(Chunk { positions, attrs, num_attrs }))
+                Ok(ServerMsg::Chunk(Chunk {
+                    positions,
+                    attrs,
+                    num_attrs,
+                }))
             }
-            MSG_DONE => Ok(ServerMsg::Done { points: dec.get_u64("done points")? }),
-            tag => Err(WireError::BadTag { what: "server message tag", tag: tag as u64 }),
+            MSG_DONE => Ok(ServerMsg::Done {
+                points: dec.get_u64("done points")?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "server message tag",
+                tag: tag as u64,
+            }),
         }
     }
 }
@@ -292,7 +313,10 @@ mod tests {
     fn wrong_tags_rejected() {
         let done = ServerMsg::Done { points: 1 }.encode();
         assert!(Request::decode(&done).is_err());
-        let req = Request { query: Query::new() }.encode();
+        let req = Request {
+            query: Query::new(),
+        }
+        .encode();
         assert!(ServerMsg::decode(&req).is_err());
     }
 

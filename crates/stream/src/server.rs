@@ -25,7 +25,10 @@ impl StreamServer {
     /// `dataset`.
     pub fn bind(addr: &str, dataset: Dataset) -> std::io::Result<StreamServer> {
         let listener = TcpListener::bind(addr)?;
-        Ok(StreamServer { listener, dataset: Arc::new(dataset) })
+        Ok(StreamServer {
+            listener,
+            dataset: Arc::new(dataset),
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -63,7 +66,11 @@ impl StreamServer {
                 }
             }
         });
-        ServerHandle { stop, addr, thread: Some(thread) }
+        ServerHandle {
+            stop,
+            addr,
+            thread: Some(thread),
+        }
     }
 }
 

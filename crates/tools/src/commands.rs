@@ -29,9 +29,15 @@ pub fn info(args: &[String]) -> Result<()> {
     );
     println!("attributes:");
     for (i, (desc, &(lo, hi))) in meta.descs.iter().zip(&meta.global_ranges).enumerate() {
-        println!("  [{i}] {:<20} {:?}  global range [{lo:.6}, {hi:.6}]", desc.name, desc.dtype);
+        println!(
+            "  [{i}] {:<20} {:?}  global range [{lo:.6}, {hi:.6}]",
+            desc.name, desc.dtype
+        );
     }
-    println!("total size: {} bytes on disk", ds.total_file_bytes().map_err(|e| e.to_string())?);
+    println!(
+        "total size: {} bytes on disk",
+        ds.total_file_bytes().map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
@@ -209,7 +215,11 @@ pub fn density(args: &[String]) -> Result<()> {
     .map_err(|e| e.to_string())?;
     let max = *grid.iter().max().unwrap_or(&1);
     let ramp: &[u8] = b" .:-=+*#%@";
-    println!("x → (width {:.2}), z ↑ (height {:.2}), projected along y, quality {quality}", dom.extent().x, dom.extent().z);
+    println!(
+        "x → (width {:.2}), z ↑ (height {:.2}), projected along y, quality {quality}",
+        dom.extent().x,
+        dom.extent().z
+    );
     for row in 0..H {
         let line: String = (0..W)
             .map(|col| {
@@ -245,7 +255,11 @@ pub fn stats(args: &[String]) -> Result<()> {
         let s = LayoutStats::measure(&bytes).map_err(|e| e.to_string())?;
         println!(
             "{i:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>8}  {:>6}",
-            s.raw_bytes, s.file_bytes, s.structure_bytes, s.padding_bytes, s.num_treelets,
+            s.raw_bytes,
+            s.file_bytes,
+            s.structure_bytes,
+            s.padding_bytes,
+            s.num_treelets,
             s.dict_entries
         );
         acc.0 += s.raw_bytes;
@@ -274,7 +288,9 @@ pub fn stats(args: &[String]) -> Result<()> {
 fn stats_demo(args: &[String]) -> Result<()> {
     let json = args.iter().any(|a| a == "--json");
     if let Some(bad) = args.iter().find(|a| *a != "--json") {
-        return Err(format!("unknown option '{bad}' (expected --json or a <dir> <basename>)"));
+        return Err(format!(
+            "unknown option '{bad}' (expected --json or a <dir> <basename>)"
+        ));
     }
 
     let reg = std::sync::Arc::new(bat_obs::Registry::new());
@@ -314,10 +330,12 @@ fn stats_demo(args: &[String]) -> Result<()> {
     // Exercise the read path too: a progressive query plus a filtered one
     // (so treelet fetches, page touches, and bitmap hit/skip all record).
     let ds = Dataset::open(&dir, "demo").map_err(|e| format!("open demo dataset: {e}"))?;
-    ds.query(&Query::new().with_quality(0.5), |_| {}).map_err(|e| e.to_string())?;
+    ds.query(&Query::new().with_quality(0.5), |_| {})
+        .map_err(|e| e.to_string())?;
     let (lo, hi) = ds.meta().global_ranges[0];
     let mid = lo + 0.5 * (hi - lo);
-    ds.query(&Query::new().with_filter(0, lo, mid), |_| {}).map_err(|e| e.to_string())?;
+    ds.query(&Query::new().with_filter(0, lo, mid), |_| {})
+        .map_err(|e| e.to_string())?;
     std::fs::remove_dir_all(&dir).ok();
 
     let snap = reg.snapshot();
@@ -407,7 +425,12 @@ mod tests {
         let (dir, base) = make_dataset("query");
         query(&args(&dir, &base, &[])).unwrap();
         query(&args(&dir, &base, &["--quality", "0.5"])).unwrap();
-        query(&args(&dir, &base, &["--bounds", "0,0,0,0.5,0.5,0.5", "--dump", "2"])).unwrap();
+        query(&args(
+            &dir,
+            &base,
+            &["--bounds", "0,0,0,0.5,0.5,0.5", "--dump", "2"],
+        ))
+        .unwrap();
         query(&args(&dir, &base, &["--filter", "0,-1,1"])).unwrap();
         assert!(query(&args(&dir, &base, &["--bogus"])).is_err());
         assert!(query(&args(&dir, &base, &["--bounds", "1,2"])).is_err());

@@ -39,7 +39,11 @@ impl<'a> Decoder<'a> {
     /// Jump to an absolute offset (e.g. a treelet offset from a file table).
     pub fn seek(&mut self, pos: usize, what: &'static str) -> WireResult<()> {
         if pos > self.buf.len() {
-            return Err(WireError::Truncated { what, needed: pos, remaining: self.buf.len() });
+            return Err(WireError::Truncated {
+                what,
+                needed: pos,
+                remaining: self.buf.len(),
+            });
         }
         self.pos = pos;
         Ok(())
@@ -48,7 +52,11 @@ impl<'a> Decoder<'a> {
     #[inline]
     fn take(&mut self, n: usize, what: &'static str) -> WireResult<&'a [u8]> {
         if self.remaining() < n {
-            return Err(WireError::Truncated { what, needed: n, remaining: self.remaining() });
+            return Err(WireError::Truncated {
+                what,
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -122,7 +130,11 @@ impl<'a> Decoder<'a> {
         let len = self.get_u64(what)?;
         let total = (len as u128) * elem_size as u128;
         if total > self.remaining() as u128 {
-            return Err(WireError::BadLength { what, len, remaining: self.remaining() });
+            return Err(WireError::BadLength {
+                what,
+                len,
+                remaining: self.remaining(),
+            });
         }
         Ok(len as usize)
     }
@@ -155,7 +167,10 @@ impl<'a> Decoder<'a> {
     pub fn get_u16_vec(&mut self, what: &'static str) -> WireResult<Vec<u16>> {
         let len = self.get_len(2, what)?;
         let raw = self.take(len * 2, what)?;
-        Ok(raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+        Ok(raw
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect())
     }
 
     /// Length-prefixed `u32` vector.

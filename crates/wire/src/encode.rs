@@ -16,7 +16,9 @@ impl Encoder {
 
     /// Pre-size the internal buffer.
     pub fn with_capacity(cap: usize) -> Encoder {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.

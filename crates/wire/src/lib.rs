@@ -10,9 +10,11 @@
 //! with `u64`. Decoding is panic-free: every read returns a [`WireError`] on
 //! truncated or malformed input, so a corrupt file can never crash a reader.
 
+pub mod block;
 mod decode;
 mod encode;
 
+pub use block::{page_align, pages_spanned, Block, PAGE_SIZE};
 pub use decode::Decoder;
 pub use encode::Encoder;
 
@@ -63,15 +65,32 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { what, needed, remaining } => {
-                write!(f, "truncated input reading {what}: need {needed} bytes, have {remaining}")
+            WireError::Truncated {
+                what,
+                needed,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "truncated input reading {what}: need {needed} bytes, have {remaining}"
+                )
             }
-            WireError::BadLength { what, len, remaining } => {
-                write!(f, "bad length for {what}: {len} exceeds remaining {remaining} bytes")
+            WireError::BadLength {
+                what,
+                len,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "bad length for {what}: {len} exceeds remaining {remaining} bytes"
+                )
             }
             WireError::BadUtf8 { what } => write!(f, "invalid UTF-8 in {what}"),
             WireError::BadMagic { expected, found } => {
-                write!(f, "bad magic: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "bad magic: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             WireError::BadTag { what, tag } => write!(f, "bad tag for {what}: {tag}"),
         }

@@ -40,10 +40,18 @@ pub const NUM_ATTRS: usize = 7;
 
 /// The 7-attribute schema (velocity, thermal and coal properties).
 pub fn descs() -> Vec<AttributeDesc> {
-    ["vel_x", "vel_y", "vel_z", "temperature", "mass", "diameter", "residence_time"]
-        .into_iter()
-        .map(AttributeDesc::f64)
-        .collect()
+    [
+        "vel_x",
+        "vel_y",
+        "vel_z",
+        "temperature",
+        "mass",
+        "diameter",
+        "residence_time",
+    ]
+    .into_iter()
+    .map(AttributeDesc::f64)
+    .collect()
 }
 
 /// One injection inlet on the x = 0 wall.
@@ -75,12 +83,33 @@ impl CoalBoiler {
     pub fn new(scale: f64, seed: u64) -> CoalBoiler {
         let boiler = Aabb::new(Vec3::ZERO, Vec3::new(10.0, 6.0, 8.0));
         let inlets = vec![
-            Inlet { center: (1.5, 2.0), drift: (0.15, 0.35), weight: 0.35 },
-            Inlet { center: (4.5, 2.0), drift: (-0.1, 0.4), weight: 0.3 },
-            Inlet { center: (3.0, 5.5), drift: (0.0, 0.25), weight: 0.2 },
-            Inlet { center: (1.0, 5.0), drift: (0.2, 0.2), weight: 0.15 },
+            Inlet {
+                center: (1.5, 2.0),
+                drift: (0.15, 0.35),
+                weight: 0.35,
+            },
+            Inlet {
+                center: (4.5, 2.0),
+                drift: (-0.1, 0.4),
+                weight: 0.3,
+            },
+            Inlet {
+                center: (3.0, 5.5),
+                drift: (0.0, 0.25),
+                weight: 0.2,
+            },
+            Inlet {
+                center: (1.0, 5.0),
+                drift: (0.2, 0.2),
+                weight: 0.15,
+            },
         ];
-        CoalBoiler { boiler, scale, seed, inlets }
+        CoalBoiler {
+            boiler,
+            scale,
+            seed,
+            inlets,
+        }
     }
 
     /// Scaled particle count at `step` (linear in step, clamped to the

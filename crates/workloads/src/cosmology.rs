@@ -23,10 +23,17 @@ pub const NUM_ATTRS: usize = 6;
 
 /// The attribute schema.
 pub fn descs() -> Vec<AttributeDesc> {
-    ["vel_x", "vel_y", "vel_z", "mass", "potential", "local_density"]
-        .into_iter()
-        .map(AttributeDesc::f64)
-        .collect()
+    [
+        "vel_x",
+        "vel_y",
+        "vel_z",
+        "mass",
+        "potential",
+        "local_density",
+    ]
+    .into_iter()
+    .map(AttributeDesc::f64)
+    .collect()
 }
 
 /// One halo: a Plummer sphere of particles.

@@ -227,7 +227,11 @@ impl XSampler {
         }
         let bins = (self.cdf.len() - 1) as f32;
         let seg = self.cdf[hi] - self.cdf[lo];
-        let frac = if seg > 0.0 { ((target - self.cdf[lo]) / seg) as f32 } else { 0.5 };
+        let frac = if seg > 0.0 {
+            ((target - self.cdf[lo]) / seg) as f32
+        } else {
+            0.5
+        };
         self.x0 + (self.x1 - self.x0) * (lo as f32 + frac) / bins
     }
 }

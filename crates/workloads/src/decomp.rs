@@ -74,7 +74,10 @@ impl RankGrid {
         dims[axes[0].1] = a;
         dims[axes[1].1] = b;
         dims[axes[2].1] = c;
-        RankGrid { dims: (dims[0], dims[1], dims[2]), domain }
+        RankGrid {
+            dims: (dims[0], dims[1], dims[2]),
+            domain,
+        }
     }
 
     /// 2D decomposition over x and y (the Dam Break floor), one slab in z.
@@ -82,7 +85,10 @@ impl RankGrid {
         let (a, b) = factor2(n_ranks);
         let e = domain.extent();
         let (dx, dy) = if e.x >= e.y { (a, b) } else { (b, a) };
-        RankGrid { dims: (dx, dy, 1), domain }
+        RankGrid {
+            dims: (dx, dy, 1),
+            domain,
+        }
     }
 
     /// Number of ranks in the grid.
@@ -98,7 +104,10 @@ impl RankGrid {
     /// Same grid dims over different domain bounds (the "resized to fit the
     /// data bounds" behavior of the Coal Boiler decomposition).
     pub fn fit_to(&self, data_bounds: Aabb) -> RankGrid {
-        RankGrid { dims: self.dims, domain: data_bounds }
+        RankGrid {
+            dims: self.dims,
+            domain: data_bounds,
+        }
     }
 
     /// The 3D grid cell of a rank (x-fastest order).

@@ -67,7 +67,11 @@ impl CellGrid {
     fn cell_coords(&self, p: Vec3) -> (usize, usize, usize) {
         let q = (p - self.origin) * self.inv_h;
         let c = |v: f32, d: usize| (v.max(0.0) as usize).min(d - 1);
-        (c(q.x, self.dims.0), c(q.y, self.dims.1), c(q.z, self.dims.2))
+        (
+            c(q.x, self.dims.0),
+            c(q.y, self.dims.1),
+            c(q.z, self.dims.2),
+        )
     }
 
     fn cell_index(&self, p: Vec3) -> usize {
@@ -240,8 +244,8 @@ impl SphSim {
                     }
                     let dir = d / r;
                     // Symmetric pressure force.
-                    let p_term =
-                        -mass * (p_i / (rho_i * rho_i) + pressures[j] / (densities[j] * densities[j]));
+                    let p_term = -mass
+                        * (p_i / (rho_i * rho_i) + pressures[j] / (densities[j] * densities[j]));
                     acc += dir * (p_term * grad_spiky(r, h));
                     // Artificial viscosity: damp approach velocity.
                     let dv = velocities[i] - velocities[j];
@@ -266,7 +270,12 @@ impl SphSim {
 
         // Symplectic Euler, with positions clamped into the tank as a
         // last-resort safety (the penalty walls do the real work).
-        for ((p, v), &a) in self.positions.iter_mut().zip(&mut self.velocities).zip(&accels) {
+        for ((p, v), &a) in self
+            .positions
+            .iter_mut()
+            .zip(&mut self.velocities)
+            .zip(&accels)
+        {
             *v += a * dt;
             // Mild global damping for numerical robustness.
             *v = *v * 0.999;
@@ -334,8 +343,7 @@ mod tests {
             "front should advance: {max_x0} -> {max_x1}"
         );
         // And the column height should drop.
-        let mean_z: f32 =
-            sim.positions.iter().map(|p| p.z).sum::<f32>() / sim.len() as f32;
+        let mean_z: f32 = sim.positions.iter().map(|p| p.z).sum::<f32>() / sim.len() as f32;
         assert!(mean_z < 1.0, "column should slump, mean z = {mean_z}");
     }
 
@@ -366,6 +374,9 @@ mod tests {
         assert!(w_poly6(0.0, h) > w_poly6(0.005, h));
         assert_eq!(w_poly6(h * h, h), 0.0);
         assert_eq!(grad_spiky(h, h), 0.0);
-        assert!(grad_spiky(0.05, h) < 0.0, "spiky gradient factor is negative");
+        assert!(
+            grad_spiky(0.05, h) < 0.0,
+            "spiky gradient factor is negative"
+        );
     }
 }

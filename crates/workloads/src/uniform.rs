@@ -20,7 +20,9 @@ pub const NUM_ATTRS: usize = 14;
 
 /// The 14-attribute schema of the uniform benchmark.
 pub fn descs() -> Vec<AttributeDesc> {
-    (0..NUM_ATTRS).map(|i| AttributeDesc::f64(format!("attr{i:02}"))).collect()
+    (0..NUM_ATTRS)
+        .map(|i| AttributeDesc::f64(format!("attr{i:02}")))
+        .collect()
 }
 
 /// Rank infos for a modeled run: every rank reports `per_rank` particles.

@@ -44,7 +44,10 @@ fn main() -> std::io::Result<()> {
     let n_ranks = 12;
     let cb = CoalBoiler::new(2e-3, 2024); // ~9.2k → 83k particles
 
-    println!("Coal Boiler time series on {n_ranks} ranks (scaled to {:.0e} of the original)", 2e-3);
+    println!(
+        "Coal Boiler time series on {n_ranks} ranks (scaled to {:.0e} of the original)",
+        2e-3
+    );
     println!(
         "{:>6} {:>10} | {:>9} {:>11} {:>11} {:>11} | {:>9}",
         "step", "particles", "files", "mean KB", "sigma KB", "max KB", "write ms"

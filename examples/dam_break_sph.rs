@@ -47,12 +47,14 @@ fn main() -> std::io::Result<()> {
         let g = grid.clone();
         let d = dir.clone();
         let gsets: Vec<ParticleSet> = {
-            let mut per_rank: Vec<ParticleSet> =
-                (0..n_ranks).map(|_| ParticleSet::new(bat_workloads::dam_break::descs())).collect();
+            let mut per_rank: Vec<ParticleSet> = (0..n_ranks)
+                .map(|_| ParticleSet::new(bat_workloads::dam_break::descs()))
+                .collect();
             for i in 0..global.len() {
                 let r = grid.rank_of_point(global.positions[i]);
-                let vals: Vec<f64> =
-                    (0..global.num_attrs()).map(|a| global.value(a, i)).collect();
+                let vals: Vec<f64> = (0..global.num_attrs())
+                    .map(|a| global.value(a, i))
+                    .collect();
                 per_rank[r].push(global.positions[i], &vals);
             }
             per_rank
@@ -88,7 +90,9 @@ fn main() -> std::io::Result<()> {
     let counts = Cluster::run(restart_ranks, move |comm| {
         let g = RankGrid::new_2d(restart_ranks, tank);
         let me: Aabb = g.bounds_of(comm.rank());
-        read_particles(&comm, me, &d, &name).expect("restart read").len()
+        read_particles(&comm, me, &d, &name)
+            .expect("restart read")
+            .len()
     });
     println!(
         "\nrestart on {restart_ranks} ranks recovered {} particles {:?}",

@@ -96,7 +96,10 @@ fn main() -> std::io::Result<()> {
     let addr = server.local_addr();
     let handle = server.spawn();
     let mut client = StreamClient::connect(addr)?;
-    println!("\nstreaming server on {addr}: schema has {} attributes", client.schema().descs.len());
+    println!(
+        "\nstreaming server on {addr}: schema has {} attributes",
+        client.schema().descs.len()
+    );
     let mut shown = 0u64;
     let mut prev = 0.0;
     for i in 1..=4 {

@@ -82,7 +82,11 @@ fn main() -> std::io::Result<()> {
 
     // Visualization reads: open the dataset as a single logical file.
     let ds = Dataset::open(&dir, "quickstart")?;
-    println!("\ndataset: {} particles in {} files", ds.num_particles(), ds.num_files());
+    println!(
+        "\ndataset: {} particles in {} files",
+        ds.num_particles(),
+        ds.num_files()
+    );
 
     // Progressive multiresolution: coarse preview first, then refine.
     for q in [0.1, 0.3, 1.0] {
@@ -91,7 +95,11 @@ fn main() -> std::io::Result<()> {
     }
 
     // Spatial + attribute query: hot particles in the +x half.
-    let temp = ds.descs().iter().position(|d| d.name == "temperature").unwrap();
+    let temp = ds
+        .descs()
+        .iter()
+        .position(|d| d.name == "temperature")
+        .unwrap();
     let (lo, hi) = ds.global_range(temp);
     let q = Query::new()
         .with_bounds(Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::ONE))

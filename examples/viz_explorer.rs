@@ -32,8 +32,7 @@ fn main() -> std::io::Result<()> {
             512 << 10,
             bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
         );
-        write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &d, "boiler")
-            .expect("write");
+        write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &d, "boiler").expect("write");
     });
 
     let ds = Dataset::open(&dir, "boiler")?;
@@ -41,7 +40,10 @@ fn main() -> std::io::Result<()> {
         "dataset: {} particles, {} files, attributes: {:?}",
         ds.num_particles(),
         ds.num_files(),
-        ds.descs().iter().map(|d| d.name.as_str()).collect::<Vec<_>>()
+        ds.descs()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // --- Scene load: progressive quality sweep, streaming increments. ---
@@ -64,10 +66,7 @@ fn main() -> std::io::Result<()> {
 
     // --- Zoom: spatial subset at medium quality. ---
     let dom = ds.meta().domain;
-    let zoom = Aabb::new(
-        dom.min,
-        dom.min + dom.extent() * 0.4,
-    );
+    let zoom = Aabb::new(dom.min, dom.min + dom.extent() * 0.4);
     let t = Instant::now();
     let n = ds.count(&Query::new().with_bounds(zoom).with_quality(0.6))?;
     println!(
@@ -76,7 +75,11 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- Attribute brush: the hottest particles anywhere. ---
-    let temp = ds.descs().iter().position(|d| d.name == "temperature").unwrap();
+    let temp = ds
+        .descs()
+        .iter()
+        .position(|d| d.name == "temperature")
+        .unwrap();
     let (lo, hi) = ds.global_range(temp);
     let t = Instant::now();
     let q = Query::new().with_filter(temp, lo + 0.9 * (hi - lo), hi);

@@ -21,7 +21,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         let name = name.into();
         println!("\n== {name} ==");
-        BenchmarkGroup { name, throughput: None }
+        BenchmarkGroup {
+            name,
+            throughput: None,
+        }
     }
 
     /// Benchmark outside any group.
@@ -44,7 +47,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -79,9 +84,11 @@ impl BenchmarkGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) {
-        run_benchmark(&format!("{}/{}", self.name, id.label), self.throughput, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b, input),
+        );
     }
 
     pub fn finish(self) {}
@@ -105,7 +112,10 @@ impl Bencher {
 
 fn run_benchmark(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
     // Warmup and batch sizing: double until a batch takes >= TARGET_BATCH.
-    let mut b = Bencher { batch: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
     loop {
         f(&mut b);
         if b.elapsed >= TARGET_BATCH || b.batch >= 1 << 20 {
@@ -116,7 +126,9 @@ fn run_benchmark(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(
     let per_iter = b.elapsed.as_secs_f64() / b.batch as f64;
     let rate = match throughput {
         Some(Throughput::Elements(n)) => format!("  {:>10.1} Melem/s", n as f64 / per_iter / 1e6),
-        Some(Throughput::Bytes(n)) => format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+        }
         None => String::new(),
     };
     println!("{label:<48} {:>12.0} ns/iter{rate}", per_iter * 1e9);

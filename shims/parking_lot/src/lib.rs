@@ -16,11 +16,15 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -80,8 +84,11 @@ impl Condvar {
     /// when this returns. Spurious wakeups are possible, as upstream.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let held = guard.inner.take().expect("guard present outside wait");
-        guard.inner =
-            Some(self.inner.wait(held).unwrap_or_else(PoisonError::into_inner));
+        guard.inner = Some(
+            self.inner
+                .wait(held)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
     }
 
     pub fn notify_one(&self) {

@@ -8,7 +8,9 @@ pub struct TestCaseError {
 
 impl TestCaseError {
     pub fn fail(message: impl Into<String>) -> TestCaseError {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -30,7 +32,10 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn for_test(name: &str) -> TestRng {
-        let seed = match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()) {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
             Some(s) => s,
             None => fnv1a(name.as_bytes()),
         };

@@ -14,7 +14,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
 
 fn parallelism_budget() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 struct JoinTicket;

@@ -117,7 +117,10 @@ fn dam_break_gap_grows_with_scale() {
     // grid collapses along the undecomposed z axis), so we assert the
     // robust part of the claim: adaptive wins clearly at both scales.
     assert!(gaps[0] > 1.0, "adaptive should win at 2M/1536: {gaps:?}");
-    assert!(gaps[1] > 1.5, "adaptive should win clearly at 8M/6144: {gaps:?}");
+    assert!(
+        gaps[1] > 1.5,
+        "adaptive should win clearly at 8M/6144: {gaps:?}"
+    );
 }
 
 #[test]
@@ -137,9 +140,12 @@ fn dam_break_adaptive_write_times_stay_flat() {
         // load; the distribution-sensitivity claim is about the modeled
         // transfer/build/write phases.
         let modeled = |t: &bat_iosim::PhaseTimes| t.total - t[bat_iosim::WritePhase::TreeBuild];
-        adaptive_times
-            .push(modeled(&model_write(&profile, &ranks, &dam_cfg(3, Strategy::Adaptive)).times));
-        aug_times.push(modeled(&model_write(&profile, &ranks, &dam_cfg(3, Strategy::Aug)).times));
+        adaptive_times.push(modeled(
+            &model_write(&profile, &ranks, &dam_cfg(3, Strategy::Adaptive)).times,
+        ));
+        aug_times.push(modeled(
+            &model_write(&profile, &ranks, &dam_cfg(3, Strategy::Aug)).times,
+        ));
     }
     let spread = |v: &[f64]| {
         let max = v.iter().cloned().fold(f64::MIN, f64::max);

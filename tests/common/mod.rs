@@ -13,10 +13,8 @@ pub struct ScratchDir {
 impl ScratchDir {
     pub fn new(tag: &str) -> ScratchDir {
         let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "bat-itest-{tag}-{}-{id}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("bat-itest-{tag}-{}-{id}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create scratch dir");
         ScratchDir { path }
     }

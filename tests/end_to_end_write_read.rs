@@ -46,13 +46,16 @@ fn same_rank_count_roundtrip() {
     let grid = RankGrid::new_3d(n, Aabb::unit());
     let dir = scratch.path.clone();
     let read_fps = Cluster::run(n, move |comm| {
-        let set = read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u")
-            .expect("read succeeds");
+        let set =
+            read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u").expect("read succeeds");
         fingerprint(&set)
     });
     for (rank, (w, r)) in fps.iter().zip(&read_fps).enumerate() {
         assert_eq!(w.0, r.0, "rank {rank} particle count");
-        assert!((w.1 - r.1).abs() < 1e-6 * w.1.abs().max(1.0), "rank {rank} checksum");
+        assert!(
+            (w.1 - r.1).abs() < 1e-6 * w.1.abs().max(1.0),
+            "rank {rank} checksum"
+        );
     }
 }
 
@@ -71,7 +74,10 @@ fn restart_on_more_ranks() {
             .len()
     });
     let total_read: usize = counts.iter().sum();
-    assert_eq!(total_read, total_written, "12-rank restart must recover every particle");
+    assert_eq!(
+        total_read, total_written,
+        "12-rank restart must recover every particle"
+    );
 }
 
 #[test]
@@ -88,7 +94,10 @@ fn restart_on_fewer_ranks() {
             .len()
     });
     let total_read: usize = counts.iter().sum();
-    assert_eq!(total_read, total_written, "3-rank restart must recover every particle");
+    assert_eq!(
+        total_read, total_written,
+        "3-rank restart must recover every particle"
+    );
 }
 
 #[test]
@@ -97,7 +106,9 @@ fn single_rank_write_and_read() {
     let fps = write_uniform(&scratch.path, 1, 5000, 1 << 20, false);
     let dir = scratch.path.clone();
     let counts = Cluster::run(1, move |comm| {
-        read_particles(&comm, Aabb::unit(), &dir, "u").unwrap().len()
+        read_particles(&comm, Aabb::unit(), &dir, "u")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts[0], fps[0].0);
 }
@@ -110,7 +121,9 @@ fn aug_strategy_roundtrip() {
     let grid = RankGrid::new_3d(8, Aabb::unit());
     let dir = scratch.path.clone();
     let counts = Cluster::run(8, move |comm| {
-        read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u").unwrap().len()
+        read_particles(&comm, grid.bounds_of(comm.rank()), &dir, "u")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), total);
 }
@@ -129,15 +142,23 @@ fn empty_ranks_are_skipped() {
             ParticleSet::new(uniform::descs())
         };
         let cfg = WriteConfig::with_target_size(50_000, 124);
-        let report =
-            write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "sparse")
-                .expect("write succeeds");
+        let report = write_particles(
+            &comm,
+            set,
+            grid.bounds_of(comm.rank()),
+            &cfg,
+            &dir,
+            "sparse",
+        )
+        .expect("write succeeds");
         assert!(report.files >= 1);
     });
     let grid2 = RankGrid::new_3d(n, Aabb::unit());
     let dir = scratch.path.clone();
     let counts = Cluster::run(n, move |comm| {
-        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "sparse").unwrap().len()
+        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "sparse")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), 2000);
 }
@@ -149,20 +170,15 @@ fn all_ranks_empty_writes_empty_dataset() {
     Cluster::run(4, move |comm| {
         let set = ParticleSet::new(uniform::descs());
         let cfg = WriteConfig::with_target_size(50_000, 124);
-        let report = write_particles(
-            &comm,
-            set,
-            Aabb::unit(),
-            &cfg,
-            &dir,
-            "void",
-        )
-        .expect("empty write succeeds");
+        let report = write_particles(&comm, set, Aabb::unit(), &cfg, &dir, "void")
+            .expect("empty write succeeds");
         assert_eq!(report.files, 0);
     });
     let dir = scratch.path.clone();
     let counts = Cluster::run(4, move |comm| {
-        read_particles(&comm, Aabb::unit(), &dir, "void").unwrap().len()
+        read_particles(&comm, Aabb::unit(), &dir, "void")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), 0);
 }
@@ -187,7 +203,9 @@ fn grossly_imbalanced_rank_roundtrip() {
     let grid2 = RankGrid::new_3d(n, Aabb::unit());
     let dir = scratch.path.clone();
     let counts = Cluster::run(n, move |comm| {
-        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "imb").unwrap().len()
+        read_particles(&comm, grid2.bounds_of(comm.rank()), &dir, "imb")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), written.iter().sum::<usize>());
 }
@@ -219,11 +237,19 @@ fn multiple_timesteps_coexist() {
         let dir = scratch.path.clone();
         let g = grid.clone();
         let counts = Cluster::run(n, move |comm| {
-            read_particles(&comm, g.bounds_of(comm.rank()), &dir, &format!("step{step}"))
-                .unwrap()
-                .len()
+            read_particles(
+                &comm,
+                g.bounds_of(comm.rank()),
+                &dir,
+                &format!("step{step}"),
+            )
+            .unwrap()
+            .len()
         });
-        assert_eq!(counts.iter().sum::<usize>() as u64, (500 + 100 * step as u64) * n as u64);
+        assert_eq!(
+            counts.iter().sum::<usize>() as u64,
+            (500 + 100 * step as u64) * n as u64
+        );
     }
 }
 
@@ -260,7 +286,9 @@ fn in_transit_hook_sees_every_particle() {
     let dir = scratch.path.clone();
     let counts = Cluster::run(n, move |comm| {
         let g = RankGrid::new_3d(n, Aabb::unit());
-        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "intransit").unwrap().len()
+        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "intransit")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), 6000);
 }
@@ -282,7 +310,9 @@ fn auto_target_size_roundtrip() {
     let dir = scratch.path.clone();
     let counts = Cluster::run(n, move |comm| {
         let g = RankGrid::new_3d(n, Aabb::unit());
-        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "auto").unwrap().len()
+        read_particles(&comm, g.bounds_of(comm.rank()), &dir, "auto")
+            .unwrap()
+            .len()
     });
     assert_eq!(counts.iter().sum::<usize>(), 16_000);
 }
@@ -329,14 +359,23 @@ fn metrics_do_not_change_written_bytes() {
         write_uniform(&scratch_on.path, 6, 1800, 90_000, false);
         // The instrumentation actually fired while enabled.
         let snap = registry.snapshot();
-        assert!(snap.counter("write.particles").is_some(), "write path recorded metrics");
-        assert!(snap.histogram("bat.morton_sort_ns").is_some(), "BAT build recorded spans");
+        assert!(
+            snap.counter("write.particles").is_some(),
+            "write path recorded metrics"
+        );
+        assert!(
+            snap.histogram("bat.morton_sort_ns").is_some(),
+            "BAT build recorded spans"
+        );
     }
 
     let off = dir_digest(&scratch_off.path);
     let on = dir_digest(&scratch_on.path);
     assert!(!off.is_empty(), "write produced files");
-    assert_eq!(off, on, "metrics-enabled write must be byte-identical to disabled");
+    assert_eq!(
+        off, on,
+        "metrics-enabled write must be byte-identical to disabled"
+    );
 }
 
 #[test]
@@ -384,7 +423,10 @@ fn custom_layout_sink() {
     let candidates = meta
         .candidate_leaves(&bat_layout::Query::new().with_filter(0, 1e9, 2e9))
         .unwrap();
-    assert!(candidates.is_empty(), "out-of-range filter culls all leaves");
+    assert!(
+        candidates.is_empty(),
+        "out-of-range filter culls all leaves"
+    );
 
     // The leaf files hold the user's layout, decodable by its owner.
     let mut total = 0u64;

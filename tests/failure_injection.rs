@@ -127,13 +127,19 @@ fn bad_magic_and_version_rejected_at_open() {
     // Magic occupies bytes 0..4.
     let mut bad_magic = original.clone();
     bad_magic[0] ^= 0xff;
-    assert!(BatFile::from_bytes(bad_magic).is_err(), "bad magic must fail open");
+    assert!(
+        BatFile::from_bytes(bad_magic).is_err(),
+        "bad magic must fail open"
+    );
 
     // Version occupies bytes 4..8; a future version must be rejected, not
     // misparsed.
     let mut bad_version = original.clone();
     bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
-    assert!(BatFile::from_bytes(bad_version).is_err(), "unknown version must fail open");
+    assert!(
+        BatFile::from_bytes(bad_version).is_err(),
+        "unknown version must fail open"
+    );
 
     // The pristine bytes still open (the mutations above are the cause).
     assert!(BatFile::from_bytes(original).is_ok());
@@ -146,7 +152,10 @@ fn malformed_stream_frames_rejected() {
     // Garbage payloads must decode to Err, never panic.
     assert!(Request::decode(&[]).is_err(), "empty payload");
     assert!(Request::decode(&[0xff; 16]).is_err(), "unknown message tag");
-    assert!(ServerMsg::decode(&[0xff; 16]).is_err(), "unknown server tag");
+    assert!(
+        ServerMsg::decode(&[0xff; 16]).is_err(),
+        "unknown server tag"
+    );
 
     // A frame header advertising an absurd length must be refused before
     // any allocation.
@@ -168,6 +177,40 @@ fn empty_directory_dataset_open_fails_cleanly() {
         Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::NotFound),
         Ok(_) => panic!("open of a missing dataset must fail"),
     }
+}
+
+#[test]
+fn corrupt_shuffle_frame_fails_the_write_collective_cleanly() {
+    // One rank poisons the particle-transfer tag with a garbage payload
+    // before entering the collective. Whichever aggregator expects data
+    // from that rank receives the garbage first, fails to parse it as a
+    // columnar frame, and the abort must propagate: every rank returns
+    // Err from write_particles — no panic, no hang, no partial dataset
+    // advertised as complete.
+    let scratch = ScratchDir::new("corrupt-shuffle");
+    let n = 4;
+    let grid = RankGrid::new_3d(n, Aabb::unit());
+    let dir = scratch.path.clone();
+    Cluster::run(n, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), 800, 4);
+        let cfg = WriteConfig::with_target_size(60_000, set.bytes_per_particle() as u64);
+        if comm.rank() == 1 {
+            // Tag 1 is the pipeline's particle-data tag. The aggregator for
+            // rank 1 is decided inside the collective, so poison them all;
+            // unconsumed copies are discarded with the cluster.
+            for dst in 0..comm.size() {
+                comm.isend(
+                    dst,
+                    1,
+                    bytes::Bytes::copy_from_slice(b"not a columnar frame"),
+                );
+            }
+        }
+        let res = write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "x");
+        assert!(res.is_err(), "rank {} must observe the abort", comm.rank());
+    });
+    // The abort left no metadata behind: the dataset never half-exists.
+    assert!(Dataset::open(&scratch.path, "x").is_err());
 }
 
 #[test]

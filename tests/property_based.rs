@@ -3,23 +3,16 @@
 //! force, aggregation-tree partitioning, bitmap conservativeness, and the
 //! progressive-read contract.
 
-use bat_geom::{Aabb, Vec3};
-use bat_layout::{
-    AttributeDesc, BatBuilder, BatConfig, BatFile, Bitmap32, ParticleSet, Query,
-};
 use bat_aggregation::{AggConfig, AggregationTree, RankInfo};
+use bat_geom::{Aabb, Vec3};
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, BatFile, Bitmap32, ParticleSet, Query};
 use proptest::prelude::*;
 
 /// Strategy: a particle cloud with one f64 attribute, arbitrary positions
 /// inside a fixed domain.
 fn particle_cloud(max_n: usize) -> impl Strategy<Value = ParticleSet> {
     prop::collection::vec(
-        (
-            0.0f32..1.0,
-            0.0f32..1.0,
-            0.0f32..1.0,
-            -100.0f64..100.0,
-        ),
+        (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0, -100.0f64..100.0),
         0..max_n,
     )
     .prop_map(|rows| {
@@ -34,7 +27,11 @@ fn particle_cloud(max_n: usize) -> impl Strategy<Value = ParticleSet> {
 fn build_file(set: &ParticleSet) -> BatFile {
     let bat = BatBuilder::new(BatConfig {
         subprefix_bits: 9,
-        treelet: bat_layout::treelet::TreeletConfig { lod_per_inner: 4, max_leaf: 16, seed: 1 },
+        treelet: bat_layout::treelet::TreeletConfig {
+            lod_per_inner: 4,
+            max_leaf: 16,
+            seed: 1,
+        },
     })
     .build(set.clone(), Aabb::unit());
     BatFile::from_bytes(bat.to_bytes()).expect("valid image")

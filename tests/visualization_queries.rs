@@ -24,10 +24,8 @@ fn write_coal(dir: &std::path::Path, n: usize, scale: f64, step: u32) -> u64 {
     let grid2 = grid.clone();
     Cluster::run(n, move |comm| {
         let set = cb2.generate_rank(step, &grid2, comm.rank());
-        let cfg = WriteConfig::with_target_size(
-            64 << 10,
-            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
-        );
+        let cfg =
+            WriteConfig::with_target_size(64 << 10, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
         write_particles(&comm, set, grid2.bounds_of(comm.rank()), &cfg, &dir, "coal")
             .expect("write succeeds");
     });
@@ -84,7 +82,10 @@ fn progressive_dataset_reads_partition_data() {
         "quality 0.1 returned {} of {total}",
         per_step[0]
     );
-    assert!(per_step.iter().all(|&n| n > 0), "every increment adds points: {per_step:?}");
+    assert!(
+        per_step.iter().all(|&n| n > 0),
+        "every increment adds points: {per_step:?}"
+    );
 }
 
 #[test]
@@ -109,17 +110,19 @@ fn attribute_filter_matches_brute_force() {
     let gx = grid2.clone();
     Cluster::run(n, move |comm| {
         let set = cbx.generate_rank(step, &gx, comm.rank());
-        let cfg = WriteConfig::with_target_size(
-            64 << 10,
-            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
-        );
+        let cfg =
+            WriteConfig::with_target_size(64 << 10, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
         write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &dir, "coal")
             .expect("write succeeds");
     });
     let ds = Dataset::open(&scratch2.path, "coal").unwrap();
 
     // Filter on temperature (attr 3) — spatially correlated with x.
-    let temp = ds.descs().iter().position(|d| d.name == "temperature").unwrap();
+    let temp = ds
+        .descs()
+        .iter()
+        .position(|d| d.name == "temperature")
+        .unwrap();
     let (lo, hi) = ds.global_range(temp);
     let qlo = lo + 0.3 * (hi - lo);
     let qhi = lo + 0.5 * (hi - lo);
@@ -150,10 +153,8 @@ fn spatial_query_spans_file_boundaries() {
     let gx = grid.clone();
     Cluster::run(n, move |comm| {
         let set = cbx.generate_rank(step, &gx, comm.rank());
-        let cfg = WriteConfig::with_target_size(
-            32 << 10,
-            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
-        );
+        let cfg =
+            WriteConfig::with_target_size(32 << 10, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
         write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &dir, "coal")
             .expect("write succeeds");
     });
@@ -163,11 +164,12 @@ fn spatial_query_spans_file_boundaries() {
     // A box crossing the middle of the domain.
     let dom = ds.meta().domain;
     let c = dom.center();
-    let qb = Aabb::new(
-        c - dom.extent() * 0.25,
-        c + dom.extent() * 0.25,
-    );
-    let expect = global.positions.iter().filter(|p| qb.contains_point(**p)).count() as u64;
+    let qb = Aabb::new(c - dom.extent() * 0.25, c + dom.extent() * 0.25);
+    let expect = global
+        .positions
+        .iter()
+        .filter(|p| qb.contains_point(**p))
+        .count() as u64;
     let got = ds.count(&Query::new().with_bounds(qb)).unwrap();
     assert_eq!(got, expect);
 
@@ -188,9 +190,11 @@ fn combined_query_and_stats() {
         .with_bounds(half)
         .with_filter(0, lo, lo + 0.5 * (hi - lo))
         .with_quality(0.5);
-    let stats = ds.query(&q, |p| {
-        assert!(half.contains_point(p.position));
-    }).unwrap();
+    let stats = ds
+        .query(&q, |p| {
+            assert!(half.contains_point(p.position));
+        })
+        .unwrap();
     // The query did real culling work.
     let full = ds.query(&Query::new(), |_| {}).unwrap();
     assert!(stats.points_tested <= full.points_tested);
@@ -227,10 +231,8 @@ fn distributed_in_situ_query() {
     let gx = grid.clone();
     Cluster::run(n, move |comm| {
         let set = cbx.generate_rank(step, &gx, comm.rank());
-        let cfg = WriteConfig::with_target_size(
-            64 << 10,
-            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
-        );
+        let cfg =
+            WriteConfig::with_target_size(64 << 10, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
         write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &dir, "dq")
             .expect("write succeeds");
     });
@@ -280,10 +282,8 @@ fn distributed_query_with_quality_and_bounds() {
     let gx = grid.clone();
     Cluster::run(n, move |comm| {
         let set = cbx.generate_rank(step, &gx, comm.rank());
-        let cfg = WriteConfig::with_target_size(
-            64 << 10,
-            bat_workloads::coal_boiler::BYTES_PER_PARTICLE,
-        );
+        let cfg =
+            WriteConfig::with_target_size(64 << 10, bat_workloads::coal_boiler::BYTES_PER_PARTICLE);
         write_particles(&comm, set, gx.bounds_of(comm.rank()), &cfg, &dir, "dq2")
             .expect("write succeeds");
     });
@@ -291,7 +291,9 @@ fn distributed_query_with_quality_and_bounds() {
     let dir = scratch.path.clone();
     let results = Cluster::run(n, move |comm| {
         // Full-quality unbounded query from every rank returns everything.
-        let all = query_distributed(&comm, &Query::new(), &dir, "dq2").unwrap().len();
+        let all = query_distributed(&comm, &Query::new(), &dir, "dq2")
+            .unwrap()
+            .len();
         // Coarse preview returns a proper subset.
         let coarse = query_distributed(&comm, &Query::new().with_quality(0.2), &dir, "dq2")
             .unwrap()
