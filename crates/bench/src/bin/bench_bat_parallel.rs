@@ -1,0 +1,169 @@
+//! Threads-scaling benchmark for the end-to-end `BatBuilder::build`
+//! (ISSUE 3): the BAT build is the hottest CPU phase of the write
+//! pipeline, and with the work-stealing engine in `shims/rayon` it is the
+//! part that should scale with cores.
+//!
+//! ```sh
+//! cargo run --release -p bat-bench --bin bench_bat_parallel [--smoke]
+//! ```
+//!
+//! `--smoke` (the CI gate) times one workload at 1 and 4 threads,
+//! *always* asserts the compacted BAT bytes are identical between the two
+//! (the determinism invariant, DESIGN.md §10), asserts ≥ 1.5× end-to-end
+//! speedup when the host actually has ≥ 4 cores (skipped with a notice
+//! otherwise — a 1-core container cannot measure parallelism), and writes
+//! `BENCH_bat_build.json` at the repository root. The full mode sweeps
+//! 1/2/4/8 threads over a larger workload and saves a CSV.
+
+use bat_bench::report::Table;
+use bat_geom::Aabb;
+use bat_layout::{Bat, BatBuilder, BatConfig, ParticleSet};
+use bat_workloads::{uniform, RankGrid};
+use std::time::Instant;
+
+/// Where `BENCH_bat_build.json` lands: the repository root, independent
+/// of the working directory the binary runs from.
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bat_build.json");
+
+const GATE_THREADS: usize = 4;
+const GATE_SPEEDUP: f64 = 1.5;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn workload(n: u64) -> (ParticleSet, Aabb) {
+    let grid = RankGrid::new_3d(1, Aabb::unit());
+    (uniform::generate_rank(&grid, 0, n, 42), grid.bounds_of(0))
+}
+
+/// Pin the pool and run the build until the best-of-`reps` wall time is
+/// known. Returns (best seconds, FNV of the compacted bytes).
+fn measure(set: &ParticleSet, domain: Aabb, threads: usize, reps: usize) -> (f64, u64) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .expect("shim build_global never fails");
+    let builder = BatBuilder::new(BatConfig::default());
+    // Warmup: pages in the pool's worker threads and the allocator.
+    let warm: Bat = builder.build(set.clone(), domain);
+    let hash = fnv1a(&warm.to_bytes());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let input = set.clone();
+        let t0 = Instant::now();
+        let bat = builder.build(input, domain);
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(fnv1a(&bat.to_bytes()), hash, "build is not deterministic");
+    }
+    (best, hash)
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn run_smoke() {
+    const N: u64 = 150_000;
+    let cores = host_cores();
+    let (set, domain) = workload(N);
+    println!(
+        "bench_bat_parallel --smoke: {N} particles x {} attrs, host has {cores} core(s)",
+        uniform::NUM_ATTRS
+    );
+
+    let metrics = bat_bench::report::bench_metrics(
+        "BAT build thread scaling (smoke)",
+        Some("bench_bat_parallel_smoke"),
+    );
+    let (t1, h1) = measure(&set, domain, 1, 3);
+    let (t4, h4) = measure(&set, domain, GATE_THREADS, 3);
+    metrics.finish();
+
+    assert_eq!(
+        h1, h4,
+        "BAT bytes differ between 1 and {GATE_THREADS} threads — determinism broken"
+    );
+    let speedup = t1 / t4;
+    println!("1 thread:  {:.1} ms", t1 * 1e3);
+    println!("{GATE_THREADS} threads: {:.1} ms", t4 * 1e3);
+    println!("speedup:   {speedup:.2}x (bytes identical, fnv64 {h1:#018x})");
+
+    let gate = if cores >= GATE_THREADS {
+        assert!(
+            speedup >= GATE_SPEEDUP,
+            "end-to-end BatBuilder::build speedup {speedup:.2}x at {GATE_THREADS} threads \
+             is below the {GATE_SPEEDUP}x gate"
+        );
+        println!("gate OK: {speedup:.2}x >= {GATE_SPEEDUP}x at {GATE_THREADS} threads");
+        "enforced".to_string()
+    } else {
+        println!(
+            "gate SKIPPED: host has {cores} core(s) < {GATE_THREADS}; \
+             byte-equality still verified"
+        );
+        format!("skipped: host has {cores} core(s)")
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"bat_build_parallel_smoke\",\n  \"particles\": {N},\n  \
+         \"attrs\": {},\n  \"host_cores\": {cores},\n  \"t1_ms\": {:.3},\n  \
+         \"t{GATE_THREADS}_ms\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"gate_threshold\": {GATE_SPEEDUP},\n  \"gate\": \"{gate}\",\n  \
+         \"bytes_fnv64\": \"{h1:#018x}\",\n  \"bytes_identical\": true\n}}\n",
+        uniform::NUM_ATTRS,
+        t1 * 1e3,
+        t4 * 1e3,
+    );
+    std::fs::write(JSON_PATH, json).expect("write BENCH_bat_build.json");
+    println!("saved {JSON_PATH}");
+}
+
+fn run_full() {
+    const N: u64 = 500_000;
+    let cores = host_cores();
+    let (set, domain) = workload(N);
+    println!(
+        "bench_bat_parallel: {N} particles x {} attrs, host has {cores} core(s)",
+        uniform::NUM_ATTRS
+    );
+
+    let mut table = Table::new(
+        format!("BatBuilder::build thread scaling, {N} particles"),
+        &["threads", "best_ms", "speedup", "fnv64"],
+    );
+    let mut t1 = 0.0;
+    let mut h1 = 0;
+    for threads in [1usize, 2, 4, 8] {
+        let (t, h) = measure(&set, domain, threads, 3);
+        if threads == 1 {
+            t1 = t;
+            h1 = h;
+        }
+        assert_eq!(h, h1, "bytes changed at {threads} threads");
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.1}", t * 1e3),
+            format!("{:.2}x", t1 / t),
+            format!("{h:#018x}"),
+        ]);
+    }
+    table.print();
+    let csv = table.save_csv("bench_bat_parallel").expect("write csv");
+    println!("saved {}", csv.display());
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+    } else {
+        run_full();
+    }
+}

@@ -388,6 +388,12 @@ fn write_pipeline(
         Aabb,
     ) -> (LeafData, Vec<(f64, f64)>, Vec<bat_layout::Bitmap32>),
 ) -> io::Result<WriteReport> {
+    // Spin up the execution engine before timing starts, honoring
+    // `BAT_THREADS` (see README "Thread count"): first touch initializes
+    // the pool from the env, and the gauge records what the BAT builds
+    // below will actually run with.
+    bat_obs::gauge_set("pool.threads", rayon::current_num_threads() as f64);
+
     let descs = set.descs_arc();
     let mut times = PhaseTimes::new();
     comm.barrier();

@@ -7,6 +7,7 @@
 //! SoA array per attribute.
 
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use rayon::prelude::*;
 
 /// Element type of an attribute array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -186,14 +187,15 @@ impl AttributeArray {
         }
     }
 
-    /// Reorder so element `i` of the output is element `perm[i]` of the input.
+    /// Reorder so element `i` of the output is element `perm[i]` of the
+    /// input. Parallel gather; each output slot reads one input slot.
     pub fn permute(&self, perm: &[u32]) -> AttributeArray {
         match self {
             AttributeArray::F32(v) => {
-                AttributeArray::F32(perm.iter().map(|&i| v[i as usize]).collect())
+                AttributeArray::F32(perm.par_iter().map(|&i| v[i as usize]).collect())
             }
             AttributeArray::F64(v) => {
-                AttributeArray::F64(perm.iter().map(|&i| v[i as usize]).collect())
+                AttributeArray::F64(perm.par_iter().map(|&i| v[i as usize]).collect())
             }
         }
     }

@@ -164,6 +164,24 @@ impl Bat {
     }
 }
 
+/// Time a build phase through `bat_obs` and also record its effective
+/// parallelism — pool busy-time over wall-time — as a `*_speedup` gauge
+/// (e.g. `bat.morton_sort_ns` → `bat.morton_sort_speedup`). The gauge
+/// reads 0 when the engine was bypassed entirely (a 1-thread pool runs
+/// every construct inline on the caller).
+fn timed_phase<T>(timer: &'static str, f: impl FnOnce() -> T) -> T {
+    let busy0 = rayon::pool_stats().busy_ns;
+    let t0 = std::time::Instant::now();
+    let out = bat_obs::time(timer, f);
+    let wall = t0.elapsed().as_nanos() as u64;
+    let busy = rayon::pool_stats().busy_ns - busy0;
+    if wall > 0 {
+        let gauge = format!("{}_speedup", timer.trim_end_matches("_ns"));
+        bat_obs::gauge_set(&gauge, busy as f64 / wall as f64);
+    }
+    out
+}
+
 /// Builds [`Bat`]s from received particle sets.
 #[derive(Debug, Clone, Default)]
 pub struct BatBuilder {
@@ -196,27 +214,29 @@ impl BatBuilder {
             };
         }
 
-        // 1. Morton codes + parallel sort-by-key.
-        let (sorted, sorted_codes) = bat_obs::time("bat.morton_sort_ns", || {
+        let pool_before = rayon::pool_stats();
+
+        // 1. Morton codes + parallel radix sort (the specialized LSD
+        //    kernel in [`crate::morton_sort`]).
+        let (sorted, sorted_codes) = timed_phase("bat.morton_sort_ns", || {
             let codes: Vec<u64> = set
                 .positions
                 .par_iter()
                 .map(|&p| morton::encode_point(p, &domain))
                 .collect();
-            let mut perm: Vec<u32> = (0..n as u32).collect();
-            perm.par_sort_unstable_by_key(|&i| codes[i as usize]);
-            let sorted_codes: Vec<u64> = perm.iter().map(|&i| codes[i as usize]).collect();
+            let perm = crate::morton_sort::sorted_perm(&codes);
+            let sorted_codes: Vec<u64> = perm.par_iter().map(|&i| codes[i as usize]).collect();
             (set.permute(&perm), sorted_codes)
         });
 
         // 2. Shallow tree over merged subprefixes.
-        let shallow = bat_obs::time("bat.shallow_tree_ns", || {
+        let shallow = timed_phase("bat.shallow_tree_ns", || {
             ShallowTree::build(&sorted_codes, config.subprefix_bits, &domain)
         });
 
         // 3. Independent treelet builds per shallow leaf (parallel).
         let structures: Vec<treelet::TreeletStructure> =
-            bat_obs::time("bat.treelet_build_ns", || {
+            timed_phase("bat.treelet_build_ns", || {
                 shallow
                     .leaf_ranges
                     .par_iter()
@@ -229,7 +249,7 @@ impl BatBuilder {
 
         // 4. Compose the treelet-local orders into one global permutation
         //    and reorder the particle arrays once.
-        let particles = bat_obs::time("bat.permute_ns", || {
+        let particles = timed_phase("bat.permute_ns", || {
             let mut final_perm: Vec<u32> = Vec::with_capacity(n);
             for (&(s, _), st) in shallow.leaf_ranges.iter().zip(&structures) {
                 final_perm.extend(st.order.iter().map(|&o| s + o));
@@ -263,6 +283,19 @@ impl BatBuilder {
         drop(_span);
         bat_obs::counter_add("bat.treelets", treelets.len() as u64);
         bat_obs::counter_add("bat.particles", n as u64);
+
+        // Engine counters for this build, so traces show how parallel the
+        // build actually was (ISSUE 3: the shim used to fake all of this).
+        let pool_after = rayon::pool_stats();
+        bat_obs::gauge_set("pool.threads", pool_after.threads as f64);
+        bat_obs::counter_add(
+            "pool.tasks_executed",
+            pool_after.tasks_executed - pool_before.tasks_executed,
+        );
+        bat_obs::counter_add(
+            "pool.tasks_stolen",
+            pool_after.tasks_stolen - pool_before.tasks_stolen,
+        );
 
         Bat {
             config,

@@ -58,6 +58,7 @@ pub mod build;
 pub mod columns;
 pub mod dict;
 pub mod format;
+pub mod morton_sort;
 pub mod particles;
 pub mod quantize;
 pub mod query;

@@ -1,0 +1,222 @@
+//! Parallel stable LSD radix sort specialized for the Morton-code sort
+//! that opens every BAT build (paper §III-C1: "particles are sorted by
+//! Morton code").
+//!
+//! A comparison sort pays `O(n log n)` key comparisons; Morton codes are
+//! fixed-width `u64`s, so an LSD radix sort gets the permutation in at
+//! most 8 linear passes — fewer in practice, because passes over bytes
+//! that are constant across the whole input (always the high bytes of a
+//! quantized Morton code, and most of them for clustered data) are
+//! skipped outright.
+//!
+//! Each pass is the textbook parallel counting sort: the `(code, index)`
+//! pairs are split into chunks, every chunk histograms its digit in
+//! parallel, a sequential column-major exclusive prefix over the
+//! per-chunk histograms assigns each (chunk, digit) cell a disjoint
+//! destination range, and the chunks scatter in parallel. Chunks scatter
+//! their elements in input order into per-digit ranges laid out in chunk
+//! order, so every pass is stable; 8 stable passes from the least
+//! significant byte up yield exactly the stable sort by full code. The
+//! chunk count therefore only affects scheduling, never the result —
+//! the output equals `sort_by_key` (std's stable sort) for every thread
+//! count, which is the determinism invariant of DESIGN.md §10.
+
+use rayon::prelude::*;
+
+/// Below this size the std stable sort wins; also the floor for parallel
+/// chunk sizes so tiny tasks don't thrash the pool.
+const SEQ_CUTOFF: usize = 16 << 10;
+
+/// The sorting permutation of `codes` by value: output slot `i` names the
+/// input index holding the `i`-th smallest code, ties in input order
+/// (stable). `codes.len()` must fit in `u32`, like every particle count
+/// in a BAT.
+pub fn sorted_perm(codes: &[u64]) -> Vec<u32> {
+    let n = codes.len();
+    assert!(
+        n <= u32::MAX as usize,
+        "BAT particle counts are u32-indexed"
+    );
+    let threads = rayon::current_num_threads();
+    if n < SEQ_CUTOFF || threads <= 1 {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| codes[i as usize]);
+        return perm;
+    }
+
+    // Pair each code with its origin index once, so passes never gather
+    // through the permutation (random access); pairs move sequentially.
+    let mut pairs: Vec<(u64, u32)> = codes
+        .par_iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    let mut scratch: Vec<(u64, u32)> = Vec::with_capacity(n);
+    // SAFETY: `(u64, u32)` is Copy with no drop; every pass below fully
+    // overwrites whichever buffer it scatters into before it is read.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        scratch.set_len(n)
+    };
+
+    // Bytes that never vary contribute nothing to the order: one OR and
+    // one AND over the codes finds them (paralleling them isn't worth a
+    // barrier; this is a single ~n-word scan).
+    let (all_or, all_and) = codes
+        .iter()
+        .fold((0u64, u64::MAX), |(o, a), &c| (o | c, a & c));
+    let varying = all_or ^ all_and;
+
+    let chunk = n.div_ceil((4 * threads).max(1)).max(SEQ_CUTOFF / 4);
+    let chunks = n.div_ceil(chunk);
+
+    let mut src_is_pairs = true;
+    for byte in 0..8 {
+        if (varying >> (8 * byte)) & 0xFF == 0 {
+            continue;
+        }
+        {
+            let (src, dst) = if src_is_pairs {
+                (&pairs[..], &mut scratch[..])
+            } else {
+                (&scratch[..], &mut pairs[..])
+            };
+            counting_pass(src, dst, chunk, chunks, 8 * byte);
+        }
+        src_is_pairs = !src_is_pairs;
+    }
+    if !src_is_pairs {
+        std::mem::swap(&mut pairs, &mut scratch);
+    }
+    pairs.par_iter().map(|&(_, i)| i).collect()
+}
+
+/// One stable counting-sort pass on the byte at `shift`: parallel
+/// per-chunk histograms, sequential offset assignment, parallel scatter
+/// into disjoint destination ranges.
+fn counting_pass(
+    src: &[(u64, u32)],
+    dst: &mut [(u64, u32)],
+    chunk: usize,
+    chunks: usize,
+    shift: u32,
+) {
+    let n = src.len();
+    let mut hist = vec![0u32; chunks * 256];
+    {
+        let hist_ptr = Shared(hist.as_mut_ptr());
+        rayon::parallel_for(chunks, &|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            // Each task owns row `c` of the histogram matrix.
+            let row = unsafe { std::slice::from_raw_parts_mut(hist_ptr.get().add(c * 256), 256) };
+            for &(code, _) in &src[lo..hi] {
+                row[((code >> shift) & 0xFF) as usize] += 1;
+            }
+        });
+    }
+
+    // Column-major exclusive prefix: all chunks' digit-0 ranges first (in
+    // chunk order), then digit 1, … — the layout that makes the pass
+    // stable. Overwrites `hist` with each cell's starting offset.
+    let mut running = 0u32;
+    for digit in 0..256 {
+        for c in 0..chunks {
+            let cell = &mut hist[c * 256 + digit];
+            let count = *cell;
+            *cell = running;
+            running += count;
+        }
+    }
+
+    let dst_ptr = Shared(dst.as_mut_ptr());
+    let hist = &hist;
+    rayon::parallel_for(chunks, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut offsets = [0u32; 256];
+        offsets.copy_from_slice(&hist[c * 256..(c + 1) * 256]);
+        for &pair in &src[lo..hi] {
+            let d = ((pair.0 >> shift) & 0xFF) as usize;
+            // Disjoint ranges per (chunk, digit) cell: no two tasks write
+            // the same slot.
+            unsafe { dst_ptr.get().add(offsets[d] as usize).write(pair) };
+            offsets[d] += 1;
+        }
+    });
+}
+
+/// `Sync` raw-pointer wrapper; accessed through `get()` so closures
+/// capture the wrapper, not the raw pointer field.
+struct Shared<T>(*mut T);
+unsafe impl<T> Send for Shared<T> {}
+unsafe impl<T> Sync for Shared<T> {}
+impl<T> Shared<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_geom::rng::SplitMix64;
+
+    fn expect_stable(codes: &[u64]) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..codes.len() as u32).collect();
+        perm.sort_by_key(|&i| codes[i as usize]);
+        perm
+    }
+
+    /// Make sure the parallel path runs even on 1-core hosts. Safe to do
+    /// from concurrent tests: resizing never changes results (DESIGN.md
+    /// §10), it only changes how work is scheduled.
+    fn use_parallel_pool() {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sorted_perm(&[]).is_empty());
+        assert_eq!(sorted_perm(&[7]), vec![0]);
+    }
+
+    #[test]
+    fn matches_std_stable_sort_on_random_codes() {
+        use_parallel_pool();
+        let mut rng = SplitMix64::new(11);
+        let codes: Vec<u64> = (0..100_000).map(|_| rng.next_u64()).collect();
+        assert_eq!(sorted_perm(&codes), expect_stable(&codes));
+    }
+
+    #[test]
+    fn duplicate_codes_keep_input_order() {
+        use_parallel_pool();
+        // Few distinct values → heavy ties; stability is observable.
+        let mut rng = SplitMix64::new(12);
+        let codes: Vec<u64> = (0..80_000).map(|_| rng.next_u64() % 16).collect();
+        assert_eq!(sorted_perm(&codes), expect_stable(&codes));
+    }
+
+    #[test]
+    fn clustered_codes_skip_constant_bytes() {
+        use_parallel_pool();
+        // High bytes constant (tight spatial cluster): the skip path.
+        let mut rng = SplitMix64::new(13);
+        let codes: Vec<u64> = (0..50_000)
+            .map(|_| 0xABCD_EF00_0000_0000 | (rng.next_u64() & 0xFFFF))
+            .collect();
+        assert_eq!(sorted_perm(&codes), expect_stable(&codes));
+    }
+
+    #[test]
+    fn all_codes_equal() {
+        use_parallel_pool();
+        let codes = vec![42u64; 30_000];
+        let perm = sorted_perm(&codes);
+        assert_eq!(perm, (0..30_000u32).collect::<Vec<u32>>());
+    }
+}

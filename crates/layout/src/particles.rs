@@ -4,6 +4,7 @@ use crate::attr::{AttributeArray, AttributeDesc};
 use crate::columns::ColumnarParticles;
 use bat_geom::{Aabb, Vec3};
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A set of particles in structure-of-arrays form.
@@ -163,10 +164,15 @@ impl ParticleSet {
     }
 
     /// Reordered copy: output particle `i` is input particle `perm[i]`.
+    /// The gathers run on the pool — each output slot depends on exactly
+    /// one input slot, so the parallel copy is trivially deterministic.
     pub fn permute(&self, perm: &[u32]) -> ParticleSet {
         debug_assert_eq!(perm.len(), self.len());
         ParticleSet {
-            positions: perm.iter().map(|&i| self.positions[i as usize]).collect(),
+            positions: perm
+                .par_iter()
+                .map(|&i| self.positions[i as usize])
+                .collect(),
             descs: self.descs.clone(),
             arrays: self.arrays.iter().map(|a| a.permute(perm)).collect(),
         }

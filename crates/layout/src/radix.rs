@@ -101,83 +101,96 @@ impl RadixTree {
             };
         }
 
-        // δ(i, j): common prefix length of keys i and j, -1 out of range.
-        let delta = |i: usize, j: isize| -> i64 {
-            if j < 0 || j >= m as isize {
-                return -1;
-            }
-            let a = keys[i];
-            let b = keys[j as usize];
-            debug_assert_ne!(a, b);
-            (a ^ b).leading_zeros() as i64
-        };
-
+        // Karras: every internal node is independent. Chunked ranges (at
+        // least `MIN_NODES_PER_TASK` nodes per task) keep the engine from
+        // thrashing on per-element tasks — each node is only a few dozen
+        // instructions, far below a profitable task size.
         let nodes: Vec<RadixNode> = (0..m - 1)
             .into_par_iter()
-            .map(|i| {
-                let ii = i as isize;
-                // Direction of the range containing i.
-                let d: isize = if delta(i, ii + 1) > delta(i, ii - 1) {
-                    1
-                } else {
-                    -1
-                };
-                let delta_min = delta(i, ii - d);
-                // Find an upper bound for the range length by doubling.
-                let mut lmax: isize = 2;
-                while delta(i, ii + lmax * d) > delta_min {
-                    lmax *= 2;
-                }
-                // Binary-search the exact length.
-                let mut l: isize = 0;
-                let mut t = lmax / 2;
-                while t >= 1 {
-                    if delta(i, ii + (l + t) * d) > delta_min {
-                        l += t;
-                    }
-                    t /= 2;
-                }
-                let j = ii + l * d;
-                let delta_node = delta(i, j);
-                // Binary-search the split position.
-                let mut s: isize = 0;
-                let mut t = l;
-                loop {
-                    t = (t + 1) / 2;
-                    if delta(i, ii + (s + t) * d) > delta_node {
-                        s += t;
-                    }
-                    if t == 1 {
-                        break;
-                    }
-                }
-                let gamma = (ii + s * d + d.min(0)) as usize;
-                let first = ii.min(j) as u32;
-                let last = ii.max(j) as u32;
-                let left = if first as usize == gamma {
-                    NodeRef::Leaf(gamma as u32)
-                } else {
-                    NodeRef::Inner(gamma as u32)
-                };
-                let right = if last as usize == gamma + 1 {
-                    NodeRef::Leaf(gamma as u32 + 1)
-                } else {
-                    NodeRef::Inner(gamma as u32 + 1)
-                };
-                RadixNode {
-                    left,
-                    right,
-                    first,
-                    last,
-                    prefix_len: delta_node as u32,
-                }
-            })
+            .with_min_len(MIN_NODES_PER_TASK)
+            .map(|i| karras_node(keys, i))
             .collect();
 
         RadixTree {
             nodes,
             num_leaves: m,
         }
+    }
+}
+
+/// Smallest node count worth a pool task (see [`RadixTree::build`]).
+const MIN_NODES_PER_TASK: usize = 128;
+
+/// Compute internal node `i` of the radix tree over sorted distinct
+/// `keys` — the body of Karras' parallel loop, independent per node.
+fn karras_node(keys: &[u64], i: usize) -> RadixNode {
+    let m = keys.len();
+    // δ(i, j): common prefix length of keys i and j, -1 out of range.
+    let delta = |i: usize, j: isize| -> i64 {
+        if j < 0 || j >= m as isize {
+            return -1;
+        }
+        let a = keys[i];
+        let b = keys[j as usize];
+        debug_assert_ne!(a, b);
+        (a ^ b).leading_zeros() as i64
+    };
+
+    let ii = i as isize;
+    // Direction of the range containing i.
+    let d: isize = if delta(i, ii + 1) > delta(i, ii - 1) {
+        1
+    } else {
+        -1
+    };
+    let delta_min = delta(i, ii - d);
+    // Find an upper bound for the range length by doubling.
+    let mut lmax: isize = 2;
+    while delta(i, ii + lmax * d) > delta_min {
+        lmax *= 2;
+    }
+    // Binary-search the exact length.
+    let mut l: isize = 0;
+    let mut t = lmax / 2;
+    while t >= 1 {
+        if delta(i, ii + (l + t) * d) > delta_min {
+            l += t;
+        }
+        t /= 2;
+    }
+    let j = ii + l * d;
+    let delta_node = delta(i, j);
+    // Binary-search the split position.
+    let mut s: isize = 0;
+    let mut t = l;
+    loop {
+        t = (t + 1) / 2;
+        if delta(i, ii + (s + t) * d) > delta_node {
+            s += t;
+        }
+        if t == 1 {
+            break;
+        }
+    }
+    let gamma = (ii + s * d + d.min(0)) as usize;
+    let first = ii.min(j) as u32;
+    let last = ii.max(j) as u32;
+    let left = if first as usize == gamma {
+        NodeRef::Leaf(gamma as u32)
+    } else {
+        NodeRef::Inner(gamma as u32)
+    };
+    let right = if last as usize == gamma + 1 {
+        NodeRef::Leaf(gamma as u32 + 1)
+    } else {
+        NodeRef::Inner(gamma as u32 + 1)
+    };
+    RadixNode {
+        left,
+        right,
+        first,
+        last,
+        prefix_len: delta_node as u32,
     }
 }
 

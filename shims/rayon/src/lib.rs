@@ -1,28 +1,49 @@
-//! Offline stand-in for `rayon` (see `shims/README.md`).
+//! Offline stand-in for `rayon` (see `shims/README.md` for the exact
+//! behavioral contract vs. the real crate).
 //!
-//! [`join`] runs its two closures on real threads, bounded by the
-//! machine's available parallelism, so divide-and-conquer call sites (the
-//! aggregation-tree build) still overlap. The parallel-iterator traits
-//! keep rayon's names and call shapes but yield ordinary sequential std
-//! iterators — every adaptor the workspace chains on them (`map`,
-//! `enumerate`, `collect`, ...) is the std one, so results are identical
-//! to rayon's (rayon guarantees order-preserving collects).
+//! Unlike the first-generation shim, the parallel-iterator half is *real*:
+//! a lazily initialized work-stealing thread pool ([`pool`]) executes
+//! index-chunked tasks, `par_iter().map().collect()` writes results into
+//! pre-assigned output slots (preserving rayon's order-guaranteed
+//! collect), and the slice sorts run as parallel stable merge sorts.
+//! Everything is deterministic by construction: for any pool size —
+//! including 1 — every construct produces bytes identical to sequential
+//! execution. The pool size comes from `BAT_THREADS` (then
+//! `RAYON_NUM_THREADS`, then `available_parallelism()`) and can be pinned
+//! programmatically with [`ThreadPoolBuilder::build_global`].
+//!
+//! [`join`] runs its two closures on scoped threads bounded by the same
+//! thread budget the pool uses, so divide-and-conquer call sites (the
+//! aggregation-tree build) overlap without oversubscribing, and
+//! `BAT_THREADS=1` makes the whole workspace genuinely sequential.
+
+pub mod iter;
+pub mod pool;
+pub mod sort;
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+pub use pool::{current_num_threads, parallel_for, pool_stats, PoolStats};
+pub use sort::ParallelSliceMut;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Threads currently spawned by [`join`]; bounds recursion fan-out.
 static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
 
+/// The thread budget [`join`] works against: the configured pool size
+/// (which already honors `BAT_THREADS`), so `join` and the iterator
+/// engine share one notion of how parallel this process should be.
 fn parallelism_budget() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::current_num_threads()
 }
 
 struct JoinTicket;
 
 impl JoinTicket {
     fn try_acquire() -> Option<JoinTicket> {
+        if parallelism_budget() <= 1 {
+            return None;
+        }
         if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < parallelism_budget() {
             Some(JoinTicket)
         } else {
@@ -63,51 +84,56 @@ where
     }
 }
 
-/// `.par_iter()` on slices (and, via deref, `Vec`s).
-pub trait IntoParallelRefIterator {
-    type Item;
-    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+/// Global-pool configuration, in rayon's call shape.
+///
+/// Divergence from upstream: `build_global` may be called repeatedly and
+/// *resizes* the pool instead of erroring, which is what lets tests and
+/// benches compare pool sizes within one process. Safe because every
+/// parallel construct here is thread-count-deterministic.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
 }
 
-impl<T: Sync> IntoParallelRefIterator for [T] {
-    type Item = T;
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` (rayon's convention) selects the default sizing rule.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Install the configuration on the global pool. Never fails in the
+    /// shim; the `Result` keeps rayon's signature.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => pool::default_threads(),
+            Some(n) => n,
+        };
+        pool::set_num_threads(n);
+        Ok(())
     }
 }
 
-/// `.into_par_iter()` on anything iterable (ranges, `Vec`s, ...).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced by
+/// the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool could not be configured")
     }
 }
 
-impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-/// Parallel in-place slice operations.
-pub trait ParallelSliceMut<T> {
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-}
-
-impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable();
-    }
-
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
-    }
-}
+impl std::error::Error for ThreadPoolBuildError {}
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::sort::ParallelSliceMut;
 }
 
 #[cfg(test)]
@@ -151,5 +177,20 @@ mod tests {
         let mut s = vec![3u32, 1, 2];
         s.par_sort_unstable_by_key(|&x| x);
         assert_eq!(s, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn build_global_pins_and_resizes() {
+        let _g = crate::pool::test_pool_guard();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 1);
     }
 }

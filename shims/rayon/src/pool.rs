@@ -1,0 +1,495 @@
+//! The work-stealing execution engine behind the parallel iterators and
+//! sorts.
+//!
+//! Topology: one global FIFO *injector* plus one LIFO deque per worker.
+//! Threads that are not pool workers submit task batches to the injector;
+//! a worker that submits a nested batch pushes to its own deque so it
+//! keeps working on its freshest subproblem. Idle workers pop their own
+//! deque back-to-front, then drain the injector, then steal the *oldest*
+//! task from a sibling's deque (classic LIFO-local / FIFO-steal).
+//!
+//! The pool is created lazily on first use, sized by `BAT_THREADS`, then
+//! `RAYON_NUM_THREADS`, then `available_parallelism()`. It can be resized
+//! at runtime through [`crate::ThreadPoolBuilder::build_global`]: the old
+//! workers drain their queues and exit, new ones start. Resizing never
+//! loses work — a submitter always participates in its own batch and can
+//! finish it alone — and never changes results, because every task writes
+//! to a pre-assigned disjoint output slot (see `iter.rs`).
+//!
+//! Panic contract: a panic inside a task poisons its batch (remaining
+//! tasks are skipped), and the first payload is re-thrown on the
+//! submitting thread once the batch has fully retired, matching
+//! `rayon::iter` semantics closely enough for this workspace.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Snapshot of the engine's lifetime counters (a shim extension; real
+/// rayon exposes nothing comparable). Counters are cumulative across pool
+/// resizes, so instrumentation can report deltas around a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the current pool (0 until first use).
+    pub threads: usize,
+    /// Tasks executed, on any thread (workers and participating
+    /// submitters).
+    pub tasks_executed: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Batches submitted through [`parallel_for`] (sequential fast paths
+    /// not included).
+    pub batches: u64,
+    /// Nanoseconds spent executing task bodies, summed over all threads.
+    /// `busy_ns / wall_ns` over a phase is its effective parallelism.
+    pub busy_ns: u64,
+}
+
+/// Cumulative counters, shared across pool generations.
+#[derive(Default)]
+struct Stats {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    batches: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+fn stats() -> &'static Stats {
+    static STATS: OnceLock<Stats> = OnceLock::new();
+    STATS.get_or_init(Stats::default)
+}
+
+/// One unit of work: run `index` of the batch behind the erased pointer.
+///
+/// The raw pointer is sound because the submitting thread constructs the
+/// batch on its stack and does not return from [`parallel_for`] until
+/// `remaining == 0`, i.e. until every task referencing it has retired.
+#[derive(Clone, Copy)]
+struct Task {
+    batch: *const Batch<'static>,
+    index: usize,
+}
+
+// Tasks only move between threads inside the pool's queues; the batch
+// they point to is Sync (see `Batch`).
+unsafe impl Send for Task {}
+
+/// A submitted parallel-for: the closure plus completion bookkeeping.
+struct Batch<'a> {
+    func: &'a (dyn Fn(usize) + Sync),
+    /// Tasks not yet retired; the submitter spins/parks on this.
+    remaining: AtomicUsize,
+    /// Set by the first panicking task; later tasks are skipped.
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl Batch<'_> {
+    fn run(&self, index: usize) {
+        let t0 = Instant::now();
+        if !self.poisoned.load(Ordering::Relaxed) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.func)(index))) {
+                self.poisoned.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        let s = stats();
+        s.executed.fetch_add(1, Ordering::Relaxed);
+        s.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            // Last task out: wake the submitter if it is parked.
+            let _g = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.done.notify_all();
+        }
+    }
+}
+
+/// One generation of workers. Replaced wholesale on resize.
+struct PoolCore {
+    threads: usize,
+    injector: Mutex<VecDeque<Task>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep/wake protocol: workers re-check queues under `sleep` before
+    /// parking, and pushers notify under `sleep`, so wakeups cannot be
+    /// lost.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    stop: AtomicBool,
+}
+
+impl PoolCore {
+    fn queues_empty(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            return false;
+        }
+        self.locals
+            .iter()
+            .all(|l| l.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+
+    /// Pop work for thread `me` (`None` = not a pool worker): own deque
+    /// newest-first, then the injector oldest-first, then steal
+    /// oldest-first from siblings.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(w) = me {
+            if let Some(t) = self.locals[w]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        let start = me.map(|w| w + 1).unwrap_or(0);
+        for off in 0..n {
+            let v = (start + off) % n;
+            if Some(v) == me {
+                continue;
+            }
+            if let Some(t) = self.locals[v]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                if me.is_some() {
+                    stats().stolen.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Enqueue a batch's tasks: a worker keeps them local (LIFO), any
+    /// other thread feeds the injector.
+    fn push_tasks(&self, tasks: impl Iterator<Item = Task>, me: Option<usize>) {
+        match me {
+            Some(w) => {
+                let mut q = self.locals[w].lock().unwrap_or_else(|e| e.into_inner());
+                q.extend(tasks);
+            }
+            None => {
+                let mut q = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+                q.extend(tasks);
+            }
+        }
+        let _g = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        self.wake.notify_all();
+    }
+
+    fn worker_loop(self: &Arc<PoolCore>, id: usize) {
+        CURRENT_WORKER.with(|w| w.set(Some(id)));
+        loop {
+            if let Some(task) = self.find_task(Some(id)) {
+                unsafe { (*task.batch).run(task.index) };
+                continue;
+            }
+            let guard = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+            if self.stop.load(Ordering::Acquire) && self.queues_empty() {
+                return;
+            }
+            if !self.queues_empty() {
+                continue;
+            }
+            // Parking with a timeout keeps a missed edge case (a resize
+            // racing a submit on the old generation) from hanging forever.
+            let _ = self
+                .wake
+                .wait_timeout(guard, std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+thread_local! {
+    /// Worker index of the current thread in the *current* pool core.
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The live pool generation plus its join handles.
+struct PoolHandle {
+    core: Arc<PoolCore>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+static POOL: OnceLock<Mutex<Option<PoolHandle>>> = OnceLock::new();
+
+fn pool_slot() -> &'static Mutex<Option<PoolHandle>> {
+    POOL.get_or_init(|| Mutex::new(None))
+}
+
+/// Thread count the pool starts with on first use: `BAT_THREADS`, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    for var in ["BAT_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn spawn_core(threads: usize) -> PoolHandle {
+    let core = Arc::new(PoolCore {
+        threads,
+        injector: Mutex::new(VecDeque::new()),
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        sleep: Mutex::new(()),
+        wake: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+    let joins = (0..threads)
+        .map(|id| {
+            let c = core.clone();
+            std::thread::Builder::new()
+                .name(format!("bat-pool-{id}"))
+                .spawn(move || c.worker_loop(id))
+                .expect("spawn pool worker")
+        })
+        .collect();
+    PoolHandle { core, joins }
+}
+
+fn current_core() -> Arc<PoolCore> {
+    let mut slot = pool_slot().lock().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(spawn_core(default_threads()));
+    }
+    slot.as_ref().unwrap().core.clone()
+}
+
+/// Number of threads the pool runs (initializing it if needed). Always at
+/// least 1; a 1-thread pool makes every parallel construct run inline on
+/// the caller.
+pub fn current_num_threads() -> usize {
+    current_core().threads
+}
+
+/// Resize the pool to exactly `threads` workers. The old generation
+/// drains its queues and exits; outstanding batches finish correctly
+/// because their submitters participate until completion. Results are
+/// unaffected by construction (determinism invariant, DESIGN.md §10).
+pub fn set_num_threads(threads: usize) {
+    let threads = threads.max(1);
+    let mut slot = pool_slot().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(h) = slot.as_ref() {
+        if h.core.threads == threads {
+            return;
+        }
+    }
+    if let Some(old) = slot.take() {
+        old.core.stop.store(true, Ordering::Release);
+        {
+            let _g = old.core.sleep.lock().unwrap_or_else(|e| e.into_inner());
+            old.core.wake.notify_all();
+        }
+        for j in old.joins {
+            let _ = j.join();
+        }
+    }
+    *slot = Some(spawn_core(threads));
+}
+
+/// Current engine counters (see [`PoolStats`]).
+pub fn pool_stats() -> PoolStats {
+    let s = stats();
+    let threads = pool_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(|h| h.core.threads)
+        .unwrap_or(0);
+    PoolStats {
+        threads,
+        tasks_executed: s.executed.load(Ordering::Relaxed),
+        tasks_stolen: s.stolen.load(Ordering::Relaxed),
+        batches: s.batches.load(Ordering::Relaxed),
+        busy_ns: s.busy_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// Run `func(0..tasks)` with the pool, blocking until every index has
+/// executed. Panics in `func` propagate to the caller after the batch
+/// retires. Indices may run on any thread in any order; callers must make
+/// each index's effect independent (disjoint output slots).
+///
+/// This is the engine's only entry point; `collect`, the sorts, and the
+/// Morton kernel in `bat-layout` all express themselves through it.
+pub fn parallel_for(tasks: usize, func: &(dyn Fn(usize) + Sync)) {
+    match tasks {
+        0 => return,
+        1 => {
+            func(0);
+            return;
+        }
+        _ => {}
+    }
+    let core = current_core();
+    if core.threads <= 1 {
+        for i in 0..tasks {
+            func(i);
+        }
+        return;
+    }
+    stats().batches.fetch_add(1, Ordering::Relaxed);
+
+    let batch = Batch {
+        func,
+        remaining: AtomicUsize::new(tasks),
+        poisoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done: Condvar::new(),
+    };
+    // Erase the stack lifetime; sound because we wait for `remaining == 0`
+    // below before `batch` can drop.
+    let ptr: *const Batch<'static> = (&batch as *const Batch<'_>).cast();
+    // A worker id recorded against an older (larger) pool generation may
+    // exceed the current deque count after a resize; fall back to the
+    // injector then — tasks are stealable from either place.
+    let me = CURRENT_WORKER
+        .with(|w| w.get())
+        .filter(|&w| w < core.locals.len());
+    core.push_tasks((0..tasks).map(|index| Task { batch: ptr, index }), me);
+
+    // Participate: the submitter is one of the execution threads, which
+    // both speeds up the batch and guarantees completion even if the pool
+    // is resizing underneath us.
+    while batch.remaining.load(Ordering::Acquire) > 0 {
+        if let Some(task) = core.find_task(me) {
+            unsafe { (*task.batch).run(task.index) };
+            continue;
+        }
+        let guard = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if batch.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        let _ = batch
+            .done
+            .wait_timeout(guard, std::time::Duration::from_micros(200));
+    }
+    std::sync::atomic::fence(Ordering::Acquire);
+    let payload = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Split `n` items into the engine's standard task ranges: about
+/// 4 tasks per thread (so stealing can rebalance uneven work), but never
+/// tasks smaller than `min_len` items. Returns the chunk length.
+pub(crate) fn chunk_len(n: usize, min_len: usize) -> usize {
+    let threads = current_num_threads();
+    let target_tasks = (4 * threads).max(1);
+    n.div_ceil(target_tasks).max(min_len).max(1)
+}
+
+/// Serializes tests (across this crate's modules) that resize the global
+/// pool, so assertions about the current size are not racy.
+#[cfg(test)]
+pub(crate) fn test_pool_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let _g = test_pool_guard();
+        set_num_threads(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let _g = test_pool_guard();
+        set_num_threads(3);
+        let total = AtomicU64::new(0);
+        parallel_for(8, &|_| {
+            parallel_for(8, &|j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 28);
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let _g = test_pool_guard();
+        set_num_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(64, &|i| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        let n = AtomicU64::new(0);
+        parallel_for(32, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn resize_mid_flight_is_safe() {
+        let _g = test_pool_guard();
+        set_num_threads(2);
+        let n = AtomicU64::new(0);
+        parallel_for(100, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        set_num_threads(5);
+        parallel_for(100, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 200);
+        assert_eq!(current_num_threads(), 5);
+    }
+
+    #[test]
+    fn stats_move_forward() {
+        let _g = test_pool_guard();
+        set_num_threads(2);
+        let before = pool_stats();
+        parallel_for(50, &|_| {});
+        let after = pool_stats();
+        assert!(after.tasks_executed >= before.tasks_executed + 50);
+        assert!(after.batches > before.batches);
+    }
+}

@@ -1,0 +1,223 @@
+//! Parallel sorting: a chunked merge sort behind
+//! `par_sort_unstable[_by_key]`.
+//!
+//! Upstream rayon's unstable sort makes no promise about the order of
+//! equal keys, which would let the result depend on thread count. This
+//! workspace's determinism invariant (DESIGN.md §10) forbids that, so the
+//! shim's "unstable" sorts are implemented as *stable* merge sorts: equal
+//! keys keep their input order, and the result is byte-for-byte the same
+//! for every pool size — including 1, where they degrade to
+//! `slice::sort_by_key`. Chunk boundaries may differ run to run; a stable
+//! merge of stably-sorted runs yields the unique stable permutation
+//! regardless of how the input was split.
+//!
+//! Elements must be `Copy`: runs ping-pong between the slice and a
+//! scratch buffer by memcpy, which keeps a panicking key function from
+//! ever double-dropping (the workspace only sorts Pod indices and keys).
+
+use crate::pool;
+
+/// Parallel in-place slice sorts, in rayon's call shapes.
+pub trait ParallelSliceMut<T> {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy + Send + Sync;
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy + Send + Sync,
+    {
+        par_mergesort_by_key(self, |x| *x);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync,
+    {
+        par_mergesort_by_key(self, key);
+    }
+}
+
+/// Below this length the std stable sort wins outright.
+const SEQ_CUTOFF: usize = 4 << 10;
+
+fn par_mergesort_by_key<T, K, F>(v: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = v.len();
+    let threads = pool::current_num_threads();
+    if n < SEQ_CUTOFF || threads <= 1 {
+        v.sort_by_key(key);
+        return;
+    }
+
+    // Sort ~4 runs per thread independently, in parallel.
+    let run = pool::chunk_len(n, SEQ_CUTOFF / 4);
+    let runs = n.div_ceil(run);
+    let base = SendPtr(v.as_mut_ptr());
+    pool::parallel_for(runs, &|r| {
+        let lo = r * run;
+        let hi = (lo + run).min(n);
+        // Disjoint subslices of `v`, one per task.
+        let s = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        s.sort_by_key(&key);
+    });
+
+    // Bottom-up rounds of pairwise stable merges, ping-ponging between
+    // the slice and a scratch buffer. Each merge is one task.
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    let src_is_v = merge_rounds(v, scratch.spare_capacity_mut(), n, run, &key);
+    if !src_is_v {
+        // Result landed in scratch; copy back.
+        unsafe {
+            std::ptr::copy_nonoverlapping(scratch.as_ptr(), v.as_mut_ptr(), n);
+        }
+    }
+    // `scratch` is dropped with len 0: `T: Copy`, nothing to destroy.
+}
+
+/// Merge width-doubling rounds between `v` and `scratch`; returns true if
+/// the sorted result ends up in `v`.
+fn merge_rounds<T, K, F>(
+    v: &mut [T],
+    scratch: &mut [std::mem::MaybeUninit<T>],
+    n: usize,
+    mut width: usize,
+    key: &F,
+) -> bool
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let a = SendPtr(v.as_mut_ptr());
+    let b = SendPtr(scratch.as_mut_ptr() as *mut T);
+    let mut src_is_v = true;
+    while width < n {
+        let (src, dst) = if src_is_v { (&a, &b) } else { (&b, &a) };
+        let pairs = n.div_ceil(2 * width);
+        pool::parallel_for(pairs, &|p| {
+            let lo = p * 2 * width;
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            unsafe {
+                merge_into(
+                    std::slice::from_raw_parts(src.get().add(lo), mid - lo),
+                    std::slice::from_raw_parts(src.get().add(mid), hi - mid),
+                    dst.get().add(lo),
+                    key,
+                );
+            }
+        });
+        src_is_v = !src_is_v;
+        width *= 2;
+    }
+    src_is_v
+}
+
+/// Stable two-pointer merge of sorted `left` and `right` into `dst`
+/// (which must have room for both). Ties take from `left`, preserving
+/// input order.
+///
+/// # Safety
+/// `dst` must be valid for `left.len() + right.len()` writes and not
+/// overlap the inputs.
+unsafe fn merge_into<T: Copy, K: Ord>(
+    left: &[T],
+    right: &[T],
+    dst: *mut T,
+    key: &impl Fn(&T) -> K,
+) {
+    let (mut i, mut j, mut o) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if key(&right[j]) < key(&left[i]) {
+            dst.add(o).write(right[j]);
+            j += 1;
+        } else {
+            dst.add(o).write(left[i]);
+            i += 1;
+        }
+        o += 1;
+    }
+    if i < left.len() {
+        std::ptr::copy_nonoverlapping(left.as_ptr().add(i), dst.add(o), left.len() - i);
+    }
+    if j < right.len() {
+        std::ptr::copy_nonoverlapping(right.as_ptr().add(j), dst.add(o), right.len() - j);
+    }
+}
+
+/// `Sync` raw-pointer wrapper; accessed through `get()` so closures
+/// capture the wrapper, not the raw pointer field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool;
+
+    fn xorshift(mut s: u64) -> impl FnMut() -> u64 {
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn sorts_large_random_input() {
+        let _g = pool::test_pool_guard();
+        pool::set_num_threads(4);
+        let mut rng = xorshift(42);
+        let mut v: Vec<u64> = (0..100_000).map(|_| rng()).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn by_key_is_stable_and_thread_count_invariant() {
+        let _g = pool::test_pool_guard();
+        // Many duplicate keys: order of ties must match the std *stable*
+        // sort, at every thread count.
+        let mut rng = xorshift(7);
+        let input: Vec<u32> = (0..50_000).map(|_| (rng() % 64) as u32).collect();
+        let mut expect: Vec<(u32, usize)> = input.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(k, _)| k);
+        for t in [1, 2, 8] {
+            pool::set_num_threads(t);
+            let mut v: Vec<(u32, usize)> = input.iter().copied().zip(0..).collect();
+            v.par_sort_unstable_by_key(|&(k, _)| k);
+            assert_eq!(v, expect, "tie order changed at {t} threads");
+        }
+    }
+
+    #[test]
+    fn short_inputs_hit_the_sequential_path() {
+        let _g = pool::test_pool_guard();
+        pool::set_num_threads(8);
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_sort_unstable();
+        assert!(empty.is_empty());
+    }
+}
