@@ -168,7 +168,11 @@ impl Bat {
 /// parallelism — pool busy-time over wall-time — as a `*_speedup` gauge
 /// (e.g. `bat.morton_sort_ns` → `bat.morton_sort_speedup`). The gauge
 /// reads 0 when the engine was bypassed entirely (a 1-thread pool runs
-/// every construct inline on the caller).
+/// every construct inline on the caller). The engine excludes nested
+/// `parallel_for` wall time from the enclosing task's busy time, so
+/// phases with nested parallelism (treelet build) are not double-counted;
+/// the counter is still process-global, so the gauge assumes one build in
+/// flight at a time (true for the write pipeline).
 fn timed_phase<T>(timer: &'static str, f: impl FnOnce() -> T) -> T {
     let busy0 = rayon::pool_stats().busy_ns;
     let t0 = std::time::Instant::now();

@@ -51,13 +51,10 @@ pub fn sorted_perm(codes: &[u64]) -> Vec<u32> {
         .enumerate()
         .map(|(i, &c)| (c, i as u32))
         .collect();
-    let mut scratch: Vec<(u64, u32)> = Vec::with_capacity(n);
-    // SAFETY: `(u64, u32)` is Copy with no drop; every pass below fully
-    // overwrites whichever buffer it scatters into before it is read.
-    #[allow(clippy::uninit_vec)]
-    unsafe {
-        scratch.set_len(n)
-    };
+    // Zero-initialized: every pass fully overwrites its destination, but
+    // handing out `&[(u64, u32)]` over uninitialized memory would be UB.
+    // One memset is noise next to the passes themselves.
+    let mut scratch: Vec<(u64, u32)> = vec![(0, 0); n];
 
     // Bytes that never vary contribute nothing to the order: one OR and
     // one AND over the codes finds them (paralleling them isn't worth a

@@ -43,7 +43,12 @@ pub struct PoolStats {
     /// not included).
     pub batches: u64,
     /// Nanoseconds spent executing task bodies, summed over all threads.
-    /// `busy_ns / wall_ns` over a phase is its effective parallelism.
+    /// Wall time of *nested* `parallel_for` calls is excluded from the
+    /// enclosing task's contribution (the inner tasks count themselves),
+    /// so `busy_ns / wall_ns` over a phase is its effective parallelism.
+    /// The counter is process-global: concurrent builds share it, so
+    /// deltas taken around a phase are only meaningful for the process's
+    /// single write pipeline.
     pub busy_ns: u64,
 }
 
@@ -64,8 +69,11 @@ fn stats() -> &'static Stats {
 /// One unit of work: run `index` of the batch behind the erased pointer.
 ///
 /// The raw pointer is sound because the submitting thread constructs the
-/// batch on its stack and does not return from [`parallel_for`] until
-/// `remaining == 0`, i.e. until every task referencing it has retired.
+/// batch on its stack and does not return from [`parallel_for`] until it
+/// has observed `remaining == 0` *while holding the batch's `done_lock`*.
+/// Every retiring task performs its decrement (and, when final, the
+/// notify) inside that same lock, so once the submitter sees zero under
+/// the lock, no thread will ever touch the batch again.
 #[derive(Clone, Copy)]
 struct Task {
     batch: *const Batch<'static>,
@@ -84,6 +92,10 @@ struct Batch<'a> {
     /// Set by the first panicking task; later tasks are skipped.
     poisoned: AtomicBool,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion handshake: retiring tasks decrement `remaining` (and,
+    /// when final, notify `done`) while holding this lock; the submitter
+    /// only returns — and lets the batch drop — after observing
+    /// `remaining == 0` with the lock held.
     done_lock: Mutex<()>,
     done: Condvar,
 }
@@ -91,6 +103,14 @@ struct Batch<'a> {
 impl Batch<'_> {
     fn run(&self, index: usize) {
         let t0 = Instant::now();
+        // Nesting bookkeeping for `busy_ns`: the wall time of parallel_for
+        // calls issued by this task body is accumulated in NESTED_NS and
+        // subtracted below, so work done by the *inner* batch's tasks
+        // (each counted by its own `run`) is not double-counted as part of
+        // this task's body time.
+        let depth = TASK_DEPTH.with(|d| d.get());
+        TASK_DEPTH.with(|d| d.set(depth + 1));
+        let outer_nested = NESTED_NS.with(|n| n.replace(0));
         if !self.poisoned.load(Ordering::Relaxed) {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.func)(index))) {
                 self.poisoned.store(true, Ordering::Relaxed);
@@ -100,15 +120,24 @@ impl Batch<'_> {
                 }
             }
         }
+        let nested = NESTED_NS.with(|n| n.replace(outer_nested));
+        TASK_DEPTH.with(|d| d.set(depth));
         let s = stats();
         s.executed.fetch_add(1, Ordering::Relaxed);
-        s.busy_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let body_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(nested);
+        s.busy_ns.fetch_add(body_ns, Ordering::Relaxed);
+        // Retire the task. The decrement and (when it reaches zero) the
+        // notify both happen inside `done_lock`, and the submitter only
+        // treats the batch as complete after observing `remaining == 0`
+        // while holding the same lock (see `parallel_for`). Without the
+        // lock around the decrement, the submitter could observe zero and
+        // free the stack-allocated batch while this thread is still
+        // between the decrement and the notify.
+        let guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
-            // Last task out: wake the submitter if it is parked.
-            let _g = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
             self.done.notify_all();
         }
+        drop(guard);
     }
 }
 
@@ -225,6 +254,11 @@ impl PoolCore {
 thread_local! {
     /// Worker index of the current thread in the *current* pool core.
     static CURRENT_WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    /// How many `Batch::run` frames are on this thread's stack.
+    static TASK_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    /// Wall nanoseconds of `parallel_for` calls issued by the task body
+    /// currently running on this thread (excluded from its `busy_ns`).
+    static NESTED_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// The live pool generation plus its join handles.
@@ -296,13 +330,25 @@ pub fn current_num_threads() -> usize {
 /// unaffected by construction (determinism invariant, DESIGN.md §10).
 pub fn set_num_threads(threads: usize) {
     let threads = threads.max(1);
-    let mut slot = pool_slot().lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(h) = slot.as_ref() {
-        if h.core.threads == threads {
-            return;
+    // Swap the new generation in and release the slot mutex BEFORE
+    // stopping/joining the old one. An old worker mid-task may perform
+    // nested parallelism, which calls `current_core()` /
+    // `current_num_threads()` and thus takes the slot mutex; holding it
+    // across the join would deadlock (the worker can't retire its task,
+    // so the join never returns). With the early release, that worker
+    // simply runs its nested batch on the new generation and then exits.
+    let old = {
+        let mut slot = pool_slot().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = slot.as_ref() {
+            if h.core.threads == threads {
+                return;
+            }
         }
-    }
-    if let Some(old) = slot.take() {
+        let old = slot.take();
+        *slot = Some(spawn_core(threads));
+        old
+    };
+    if let Some(old) = old {
         old.core.stop.store(true, Ordering::Release);
         {
             let _g = old.core.sleep.lock().unwrap_or_else(|e| e.into_inner());
@@ -312,7 +358,6 @@ pub fn set_num_threads(threads: usize) {
             let _ = j.join();
         }
     }
-    *slot = Some(spawn_core(threads));
 }
 
 /// Current engine counters (see [`PoolStats`]).
@@ -357,6 +402,7 @@ pub fn parallel_for(tasks: usize, func: &(dyn Fn(usize) + Sync)) {
         return;
     }
     stats().batches.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
 
     let batch = Batch {
         func,
@@ -380,11 +426,20 @@ pub fn parallel_for(tasks: usize, func: &(dyn Fn(usize) + Sync)) {
     // Participate: the submitter is one of the execution threads, which
     // both speeds up the batch and guarantees completion even if the pool
     // is resizing underneath us.
-    while batch.remaining.load(Ordering::Acquire) > 0 {
-        if let Some(task) = core.find_task(me) {
-            unsafe { (*task.batch).run(task.index) };
-            continue;
+    loop {
+        if batch.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(task) = core.find_task(me) {
+                unsafe { (*task.batch).run(task.index) };
+                continue;
+            }
         }
+        // Completion is only decided under `done_lock`. Retiring tasks
+        // decrement (and notify) while holding it, so observing zero here
+        // means the final task has fully exited the batch — `batch` can
+        // safely drop once we return. A lock-free `remaining == 0` check
+        // is NOT sufficient: it can fire while the last worker is still
+        // between its decrement and the notify, and dropping the batch
+        // then would free the Mutex/Condvar it is about to touch.
         let guard = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
         if batch.remaining.load(Ordering::Acquire) == 0 {
             break;
@@ -394,6 +449,12 @@ pub fn parallel_for(tasks: usize, func: &(dyn Fn(usize) + Sync)) {
             .wait_timeout(guard, std::time::Duration::from_micros(200));
     }
     std::sync::atomic::fence(Ordering::Acquire);
+    if TASK_DEPTH.with(|d| d.get()) > 0 {
+        // Nested call: report our wall time to the enclosing task so its
+        // busy_ns contribution excludes work already counted by the inner
+        // tasks (see `Batch::run`).
+        NESTED_NS.with(|n| n.set(n.get() + t0.elapsed().as_nanos() as u64));
+    }
     let payload = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     if let Some(payload) = payload {
         std::panic::resume_unwind(payload);
@@ -480,6 +541,33 @@ mod tests {
         });
         assert_eq!(n.load(Ordering::Relaxed), 200);
         assert_eq!(current_num_threads(), 5);
+    }
+
+    /// Regression: `set_num_threads` used to hold the pool-registry lock
+    /// across joining the old workers; a worker whose task performed
+    /// nested parallelism (→ `current_core()`) blocked on that lock and
+    /// the join never returned. This hung, not failed, so a pass here is
+    /// the absence of a timeout.
+    #[test]
+    fn resize_races_nested_parallelism() {
+        let _g = test_pool_guard();
+        set_num_threads(4);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..20 {
+                    parallel_for(8, &|_| {
+                        parallel_for(4, &|j| {
+                            total.fetch_add(j as u64, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+            for t in [2usize, 6, 3, 5, 4] {
+                set_num_threads(t);
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 20 * 8 * 6);
     }
 
     #[test]
