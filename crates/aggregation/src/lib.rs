@@ -27,6 +27,7 @@
 
 pub mod assign;
 pub mod aug;
+pub mod manifest;
 pub mod meta;
 pub mod rank;
 pub mod sizing;
@@ -34,6 +35,7 @@ pub mod tree;
 
 pub use assign::assign_aggregators;
 pub use aug::build_aug_tree;
+pub use manifest::{CommitManifest, ManifestEntry};
 pub use meta::{MetaLeaf, MetaTree};
 pub use rank::RankInfo;
 pub use sizing::{recommended_aggregation_factor, recommended_target_size};

@@ -109,6 +109,10 @@ pub struct LeafReport {
     pub local_ranges: Vec<(f64, f64)>,
     /// Root bitmaps in the *local* bins; remapped during metadata build.
     pub local_bitmaps: Vec<Bitmap32>,
+    /// On-disk length of the committed leaf file (footer included).
+    pub file_len: u64,
+    /// CRC32C of the whole committed leaf file (footer included).
+    pub file_crc: u32,
 }
 
 impl LeafReport {
@@ -118,6 +122,8 @@ impl LeafReport {
         put_aabb(enc, &self.bounds);
         enc.put_u64(self.particles);
         enc.put_u32(self.aggregator);
+        enc.put_u64(self.file_len);
+        enc.put_u32(self.file_crc);
         enc.put_u64(self.local_ranges.len() as u64);
         for (&(lo, hi), bm) in self.local_ranges.iter().zip(&self.local_bitmaps) {
             enc.put_f64(lo);
@@ -132,6 +138,8 @@ impl LeafReport {
         let bounds = get_aabb(dec)?;
         let particles = dec.get_u64("leaf particles")?;
         let aggregator = dec.get_u32("leaf aggregator")?;
+        let file_len = dec.get_u64("leaf file len")?;
+        let file_crc = dec.get_u32("leaf file crc")?;
         let na = dec.get_usize("leaf attr count")?;
         let mut local_ranges = Vec::with_capacity(na);
         let mut local_bitmaps = Vec::with_capacity(na);
@@ -148,6 +156,8 @@ impl LeafReport {
             aggregator,
             local_ranges,
             local_bitmaps,
+            file_len,
+            file_crc,
         })
     }
 }
@@ -509,6 +519,8 @@ mod tests {
                 vlo,
                 vhi,
             )],
+            file_len: 0,
+            file_crc: 0,
         }
     }
 

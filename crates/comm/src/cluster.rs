@@ -50,6 +50,12 @@ impl Cluster {
                 let rank_reg = rank_regs.get(rank).cloned();
                 handles.push(scope.spawn(move || {
                     let _obs_scope = rank_reg.map(bat_obs::scope);
+                    // Fault context: load `BAT_FAULTS` once per process and
+                    // tag this thread with its rank so `@rank=R` triggers
+                    // can target a single rank (no-ops without the
+                    // `failpoints` feature).
+                    bat_faults::init_from_env();
+                    bat_faults::set_rank(Some(rank));
                     let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                     if out.is_err() {
                         state.poison();

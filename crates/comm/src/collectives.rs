@@ -8,8 +8,21 @@
 //! The aggregation pipeline is dominated by rank 0's serial tree build
 //! (paper §III-A), so gather/scatter use simple linear algorithms at the
 //! root; broadcast uses a binomial tree.
+//!
+//! Every collective comes in two flavors:
+//!
+//! - The classic infallible form (`gather`, `scatter`, …): blocks until
+//!   every peer participates, the right semantics when all ranks are
+//!   healthy by construction.
+//! - A bounded `try_*` form returning `Result<_, CommError>`: each
+//!   internal receive honors the handle's [`Comm::timeout`], so a dead or
+//!   wedged peer surfaces as a clean error on every survivor within a
+//!   bounded number of deadlines instead of hanging the cluster
+//!   (DESIGN.md §11). With no timeout configured, `try_*` still fails
+//!   fast when a specific peer is marked dead.
 
 use crate::comm::Comm;
+use crate::error::CommError;
 use crate::MAX_USER_TAG;
 use bytes::Bytes;
 
@@ -23,9 +36,17 @@ const TAG_BARRIER: u32 = MAX_USER_TAG + 0x100;
 impl Comm {
     /// Blocking dissemination barrier.
     pub fn barrier(&self) {
+        self.unbounded()
+            .try_barrier()
+            .unwrap_or_else(|e| panic!("unbounded barrier failed: {e}"));
+    }
+
+    /// Bounded dissemination barrier: errs if any round's partner message
+    /// does not arrive within the configured timeout.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
         let n = self.size();
         if n <= 1 {
-            return;
+            return Ok(());
         }
         let rounds = (n as u64).next_power_of_two().trailing_zeros();
         for k in 0..rounds {
@@ -33,26 +54,34 @@ impl Comm {
             let dst = (self.rank() + dist) % n;
             let src = (self.rank() + n - dist % n) % n;
             self.isend_internal(dst, TAG_BARRIER + k, Bytes::new());
-            let _ = self.recv_internal(Some(src), TAG_BARRIER + k);
+            let _ = self.recv_bounded_internal(Some(src), TAG_BARRIER + k)?;
         }
+        Ok(())
     }
 
     /// Gather one byte payload from every rank at `root` (rank order).
     /// Returns `Some(all_payloads)` at the root, `None` elsewhere.
     pub fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        self.unbounded()
+            .try_gather(root, data)
+            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
+    }
+
+    /// Bounded [`Comm::gather`].
+    pub fn try_gather(&self, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, CommError> {
         if self.rank() == root {
             let mut out = Vec::with_capacity(self.size());
             for src in 0..self.size() {
                 if src == root {
                     out.push(data.clone());
                 } else {
-                    out.push(self.recv_internal(Some(src), TAG_GATHER).payload);
+                    out.push(self.recv_bounded_internal(Some(src), TAG_GATHER)?.payload);
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
             self.isend_internal(root, TAG_GATHER, data);
-            None
+            Ok(None)
         }
     }
 
@@ -60,6 +89,13 @@ impl Comm {
     /// `Some(parts)` with exactly `size` entries; other ranks pass `None`.
     /// Every rank returns its own part.
     pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        self.unbounded()
+            .try_scatter(root, parts)
+            .unwrap_or_else(|e| panic!("unbounded scatter failed: {e}"))
+    }
+
+    /// Bounded [`Comm::scatter`].
+    pub fn try_scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes, CommError> {
         if self.rank() == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
@@ -71,16 +107,23 @@ impl Comm {
                     self.isend_internal(dst, TAG_SCATTER, part);
                 }
             }
-            mine
+            Ok(mine)
         } else {
             assert!(parts.is_none(), "non-root ranks must pass None to scatter");
-            self.recv_internal(Some(root), TAG_SCATTER).payload
+            Ok(self.recv_bounded_internal(Some(root), TAG_SCATTER)?.payload)
         }
     }
 
     /// Broadcast from `root` via a binomial tree. The root passes
     /// `Some(data)`; every rank returns the payload.
     pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        self.unbounded()
+            .try_bcast(root, data)
+            .unwrap_or_else(|e| panic!("unbounded bcast failed: {e}"))
+    }
+
+    /// Bounded [`Comm::bcast`].
+    pub fn try_bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, CommError> {
         let n = self.size();
         // Rotate ranks so the root is virtual rank 0.
         let vrank = (self.rank() + n - root) % n;
@@ -90,7 +133,7 @@ impl Comm {
             // Receive from the parent: clear the lowest set bit of vrank.
             let parent_v = vrank & (vrank - 1);
             let parent = (parent_v + root) % n;
-            self.recv_internal(Some(parent), TAG_BCAST).payload
+            self.recv_bounded_internal(Some(parent), TAG_BCAST)?.payload
         };
         // Forward to children: set each bit above our lowest set bit.
         let lowest = if vrank == 0 {
@@ -105,12 +148,23 @@ impl Comm {
                 self.isend_internal(child, TAG_BCAST, payload.clone());
             }
         }
-        payload
+        Ok(payload)
     }
 
     /// All-reduce a `u64` with an associative, commutative operator.
     pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        let gathered = self.gather_u64(0, value);
+        self.unbounded()
+            .try_allreduce_u64(value, op)
+            .unwrap_or_else(|e| panic!("unbounded allreduce failed: {e}"))
+    }
+
+    /// Bounded [`Comm::allreduce_u64`].
+    pub fn try_allreduce_u64(
+        &self,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, CommError> {
+        let gathered = self.try_gather_u64(0, value)?;
         let reduced = if self.rank() == 0 {
             let vals = gathered.expect("root gathers");
             Some(Bytes::copy_from_slice(
@@ -123,30 +177,39 @@ impl Comm {
         } else {
             None
         };
-        let out = self.bcast(0, reduced);
-        u64::from_le_bytes(out[..8].try_into().expect("u64 payload"))
+        let out = self.try_bcast(0, reduced)?;
+        Ok(u64::from_le_bytes(
+            out[..8].try_into().expect("u64 payload"),
+        ))
     }
 
     /// Gather a `u64` from every rank at `root`.
     pub fn gather_u64(&self, root: usize, value: u64) -> Option<Vec<u64>> {
+        self.unbounded()
+            .try_gather_u64(root, value)
+            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
+    }
+
+    /// Bounded [`Comm::gather_u64`].
+    pub fn try_gather_u64(&self, root: usize, value: u64) -> Result<Option<Vec<u64>>, CommError> {
         if self.rank() == root {
             let mut out = Vec::with_capacity(self.size());
             for src in 0..self.size() {
                 if src == root {
                     out.push(value);
                 } else {
-                    let m = self.recv_internal(Some(src), TAG_REDUCE);
+                    let m = self.recv_bounded_internal(Some(src), TAG_REDUCE)?;
                     out.push(u64::from_le_bytes(m.payload[..8].try_into().expect("u64")));
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
             self.isend_internal(
                 root,
                 TAG_REDUCE,
                 Bytes::copy_from_slice(&value.to_le_bytes()),
             );
-            None
+            Ok(None)
         }
     }
 
@@ -170,5 +233,11 @@ impl Comm {
         (0..count)
             .map(|_| Bytes::from(dec.get_bytes("allgather part").expect("valid packing")))
             .collect()
+    }
+
+    /// This handle with deadlines stripped: the infallible collectives
+    /// must never time out, whatever the configured timeout is.
+    fn unbounded(&self) -> Comm {
+        self.with_timeout(None)
     }
 }

@@ -1,10 +1,12 @@
 //! The per-rank communicator handle: point-to-point operations.
 
+use crate::error::CommError;
 use crate::request::RecvRequest;
 use crate::state::{ClusterState, Mailbox};
 use crate::{IBarrier, MAX_USER_TAG};
 use bytes::Bytes;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A message delivered to a rank.
 #[derive(Debug, Clone)]
@@ -37,17 +39,38 @@ pub struct ProbeInfo {
     pub len: usize,
 }
 
+/// The cluster-wide default receive deadline, read once from
+/// `BAT_RECV_TIMEOUT_MS` (unset or unparsable = no deadline: the classic
+/// block-forever MPI semantics).
+fn default_timeout() -> Option<Duration> {
+    static DEFAULT: std::sync::OnceLock<Option<Duration>> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("BAT_RECV_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}
+
 /// A rank's handle to the cluster: knows its rank, the cluster size, and how
 /// to exchange messages. Clone-able; clones refer to the same rank.
 #[derive(Clone)]
 pub struct Comm {
     pub(crate) state: Arc<ClusterState>,
     pub(crate) rank: usize,
+    /// Deadline applied per bounded receive (`recv_bounded` and every
+    /// `try_*` collective). `None` = wait forever.
+    timeout: Option<Duration>,
 }
 
 impl Comm {
     pub(crate) fn new(state: Arc<ClusterState>, rank: usize) -> Comm {
-        Comm { state, rank }
+        Comm {
+            state,
+            rank,
+            timeout: default_timeout(),
+        }
     }
 
     /// This rank's index in `0..size`.
@@ -60,6 +83,36 @@ impl Comm {
     #[inline]
     pub fn size(&self) -> usize {
         self.state.size
+    }
+
+    /// The per-receive deadline bounded operations use (from
+    /// `BAT_RECV_TIMEOUT_MS`, or [`Comm::with_timeout`]).
+    #[inline]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// A handle to the same rank with a different per-receive deadline
+    /// (`None` disables deadlines).
+    pub fn with_timeout(&self, timeout: Option<Duration>) -> Comm {
+        Comm {
+            state: self.state.clone(),
+            rank: self.rank,
+            timeout,
+        }
+    }
+
+    /// Declare this rank dead: it is abandoning the protocol (crash
+    /// simulation, unrecoverable local failure). Pending and future
+    /// messages to it are dropped, and every peer blocked on a bounded
+    /// receive from it wakes with [`CommError::PeerDead`].
+    pub fn mark_dead(&self) {
+        self.state.mark_dead(self.rank);
+    }
+
+    /// Whether `rank` has declared itself dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.state.is_dead(rank)
     }
 
     #[inline]
@@ -88,6 +141,11 @@ impl Comm {
     pub(crate) fn isend_internal(&self, dst: usize, tag: u32, payload: Bytes) {
         self.check_alive();
         assert!(dst < self.size(), "destination rank {dst} out of range");
+        // Failpoint: a lost message (any configured fault drops it). The
+        // receiver's deadline is what turns the loss into an error.
+        if bat_faults::fire("comm.send").is_some() {
+            return;
+        }
         self.state.deliver(
             dst,
             Message {
@@ -112,7 +170,56 @@ impl Comm {
         self.recv_internal(src, tag)
     }
 
+    /// Bounded receive with an explicit deadline: waits at most `timeout`
+    /// for a matching message, and fails fast with
+    /// [`CommError::PeerDead`] if `src` has died with nothing queued.
+    pub fn recv_timeout(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<Message, CommError> {
+        Self::check_user_tag(tag);
+        self.recv_deadline_internal(src, tag, Some(Instant::now() + timeout))
+    }
+
+    /// Bounded receive using this handle's configured [`Comm::timeout`]
+    /// (blocks indefinitely when none is configured — but still fails fast
+    /// on a dead peer).
+    pub fn recv_bounded(&self, src: Option<usize>, tag: u32) -> Result<Message, CommError> {
+        Self::check_user_tag(tag);
+        self.recv_bounded_internal(src, tag)
+    }
+
+    pub(crate) fn recv_bounded_internal(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+    ) -> Result<Message, CommError> {
+        self.recv_deadline_internal(src, tag, self.timeout.map(|t| Instant::now() + t))
+    }
+
     pub(crate) fn recv_internal(&self, src: Option<usize>, tag: u32) -> Message {
+        match self.recv_deadline_internal(src, tag, None) {
+            Ok(msg) => msg,
+            // Unbounded receives keep the legacy all-ranks-healthy
+            // contract; a dead peer here means the program logic already
+            // abandoned the collective protocol.
+            Err(e) => panic!("unbounded receive failed: {e}"),
+        }
+    }
+
+    fn recv_deadline_internal(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Message, CommError> {
+        // Failpoint: injected receive latency (`comm.recv=delay:MS`). Any
+        // non-delay action configured here is ignored — losses are
+        // injected on the send side.
+        let _ = bat_faults::fire("comm.recv");
+        let started = Instant::now();
         let mb = &self.state.mailboxes[self.rank];
         let mut q = mb.queue.lock();
         loop {
@@ -120,9 +227,37 @@ impl Comm {
                 panic!("cluster poisoned: another rank panicked");
             }
             if let Some(i) = Mailbox::find(&q, src, tag) {
-                return q.remove(i);
+                return Ok(q.remove(i));
             }
-            mb.cv.wait(&mut q);
+            // Check for a dead source only after draining queued matches:
+            // messages sent before death are still deliverable.
+            if let Some(s) = src {
+                if self.state.is_dead(s) {
+                    return Err(CommError::PeerDead {
+                        rank: self.rank,
+                        peer: s,
+                        tag,
+                    });
+                }
+            }
+            match deadline {
+                None => mb.cv.wait(&mut q),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(CommError::Timeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    // Spurious wakeups and wakeups for non-matching
+                    // messages loop back around; the deadline re-check
+                    // above bounds the total wait.
+                    let _ = mb.cv.wait_for(&mut q, d - now);
+                }
+            }
         }
     }
 

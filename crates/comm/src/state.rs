@@ -31,6 +31,11 @@ pub(crate) struct ClusterState {
     /// Set when any rank panics; blocked ranks wake and panic instead of
     /// deadlocking on messages that will never arrive.
     poisoned: AtomicBool,
+    /// Per-rank death flags ([`crate::Comm::mark_dead`]): a dead rank has
+    /// abandoned the protocol. Unlike poisoning, death is per-rank and
+    /// survivable — receivers waiting on a dead peer get a clean
+    /// [`crate::CommError::PeerDead`] instead of a panic.
+    dead: Vec<AtomicBool>,
     /// Per-rank ibarrier invocation counters, used to disambiguate the round
     /// tags of successive nonblocking barriers.
     ibarrier_gen: Vec<AtomicU64>,
@@ -42,6 +47,7 @@ impl ClusterState {
             size,
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             poisoned: AtomicBool::new(false),
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
             ibarrier_gen: (0..size).map(|_| AtomicU64::new(0)).collect(),
         })
     }
@@ -67,8 +73,29 @@ impl ClusterState {
         }
     }
 
-    /// Deliver a message into `dst`'s mailbox and wake it.
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::Acquire)
+    }
+
+    /// Mark one rank dead and wake every blocked receiver so waits on that
+    /// rank fail fast instead of running out their deadline.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            // Same lock discipline as `poison`: a receiver between its
+            // death-check and its condvar wait must not miss the wakeup.
+            let _guard = mb.queue.lock();
+            mb.cv.notify_all();
+        }
+    }
+
+    /// Deliver a message into `dst`'s mailbox and wake it. Messages to a
+    /// dead rank are dropped — nobody is left to consume them, and letting
+    /// them queue would only hide the fault.
     pub(crate) fn deliver(&self, dst: usize, msg: Message) {
+        if self.is_dead(dst) {
+            return;
+        }
         let mb = &self.mailboxes[dst];
         let mut q = mb.queue.lock();
         q.push(msg);

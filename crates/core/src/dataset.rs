@@ -24,6 +24,9 @@ pub struct Dataset {
     /// Lazily opened leaf files (mmap handles are cheap but opening all
     /// files of a large dataset up front is not).
     files: Mutex<HashMap<u32, std::sync::Arc<BatFile>>>,
+    /// Leaves excluded from queries — damaged files skipped by
+    /// [`Dataset::open_degraded`] (sorted, usually empty).
+    excluded: Vec<u32>,
 }
 
 impl Dataset {
@@ -37,7 +40,21 @@ impl Dataset {
             meta,
             dir,
             files: Mutex::new(HashMap::new()),
+            excluded: Vec::new(),
         })
+    }
+
+    /// This dataset with the given leaves excluded from queries (the
+    /// degraded-open path; see [`Dataset::open_degraded`]).
+    pub(crate) fn with_excluded(mut self, mut excluded: Vec<u32>) -> Dataset {
+        excluded.sort_unstable();
+        self.excluded = excluded;
+        self
+    }
+
+    /// Leaves excluded from queries by a degraded open.
+    pub fn excluded_leaves(&self) -> &[u32] {
+        &self.excluded
     }
 
     /// The parsed top-level metadata.
@@ -86,6 +103,10 @@ impl Dataset {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let mut stats = QueryStats::default();
         for leaf in candidates {
+            if self.excluded.binary_search(&leaf).is_ok() {
+                bat_obs::counter_add("read.degraded_skips", 1);
+                continue;
+            }
             let file = self.file(leaf)?;
             let s = file
                 .query(q, &mut cb)

@@ -71,10 +71,12 @@
 pub mod dataset;
 pub mod modeled;
 pub mod read;
+pub mod verify;
 pub mod write;
 
 pub use dataset::Dataset;
 pub use modeled::{model_read, model_write, ModeledOutcome};
+pub use verify::{verify_dataset, CommitState, LeafCheck, LeafStatus, VerifyReport};
 pub use write::{Strategy, WriteConfig, WriteReport};
 
 /// Re-exports of the workspace crates for downstream convenience.

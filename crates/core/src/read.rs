@@ -61,7 +61,10 @@ pub fn read_particles_timed(
     basename: &str,
 ) -> io::Result<ReadReport> {
     let mut times = PhaseTimes::new();
-    comm.barrier();
+    // Bounded entry barrier, same rationale as the write pipeline: dead
+    // peers err cleanly instead of panicking the collective.
+    comm.try_barrier()
+        .map_err(|e| crate::write::abandon(comm, "read entry barrier", e))?;
     let t_start = Instant::now();
 
     // --- Phase 1: all ranks read the metadata (Fig. 3a). ---
@@ -114,12 +117,16 @@ pub fn read_particles_timed(
 
     // Client/server loop with ibarrier termination (§IV-B). A corrupt
     // reply is recorded but the protocol still runs to completion, so the
-    // error surfaces on this rank without hanging the others.
+    // error surfaces on this rank without hanging the others. Liveness is
+    // bounded: a dead peer is noticed between polls, and with a configured
+    // receive timeout the whole loop carries a deadline (DESIGN.md §11).
     let mut result = ParticleSet::new(meta.descs.clone());
     let mut reply_err: Option<bat_wire::WireError> = None;
     let mut barrier: Option<bat_comm::IBarrier> = None;
     let mut done = false;
+    let deadline = comm.timeout().map(|t| Instant::now() + 4 * t);
     while !done {
+        check_liveness(comm, deadline)?;
         // Serve one incoming query if present.
         if comm.iprobe(None, TAG_QUERY).is_some() {
             let msg = comm.recv(None, TAG_QUERY);
@@ -164,49 +171,89 @@ pub fn read_particles_timed(
     let t0 = Instant::now();
     for l in local_leaves {
         let file = &open_files[&l];
-        append_query(file, &bounds, &mut result);
+        if let Err(e) = append_query(file, &bounds, &mut result) {
+            reply_err.get_or_insert(e);
+        }
     }
     times[WritePhase::LayoutBuild] = t0.elapsed().as_secs_f64();
     times.total = t_start.elapsed().as_secs_f64();
 
     // Run the trailing collective before reporting any reply error so
-    // healthy ranks are never left waiting on this one.
-    let merged = crate::write::reduce_times(comm, &times);
+    // healthy ranks are never left waiting on this one. A reply error
+    // still takes precedence over a collective failure: it names the
+    // root cause on this rank.
+    let merged = crate::write::try_reduce_times(comm, &times);
     if let Some(e) = reply_err {
         return Err(io::Error::new(io::ErrorKind::InvalidData, e));
     }
+    let merged = merged.map_err(|e| crate::write::abandon(comm, "read finalize", e))?;
     Ok(ReadReport {
         particles: result,
         times: merged,
     })
 }
 
+/// Fail the server loop when a peer has died or the loop deadline passed:
+/// mark this rank dead (cascading the failure to anyone blocked on it)
+/// and return a clean error instead of spinning forever.
+fn check_liveness(comm: &Comm, deadline: Option<Instant>) -> io::Result<()> {
+    if let Some(dead) = (0..comm.size()).find(|&r| r != comm.rank() && comm.is_dead(r)) {
+        comm.mark_dead();
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!("read server loop abandoned: rank {dead} died"),
+        ));
+    }
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        comm.mark_dead();
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "read server loop abandoned: deadline exceeded",
+        ));
+    }
+    Ok(())
+}
+
 /// Answer one query message: spatial query over the requested leaf file.
+///
+/// A malformed query or an unservable/corrupt leaf yields an intentionally
+/// empty (invalid) reply frame, which the requester records as a reply
+/// error — the protocol still completes and no rank panics on untrusted
+/// bytes (DESIGN.md §11).
 fn serve_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes {
+    try_serve_query(open_files, payload).unwrap_or_default()
+}
+
+fn try_serve_query(
+    open_files: &HashMap<u32, BatFile>,
+    payload: &[u8],
+) -> bat_wire::WireResult<Bytes> {
     let mut dec = Decoder::new(payload);
-    let leaf = dec.get_u32("query leaf").expect("valid query");
-    let vals: Vec<f32> = (0..6)
-        .map(|_| dec.get_f32("query bounds").expect("valid query bounds"))
-        .collect();
+    let leaf = dec.get_u32("query leaf")?;
+    let mut vals = [0f32; 6];
+    for v in &mut vals {
+        *v = dec.get_f32("query bounds")?;
+    }
     let qb = Aabb::new(
         bat_geom::Vec3::new(vals[0], vals[1], vals[2]),
         bat_geom::Vec3::new(vals[3], vals[4], vals[5]),
     );
-    let file = open_files
-        .get(&leaf)
-        .expect("query for a leaf this rank does not own");
+    let file = open_files.get(&leaf).ok_or(bat_wire::WireError::BadTag {
+        what: "query for a leaf this rank does not serve",
+        tag: leaf as u64,
+    })?;
     let mut out = ParticleSet::new(file.head().descs.clone());
-    append_query(file, &qb, &mut out);
-    ColumnarParticles::encode_frame(&out)
+    append_query(file, &qb, &mut out)?;
+    Ok(ColumnarParticles::encode_frame(&out))
 }
 
 /// Run an exact spatial query on a file and append the hits.
-fn append_query(file: &BatFile, bounds: &Aabb, out: &mut ParticleSet) {
+fn append_query(file: &BatFile, bounds: &Aabb, out: &mut ParticleSet) -> bat_wire::WireResult<()> {
     let q = Query::new().with_bounds(*bounds);
     file.query(&q, |p| {
         out.push(p.position, p.attrs);
-    })
-    .expect("valid file");
+    })?;
+    Ok(())
 }
 
 /// Tag for full-query messages (distributed in situ access, §IV-B).
@@ -270,7 +317,9 @@ pub fn query_distributed(
     let mut reply_err: Option<bat_wire::WireError> = None;
     let mut barrier: Option<bat_comm::IBarrier> = None;
     let mut done = false;
+    let deadline = comm.timeout().map(|t| Instant::now() + 4 * t);
     while !done {
+        check_liveness(comm, deadline)?;
         if comm.iprobe(None, TAG_FULL_QUERY).is_some() {
             let msg = comm.recv(None, TAG_FULL_QUERY);
             let reply = serve_full_query(&open_files, &msg.payload);
@@ -302,31 +351,41 @@ pub fn query_distributed(
         let reply = serve_full_query(&open_files, &msg.payload);
         comm.isend(msg.src, TAG_FULL_REPLY, reply);
     }
-    if let Some(e) = reply_err {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
-    }
-
     // Local leaves resolved after the server loop (paper §IV-B).
     for l in local_leaves {
         let file = &open_files[&l];
         let mut out = result;
-        file.query(q, |p| out.push(p.position, p.attrs))
-            .expect("valid file");
+        let res = file.query(q, |p| out.push(p.position, p.attrs));
         result = out;
+        if let Err(e) = res {
+            reply_err.get_or_insert(e);
+        }
+    }
+    if let Some(e) = reply_err {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
     }
     Ok(result)
 }
 
-/// Answer one full-query message against the served files.
+/// Answer one full-query message against the served files; like
+/// [`serve_query`], failures become an empty (invalid) reply frame the
+/// requester records as a reply error.
 fn serve_full_query(open_files: &HashMap<u32, BatFile>, payload: &[u8]) -> Bytes {
+    try_serve_full_query(open_files, payload).unwrap_or_default()
+}
+
+fn try_serve_full_query(
+    open_files: &HashMap<u32, BatFile>,
+    payload: &[u8],
+) -> bat_wire::WireResult<Bytes> {
     let mut dec = Decoder::new(payload);
-    let leaf = dec.get_u32("query leaf").expect("valid query");
-    let q = Query::decode(&mut dec).expect("valid query body");
-    let file = open_files
-        .get(&leaf)
-        .expect("query for a leaf this rank does not own");
+    let leaf = dec.get_u32("query leaf")?;
+    let q = Query::decode(&mut dec)?;
+    let file = open_files.get(&leaf).ok_or(bat_wire::WireError::BadTag {
+        what: "query for a leaf this rank does not serve",
+        tag: leaf as u64,
+    })?;
     let mut out = ParticleSet::new(file.head().descs.clone());
-    file.query(&q, |p| out.push(p.position, p.attrs))
-        .expect("valid file");
-    ColumnarParticles::encode_frame(&out)
+    file.query(&q, |p| out.push(p.position, p.attrs))?;
+    Ok(ColumnarParticles::encode_frame(&out))
 }

@@ -1,0 +1,318 @@
+//! Offline dataset verification and recovery (DESIGN.md §11).
+//!
+//! [`verify_dataset`] proves, from the bytes on disk alone, whether a
+//! dataset is fully committed and intact — and when it is not, reports
+//! exactly which files are torn and which byte ranges inside them. The
+//! commit protocol makes this decidable:
+//!
+//! - `.batmeta` is the commit marker. Absent (or present only as a `.tmp`
+//!   sibling) → the write never committed. Present with a torn
+//!   [`CommitManifest`] → the commit itself was interrupted; the dataset
+//!   must be treated as uncommitted.
+//! - The manifest lists every leaf file with its committed length and
+//!   whole-file CRC32C, so missing, truncated, extended, and bit-rotted
+//!   leaves are all distinguishable.
+//! - Each leaf file carries its own per-section [`FileFooter`], so damage
+//!   is localized to the head or an individual treelet block.
+//!
+//! [`Dataset::open_degraded`] is the recovery path: it opens the
+//! consistent subset of a damaged dataset read-only, skipping the leaves
+//! verification rejected and answering queries from the rest.
+
+use crate::dataset::Dataset;
+use bat_aggregation::{CommitManifest, MetaTree};
+use bat_layout::{FileFooter, SectionMismatch};
+use bat_wire::crc32c;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Verdict for one leaf file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafStatus {
+    /// Length and whole-file CRC match the manifest.
+    Ok,
+    /// The file is absent.
+    Missing,
+    /// On-disk length differs from the committed length (a torn or
+    /// truncated file, or one extended after the commit).
+    LengthMismatch {
+        /// Committed length from the manifest.
+        expected: u64,
+        /// Actual on-disk length.
+        found: u64,
+    },
+    /// Length matches but bytes do not; `sections` localizes the damage
+    /// via the file's own footer (empty when the footer itself is gone
+    /// or too damaged to localize).
+    ChecksumMismatch {
+        /// Damaged payload sections, per the leaf file's footer.
+        sections: Vec<SectionMismatch>,
+    },
+    /// The file could not be read at all.
+    Unreadable,
+}
+
+impl LeafStatus {
+    /// Whether this leaf is safe to read.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, LeafStatus::Ok)
+    }
+}
+
+impl fmt::Display for LeafStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeafStatus::Ok => write!(f, "ok"),
+            LeafStatus::Missing => write!(f, "missing"),
+            LeafStatus::LengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "length mismatch: committed {expected} bytes, found {found}"
+                )
+            }
+            LeafStatus::ChecksumMismatch { sections } if sections.is_empty() => {
+                write!(f, "checksum mismatch (damage not localizable)")
+            }
+            LeafStatus::ChecksumMismatch { sections } => {
+                write!(f, "checksum mismatch in section(s)")?;
+                for s in sections {
+                    write!(f, " {}[{}..{})", s.section, s.start, s.end)?;
+                }
+                Ok(())
+            }
+            LeafStatus::Unreadable => write!(f, "unreadable"),
+        }
+    }
+}
+
+/// One leaf file's verification result.
+#[derive(Debug, Clone)]
+pub struct LeafCheck {
+    /// File name relative to the dataset directory.
+    pub file: String,
+    /// The verdict.
+    pub status: LeafStatus,
+}
+
+/// Why the dataset as a whole is not committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitState {
+    /// `.batmeta` present with a valid manifest: the write committed.
+    Committed,
+    /// `.batmeta` present but written before the commit protocol existed —
+    /// no manifest to check leaf files against (footers still checked).
+    Legacy,
+    /// No `.batmeta` on disk: the write never reached its commit point.
+    NotCommitted,
+    /// `.batmeta` exists but its commit marker is torn or inconsistent —
+    /// an interrupted commit; the message says what was wrong.
+    TornCommit(String),
+}
+
+/// The full verification report for one dataset.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Commit-marker verdict.
+    pub commit: CommitState,
+    /// Per-leaf verdicts, in manifest (metadata) order.
+    pub leaves: Vec<LeafCheck>,
+}
+
+impl VerifyReport {
+    /// Whether the dataset is committed and every leaf checks clean.
+    pub fn is_clean(&self) -> bool {
+        matches!(self.commit, CommitState::Committed | CommitState::Legacy)
+            && self.leaves.iter().all(|l| l.status.is_ok())
+    }
+
+    /// The leaves that failed verification.
+    pub fn damaged(&self) -> impl Iterator<Item = &LeafCheck> {
+        self.leaves.iter().filter(|l| !l.status.is_ok())
+    }
+}
+
+/// Check one leaf file against its committed length and CRC, localizing
+/// any damage with the file's own footer.
+fn check_leaf(path: &Path, expected_len: u64, expected_crc: u32) -> LeafStatus {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return LeafStatus::Missing,
+        Err(_) => return LeafStatus::Unreadable,
+    };
+    if bytes.len() as u64 != expected_len {
+        return LeafStatus::LengthMismatch {
+            expected: expected_len,
+            found: bytes.len() as u64,
+        };
+    }
+    if crc32c(&bytes) == expected_crc {
+        return LeafStatus::Ok;
+    }
+    // Whole-file CRC failed: use the footer to say where.
+    let sections = match FileFooter::detect(&bytes) {
+        Ok(Some(footer)) => footer.verify(&bytes[..footer.payload_len as usize]),
+        // Footer gone or itself damaged: report the mismatch unlocalized.
+        Ok(None) | Err(_) => Vec::new(),
+    };
+    LeafStatus::ChecksumMismatch { sections }
+}
+
+/// Verify dataset `basename` in `dir` against its commit manifest.
+///
+/// Never errs on damage — damage is the *result*. `Err` is reserved for
+/// environmental failures (e.g. the directory itself is unreadable).
+pub fn verify_dataset(dir: impl AsRef<Path>, basename: &str) -> io::Result<VerifyReport> {
+    let dir = dir.as_ref();
+    let meta_path = dir.join(crate::write::meta_file_name(basename));
+    let meta_bytes = match std::fs::read(&meta_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(VerifyReport {
+                commit: CommitState::NotCommitted,
+                leaves: Vec::new(),
+            });
+        }
+        Err(e) => return Err(e),
+    };
+
+    let manifest = match CommitManifest::detect(&meta_bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            return Ok(VerifyReport {
+                commit: CommitState::TornCommit(e.to_string()),
+                leaves: Vec::new(),
+            });
+        }
+    };
+
+    match manifest {
+        Some(m) => {
+            // The manifest already proved the MetaTree bytes checksum
+            // clean; decoding them must succeed, and disagreement between
+            // the two is itself a torn commit.
+            let meta = match MetaTree::decode(&meta_bytes[..m.meta_len as usize]) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Ok(VerifyReport {
+                        commit: CommitState::TornCommit(format!("metadata undecodable: {e}")),
+                        leaves: Vec::new(),
+                    });
+                }
+            };
+            if meta.leaves.len() != m.files.len()
+                || meta
+                    .leaves
+                    .iter()
+                    .zip(&m.files)
+                    .any(|(l, f)| l.file != f.file)
+            {
+                return Ok(VerifyReport {
+                    commit: CommitState::TornCommit(
+                        "manifest file list disagrees with the metadata tree".into(),
+                    ),
+                    leaves: Vec::new(),
+                });
+            }
+            let leaves = m
+                .files
+                .iter()
+                .map(|f| LeafCheck {
+                    file: f.file.clone(),
+                    status: check_leaf(&dir.join(&f.file), f.len, f.crc),
+                })
+                .collect();
+            Ok(VerifyReport {
+                commit: CommitState::Committed,
+                leaves,
+            })
+        }
+        None => {
+            // Legacy dataset: no manifest. Check what the files themselves
+            // allow — existence, and the per-section footer when present.
+            let meta = match MetaTree::decode(&meta_bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Ok(VerifyReport {
+                        commit: CommitState::TornCommit(format!("metadata undecodable: {e}")),
+                        leaves: Vec::new(),
+                    });
+                }
+            };
+            let leaves = meta
+                .leaves
+                .iter()
+                .map(|l| {
+                    let status = match std::fs::read(dir.join(&l.file)) {
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => LeafStatus::Missing,
+                        Err(_) => LeafStatus::Unreadable,
+                        Ok(bytes) => match FileFooter::detect(&bytes) {
+                            Ok(Some(footer)) => {
+                                let bad = footer.verify(&bytes[..footer.payload_len as usize]);
+                                if bad.is_empty() {
+                                    LeafStatus::Ok
+                                } else {
+                                    LeafStatus::ChecksumMismatch { sections: bad }
+                                }
+                            }
+                            // Pre-footer file: nothing to check against.
+                            Ok(None) => LeafStatus::Ok,
+                            Err(_) => LeafStatus::ChecksumMismatch {
+                                sections: Vec::new(),
+                            },
+                        },
+                    };
+                    LeafCheck {
+                        file: l.file.clone(),
+                        status,
+                    }
+                })
+                .collect();
+            Ok(VerifyReport {
+                commit: CommitState::Legacy,
+                leaves,
+            })
+        }
+    }
+}
+
+impl Dataset {
+    /// Open the consistent subset of a (possibly damaged) dataset
+    /// read-only: verification runs first, and every leaf it rejected is
+    /// excluded from queries instead of erroring them. Returns the
+    /// dataset plus the verification report that drove the exclusions.
+    ///
+    /// Errs only when there is nothing consistent to open: the dataset
+    /// never committed, or its commit marker is torn.
+    pub fn open_degraded(
+        dir: impl AsRef<Path>,
+        basename: &str,
+    ) -> io::Result<(Dataset, VerifyReport)> {
+        let dir = dir.as_ref();
+        let report = verify_dataset(dir, basename)?;
+        match &report.commit {
+            CommitState::Committed | CommitState::Legacy => {}
+            CommitState::NotCommitted => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("dataset {basename}: not committed (no metadata on disk)"),
+                ));
+            }
+            CommitState::TornCommit(why) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("dataset {basename}: torn commit marker: {why}"),
+                ));
+            }
+        }
+        let excluded: Vec<u32> = report
+            .leaves
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.status.is_ok())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let ds = Dataset::open(dir, basename)?.with_excluded(excluded);
+        Ok((ds, report))
+    }
+}

@@ -12,15 +12,17 @@
 
 use bat_aggregation::meta::{LeafReport, MetaTree};
 use bat_aggregation::{
-    assign_aggregators, build_aug_tree, AggConfig, AggregationTree, BalanceStats, RankInfo,
+    assign_aggregators, build_aug_tree, AggConfig, AggregationTree, BalanceStats, CommitManifest,
+    ManifestEntry, RankInfo,
 };
-use bat_comm::Comm;
+use bat_comm::{Comm, CommError};
+use bat_faults::Fault;
 use bat_geom::Aabb;
 use bat_iosim::{PhaseTimes, WritePhase};
-use bat_layout::{BatBuilder, BatConfig, ColumnarParticles, ParticleSet};
+use bat_layout::{BatBuilder, BatConfig, ColumnarParticles, CrcSectionWriter, ParticleSet};
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
 use bytes::Bytes;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 use std::time::Instant;
 
@@ -334,20 +336,209 @@ enum LeafData {
     Raw(Vec<u8>),
 }
 
-fn write_leaf_file(path: &Path, data: &LeafData) -> io::Result<u64> {
-    match data {
-        LeafData::Bat(bat) => {
-            let file = std::fs::File::create(path)?;
-            let mut w = io::BufWriter::new(file);
-            let written = bat.write_to(&mut w)?;
-            w.into_inner().map_err(io::IntoInnerError::into_error)?;
-            Ok(written)
-        }
-        LeafData::Raw(bytes) => {
-            std::fs::write(path, bytes)?;
-            Ok(bytes.len() as u64)
+/// Durably write one leaf file with the commit protocol (DESIGN.md §11):
+/// stream to a `.tmp` sibling through a [`CrcSectionWriter`] (per-section
+/// CRC32C over the head and each treelet, plus the trailing footer), fsync,
+/// and atomically rename into place. Returns the committed
+/// `(file_len, whole_file_crc)` the metadata manifest records.
+///
+/// `torn` simulates a crash mid-write (injected by the `write.leaf`
+/// failpoint): the first N bytes land in the `.tmp` file and the write
+/// fails, so no committed file ever carries the torn bytes.
+fn write_leaf_file(
+    dir: &Path,
+    file_name: &str,
+    data: &LeafData,
+    torn: Option<u64>,
+) -> io::Result<(u64, u32)> {
+    let tmp = dir.join(format!("{file_name}.tmp"));
+    let committed = (|| -> io::Result<(u64, u32)> {
+        let file = std::fs::File::create(&tmp)?;
+        let buf = io::BufWriter::new(file);
+        let (buf, total, crc) = match data {
+            LeafData::Bat(bat) => {
+                let writer = bat.writer();
+                let ends = bat_layout::footer::bat_section_ends(&writer);
+                let mut cw = CrcSectionWriter::new(buf, ends);
+                match torn {
+                    Some(n) => {
+                        let mut tw = bat_faults::TornWriter::new(&mut cw, n, "write.leaf");
+                        bat_obs::time("bat.compact_ns", || writer.write_to(&mut tw))?;
+                    }
+                    None => bat_obs::time("bat.compact_ns", || writer.write_to(&mut cw))?,
+                }
+                bat_obs::counter_add("bat.compact_bytes", writer.file_size() as u64);
+                let (buf, _footer, total, crc) = cw.finish()?;
+                (buf, total, crc)
+            }
+            LeafData::Raw(bytes) => {
+                let mut cw = CrcSectionWriter::new(buf, vec![bytes.len() as u64]);
+                match torn {
+                    Some(n) => {
+                        bat_faults::TornWriter::new(&mut cw, n, "write.leaf").write_all(bytes)?
+                    }
+                    None => cw.write_all(bytes)?,
+                }
+                let (buf, _footer, total, crc) = cw.finish()?;
+                (buf, total, crc)
+            }
+        };
+        let file = buf.into_inner().map_err(io::IntoInnerError::into_error)?;
+        bat_faults::fire_io("write.leaf.sync")?;
+        file.sync_all()?;
+        bat_obs::counter_add("commit.fsyncs", 1);
+        drop(file);
+        std::fs::rename(&tmp, dir.join(file_name))?;
+        fsync_dir(dir)?;
+        Ok((total, crc))
+    })();
+    if committed.is_err() {
+        // Best effort: a failed write must not leave a stray `.tmp` behind
+        // for a later commit of the same name to trip on.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    committed
+}
+
+/// Fsync a directory so a just-renamed entry is durable — the rename only
+/// becomes persistent once its directory does.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()?;
+    bat_obs::counter_add("commit.fsyncs", 1);
+    Ok(())
+}
+
+/// A peer (or this rank) left the protocol: mark this rank dead so the
+/// failure cascades to everyone blocked on us, and surface a clean error.
+pub(crate) fn abandon(comm: &Comm, stage: &str, e: CommError) -> io::Error {
+    comm.mark_dead();
+    let io: io::Error = e.into();
+    io::Error::new(
+        io.kind(),
+        format!("collective operation abandoned during {stage}: {io}"),
+    )
+}
+
+/// Send with bounded retry on injected transient failures.
+///
+/// The `write.shuffle.send` failpoint models a transient transport error:
+/// each triggered `error` burns one attempt (exponential backoff, counted
+/// in `write.retries`); `kill` dies in place. Exhausting the attempts
+/// abandons the protocol like any other liveness failure.
+fn send_with_retry(comm: &Comm, dst: usize, tag: u32, payload: Bytes) -> io::Result<()> {
+    const ATTEMPTS: u32 = 4;
+    let mut backoff = std::time::Duration::from_millis(1);
+    for attempt in 0..ATTEMPTS {
+        match bat_faults::fire("write.shuffle.send") {
+            None => {
+                comm.isend(dst, tag, payload);
+                return Ok(());
+            }
+            Some(Fault::Kill) => {
+                comm.mark_dead();
+                return Err(bat_faults::injected_error(
+                    "write.shuffle.send",
+                    "rank killed",
+                ));
+            }
+            Some(_) if attempt + 1 < ATTEMPTS => {
+                bat_obs::counter_add("write.retries", 1);
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Some(_) => break,
         }
     }
+    comm.mark_dead();
+    Err(bat_faults::injected_error(
+        "write.shuffle.send",
+        "send failed after retries",
+    ))
+}
+
+/// Why the metadata commit failed: a local I/O error (record it, finish
+/// the protocol, err together) or an injected kill (abandon immediately —
+/// the rank is "gone" and survivors must observe the death).
+enum MetaAbort {
+    Io(io::Error),
+    Killed(io::Error),
+}
+
+/// Commit the top-level metadata (DESIGN.md §11): the MetaTree bytes with
+/// the [`CommitManifest`] appended, written to a `.tmp` sibling, fsynced,
+/// and renamed into place. The rename is the dataset's commit point —
+/// before it there is no `.batmeta` and the dataset reads as uncommitted;
+/// after it every leaf the manifest lists is durable and checksummed.
+fn commit_meta(
+    dir: &Path,
+    basename: &str,
+    meta: &MetaTree,
+    files: Vec<ManifestEntry>,
+) -> Result<(), MetaAbort> {
+    let meta_bytes = meta.encode();
+    let manifest = CommitManifest::new(&meta_bytes, files);
+    let mut bytes = meta_bytes;
+    bytes.extend_from_slice(&manifest.encode());
+
+    let name = meta_file_name(basename);
+    let tmp = dir.join(format!("{name}.tmp"));
+    match bat_faults::fire("write.meta") {
+        Some(Fault::Kill) => {
+            return Err(MetaAbort::Killed(bat_faults::injected_error(
+                "write.meta",
+                "rank killed before the metadata write",
+            )))
+        }
+        Some(Fault::Error) => {
+            return Err(MetaAbort::Io(bat_faults::injected_error(
+                "write.meta",
+                "metadata write failed",
+            )))
+        }
+        Some(Fault::Torn(n)) => {
+            // Crash mid-write: a torn prefix stays in the `.tmp` sibling,
+            // which no reader ever opens — the dataset is uncommitted.
+            let _ = std::fs::write(&tmp, &bytes[..bytes.len().min(n as usize)]);
+            return Err(MetaAbort::Io(bat_faults::injected_error(
+                "write.meta",
+                "torn metadata write",
+            )));
+        }
+        None => {}
+    }
+    let durable = (|| -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        bat_obs::counter_add("commit.fsyncs", 1);
+        Ok(())
+    })();
+    if let Err(e) = durable {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(MetaAbort::Io(e));
+    }
+    if let Some(Fault::Kill) = bat_faults::fire("write.meta.rename.before") {
+        // Crash after the tmp is durable but before the commit point: the
+        // dataset must read back as uncommitted (no `.batmeta` on disk).
+        return Err(MetaAbort::Killed(bat_faults::injected_error(
+            "write.meta.rename.before",
+            "rank killed before the metadata rename",
+        )));
+    }
+    let renamed = std::fs::rename(&tmp, dir.join(&name)).and_then(|()| fsync_dir(dir));
+    if let Err(e) = renamed {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(MetaAbort::Io(e));
+    }
+    if let Some(Fault::Kill) = bat_faults::fire("write.meta.rename.after") {
+        // Crash after the commit point: survivors err (the collective never
+        // finishes) but the dataset on disk is complete and verifies clean.
+        return Err(MetaAbort::Killed(bat_faults::injected_error(
+            "write.meta.rename.after",
+            "rank killed after the metadata rename",
+        )));
+    }
+    Ok(())
 }
 
 /// Decode the rank infos rank 0 gathered in phase 1.
@@ -396,7 +587,11 @@ fn write_pipeline(
 
     let descs = set.descs_arc();
     let mut times = PhaseTimes::new();
-    comm.barrier();
+    // Bounded entry barrier: a peer that died before the collective even
+    // started (or a lost barrier message under a receive deadline) must
+    // surface as `Err`, never a panic or a hang (DESIGN.md §11).
+    comm.try_barrier()
+        .map_err(|e| abandon(comm, "entry barrier", e))?;
     let t_start = Instant::now();
 
     // --- Phase 1: gather rank infos; rank 0 builds the tree (§III-A). ---
@@ -404,7 +599,9 @@ fn write_pipeline(
     let info = RankInfo::new(comm.rank() as u32, bounds, set.len() as u64);
     let mut enc = Encoder::new();
     info.encode(&mut enc);
-    let gathered = comm.gather(0, Bytes::from(enc.finish()));
+    let gathered = comm
+        .try_gather(0, Bytes::from(enc.finish()))
+        .map_err(|e| abandon(comm, "bounds gather", e))?;
     bat_obs::observe_duration("write.gather_bounds_ns", t0.elapsed());
 
     let t_tree = Instant::now();
@@ -457,7 +654,9 @@ fn write_pipeline(
 
     // --- Phase 2: scatter assignments. ---
     let t0 = Instant::now();
-    let mine = comm.scatter(0, assignment_bytes);
+    let mine = comm
+        .try_scatter(0, assignment_bytes)
+        .map_err(|e| abandon(comm, "assignment scatter", e))?;
     let assignment = match Assignment::decode(&mine) {
         Ok(a) => a,
         Err(e) => {
@@ -468,7 +667,10 @@ fn write_pipeline(
     // Agreement: every rank learns whether any rank failed setup. Erring
     // together here (before any data flows) keeps phase 3's sends and
     // receives matched on the surviving ranks.
-    let abort = comm.allreduce_u64(setup_err.is_some() as u64, |a, b| a | b) != 0;
+    let abort = comm
+        .try_allreduce_u64(setup_err.is_some() as u64, |a, b| a | b)
+        .map_err(|e| abandon(comm, "setup agreement", e))?
+        != 0;
     if abort {
         return Err(wire_io_err("setup", setup_err));
     }
@@ -479,11 +681,12 @@ fn write_pipeline(
     // --- Phase 3: transfer particles to aggregators (§III-B). ---
     let t0 = Instant::now();
     let my_bytes = set.raw_bytes() as u64;
+    let mut local_io: Option<io::Error> = None;
     if let Some(agg) = assignment.agg_of_me {
         let payload = ColumnarParticles::encode_frame(&set);
         bat_obs::counter_add("write.shuffle.send_bytes", payload.len() as u64);
         bat_obs::counter_add("write.shuffle.send_msgs", 1);
-        comm.isend(agg as usize, TAG_DATA, payload);
+        send_with_retry(comm, agg as usize, TAG_DATA, payload)?;
     }
     // Aggregators receive from every source (self-sends included above).
     // Each frame stays a zero-copy columnar view over the message body;
@@ -491,11 +694,33 @@ fn write_pipeline(
     let mut received: Option<ParticleSet> = None;
     let mut agg_err: Option<WireError> = None;
     if let Some(duty) = &assignment.duty {
+        // An aggregator dying here is a *liveness* fault: mark this rank
+        // dead and abandon at once so peers observe the death through
+        // their own bounded receives instead of a half-run protocol.
+        match bat_faults::fire("write.shuffle.recv") {
+            Some(Fault::Kill) => {
+                comm.mark_dead();
+                return Err(bat_faults::injected_error(
+                    "write.shuffle.recv",
+                    "rank killed",
+                ));
+            }
+            Some(_) => {
+                local_io.get_or_insert(bat_faults::injected_error(
+                    "write.shuffle.recv",
+                    "receive failed",
+                ));
+            }
+            None => {}
+        }
         let mut views = Vec::with_capacity(duty.sources.len());
         for &(src, count) in &duty.sources {
             // Consume the message even after an earlier source failed so
             // no payload is left queued for a later collective to trip on.
-            let msg = comm.recv(Some(src as usize), TAG_DATA);
+            let msg = match comm.recv_bounded(Some(src as usize), TAG_DATA) {
+                Ok(m) => m,
+                Err(e) => return Err(abandon(comm, "particle shuffle", e)),
+            };
             bat_obs::counter_add("write.shuffle.recv_bytes", msg.payload.len() as u64);
             bat_obs::counter_add("write.shuffle.recv_msgs", 1);
             match ColumnarParticles::parse_frame(&msg.block()) {
@@ -539,6 +764,9 @@ fn write_pipeline(
             aggregator: comm.rank() as u32,
             local_ranges,
             local_bitmaps,
+            // Filled in by phase 5 once the file is committed.
+            file_len: 0,
+            file_crc: 0,
         });
         compacted = Some(data);
     }
@@ -550,17 +778,41 @@ fn write_pipeline(
 
     // --- Phase 5: write leaf files (streamed; see `LeafData`). ---
     let t0 = Instant::now();
-    let mut local_io: Option<io::Error> = None;
     if let (Some(data), Some(duty)) = (&compacted, &assignment.duty) {
-        match write_leaf_file(&dir.join(&duty.file), data) {
-            Ok(written) => {
-                bat_obs::counter_add("write.file.bytes", written);
+        let mut injected = false;
+        let torn = match bat_faults::fire("write.leaf") {
+            Some(Fault::Kill) => {
+                comm.mark_dead();
+                return Err(bat_faults::injected_error("write.leaf", "rank killed"));
+            }
+            Some(Fault::Error) => {
+                injected = true;
+                None
+            }
+            Some(Fault::Torn(n)) => Some(n),
+            None => None,
+        };
+        let written = if injected {
+            Err(bat_faults::injected_error(
+                "write.leaf",
+                "leaf write failed",
+            ))
+        } else {
+            write_leaf_file(dir, &duty.file, data, torn)
+        };
+        match written {
+            Ok((len, crc)) => {
+                bat_obs::counter_add("write.file.bytes", len);
                 bat_obs::counter_add("write.file.count", 1);
                 bat_obs::observe_duration("write.file_write_ns", t0.elapsed());
+                if let Some(r) = report.as_mut() {
+                    r.file_len = len;
+                    r.file_crc = crc;
+                }
             }
             Err(e) => {
                 report = None; // the leaf is not on disk; don't advertise it
-                local_io = Some(e);
+                local_io.get_or_insert(e);
             }
         }
     }
@@ -583,7 +835,9 @@ fn write_pipeline(
         }
         Bytes::from(enc.finish())
     };
-    let reports = comm.gather(0, payload);
+    let reports = comm
+        .try_gather(0, payload)
+        .map_err(|e| abandon(comm, "report gather", e))?;
     let mut meta_summary: Option<(usize, BalanceStats)> = None;
     let mut root_err: Option<WireError> = None;
     if comm.rank() == 0 {
@@ -614,11 +868,23 @@ fn write_pipeline(
             leaf_reports.sort_by(|a, b| a.file.cmp(&b.file));
             let balance = balance_from_reports(&leaf_reports, cfg.agg.bytes_per_particle);
             let files = leaf_reports.len();
+            let entries: Vec<ManifestEntry> = leaf_reports
+                .iter()
+                .map(|r| ManifestEntry {
+                    file: r.file.clone(),
+                    len: r.file_len,
+                    crc: r.file_crc,
+                })
+                .collect();
             let meta = MetaTree::build(descs.to_vec(), leaf_reports);
-            match std::fs::write(dir.join(meta_file_name(basename)), meta.encode()) {
+            match commit_meta(dir, basename, &meta, entries) {
                 Ok(()) => meta_summary = Some((files, balance)),
-                Err(e) => {
+                Err(MetaAbort::Io(e)) => {
                     local_io.get_or_insert(e);
+                }
+                Err(MetaAbort::Killed(e)) => {
+                    comm.mark_dead();
+                    return Err(e);
                 }
             }
         }
@@ -631,11 +897,24 @@ fn write_pipeline(
     bat_obs::counter_add("write.particles", set.len() as u64);
 
     // --- Merge the report across ranks so every rank returns the same. ---
-    // These trailing collectives always run, error or not: every rank is
-    // still in the protocol here, and skipping one would strand peers.
-    let bytes_total = comm.allreduce_u64(my_bytes, |a, b| a + b);
-    let merged_times = reduce_times(comm, &times);
-    let summary = broadcast_summary(comm, meta_summary);
+    // These trailing collectives always run, error or not: every rank that
+    // got here is still in the protocol, and skipping one would strand
+    // peers. They are bounded, though — if a peer died mid-pipeline they
+    // err on every survivor instead of hanging, and any local error
+    // recorded above takes precedence in the returned report.
+    let finalize = (|| -> Result<_, CommError> {
+        let bytes_total = comm.try_allreduce_u64(my_bytes, |a, b| a + b)?;
+        let merged_times = try_reduce_times(comm, &times)?;
+        let summary = try_broadcast_summary(comm, meta_summary)?;
+        Ok((bytes_total, merged_times, summary))
+    })();
+    let (bytes_total, merged_times, summary) = match finalize {
+        Ok(v) => v,
+        Err(e) => {
+            let ab = abandon(comm, "finalize", e);
+            return Err(local_io.unwrap_or(ab));
+        }
+    };
 
     if let Some(e) = local_io {
         return Err(e);
@@ -654,14 +933,15 @@ fn write_pipeline(
     })
 }
 
-/// Max-merge phase times across ranks and broadcast the result.
-pub(crate) fn reduce_times(comm: &Comm, times: &PhaseTimes) -> PhaseTimes {
+/// Max-merge phase times across ranks and broadcast the result. Bounded:
+/// a dead peer errs the merge instead of hanging the trailing collective.
+pub(crate) fn try_reduce_times(comm: &Comm, times: &PhaseTimes) -> Result<PhaseTimes, CommError> {
     let mut enc = Encoder::new();
     for p in WritePhase::ALL {
         enc.put_f64(times[p]);
     }
     enc.put_f64(times.total);
-    let gathered = comm.gather(0, Bytes::from(enc.finish()));
+    let gathered = comm.try_gather(0, Bytes::from(enc.finish()))?;
     let merged_bytes = if comm.rank() == 0 {
         let mut merged = PhaseTimes::new();
         for b in gathered.expect("root gathers") {
@@ -682,14 +962,14 @@ pub(crate) fn reduce_times(comm: &Comm, times: &PhaseTimes) -> PhaseTimes {
     } else {
         None
     };
-    let out = comm.bcast(0, merged_bytes);
+    let out = comm.try_bcast(0, merged_bytes)?;
     let mut dec = Decoder::new(&out);
     let mut pt = PhaseTimes::new();
     for p in WritePhase::ALL {
         pt[p] = dec.get_f64("merged phase").expect("valid merged");
     }
     pt.total = dec.get_f64("merged total").expect("valid merged total");
-    pt
+    Ok(pt)
 }
 
 fn balance_from_reports(reports: &[LeafReport], bpp: u64) -> BalanceStats {
@@ -707,11 +987,11 @@ fn balance_from_reports(reports: &[LeafReport], bpp: u64) -> BalanceStats {
 }
 
 /// Broadcast rank 0's `(files, balance)` summary, or its absence when the
-/// metadata step failed; `None` tells every rank to report the abort.
-fn broadcast_summary(
+/// metadata step failed; `Ok(None)` tells every rank to report the abort.
+fn try_broadcast_summary(
     comm: &Comm,
     summary: Option<(usize, BalanceStats)>,
-) -> Option<(usize, BalanceStats)> {
+) -> Result<Option<(usize, BalanceStats)>, CommError> {
     let payload = (comm.rank() == 0).then(|| {
         let mut enc = Encoder::new();
         match summary {
@@ -728,10 +1008,10 @@ fn broadcast_summary(
         }
         Bytes::from(enc.finish())
     });
-    let out = comm.bcast(0, payload);
+    let out = comm.try_bcast(0, payload)?;
     let mut dec = Decoder::new(&out);
     if dec.get_u8("summary status").expect("valid summary") == 0 {
-        return None;
+        return Ok(None);
     }
     let files = dec.get_u64("files").expect("valid summary") as usize;
     let balance = BalanceStats {
@@ -741,7 +1021,7 @@ fn broadcast_summary(
         max_bytes: dec.get_u64("max").expect("valid"),
         min_bytes: dec.get_u64("min").expect("valid"),
     };
-    Some((files, balance))
+    Ok(Some((files, balance)))
 }
 
 #[cfg(test)]

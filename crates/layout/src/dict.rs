@@ -74,6 +74,13 @@ impl BitmapDictionary {
         self.entries[id as usize]
     }
 
+    /// Look up a bitmap by an ID read from untrusted file bytes; `None` if
+    /// the ID is out of range for this dictionary.
+    #[inline]
+    pub fn try_get(&self, id: u16) -> Option<Bitmap32> {
+        self.entries.get(id as usize).copied()
+    }
+
     /// Number of entries (including the reserved all-ones entry).
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -302,7 +302,23 @@ impl<'a> BatWriter<'a> {
 
     /// Emit the complete file to `w` in one forward pass. Wrap file sinks
     /// in a `BufWriter`; treelet data is streamed field by field.
+    ///
+    /// Carries the `layout.write` failpoint: `error` fails the emit up
+    /// front, `torn:N` truncates the stream after N bytes — both exercise
+    /// the commit protocol's handling of a write that dies inside the
+    /// format serializer itself.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match bat_faults::fire("layout.write") {
+            None => self.write_to_inner(w),
+            Some(bat_faults::Fault::Torn(n)) => {
+                let mut tw = bat_faults::TornWriter::new(w, n, "layout.write");
+                self.write_to_inner(&mut tw)
+            }
+            Some(_) => Err(bat_faults::injected_error("layout.write", "format write")),
+        }
+    }
+
+    fn write_to_inner<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let bat = self.bat;
         let na = bat.particles.num_attrs();
 

@@ -57,6 +57,7 @@ pub mod bitmap;
 pub mod build;
 pub mod columns;
 pub mod dict;
+pub mod footer;
 pub mod format;
 pub mod morton_sort;
 pub mod particles;
@@ -73,6 +74,7 @@ pub use bitmap::Bitmap32;
 pub use build::{Bat, BatBuilder, BatConfig};
 pub use columns::ColumnarParticles;
 pub use dict::BitmapDictionary;
+pub use footer::{CrcSectionWriter, FileFooter, SectionCrc, SectionMismatch};
 pub use particles::ParticleSet;
 pub use quantize::{quantize_positions, QuantizeReport};
 pub use query::{quality_to_depth, PointRecord, Query};

@@ -151,20 +151,43 @@ impl BatFile {
 
         let mut attr_buf = vec![0.0f64; na];
         let mut stack = vec![root];
+        // Every shallow node is visited at most once in a well-formed tree;
+        // corrupt child links that form a cycle exhaust this budget and
+        // surface as an error instead of an infinite loop.
+        let mut budget = self.head.inners.len() + self.head.leaves.len() + 1;
         while let Some(nref) = stack.pop() {
+            if budget == 0 {
+                return Err(WireError::BadTag {
+                    what: "shallow tree traversal budget (cycle in child links)",
+                    tag: stats.nodes_visited,
+                });
+            }
+            budget -= 1;
             match nref {
                 NodeRef::Inner(i) => {
                     stats.nodes_visited += 1;
-                    let node = &self.head.inners[i as usize];
+                    let node = self.head.inners.get(i as usize).ok_or(WireError::BadTag {
+                        what: "shallow inner index",
+                        tag: i as u64,
+                    })?;
                     if let Some(qb) = &q.bounds {
                         if !qb.overlaps(&node.bounds) {
                             continue;
                         }
                     }
-                    if !masks
-                        .iter()
-                        .all(|&(a, m)| self.head.dict.get(node.bitmap_ids[a]).overlaps(m))
-                    {
+                    let mut bitmaps_pass = true;
+                    for &(a, m) in &masks {
+                        let id = node.bitmap_ids[a];
+                        let bm = self.head.dict.try_get(id).ok_or(WireError::BadTag {
+                            what: "bitmap dictionary id",
+                            tag: id as u64,
+                        })?;
+                        if !bm.overlaps(m) {
+                            bitmaps_pass = false;
+                            break;
+                        }
+                    }
+                    if !bitmaps_pass {
                         stats.bitmap_skips += 1;
                         continue;
                     }
@@ -175,14 +198,11 @@ impl BatFile {
                     stack.push(node.right);
                 }
                 NodeRef::Leaf(l) => {
-                    self.query_treelet(
-                        &self.head.leaves[l as usize],
-                        q,
-                        &masks,
-                        &mut attr_buf,
-                        &mut stats,
-                        &mut cb,
-                    )?;
+                    let leaf = self.head.leaves.get(l as usize).ok_or(WireError::BadTag {
+                        what: "treelet index",
+                        tag: l as u64,
+                    })?;
+                    self.query_treelet(leaf, q, &masks, &mut attr_buf, &mut stats, &mut cb)?;
                 }
             }
         }
@@ -217,7 +237,17 @@ impl BatFile {
         let prev = quality_to_depth(q.prev_quality, leaf.max_depth);
 
         let mut stack: Vec<u32> = vec![0];
+        // Same cycle guard as the shallow traversal: a well-formed treelet
+        // visits each node once, so corrupt left/right links cannot hang.
+        let mut budget = view.num_nodes() + 1;
         while let Some(ni) = stack.pop() {
+            if budget == 0 {
+                return Err(WireError::BadTag {
+                    what: "treelet traversal budget (cycle in child links)",
+                    tag: ni as u64,
+                });
+            }
+            budget -= 1;
             stats.nodes_visited += 1;
             let node = view.node(ni as usize)?;
             if node.depth > limit.0 {
@@ -231,7 +261,11 @@ impl BatFile {
             let mut bitmaps_pass = true;
             for &(a, m) in masks {
                 let id = view.bitmap_id(ni as usize, a)?;
-                if !self.head.dict.get(id).overlaps(m) {
+                let bm = self.head.dict.try_get(id).ok_or(WireError::BadTag {
+                    what: "bitmap dictionary id",
+                    tag: id as u64,
+                })?;
+                if !bm.overlaps(m) {
                     bitmaps_pass = false;
                     break;
                 }
@@ -248,7 +282,10 @@ impl BatFile {
             let now = contribution(node.count, node.depth, limit.0, limit.1);
             let before = contribution(node.count, node.depth, prev.0, prev.1);
             for o in before..now {
-                let local = node.start + o;
+                let local = node.start.checked_add(o).ok_or(WireError::BadTag {
+                    what: "treelet particle offset overflow",
+                    tag: node.start as u64,
+                })?;
                 stats.points_tested += 1;
                 let pos = view.position(local as usize)?;
                 if let Some(qb) = &q.bounds {

@@ -1,0 +1,115 @@
+//! Corrupt-input robustness: a reader over untrusted file bytes must
+//! return `Err` on damage, never panic and never hang. Every test here
+//! drives `BatFile` decode + queries over deliberately mangled buffers.
+
+use bat_geom::rng::Xoshiro256;
+use bat_geom::{Aabb, Vec3};
+use bat_layout::{AttributeDesc, BatBuilder, BatConfig, BatFile, ParticleSet, Query};
+
+fn build_file_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::new(seed);
+    let mut set = ParticleSet::new(vec![
+        AttributeDesc::f64("energy"),
+        AttributeDesc::f32("speed"),
+    ]);
+    for _ in 0..n {
+        let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+        set.push(p, &[p.x as f64 * 100.0, p.z as f64 * 10.0]);
+    }
+    BatBuilder::new(BatConfig::default())
+        .build(set, Aabb::unit())
+        .to_bytes()
+}
+
+/// Open + run the standard query battery; the only acceptable outcomes are
+/// `Ok` (the damage happened to be benign) or `Err` — never a panic.
+fn exercise(bytes: Vec<u8>) {
+    let file = match BatFile::from_bytes(bytes) {
+        Ok(f) => f,
+        Err(_) => return,
+    };
+    let queries = [
+        Query::new(),
+        Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.5))),
+        Query::new().with_filter(0, 10.0, 60.0),
+        Query::new().with_quality(0.3),
+        Query::new().with_prev_quality(0.3).with_quality(0.8),
+    ];
+    for q in &queries {
+        let _ = file.query(q, |_| {});
+    }
+}
+
+#[test]
+fn truncation_at_every_length_errs_cleanly() {
+    let bytes = build_file_bytes(1_000, 1);
+    // Sweep truncation points: dense near the head, strided through the body.
+    let mut cuts: Vec<usize> = (0..bytes.len().min(512)).collect();
+    cuts.extend((512..bytes.len()).step_by(199));
+    for cut in cuts {
+        exercise(bytes[..cut].to_vec());
+    }
+}
+
+#[test]
+fn single_bit_flips_never_panic() {
+    let bytes = build_file_bytes(400, 2);
+    // Flip one bit at every byte of the head, where all the structural
+    // fields live (child links, counts, offsets, dictionary ids), then at a
+    // stride through the particle body. Benign flips are expected in the
+    // body — the point is that *nothing* panics or hangs.
+    let head_len = 2048.min(bytes.len());
+    for pos in (0..head_len).chain((head_len..bytes.len()).step_by(509)) {
+        for bit in [0u8, 7] {
+            let mut mangled = bytes.clone();
+            mangled[pos] ^= 1 << bit;
+            exercise(mangled);
+        }
+    }
+}
+
+#[test]
+fn scrambled_head_bytes_never_panic() {
+    let bytes = build_file_bytes(600, 3);
+    let mut rng = Xoshiro256::new(99);
+    // Overwrite random head windows with random garbage: this forges
+    // plausible-but-wrong child links, bitmap ids, counts, and offsets.
+    for _ in 0..150 {
+        let mut mangled = bytes.clone();
+        let window = 1 + (rng.next_u64() as usize % 16);
+        let start = rng.next_u64() as usize % mangled.len().saturating_sub(window).max(1);
+        for b in &mut mangled[start..start + window] {
+            *b = rng.next_u64() as u8;
+        }
+        exercise(mangled);
+    }
+}
+
+#[test]
+fn all_ones_and_all_zero_regions_never_panic() {
+    let bytes = build_file_bytes(800, 4);
+    for fill in [0x00u8, 0xFF] {
+        // Blank out successive 64-byte windows of the head region.
+        for start in (0..bytes.len().min(2048)).step_by(64) {
+            let mut mangled = bytes.clone();
+            let end = (start + 64).min(mangled.len());
+            for b in &mut mangled[start..end] {
+                *b = fill;
+            }
+            exercise(mangled);
+        }
+    }
+}
+
+#[test]
+fn garbage_buffers_err() {
+    assert!(BatFile::from_bytes(Vec::new()).is_err());
+    assert!(BatFile::from_bytes(vec![0u8; 64]).is_err());
+    assert!(BatFile::from_bytes(vec![0xFFu8; 4096]).is_err());
+    let mut rng = Xoshiro256::new(5);
+    for _ in 0..50 {
+        let len = (rng.next_u64() % 8192) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        exercise(buf);
+    }
+}

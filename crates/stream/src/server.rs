@@ -116,6 +116,11 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
     writer.flush()?;
 
     while let Some(payload) = read_frame(&mut reader)? {
+        // The `stream.serve` failpoint: `delay:MS` injects per-request
+        // latency (the sleep happens inside `fire`), any other action
+        // fails the session — the client observes a clean disconnect
+        // mid-request, never a torn frame parsed as data.
+        bat_faults::fire_io("stream.serve")?;
         let req_span = bat_obs::span("stream.request_ns");
         let mut bytes_out = 0u64;
         let request = Request::decode(&payload)

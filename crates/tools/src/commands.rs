@@ -2,7 +2,7 @@
 
 use bat_layout::stats::LayoutStats;
 use bat_layout::{BatFile, Query};
-use libbat::Dataset;
+use libbat::{verify_dataset, CommitState, Dataset};
 use std::fmt::Write as _;
 
 type Result<T> = std::result::Result<T, String>;
@@ -69,59 +69,88 @@ pub fn files(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// `bat verify` — integrity check: metadata parses, every leaf file opens,
-/// per-file particle counts match the metadata, and a full query returns
-/// exactly the advertised total.
+/// `bat verify` — crash-consistency check against the commit manifest:
+/// the `.batmeta` commit marker, then every leaf file's committed length
+/// and CRC32C (damage localized to sections via the per-file footer).
+/// `--deep` additionally opens every intact leaf and cross-checks particle
+/// counts with a full query. Exits nonzero with a per-file report when
+/// anything is damaged.
 pub fn verify(args: &[String]) -> Result<()> {
-    let (ds, dir, _) = open(args)?;
-    let meta = ds.meta();
-    let mut problems = Vec::new();
-    let mut total = 0u64;
-    for (i, leaf) in meta.leaves.iter().enumerate() {
-        let path = std::path::Path::new(&dir).join(&leaf.file);
-        match BatFile::open(&path) {
-            Ok(file) => {
-                if file.num_particles() != leaf.particles {
-                    problems.push(format!(
-                        "leaf {i}: file holds {} particles, metadata says {}",
-                        file.num_particles(),
-                        leaf.particles
-                    ));
-                }
-                match file.count(&Query::new()) {
-                    Ok(n) => {
-                        if n != leaf.particles {
-                            problems.push(format!(
-                                "leaf {i}: full query returned {n}, expected {}",
-                                leaf.particles
-                            ));
-                        }
-                        total += n;
+    let (dir, basename) = match (args.first(), args.get(1)) {
+        (Some(d), Some(b)) => (d.clone(), b.clone()),
+        _ => return Err("expected <dir> <basename>".into()),
+    };
+    let deep = args.iter().skip(2).any(|a| a == "--deep");
+    if let Some(bad) = args.iter().skip(2).find(|a| *a != "--deep") {
+        return Err(format!("unknown option '{bad}' (expected --deep)"));
+    }
+
+    let report = verify_dataset(&dir, &basename).map_err(|e| format!("verify: {e}"))?;
+    let mut problems = 0usize;
+    match &report.commit {
+        CommitState::Committed => println!("commit : ok (manifest present and intact)"),
+        CommitState::Legacy => {
+            println!("commit : legacy metadata (no manifest; footers checked where present)")
+        }
+        CommitState::NotCommitted => {
+            eprintln!("FAIL: dataset never committed (no metadata on disk)");
+            return Err("1 problem(s) found".into());
+        }
+        CommitState::TornCommit(why) => {
+            eprintln!("FAIL: torn commit marker: {why}");
+            return Err("1 problem(s) found".into());
+        }
+    }
+    for (i, check) in report.leaves.iter().enumerate() {
+        if check.status.is_ok() {
+            println!("leaf {i:>4} : ok  {}", check.file);
+        } else {
+            problems += 1;
+            eprintln!("FAIL: leaf {i} ({}): {}", check.file, check.status);
+        }
+    }
+
+    // Deep check: the intact leaves must also *query* consistently.
+    if deep && problems == 0 {
+        let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+        let meta = ds.meta();
+        let mut total = 0u64;
+        for (i, leaf) in meta.leaves.iter().enumerate() {
+            let path = std::path::Path::new(&dir).join(&leaf.file);
+            match BatFile::open(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| f.count(&Query::new()).map_err(|e| e.to_string()))
+            {
+                Ok(n) => {
+                    if n != leaf.particles {
+                        problems += 1;
+                        eprintln!(
+                            "FAIL: leaf {i}: full query returned {n}, metadata says {}",
+                            leaf.particles
+                        );
                     }
-                    Err(e) => problems.push(format!("leaf {i}: query failed: {e}")),
+                    total += n;
+                }
+                Err(e) => {
+                    problems += 1;
+                    eprintln!("FAIL: leaf {i} ({}): {e}", leaf.file);
                 }
             }
-            Err(e) => problems.push(format!("leaf {i} ({}): open failed: {e}", leaf.file)),
+        }
+        if total != meta.total_particles {
+            problems += 1;
+            eprintln!(
+                "FAIL: dataset total {total} does not match metadata {}",
+                meta.total_particles
+            );
         }
     }
-    if total != meta.total_particles {
-        problems.push(format!(
-            "dataset total {} does not match metadata {}",
-            total, meta.total_particles
-        ));
-    }
-    if problems.is_empty() {
-        println!(
-            "OK: {} files, {} particles, all counts consistent",
-            meta.leaves.len(),
-            total
-        );
+
+    if problems == 0 {
+        println!("OK: {} files verified", report.leaves.len());
         Ok(())
     } else {
-        for p in &problems {
-            eprintln!("FAIL: {p}");
-        }
-        Err(format!("{} problem(s) found", problems.len()))
+        Err(format!("{problems} problem(s) found"))
     }
 }
 
@@ -410,12 +439,34 @@ mod tests {
     fn verify_ok_and_detects_damage() {
         let (dir, base) = make_dataset("verify");
         verify(&args(&dir, &base, &[])).unwrap();
-        // Damage a leaf file: verify must fail.
+        verify(&args(&dir, &base, &["--deep"])).unwrap();
+        assert!(verify(&args(&dir, &base, &["--bogus"])).is_err());
+        // Truncate a leaf file: the committed length no longer matches.
         let leaf = dir.join(libbat::write::leaf_file_name(&base, 0));
         let mut bytes = std::fs::read(&leaf).unwrap();
         let cut = bytes.len() / 2;
         bytes.truncate(cut);
         std::fs::write(&leaf, bytes).unwrap();
+        assert!(verify(&args(&dir, &base, &[])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_detects_bit_rot_and_torn_commit() {
+        let (dir, base) = make_dataset("verify-rot");
+        // Flip one payload byte, keeping the length: only the CRC catches it.
+        let leaf = dir.join(libbat::write::leaf_file_name(&base, 0));
+        let mut bytes = std::fs::read(&leaf).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&leaf, bytes).unwrap();
+        assert!(verify(&args(&dir, &base, &[])).is_err());
+        // Damage the manifest body (tail sentinel intact): a torn commit.
+        let meta = dir.join(libbat::write::meta_file_name(&base));
+        let mut mb = std::fs::read(&meta).unwrap();
+        let pos = mb.len() - 20;
+        mb[pos] ^= 0xFF;
+        std::fs::write(&meta, mb).unwrap();
         assert!(verify(&args(&dir, &base, &[])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -3,7 +3,8 @@
 //! ```text
 //! batcli info   <dir> <basename>            dataset summary (files, attrs, ranges)
 //! batcli files  <dir> <basename>            per-leaf-file table (sizes, bounds, counts)
-//! batcli verify <dir> <basename>            integrity check of metadata + every leaf
+//! batcli verify <dir> <basename> [--deep]   crash-consistency check: commit marker,
+//!                                           lengths + CRC32C of every leaf
 //! batcli query  <dir> <basename> [options]  count/dump points matching a query
 //! batcli stats  <dir> <basename>            layout overhead breakdown per file
 //! batcli stats  [--json]                    run an instrumented demo write/read and
@@ -56,7 +57,7 @@ fn usage() -> &'static str {
 USAGE:
     batcli info   <dir> <basename>
     batcli files  <dir> <basename>
-    batcli verify <dir> <basename>
+    batcli verify <dir> <basename> [--deep]
     batcli query  <dir> <basename> [--quality Q] [--prev-quality Q]
                                    [--bounds x0,y0,z0,x1,y1,z1]
                                    [--filter ATTR,LO,HI]... [--dump [N]]

@@ -11,10 +11,12 @@
 //! truncated or malformed input, so a corrupt file can never crash a reader.
 
 pub mod block;
+pub mod crc;
 mod decode;
 mod encode;
 
 pub use block::{page_align, pages_spanned, Block, PAGE_SIZE};
+pub use crc::{crc32c, Crc32c};
 pub use decode::Decoder;
 pub use encode::Encoder;
 

@@ -91,6 +91,19 @@ impl Condvar {
         );
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns `true` if
+    /// the wait timed out (parking_lot returns a `WaitTimeoutResult`; the
+    /// shim exposes the same boolean directly).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let held = guard.inner.take().expect("guard present outside wait");
+        let (held, res) = self
+            .inner
+            .wait_timeout(held, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(held);
+        res.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }

@@ -109,7 +109,13 @@ fn truncated_treelet_page_returns_err() {
     write_sample(&scratch.path, 2);
     let leaf = scratch.path.join(leaf_file_name("x", 0));
     let original = std::fs::read(&leaf).unwrap();
-    let cut = original.len() - 64;
+    // Leaf files end with the commit protocol's CRC footer; strip it first
+    // so the cut lands in the last treelet page, not the footer.
+    let payload_len = bat_layout::FileFooter::detect(&original)
+        .expect("intact footer")
+        .expect("leaf files carry a footer")
+        .payload_len as usize;
+    let cut = payload_len - 64;
     // Also acceptable: the head itself notices the truncation (Err here).
     if let Ok(file) = BatFile::from_bytes(original[..cut].to_vec()) {
         let err = file.query(&Query::new(), |_| {});
