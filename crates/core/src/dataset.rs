@@ -11,11 +11,25 @@
 
 use bat_aggregation::meta::MetaTree;
 use bat_layout::reader::QueryStats;
-use bat_layout::{AttributeDesc, BatFile, PointRecord, Query};
+use bat_layout::{AttributeDesc, BatFile, PageCache, PointRecord, Query};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How leaf files opened by a [`Dataset`] attach to a treelet page cache.
+#[derive(Clone, Default)]
+enum CachePolicy {
+    /// Use the process-global cache, if one is installed
+    /// (`BAT_CACHE_BYTES` / [`bat_layout::cache::install_global`]).
+    #[default]
+    Global,
+    /// Attach every opened file to this dataset-private cache.
+    Attached(Arc<PageCache>),
+    /// Never cache, even if a global cache is installed.
+    Disabled,
+}
 
 /// A written timestep opened for visualization/analysis reads.
 pub struct Dataset {
@@ -27,6 +41,8 @@ pub struct Dataset {
     /// Leaves excluded from queries — damaged files skipped by
     /// [`Dataset::open_degraded`] (sorted, usually empty).
     excluded: Vec<u32>,
+    /// Cache attachment for files opened after the policy was set.
+    cache: Mutex<CachePolicy>,
 }
 
 impl Dataset {
@@ -41,7 +57,21 @@ impl Dataset {
             dir,
             files: Mutex::new(HashMap::new()),
             excluded: Vec::new(),
+            cache: Mutex::new(CachePolicy::default()),
         })
+    }
+
+    /// Attach a treelet page cache to this dataset: `Some(cache)` makes
+    /// every leaf file consult (and fill) `cache`; `None` disables caching
+    /// for this dataset even when a process-global cache is installed.
+    /// Already-opened files are dropped so they reopen under the new
+    /// policy; in-flight queries keep their handles and finish unaffected.
+    pub fn set_cache(&self, cache: Option<Arc<PageCache>>) {
+        *self.cache.lock() = match cache {
+            Some(c) => CachePolicy::Attached(c),
+            None => CachePolicy::Disabled,
+        };
+        self.files.lock().clear();
     }
 
     /// This dataset with the given leaves excluded from queries (the
@@ -82,13 +112,32 @@ impl Dataset {
         self.meta.global_ranges[a]
     }
 
-    fn file(&self, leaf: u32) -> io::Result<std::sync::Arc<BatFile>> {
+    /// The (lazily opened, shared) handle for leaf file `leaf`. Public so
+    /// a serving layer can plan and execute per-file work itself.
+    pub fn file(&self, leaf: u32) -> io::Result<std::sync::Arc<BatFile>> {
         let mut files = self.files.lock();
         if let Some(f) = files.get(&leaf) {
             return Ok(f.clone());
         }
+        if leaf as usize >= self.meta.leaves.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "leaf {leaf} out of range ({} files)",
+                    self.meta.leaves.len()
+                ),
+            ));
+        }
         let path = self.dir.join(&self.meta.leaves[leaf as usize].file);
-        let f = std::sync::Arc::new(BatFile::open(&path)?);
+        // `open` attaches the process-global cache; the dataset policy can
+        // replace or remove that attachment.
+        let opened = BatFile::open(&path)?;
+        let opened = match &*self.cache.lock() {
+            CachePolicy::Global => opened,
+            CachePolicy::Attached(c) => opened.with_cache(Some(c.clone())),
+            CachePolicy::Disabled => opened.with_cache(None),
+        };
+        let f = std::sync::Arc::new(opened);
         files.insert(leaf, f.clone());
         Ok(files[&leaf].clone())
     }
@@ -97,6 +146,10 @@ impl Dataset {
     /// point. Quality/progressive parameters apply per leaf file, so a
     /// progressive sweep over the dataset refines every region uniformly.
     pub fn query(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> io::Result<QueryStats> {
+        let q = &q
+            .clone()
+            .validated(self.meta.descs.len())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let candidates = self
             .meta
             .candidate_leaves(q)
@@ -115,6 +168,11 @@ impl Dataset {
             stats.treelets_visited += s.treelets_visited;
             stats.points_tested += s.points_tested;
             stats.points_returned += s.points_returned;
+            stats.pages_touched += s.pages_touched;
+            stats.bitmap_hits += s.bitmap_hits;
+            stats.bitmap_skips += s.bitmap_skips;
+            stats.cache_hits += s.cache_hits;
+            stats.cache_misses += s.cache_misses;
         }
         Ok(stats)
     }

@@ -281,6 +281,12 @@ pub fn query_distributed(
     let meta_bytes = std::fs::read(dir.join(crate::write::meta_file_name(basename)))?;
     let meta =
         MetaTree::decode(&meta_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Reject malformed queries before any traffic is generated; silently
+    // matching nothing would look identical to an honest empty result.
+    let q = &q
+        .clone()
+        .validated(meta.descs.len())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let num_files = meta.leaves.len();
     let file_owner = assign_read_aggregators(num_files, comm.size());
 

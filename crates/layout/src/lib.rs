@@ -55,6 +55,7 @@
 pub mod attr;
 pub mod bitmap;
 pub mod build;
+pub mod cache;
 pub mod columns;
 pub mod dict;
 pub mod footer;
@@ -72,11 +73,12 @@ pub mod treelet;
 pub use attr::{AttributeArray, AttributeDesc, AttributeType};
 pub use bitmap::Bitmap32;
 pub use build::{Bat, BatBuilder, BatConfig};
+pub use cache::{CacheStats, PageCache};
 pub use columns::ColumnarParticles;
 pub use dict::BitmapDictionary;
 pub use footer::{CrcSectionWriter, FileFooter, SectionCrc, SectionMismatch};
 pub use particles::ParticleSet;
 pub use quantize::{quantize_positions, QuantizeReport};
-pub use query::{quality_to_depth, PointRecord, Query};
-pub use reader::BatFile;
+pub use query::{quality_to_depth, PointRecord, Query, QueryError};
+pub use reader::{BatFile, FilePlan, QueryScratch};
 pub use stats::LayoutStats;

@@ -72,7 +72,78 @@ impl Query {
         self.prev_quality = q;
         self
     }
+
+    /// Validate the query against a file schema with `num_attrs`
+    /// attributes, normalizing what can be normalized and rejecting what
+    /// cannot:
+    ///
+    /// - `quality`/`prev_quality` are clamped into `[0, 1]` (NaN → 0),
+    ///   mirroring what [`quality_to_depth`] would do silently;
+    /// - a filter whose `attr` is outside the schema, or whose range is
+    ///   empty (`lo > hi`, or a NaN endpoint), is a typed error — such a
+    ///   filter can never match, so accepting it silently returns an empty
+    ///   result for what is almost certainly a caller bug.
+    pub fn validated(mut self, num_attrs: usize) -> Result<Query, QueryError> {
+        let clamp = |q: f64| if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        self.quality = clamp(self.quality);
+        self.prev_quality = clamp(self.prev_quality);
+        for f in &self.filters {
+            if f.attr >= num_attrs {
+                return Err(QueryError::AttrOutOfRange {
+                    attr: f.attr,
+                    num_attrs,
+                });
+            }
+            if f.lo.is_nan() || f.hi.is_nan() || f.lo > f.hi {
+                return Err(QueryError::EmptyFilterRange {
+                    attr: f.attr,
+                    lo: f.lo,
+                    hi: f.hi,
+                });
+            }
+        }
+        Ok(self)
+    }
 }
+
+/// A query that cannot be planned against the target schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A filter names an attribute the file does not have.
+    AttrOutOfRange {
+        /// Offending attribute index.
+        attr: usize,
+        /// Number of attributes in the file's schema.
+        num_attrs: usize,
+    },
+    /// A filter's range is empty (`lo > hi`) or has a NaN endpoint, so it
+    /// can never match any particle.
+    EmptyFilterRange {
+        /// Attribute the filter targets.
+        attr: usize,
+        /// Lower bound as given.
+        lo: f64,
+        /// Upper bound as given.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::AttrOutOfRange { attr, num_attrs } => write!(
+                f,
+                "filter attribute {attr} out of range (file has {num_attrs} attributes)"
+            ),
+            QueryError::EmptyFilterRange { attr, lo, hi } => write!(
+                f,
+                "filter on attribute {attr} has an empty range [{lo}, {hi}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A matching point handed to the query callback.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,6 +273,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn validated_clamps_quality_and_rejects_bad_filters() {
+        let q = Query::new()
+            .with_quality(3.5)
+            .with_prev_quality(f64::NAN)
+            .validated(4)
+            .unwrap();
+        assert_eq!(q.quality, 1.0);
+        assert_eq!(q.prev_quality, 0.0);
+
+        assert_eq!(
+            Query::new().with_filter(4, 0.0, 1.0).validated(4),
+            Err(QueryError::AttrOutOfRange {
+                attr: 4,
+                num_attrs: 4
+            })
+        );
+        assert!(matches!(
+            Query::new().with_filter(1, 2.0, 1.0).validated(4),
+            Err(QueryError::EmptyFilterRange { attr: 1, .. })
+        ));
+        assert!(matches!(
+            Query::new().with_filter(0, f64::NAN, 1.0).validated(4),
+            Err(QueryError::EmptyFilterRange { .. })
+        ));
+        // lo == hi is a legal point query.
+        assert!(Query::new().with_filter(0, 1.0, 1.0).validated(4).is_ok());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::attr::AttributeType;
 use crate::bitmap::Bitmap32;
+use crate::cache::{self, PageCache};
 use crate::format::{self, FileHead, LeafRec, TreeletLayout};
 use crate::query::{contribution, quality_to_depth, PointRecord, Query};
 use crate::radix::NodeRef;
@@ -37,6 +38,61 @@ pub struct QueryStats {
     pub bitmap_hits: u64,
     /// Nodes culled because a bitmap missed a filter mask.
     pub bitmap_skips: u64,
+    /// Treelet blocks served from an attached [`PageCache`].
+    pub cache_hits: u64,
+    /// Treelet blocks materialized from the backing mapping (and offered
+    /// to the attached cache, if any).
+    pub cache_misses: u64,
+}
+
+/// The per-file slice of a query plan (paper §V + DESIGN.md §12): the
+/// treelets the query must materialize, in deterministic traversal order,
+/// plus the shallow-tree pruning evidence. Produced by [`BatFile::plan`]
+/// *before any treelet block is touched*, so a serving layer can order,
+/// admit, or reject work using only file-head metadata.
+#[derive(Debug, Clone)]
+pub struct FilePlan {
+    /// Treelet indices to materialize, in the order execution visits them.
+    treelets: Vec<u32>,
+    /// Precomputed per-filter query masks (reused by execution).
+    masks: Vec<(usize, Bitmap32)>,
+    /// Shallow inner nodes inspected while planning.
+    pub shallow_nodes_visited: u64,
+    /// Shallow subtrees pruned because their AABB missed the query bounds.
+    pub pruned_bounds: u64,
+    /// Shallow subtrees pruned by bitmap-index pre-filtering.
+    pub pruned_bitmap: u64,
+    /// Shallow nodes whose bitmaps overlapped every filter mask.
+    pub shallow_bitmap_hits: u64,
+}
+
+impl FilePlan {
+    /// Treelets the query must materialize, in execution order.
+    pub fn treelets(&self) -> &[u32] {
+        &self.treelets
+    }
+
+    /// Number of treelets the plan will materialize.
+    pub fn num_treelets(&self) -> usize {
+        self.treelets.len()
+    }
+
+    /// True when the plan proves the file contributes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.treelets.is_empty()
+    }
+
+    /// Shallow subtrees pruned before materialization (bounds + bitmap).
+    pub fn nodes_pruned(&self) -> u64 {
+        self.pruned_bounds + self.pruned_bitmap
+    }
+}
+
+/// Reusable per-query scratch for [`BatFile::execute_treelet`] so a
+/// treelet-at-a-time execution loop does not allocate per treelet.
+#[derive(Default)]
+pub struct QueryScratch {
+    attr_buf: Vec<f64>,
 }
 
 /// An opened, compacted BAT file.
@@ -47,6 +103,11 @@ pub struct QueryStats {
 pub struct BatFile {
     data: Block,
     head: FileHead,
+    /// Treelet-block cache consulted before the backing block; see
+    /// [`crate::cache`]. `None` reads straight from the mapping.
+    cache: Option<Arc<PageCache>>,
+    /// Process-unique id keying this open file's cache entries.
+    file_id: cache::FileId,
 }
 
 impl BatFile {
@@ -60,13 +121,20 @@ impl BatFile {
     /// a larger mapped region — without copying the file bytes.
     pub fn from_block(block: Block) -> WireResult<BatFile> {
         let head = format::read_head(&block)?;
-        Ok(BatFile { data: block, head })
+        Ok(BatFile {
+            data: block,
+            head,
+            cache: None,
+            file_id: cache::next_file_id(),
+        })
     }
 
     /// Open a file on disk through a memory mapping.
     ///
     /// The mapping assumes the file is not concurrently truncated or
-    /// modified (the write-once model of simulation output).
+    /// modified (the write-once model of simulation output). If a
+    /// process-wide treelet cache is installed ([`crate::cache::global`],
+    /// sized by `BAT_CACHE_BYTES`), the file attaches it.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<BatFile> {
         let file = std::fs::File::open(path)?;
         // SAFETY: BAT files follow a write-once-read-many model; mapping a
@@ -75,7 +143,26 @@ impl BatFile {
         let map = unsafe { memmap2::Mmap::map(&file)? };
         let block = Block::from_arc(Arc::new(map));
         BatFile::from_block(block)
+            .map(|f| f.with_cache(cache::global()))
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// This file with the given treelet cache attached (or detached, with
+    /// `None`). Queries consult the cache before touching the backing
+    /// block; results are byte-identical either way.
+    pub fn with_cache(mut self, cache: Option<Arc<PageCache>>) -> BatFile {
+        self.cache = cache;
+        self
+    }
+
+    /// The attached treelet cache, if any.
+    pub fn cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The process-unique id keying this open file's cache entries.
+    pub fn file_id(&self) -> cache::FileId {
+        self.file_id
     }
 
     /// The backing block (shared, zero-copy).
@@ -120,14 +207,31 @@ impl BatFile {
         result
     }
 
-    fn query_impl(&self, q: &Query, mut cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
-        let mut stats = QueryStats::default();
+    fn query_impl(&self, q: &Query, cb: impl FnMut(PointRecord<'_>)) -> WireResult<QueryStats> {
+        let plan = self.plan(q)?;
+        self.execute_plan(q, &plan, cb)
+    }
+
+    /// Plan a query against this file **without materializing any treelet
+    /// block**: walk the shallow tree, prune subtrees by node AABBs and by
+    /// bitmap-index pre-filtering, and return the surviving treelets in
+    /// deterministic traversal order. `execute_plan` (or a serving layer
+    /// driving [`BatFile::execute_treelet`]) then does the page-touching
+    /// work.
+    pub fn plan(&self, q: &Query) -> WireResult<FilePlan> {
+        let mut plan = FilePlan {
+            treelets: Vec::new(),
+            masks: Vec::with_capacity(q.filters.len()),
+            shallow_nodes_visited: 0,
+            pruned_bounds: 0,
+            pruned_bitmap: 0,
+            shallow_bitmap_hits: 0,
+        };
         let na = self.head.descs.len();
 
         // Per-filter query masks over this file's local ranges. An empty
         // mask proves no particle here can match (bins have no false
         // negatives), so the whole file is skipped.
-        let mut masks: Vec<(usize, Bitmap32)> = Vec::with_capacity(q.filters.len());
         for f in &q.filters {
             if f.attr >= na {
                 return Err(WireError::BadTag {
@@ -138,18 +242,18 @@ impl BatFile {
             let (lo, hi) = self.head.attr_ranges[f.attr];
             let mask = Bitmap32::query_mask(f.lo, f.hi, lo, hi);
             if mask == Bitmap32::EMPTY {
-                return Ok(stats);
+                plan.masks.clear();
+                return Ok(plan);
             }
-            masks.push((f.attr, mask));
+            plan.masks.push((f.attr, mask));
         }
 
         let root = match self.head.leaves.len() {
-            0 => return Ok(stats),
+            0 => return Ok(plan),
             1 => NodeRef::Leaf(0),
             _ => NodeRef::Inner(0),
         };
 
-        let mut attr_buf = vec![0.0f64; na];
         let mut stack = vec![root];
         // Every shallow node is visited at most once in a well-formed tree;
         // corrupt child links that form a cycle exhaust this budget and
@@ -159,24 +263,25 @@ impl BatFile {
             if budget == 0 {
                 return Err(WireError::BadTag {
                     what: "shallow tree traversal budget (cycle in child links)",
-                    tag: stats.nodes_visited,
+                    tag: plan.shallow_nodes_visited,
                 });
             }
             budget -= 1;
             match nref {
                 NodeRef::Inner(i) => {
-                    stats.nodes_visited += 1;
+                    plan.shallow_nodes_visited += 1;
                     let node = self.head.inners.get(i as usize).ok_or(WireError::BadTag {
                         what: "shallow inner index",
                         tag: i as u64,
                     })?;
                     if let Some(qb) = &q.bounds {
                         if !qb.overlaps(&node.bounds) {
+                            plan.pruned_bounds += 1;
                             continue;
                         }
                     }
                     let mut bitmaps_pass = true;
-                    for &(a, m) in &masks {
+                    for &(a, m) in &plan.masks {
                         let id = node.bitmap_ids[a];
                         let bm = self.head.dict.try_get(id).ok_or(WireError::BadTag {
                             what: "bitmap dictionary id",
@@ -188,25 +293,69 @@ impl BatFile {
                         }
                     }
                     if !bitmaps_pass {
-                        stats.bitmap_skips += 1;
+                        plan.pruned_bitmap += 1;
                         continue;
                     }
-                    if !masks.is_empty() {
-                        stats.bitmap_hits += 1;
+                    if !plan.masks.is_empty() {
+                        plan.shallow_bitmap_hits += 1;
                     }
                     stack.push(node.left);
                     stack.push(node.right);
                 }
                 NodeRef::Leaf(l) => {
-                    let leaf = self.head.leaves.get(l as usize).ok_or(WireError::BadTag {
-                        what: "treelet index",
-                        tag: l as u64,
-                    })?;
-                    self.query_treelet(leaf, q, &masks, &mut attr_buf, &mut stats, &mut cb)?;
+                    if self.head.leaves.get(l as usize).is_none() {
+                        return Err(WireError::BadTag {
+                            what: "treelet index",
+                            tag: l as u64,
+                        });
+                    }
+                    plan.treelets.push(l);
                 }
             }
         }
+        Ok(plan)
+    }
+
+    /// Execute a plan produced by [`BatFile::plan`] for the same query,
+    /// folding the plan's shallow-traversal counters into the returned
+    /// stats (so `plan` + `execute_plan` report exactly what
+    /// [`BatFile::query`] would).
+    pub fn execute_plan(
+        &self,
+        q: &Query,
+        plan: &FilePlan,
+        mut cb: impl FnMut(PointRecord<'_>),
+    ) -> WireResult<QueryStats> {
+        let mut stats = QueryStats {
+            nodes_visited: plan.shallow_nodes_visited,
+            bitmap_hits: plan.shallow_bitmap_hits,
+            bitmap_skips: plan.pruned_bitmap,
+            ..QueryStats::default()
+        };
+        let mut scratch = QueryScratch::default();
+        for &t in &plan.treelets {
+            self.execute_treelet(q, plan, t, &mut scratch, &mut stats, &mut cb)?;
+        }
         Ok(stats)
+    }
+
+    /// Materialize and scan one planned treelet, accumulating into
+    /// `stats`. This is the unit a serving layer interleaves with deadline
+    /// checks: each call touches at most one treelet block.
+    pub fn execute_treelet(
+        &self,
+        q: &Query,
+        plan: &FilePlan,
+        treelet: u32,
+        scratch: &mut QueryScratch,
+        stats: &mut QueryStats,
+        cb: &mut impl FnMut(PointRecord<'_>),
+    ) -> WireResult<()> {
+        scratch.attr_buf.resize(self.head.descs.len(), 0.0);
+        let mut attr_buf = std::mem::take(&mut scratch.attr_buf);
+        let result = self.query_treelet(treelet, q, &plan.masks, &mut attr_buf, stats, cb);
+        scratch.attr_buf = attr_buf;
+        result
     }
 
     /// Count matching points without materializing them.
@@ -218,14 +367,25 @@ impl BatFile {
     #[allow(clippy::too_many_arguments)]
     fn query_treelet(
         &self,
-        leaf: &LeafRec,
+        treelet: u32,
         q: &Query,
         masks: &[(usize, Bitmap32)],
         attr_buf: &mut [f64],
         stats: &mut QueryStats,
         cb: &mut impl FnMut(PointRecord<'_>),
     ) -> WireResult<()> {
-        let view = self.treelet_view(leaf)?;
+        let leaf = self
+            .head
+            .leaves
+            .get(treelet as usize)
+            .ok_or(WireError::BadTag {
+                what: "treelet index",
+                tag: treelet as u64,
+            })?;
+        // Keeps a cache-resident copy of the block alive for the duration
+        // of the scan; borrowed by the view when the cache path is taken.
+        let mut storage: Option<Arc<Vec<u8>>> = None;
+        let view = self.treelet_view(leaf, treelet, &mut storage, stats)?;
         stats.treelets_visited += 1;
         stats.pages_touched += view.pages_4k;
 
@@ -320,8 +480,17 @@ impl BatFile {
         Ok(())
     }
 
-    /// Interpret a treelet block in place.
-    fn treelet_view(&self, leaf: &LeafRec) -> WireResult<TreeletView<'_>> {
+    /// Interpret a treelet block in place, or from the page cache when one
+    /// is attached. Cached blocks are verbatim copies of the on-disk bytes,
+    /// so the two paths are byte-identical by construction; `storage` keeps
+    /// the cache's `Arc` alive for the borrow the returned view holds.
+    fn treelet_view<'a>(
+        &'a self,
+        leaf: &LeafRec,
+        treelet: u32,
+        storage: &'a mut Option<Arc<Vec<u8>>>,
+        stats: &mut QueryStats,
+    ) -> WireResult<TreeletView<'a>> {
         let layout = TreeletLayout::compute(
             leaf.num_nodes as usize,
             leaf.num_particles as usize,
@@ -341,7 +510,40 @@ impl BatFile {
         // construction, and node-supplied indices are range-checked against
         // `num_points`/`num_nodes` before use, so corrupt files surface as
         // errors, never panics).
-        let block = &self.data[start..end];
+        let block: &'a [u8] = match &self.cache {
+            Some(cache) => {
+                if let Some(arc) = cache.get(self.file_id, treelet) {
+                    // A stale entry can only disagree in length if the file
+                    // was rewritten under a reused id, which `FileId` makes
+                    // impossible; the check still guards cache corruption.
+                    if arc.len() == layout.size {
+                        stats.cache_hits += 1;
+                        storage.insert(arc).as_slice()
+                    } else {
+                        stats.cache_misses += 1;
+                        let copy = Arc::new(self.data[start..end].to_vec());
+                        cache.insert(
+                            self.file_id,
+                            treelet,
+                            copy.clone(),
+                            cache::thread_priority(),
+                        );
+                        storage.insert(copy).as_slice()
+                    }
+                } else {
+                    stats.cache_misses += 1;
+                    let copy = Arc::new(self.data[start..end].to_vec());
+                    cache.insert(
+                        self.file_id,
+                        treelet,
+                        copy.clone(),
+                        cache::thread_priority(),
+                    );
+                    storage.insert(copy).as_slice()
+                }
+            }
+            None => &self.data[start..end],
+        };
         let num_nodes = leaf.num_nodes as usize;
         let num_points = leaf.num_particles as usize;
         let nodes = &block[layout.nodes_off

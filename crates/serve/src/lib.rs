@@ -1,0 +1,128 @@
+//! bat-serve: concurrent query serving over written BAT datasets
+//! (DESIGN.md §12).
+//!
+//! The write side of the pipeline builds pruned, page-aligned layouts; this
+//! crate is the layer that makes *reading them under concurrency* a
+//! first-class property. It composes three pieces:
+//!
+//! 1. **Treelet page cache** — the sharded, memory-bounded LRU lives in
+//!    [`bat_layout::cache`] (the mechanism must sit below the reader so
+//!    `BatFile` can consult it without a dependency cycle); this crate owns
+//!    the *policy*: sizing from `BAT_CACHE_BYTES`, admission priority
+//!    derived from query class ([`query_priority`]), and installation.
+//! 2. **Query planner** — [`QueryPlan`] culls and orders leaf files by
+//!    aggregation-tree bounds overlap and prunes shallow subtrees via node
+//!    AABBs + bitmap pre-filtering before any treelet is materialized.
+//! 3. **Bounded front-end** — [`ServePool`], a fixed worker pool with a
+//!    bounded queue, reject-with-retry-after backpressure, per-query
+//!    deadlines (checked between treelets), and graceful drain.
+//!
+//! The stream server (`bat-stream`) builds its session handling on top of
+//! these pieces; `batcli serve` exposes them on the command line.
+
+pub mod plan;
+pub mod pool;
+
+pub use bat_layout::cache::{
+    self, PageCache, PRIORITY_BULK, PRIORITY_INTERACTIVE, PRIORITY_NORMAL,
+};
+pub use plan::{PlanStats, QueryPlan, ServeError};
+pub use pool::{PoolStats, Rejected, ServePool, ServePoolConfig};
+
+use bat_layout::Query;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cache admission priority for a query (DESIGN.md §12): low-quality
+/// interactive reads touch few pages and back a user who is waiting, so
+/// their treelets may evict bulk pages; a full-quality bulk scan streams
+/// everything once and must not flush the interactive working set.
+pub fn query_priority(q: &Query) -> u8 {
+    if q.quality <= 0.35 {
+        PRIORITY_INTERACTIVE
+    } else if q.quality < 1.0 {
+        PRIORITY_NORMAL
+    } else {
+        PRIORITY_BULK
+    }
+}
+
+/// Serving configuration resolved from the environment:
+/// `BAT_SERVE_WORKERS` (default: the rayon shim's thread sizing),
+/// `BAT_SERVE_QUEUE` (queue depth, default 64), and
+/// `BAT_SERVE_DEADLINE_MS` (per-query deadline, default none).
+#[derive(Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads; `None` uses [`ServePoolConfig::default`].
+    pub workers: Option<usize>,
+    /// Bounded queue depth; `None` uses the default.
+    pub queue_depth: Option<usize>,
+    /// Per-query deadline; `None` means queries run to completion.
+    pub deadline: Option<Duration>,
+    /// Dataset-private cache; `None` leaves the process-global policy
+    /// (`BAT_CACHE_BYTES`) in charge.
+    pub cache: Option<Arc<PageCache>>,
+}
+
+impl ServeOptions {
+    /// Read `BAT_SERVE_WORKERS` / `BAT_SERVE_QUEUE` / `BAT_SERVE_DEADLINE_MS`.
+    pub fn from_env() -> ServeOptions {
+        let num = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        ServeOptions {
+            workers: num("BAT_SERVE_WORKERS").map(|n| n.max(1) as usize),
+            queue_depth: num("BAT_SERVE_QUEUE").map(|n| n.max(1) as usize),
+            deadline: num("BAT_SERVE_DEADLINE_MS").map(Duration::from_millis),
+            cache: None,
+        }
+    }
+
+    /// The pool configuration these options resolve to.
+    pub fn pool_config(&self) -> ServePoolConfig {
+        let mut cfg = ServePoolConfig::default();
+        if let Some(w) = self.workers {
+            cfg.workers = w;
+        }
+        if let Some(d) = self.queue_depth {
+            cfg.queue_depth = d;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_tracks_quality() {
+        assert_eq!(
+            query_priority(&Query::new().with_quality(0.1)),
+            PRIORITY_INTERACTIVE
+        );
+        assert_eq!(
+            query_priority(&Query::new().with_quality(0.5)),
+            PRIORITY_NORMAL
+        );
+        assert_eq!(
+            query_priority(&Query::new().with_quality(1.0)),
+            PRIORITY_BULK
+        );
+    }
+
+    #[test]
+    fn options_resolve_pool_config() {
+        let opts = ServeOptions {
+            workers: Some(3),
+            queue_depth: Some(9),
+            deadline: None,
+            cache: None,
+        };
+        let cfg = opts.pool_config();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 9);
+    }
+}

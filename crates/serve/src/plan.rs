@@ -1,0 +1,258 @@
+//! Dataset-level query planning (DESIGN.md §12).
+//!
+//! A [`QueryPlan`] is built *before any treelet block is materialized*:
+//! the metadata tree culls candidate leaf files by bounds and global root
+//! bitmaps, each surviving file's shallow tree is walked (pruning subtrees
+//! by node AABBs and bitmap-index pre-filtering — [`bat_layout::BatFile::plan`]),
+//! and the files are ordered by how much of the query volume they cover,
+//! so a deadline that fires mid-query has already delivered the most
+//! relevant data. Execution then drives one treelet at a time, which is
+//! the granularity at which deadlines are checked.
+
+use bat_geom::Aabb;
+use bat_layout::reader::QueryStats;
+use bat_layout::{BatFile, FilePlan, PointRecord, Query, QueryError, QueryScratch};
+use libbat::Dataset;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a query could not be planned or executed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query is malformed for the dataset's schema.
+    Query(QueryError),
+    /// A leaf file could not be opened or read.
+    Io(io::Error),
+    /// A file's index structures are corrupt.
+    Wire(bat_wire::WireError),
+    /// The per-query deadline expired before execution finished.
+    DeadlineExpired {
+        /// Treelets already fully executed when the deadline fired.
+        treelets_done: u64,
+        /// Treelets the plan wanted in total.
+        treelets_planned: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "invalid query: {e}"),
+            ServeError::Io(e) => write!(f, "leaf file I/O: {e}"),
+            ServeError::Wire(e) => write!(f, "corrupt leaf file: {e}"),
+            ServeError::DeadlineExpired {
+                treelets_done,
+                treelets_planned,
+            } => write!(
+                f,
+                "query deadline expired after {treelets_done}/{treelets_planned} treelets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> ServeError {
+        ServeError::Query(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<bat_wire::WireError> for ServeError {
+    fn from(e: bat_wire::WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+/// Planning evidence: what the planner looked at and what it proved
+/// irrelevant without touching data pages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Leaf files surviving metadata-level culling.
+    pub files_considered: u64,
+    /// Files whose shallow-tree plan kept at least one treelet.
+    pub files_planned: u64,
+    /// Files whose plan proved them empty for this query.
+    pub files_pruned: u64,
+    /// Shallow subtrees pruned by node-AABB misses.
+    pub nodes_pruned_bounds: u64,
+    /// Shallow subtrees pruned by bitmap pre-filtering.
+    pub nodes_pruned_bitmap: u64,
+    /// Treelets execution will materialize, across all files.
+    pub treelets_planned: u64,
+}
+
+impl PlanStats {
+    /// Total shallow subtrees pruned before materialization.
+    pub fn nodes_pruned(&self) -> u64 {
+        self.nodes_pruned_bounds + self.nodes_pruned_bitmap
+    }
+}
+
+/// One leaf file's share of the plan, with its ordering score.
+struct PlannedFile {
+    leaf: u32,
+    file: Arc<BatFile>,
+    plan: FilePlan,
+    /// Fraction of the query volume this file's bounds cover (1.0 for
+    /// unbounded queries, so ordering degenerates to leaf id).
+    score: f64,
+}
+
+/// A planned dataset query: validated, culled, ordered, not yet executed.
+pub struct QueryPlan {
+    query: Query,
+    files: Vec<PlannedFile>,
+    stats: PlanStats,
+}
+
+impl QueryPlan {
+    /// Plan `q` against `ds`. Touches only metadata and file heads — no
+    /// treelet pages — and emits `plan.*` counters through bat-obs.
+    pub fn new(ds: &Dataset, q: &Query) -> Result<QueryPlan, ServeError> {
+        let query = q.clone().validated(ds.descs().len())?;
+        let candidates = ds
+            .meta()
+            .candidate_leaves(&query)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+
+        let mut stats = PlanStats::default();
+        let mut files = Vec::new();
+        for leaf in candidates {
+            if ds.excluded_leaves().binary_search(&leaf).is_ok() {
+                continue;
+            }
+            stats.files_considered += 1;
+            let file = ds.file(leaf)?;
+            let plan = file.plan(&query)?;
+            stats.nodes_pruned_bounds += plan.pruned_bounds;
+            stats.nodes_pruned_bitmap += plan.pruned_bitmap;
+            if plan.is_empty() {
+                stats.files_pruned += 1;
+                continue;
+            }
+            stats.files_planned += 1;
+            stats.treelets_planned += plan.num_treelets() as u64;
+            let score = match &query.bounds {
+                Some(qb) => overlap_fraction(qb, &ds.meta().leaves[leaf as usize].bounds),
+                None => 1.0,
+            };
+            files.push(PlannedFile {
+                leaf,
+                file,
+                plan,
+                score,
+            });
+        }
+        // Most-covering file first; leaf id breaks ties deterministically
+        // (and fully orders the unbounded case, preserving the dataset's
+        // native emission order).
+        files.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.leaf.cmp(&b.leaf))
+        });
+
+        if bat_obs::enabled() {
+            bat_obs::counter_add("plan.queries", 1);
+            bat_obs::counter_add("plan.nodes_pruned", stats.nodes_pruned());
+            bat_obs::counter_add("plan.files_pruned", stats.files_pruned);
+            bat_obs::counter_add("plan.treelets_planned", stats.treelets_planned);
+        }
+        Ok(QueryPlan {
+            query,
+            files,
+            stats,
+        })
+    }
+
+    /// Planning evidence for this query.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// The validated (clamped) query this plan executes.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Leaf files in execution order (most query coverage first).
+    pub fn file_order(&self) -> impl Iterator<Item = u32> + '_ {
+        self.files.iter().map(|f| f.leaf)
+    }
+
+    /// Execute the plan, invoking `cb` per matching point. The optional
+    /// `deadline` is checked between treelets — the unit of page-touching
+    /// work — so an expired query stops within one treelet's worth of
+    /// effort and reports how far it got.
+    pub fn execute(
+        &self,
+        deadline: Option<Instant>,
+        mut cb: impl FnMut(PointRecord<'_>),
+    ) -> Result<QueryStats, ServeError> {
+        let mut stats = QueryStats::default();
+        let mut done = 0u64;
+        for pf in &self.files {
+            stats.nodes_visited += pf.plan.shallow_nodes_visited;
+            stats.bitmap_hits += pf.plan.shallow_bitmap_hits;
+            stats.bitmap_skips += pf.plan.pruned_bitmap;
+            let mut scratch = QueryScratch::default();
+            for &t in pf.plan.treelets() {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    bat_obs::counter_add("serve.deadline_expired", 1);
+                    return Err(ServeError::DeadlineExpired {
+                        treelets_done: done,
+                        treelets_planned: self.stats.treelets_planned,
+                    });
+                }
+                pf.file.execute_treelet(
+                    &self.query,
+                    &pf.plan,
+                    t,
+                    &mut scratch,
+                    &mut stats,
+                    &mut cb,
+                )?;
+                done += 1;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Fraction of the query box's volume covered by `leaf_bounds` (in `[0,1]`;
+/// degenerate query boxes score by containment).
+fn overlap_fraction(query: &Aabb, leaf_bounds: &Aabb) -> f64 {
+    if !query.overlaps(leaf_bounds) {
+        return 0.0;
+    }
+    let qv = query.volume();
+    if qv <= 0.0 {
+        return 1.0;
+    }
+    query.intersection(leaf_bounds).volume() / qv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_fraction_bounds() {
+        let unit = Aabb::unit();
+        assert_eq!(overlap_fraction(&unit, &unit), 1.0);
+        let half = Aabb::new(bat_geom::Vec3::ZERO, bat_geom::Vec3::splat(0.5));
+        let f = overlap_fraction(&unit, &half);
+        assert!((f - 0.125).abs() < 1e-9, "{f}");
+        let outside = Aabb::new(bat_geom::Vec3::splat(2.0), bat_geom::Vec3::splat(3.0));
+        assert_eq!(overlap_fraction(&unit, &outside), 0.0);
+    }
+}

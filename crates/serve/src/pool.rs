@@ -1,0 +1,268 @@
+//! The bounded serving front-end: a fixed worker pool with a bounded
+//! request queue and backpressure (DESIGN.md §12).
+//!
+//! The pool replaces the thread-per-connection execution model: sessions
+//! *submit* query jobs instead of running them, so total query concurrency
+//! is `workers` no matter how many clients connect. When the queue is
+//! full, submission fails immediately with a retry-after hint — the
+//! overload signal travels to the client instead of accumulating as
+//! unbounded queued work. Shutdown is a graceful drain: accepted jobs
+//! finish, new submissions are refused.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sizing and backpressure knobs for a [`ServePool`].
+#[derive(Debug, Clone)]
+pub struct ServePoolConfig {
+    /// Worker threads executing queries. Defaults to the rayon shim's
+    /// pool-sizing convention (`BAT_THREADS` / `RAYON_NUM_THREADS` /
+    /// available parallelism).
+    pub workers: usize,
+    /// Jobs that may wait beyond the ones executing; a submission landing
+    /// on a full queue is rejected.
+    pub queue_depth: usize,
+    /// Hint returned with rejections: how long a client should wait
+    /// before retrying.
+    pub retry_after: Duration,
+}
+
+impl Default for ServePoolConfig {
+    fn default() -> ServePoolConfig {
+        ServePoolConfig {
+            workers: rayon::current_num_threads(),
+            queue_depth: 64,
+            retry_after: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A submission refused by a full (or draining) pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Suggested client backoff before retrying.
+    pub retry_after: Duration,
+}
+
+/// Live counters for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs accepted into the queue over the pool's lifetime.
+    pub queued: u64,
+    /// Submissions refused because the queue was full or draining.
+    pub rejected: u64,
+    /// Jobs whose execution completed.
+    pub completed: u64,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a job (or the drain flag) is available.
+    available: Condvar,
+    queue_depth: usize,
+    retry_after: Duration,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A fixed pool of query workers fed by a bounded queue.
+pub struct ServePool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServePool {
+    /// Spawn `cfg.workers` workers (at least one).
+    pub fn new(cfg: ServePoolConfig) -> ServePool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            available: Condvar::new(),
+            queue_depth: cfg.queue_depth,
+            retry_after: cfg.retry_after,
+            queued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("bat-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServePool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job. `Err(Rejected)` means the queue is at capacity (or
+    /// the pool is draining) — nothing was enqueued, and the caller should
+    /// surface the retry-after hint to its client.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), Rejected> {
+        {
+            let mut st = self.shared.state.lock().expect("serve pool lock");
+            if st.draining || st.jobs.len() >= self.shared.queue_depth {
+                drop(st);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                bat_obs::counter_add("serve.rejected", 1);
+                return Err(Rejected {
+                    retry_after: self.shared.retry_after,
+                });
+            }
+            st.jobs.push_back(Box::new(job));
+        }
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        bat_obs::counter_add("serve.queued", 1);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            queued: self.shared.queued.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: refuse new submissions, run everything already
+    /// accepted, join the workers.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve pool lock");
+            st.draining = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("serve pool lock");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.available.wait(st).expect("serve pool wait");
+            }
+        };
+        job();
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    fn cfg(workers: usize, queue_depth: usize) -> ServePoolConfig {
+        ServePoolConfig {
+            workers,
+            queue_depth,
+            retry_after: Duration::from_millis(7),
+        }
+    }
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = ServePool::new(cfg(4, 16));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            // Honor the backpressure contract: a rejected submission is
+            // retried after the hinted delay, never dropped.
+            loop {
+                let c = counter.clone();
+                match pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) {
+                    Ok(()) => break,
+                    Err(r) => std::thread::sleep(r.retry_after),
+                }
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_after() {
+        let pool = ServePool::new(cfg(1, 1));
+        // Occupy the single worker until released.
+        let (release, gate) = mpsc::channel::<()>();
+        let (started_tx, started) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            gate.recv().ok();
+        })
+        .unwrap();
+        started.recv().unwrap();
+        // One job may wait; the next must be refused, not queued.
+        pool.submit(|| {}).unwrap();
+        let err = pool.submit(|| {}).unwrap_err();
+        assert_eq!(err.retry_after, Duration::from_millis(7));
+        assert_eq!(pool.stats().rejected, 1);
+        release.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let pool = ServePool::new(cfg(1, 8));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = counter.clone();
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 5, "drain runs queued jobs");
+    }
+
+    #[test]
+    fn draining_pool_refuses_new_work() {
+        let mut pool = ServePool::new(cfg(1, 8));
+        pool.drain();
+        assert!(pool.submit(|| {}).is_err());
+    }
+}

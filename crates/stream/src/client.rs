@@ -4,6 +4,51 @@ use crate::protocol::{read_frame, write_frame, Chunk, Request, Schema, ServerMsg
 use bat_layout::Query;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a request produced no result.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport failure; the session is no longer usable.
+    Io(std::io::Error),
+    /// The server's bounded queue refused the request; retry after the
+    /// hint. The session stays usable and no partial data was sent.
+    Busy {
+        /// Server-suggested backoff.
+        retry_after: Duration,
+    },
+    /// The server reported a typed failure (deadline expiry, bad query…).
+    /// Chunks delivered before the error were discarded. The session
+    /// stays usable.
+    Server {
+        /// One of the protocol `ERR_*` codes.
+        code: u32,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "stream I/O: {e}"),
+            RequestError::Busy { retry_after } => {
+                write!(f, "server busy, retry after {retry_after:?}")
+            }
+            RequestError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
 
 /// A connected viewer session.
 pub struct StreamClient {
@@ -49,12 +94,14 @@ impl StreamClient {
     }
 
     /// Run one query, invoking `on_chunk` as batches arrive. Returns the
-    /// total number of points streamed.
+    /// total number of points streamed; typed failures
+    /// ([`RequestError::Busy`], [`RequestError::Server`]) leave the
+    /// session usable for further requests.
     pub fn request(
         &mut self,
         query: &Query,
         mut on_chunk: impl FnMut(&Chunk),
-    ) -> std::io::Result<u64> {
+    ) -> Result<u64, RequestError> {
         let req = Request {
             query: query.clone(),
         };
@@ -79,19 +126,48 @@ impl StreamClient {
                 }
                 ServerMsg::Done { points } => {
                     if points != received {
-                        return Err(std::io::Error::new(
+                        return Err(RequestError::Io(std::io::Error::new(
                             std::io::ErrorKind::InvalidData,
                             format!("server reported {points} points, received {received}"),
-                        ));
+                        )));
                     }
                     return Ok(received);
                 }
+                ServerMsg::Busy { retry_after_ms } => {
+                    return Err(RequestError::Busy {
+                        retry_after: Duration::from_millis(retry_after_ms),
+                    })
+                }
+                ServerMsg::Error { code, message } => {
+                    return Err(RequestError::Server { code, message })
+                }
                 ServerMsg::Schema(_) => {
-                    return Err(std::io::Error::new(
+                    return Err(RequestError::Io(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         "unexpected schema mid-session",
-                    ))
+                    )))
                 }
+            }
+        }
+    }
+
+    /// As [`StreamClient::request`], but honoring the backpressure
+    /// contract: on [`RequestError::Busy`] the client sleeps the hinted
+    /// delay and resubmits, up to `max_retries` times.
+    pub fn request_with_retry(
+        &mut self,
+        query: &Query,
+        max_retries: usize,
+        mut on_chunk: impl FnMut(&Chunk),
+    ) -> Result<u64, RequestError> {
+        let mut attempts = 0;
+        loop {
+            match self.request(query, &mut on_chunk) {
+                Err(RequestError::Busy { retry_after }) if attempts < max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(retry_after);
+                }
+                other => return other,
             }
         }
     }
@@ -123,7 +199,10 @@ mod tests {
 
     fn start(dir: &std::path::Path) -> crate::ServerHandle {
         let ds = Dataset::open(dir, "s").unwrap();
-        StreamServer::bind("127.0.0.1:0", ds).unwrap().spawn()
+        StreamServer::bind("127.0.0.1:0", ds)
+            .unwrap()
+            .spawn()
+            .unwrap()
     }
 
     #[test]

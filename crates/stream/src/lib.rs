@@ -10,7 +10,9 @@
 //! WebSocket in a production deployment):
 //!
 //! - [`StreamServer`] owns an opened [`libbat::Dataset`] and serves any
-//!   number of concurrent clients, each on its own thread. A client sends
+//!   number of concurrent clients; sessions relay work to a bounded
+//!   bat-serve worker pool, so query concurrency (and queueing) is
+//!   bounded no matter how many clients connect. A client sends
 //!   [`Request`]s — a [`bat_layout::Query`] with quality, progressive
 //!   baseline, bounds, and attribute filters — and receives the matching
 //!   points in bounded [`Chunk`]s, so a viewer can draw while data is still
@@ -41,8 +43,8 @@
 //! use bat_stream::{StreamClient, StreamServer};
 //!
 //! let server = StreamServer::bind("127.0.0.1:0", libbat::Dataset::open(&dir, "ds").unwrap()).unwrap();
-//! let addr = server.local_addr();
-//! let handle = server.spawn();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.spawn().unwrap();
 //!
 //! let mut client = StreamClient::connect(addr).unwrap();
 //! let mut points = 0;
@@ -59,6 +61,8 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::StreamClient;
-pub use protocol::{Chunk, Request, CHUNK_POINTS};
+pub use client::{RequestError, StreamClient};
+pub use protocol::{
+    Chunk, Request, ServerMsg, CHUNK_POINTS, ERR_BAD_QUERY, ERR_DEADLINE, ERR_INTERNAL,
+};
 pub use server::{ServerHandle, StreamServer};

@@ -10,6 +10,12 @@
 //! server → client   Done     { points_sent }
 //! ```
 //!
+//! Two alternative replies end a request without `Done`: `Busy`
+//! (`retry_after_ms`) when the server's bounded queue refused the request,
+//! and `Error` (`code`, `message`) when execution failed with a typed,
+//! recoverable error (deadline expiry, invalid query). Both leave the
+//! session open for further requests.
+//!
 //! Chunks are bounded so a viewer can render while the stream continues —
 //! the paper's progressive loading behavior (Fig. 4, §V-B).
 
@@ -26,6 +32,16 @@ const MSG_REQUEST: u8 = 1;
 const MSG_SCHEMA: u8 = 2;
 const MSG_CHUNK: u8 = 3;
 const MSG_DONE: u8 = 4;
+const MSG_BUSY: u8 = 5;
+const MSG_ERROR: u8 = 6;
+
+/// [`ServerMsg::Error`] code: the per-query deadline expired.
+pub const ERR_DEADLINE: u32 = 1;
+/// [`ServerMsg::Error`] code: the query is invalid for the dataset schema.
+pub const ERR_BAD_QUERY: u32 = 2;
+/// [`ServerMsg::Error`] code: the server failed internally (I/O, corrupt
+/// file); the session stays usable.
+pub const ERR_INTERNAL: u32 = 3;
 /// Hard cap on any framed message (a sanity bound against corrupt frames).
 const MAX_FRAME: u32 = 64 << 20;
 
@@ -85,6 +101,21 @@ pub enum ServerMsg {
     Done {
         /// Total points streamed for the request.
         points: u64,
+    },
+    /// The server's bounded queue is full: the request was *not* executed;
+    /// retry after the hinted delay. The session stays open.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request failed with a typed, recoverable error (`ERR_*` codes).
+    /// Any chunks already streamed for the request are partial and should
+    /// be discarded; the session stays open.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u32,
+        /// Human-readable detail.
+        message: String,
     },
 }
 
@@ -171,6 +202,15 @@ impl ServerMsg {
                 enc.put_u8(MSG_DONE);
                 enc.put_u64(*points);
             }
+            ServerMsg::Busy { retry_after_ms } => {
+                enc.put_u8(MSG_BUSY);
+                enc.put_u64(*retry_after_ms);
+            }
+            ServerMsg::Error { code, message } => {
+                enc.put_u8(MSG_ERROR);
+                enc.put_u32(*code);
+                enc.put_str(message);
+            }
         }
         enc.finish()
     }
@@ -237,6 +277,13 @@ impl ServerMsg {
             MSG_DONE => Ok(ServerMsg::Done {
                 points: dec.get_u64("done points")?,
             }),
+            MSG_BUSY => Ok(ServerMsg::Busy {
+                retry_after_ms: dec.get_u64("busy retry-after")?,
+            }),
+            MSG_ERROR => Ok(ServerMsg::Error {
+                code: dec.get_u32("error code")?,
+                message: dec.get_str("error message")?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "server message tag",
                 tag: tag as u64,
@@ -275,6 +322,11 @@ mod tests {
                 num_attrs: 2,
             }),
             ServerMsg::Done { points: 123 },
+            ServerMsg::Busy { retry_after_ms: 25 },
+            ServerMsg::Error {
+                code: ERR_DEADLINE,
+                message: "query deadline expired after 3/9 treelets".into(),
+            },
         ];
         for m in msgs {
             assert_eq!(ServerMsg::decode(&m.encode()).unwrap(), m);

@@ -1,16 +1,31 @@
-//! The streaming server: serves a dataset to concurrent viewer clients.
+//! The streaming server: serves a dataset to concurrent viewer clients
+//! through the bounded bat-serve front-end (DESIGN.md §12).
+//!
+//! Sessions no longer *execute* queries — they submit them to a shared
+//! [`ServePool`] and relay the resulting chunks, so total query
+//! concurrency is the pool's worker count no matter how many clients
+//! connect. A full queue surfaces to the client as `Busy { retry_after }`,
+//! a deadline or execution failure as a typed `Error`; both leave the
+//! session open.
 
-use crate::protocol::{read_frame, write_frame, Chunk, Request, Schema, ServerMsg, CHUNK_POINTS};
+use crate::protocol::{
+    read_frame, write_frame, Chunk, Request, Schema, ServerMsg, CHUNK_POINTS, ERR_BAD_QUERY,
+    ERR_DEADLINE, ERR_INTERNAL,
+};
+use bat_serve::{cache, query_priority, QueryPlan, ServeError, ServeOptions, ServePool};
 use libbat::Dataset;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A bound but not yet running server.
 pub struct StreamServer {
     listener: TcpListener,
     dataset: Arc<Dataset>,
+    options: ServeOptions,
 }
 
 /// Control handle for a running server.
@@ -20,57 +35,88 @@ pub struct ServerHandle {
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Shared serving context: the dataset, the worker pool, and the deadline
+/// policy every session applies.
+struct ServeCtx {
+    dataset: Arc<Dataset>,
+    pool: ServePool,
+    deadline: Option<Duration>,
+}
+
 impl StreamServer {
     /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) serving
-    /// `dataset`.
+    /// `dataset` with environment-resolved serving options.
     pub fn bind(addr: &str, dataset: Dataset) -> std::io::Result<StreamServer> {
+        StreamServer::bind_with(addr, dataset, ServeOptions::from_env())
+    }
+
+    /// Bind with explicit serving options (worker count, queue depth,
+    /// per-query deadline, dataset-private cache).
+    pub fn bind_with(
+        addr: &str,
+        dataset: Dataset,
+        options: ServeOptions,
+    ) -> std::io::Result<StreamServer> {
         let listener = TcpListener::bind(addr)?;
+        if let Some(c) = &options.cache {
+            dataset.set_cache(Some(c.clone()));
+        }
         Ok(StreamServer {
             listener,
             dataset: Arc::new(dataset),
+            options,
         })
     }
 
     /// The bound address (useful with ephemeral ports).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener")
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
     }
 
     /// Start accepting connections on a background thread. Each connection
-    /// gets its own session thread; queries within a session run
-    /// sequentially (the viewer protocol is request/response).
-    pub fn spawn(self) -> ServerHandle {
+    /// gets a session thread that reads requests and relays replies;
+    /// query execution happens on the shared bounded pool. Session
+    /// threads are tracked and joined on shutdown.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let stop = Arc::new(AtomicBool::new(false));
-        let addr = self.local_addr();
+        let addr = self.local_addr()?;
         let stop2 = stop.clone();
+        let ctx = Arc::new(ServeCtx {
+            dataset: self.dataset,
+            pool: ServePool::new(self.options.pool_config()),
+            deadline: self.options.deadline,
+        });
+        let listener = self.listener;
         let thread = std::thread::spawn(move || {
-            self.listener
-                .set_nonblocking(true)
-                .expect("nonblocking listener");
-            loop {
+            let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            // Blocking accept: the loop sleeps in the kernel until a
+            // connection arrives. Shutdown wakes it with a self-connect
+            // (see ServerHandle::stop_and_join), observed via the stop
+            // flag before the connection is served.
+            while let Ok((stream, _)) = listener.accept() {
                 if stop2.load(Ordering::Acquire) {
                     break;
                 }
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let ds = self.dataset.clone();
-                        std::thread::spawn(move || {
-                            // A failed session only affects that client.
-                            let _ = serve_connection(stream, &ds);
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
+                let ctx = ctx.clone();
+                sessions.push(std::thread::spawn(move || {
+                    // A failed session only affects that client.
+                    let _ = serve_connection(stream, &ctx);
+                }));
+                // Opportunistically reap finished sessions so a
+                // long-lived server doesn't accumulate handles.
+                sessions.retain(|s| !s.is_finished());
+            }
+            // Join every live session: their in-flight pool jobs finish
+            // because the pool drains only after this (ctx drop).
+            for s in sessions {
+                s.join().ok();
             }
         });
-        ServerHandle {
+        Ok(ServerHandle {
             stop,
             addr,
             thread: Some(thread),
-        }
+        })
     }
 }
 
@@ -80,10 +126,18 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop. In-flight
-    /// sessions finish their current request.
+    /// Stop accepting connections, join every session thread, and drain
+    /// the worker pool. In-flight requests finish.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the accept loop re-checks the stop
+        // flag before serving the connection. If the connect fails the
+        // listener is already gone and the loop has exited.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.thread.take() {
             t.join().ok();
         }
@@ -92,21 +146,26 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.thread.take() {
-            t.join().ok();
-        }
+        self.stop_and_join();
     }
+}
+
+/// What a worker sends back to the session thread for one request.
+enum Reply {
+    Chunk(Chunk),
+    Done { points: u64 },
+    Failed(ServeError),
 }
 
 /// Serve one client session: schema first, then request/stream cycles until
 /// the client disconnects.
-fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
+fn serve_connection(stream: TcpStream, ctx: &ServeCtx) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
 
     // Session preamble: the schema.
+    let ds = &ctx.dataset;
     let schema = ServerMsg::Schema(Schema {
         descs: ds.descs().to_vec(),
         total_particles: ds.num_particles(),
@@ -126,47 +185,51 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
         let request = Request::decode(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
 
-        // Stream the query's results in bounded chunks.
-        let num_attrs = ds.descs().len();
-        let mut chunk = Chunk {
-            positions: Vec::with_capacity(CHUNK_POINTS),
-            attrs: Vec::with_capacity(CHUNK_POINTS * num_attrs),
-            num_attrs,
-        };
-        let mut sent = 0u64;
-        let mut io_err: Option<std::io::Error> = None;
-        let result = ds.query(&request.query, |p| {
-            if io_err.is_some() {
-                return;
-            }
-            chunk.positions.push(p.position);
-            chunk.attrs.extend_from_slice(p.attrs);
-            if chunk.len() == CHUNK_POINTS {
-                sent += chunk.len() as u64;
-                let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
-                chunk.num_attrs = num_attrs;
-                chunk.positions.reserve(CHUNK_POINTS);
-                let encoded = msg.encode();
-                bytes_out += encoded.len() as u64;
-                if let Err(e) = write_frame(&mut writer, &encoded) {
-                    io_err = Some(e);
-                }
-            }
+        // The deadline covers queue wait + execution: it starts when the
+        // request is submitted, not when a worker picks it up.
+        let deadline = ctx.deadline.map(|d| Instant::now() + d);
+        let (tx, rx) = mpsc::sync_channel::<Reply>(4);
+        let job_ds = ctx.dataset.clone();
+        let query = request.query.clone();
+        let submitted = ctx.pool.submit(move || {
+            run_query(&job_ds, &query, deadline, &tx);
         });
-        if let Some(e) = io_err {
-            return Err(e);
+        if let Err(rejected) = submitted {
+            let retry_after_ms = rejected.retry_after.as_millis() as u64;
+            let busy = ServerMsg::Busy { retry_after_ms }.encode();
+            write_frame(&mut writer, &busy)?;
+            writer.flush()?;
+            bat_obs::counter_add("stream.bytes_sent", busy.len() as u64);
+            req_span.end();
+            continue;
         }
-        result.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if !chunk.is_empty() {
-            sent += chunk.len() as u64;
-            let msg = ServerMsg::Chunk(std::mem::take(&mut chunk));
-            let encoded = msg.encode();
+
+        // Relay worker replies to the socket. The channel closes when the
+        // worker is done with the request, whatever the outcome.
+        let mut sent = 0u64;
+        for reply in rx {
+            let encoded = match reply {
+                Reply::Chunk(c) => {
+                    sent += c.len() as u64;
+                    ServerMsg::Chunk(c).encode()
+                }
+                Reply::Done { points } => ServerMsg::Done { points }.encode(),
+                Reply::Failed(e) => {
+                    let code = match &e {
+                        ServeError::DeadlineExpired { .. } => ERR_DEADLINE,
+                        ServeError::Query(_) => ERR_BAD_QUERY,
+                        _ => ERR_INTERNAL,
+                    };
+                    ServerMsg::Error {
+                        code,
+                        message: e.to_string(),
+                    }
+                    .encode()
+                }
+            };
             bytes_out += encoded.len() as u64;
             write_frame(&mut writer, &encoded)?;
         }
-        let done = ServerMsg::Done { points: sent }.encode();
-        bytes_out += done.len() as u64;
-        write_frame(&mut writer, &done)?;
         writer.flush()?;
         bat_obs::counter_add("stream.requests", 1);
         bat_obs::counter_add("stream.bytes_sent", bytes_out);
@@ -174,4 +237,74 @@ fn serve_connection(stream: TcpStream, ds: &Dataset) -> std::io::Result<()> {
         req_span.end();
     }
     Ok(())
+}
+
+/// Execute one request on a pool worker: plan, run with the deadline, and
+/// stream bounded chunks back through `tx`. Channel sends fail only when
+/// the session died; execution then stops silently — there is nobody left
+/// to tell.
+fn run_query(
+    ds: &Dataset,
+    query: &bat_layout::Query,
+    deadline: Option<Instant>,
+    tx: &mpsc::SyncSender<Reply>,
+) {
+    // Cache admission follows the query class: interactive reads may
+    // evict bulk pages, never the other way around.
+    let _prio = cache::set_thread_priority(query_priority(query));
+    // The `serve.exec` failpoint: `delay:MS` stalls execution on the
+    // worker — after the deadline clock started — which is how the fault
+    // suite proves deadlines fire.
+    if let Err(e) = bat_faults::fire_io("serve.exec") {
+        let _ = tx.send(Reply::Failed(ServeError::Io(e)));
+        return;
+    }
+    let plan = match QueryPlan::new(ds, query) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = tx.send(Reply::Failed(e));
+            return;
+        }
+    };
+    let num_attrs = ds.descs().len();
+    let mut chunk = Chunk {
+        positions: Vec::with_capacity(CHUNK_POINTS),
+        attrs: Vec::with_capacity(CHUNK_POINTS * num_attrs),
+        num_attrs,
+    };
+    let mut receiver_gone = false;
+    let result = plan.execute(deadline, |p| {
+        if receiver_gone {
+            return;
+        }
+        chunk.positions.push(p.position);
+        chunk.attrs.extend_from_slice(p.attrs);
+        if chunk.len() == CHUNK_POINTS {
+            let full = std::mem::take(&mut chunk);
+            chunk.num_attrs = num_attrs;
+            chunk.positions.reserve(CHUNK_POINTS);
+            if tx.send(Reply::Chunk(full)).is_err() {
+                receiver_gone = true;
+            }
+        }
+    });
+    if receiver_gone {
+        return;
+    }
+    match result {
+        Ok(stats) => {
+            if !chunk.is_empty() {
+                let last = std::mem::take(&mut chunk);
+                if tx.send(Reply::Chunk(last)).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send(Reply::Done {
+                points: stats.points_returned,
+            });
+        }
+        Err(e) => {
+            let _ = tx.send(Reply::Failed(e));
+        }
+    }
 }

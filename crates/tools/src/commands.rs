@@ -365,6 +365,19 @@ fn stats_demo(args: &[String]) -> Result<()> {
     let mid = lo + 0.5 * (hi - lo);
     ds.query(&Query::new().with_filter(0, lo, mid), |_| {})
         .map_err(|e| e.to_string())?;
+
+    // And the serving layer: plan a bounded query (plan.* counters), then
+    // execute it twice against a small treelet cache so both the cold
+    // (cache.misses) and warm (cache.hits) paths record.
+    ds.set_cache(Some(bat_serve::PageCache::new(8 << 20)));
+    let bounded = Query::new().with_bounds(bat_geom::Aabb::new(
+        bat_geom::Vec3::ZERO,
+        bat_geom::Vec3::splat(0.4),
+    ));
+    let plan = bat_serve::QueryPlan::new(&ds, &bounded).map_err(|e| e.to_string())?;
+    for _ in 0..2 {
+        plan.execute(None, |_| {}).map_err(|e| e.to_string())?;
+    }
     std::fs::remove_dir_all(&dir).ok();
 
     let snap = reg.snapshot();
@@ -377,6 +390,92 @@ fn stats_demo(args: &[String]) -> Result<()> {
         print!("{}", snap.to_table());
     }
     Ok(())
+}
+
+/// `bat serve` — serve a dataset to stream clients through the bounded
+/// bat-serve front-end (worker pool, bounded queue, treelet cache).
+pub fn serve(args: &[String]) -> Result<()> {
+    let (dir, basename) = match (args.first(), args.get(1)) {
+        (Some(d), Some(b)) => (d.clone(), b.clone()),
+        _ => return Err("expected <dir> <basename>".into()),
+    };
+    let rest = &args[2..];
+    let mut addr = "127.0.0.1:4927".to_string();
+    let mut options = bat_serve::ServeOptions::from_env();
+    let mut cache_bytes: Option<usize> = None;
+    let mut smoke = false;
+    let mut it = rest.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--workers" => {
+                options.workers = Some(next_f64(&mut it, "--workers")?.max(1.0) as usize)
+            }
+            "--queue" => {
+                options.queue_depth = Some(next_f64(&mut it, "--queue")?.max(1.0) as usize)
+            }
+            "--deadline-ms" => {
+                options.deadline = Some(std::time::Duration::from_millis(next_f64(
+                    &mut it,
+                    "--deadline-ms",
+                )? as u64))
+            }
+            "--cache-bytes" => {
+                let raw = it.next().ok_or("--cache-bytes needs a size")?;
+                cache_bytes = Some(
+                    bat_serve::cache::parse_bytes(raw)
+                        .ok_or_else(|| format!("--cache-bytes: bad size '{raw}'"))?,
+                );
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if let Some(bytes) = cache_bytes {
+        options.cache = (bytes > 0).then(|| bat_serve::PageCache::new(bytes));
+    }
+
+    let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+    let particles = ds.num_particles();
+    let server = bat_stream::StreamServer::bind_with(&addr, ds, options.clone())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let handle = server.spawn().map_err(|e| format!("start server: {e}"))?;
+    println!(
+        "serving {particles} particles on {bound} (workers {}, queue {}, deadline {}, cache {})",
+        options
+            .workers
+            .map_or("auto".to_string(), |w| w.to_string()),
+        options
+            .queue_depth
+            .map_or("default".to_string(), |q| q.to_string()),
+        options
+            .deadline
+            .map_or("none".to_string(), |d| format!("{d:?}")),
+        cache_bytes.map_or_else(
+            || std::env::var("BAT_CACHE_BYTES").unwrap_or_else(|_| "off".into()),
+            |b| format!("{b} B")
+        ),
+    );
+    if smoke {
+        // Smoke mode: prove the serving loop end to end with one local
+        // client, then drain and exit (used by CI and the tests).
+        let mut client = bat_stream::StreamClient::connect(bound)
+            .map_err(|e| format!("smoke client connect: {e}"))?;
+        let n = client
+            .request_with_retry(&Query::new().with_quality(0.2), 8, |_| {})
+            .map_err(|e| format!("smoke request: {e}"))?;
+        drop(client);
+        handle.shutdown();
+        println!("smoke: streamed {n} points, server drained cleanly");
+        return Ok(());
+    }
+    // Serve until killed; the handle's Drop path still drains cleanly.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn next_f64(it: &mut std::iter::Peekable<std::slice::Iter<String>>, opt: &str) -> Result<f64> {

@@ -9,6 +9,8 @@
 //! batcli stats  <dir> <basename>            layout overhead breakdown per file
 //! batcli stats  [--json]                    run an instrumented demo write/read and
 //!                                           print the per-phase metrics breakdown
+//! batcli serve  <dir> <basename> [options]  serve the dataset to stream clients
+//!                                           (bounded pool, treelet cache, deadlines)
 //! batcli density <dir> <basename>           ASCII density projection
 //! ```
 //!
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "verify" => commands::verify(rest),
         "query" => commands::query(rest),
         "stats" => commands::stats(rest),
+        "serve" => commands::serve(rest),
         "density" => commands::density(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -64,5 +67,8 @@ USAGE:
     batcli stats  <dir> <basename>
     batcli stats  [--json]            (no dataset: instrumented demo write/read,
                                        prints the per-phase metrics breakdown)
+    batcli serve  <dir> <basename> [--addr HOST:PORT] [--workers N] [--queue N]
+                                   [--deadline-ms MS] [--cache-bytes N[k|m|g]]
+                                   [--smoke]
     batcli density <dir> <basename> [--quality Q]"
 }

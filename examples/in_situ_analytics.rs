@@ -93,8 +93,8 @@ fn main() -> std::io::Result<()> {
     let ds = Dataset::open(&dir, "insitu")?;
     let total = ds.num_particles();
     let server = StreamServer::bind("127.0.0.1:0", ds)?;
-    let addr = server.local_addr();
-    let handle = server.spawn();
+    let addr = server.local_addr()?;
+    let handle = server.spawn()?;
     let mut client = StreamClient::connect(addr)?;
     println!(
         "\nstreaming server on {addr}: schema has {} attributes",
@@ -104,10 +104,12 @@ fn main() -> std::io::Result<()> {
     let mut prev = 0.0;
     for i in 1..=4 {
         let q = i as f64 / 4.0;
-        let got = client.request(
-            &Query::new().with_prev_quality(prev).with_quality(q),
-            |_chunk| {},
-        )?;
+        let got = client
+            .request(
+                &Query::new().with_prev_quality(prev).with_quality(q),
+                |_chunk| {},
+            )
+            .map_err(std::io::Error::other)?;
         shown += got;
         println!("  quality {q:.2}: +{got} points ({shown}/{total} on screen)");
         prev = q;

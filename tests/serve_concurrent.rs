@@ -1,0 +1,369 @@
+//! Concurrent serving: the bat-serve front-end must return byte-identical
+//! results no matter the cache configuration (disabled, ample, or a
+//! one-page thrashing budget) or worker-pool size, while backpressure and
+//! deadlines stay observable as typed protocol errors.
+
+mod common;
+
+use bat_comm::Cluster;
+use bat_geom::{Aabb, Vec3};
+use bat_layout::Query;
+use bat_serve::{PageCache, ServeOptions};
+use bat_stream::{RequestError, StreamClient, StreamServer, ERR_BAD_QUERY, ERR_DEADLINE};
+use bat_workloads::{uniform, RankGrid};
+use common::ScratchDir;
+use libbat::write::{write_particles, WriteConfig};
+use libbat::Dataset;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+const PER_RANK: u64 = 1_500;
+
+fn write_sample(dir: &std::path::Path) {
+    let grid = RankGrid::new_3d(RANKS, Aabb::unit());
+    let dir = dir.to_path_buf();
+    Cluster::run(RANKS, move |comm| {
+        let set = uniform::generate_rank(&grid, comm.rank(), PER_RANK, 11);
+        let cfg = WriteConfig::with_target_size(80_000, set.bytes_per_particle() as u64);
+        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "s")
+            .expect("write succeeds");
+    });
+}
+
+/// The query mix every client runs: a bulk full read, a spatial+attribute
+/// filtered read, and a low-quality interactive read — one per cache
+/// admission class.
+fn query_mix() -> Vec<Query> {
+    vec![
+        Query::new(),
+        Query::new()
+            .with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.5)))
+            .with_filter(0, 0.6, 1.4),
+        Query::new().with_quality(0.3),
+    ]
+}
+
+/// The exact bit stream a served query produced: every position and
+/// attribute value in arrival order.
+fn stream_bits(client: &mut StreamClient, q: &Query) -> Vec<u64> {
+    let mut bits = Vec::new();
+    client
+        .request_with_retry(q, 64, |c| {
+            for (i, p) in c.positions.iter().enumerate() {
+                bits.push(p.x.to_bits() as u64);
+                bits.push(p.y.to_bits() as u64);
+                bits.push(p.z.to_bits() as u64);
+                for a in 0..c.num_attrs {
+                    bits.push(c.attr(i, a).to_bits());
+                }
+            }
+        })
+        .expect("request succeeds");
+    bits
+}
+
+/// Serve the dataset under one (cache, workers) configuration and collect
+/// each query's bit stream from `clients` concurrent connections, each
+/// running the mix twice (cold then warm).
+fn serve_and_collect(
+    dir: &std::path::Path,
+    cache: Option<Arc<PageCache>>,
+    workers: usize,
+    clients: usize,
+) -> Vec<Vec<u64>> {
+    let ds = Dataset::open(dir, "s").unwrap();
+    // `None` must mean *no* cache even when BAT_CACHE_BYTES is exported
+    // (the CI eviction-stress job does exactly that).
+    ds.set_cache(cache.clone());
+    let options = ServeOptions {
+        workers: Some(workers),
+        queue_depth: Some(64),
+        deadline: None,
+        cache,
+    };
+    let handle = StreamServer::bind_with("127.0.0.1:0", ds, options)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = StreamClient::connect(addr).unwrap();
+                let mut runs = Vec::new();
+                for rep in 0..2 {
+                    for (qi, q) in query_mix().iter().enumerate() {
+                        let bits = stream_bits(&mut client, q);
+                        assert!(!bits.is_empty(), "query {qi} returned nothing");
+                        if rep == 0 {
+                            runs.push(bits);
+                        } else {
+                            assert_eq!(
+                                runs[qi], bits,
+                                "query {qi}: warm rerun diverged from cold run"
+                            );
+                        }
+                    }
+                }
+                runs
+            })
+        })
+        .collect();
+
+    let mut per_client: Vec<Vec<Vec<u64>>> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let reference = per_client.pop().unwrap();
+    for other in &per_client {
+        assert_eq!(
+            other, &reference,
+            "concurrent clients saw different streams"
+        );
+    }
+    handle.shutdown();
+    reference
+}
+
+#[test]
+fn byte_identical_across_cache_and_pool_configs() {
+    let scratch = ScratchDir::new("serve-ident");
+    write_sample(&scratch.path);
+
+    // Reference: direct (serverless) execution with the cache disabled.
+    let ds = Dataset::open(&scratch.path, "s").unwrap();
+    ds.set_cache(None);
+    let direct_counts: Vec<u64> = query_mix().iter().map(|q| ds.count(q).unwrap()).collect();
+    drop(ds);
+
+    let configs: Vec<(&str, Option<Arc<PageCache>>, usize)> = vec![
+        ("cache-off/1w", None, 1),
+        ("cache-off/4w", None, 4),
+        ("cache-8m/1w", Some(PageCache::new(8 << 20)), 1),
+        ("cache-8m/4w", Some(PageCache::new(8 << 20)), 4),
+        // One page: every treelet thrashes through eviction.
+        ("cache-1page/4w", Some(PageCache::new(4096)), 4),
+    ];
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for (name, cache, workers) in configs {
+        let streams = serve_and_collect(&scratch.path, cache, workers, 3);
+        for (qi, s) in streams.iter().enumerate() {
+            let attrs = 14; // uniform workload schema width
+            assert_eq!(
+                s.len() as u64 / (3 + attrs),
+                direct_counts[qi],
+                "{name}: query {qi} point count diverged from direct execution"
+            );
+        }
+        match &reference {
+            None => reference = Some(streams),
+            Some(r) => assert_eq!(
+                r, &streams,
+                "{name}: served bytes diverged from the first configuration"
+            ),
+        }
+    }
+}
+
+#[test]
+fn one_page_cache_stays_within_budget() {
+    let scratch = ScratchDir::new("serve-1page");
+    write_sample(&scratch.path);
+    let cache = PageCache::new(4096);
+    serve_and_collect(&scratch.path, Some(cache.clone()), 2, 2);
+    let s = cache.stats();
+    assert!(
+        s.bytes <= 4096,
+        "budget exceeded: {} bytes resident",
+        s.bytes
+    );
+    assert!(
+        s.evictions + s.rejected > 0,
+        "a one-page budget must thrash: {s:?}"
+    );
+}
+
+#[test]
+fn zero_deadline_expires_as_typed_error() {
+    let scratch = ScratchDir::new("serve-deadline");
+    write_sample(&scratch.path);
+    let ds = Dataset::open(&scratch.path, "s").unwrap();
+    let options = ServeOptions {
+        workers: Some(1),
+        queue_depth: Some(8),
+        deadline: Some(Duration::ZERO),
+        cache: None,
+    };
+    let handle = StreamServer::bind_with("127.0.0.1:0", ds, options)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = StreamClient::connect(handle.addr()).unwrap();
+    match client.request(&Query::new(), |_| {}) {
+        Err(RequestError::Server { code, message }) => {
+            assert_eq!(code, ERR_DEADLINE, "unexpected error: {message}");
+            assert!(message.contains("deadline"), "message: {message}");
+        }
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    // A typed failure must not kill the connection: the next request
+    // fails the same typed way instead of hitting a dead socket.
+    assert!(matches!(
+        client.request(&Query::new(), |_| {}),
+        Err(RequestError::Server { code, .. }) if code == ERR_DEADLINE
+    ));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_queries_are_typed_protocol_errors() {
+    let scratch = ScratchDir::new("serve-badquery");
+    write_sample(&scratch.path);
+    let ds = Dataset::open(&scratch.path, "s").unwrap();
+    let handle = StreamServer::bind_with("127.0.0.1:0", ds, ServeOptions::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = StreamClient::connect(handle.addr()).unwrap();
+    // Attribute index beyond the schema.
+    match client.request(&Query::new().with_filter(99, 0.0, 1.0), |_| {}) {
+        Err(RequestError::Server { code, .. }) => assert_eq!(code, ERR_BAD_QUERY),
+        other => panic!("expected bad-query error, got {other:?}"),
+    }
+    // Inverted filter range.
+    match client.request(&Query::new().with_filter(0, 1.0, -1.0), |_| {}) {
+        Err(RequestError::Server { code, .. }) => assert_eq!(code, ERR_BAD_QUERY),
+        other => panic!("expected bad-query error, got {other:?}"),
+    }
+    // The session is still usable for a valid query afterwards.
+    let total = client.request(&Query::new(), |_| {}).unwrap();
+    assert_eq!(total, RANKS as u64 * PER_RANK);
+    drop(client);
+    handle.shutdown();
+}
+
+/// Fault-injection cases: only compiled with the `failpoints` feature
+/// (`cargo test --features failpoints`). The fault registry is
+/// process-global, so these serialize behind a lock and reset on both
+/// acquire and drop.
+#[cfg(feature = "failpoints")]
+mod faults {
+    use super::*;
+    use bat_faults::FaultAction;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct FaultLock(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    fn faults() -> FaultLock {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        bat_faults::reset();
+        FaultLock(guard)
+    }
+
+    impl Drop for FaultLock {
+        fn drop(&mut self) {
+            bat_faults::reset();
+        }
+    }
+
+    #[test]
+    fn injected_latency_makes_deadlines_fire() {
+        let scratch = ScratchDir::new("serve-fault-deadline");
+        write_sample(&scratch.path);
+        let _guard = faults();
+        // Stall every worker execution 60 ms; the 10 ms deadline (started
+        // at submission) has always expired by the first treelet check.
+        bat_faults::configure_site("serve.exec", FaultAction::Delay(60), None, None, None, None);
+        let ds = Dataset::open(&scratch.path, "s").unwrap();
+        let options = ServeOptions {
+            workers: Some(1),
+            queue_depth: Some(8),
+            deadline: Some(Duration::from_millis(10)),
+            cache: None,
+        };
+        let handle = StreamServer::bind_with("127.0.0.1:0", ds, options)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = StreamClient::connect(handle.addr()).unwrap();
+        match client.request(&Query::new(), |_| {}) {
+            Err(RequestError::Server { code, message }) => {
+                assert_eq!(code, ERR_DEADLINE, "unexpected error: {message}");
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn saturated_queue_rejects_with_retry_after_then_recovers() {
+        let scratch = ScratchDir::new("serve-fault-busy");
+        write_sample(&scratch.path);
+        let _guard = faults();
+        // Each execution stalls 150 ms, so one worker plus a depth-1 queue
+        // saturates with two requests in flight.
+        bat_faults::configure_site(
+            "serve.exec",
+            FaultAction::Delay(150),
+            None,
+            None,
+            None,
+            None,
+        );
+        let ds = Dataset::open(&scratch.path, "s").unwrap();
+        let options = ServeOptions {
+            workers: Some(1),
+            queue_depth: Some(1),
+            deadline: None,
+            cache: None,
+        };
+        let handle = StreamServer::bind_with("127.0.0.1:0", ds, options)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = handle.addr();
+
+        // Two background clients occupy the worker and the queue slot.
+        let occupiers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = StreamClient::connect(addr).unwrap();
+                    c.request_with_retry(&Query::new(), 64, |_| {}).unwrap()
+                })
+            })
+            .collect();
+        // Give them time to submit (well under the 150 ms stall).
+        std::thread::sleep(Duration::from_millis(60));
+
+        // A third request must be refused with the retry hint — and a
+        // retrying client must eventually get the full answer.
+        let mut c = StreamClient::connect(addr).unwrap();
+        let mut saw_busy = false;
+        let mut hint = Duration::ZERO;
+        let total = loop {
+            match c.request(&Query::new(), |_| {}) {
+                Ok(n) => break n,
+                Err(RequestError::Busy { retry_after }) => {
+                    saw_busy = true;
+                    hint = retry_after;
+                    std::thread::sleep(retry_after);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert!(saw_busy, "a saturated queue must reject at least once");
+        assert!(hint > Duration::ZERO, "retry hint must be non-zero");
+        assert_eq!(total, RANKS as u64 * PER_RANK);
+        for t in occupiers {
+            assert_eq!(t.join().unwrap(), RANKS as u64 * PER_RANK);
+        }
+        drop(c);
+        handle.shutdown();
+    }
+}
