@@ -10,8 +10,10 @@
 //! viewer streams data (Fig. 4).
 
 use bat_aggregation::meta::MetaTree;
+use bat_iosim::ObjectStore;
 use bat_layout::reader::QueryStats;
-use bat_layout::{AttributeDesc, BatFile, PageCache, PointRecord, Query};
+use bat_layout::source::FileSource;
+use bat_layout::{cache, AttributeDesc, BatFile, PageCache, PointRecord, Query};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -31,6 +33,49 @@ enum CachePolicy {
     Disabled,
 }
 
+/// How a [`Dataset`] materializes leaf-file bytes (DESIGN.md §13).
+///
+/// Every backend returns byte-identical query results; they differ only in
+/// the I/O they issue. The default comes from `BAT_READ_BACKEND`
+/// (`mmap` | `owned` | `range-file` | `range-sim`), falling back to mmap.
+#[derive(Clone, Default)]
+pub enum ReadBackend {
+    /// Memory-map each leaf file (the paper's local read path).
+    #[default]
+    Mmap,
+    /// Read each leaf file into an owned buffer up front.
+    Owned,
+    /// Range requests (positioned reads) against the local file — remote
+    /// semantics over local bytes, for request/byte accounting.
+    RangeFile,
+    /// Range requests against an in-process simulated object store
+    /// ([`bat_iosim::ObjectStore`]); leaf files are uploaded on first open.
+    RangeSim(Arc<ObjectStore>),
+}
+
+impl ReadBackend {
+    /// The backend selected by `BAT_READ_BACKEND`, defaulting to mmap.
+    /// `range-sim` uses the process-global [`ObjectStore::global`].
+    pub fn from_env() -> ReadBackend {
+        match std::env::var("BAT_READ_BACKEND").as_deref() {
+            Ok("owned") => ReadBackend::Owned,
+            Ok("range-file") => ReadBackend::RangeFile,
+            Ok("range-sim") => ReadBackend::RangeSim(ObjectStore::global()),
+            _ => ReadBackend::Mmap,
+        }
+    }
+
+    /// The backend's `BAT_READ_BACKEND` spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadBackend::Mmap => "mmap",
+            ReadBackend::Owned => "owned",
+            ReadBackend::RangeFile => "range-file",
+            ReadBackend::RangeSim(_) => "range-sim",
+        }
+    }
+}
+
 /// A written timestep opened for visualization/analysis reads.
 pub struct Dataset {
     meta: MetaTree,
@@ -43,6 +88,8 @@ pub struct Dataset {
     excluded: Vec<u32>,
     /// Cache attachment for files opened after the policy was set.
     cache: Mutex<CachePolicy>,
+    /// Byte-access backend for files opened after the policy was set.
+    backend: Mutex<ReadBackend>,
 }
 
 impl Dataset {
@@ -58,7 +105,21 @@ impl Dataset {
             files: Mutex::new(HashMap::new()),
             excluded: Vec::new(),
             cache: Mutex::new(CachePolicy::default()),
+            backend: Mutex::new(ReadBackend::from_env()),
         })
+    }
+
+    /// Select how leaf files are materialized. Already-opened files are
+    /// dropped so they reopen under the new backend; in-flight queries
+    /// keep their handles and finish unaffected.
+    pub fn set_backend(&self, backend: ReadBackend) {
+        *self.backend.lock() = backend;
+        self.files.lock().clear();
+    }
+
+    /// The active read backend's name (`mmap`, `owned`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.lock().name()
     }
 
     /// Attach a treelet page cache to this dataset: `Some(cache)` makes
@@ -129,9 +190,29 @@ impl Dataset {
             ));
         }
         let path = self.dir.join(&self.meta.leaves[leaf as usize].file);
-        // `open` attaches the process-global cache; the dataset policy can
-        // replace or remove that attachment.
-        let opened = BatFile::open(&path)?;
+        // Every backend attaches the process-global cache (as `open` does
+        // for mmap); the dataset cache policy below can replace or remove
+        // that attachment.
+        let backend = self.backend.lock().clone();
+        let opened = match &backend {
+            ReadBackend::Mmap => BatFile::open(&path)?,
+            ReadBackend::Owned => BatFile::from_bytes(std::fs::read(&path)?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                .with_cache(cache::global()),
+            ReadBackend::RangeFile => BatFile::from_source(Arc::new(FileSource::open(&path)?))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                .with_cache(cache::global()),
+            ReadBackend::RangeSim(store) => {
+                // Upload (or refresh) the leaf's bytes under its absolute
+                // path, so distinct datasets never collide and a rewritten
+                // file never serves stale store content.
+                let key = path.to_string_lossy().into_owned();
+                store.put_file(&key, &path)?;
+                BatFile::from_source(store.source(&key)?)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                    .with_cache(cache::global())
+            }
+        };
         let opened = match &*self.cache.lock() {
             CachePolicy::Global => opened,
             CachePolicy::Attached(c) => opened.with_cache(Some(c.clone())),

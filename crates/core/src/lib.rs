@@ -74,7 +74,7 @@ pub mod read;
 pub mod verify;
 pub mod write;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, ReadBackend};
 pub use modeled::{model_read, model_write, ModeledOutcome};
 pub use verify::{verify_dataset, CommitState, LeafCheck, LeafStatus, VerifyReport};
 pub use write::{Strategy, WriteConfig, WriteReport};

@@ -30,11 +30,13 @@
 
 pub mod des;
 pub mod network;
+pub mod object_store;
 pub mod phases;
 pub mod profile;
 pub mod storage;
 
 pub use network::NetworkModel;
+pub use object_store::{ObjectStore, ObjectStoreConfig, StoreStats};
 pub use phases::{PhaseTimes, WritePhase};
 pub use profile::{ComputeProfile, StorageKind, StorageProfile, SystemProfile};
 pub use storage::StorageModel;

@@ -278,6 +278,18 @@ impl PageCache {
         }
     }
 
+    /// True when a block for `(file, treelet)` is resident. Pure probe:
+    /// touches neither recency nor the hit/miss counters, so planners
+    /// (e.g. the range-path prefetcher deciding what to fetch) can consult
+    /// the cache without distorting its statistics.
+    pub fn contains(&self, file: FileId, treelet: u32) -> bool {
+        let shard = self
+            .shard(file, treelet)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.map.contains_key(&(file, treelet))
+    }
+
     /// Offer a treelet block at `priority` (normally the thread priority
     /// of the executing query; see [`set_thread_priority`]). The charge is
     /// the block's 4 KiB page span. Eviction walks the shard's LRU list

@@ -455,8 +455,18 @@ pub fn write_bat(bat: &Bat) -> Vec<u8> {
     out
 }
 
-/// Parse the head of a compacted BAT file.
+/// Parse the head of a compacted BAT file from a buffer holding the whole
+/// file.
 pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
+    read_head_bounded(data, data.len())
+}
+
+/// Parse the file head from a buffer that holds *at least the head* of a
+/// file whose total length is `file_len` — the range-request open path
+/// fetches only the head bytes, so offset sanity checks (treelet offsets,
+/// allocation guards) must be made against the real file length rather
+/// than the buffer in hand.
+pub fn read_head_bounded(data: &[u8], file_len: usize) -> WireResult<FileHead> {
     let mut dec = Decoder::new(data);
     dec.expect_magic(MAGIC)?;
     let version = dec.get_u32("version")?;
@@ -467,11 +477,11 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
         });
     }
     let head_end = dec.get_u64("head end")?;
-    if head_end as usize > data.len() {
+    if head_end as usize > file_len {
         return Err(WireError::BadLength {
             what: "head end",
             len: head_end,
-            remaining: data.len(),
+            remaining: file_len,
         });
     }
     let num_particles = dec.get_u64("num particles")?;
@@ -486,11 +496,11 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
 
     // Guard allocation sizes against corrupt counts.
     let sane = |n: usize, what: &'static str| -> WireResult<usize> {
-        if n > data.len() {
+        if n > file_len {
             Err(WireError::BadLength {
                 what,
                 len: n as u64,
-                remaining: data.len(),
+                remaining: file_len,
             })
         } else {
             Ok(n)
@@ -516,7 +526,7 @@ pub fn read_head(data: &[u8]) -> WireResult<FileHead> {
 
     let mut leaves = Vec::with_capacity(num_leaves);
     for _ in 0..num_leaves {
-        leaves.push(LeafRec::decode(&mut dec, data.len())?);
+        leaves.push(LeafRec::decode(&mut dec, file_len)?);
     }
 
     let dict = BitmapDictionary::decode(&mut dec)?;

@@ -67,6 +67,7 @@ pub mod query;
 pub mod radix;
 pub mod reader;
 pub mod shallow;
+pub mod source;
 pub mod stats;
 pub mod treelet;
 
@@ -81,4 +82,7 @@ pub use particles::ParticleSet;
 pub use quantize::{quantize_positions, QuantizeReport};
 pub use query::{quality_to_depth, PointRecord, Query, QueryError};
 pub use reader::{BatFile, FilePlan, QueryScratch};
+pub use source::{
+    coalesce_ranges, ByteSource, FileSource, MemorySource, RangeConfig, RangeReader, RangeStats,
+};
 pub use stats::LayoutStats;

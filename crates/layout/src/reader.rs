@@ -14,6 +14,7 @@ use crate::cache::{self, PageCache};
 use crate::format::{self, FileHead, LeafRec, TreeletLayout};
 use crate::query::{contribution, quality_to_depth, PointRecord, Query};
 use crate::radix::NodeRef;
+use crate::source::{ByteSource, RangeConfig, RangeReader};
 use crate::treelet::NO_CHILD;
 use bat_geom::{Aabb, Vec3};
 use bat_wire::{Block, WireError, WireResult};
@@ -95,16 +96,39 @@ pub struct QueryScratch {
     attr_buf: Vec<f64>,
 }
 
+/// Where an opened file's bytes come from.
+///
+/// `Block` is the local path: the whole file is addressable as one
+/// zero-copy byte window (owned buffer, message payload, or memory map).
+/// `Range` is the remote path: only the head has been materialized, and
+/// treelet blocks are fetched on demand — or prefetched in coalesced
+/// requests — through a [`RangeReader`] (DESIGN.md §13).
+enum Backing {
+    Block(Block),
+    Range(RangeReader),
+}
+
+impl Backing {
+    fn len(&self) -> usize {
+        match self {
+            Backing::Block(b) => b.len(),
+            Backing::Range(r) => r.len() as usize,
+        }
+    }
+}
+
 /// An opened, compacted BAT file.
 ///
-/// The backing storage is one [`Block`] regardless of where the bytes came
-/// from — an owned buffer, a received message payload, or a memory map —
-/// so every open path shares the same zero-copy treelet access.
+/// The backing storage is either one [`Block`] (owned buffer, received
+/// message payload, or memory map) or a [`ByteSource`] reached through
+/// range requests; every open path shares the same treelet access and
+/// returns byte-identical query results.
 pub struct BatFile {
-    data: Block,
+    backing: Backing,
     head: FileHead,
     /// Treelet-block cache consulted before the backing block; see
-    /// [`crate::cache`]. `None` reads straight from the mapping.
+    /// [`crate::cache`]. `None` reads straight from the mapping (or, for
+    /// range backings, fetches per touch).
     cache: Option<Arc<PageCache>>,
     /// Process-unique id keying this open file's cache entries.
     file_id: cache::FileId,
@@ -122,7 +146,53 @@ impl BatFile {
     pub fn from_block(block: Block) -> WireResult<BatFile> {
         let head = format::read_head(&block)?;
         Ok(BatFile {
-            data: block,
+            backing: Backing::Block(block),
+            head,
+            cache: None,
+            file_id: cache::next_file_id(),
+        })
+    }
+
+    /// Open from a remote-style [`ByteSource`] with config from the
+    /// environment (`BAT_RANGE_*`; see [`RangeConfig::from_env`]).
+    ///
+    /// Only the file head is fetched here — typically one request for the
+    /// first page plus one for the rest of the head. Treelet blocks are
+    /// fetched on demand during execution, or ahead of it by
+    /// [`BatFile::prefetch`] in coalesced range requests.
+    pub fn from_source(source: Arc<dyn ByteSource>) -> WireResult<BatFile> {
+        BatFile::from_source_with(source, RangeConfig::from_env())
+    }
+
+    /// As [`BatFile::from_source`] with an explicit [`RangeConfig`].
+    pub fn from_source_with(source: Arc<dyn ByteSource>, cfg: RangeConfig) -> WireResult<BatFile> {
+        let reader = RangeReader::new(source, cfg);
+        let file_len = reader.len();
+        let io_err = |what: &'static str| {
+            move |e: std::io::Error| WireError::Io {
+                what,
+                message: e.to_string(),
+            }
+        };
+        // First request: one page, enough for the fixed header of any
+        // well-formed file. `head_end` sits at bytes 8..16.
+        let prefix_len = (file_len as usize).min(bat_wire::PAGE_SIZE);
+        let mut head_bytes = reader.fetch(0, prefix_len).map_err(io_err("file head"))?;
+        if head_bytes.len() >= 16 {
+            let head_end =
+                u64::from_le_bytes(head_bytes[8..16].try_into().expect("len 8")) as usize;
+            if head_end > head_bytes.len() && head_end as u64 <= file_len {
+                let rest = reader
+                    .fetch(prefix_len as u64, head_end - prefix_len)
+                    .map_err(io_err("file head"))?;
+                head_bytes.extend_from_slice(&rest);
+            }
+            // An out-of-bounds head_end falls through to the parser, which
+            // reports it as a typed BadLength.
+        }
+        let head = format::read_head_bounded(&head_bytes, file_len as usize)?;
+        Ok(BatFile {
+            backing: Backing::Range(reader),
             head,
             cache: None,
             file_id: cache::next_file_id(),
@@ -165,9 +235,21 @@ impl BatFile {
         self.file_id
     }
 
-    /// The backing block (shared, zero-copy).
-    pub fn block(&self) -> &Block {
-        &self.data
+    /// The backing block (shared, zero-copy), when the file is block-backed.
+    /// Range-backed files have no whole-file buffer and return `None`.
+    pub fn block(&self) -> Option<&Block> {
+        match &self.backing {
+            Backing::Block(b) => Some(b),
+            Backing::Range(_) => None,
+        }
+    }
+
+    /// Cumulative range-request counters, when the file is range-backed.
+    pub fn range_stats(&self) -> Option<crate::source::RangeStats> {
+        match &self.backing {
+            Backing::Block(_) => None,
+            Backing::Range(r) => Some(r.stats()),
+        }
     }
 
     /// Parsed file head (schema, ranges, shallow tree, dictionary).
@@ -180,9 +262,9 @@ impl BatFile {
         self.head.num_particles
     }
 
-    /// Raw byte size of the backing buffer.
+    /// Raw byte size of the backing buffer or remote object.
     pub fn byte_size(&self) -> usize {
-        self.data.len()
+        self.backing.len()
     }
 
     /// Domain bounds the layout was built over.
@@ -333,10 +415,52 @@ impl BatFile {
             ..QueryStats::default()
         };
         let mut scratch = QueryScratch::default();
+        self.prefetch(plan);
         for &t in &plan.treelets {
             self.execute_treelet(q, plan, t, &mut scratch, &mut stats, &mut cb)?;
         }
         Ok(stats)
+    }
+
+    /// Speculatively fetch the plan's treelet blocks in coalesced range
+    /// requests (a no-op for block-backed files, where the bytes are
+    /// already addressable). Serving layers call this once per planned
+    /// file before the treelet-at-a-time execution loop, so a remote
+    /// backend sees a handful of merged GETs instead of one per treelet.
+    ///
+    /// Best-effort: blocks already resident in the attached cache or the
+    /// staging area are skipped, and fetch failures are deferred to the
+    /// demand path (which retries and returns the typed error).
+    pub fn prefetch(&self, plan: &FilePlan) {
+        let Backing::Range(reader) = &self.backing else {
+            return;
+        };
+        if !reader.config().prefetch {
+            return;
+        }
+        let mut wanted: Vec<(u32, u64, usize)> = Vec::with_capacity(plan.treelets.len());
+        for &t in &plan.treelets {
+            if reader.is_staged(t) {
+                continue;
+            }
+            if let Some(cache) = &self.cache {
+                if cache.contains(self.file_id, t) {
+                    continue;
+                }
+            }
+            let Some(leaf) = self.head.leaves.get(t as usize) else {
+                continue;
+            };
+            let layout = TreeletLayout::compute(
+                leaf.num_nodes as usize,
+                leaf.num_particles as usize,
+                &self.head.descs,
+            );
+            if leaf.offset as usize + layout.size <= self.backing.len() {
+                wanted.push((t, leaf.offset, layout.size));
+            }
+        }
+        reader.prefetch_blocks(&wanted);
     }
 
     /// Materialize and scan one planned treelet, accumulating into
@@ -498,11 +622,11 @@ impl BatFile {
         );
         let start = leaf.offset as usize;
         let end = start + layout.size;
-        if end > self.data.len() {
+        if end > self.backing.len() {
             return Err(WireError::Truncated {
                 what: "treelet block",
                 needed: end,
-                remaining: self.data.len(),
+                remaining: self.backing.len(),
             });
         }
         // Pre-slice the block's sections once: every per-point access below
@@ -510,18 +634,30 @@ impl BatFile {
         // construction, and node-supplied indices are range-checked against
         // `num_points`/`num_nodes` before use, so corrupt files surface as
         // errors, never panics).
-        let block: &'a [u8] = match &self.cache {
-            Some(cache) => {
-                if let Some(arc) = cache.get(self.file_id, treelet) {
-                    // A stale entry can only disagree in length if the file
-                    // was rewritten under a reused id, which `FileId` makes
-                    // impossible; the check still guards cache corruption.
-                    if arc.len() == layout.size {
-                        stats.cache_hits += 1;
-                        storage.insert(arc).as_slice()
+        let block: &'a [u8] = match &self.backing {
+            Backing::Block(data) => match &self.cache {
+                Some(cache) => {
+                    if let Some(arc) = cache.get(self.file_id, treelet) {
+                        // A stale entry can only disagree in length if the file
+                        // was rewritten under a reused id, which `FileId` makes
+                        // impossible; the check still guards cache corruption.
+                        if arc.len() == layout.size {
+                            stats.cache_hits += 1;
+                            storage.insert(arc).as_slice()
+                        } else {
+                            stats.cache_misses += 1;
+                            let copy = Arc::new(data[start..end].to_vec());
+                            cache.insert(
+                                self.file_id,
+                                treelet,
+                                copy.clone(),
+                                cache::thread_priority(),
+                            );
+                            storage.insert(copy).as_slice()
+                        }
                     } else {
                         stats.cache_misses += 1;
-                        let copy = Arc::new(self.data[start..end].to_vec());
+                        let copy = Arc::new(data[start..end].to_vec());
                         cache.insert(
                             self.file_id,
                             treelet,
@@ -530,19 +666,13 @@ impl BatFile {
                         );
                         storage.insert(copy).as_slice()
                     }
-                } else {
-                    stats.cache_misses += 1;
-                    let copy = Arc::new(self.data[start..end].to_vec());
-                    cache.insert(
-                        self.file_id,
-                        treelet,
-                        copy.clone(),
-                        cache::thread_priority(),
-                    );
-                    storage.insert(copy).as_slice()
                 }
+                None => &data[start..end],
+            },
+            Backing::Range(reader) => {
+                let arc = self.range_block(reader, treelet, start, layout.size, stats)?;
+                storage.insert(arc).as_slice()
             }
-            None => &self.data[start..end],
         };
         let num_nodes = leaf.num_nodes as usize;
         let num_points = leaf.num_particles as usize;
@@ -568,6 +698,45 @@ impl BatFile {
             // the OS faults in on the mmap read path.
             pages_4k: bat_wire::pages_spanned(start, end),
         })
+    }
+
+    /// Materialize one treelet block over a range backing: attached cache
+    /// first, then the prefetch staging area (promoting the block into the
+    /// cache), then a demand range request. The verified-length fetch
+    /// guarantees the returned block is exactly `size` bytes — a torn
+    /// response becomes a typed error, never a short block.
+    fn range_block(
+        &self,
+        reader: &RangeReader,
+        treelet: u32,
+        start: usize,
+        size: usize,
+        stats: &mut QueryStats,
+    ) -> WireResult<Arc<Vec<u8>>> {
+        if let Some(cache) = &self.cache {
+            if let Some(arc) = cache.get(self.file_id, treelet) {
+                if arc.len() == size {
+                    stats.cache_hits += 1;
+                    return Ok(arc);
+                }
+            }
+        }
+        let arc = match reader.take_staged(treelet) {
+            Some(arc) if arc.len() == size => arc,
+            _ => Arc::new(
+                reader
+                    .fetch(start as u64, size)
+                    .map_err(|e| WireError::Io {
+                        what: "treelet block",
+                        message: e.to_string(),
+                    })?,
+            ),
+        };
+        if let Some(cache) = &self.cache {
+            stats.cache_misses += 1;
+            cache.insert(self.file_id, treelet, arc.clone(), cache::thread_priority());
+        }
+        Ok(arc)
     }
 }
 
@@ -881,6 +1050,72 @@ mod tests {
         let q = Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.4)));
         assert_eq!(mapped.count(&q).unwrap(), file.count(&q).unwrap());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn range_source_matches_block_backing() {
+        use crate::source::MemorySource;
+        let (bat, file) = build(12_000, 20);
+        let src = Arc::new(MemorySource::new(bat.to_bytes()));
+        let cfg = RangeConfig {
+            backoff_ms: 0,
+            ..RangeConfig::default()
+        };
+        let ranged = BatFile::from_source_with(src.clone(), cfg.clone()).unwrap();
+        let queries = [
+            Query::new(),
+            Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.5))),
+            Query::new().with_filter(0, 10.0, 70.0).with_quality(0.4),
+        ];
+        for q in &queries {
+            let mut a: Vec<u64> = Vec::new();
+            let mut b: Vec<u64> = Vec::new();
+            file.query(q, |p| a.push(p.index)).unwrap();
+            ranged.query(q, |p| b.push(p.index)).unwrap();
+            assert_eq!(a, b);
+        }
+        let s = ranged.range_stats().unwrap();
+        assert!(s.requests > 0);
+        assert!(s.bytes_fetched > 0);
+        assert!(
+            s.prefetch_hits > 0,
+            "execute_plan should consume prefetches"
+        );
+        assert!(s.retries == 0);
+
+        // With a cache attached, repeat reads hit the cache instead of the
+        // source: request count stays flat on the second pass.
+        let cached = BatFile::from_source_with(src, cfg)
+            .unwrap()
+            .with_cache(Some(PageCache::new(64 << 20)));
+        let first = cached.query(&Query::new(), |_| {}).unwrap();
+        let reqs_after_first = cached.range_stats().unwrap().requests;
+        let second = cached.query(&Query::new(), |_| {}).unwrap();
+        assert_eq!(first.points_returned, second.points_returned);
+        assert!(second.cache_hits > 0);
+        assert_eq!(cached.range_stats().unwrap().requests, reqs_after_first);
+    }
+
+    #[test]
+    fn truncated_source_is_a_typed_error() {
+        use crate::source::MemorySource;
+        let (bat, _) = build(5_000, 21);
+        let bytes = bat.to_bytes();
+        // Cut the object short of the last treelet: the head parses (its
+        // offsets are validated against the *claimed* length), but
+        // execution must fail with a typed error, never panic.
+        let head_end = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let cut = (head_end + (bytes.len() - head_end) / 2).min(bytes.len() - 1);
+        let src = Arc::new(MemorySource::new(bytes[..cut].to_vec()));
+        let cfg = RangeConfig {
+            backoff_ms: 0,
+            ..RangeConfig::default()
+        };
+        // Err(_) on open (head no longer fits) is also an acceptable typed
+        // failure; only a successfully opened file must fail at query time.
+        if let Ok(f) = BatFile::from_source_with(src, cfg) {
+            assert!(f.query(&Query::new(), |_| {}).is_err());
+        }
     }
 
     #[test]

@@ -204,6 +204,12 @@ impl QueryPlan {
             stats.nodes_visited += pf.plan.shallow_nodes_visited;
             stats.bitmap_hits += pf.plan.shallow_bitmap_hits;
             stats.bitmap_skips += pf.plan.pruned_bitmap;
+            // Range-backed files fetch the whole plan in a few coalesced
+            // requests before the treelet loop; a no-op for local
+            // (block-backed) files. Files are already in overlap order, so
+            // the speculative bytes are the most likely to be consumed
+            // before any deadline fires.
+            pf.file.prefetch(&pf.plan);
             let mut scratch = QueryScratch::default();
             for &t in pf.plan.treelets() {
                 if deadline.is_some_and(|d| Instant::now() >= d) {

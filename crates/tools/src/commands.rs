@@ -404,6 +404,7 @@ pub fn serve(args: &[String]) -> Result<()> {
     let mut options = bat_serve::ServeOptions::from_env();
     let mut cache_bytes: Option<usize> = None;
     let mut smoke = false;
+    let mut backend: Option<libbat::ReadBackend> = None;
     let mut it = rest.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -428,6 +429,23 @@ pub fn serve(args: &[String]) -> Result<()> {
                 );
             }
             "--smoke" => smoke = true,
+            "--backend" => {
+                let raw = it.next().ok_or("--backend needs a name")?;
+                backend = Some(match raw.as_str() {
+                    "mmap" => libbat::ReadBackend::Mmap,
+                    "owned" => libbat::ReadBackend::Owned,
+                    "range-file" => libbat::ReadBackend::RangeFile,
+                    "range-sim" => {
+                        libbat::ReadBackend::RangeSim(libbat::iosim::ObjectStore::global())
+                    }
+                    other => {
+                        return Err(format!(
+                            "--backend: unknown backend '{other}' \
+                             (mmap | owned | range-file | range-sim)"
+                        ))
+                    }
+                });
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -436,7 +454,11 @@ pub fn serve(args: &[String]) -> Result<()> {
     }
 
     let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+    if let Some(b) = backend {
+        ds.set_backend(b);
+    }
     let particles = ds.num_particles();
+    let backend_name = ds.backend_name();
     let server = bat_stream::StreamServer::bind_with(&addr, ds, options.clone())
         .map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server
@@ -444,7 +466,8 @@ pub fn serve(args: &[String]) -> Result<()> {
         .map_err(|e| format!("local addr: {e}"))?;
     let handle = server.spawn().map_err(|e| format!("start server: {e}"))?;
     println!(
-        "serving {particles} particles on {bound} (workers {}, queue {}, deadline {}, cache {})",
+        "serving {particles} particles on {bound} \
+         (backend {backend_name}, workers {}, queue {}, deadline {}, cache {})",
         options
             .workers
             .map_or("auto".to_string(), |w| w.to_string()),

@@ -69,6 +69,7 @@ USAGE:
                                        prints the per-phase metrics breakdown)
     batcli serve  <dir> <basename> [--addr HOST:PORT] [--workers N] [--queue N]
                                    [--deadline-ms MS] [--cache-bytes N[k|m|g]]
+                                   [--backend mmap|owned|range-file|range-sim]
                                    [--smoke]
     batcli density <dir> <basename> [--quality Q]"
 }

@@ -62,6 +62,15 @@ pub enum WireError {
         /// The offending tag value.
         tag: u64,
     },
+    /// An I/O request backing the decode failed (e.g. a range request
+    /// against a remote byte source, after its retry budget).
+    Io {
+        /// What was being read.
+        what: &'static str,
+        /// The underlying error, rendered (kept as a string so the error
+        /// type stays `Clone + PartialEq`).
+        message: String,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -95,6 +104,7 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::BadTag { what, tag } => write!(f, "bad tag for {what}: {tag}"),
+            WireError::Io { what, message } => write!(f, "i/o error reading {what}: {message}"),
         }
     }
 }

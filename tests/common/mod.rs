@@ -1,6 +1,10 @@
 //! Shared helpers for the integration tests.
 
-use std::path::PathBuf;
+use bat_comm::Cluster;
+use bat_geom::Aabb;
+use bat_workloads::{uniform, Cosmology, RankGrid};
+use libbat::write::{write_particles, WriteConfig};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -24,6 +28,123 @@ impl Drop for ScratchDir {
     fn drop(&mut self) {
         std::fs::remove_dir_all(&self.path).ok();
     }
+}
+
+/// Workload shape for [`build_test_dataset`].
+#[allow(dead_code)] // not every test binary that includes this module uses it
+pub enum Workload {
+    /// `uniform::generate_rank` — evenly distributed particles.
+    Uniform {
+        /// Particles per rank.
+        per_rank: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `Cosmology` — clustered halos, the workload the paper's adaptive
+    /// layout (and the range coalescer) is built for.
+    Cosmology {
+        /// Total particles across all ranks.
+        n_particles: u64,
+        /// Halo count.
+        n_halos: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Knobs for [`build_test_dataset`]; `..Default::default()` covers the
+/// common case (4 ranks, ~80 KB target files, basename "s").
+pub struct BuildOpts {
+    /// Tag for the scratch directory name.
+    pub tag: &'static str,
+    /// Cluster size to write with.
+    pub ranks: usize,
+    /// Target leaf-file size handed to [`WriteConfig::with_target_size`].
+    pub target_file_bytes: u64,
+    /// Dataset basename.
+    pub basename: &'static str,
+}
+
+impl Default for BuildOpts {
+    fn default() -> BuildOpts {
+        BuildOpts {
+            tag: "dataset",
+            ranks: 4,
+            target_file_bytes: 80_000,
+            basename: "s",
+        }
+    }
+}
+
+/// Write one dataset of `workload` into a fresh scratch directory (the
+/// shared fixture behind the serving/identity/fault integration tests —
+/// one implementation of the write-side boilerplate instead of a copy per
+/// test binary). Open it with `Dataset::open(&scratch.path, opts.basename)`.
+#[allow(dead_code)] // not every test binary that includes this module uses it
+pub fn build_test_dataset(workload: &Workload, opts: &BuildOpts) -> ScratchDir {
+    let scratch = ScratchDir::new(opts.tag);
+    write_dataset_into(&scratch.path, workload, opts);
+    scratch
+}
+
+/// [`build_test_dataset`] into an existing directory (for tests that need
+/// to control the directory's lifetime themselves).
+#[allow(dead_code)] // not every test binary that includes this module uses it
+pub fn write_dataset_into(dir: &Path, workload: &Workload, opts: &BuildOpts) {
+    let dir = dir.to_path_buf();
+    let basename = opts.basename;
+    let target = opts.target_file_bytes;
+    match *workload {
+        Workload::Uniform { per_rank, seed } => {
+            let grid = RankGrid::new_3d(opts.ranks, Aabb::unit());
+            Cluster::run(opts.ranks, move |comm| {
+                let set = uniform::generate_rank(&grid, comm.rank(), per_rank, seed);
+                let cfg = WriteConfig::with_target_size(target, set.bytes_per_particle() as u64);
+                write_particles(
+                    &comm,
+                    set,
+                    grid.bounds_of(comm.rank()),
+                    &cfg,
+                    &dir,
+                    basename,
+                )
+                .expect("write succeeds");
+            });
+        }
+        Workload::Cosmology {
+            n_particles,
+            n_halos,
+            seed,
+        } => {
+            let cosmo = Cosmology::new(n_particles, n_halos, seed);
+            let grid = cosmo.grid(opts.ranks);
+            Cluster::run(opts.ranks, move |comm| {
+                let set = cosmo.generate_rank(&grid, comm.rank());
+                let cfg = WriteConfig::with_target_size(target, set.bytes_per_particle() as u64);
+                write_particles(
+                    &comm,
+                    set,
+                    grid.bounds_of(comm.rank()),
+                    &cfg,
+                    &dir,
+                    basename,
+                )
+                .expect("write succeeds");
+            });
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte stream — the fingerprint the identity matrix
+/// and bench gates compare across reader backends.
+#[allow(dead_code)] // not every test binary that includes this module uses it
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Order-independent fingerprint of a particle set: sums of positions and

@@ -5,14 +5,11 @@
 
 mod common;
 
-use bat_comm::Cluster;
 use bat_geom::{Aabb, Vec3};
 use bat_layout::Query;
 use bat_serve::{PageCache, ServeOptions};
 use bat_stream::{RequestError, StreamClient, StreamServer, ERR_BAD_QUERY, ERR_DEADLINE};
-use bat_workloads::{uniform, RankGrid};
-use common::ScratchDir;
-use libbat::write::{write_particles, WriteConfig};
+use common::{BuildOpts, ScratchDir, Workload};
 use libbat::Dataset;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,14 +18,17 @@ const RANKS: usize = 4;
 const PER_RANK: u64 = 1_500;
 
 fn write_sample(dir: &std::path::Path) {
-    let grid = RankGrid::new_3d(RANKS, Aabb::unit());
-    let dir = dir.to_path_buf();
-    Cluster::run(RANKS, move |comm| {
-        let set = uniform::generate_rank(&grid, comm.rank(), PER_RANK, 11);
-        let cfg = WriteConfig::with_target_size(80_000, set.bytes_per_particle() as u64);
-        write_particles(&comm, set, grid.bounds_of(comm.rank()), &cfg, &dir, "s")
-            .expect("write succeeds");
-    });
+    common::write_dataset_into(
+        dir,
+        &Workload::Uniform {
+            per_rank: PER_RANK,
+            seed: 11,
+        },
+        &BuildOpts {
+            ranks: RANKS,
+            ..BuildOpts::default()
+        },
+    );
 }
 
 /// The query mix every client runs: a bulk full read, a spatial+attribute
