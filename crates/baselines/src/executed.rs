@@ -15,7 +15,7 @@ use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 /// File-per-process write: every rank writes `basename.<rank>.raw`.
-pub fn fpp_write(comm: &Comm, set: &ParticleSet, dir: &Path, basename: &str) -> io::Result<()> {
+pub fn fpp_write(comm: &dyn Comm, set: &ParticleSet, dir: &Path, basename: &str) -> io::Result<()> {
     let mut enc = Encoder::with_capacity(set.raw_bytes() + 64);
     set.encode(&mut enc);
     std::fs::write(
@@ -27,7 +27,7 @@ pub fn fpp_write(comm: &Comm, set: &ParticleSet, dir: &Path, basename: &str) -> 
 }
 
 /// File-per-process read: every rank reads its own file back.
-pub fn fpp_read(comm: &Comm, dir: &Path, basename: &str) -> io::Result<ParticleSet> {
+pub fn fpp_read(comm: &dyn Comm, dir: &Path, basename: &str) -> io::Result<ParticleSet> {
     let bytes = std::fs::read(dir.join(format!("{basename}.{:05}.raw", comm.rank())))?;
     let set = ParticleSet::decode(&mut Decoder::new(&bytes))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -39,7 +39,7 @@ pub fn fpp_read(comm: &Comm, dir: &Path, basename: &str) -> io::Result<ParticleS
 /// payload sizes, rank 0 creates the file, and everyone writes its extent
 /// at its offset (`pwrite`). Returns the rank's `(offset, len)`.
 pub fn shared_write(
-    comm: &Comm,
+    comm: &dyn Comm,
     set: &ParticleSet,
     dir: &Path,
     name: &str,
@@ -81,7 +81,7 @@ pub fn shared_write(
 }
 
 /// Single-shared-file read: every rank reads its own extent back.
-pub fn shared_read(comm: &Comm, dir: &Path, name: &str) -> io::Result<ParticleSet> {
+pub fn shared_read(comm: &dyn Comm, dir: &Path, name: &str) -> io::Result<ParticleSet> {
     let file = std::fs::File::open(dir.join(name))?;
     // Parse the extent table.
     let mut head = vec![0u8; header_len(comm.size()) as usize];

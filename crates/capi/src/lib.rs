@@ -235,9 +235,9 @@ pub unsafe extern "C" fn bat_writer_destroy(writer: *mut BatWriter) {
 // Virtual cluster + collective write/read
 // ---------------------------------------------------------------------------
 
-/// Opaque per-rank communicator handle (wraps `bat_comm::Comm`).
+/// Opaque per-rank communicator handle (wraps a `bat_comm::Comm` transport).
 pub struct BatComm {
-    comm: bat_comm::Comm,
+    comm: Box<dyn bat_comm::Comm>,
 }
 
 /// Run `ranks` virtual ranks; `body(rank, comm, user)` is invoked on each
@@ -315,7 +315,7 @@ pub unsafe extern "C" fn bat_write(
             w.bounds
         };
         let cfg = WriteConfig::with_target_size(w.target_bytes, set.bytes_per_particle() as u64);
-        match write_particles(&c.comm, set, bounds, &cfg, dir.as_ref(), basename) {
+        match write_particles(&*c.comm, set, bounds, &cfg, dir.as_ref(), basename) {
             Ok(report) => {
                 if !files_out.is_null() {
                     *files_out = report.files as u64;
@@ -373,7 +373,7 @@ pub unsafe extern "C" fn bat_read(
             Vec3::new(mn[0], mn[1], mn[2]),
             Vec3::new(mx[0], mx[1], mx[2]),
         );
-        match libbat::read::read_particles(&c.comm, bounds, dir.as_ref(), basename) {
+        match libbat::read::read_particles(&*c.comm, bounds, dir.as_ref(), basename) {
             Ok(set) => {
                 let na = set.num_attrs();
                 let mut attrs = vec![0.0f64; na];

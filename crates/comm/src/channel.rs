@@ -1,0 +1,162 @@
+//! The in-process channel transport: ranks are OS threads sharing one
+//! [`ClusterState`] of mailboxes. This is the original `bat-comm` fabric —
+//! synchronous eager delivery, shared poison flag — and the byte-identity
+//! reference the other transports are tested against.
+
+use crate::comm::{default_timeout, Comm, Message, ProbeInfo};
+use crate::error::CommError;
+use crate::state::{ClusterState, Mailbox};
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A rank handle on the in-process channel transport.
+#[derive(Clone)]
+pub struct ChannelComm {
+    pub(crate) state: Arc<ClusterState>,
+    pub(crate) rank: usize,
+    /// Deadline applied per bounded receive (`recv_bounded` and every
+    /// `try_*` collective). `None` = wait forever.
+    timeout: Option<Duration>,
+}
+
+impl ChannelComm {
+    pub(crate) fn new(state: Arc<ClusterState>, rank: usize) -> ChannelComm {
+        ChannelComm {
+            state,
+            rank,
+            timeout: default_timeout(),
+        }
+    }
+}
+
+impl Comm for ChannelComm {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.state.size
+    }
+
+    #[inline]
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    fn with_timeout(&self, timeout: Option<Duration>) -> Box<dyn Comm> {
+        Box::new(ChannelComm {
+            state: self.state.clone(),
+            rank: self.rank,
+            timeout,
+        })
+    }
+
+    fn clone_comm(&self) -> Box<dyn Comm> {
+        Box::new(self.clone())
+    }
+
+    fn transport(&self) -> &'static str {
+        "channel"
+    }
+
+    fn mark_dead(&self) {
+        self.state.mark_dead(self.rank);
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.state.is_dead(rank)
+    }
+
+    fn poison(&self) {
+        self.state.poison();
+    }
+
+    #[inline]
+    fn check_alive(&self) {
+        if self.state.is_poisoned() {
+            panic!("cluster poisoned: another rank panicked");
+        }
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, payload: Bytes) {
+        self.state.deliver(
+            dst,
+            Message {
+                src: self.rank,
+                tag,
+                payload,
+            },
+        );
+    }
+
+    fn recv_deadline_raw(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Message, CommError> {
+        let started = Instant::now();
+        let mb = &self.state.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if self.state.is_poisoned() {
+                panic!("cluster poisoned: another rank panicked");
+            }
+            if let Some(i) = Mailbox::find(&q, src, tag) {
+                return Ok(q.remove(i));
+            }
+            // Check for a dead source only after draining queued matches:
+            // messages sent before death are still deliverable.
+            if let Some(s) = src {
+                if self.state.is_dead(s) {
+                    return Err(CommError::PeerDead {
+                        rank: self.rank,
+                        peer: s,
+                        tag,
+                    });
+                }
+            }
+            match deadline {
+                None => mb.cv.wait(&mut q),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(CommError::Timeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    // Spurious wakeups and wakeups for non-matching
+                    // messages loop back around; the deadline re-check
+                    // above bounds the total wait.
+                    let _ = mb.cv.wait_for(&mut q, d - now);
+                }
+            }
+        }
+    }
+
+    fn try_recv_raw(&self, src: Option<usize>, tag: u32) -> Option<Message> {
+        let mb = &self.state.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| q.remove(i))
+    }
+
+    fn iprobe_raw(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
+        let mb = &self.state.mailboxes[self.rank];
+        let q = mb.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| ProbeInfo {
+            src: q[i].src,
+            tag: q[i].tag,
+            len: q[i].payload.len(),
+        })
+    }
+
+    fn next_ibarrier_generation(&self) -> u64 {
+        self.state.next_ibarrier_generation(self.rank)
+    }
+}

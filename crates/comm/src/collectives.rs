@@ -20,6 +20,11 @@
 //!   bounded number of deadlines instead of hanging the cluster
 //!   (DESIGN.md §11). With no timeout configured, `try_*` still fails
 //!   fast when a specific peer is marked dead.
+//!
+//! The algorithms live here as free functions generic over `C: Comm +
+//! ?Sized` (a default trait method cannot unsize `&Self` into `&dyn Comm`);
+//! the [`Comm`] trait's provided methods delegate to them, so every
+//! transport runs the exact same message schedules.
 
 use crate::comm::Comm;
 use crate::error::CommError;
@@ -33,211 +38,169 @@ const TAG_REDUCE: u32 = MAX_USER_TAG + 5;
 /// Barrier rounds occupy their own tag range (one tag per round).
 const TAG_BARRIER: u32 = MAX_USER_TAG + 0x100;
 
-impl Comm {
-    /// Blocking dissemination barrier.
-    pub fn barrier(&self) {
-        self.unbounded()
-            .try_barrier()
-            .unwrap_or_else(|e| panic!("unbounded barrier failed: {e}"));
+/// Bounded dissemination barrier: errs if any round's partner message
+/// does not arrive within the configured timeout.
+pub(crate) fn try_barrier<C: Comm + ?Sized>(comm: &C) -> Result<(), CommError> {
+    let n = comm.size();
+    if n <= 1 {
+        return Ok(());
     }
-
-    /// Bounded dissemination barrier: errs if any round's partner message
-    /// does not arrive within the configured timeout.
-    pub fn try_barrier(&self) -> Result<(), CommError> {
-        let n = self.size();
-        if n <= 1 {
-            return Ok(());
-        }
-        let rounds = (n as u64).next_power_of_two().trailing_zeros();
-        for k in 0..rounds {
-            let dist = 1usize << k;
-            let dst = (self.rank() + dist) % n;
-            let src = (self.rank() + n - dist % n) % n;
-            self.isend_internal(dst, TAG_BARRIER + k, Bytes::new());
-            let _ = self.recv_bounded_internal(Some(src), TAG_BARRIER + k)?;
-        }
-        Ok(())
+    let rounds = (n as u64).next_power_of_two().trailing_zeros();
+    for k in 0..rounds {
+        let dist = 1usize << k;
+        let dst = (comm.rank() + dist) % n;
+        let src = (comm.rank() + n - dist % n) % n;
+        comm.isend_internal(dst, TAG_BARRIER + k, Bytes::new());
+        let _ = comm.recv_bounded_internal(Some(src), TAG_BARRIER + k)?;
     }
+    Ok(())
+}
 
-    /// Gather one byte payload from every rank at `root` (rank order).
-    /// Returns `Some(all_payloads)` at the root, `None` elsewhere.
-    pub fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
-        self.unbounded()
-            .try_gather(root, data)
-            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
-    }
-
-    /// Bounded [`Comm::gather`].
-    pub fn try_gather(&self, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, CommError> {
-        if self.rank() == root {
-            let mut out = Vec::with_capacity(self.size());
-            for src in 0..self.size() {
-                if src == root {
-                    out.push(data.clone());
-                } else {
-                    out.push(self.recv_bounded_internal(Some(src), TAG_GATHER)?.payload);
-                }
-            }
-            Ok(Some(out))
-        } else {
-            self.isend_internal(root, TAG_GATHER, data);
-            Ok(None)
-        }
-    }
-
-    /// Scatter one byte payload to every rank from `root`. The root passes
-    /// `Some(parts)` with exactly `size` entries; other ranks pass `None`.
-    /// Every rank returns its own part.
-    pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
-        self.unbounded()
-            .try_scatter(root, parts)
-            .unwrap_or_else(|e| panic!("unbounded scatter failed: {e}"))
-    }
-
-    /// Bounded [`Comm::scatter`].
-    pub fn try_scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes, CommError> {
-        if self.rank() == root {
-            let parts = parts.expect("root must supply scatter parts");
-            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
-            let mut mine = Bytes::new();
-            for (dst, part) in parts.into_iter().enumerate() {
-                if dst == root {
-                    mine = part;
-                } else {
-                    self.isend_internal(dst, TAG_SCATTER, part);
-                }
-            }
-            Ok(mine)
-        } else {
-            assert!(parts.is_none(), "non-root ranks must pass None to scatter");
-            Ok(self.recv_bounded_internal(Some(root), TAG_SCATTER)?.payload)
-        }
-    }
-
-    /// Broadcast from `root` via a binomial tree. The root passes
-    /// `Some(data)`; every rank returns the payload.
-    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
-        self.unbounded()
-            .try_bcast(root, data)
-            .unwrap_or_else(|e| panic!("unbounded bcast failed: {e}"))
-    }
-
-    /// Bounded [`Comm::bcast`].
-    pub fn try_bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, CommError> {
-        let n = self.size();
-        // Rotate ranks so the root is virtual rank 0.
-        let vrank = (self.rank() + n - root) % n;
-        let payload = if vrank == 0 {
-            data.expect("root must supply bcast data")
-        } else {
-            // Receive from the parent: clear the lowest set bit of vrank.
-            let parent_v = vrank & (vrank - 1);
-            let parent = (parent_v + root) % n;
-            self.recv_bounded_internal(Some(parent), TAG_BCAST)?.payload
-        };
-        // Forward to children: set each bit above our lowest set bit.
-        let lowest = if vrank == 0 {
-            usize::BITS
-        } else {
-            vrank.trailing_zeros()
-        };
-        for b in 0..lowest.min(usize::BITS - 1) {
-            let child_v = vrank | (1 << b);
-            if child_v != vrank && child_v < n {
-                let child = (child_v + root) % n;
-                self.isend_internal(child, TAG_BCAST, payload.clone());
+/// Bounded linear gather at `root` (rank order).
+pub(crate) fn try_gather<C: Comm + ?Sized>(
+    comm: &C,
+    root: usize,
+    data: Bytes,
+) -> Result<Option<Vec<Bytes>>, CommError> {
+    if comm.rank() == root {
+        let mut out = Vec::with_capacity(comm.size());
+        for src in 0..comm.size() {
+            if src == root {
+                out.push(data.clone());
+            } else {
+                out.push(comm.recv_bounded_internal(Some(src), TAG_GATHER)?.payload);
             }
         }
-        Ok(payload)
+        Ok(Some(out))
+    } else {
+        comm.isend_internal(root, TAG_GATHER, data);
+        Ok(None)
     }
+}
 
-    /// All-reduce a `u64` with an associative, commutative operator.
-    pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        self.unbounded()
-            .try_allreduce_u64(value, op)
-            .unwrap_or_else(|e| panic!("unbounded allreduce failed: {e}"))
+/// Bounded linear scatter from `root`.
+pub(crate) fn try_scatter<C: Comm + ?Sized>(
+    comm: &C,
+    root: usize,
+    parts: Option<Vec<Bytes>>,
+) -> Result<Bytes, CommError> {
+    if comm.rank() == root {
+        let parts = parts.expect("root must supply scatter parts");
+        assert_eq!(parts.len(), comm.size(), "scatter needs one part per rank");
+        let mut mine = Bytes::new();
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst == root {
+                mine = part;
+            } else {
+                comm.isend_internal(dst, TAG_SCATTER, part);
+            }
+        }
+        Ok(mine)
+    } else {
+        assert!(parts.is_none(), "non-root ranks must pass None to scatter");
+        Ok(comm.recv_bounded_internal(Some(root), TAG_SCATTER)?.payload)
     }
+}
 
-    /// Bounded [`Comm::allreduce_u64`].
-    pub fn try_allreduce_u64(
-        &self,
-        value: u64,
-        op: impl Fn(u64, u64) -> u64,
-    ) -> Result<u64, CommError> {
-        let gathered = self.try_gather_u64(0, value)?;
-        let reduced = if self.rank() == 0 {
-            let vals = gathered.expect("root gathers");
-            Some(Bytes::copy_from_slice(
-                &vals
-                    .into_iter()
-                    .reduce(&op)
-                    .expect("nonempty")
-                    .to_le_bytes(),
-            ))
-        } else {
-            None
-        };
-        let out = self.try_bcast(0, reduced)?;
-        Ok(u64::from_le_bytes(
-            out[..8].try_into().expect("u64 payload"),
+/// Bounded binomial-tree broadcast from `root`.
+pub(crate) fn try_bcast<C: Comm + ?Sized>(
+    comm: &C,
+    root: usize,
+    data: Option<Bytes>,
+) -> Result<Bytes, CommError> {
+    let n = comm.size();
+    // Rotate ranks so the root is virtual rank 0.
+    let vrank = (comm.rank() + n - root) % n;
+    let payload = if vrank == 0 {
+        data.expect("root must supply bcast data")
+    } else {
+        // Receive from the parent: clear the lowest set bit of vrank.
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + root) % n;
+        comm.recv_bounded_internal(Some(parent), TAG_BCAST)?.payload
+    };
+    // Forward to children: set each bit above our lowest set bit.
+    let lowest = if vrank == 0 {
+        usize::BITS
+    } else {
+        vrank.trailing_zeros()
+    };
+    for b in 0..lowest.min(usize::BITS - 1) {
+        let child_v = vrank | (1 << b);
+        if child_v != vrank && child_v < n {
+            let child = (child_v + root) % n;
+            comm.isend_internal(child, TAG_BCAST, payload.clone());
+        }
+    }
+    Ok(payload)
+}
+
+/// Bounded all-reduce: gather at 0, reduce, broadcast.
+pub(crate) fn try_allreduce_u64<C: Comm + ?Sized>(
+    comm: &C,
+    value: u64,
+    op: &dyn Fn(u64, u64) -> u64,
+) -> Result<u64, CommError> {
+    let gathered = try_gather_u64(comm, 0, value)?;
+    let reduced = if comm.rank() == 0 {
+        let vals = gathered.expect("root gathers");
+        Some(Bytes::copy_from_slice(
+            &vals.into_iter().reduce(op).expect("nonempty").to_le_bytes(),
         ))
-    }
+    } else {
+        None
+    };
+    let out = try_bcast(comm, 0, reduced)?;
+    Ok(u64::from_le_bytes(
+        out[..8].try_into().expect("u64 payload"),
+    ))
+}
 
-    /// Gather a `u64` from every rank at `root`.
-    pub fn gather_u64(&self, root: usize, value: u64) -> Option<Vec<u64>> {
-        self.unbounded()
-            .try_gather_u64(root, value)
-            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
-    }
-
-    /// Bounded [`Comm::gather_u64`].
-    pub fn try_gather_u64(&self, root: usize, value: u64) -> Result<Option<Vec<u64>>, CommError> {
-        if self.rank() == root {
-            let mut out = Vec::with_capacity(self.size());
-            for src in 0..self.size() {
-                if src == root {
-                    out.push(value);
-                } else {
-                    let m = self.recv_bounded_internal(Some(src), TAG_REDUCE)?;
-                    out.push(u64::from_le_bytes(m.payload[..8].try_into().expect("u64")));
-                }
+/// Bounded linear `u64` gather at `root`.
+pub(crate) fn try_gather_u64<C: Comm + ?Sized>(
+    comm: &C,
+    root: usize,
+    value: u64,
+) -> Result<Option<Vec<u64>>, CommError> {
+    if comm.rank() == root {
+        let mut out = Vec::with_capacity(comm.size());
+        for src in 0..comm.size() {
+            if src == root {
+                out.push(value);
+            } else {
+                let m = comm.recv_bounded_internal(Some(src), TAG_REDUCE)?;
+                out.push(u64::from_le_bytes(m.payload[..8].try_into().expect("u64")));
             }
-            Ok(Some(out))
-        } else {
-            self.isend_internal(
-                root,
-                TAG_REDUCE,
-                Bytes::copy_from_slice(&value.to_le_bytes()),
-            );
-            Ok(None)
         }
+        Ok(Some(out))
+    } else {
+        comm.isend_internal(
+            root,
+            TAG_REDUCE,
+            Bytes::copy_from_slice(&value.to_le_bytes()),
+        );
+        Ok(None)
     }
+}
 
-    /// Gather everyone's payload on every rank (gather at 0 + broadcast).
-    pub fn allgather(&self, data: Bytes) -> Vec<Bytes> {
-        let gathered = self.gather(0, data);
-        let packed = if self.rank() == 0 {
-            let parts = gathered.expect("root gathers");
-            let mut enc = bat_wire::Encoder::new();
-            enc.put_u64(parts.len() as u64);
-            for p in &parts {
-                enc.put_bytes(p);
-            }
-            Some(Bytes::from(enc.finish()))
-        } else {
-            None
-        };
-        let all = self.bcast(0, packed);
-        let mut dec = bat_wire::Decoder::new(&all);
-        let count = dec.get_u64("allgather count").expect("valid packing") as usize;
-        (0..count)
-            .map(|_| Bytes::from(dec.get_bytes("allgather part").expect("valid packing")))
-            .collect()
-    }
-
-    /// This handle with deadlines stripped: the infallible collectives
-    /// must never time out, whatever the configured timeout is.
-    fn unbounded(&self) -> Comm {
-        self.with_timeout(None)
-    }
+/// Infallible allgather: gather at 0, pack, broadcast, unpack.
+pub(crate) fn allgather<C: Comm + ?Sized>(comm: &C, data: Bytes) -> Vec<Bytes> {
+    let gathered = comm.gather(0, data);
+    let packed = if comm.rank() == 0 {
+        let parts = gathered.expect("root gathers");
+        let mut enc = bat_wire::Encoder::new();
+        enc.put_u64(parts.len() as u64);
+        for p in &parts {
+            enc.put_bytes(p);
+        }
+        Some(Bytes::from(enc.finish()))
+    } else {
+        None
+    };
+    let all = comm.bcast(0, packed);
+    let mut dec = bat_wire::Decoder::new(&all);
+    let count = dec.get_u64("allgather count").expect("valid packing") as usize;
+    (0..count)
+        .map(|_| Bytes::from(dec.get_bytes("allgather part").expect("valid packing")))
+        .collect()
 }

@@ -1,11 +1,19 @@
-//! The per-rank communicator handle: point-to-point operations.
+//! The transport-agnostic communicator contract.
+//!
+//! [`Comm`] is the one interface every pipeline in the workspace is written
+//! against: MPI-style point-to-point operations with `(source, tag)`
+//! matching, liveness (deadlines + per-rank death), and the collectives.
+//! Transports implement the small set of *raw* primitives (`send_raw`,
+//! `recv_deadline_raw`, probes, and handle plumbing); everything user-facing
+//! — tag validation, fault injection, retries, the collective algorithms,
+//! the nonblocking barrier — is provided by the trait itself, so all three
+//! transports (in-process channels, sockets, the simulated network) share
+//! identical semantics above the byte-moving layer (DESIGN.md §14).
 
 use crate::error::CommError;
 use crate::request::RecvRequest;
-use crate::state::{ClusterState, Mailbox};
-use crate::{IBarrier, MAX_USER_TAG};
+use crate::{collectives, IBarrier, MAX_USER_TAG};
 use bytes::Bytes;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A message delivered to a rank.
@@ -42,7 +50,7 @@ pub struct ProbeInfo {
 /// The cluster-wide default receive deadline, read once from
 /// `BAT_RECV_TIMEOUT_MS` (unset or unparsable = no deadline: the classic
 /// block-forever MPI semantics).
-fn default_timeout() -> Option<Duration> {
+pub(crate) fn default_timeout() -> Option<Duration> {
     static DEFAULT: std::sync::OnceLock<Option<Duration>> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
         std::env::var("BAT_RECV_TIMEOUT_MS")
@@ -53,92 +61,123 @@ fn default_timeout() -> Option<Duration> {
     })
 }
 
-/// A rank's handle to the cluster: knows its rank, the cluster size, and how
-/// to exchange messages. Clone-able; clones refer to the same rank.
-#[derive(Clone)]
-pub struct Comm {
-    pub(crate) state: Arc<ClusterState>,
-    pub(crate) rank: usize,
-    /// Deadline applied per bounded receive (`recv_bounded` and every
-    /// `try_*` collective). `None` = wait forever.
-    timeout: Option<Duration>,
+pub(crate) fn check_user_tag(tag: u32) {
+    assert!(
+        tag < MAX_USER_TAG,
+        "tag {tag} is reserved for internal collectives (must be < {MAX_USER_TAG})"
+    );
 }
 
-impl Comm {
-    pub(crate) fn new(state: Arc<ClusterState>, rank: usize) -> Comm {
-        Comm {
-            state,
-            rank,
-            timeout: default_timeout(),
-        }
-    }
+/// A rank's handle to the cluster: knows its rank, the cluster size, and how
+/// to exchange messages. Handles are cheap to clone via
+/// [`Comm::clone_comm`]; clones refer to the same rank.
+///
+/// The trait is dyn-compatible: pipelines take `&dyn Comm` and work over
+/// any transport ([`crate::ChannelComm`], [`crate::SocketComm`],
+/// [`crate::SimComm`]).
+pub trait Comm: Send + Sync {
+    // ------------------------------------------------------------------
+    // Identity and deadlines
+    // ------------------------------------------------------------------
 
     /// This rank's index in `0..size`.
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
+    fn rank(&self) -> usize;
 
     /// Number of ranks in the cluster.
-    #[inline]
-    pub fn size(&self) -> usize {
-        self.state.size
-    }
+    fn size(&self) -> usize;
 
     /// The per-receive deadline bounded operations use (from
     /// `BAT_RECV_TIMEOUT_MS`, or [`Comm::with_timeout`]).
-    #[inline]
-    pub fn timeout(&self) -> Option<Duration> {
-        self.timeout
-    }
+    fn timeout(&self) -> Option<Duration>;
 
     /// A handle to the same rank with a different per-receive deadline
     /// (`None` disables deadlines).
-    pub fn with_timeout(&self, timeout: Option<Duration>) -> Comm {
-        Comm {
-            state: self.state.clone(),
-            rank: self.rank,
-            timeout,
-        }
-    }
+    fn with_timeout(&self, timeout: Option<Duration>) -> Box<dyn Comm>;
+
+    /// A new handle to the same rank (same transport, same deadline).
+    fn clone_comm(&self) -> Box<dyn Comm>;
+
+    /// The transport's name (`channel`, `socket`, `sim`) for diagnostics.
+    fn transport(&self) -> &'static str;
+
+    // ------------------------------------------------------------------
+    // Liveness
+    // ------------------------------------------------------------------
 
     /// Declare this rank dead: it is abandoning the protocol (crash
     /// simulation, unrecoverable local failure). Pending and future
     /// messages to it are dropped, and every peer blocked on a bounded
     /// receive from it wakes with [`CommError::PeerDead`].
-    pub fn mark_dead(&self) {
-        self.state.mark_dead(self.rank);
+    fn mark_dead(&self);
+
+    /// Whether `rank` has declared itself dead (or, on the socket
+    /// transport, its connection has failed).
+    fn is_dead(&self, rank: usize) -> bool;
+
+    /// Poison the whole cluster after a local panic (in-process transports
+    /// wake every blocked rank; the socket transport falls back to
+    /// [`Comm::mark_dead`] so remote peers fail fast instead).
+    #[doc(hidden)]
+    fn poison(&self) {
+        self.mark_dead();
     }
 
-    /// Whether `rank` has declared itself dead.
-    pub fn is_dead(&self, rank: usize) -> bool {
-        self.state.is_dead(rank)
-    }
+    /// Panic if the cluster was poisoned by another rank's panic. A no-op
+    /// on transports without shared poison state.
+    #[doc(hidden)]
+    fn check_alive(&self) {}
 
-    #[inline]
-    fn check_alive(&self) {
-        if self.state.is_poisoned() {
-            panic!("cluster poisoned: another rank panicked");
-        }
-    }
+    /// Tear the transport down (close connections, stop reader threads).
+    /// Peers observe the departure as this rank dying once they wait on
+    /// it. A no-op on in-process transports.
+    fn shutdown(&self) {}
 
-    fn check_user_tag(tag: u32) {
-        assert!(
-            tag < MAX_USER_TAG,
-            "tag {tag} is reserved for internal collectives (must be < {MAX_USER_TAG})"
-        );
-    }
+    // ------------------------------------------------------------------
+    // Raw transport primitives (reserved tags allowed)
+    // ------------------------------------------------------------------
+
+    /// Move bytes to `dst`'s mailbox. No tag validation, no fault
+    /// injection — that happens in the provided wrappers.
+    #[doc(hidden)]
+    fn send_raw(&self, dst: usize, tag: u32, payload: Bytes);
+
+    /// Blocking matched receive with an optional deadline.
+    #[doc(hidden)]
+    fn recv_deadline_raw(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Message, CommError>;
+
+    /// Nonblocking matched receive.
+    #[doc(hidden)]
+    fn try_recv_raw(&self, src: Option<usize>, tag: u32) -> Option<Message>;
+
+    /// Nonblocking probe.
+    #[doc(hidden)]
+    fn iprobe_raw(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo>;
+
+    /// Allocate the next ibarrier generation number for this rank.
+    /// Barriers are collective, so all ranks observe matching sequences.
+    #[doc(hidden)]
+    fn next_ibarrier_generation(&self) -> u64;
+
+    // ------------------------------------------------------------------
+    // Provided: point-to-point API
+    // ------------------------------------------------------------------
 
     /// Nonblocking send with a user tag. Eager: the payload is enqueued at
     /// the destination before this returns, so there is no request to wait
     /// on (matching MPI's eager protocol for small/medium messages).
-    pub fn isend(&self, dst: usize, tag: u32, payload: Bytes) {
-        Self::check_user_tag(tag);
+    fn isend(&self, dst: usize, tag: u32, payload: Bytes) {
+        check_user_tag(tag);
         self.isend_internal(dst, tag, payload);
     }
 
     /// Internal send that may use reserved tags (collectives).
-    pub(crate) fn isend_internal(&self, dst: usize, tag: u32, payload: Bytes) {
+    #[doc(hidden)]
+    fn isend_internal(&self, dst: usize, tag: u32, payload: Bytes) {
         self.check_alive();
         assert!(dst < self.size(), "destination rank {dst} out of range");
         // Failpoint: a lost message (any configured fault drops it). The
@@ -146,60 +185,94 @@ impl Comm {
         if bat_faults::fire("comm.send").is_some() {
             return;
         }
-        self.state.deliver(
+        self.send_raw(dst, tag, payload);
+    }
+
+    /// Send with bounded retry on transient transport failures.
+    ///
+    /// The `comm.send.retry` failpoint models a transient transport error:
+    /// each triggered `error` burns one attempt (exponential backoff,
+    /// counted in `comm.retries`); `kill` dies in place. Exhausting the
+    /// attempts marks this rank dead — the failure cascades to peers like
+    /// any other liveness fault — and returns [`CommError::SendFailed`].
+    fn send_with_retry(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        const ATTEMPTS: u32 = 4;
+        check_user_tag(tag);
+        let mut backoff = Duration::from_millis(1);
+        for attempt in 0..ATTEMPTS {
+            match bat_faults::fire("comm.send.retry") {
+                None => {
+                    self.isend_internal(dst, tag, payload);
+                    return Ok(());
+                }
+                Some(bat_faults::Fault::Kill) => {
+                    self.mark_dead();
+                    return Err(CommError::SendFailed {
+                        rank: self.rank(),
+                        dst,
+                        tag,
+                        attempts: attempt + 1,
+                    });
+                }
+                Some(_) if attempt + 1 < ATTEMPTS => {
+                    bat_obs::counter_add("comm.retries", 1);
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+                Some(_) => break,
+            }
+        }
+        self.mark_dead();
+        Err(CommError::SendFailed {
+            rank: self.rank(),
             dst,
-            Message {
-                src: self.rank,
-                tag,
-                payload,
-            },
-        );
+            tag,
+            attempts: ATTEMPTS,
+        })
     }
 
     /// Post a nonblocking receive for `(src, tag)`; `src = None` matches any
     /// source. Complete it with [`RecvRequest::wait`] or poll with
     /// [`RecvRequest::test`].
-    pub fn irecv(&self, src: Option<usize>, tag: u32) -> RecvRequest {
-        Self::check_user_tag(tag);
-        RecvRequest::new(self.clone(), src, tag)
+    fn irecv(&self, src: Option<usize>, tag: u32) -> RecvRequest {
+        check_user_tag(tag);
+        RecvRequest::new(self.clone_comm(), src, tag)
     }
 
     /// Blocking receive: waits until a matching message arrives.
-    pub fn recv(&self, src: Option<usize>, tag: u32) -> Message {
-        Self::check_user_tag(tag);
+    fn recv(&self, src: Option<usize>, tag: u32) -> Message {
+        check_user_tag(tag);
         self.recv_internal(src, tag)
     }
 
     /// Bounded receive with an explicit deadline: waits at most `timeout`
     /// for a matching message, and fails fast with
     /// [`CommError::PeerDead`] if `src` has died with nothing queued.
-    pub fn recv_timeout(
+    fn recv_timeout(
         &self,
         src: Option<usize>,
         tag: u32,
         timeout: Duration,
     ) -> Result<Message, CommError> {
-        Self::check_user_tag(tag);
+        check_user_tag(tag);
         self.recv_deadline_internal(src, tag, Some(Instant::now() + timeout))
     }
 
     /// Bounded receive using this handle's configured [`Comm::timeout`]
     /// (blocks indefinitely when none is configured — but still fails fast
     /// on a dead peer).
-    pub fn recv_bounded(&self, src: Option<usize>, tag: u32) -> Result<Message, CommError> {
-        Self::check_user_tag(tag);
+    fn recv_bounded(&self, src: Option<usize>, tag: u32) -> Result<Message, CommError> {
+        check_user_tag(tag);
         self.recv_bounded_internal(src, tag)
     }
 
-    pub(crate) fn recv_bounded_internal(
-        &self,
-        src: Option<usize>,
-        tag: u32,
-    ) -> Result<Message, CommError> {
-        self.recv_deadline_internal(src, tag, self.timeout.map(|t| Instant::now() + t))
+    #[doc(hidden)]
+    fn recv_bounded_internal(&self, src: Option<usize>, tag: u32) -> Result<Message, CommError> {
+        self.recv_deadline_internal(src, tag, self.timeout().map(|t| Instant::now() + t))
     }
 
-    pub(crate) fn recv_internal(&self, src: Option<usize>, tag: u32) -> Message {
+    #[doc(hidden)]
+    fn recv_internal(&self, src: Option<usize>, tag: u32) -> Message {
         match self.recv_deadline_internal(src, tag, None) {
             Ok(msg) => msg,
             // Unbounded receives keep the legacy all-ranks-healthy
@@ -209,6 +282,7 @@ impl Comm {
         }
     }
 
+    #[doc(hidden)]
     fn recv_deadline_internal(
         &self,
         src: Option<usize>,
@@ -219,74 +293,176 @@ impl Comm {
         // non-delay action configured here is ignored — losses are
         // injected on the send side.
         let _ = bat_faults::fire("comm.recv");
-        let started = Instant::now();
-        let mb = &self.state.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
-        loop {
-            if self.state.is_poisoned() {
-                panic!("cluster poisoned: another rank panicked");
-            }
-            if let Some(i) = Mailbox::find(&q, src, tag) {
-                return Ok(q.remove(i));
-            }
-            // Check for a dead source only after draining queued matches:
-            // messages sent before death are still deliverable.
-            if let Some(s) = src {
-                if self.state.is_dead(s) {
-                    return Err(CommError::PeerDead {
-                        rank: self.rank,
-                        peer: s,
-                        tag,
-                    });
-                }
-            }
-            match deadline {
-                None => mb.cv.wait(&mut q),
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(CommError::Timeout {
-                            rank: self.rank,
-                            src,
-                            tag,
-                            waited_ms: started.elapsed().as_millis() as u64,
-                        });
-                    }
-                    // Spurious wakeups and wakeups for non-matching
-                    // messages loop back around; the deadline re-check
-                    // above bounds the total wait.
-                    let _ = mb.cv.wait_for(&mut q, d - now);
-                }
-            }
-        }
+        self.recv_deadline_raw(src, tag, deadline)
     }
 
     /// Try to receive without blocking; returns `None` when no matching
     /// message is queued.
-    pub(crate) fn try_recv_internal(&self, src: Option<usize>, tag: u32) -> Option<Message> {
+    #[doc(hidden)]
+    fn try_recv_internal(&self, src: Option<usize>, tag: u32) -> Option<Message> {
         self.check_alive();
-        let mb = &self.state.mailboxes[self.rank];
-        let mut q = mb.queue.lock();
-        Mailbox::find(&q, src, tag).map(|i| q.remove(i))
+        self.try_recv_raw(src, tag)
     }
 
     /// Nonblocking probe: report the first queued message matching
     /// `(src, tag)` without consuming it.
-    pub fn iprobe(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
-        Self::check_user_tag(tag);
+    fn iprobe(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
+        check_user_tag(tag);
         self.check_alive();
-        let mb = &self.state.mailboxes[self.rank];
-        let q = mb.queue.lock();
-        Mailbox::find(&q, src, tag).map(|i| ProbeInfo {
-            src: q[i].src,
-            tag: q[i].tag,
-            len: q[i].payload.len(),
-        })
+        self.iprobe_raw(src, tag)
     }
 
     /// Begin a nonblocking barrier (the `MPI_Ibarrier` of the read pipeline,
     /// paper §IV-B). Poll the returned handle with [`IBarrier::test`].
-    pub fn ibarrier(&self) -> IBarrier {
-        IBarrier::new(self.clone())
+    fn ibarrier(&self) -> IBarrier {
+        IBarrier::begin(self.clone_comm())
+    }
+
+    // ------------------------------------------------------------------
+    // Provided: collectives (algorithms in `collectives.rs`)
+    // ------------------------------------------------------------------
+
+    /// Blocking dissemination barrier.
+    fn barrier(&self) {
+        self.with_timeout(None)
+            .try_barrier()
+            .unwrap_or_else(|e| panic!("unbounded barrier failed: {e}"));
+    }
+
+    /// Bounded dissemination barrier: errs if any round's partner message
+    /// does not arrive within the configured timeout.
+    fn try_barrier(&self) -> Result<(), CommError> {
+        collectives::try_barrier(self)
+    }
+
+    /// Gather one byte payload from every rank at `root` (rank order).
+    /// Returns `Some(all_payloads)` at the root, `None` elsewhere.
+    fn gather(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        self.with_timeout(None)
+            .try_gather(root, data)
+            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
+    }
+
+    /// Bounded [`Comm::gather`].
+    fn try_gather(&self, root: usize, data: Bytes) -> Result<Option<Vec<Bytes>>, CommError> {
+        collectives::try_gather(self, root, data)
+    }
+
+    /// Scatter one byte payload to every rank from `root`. The root passes
+    /// `Some(parts)` with exactly `size` entries; other ranks pass `None`.
+    /// Every rank returns its own part.
+    fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        self.with_timeout(None)
+            .try_scatter(root, parts)
+            .unwrap_or_else(|e| panic!("unbounded scatter failed: {e}"))
+    }
+
+    /// Bounded [`Comm::scatter`].
+    fn try_scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes, CommError> {
+        collectives::try_scatter(self, root, parts)
+    }
+
+    /// Broadcast from `root` via a binomial tree. The root passes
+    /// `Some(data)`; every rank returns the payload.
+    fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        self.with_timeout(None)
+            .try_bcast(root, data)
+            .unwrap_or_else(|e| panic!("unbounded bcast failed: {e}"))
+    }
+
+    /// Bounded [`Comm::bcast`].
+    fn try_bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes, CommError> {
+        collectives::try_bcast(self, root, data)
+    }
+
+    /// All-reduce a `u64` with an associative, commutative operator.
+    fn allreduce_u64(&self, value: u64, op: &dyn Fn(u64, u64) -> u64) -> u64 {
+        self.with_timeout(None)
+            .try_allreduce_u64(value, op)
+            .unwrap_or_else(|e| panic!("unbounded allreduce failed: {e}"))
+    }
+
+    /// Bounded [`Comm::allreduce_u64`].
+    fn try_allreduce_u64(
+        &self,
+        value: u64,
+        op: &dyn Fn(u64, u64) -> u64,
+    ) -> Result<u64, CommError> {
+        collectives::try_allreduce_u64(self, value, op)
+    }
+
+    /// Gather a `u64` from every rank at `root`.
+    fn gather_u64(&self, root: usize, value: u64) -> Option<Vec<u64>> {
+        self.with_timeout(None)
+            .try_gather_u64(root, value)
+            .unwrap_or_else(|e| panic!("unbounded gather failed: {e}"))
+    }
+
+    /// Bounded [`Comm::gather_u64`].
+    fn try_gather_u64(&self, root: usize, value: u64) -> Result<Option<Vec<u64>>, CommError> {
+        collectives::try_gather_u64(self, root, value)
+    }
+
+    /// Gather everyone's payload on every rank (gather at 0 + broadcast).
+    fn allgather(&self, data: Bytes) -> Vec<Bytes> {
+        collectives::allgather(self, data)
+    }
+}
+
+/// Forwarding impl so a boxed communicator (what [`crate::Cluster::run`]
+/// hands each rank closure) can be used anywhere a `&dyn Comm` is expected.
+impl Comm for Box<dyn Comm> {
+    fn rank(&self) -> usize {
+        (**self).rank()
+    }
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn timeout(&self) -> Option<Duration> {
+        (**self).timeout()
+    }
+    fn with_timeout(&self, timeout: Option<Duration>) -> Box<dyn Comm> {
+        (**self).with_timeout(timeout)
+    }
+    fn clone_comm(&self) -> Box<dyn Comm> {
+        (**self).clone_comm()
+    }
+    fn transport(&self) -> &'static str {
+        (**self).transport()
+    }
+    fn mark_dead(&self) {
+        (**self).mark_dead()
+    }
+    fn is_dead(&self, rank: usize) -> bool {
+        (**self).is_dead(rank)
+    }
+    fn poison(&self) {
+        (**self).poison()
+    }
+    fn check_alive(&self) {
+        (**self).check_alive()
+    }
+    fn shutdown(&self) {
+        (**self).shutdown()
+    }
+    fn send_raw(&self, dst: usize, tag: u32, payload: Bytes) {
+        (**self).send_raw(dst, tag, payload)
+    }
+    fn recv_deadline_raw(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Message, CommError> {
+        (**self).recv_deadline_raw(src, tag, deadline)
+    }
+    fn try_recv_raw(&self, src: Option<usize>, tag: u32) -> Option<Message> {
+        (**self).try_recv_raw(src, tag)
+    }
+    fn iprobe_raw(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
+        (**self).iprobe_raw(src, tag)
+    }
+    fn next_ibarrier_generation(&self) -> u64 {
+        (**self).next_ibarrier_generation()
     }
 }

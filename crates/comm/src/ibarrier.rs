@@ -18,9 +18,9 @@ const GENERATIONS: u32 = 1024;
 const MAX_ROUNDS: u32 = 32;
 
 /// In-flight nonblocking barrier. Create with [`Comm::ibarrier`]; poll with
-/// [`IBarrier::test`] until it returns `true`.
+/// [`IBarrier::test`] until it returns `true`. Works over any transport.
 pub struct IBarrier {
-    comm: Comm,
+    comm: Box<dyn Comm>,
     generation: u32,
     round: u32,
     rounds_total: u32,
@@ -28,7 +28,7 @@ pub struct IBarrier {
 }
 
 impl IBarrier {
-    pub(crate) fn new(comm: Comm) -> IBarrier {
+    pub(crate) fn begin(comm: Box<dyn Comm>) -> IBarrier {
         let n = comm.size();
         let rounds_total = if n <= 1 {
             0
@@ -36,7 +36,7 @@ impl IBarrier {
             (n as u64).next_power_of_two().trailing_zeros()
         };
         debug_assert!(rounds_total <= MAX_ROUNDS);
-        let generation = comm.state.next_ibarrier_generation(comm.rank()) % GENERATIONS as u64;
+        let generation = comm.next_ibarrier_generation() % GENERATIONS as u64;
         let ib = IBarrier {
             comm,
             generation: generation as u32,

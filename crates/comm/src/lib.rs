@@ -53,19 +53,25 @@
 //! assert_eq!(sums[0], 1 + 2 + 3);
 //! ```
 
+mod channel;
 mod cluster;
 mod collectives;
 mod comm;
 mod error;
 mod ibarrier;
 mod request;
+mod sim;
+mod socket;
 mod state;
 
-pub use cluster::Cluster;
+pub use channel::ChannelComm;
+pub use cluster::{Cluster, ClusterConfig, TransportKind};
 pub use comm::{Comm, Message, ProbeInfo};
 pub use error::CommError;
 pub use ibarrier::IBarrier;
 pub use request::{wait_all, RecvRequest};
+pub use sim::{SimComm, SimNetStats, SimParams};
+pub use socket::SocketComm;
 
 /// Highest tag value available to users. Tags at or above this are reserved
 /// for the collective implementations.
@@ -275,9 +281,9 @@ mod tests {
     #[test]
     fn allreduce_sum_and_max() {
         Cluster::run(9, |comm| {
-            let sum = comm.allreduce_u64(comm.rank() as u64, |a, b| a + b);
+            let sum = comm.allreduce_u64(comm.rank() as u64, &|a, b| a + b);
             assert_eq!(sum, (0..9).sum::<u64>());
-            let max = comm.allreduce_u64(comm.rank() as u64, u64::max);
+            let max = comm.allreduce_u64(comm.rank() as u64, &u64::max);
             assert_eq!(max, 8);
         });
     }
@@ -382,7 +388,7 @@ mod tests {
         // More ranks than cores: threads must park politely, not spin.
         let n = 64;
         let out = Cluster::run(n, |comm| {
-            let sum = comm.allreduce_u64(1, |a, b| a + b);
+            let sum = comm.allreduce_u64(1, &|a, b| a + b);
             comm.barrier();
             sum
         });
@@ -475,7 +481,7 @@ mod randomized_tests {
     fn interleaved_collectives_soak() {
         Cluster::run(9, |comm| {
             for round in 0..25u64 {
-                let sum = comm.allreduce_u64(comm.rank() as u64 + round, |a, b| a + b);
+                let sum = comm.allreduce_u64(comm.rank() as u64 + round, &|a, b| a + b);
                 let expect: u64 = (0..9).map(|r| r + round).sum();
                 assert_eq!(sum, expect, "round {round}");
                 let root = (round % 9) as usize;
@@ -585,7 +591,7 @@ mod liveness_tests {
             // Every survivor errs within a bounded number of deadlines —
             // no hang, no panic. Allreduce blocks every rank (gather at 0,
             // then broadcast), so no survivor can slip through.
-            comm.try_allreduce_u64(1, |a, b| a + b)
+            comm.try_allreduce_u64(1, &|a, b| a + b)
                 .map(|_| ())
                 .map_err(|_| ())
         });

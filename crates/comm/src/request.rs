@@ -9,14 +9,14 @@ use crate::comm::{Comm, Message};
 /// `(source, tag)` complete in the order they are waited on, each taking the
 /// earliest queued match.
 pub struct RecvRequest {
-    comm: Comm,
+    comm: Box<dyn Comm>,
     src: Option<usize>,
     tag: u32,
     done: bool,
 }
 
 impl RecvRequest {
-    pub(crate) fn new(comm: Comm, src: Option<usize>, tag: u32) -> RecvRequest {
+    pub(crate) fn new(comm: Box<dyn Comm>, src: Option<usize>, tag: u32) -> RecvRequest {
         RecvRequest {
             comm,
             src,

@@ -1,0 +1,735 @@
+//! The socket transport: ranks are processes (or threads) exchanging
+//! length-prefixed frames over TCP or Unix-domain stream sockets.
+//!
+//! Topology is a full mesh, built deadlock-free by ordering: rank `r`
+//! *connects* to every lower rank and *accepts* from every higher rank
+//! (listen backlogs absorb arrival-order skew). Each connection starts
+//! with a HELLO handshake exchanging a magic number, protocol version,
+//! rank, and cluster size, so a misconfigured peer fails fast instead of
+//! corrupting a mailbox.
+//!
+//! Wire format (all integers little-endian, matching `bat_wire`):
+//!
+//! ```text
+//! frame   := len:u32 body
+//! body    := MSG   (kind=1) src:u32 tag:u32 payload…
+//!          | HELLO (kind=2) rank:u32 size:u32 magic:u32 version:u16
+//!          | DEAD  (kind=3) rank:u32
+//! ```
+//!
+//! A MSG payload is the same byte blob the channel transport delivers —
+//! receivers view it as a zero-copy [`bat_wire::Block`] via
+//! [`Message::block`]. One reader thread per peer drains its connection
+//! into the rank's single inbox mailbox, preserving the per-(source, tag)
+//! FIFO guarantee (TCP is in-order per connection).
+//!
+//! Failure semantics mirror the channel transport: `mark_dead` broadcasts
+//! a best-effort DEAD frame (the rank can keep *sending* afterwards — a
+//! dying rank may still flush); an EOF, connection reset, or write error
+//! on a peer's connection marks that peer dead locally, waking any
+//! blocked receive into [`CommError::PeerDead`]. Sends to a dead or
+//! disconnected peer are silently dropped, exactly like channel delivery
+//! to a dead mailbox — the receiver's deadline converts loss into error.
+
+use crate::cluster::ClusterConfig;
+use crate::comm::{default_timeout, Comm, Message, ProbeInfo};
+use crate::error::CommError;
+use crate::state::{Mailbox, PoisonCell};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAME_MSG: u8 = 1;
+const FRAME_HELLO: u8 = 2;
+const FRAME_DEAD: u8 = 3;
+/// Clean departure: the peer finished its protocol and closed the
+/// connection. Distinguishes orderly exit (peer goes silent, receivers
+/// run out their deadlines — channel semantics for a returned rank) from
+/// a crash (EOF with no BYE → peer marked dead, receivers fail fast).
+const FRAME_BYE: u8 = 4;
+/// "BAT!" — rejects accidental connections from anything else.
+const HELLO_MAGIC: u32 = 0x4241_5421;
+const WIRE_VERSION: u16 = 1;
+/// Frames above this are a protocol violation (mirrors `bat_stream`'s
+/// MAX_FRAME guard; shuffle payloads are far smaller).
+const MAX_FRAME: u32 = 1 << 30;
+
+/// How long connection establishment (bind retry + handshake) may take,
+/// from `BAT_CONNECT_TIMEOUT_MS` (default 10 s).
+pub(crate) fn connect_timeout() -> Duration {
+    std::env::var("BAT_CONNECT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(10))
+}
+
+/// A parsed peer endpoint: `host:port` for TCP, an absolute path or
+/// `unix:<path>` for Unix-domain sockets.
+#[derive(Debug, Clone)]
+pub(crate) enum Endpoint {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    pub(crate) fn parse(s: &str) -> io::Result<Endpoint> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if s.starts_with('/') {
+            Ok(Endpoint::Unix(PathBuf::from(s)))
+        } else if s.contains(':') {
+            Ok(Endpoint::Tcp(s.to_string()))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("endpoint `{s}` is neither host:port nor a unix path"),
+            ))
+        }
+    }
+}
+
+/// One established stream connection, TCP or Unix.
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn connect(ep: &Endpoint) -> io::Result<Conn> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+            Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Connect with retry until `deadline`: the peer's listener may not be
+    /// bound yet (process startup is unordered).
+    fn connect_retry(ep: &Endpoint, deadline: Instant) -> io::Result<Conn> {
+        loop {
+            match Conn::connect(ep) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("connecting to {ep:?} timed out: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            Conn::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                s.shutdown(Shutdown::Both).ok();
+            }
+            Conn::Unix(s) => {
+                s.shutdown(Shutdown::Both).ok();
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener for this rank's endpoint. Unix listeners own their
+/// socket path and remove it on drop.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    pub(crate) fn bind(ep: &Endpoint) -> io::Result<Listener> {
+        match ep {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Unix(path) => {
+                // A stale path from a crashed predecessor would fail the
+                // bind; remove it first (fresh dirs are the common case).
+                std::fs::remove_file(path).ok();
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+        }
+    }
+
+    /// The actual bound endpoint (resolves `:0` ephemeral TCP ports).
+    pub(crate) fn local_endpoint(&self) -> io::Result<String> {
+        match self {
+            Listener::Tcp(l) => Ok(l.local_addr()?.to_string()),
+            Listener::Unix(_, path) => Ok(path.display().to_string()),
+        }
+    }
+
+    /// Accept one connection, polling until `deadline`.
+    fn accept_deadline(&self, deadline: Instant) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        loop {
+            let got = match self {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    s.set_nodelay(true).ok();
+                    Conn::Tcp(s)
+                }),
+                Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match got {
+                Ok(c) => {
+                    match self {
+                        Listener::Tcp(l) => l.set_nonblocking(false)?,
+                        Listener::Unix(l, _) => l.set_nonblocking(false)?,
+                    }
+                    // The accepted stream inherits nonblocking on some
+                    // platforms; force blocking mode.
+                    match &c {
+                        Conn::Tcp(s) => s.set_nonblocking(false)?,
+                        Conn::Unix(s) => s.set_nonblocking(false)?,
+                    }
+                    return Ok(c);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "timed out waiting for peer connections",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+fn write_frame(w: &mut Conn, body: &[&[u8]]) -> io::Result<()> {
+    let len: usize = body.iter().map(|b| b.len()).sum();
+    assert!(len <= MAX_FRAME as usize, "frame exceeds MAX_FRAME");
+    w.write_all(&(len as u32).to_le_bytes())?;
+    for part in body {
+        w.write_all(part)?;
+    }
+    w.flush()
+}
+
+fn write_msg(w: &mut Conn, src: u32, tag: u32, payload: &[u8]) -> io::Result<()> {
+    let mut head = [0u8; 9];
+    head[0] = FRAME_MSG;
+    head[1..5].copy_from_slice(&src.to_le_bytes());
+    head[5..9].copy_from_slice(&tag.to_le_bytes());
+    write_frame(w, &[&head, payload])
+}
+
+fn write_hello(w: &mut Conn, rank: u32, size: u32) -> io::Result<()> {
+    let mut body = [0u8; 15];
+    body[0] = FRAME_HELLO;
+    body[1..5].copy_from_slice(&rank.to_le_bytes());
+    body[5..9].copy_from_slice(&size.to_le_bytes());
+    body[9..13].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+    body[13..15].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    write_frame(w, &[&body])
+}
+
+fn write_dead(w: &mut Conn, rank: u32) -> io::Result<()> {
+    let mut body = [0u8; 5];
+    body[0] = FRAME_DEAD;
+    body[1..5].copy_from_slice(&rank.to_le_bytes());
+    write_frame(w, &[&body])
+}
+
+fn write_bye(w: &mut Conn, rank: u32) -> io::Result<()> {
+    let mut body = [0u8; 5];
+    body[0] = FRAME_BYE;
+    body[1..5].copy_from_slice(&rank.to_le_bytes());
+    write_frame(w, &[&body])
+}
+
+/// Read one frame. `Ok(None)` = clean EOF at a frame boundary.
+fn read_frame(r: &mut Conn) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+fn read_hello(r: &mut Conn) -> io::Result<(u32, u32)> {
+    let body = read_frame(r)?.ok_or(io::ErrorKind::UnexpectedEof)?;
+    if body.len() != 15 || body[0] != FRAME_HELLO {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO frame",
+        ));
+    }
+    let rank = u32::from_le_bytes(body[1..5].try_into().unwrap());
+    let size = u32::from_le_bytes(body[5..9].try_into().unwrap());
+    let magic = u32::from_le_bytes(body[9..13].try_into().unwrap());
+    let version = u16::from_le_bytes(body[13..15].try_into().unwrap());
+    if magic != HELLO_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "handshake magic mismatch (not a bat-comm peer)",
+        ));
+    }
+    if version != WIRE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire version mismatch: peer {version}, ours {WIRE_VERSION}"),
+        ));
+    }
+    Ok((rank, size))
+}
+
+// ---------------------------------------------------------------------
+// The transport
+// ---------------------------------------------------------------------
+
+struct SocketState {
+    rank: usize,
+    size: usize,
+    /// All incoming messages from every peer, matched like a channel
+    /// mailbox.
+    inbox: Arc<Mailbox>,
+    /// Write halves, indexed by peer rank (`None` at our own index or
+    /// after a connection failed).
+    writers: Vec<Mutex<Option<Conn>>>,
+    dead: Vec<AtomicBool>,
+    ibarrier_gen: AtomicU64,
+    poison: Arc<PoisonCell>,
+    /// Set by `shutdown` so reader threads exit silently instead of
+    /// marking peers dead when we close our own sockets.
+    closed: AtomicBool,
+    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SocketState {
+    fn deliver_local(&self, msg: Message) {
+        // Mirror channel semantics: messages to a dead rank are dropped.
+        if self.dead[self.rank].load(Ordering::Acquire) {
+            return;
+        }
+        let mut q = self.inbox.queue.lock();
+        q.push(msg);
+        self.inbox.cv.notify_all();
+    }
+
+    /// Record a peer's death (observed or announced) and wake receivers.
+    fn mark_dead_local(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::Release);
+        let _guard = self.inbox.queue.lock();
+        self.inbox.cv.notify_all();
+    }
+
+    fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for w in &self.writers {
+            if let Some(conn) = w.lock().take() {
+                let mut conn = conn;
+                let _ = write_bye(&mut conn, self.rank as u32);
+                conn.shutdown();
+            }
+        }
+        let handles: Vec<_> = self.readers.lock().drain(..).collect();
+        for h in handles {
+            h.join().ok();
+        }
+    }
+}
+
+fn reader_loop(mut conn: Conn, peer: usize, state: Arc<SocketState>) {
+    // Set once the peer announces a clean departure; the EOF that follows
+    // is then an orderly exit, not a death.
+    let mut peer_left = false;
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Some(body)) => match body[0] {
+                FRAME_MSG if body.len() >= 9 => {
+                    let src = u32::from_le_bytes(body[1..5].try_into().unwrap()) as usize;
+                    let tag = u32::from_le_bytes(body[5..9].try_into().unwrap());
+                    if src < state.size {
+                        let payload = Bytes::copy_from_slice(&body[9..]);
+                        state.deliver_local(Message { src, tag, payload });
+                    }
+                }
+                FRAME_DEAD if body.len() >= 5 => {
+                    let r = u32::from_le_bytes(body[1..5].try_into().unwrap()) as usize;
+                    if r < state.size {
+                        state.mark_dead_local(r);
+                    }
+                }
+                FRAME_BYE => peer_left = true,
+                // Unknown/short frames are dropped (forward compatibility).
+                _ => {}
+            },
+            Ok(None) | Err(_) => {
+                if !peer_left && !state.closed.load(Ordering::Acquire) {
+                    state.mark_dead_local(peer);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A rank handle on the socket transport.
+#[derive(Clone)]
+pub struct SocketComm {
+    state: Arc<SocketState>,
+    timeout: Option<Duration>,
+}
+
+impl SocketComm {
+    /// Join a multi-process cluster described by `cfg` (typically parsed
+    /// from `BAT_CLUSTER`): bind our endpoint, mesh up with every peer,
+    /// and return once all handshakes complete.
+    pub fn connect(cfg: &ClusterConfig) -> io::Result<SocketComm> {
+        let eps = cfg.parsed_endpoints()?;
+        let listener = Listener::bind(&eps[cfg.rank])?;
+        SocketComm::establish(listener, cfg, Arc::new(PoisonCell::default()))
+    }
+
+    /// Build the mesh from an already-bound listener. Thread-hosted
+    /// clusters pre-bind all listeners (no ephemeral-port race) and share
+    /// one `PoisonCell` so a rank panic still wakes its siblings.
+    pub(crate) fn establish(
+        listener: Listener,
+        cfg: &ClusterConfig,
+        poison: Arc<PoisonCell>,
+    ) -> io::Result<SocketComm> {
+        let n = cfg.size;
+        let rank = cfg.rank;
+        assert!(rank < n, "rank {rank} out of range for size {n}");
+        let eps = cfg.parsed_endpoints()?;
+        if eps.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cluster size {n} but {} endpoints", eps.len()),
+            ));
+        }
+        let deadline = Instant::now() + connect_timeout();
+        let handshake_timeout = Some(connect_timeout());
+        let mut conns: Vec<Option<Conn>> = (0..n).map(|_| None).collect();
+
+        // Connect to every lower rank…
+        for (j, ep) in eps.iter().enumerate().take(rank) {
+            let mut c = Conn::connect_retry(ep, deadline)?;
+            c.set_read_timeout(handshake_timeout)?;
+            write_hello(&mut c, rank as u32, n as u32)?;
+            let (r, s) = read_hello(&mut c)?;
+            if r as usize != j || s as usize != n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("endpoint {j} answered as rank {r} of {s} (expected {j} of {n})"),
+                ));
+            }
+            c.set_read_timeout(None)?;
+            conns[j] = Some(c);
+        }
+        // …and accept from every higher rank.
+        for _ in rank + 1..n {
+            let mut c = listener.accept_deadline(deadline)?;
+            c.set_read_timeout(handshake_timeout)?;
+            let (r, s) = read_hello(&mut c)?;
+            let r = r as usize;
+            if r <= rank || r >= n || s as usize != n || conns[r].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected HELLO from rank {r} of {s}"),
+                ));
+            }
+            write_hello(&mut c, rank as u32, n as u32)?;
+            c.set_read_timeout(None)?;
+            conns[r] = Some(c);
+        }
+
+        // Split each connection into a reader clone and the write half.
+        let mut reader_halves = Vec::with_capacity(n);
+        for (j, c) in conns.iter().enumerate() {
+            reader_halves.push(match c {
+                Some(conn) if j != rank => Some(conn.try_clone()?),
+                _ => None,
+            });
+        }
+        let inbox = Arc::new(Mailbox::default());
+        poison.register(inbox.clone());
+        let state = Arc::new(SocketState {
+            rank,
+            size: n,
+            inbox,
+            writers: conns.into_iter().map(Mutex::new).collect(),
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            ibarrier_gen: AtomicU64::new(0),
+            poison,
+            closed: AtomicBool::new(false),
+            readers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(n.saturating_sub(1));
+        for (j, half) in reader_halves.into_iter().enumerate() {
+            if let Some(conn) = half {
+                let st = state.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("bat-sock-r{rank}p{j}"))
+                        .spawn(move || reader_loop(conn, j, st))
+                        .expect("spawn reader thread"),
+                );
+            }
+        }
+        *state.readers.lock() = handles;
+        // Keep the listener alive until the mesh is up; drop it now (Unix
+        // paths are unlinked — reconnects are not part of the protocol).
+        drop(listener);
+        Ok(SocketComm {
+            state,
+            timeout: default_timeout(),
+        })
+    }
+}
+
+impl Comm for SocketComm {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.state.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.state.size
+    }
+
+    #[inline]
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    fn with_timeout(&self, timeout: Option<Duration>) -> Box<dyn Comm> {
+        Box::new(SocketComm {
+            state: self.state.clone(),
+            timeout,
+        })
+    }
+
+    fn clone_comm(&self) -> Box<dyn Comm> {
+        Box::new(self.clone())
+    }
+
+    fn transport(&self) -> &'static str {
+        "socket"
+    }
+
+    fn mark_dead(&self) {
+        let st = &self.state;
+        if st.dead[st.rank].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Best-effort death notice so peers fail fast instead of waiting
+        // out their deadlines. The write halves stay open: a dead rank may
+        // still send (crash simulation wants the flush-then-die shape).
+        for (j, w) in st.writers.iter().enumerate() {
+            if j == st.rank {
+                continue;
+            }
+            if let Some(conn) = w.lock().as_mut() {
+                let _ = write_dead(conn, st.rank as u32);
+            }
+        }
+        let _guard = st.inbox.queue.lock();
+        st.inbox.cv.notify_all();
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.state.dead[rank].load(Ordering::Acquire)
+    }
+
+    fn poison(&self) {
+        // Thread-hosted: trip the shared cell so sibling ranks panic out
+        // of their receives. Multi-process: the cell is private, so this
+        // degrades to mark_dead + connection teardown at process exit.
+        self.state.poison.poison();
+        self.mark_dead();
+    }
+
+    #[inline]
+    fn check_alive(&self) {
+        if self.state.poison.is_poisoned() {
+            panic!("cluster poisoned: another rank panicked");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.shutdown();
+    }
+
+    fn send_raw(&self, dst: usize, tag: u32, payload: Bytes) {
+        let st = &self.state;
+        if st.dead[dst].load(Ordering::Acquire) {
+            return;
+        }
+        if dst == st.rank {
+            st.deliver_local(Message {
+                src: st.rank,
+                tag,
+                payload,
+            });
+            return;
+        }
+        let mut guard = st.writers[dst].lock();
+        let failed = match guard.as_mut() {
+            Some(conn) => write_msg(conn, st.rank as u32, tag, &payload).is_err(),
+            None => false, // already torn down; drop like a dead mailbox
+        };
+        if failed {
+            *guard = None;
+            drop(guard);
+            st.mark_dead_local(dst);
+        }
+    }
+
+    fn recv_deadline_raw(
+        &self,
+        src: Option<usize>,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<Message, CommError> {
+        let st = &self.state;
+        let started = Instant::now();
+        let mut q = st.inbox.queue.lock();
+        loop {
+            if st.poison.is_poisoned() {
+                panic!("cluster poisoned: another rank panicked");
+            }
+            if let Some(i) = Mailbox::find(&q, src, tag) {
+                return Ok(q.remove(i));
+            }
+            // Dead-source check only after draining queued matches:
+            // frames received before the death are still deliverable.
+            if let Some(s) = src {
+                if st.dead[s].load(Ordering::Acquire) {
+                    return Err(CommError::PeerDead {
+                        rank: st.rank,
+                        peer: s,
+                        tag,
+                    });
+                }
+            }
+            match deadline {
+                None => st.inbox.cv.wait(&mut q),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(CommError::Timeout {
+                            rank: st.rank,
+                            src,
+                            tag,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    let _ = st.inbox.cv.wait_for(&mut q, d - now);
+                }
+            }
+        }
+    }
+
+    fn try_recv_raw(&self, src: Option<usize>, tag: u32) -> Option<Message> {
+        let mut q = self.state.inbox.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| q.remove(i))
+    }
+
+    fn iprobe_raw(&self, src: Option<usize>, tag: u32) -> Option<ProbeInfo> {
+        let q = self.state.inbox.queue.lock();
+        Mailbox::find(&q, src, tag).map(|i| ProbeInfo {
+            src: q[i].src,
+            tag: q[i].tag,
+            len: q[i].payload.len(),
+        })
+    }
+
+    fn next_ibarrier_generation(&self) -> u64 {
+        self.state.ibarrier_gen.fetch_add(1, Ordering::Relaxed)
+    }
+}

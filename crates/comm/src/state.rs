@@ -102,3 +102,34 @@ impl ClusterState {
         mb.cv.notify_all();
     }
 }
+
+/// Shared poison flag for thread-hosted socket clusters: ranks live in one
+/// process but talk over real sockets, so a panicking rank still needs a
+/// side channel to wake its siblings out of blocked receives. Each rank
+/// registers its inbox here; `poison` trips the flag and notifies them all.
+/// Multi-process clusters get a private cell per process (never tripped
+/// remotely — peers observe the death through the connection instead).
+#[derive(Default)]
+pub(crate) struct PoisonCell {
+    flag: AtomicBool,
+    inboxes: Mutex<Vec<Arc<Mailbox>>>,
+}
+
+impl PoisonCell {
+    pub(crate) fn register(&self, inbox: Arc<Mailbox>) {
+        self.inboxes.lock().push(inbox);
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn poison(&self) {
+        self.flag.store(true, Ordering::Release);
+        for mb in self.inboxes.lock().iter() {
+            // Same missed-wakeup discipline as `ClusterState::poison`.
+            let _guard = mb.queue.lock();
+            mb.cv.notify_all();
+        }
+    }
+}

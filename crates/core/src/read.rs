@@ -45,7 +45,7 @@ pub struct ReadReport {
 /// dataset `basename` in `dir`. Works for any rank count relative to the
 /// writing run (paper §IV-A).
 pub fn read_particles(
-    comm: &Comm,
+    comm: &dyn Comm,
     bounds: Aabb,
     dir: &Path,
     basename: &str,
@@ -55,7 +55,7 @@ pub fn read_particles(
 
 /// As [`read_particles`], returning per-phase timings as well.
 pub fn read_particles_timed(
-    comm: &Comm,
+    comm: &dyn Comm,
     bounds: Aabb,
     dir: &Path,
     basename: &str,
@@ -196,7 +196,7 @@ pub fn read_particles_timed(
 /// Fail the server loop when a peer has died or the loop deadline passed:
 /// mark this rank dead (cascading the failure to anyone blocked on it)
 /// and return a clean error instead of spinning forever.
-fn check_liveness(comm: &Comm, deadline: Option<Instant>) -> io::Result<()> {
+fn check_liveness(comm: &dyn Comm, deadline: Option<Instant>) -> io::Result<()> {
     if let Some(dead) = (0..comm.size()).find(|&r| r != comm.rank() && comm.is_dead(r)) {
         comm.mark_dead();
         return Err(io::Error::new(
@@ -273,7 +273,7 @@ const TAG_FULL_REPLY: u32 = 5;
 /// results returns to the asking rank. Termination uses the same
 /// nonblocking-barrier server loop as checkpoint reads.
 pub fn query_distributed(
-    comm: &Comm,
+    comm: &dyn Comm,
     q: &Query,
     dir: &Path,
     basename: &str,

@@ -228,7 +228,7 @@ pub fn meta_file_name(basename: &str) -> String {
 /// its bounds in the simulation domain; files land in `dir` under
 /// `basename`. Returns the same [`WriteReport`] on every rank.
 pub fn write_particles(
-    comm: &Comm,
+    comm: &dyn Comm,
     set: ParticleSet,
     bounds: Aabb,
     cfg: &WriteConfig,
@@ -244,7 +244,7 @@ pub fn write_particles(
 /// tree can be used for in transit visualization and analysis on the
 /// aggregators before or instead of being written to disk").
 pub fn write_particles_in_transit(
-    comm: &Comm,
+    comm: &dyn Comm,
     set: ParticleSet,
     bounds: Aabb,
     cfg: &WriteConfig,
@@ -290,7 +290,7 @@ pub trait LayoutSink: Sync {
 /// As [`write_particles`], but writing each leaf with a user-supplied
 /// [`LayoutSink`] instead of the BAT (§VII).
 pub fn write_particles_with_sink(
-    comm: &Comm,
+    comm: &dyn Comm,
     set: ParticleSet,
     bounds: Aabb,
     cfg: &WriteConfig,
@@ -410,7 +410,7 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
 
 /// A peer (or this rank) left the protocol: mark this rank dead so the
 /// failure cascades to everyone blocked on us, and surface a clean error.
-pub(crate) fn abandon(comm: &Comm, stage: &str, e: CommError) -> io::Error {
+pub(crate) fn abandon(comm: &dyn Comm, stage: &str, e: CommError) -> io::Error {
     comm.mark_dead();
     let io: io::Error = e.into();
     io::Error::new(
@@ -425,7 +425,7 @@ pub(crate) fn abandon(comm: &Comm, stage: &str, e: CommError) -> io::Error {
 /// each triggered `error` burns one attempt (exponential backoff, counted
 /// in `write.retries`); `kill` dies in place. Exhausting the attempts
 /// abandons the protocol like any other liveness failure.
-fn send_with_retry(comm: &Comm, dst: usize, tag: u32, payload: Bytes) -> io::Result<()> {
+fn send_with_retry(comm: &dyn Comm, dst: usize, tag: u32, payload: Bytes) -> io::Result<()> {
     const ATTEMPTS: u32 = 4;
     let mut backoff = std::time::Duration::from_millis(1);
     for attempt in 0..ATTEMPTS {
@@ -567,7 +567,7 @@ fn wire_io_err(stage: &str, err: Option<WireError>) -> io::Error {
 /// collective) runs to completion so no healthy rank is left blocked, and
 /// then all ranks return `Err` together.
 fn write_pipeline(
-    comm: &Comm,
+    comm: &dyn Comm,
     set: ParticleSet,
     bounds: Aabb,
     cfg: &WriteConfig,
@@ -668,7 +668,7 @@ fn write_pipeline(
     // together here (before any data flows) keeps phase 3's sends and
     // receives matched on the surviving ranks.
     let abort = comm
-        .try_allreduce_u64(setup_err.is_some() as u64, |a, b| a | b)
+        .try_allreduce_u64(setup_err.is_some() as u64, &|a, b| a | b)
         .map_err(|e| abandon(comm, "setup agreement", e))?
         != 0;
     if abort {
@@ -903,7 +903,7 @@ fn write_pipeline(
     // err on every survivor instead of hanging, and any local error
     // recorded above takes precedence in the returned report.
     let finalize = (|| -> Result<_, CommError> {
-        let bytes_total = comm.try_allreduce_u64(my_bytes, |a, b| a + b)?;
+        let bytes_total = comm.try_allreduce_u64(my_bytes, &|a, b| a + b)?;
         let merged_times = try_reduce_times(comm, &times)?;
         let summary = try_broadcast_summary(comm, meta_summary)?;
         Ok((bytes_total, merged_times, summary))
@@ -935,7 +935,10 @@ fn write_pipeline(
 
 /// Max-merge phase times across ranks and broadcast the result. Bounded:
 /// a dead peer errs the merge instead of hanging the trailing collective.
-pub(crate) fn try_reduce_times(comm: &Comm, times: &PhaseTimes) -> Result<PhaseTimes, CommError> {
+pub(crate) fn try_reduce_times(
+    comm: &dyn Comm,
+    times: &PhaseTimes,
+) -> Result<PhaseTimes, CommError> {
     let mut enc = Encoder::new();
     for p in WritePhase::ALL {
         enc.put_f64(times[p]);
@@ -989,7 +992,7 @@ fn balance_from_reports(reports: &[LeafReport], bpp: u64) -> BalanceStats {
 /// Broadcast rank 0's `(files, balance)` summary, or its absence when the
 /// metadata step failed; `Ok(None)` tells every rank to report the abort.
 fn try_broadcast_summary(
-    comm: &Comm,
+    comm: &dyn Comm,
     summary: Option<(usize, BalanceStats)>,
 ) -> Result<Option<(usize, BalanceStats)>, CommError> {
     let payload = (comm.rank() == 0).then(|| {

@@ -118,6 +118,27 @@ impl QueryPlan {
     /// Plan `q` against `ds`. Touches only metadata and file heads — no
     /// treelet pages — and emits `plan.*` counters through bat-obs.
     pub fn new(ds: &Dataset, q: &Query) -> Result<QueryPlan, ServeError> {
+        QueryPlan::plan_filtered(ds, q, None)
+    }
+
+    /// Plan `q` against only the given leaf files (`owned` must be
+    /// sorted). This is the shard-side planner: a shard process owning a
+    /// contiguous slice of the aggregation tree's leaves plans exactly its
+    /// slice, and — because per-file planning and the coverage ordering
+    /// are independent of which other files exist — produces the same
+    /// per-file plans, in the same relative order, as the global plan
+    /// restricted to those leaves. That invariant is what lets the shard
+    /// router merge per-leaf result streams back into the exact
+    /// single-process answer.
+    pub fn for_leaves(ds: &Dataset, q: &Query, owned: &[u32]) -> Result<QueryPlan, ServeError> {
+        QueryPlan::plan_filtered(ds, q, Some(owned))
+    }
+
+    fn plan_filtered(
+        ds: &Dataset,
+        q: &Query,
+        owned: Option<&[u32]>,
+    ) -> Result<QueryPlan, ServeError> {
         let query = q.clone().validated(ds.descs().len())?;
         let candidates = ds
             .meta()
@@ -128,6 +149,9 @@ impl QueryPlan {
         let mut files = Vec::new();
         for leaf in candidates {
             if ds.excluded_leaves().binary_search(&leaf).is_ok() {
+                continue;
+            }
+            if owned.is_some_and(|o| o.binary_search(&leaf).is_err()) {
                 continue;
             }
             stats.files_considered += 1;
@@ -201,36 +225,61 @@ impl QueryPlan {
         let mut stats = QueryStats::default();
         let mut done = 0u64;
         for pf in &self.files {
-            stats.nodes_visited += pf.plan.shallow_nodes_visited;
-            stats.bitmap_hits += pf.plan.shallow_bitmap_hits;
-            stats.bitmap_skips += pf.plan.pruned_bitmap;
-            // Range-backed files fetch the whole plan in a few coalesced
-            // requests before the treelet loop; a no-op for local
-            // (block-backed) files. Files are already in overlap order, so
-            // the speculative bytes are the most likely to be consumed
-            // before any deadline fires.
-            pf.file.prefetch(&pf.plan);
-            let mut scratch = QueryScratch::default();
-            for &t in pf.plan.treelets() {
-                if deadline.is_some_and(|d| Instant::now() >= d) {
-                    bat_obs::counter_add("serve.deadline_expired", 1);
-                    return Err(ServeError::DeadlineExpired {
-                        treelets_done: done,
-                        treelets_planned: self.stats.treelets_planned,
-                    });
-                }
-                pf.file.execute_treelet(
-                    &self.query,
-                    &pf.plan,
-                    t,
-                    &mut scratch,
-                    &mut stats,
-                    &mut cb,
-                )?;
-                done += 1;
-            }
+            self.execute_file(pf, deadline, &mut stats, &mut done, &mut cb)?;
         }
         Ok(stats)
+    }
+
+    /// Execute only the planned file for `leaf`, invoking `cb` per
+    /// matching point. A no-op returning empty stats when the plan pruned
+    /// (or never considered) that leaf. This is the shard execution
+    /// granularity: the router asks the owning shard for one leaf's worth
+    /// of points at a time, in global plan order.
+    pub fn execute_leaf(
+        &self,
+        leaf: u32,
+        deadline: Option<Instant>,
+        mut cb: impl FnMut(PointRecord<'_>),
+    ) -> Result<QueryStats, ServeError> {
+        let mut stats = QueryStats::default();
+        let mut done = 0u64;
+        if let Some(pf) = self.files.iter().find(|f| f.leaf == leaf) {
+            self.execute_file(pf, deadline, &mut stats, &mut done, &mut cb)?;
+        }
+        Ok(stats)
+    }
+
+    fn execute_file(
+        &self,
+        pf: &PlannedFile,
+        deadline: Option<Instant>,
+        stats: &mut QueryStats,
+        done: &mut u64,
+        cb: &mut impl FnMut(PointRecord<'_>),
+    ) -> Result<(), ServeError> {
+        stats.nodes_visited += pf.plan.shallow_nodes_visited;
+        stats.bitmap_hits += pf.plan.shallow_bitmap_hits;
+        stats.bitmap_skips += pf.plan.pruned_bitmap;
+        // Range-backed files fetch the whole plan in a few coalesced
+        // requests before the treelet loop; a no-op for local
+        // (block-backed) files. Files are already in overlap order, so
+        // the speculative bytes are the most likely to be consumed
+        // before any deadline fires.
+        pf.file.prefetch(&pf.plan);
+        let mut scratch = QueryScratch::default();
+        for &t in pf.plan.treelets() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                bat_obs::counter_add("serve.deadline_expired", 1);
+                return Err(ServeError::DeadlineExpired {
+                    treelets_done: *done,
+                    treelets_planned: self.stats.treelets_planned,
+                });
+            }
+            pf.file
+                .execute_treelet(&self.query, &pf.plan, t, &mut scratch, stats, cb)?;
+            *done += 1;
+        }
+        Ok(())
     }
 }
 

@@ -60,9 +60,13 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::{RequestError, StreamClient};
 pub use protocol::{
-    Chunk, Request, ServerMsg, CHUNK_POINTS, ERR_BAD_QUERY, ERR_DEADLINE, ERR_INTERNAL,
+    Chunk, Request, ServerMsg, CHUNK_POINTS, ERR_BAD_QUERY, ERR_DEADLINE, ERR_INTERNAL, ERR_SHARD,
 };
 pub use server::{ServerHandle, StreamServer};
+pub use shard::{
+    owned_leaves, run_shard, shard_of, ShardFront, ShardQueryError, ShardRouter, ROUTER_RANK,
+};

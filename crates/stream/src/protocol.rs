@@ -42,6 +42,10 @@ pub const ERR_BAD_QUERY: u32 = 2;
 /// [`ServerMsg::Error`] code: the server failed internally (I/O, corrupt
 /// file); the session stays usable.
 pub const ERR_INTERNAL: u32 = 3;
+/// [`ServerMsg::Error`] code: a shard process behind the router died or
+/// went silent mid-query; any streamed chunks are partial. The session
+/// stays usable (later requests may hit the surviving shards).
+pub const ERR_SHARD: u32 = 4;
 /// Hard cap on any framed message (a sanity bound against corrupt frames).
 const MAX_FRAME: u32 = 64 << 20;
 
@@ -119,6 +123,58 @@ pub enum ServerMsg {
     },
 }
 
+/// Encode a [`Chunk`]'s body (shared between the client protocol and the
+/// shard fabric's inter-process frames, so a router can relay shard
+/// chunks without re-encoding points).
+pub fn encode_chunk(enc: &mut Encoder, c: &Chunk) {
+    enc.put_u64(c.num_attrs as u64);
+    enc.put_u64(c.positions.len() as u64);
+    for p in &c.positions {
+        enc.put_f32(p.x);
+        enc.put_f32(p.y);
+        enc.put_f32(p.z);
+    }
+    enc.put_f64_slice(&c.attrs);
+}
+
+/// Decode a [`Chunk`]'s body (inverse of [`encode_chunk`]).
+pub fn decode_chunk(dec: &mut Decoder) -> WireResult<Chunk> {
+    let num_attrs = dec.get_usize("chunk attrs")?;
+    let n = dec.get_usize("chunk points")?;
+    if n > CHUNK_POINTS || num_attrs > 4096 {
+        return Err(WireError::BadLength {
+            what: "chunk size",
+            len: n as u64,
+            remaining: dec.remaining(),
+        });
+    }
+    // Positions are a bare column; decode them in one bulk pass.
+    let raw = dec.get_raw(n * 12, "chunk positions")?;
+    let positions: Vec<Vec3> = raw
+        .chunks_exact(12)
+        .map(|c| {
+            Vec3::new(
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+            )
+        })
+        .collect();
+    let attrs = dec.get_f64_vec("chunk attrs data")?;
+    if attrs.len() != n * num_attrs {
+        return Err(WireError::BadLength {
+            what: "chunk attr payload",
+            len: attrs.len() as u64,
+            remaining: dec.remaining(),
+        });
+    }
+    Ok(Chunk {
+        positions,
+        attrs,
+        num_attrs,
+    })
+}
+
 /// Write one length-framed message.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len())
@@ -189,14 +245,7 @@ impl ServerMsg {
             }
             ServerMsg::Chunk(c) => {
                 enc.put_u8(MSG_CHUNK);
-                enc.put_u64(c.num_attrs as u64);
-                enc.put_u64(c.positions.len() as u64);
-                for p in &c.positions {
-                    enc.put_f32(p.x);
-                    enc.put_f32(p.y);
-                    enc.put_f32(p.z);
-                }
-                enc.put_f64_slice(&c.attrs);
+                encode_chunk(&mut enc, c);
             }
             ServerMsg::Done { points } => {
                 enc.put_u8(MSG_DONE);
@@ -238,42 +287,7 @@ impl ServerMsg {
                     total_particles,
                 }))
             }
-            MSG_CHUNK => {
-                let num_attrs = dec.get_usize("chunk attrs")?;
-                let n = dec.get_usize("chunk points")?;
-                if n > CHUNK_POINTS || num_attrs > 4096 {
-                    return Err(WireError::BadLength {
-                        what: "chunk size",
-                        len: n as u64,
-                        remaining: dec.remaining(),
-                    });
-                }
-                // Positions are a bare column; decode them in one bulk pass.
-                let raw = dec.get_raw(n * 12, "chunk positions")?;
-                let positions: Vec<Vec3> = raw
-                    .chunks_exact(12)
-                    .map(|c| {
-                        Vec3::new(
-                            f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
-                            f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
-                            f32::from_le_bytes([c[8], c[9], c[10], c[11]]),
-                        )
-                    })
-                    .collect();
-                let attrs = dec.get_f64_vec("chunk attrs data")?;
-                if attrs.len() != n * num_attrs {
-                    return Err(WireError::BadLength {
-                        what: "chunk attr payload",
-                        len: attrs.len() as u64,
-                        remaining: dec.remaining(),
-                    });
-                }
-                Ok(ServerMsg::Chunk(Chunk {
-                    positions,
-                    attrs,
-                    num_attrs,
-                }))
-            }
+            MSG_CHUNK => Ok(ServerMsg::Chunk(decode_chunk(&mut dec)?)),
             MSG_DONE => Ok(ServerMsg::Done {
                 points: dec.get_u64("done points")?,
             }),

@@ -121,6 +121,20 @@ impl StreamServer {
 }
 
 impl ServerHandle {
+    /// Wrap an accept-loop thread (shared with the shard front, which
+    /// reuses the self-connect shutdown wakeup).
+    pub(crate) fn new(
+        stop: Arc<AtomicBool>,
+        addr: SocketAddr,
+        thread: std::thread::JoinHandle<()>,
+    ) -> ServerHandle {
+        ServerHandle {
+            stop,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
     /// The server's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr

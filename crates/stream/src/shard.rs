@@ -1,0 +1,811 @@
+//! The shard fabric: one thin router process fanning queries out to N
+//! shard processes over a `bat-comm` cluster (DESIGN.md §14).
+//!
+//! Each shard owns a contiguous slice of the aggregation tree's leaf
+//! files ([`owned_leaves`]) and plans/executes queries against only its
+//! slice ([`bat_serve::QueryPlan::for_leaves`]). The router computes the
+//! *global* plan order (metadata only — no treelet pages), tells each
+//! owning shard which of its leaves to run and in what order, then merges
+//! the per-leaf result streams back into exactly the single-process
+//! answer:
+//!
+//! ```text
+//! router → shard   Ctrl::Query { req_tag, budget, query, leaves }   (tag TAG_CTRL)
+//! shard  → router  Chunk { ≤ CHUNK_POINTS points }                  (tag req_tag, repeated)
+//! shard  → router  LeafDone { leaf }                                (after each leaf)
+//! shard  → router  Done { points } | Failed { code, message }       (end of request)
+//! ```
+//!
+//! Correctness of the merge rests on two invariants: per-file planning is
+//! independent of which other files exist (so a shard's restricted plan
+//! equals the global plan's slice), and `bat-comm` guarantees per-(source,
+//! tag) FIFO delivery (so one shard's frames arrive in emission order).
+//! The router consumes frames leaf-by-leaf in global plan order; frames
+//! from not-yet-merged shards simply wait in the mailbox.
+//!
+//! Failure semantics: every router receive is deadline-bounded, so a shard
+//! killed mid-query surfaces as a typed [`ShardQueryError`] within the
+//! wait budget — never a hang, and never partial bytes presented as a
+//! complete result (the client sees `Error`, not `Done`).
+
+use crate::protocol::{
+    decode_chunk, encode_chunk, Chunk, CHUNK_POINTS, ERR_BAD_QUERY, ERR_DEADLINE, ERR_INTERNAL,
+};
+use bat_comm::{Comm, CommError, MAX_USER_TAG};
+use bat_layout::Query;
+use bat_serve::{QueryPlan, ServeError};
+use bat_wire::{Decoder, Encoder, WireError, WireResult};
+use bytes::Bytes;
+use libbat::Dataset;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The router's rank in the shard cluster; shards are ranks `1..=N`.
+pub const ROUTER_RANK: usize = 0;
+
+/// Control tag (router → shard).
+const TAG_CTRL: u32 = 1;
+/// First per-query streaming tag; queries allocate tags round-robin above
+/// this so concurrent fan-outs never share a (source, tag) stream.
+const FIRST_REQ_TAG: u32 = 64;
+
+/// How long the router waits on a silent shard when the query has no
+/// deadline of its own (`BAT_SHARD_WAIT_MS`, default 30 s).
+fn shard_wait() -> Duration {
+    std::env::var("BAT_SHARD_WAIT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30))
+}
+
+// ---------------------------------------------------------------------------
+// Leaf partition
+// ---------------------------------------------------------------------------
+
+/// Owner shard (0-based, contiguous equal slices) of `leaf`.
+pub fn shard_of(leaf: u32, num_leaves: usize, num_shards: usize) -> usize {
+    debug_assert!((leaf as usize) < num_leaves);
+    ((leaf as usize + 1) * num_shards - 1) / num_leaves.max(1)
+}
+
+/// The sorted leaves shard `shard` owns out of `num_leaves`.
+pub fn owned_leaves(shard: usize, num_leaves: usize, num_shards: usize) -> Vec<u32> {
+    (0..num_leaves as u32)
+        .filter(|&l| shard_of(l, num_leaves, num_shards) == shard)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages (bat-wire encoded payloads inside bat-comm messages)
+// ---------------------------------------------------------------------------
+
+const CTRL_QUERY: u8 = 1;
+const CTRL_SHUTDOWN: u8 = 2;
+
+/// Router → shard control message.
+enum Ctrl {
+    Query {
+        /// Tag the shard streams this request's frames on.
+        req_tag: u32,
+        /// Remaining deadline budget in ms (0 = unbounded).
+        budget_ms: u64,
+        query: Query,
+        /// The shard's leaves to execute, in global plan order.
+        leaves: Vec<u32>,
+    },
+    Shutdown,
+}
+
+impl Ctrl {
+    fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        match self {
+            Ctrl::Query {
+                req_tag,
+                budget_ms,
+                query,
+                leaves,
+            } => {
+                enc.put_u8(CTRL_QUERY);
+                enc.put_u32(*req_tag);
+                enc.put_u64(*budget_ms);
+                query.encode(&mut enc);
+                enc.put_u64(leaves.len() as u64);
+                for &l in leaves {
+                    enc.put_u32(l);
+                }
+            }
+            Ctrl::Shutdown => enc.put_u8(CTRL_SHUTDOWN),
+        }
+        Bytes::from(enc.finish())
+    }
+
+    fn decode(payload: &[u8]) -> WireResult<Ctrl> {
+        let mut dec = Decoder::new(payload);
+        match dec.get_u8("ctrl tag")? {
+            CTRL_QUERY => {
+                let req_tag = dec.get_u32("ctrl req tag")?;
+                let budget_ms = dec.get_u64("ctrl budget")?;
+                let query = Query::decode(&mut dec)?;
+                let n = dec.get_usize("ctrl leaf count")?;
+                if n > (1 << 24) {
+                    return Err(WireError::BadLength {
+                        what: "ctrl leaf count",
+                        len: n as u64,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut leaves = Vec::with_capacity(n);
+                for _ in 0..n {
+                    leaves.push(dec.get_u32("ctrl leaf")?);
+                }
+                Ok(Ctrl::Query {
+                    req_tag,
+                    budget_ms,
+                    query,
+                    leaves,
+                })
+            }
+            CTRL_SHUTDOWN => Ok(Ctrl::Shutdown),
+            tag => Err(WireError::BadTag {
+                what: "ctrl tag",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+const SHARD_CHUNK: u8 = 1;
+const SHARD_LEAF_DONE: u8 = 2;
+const SHARD_DONE: u8 = 3;
+const SHARD_FAILED: u8 = 4;
+
+/// Shard → router frame on a request's streaming tag.
+enum ShardMsg {
+    Chunk(Chunk),
+    LeafDone { leaf: u32 },
+    Done { points: u64 },
+    Failed { code: u32, message: String },
+}
+
+impl ShardMsg {
+    fn encode(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        match self {
+            ShardMsg::Chunk(c) => {
+                enc.put_u8(SHARD_CHUNK);
+                encode_chunk(&mut enc, c);
+            }
+            ShardMsg::LeafDone { leaf } => {
+                enc.put_u8(SHARD_LEAF_DONE);
+                enc.put_u32(*leaf);
+            }
+            ShardMsg::Done { points } => {
+                enc.put_u8(SHARD_DONE);
+                enc.put_u64(*points);
+            }
+            ShardMsg::Failed { code, message } => {
+                enc.put_u8(SHARD_FAILED);
+                enc.put_u32(*code);
+                enc.put_str(message);
+            }
+        }
+        Bytes::from(enc.finish())
+    }
+
+    fn decode(payload: &[u8]) -> WireResult<ShardMsg> {
+        let mut dec = Decoder::new(payload);
+        match dec.get_u8("shard msg tag")? {
+            SHARD_CHUNK => Ok(ShardMsg::Chunk(decode_chunk(&mut dec)?)),
+            SHARD_LEAF_DONE => Ok(ShardMsg::LeafDone {
+                leaf: dec.get_u32("shard leaf")?,
+            }),
+            SHARD_DONE => Ok(ShardMsg::Done {
+                points: dec.get_u64("shard points")?,
+            }),
+            SHARD_FAILED => Ok(ShardMsg::Failed {
+                code: dec.get_u32("shard err code")?,
+                message: dec.get_str("shard err message")?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "shard msg tag",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------------
+
+/// Run a shard worker until the router shuts the cluster down (or dies).
+/// `comm.rank()` must be in `1..=num_shards`; the worker serves queries
+/// over its contiguous slice of `ds`'s leaves, streaming results back to
+/// [`ROUTER_RANK`].
+pub fn run_shard(comm: &dyn Comm, ds: &Dataset) -> std::io::Result<()> {
+    assert!(comm.rank() != ROUTER_RANK, "the router is not a shard");
+    loop {
+        // A rank that abandoned the protocol (fault kill) can no longer
+        // be sent a shutdown: stop serving on its behalf.
+        if comm.is_dead(comm.rank()) {
+            return Ok(());
+        }
+        // Poll with a bounded receive so a dead router ends the worker
+        // instead of parking it forever.
+        let msg = match comm.recv_timeout(Some(ROUTER_RANK), TAG_CTRL, Duration::from_secs(1)) {
+            Ok(m) => m,
+            Err(CommError::Timeout { .. }) => continue,
+            Err(CommError::PeerDead { .. }) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        match Ctrl::decode(&msg.payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            Ctrl::Shutdown => return Ok(()),
+            Ctrl::Query {
+                req_tag,
+                budget_ms,
+                query,
+                leaves,
+            } => {
+                serve_one(comm, ds, req_tag, budget_ms, &query, &leaves);
+                bat_obs::counter_add("shard.requests", 1);
+            }
+        }
+    }
+}
+
+/// Execute one fanned-out request on a shard: plan the owned slice, run
+/// each assigned leaf in the router's order, stream bounded chunks.
+fn serve_one(
+    comm: &dyn Comm,
+    ds: &Dataset,
+    req_tag: u32,
+    budget_ms: u64,
+    query: &Query,
+    leaves: &[u32],
+) {
+    let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
+    let fail = |e: &ServeError| {
+        let code = match e {
+            ServeError::DeadlineExpired { .. } => ERR_DEADLINE,
+            ServeError::Query(_) => ERR_BAD_QUERY,
+            _ => ERR_INTERNAL,
+        };
+        comm.isend(
+            ROUTER_RANK,
+            req_tag,
+            ShardMsg::Failed {
+                code,
+                message: e.to_string(),
+            }
+            .encode(),
+        );
+    };
+    let mut sorted = leaves.to_vec();
+    sorted.sort_unstable();
+    let plan = match QueryPlan::for_leaves(ds, query, &sorted) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let num_attrs = ds.descs().len();
+    let mut points = 0u64;
+    let mut chunk = Chunk {
+        positions: Vec::with_capacity(CHUNK_POINTS),
+        attrs: Vec::with_capacity(CHUNK_POINTS * num_attrs),
+        num_attrs,
+    };
+    for &leaf in leaves {
+        // The `shard.exec` failpoint: `delay:MS` makes this a slow shard
+        // (the fault matrix's slow-peer case); `kill` abandons the
+        // request mid-stream like a crash, with the rank marked dead so
+        // the router fails fast instead of waiting out its deadline.
+        if let Some(bat_faults::Fault::Kill) = bat_faults::fire("shard.exec") {
+            comm.mark_dead();
+            return;
+        }
+        let res = plan.execute_leaf(leaf, deadline, |p| {
+            chunk.positions.push(p.position);
+            chunk.attrs.extend_from_slice(p.attrs);
+            if chunk.len() == CHUNK_POINTS {
+                let full = std::mem::take(&mut chunk);
+                chunk.num_attrs = num_attrs;
+                points += full.len() as u64;
+                comm.isend(ROUTER_RANK, req_tag, ShardMsg::Chunk(full).encode());
+            }
+        });
+        if let Err(e) = res {
+            return fail(&e);
+        }
+        // Flush the partial chunk at the leaf boundary: the router needs
+        // every point of a leaf before the LeafDone marker so the merged
+        // stream is leaf-contiguous in global plan order.
+        if !chunk.is_empty() {
+            let last = std::mem::take(&mut chunk);
+            chunk.num_attrs = num_attrs;
+            points += last.len() as u64;
+            comm.isend(ROUTER_RANK, req_tag, ShardMsg::Chunk(last).encode());
+        }
+        comm.isend(ROUTER_RANK, req_tag, ShardMsg::LeafDone { leaf }.encode());
+    }
+    comm.isend(ROUTER_RANK, req_tag, ShardMsg::Done { points }.encode());
+    bat_obs::counter_add("shard.points_sent", points);
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// Why a fanned-out query failed.
+#[derive(Debug)]
+pub enum ShardQueryError {
+    /// Planning the global order failed locally (bad query, I/O).
+    Plan(ServeError),
+    /// A shard reported a typed execution failure (`ERR_*` codes).
+    Shard {
+        /// The failing shard (0-based).
+        shard: usize,
+        /// The `ERR_*` code it reported.
+        code: u32,
+        /// Its message.
+        message: String,
+    },
+    /// A shard went silent or died mid-query; the wait was bounded.
+    Comm {
+        /// The shard the router was waiting on (0-based).
+        shard: usize,
+        /// The transport-level error.
+        error: CommError,
+    },
+}
+
+impl std::fmt::Display for ShardQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardQueryError::Plan(e) => write!(f, "shard fan-out planning: {e}"),
+            ShardQueryError::Shard {
+                shard,
+                code,
+                message,
+            } => {
+                write!(f, "shard {shard} failed (code {code}): {message}")
+            }
+            ShardQueryError::Comm { shard, error } => {
+                write!(f, "shard {shard} unreachable: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardQueryError {}
+
+impl From<ServeError> for ShardQueryError {
+    fn from(e: ServeError) -> ShardQueryError {
+        ShardQueryError::Plan(e)
+    }
+}
+
+/// The router: plans globally, fans out to owning shards, merges streams.
+/// Shareable across session threads (receives use per-query tags, so
+/// concurrent fan-outs never steal each other's frames).
+pub struct ShardRouter {
+    comm: Box<dyn Comm>,
+    ds: Arc<Dataset>,
+    next_tag: AtomicU32,
+}
+
+impl ShardRouter {
+    /// Wrap the router rank's communicator (`comm.rank()` must be
+    /// [`ROUTER_RANK`]; shards are the other `comm.size() - 1` ranks).
+    pub fn new(comm: Box<dyn Comm>, ds: Arc<Dataset>) -> ShardRouter {
+        assert_eq!(comm.rank(), ROUTER_RANK, "the router must be rank 0");
+        assert!(comm.size() >= 2, "a shard cluster needs at least one shard");
+        ShardRouter {
+            comm,
+            ds,
+            next_tag: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of shard processes behind this router.
+    pub fn num_shards(&self) -> usize {
+        self.comm.size() - 1
+    }
+
+    /// The dataset served (for session schema preambles).
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.ds
+    }
+
+    /// Tell every shard to exit its serve loop, then tear down the
+    /// router's own transport (idempotent; frames already written are
+    /// flushed before connections close).
+    pub fn shutdown(&self) {
+        for shard in 0..self.num_shards() {
+            self.comm
+                .isend(1 + shard, TAG_CTRL, Ctrl::Shutdown.encode());
+        }
+        self.comm.shutdown();
+    }
+
+    /// Fan `q` out to the owning shards and merge the result streams in
+    /// global plan order, handing each merged chunk to `sink`. Returns the
+    /// total points streamed. Every receive is bounded by the remaining
+    /// `deadline` (plus a relay grace period) or `BAT_SHARD_WAIT_MS`, so a
+    /// killed or wedged shard yields a typed error, never a hang — and
+    /// chunks already sunk are explicitly partial (`Err`, not `Ok`).
+    pub fn query(
+        &self,
+        q: &Query,
+        deadline: Option<Duration>,
+        mut sink: impl FnMut(Chunk),
+    ) -> Result<u64, ShardQueryError> {
+        let num_leaves = self.ds.meta().leaves.len();
+        let num_shards = self.num_shards();
+        let expires = deadline.map(|d| Instant::now() + d);
+
+        // Global plan: metadata + file heads only; execution happens on
+        // the shards. Its file order is the merge order.
+        let plan = QueryPlan::new(&self.ds, q)?;
+        let order: Vec<u32> = plan.file_order().collect();
+        let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for &leaf in &order {
+            assigned[shard_of(leaf, num_leaves, num_shards)].push(leaf);
+        }
+
+        let seq = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let req_tag = FIRST_REQ_TAG + seq % (MAX_USER_TAG - FIRST_REQ_TAG);
+        let budget_ms = deadline.map_or(0, |d| d.as_millis().max(1) as u64);
+        let participants: Vec<usize> = (0..num_shards)
+            .filter(|&s| !assigned[s].is_empty())
+            .collect();
+        for &s in &participants {
+            self.comm.isend(
+                1 + s,
+                TAG_CTRL,
+                Ctrl::Query {
+                    req_tag,
+                    budget_ms,
+                    query: q.clone(),
+                    leaves: std::mem::take(&mut assigned[s]),
+                }
+                .encode(),
+            );
+        }
+
+        // Merge leaf-by-leaf in global order. Per-(source, tag) FIFO means
+        // each shard's frames arrive in emission order; frames from shards
+        // later in the merge wait in the mailbox.
+        let recv = |shard: usize| -> Result<ShardMsg, ShardQueryError> {
+            let wait = match expires {
+                // Grace on top of the shard's own budget, so the shard's
+                // typed DeadlineExpired beats the router's Timeout.
+                Some(e) => e.saturating_duration_since(Instant::now()) + Duration::from_secs(2),
+                None => shard_wait(),
+            };
+            let msg = self
+                .comm
+                .recv_timeout(Some(1 + shard), req_tag, wait)
+                .map_err(|error| ShardQueryError::Comm { shard, error })?;
+            ShardMsg::decode(&msg.payload).map_err(|e| ShardQueryError::Shard {
+                shard,
+                code: ERR_INTERNAL,
+                message: format!("undecodable shard frame: {e}"),
+            })
+        };
+
+        let mut points = 0u64;
+        for &leaf in &order {
+            let shard = shard_of(leaf, num_leaves, num_shards);
+            loop {
+                match recv(shard)? {
+                    ShardMsg::Chunk(c) => {
+                        points += c.len() as u64;
+                        sink(c);
+                    }
+                    ShardMsg::LeafDone { leaf: l } => {
+                        if l != leaf {
+                            return Err(ShardQueryError::Shard {
+                                shard,
+                                code: ERR_INTERNAL,
+                                message: format!("shard finished leaf {l}, router expected {leaf}"),
+                            });
+                        }
+                        break;
+                    }
+                    ShardMsg::Done { .. } => {
+                        return Err(ShardQueryError::Shard {
+                            shard,
+                            code: ERR_INTERNAL,
+                            message: format!("shard done before finishing leaf {leaf}"),
+                        })
+                    }
+                    ShardMsg::Failed { code, message } => {
+                        return Err(ShardQueryError::Shard {
+                            shard,
+                            code,
+                            message,
+                        })
+                    }
+                }
+            }
+        }
+        // Every participant's terminal frame; their per-shard counts must
+        // re-add to the merged total or the merge dropped something.
+        let mut confirmed = 0u64;
+        for &s in &participants {
+            match recv(s)? {
+                ShardMsg::Done { points: p } => confirmed += p,
+                ShardMsg::Failed { code, message } => {
+                    return Err(ShardQueryError::Shard {
+                        shard: s,
+                        code,
+                        message,
+                    })
+                }
+                _ => {
+                    return Err(ShardQueryError::Shard {
+                        shard: s,
+                        code: ERR_INTERNAL,
+                        message: "unexpected frame after the last leaf".into(),
+                    })
+                }
+            }
+        }
+        if confirmed != points {
+            return Err(ShardQueryError::Shard {
+                shard: usize::MAX,
+                code: ERR_INTERNAL,
+                message: format!("shards report {confirmed} points, router merged {points}"),
+            });
+        }
+        bat_obs::counter_add("router.requests", 1);
+        bat_obs::counter_add("router.points_merged", points);
+        Ok(points)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing TCP front (the router's stream-protocol face)
+// ---------------------------------------------------------------------------
+
+/// A bound-but-not-running router front: speaks the same stream protocol
+/// as [`crate::StreamServer`] to clients, but executes every request as a
+/// shard fan-out. The bounded [`bat_serve::ServePool`] caps concurrent
+/// fan-outs; a full queue surfaces as `Busy { retry_after }` exactly like
+/// the single-process server.
+pub struct ShardFront {
+    listener: std::net::TcpListener,
+    router: Arc<ShardRouter>,
+    options: bat_serve::ServeOptions,
+}
+
+struct FrontCtx {
+    router: Arc<ShardRouter>,
+    pool: bat_serve::ServePool,
+    deadline: Option<Duration>,
+}
+
+enum FrontReply {
+    Chunk(Chunk),
+    Done { points: u64 },
+    Failed { code: u32, message: String },
+}
+
+impl ShardFront {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`).
+    pub fn bind(
+        addr: &str,
+        router: Arc<ShardRouter>,
+        options: bat_serve::ServeOptions,
+    ) -> std::io::Result<ShardFront> {
+        Ok(ShardFront {
+            listener: std::net::TcpListener::bind(addr)?,
+            router,
+            options,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Start accepting clients on a background thread; same lifecycle as
+    /// [`crate::StreamServer::spawn`] (shutdown joins sessions and drains
+    /// the pool, letting in-flight fan-outs finish).
+    pub fn spawn(self) -> std::io::Result<crate::server::ServerHandle> {
+        use std::sync::atomic::{AtomicBool, Ordering as AOrd};
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr()?;
+        let stop2 = stop.clone();
+        let ctx = Arc::new(FrontCtx {
+            router: self.router,
+            pool: bat_serve::ServePool::new(self.options.pool_config()),
+            deadline: self.options.deadline,
+        });
+        let listener = self.listener;
+        let thread = std::thread::spawn(move || {
+            let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                if stop2.load(AOrd::Acquire) {
+                    break;
+                }
+                let ctx = ctx.clone();
+                sessions.push(std::thread::spawn(move || {
+                    let _ = front_session(stream, &ctx);
+                }));
+                sessions.retain(|s| !s.is_finished());
+            }
+            for s in sessions {
+                s.join().ok();
+            }
+        });
+        Ok(crate::server::ServerHandle::new(stop, addr, thread))
+    }
+}
+
+/// Serve one client session on the router: schema preamble, then
+/// request → fan-out → merged stream cycles until disconnect.
+fn front_session(stream: std::net::TcpStream, ctx: &FrontCtx) -> std::io::Result<()> {
+    use crate::protocol::{read_frame, write_frame, Request, Schema, ServerMsg, ERR_SHARD};
+    use std::io::Write;
+
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let mut writer = std::io::BufWriter::new(stream);
+
+    let ds = ctx.router.dataset();
+    let schema = ServerMsg::Schema(Schema {
+        descs: ds.descs().to_vec(),
+        total_particles: ds.num_particles(),
+    });
+    write_frame(&mut writer, &schema.encode())?;
+    writer.flush()?;
+
+    while let Some(payload) = read_frame(&mut reader)? {
+        let request = Request::decode(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        // The deadline covers queue wait + fan-out, like the
+        // single-process server: the clock starts at submission.
+        let expires = ctx.deadline.map(|d| Instant::now() + d);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<FrontReply>(4);
+        let router = ctx.router.clone();
+        let query = request.query.clone();
+        let submitted = ctx.pool.submit(move || {
+            let budget = expires.map(|e| e.saturating_duration_since(Instant::now()));
+            let result = router.query(&query, budget, |c| {
+                let _ = tx.send(FrontReply::Chunk(c));
+            });
+            let _ = match result {
+                Ok(points) => tx.send(FrontReply::Done { points }),
+                Err(e) => {
+                    let code = match &e {
+                        ShardQueryError::Plan(ServeError::Query(_)) => ERR_BAD_QUERY,
+                        ShardQueryError::Plan(ServeError::DeadlineExpired { .. }) => ERR_DEADLINE,
+                        ShardQueryError::Plan(_) => ERR_INTERNAL,
+                        ShardQueryError::Shard { code, .. } => *code,
+                        ShardQueryError::Comm { .. } => ERR_SHARD,
+                    };
+                    tx.send(FrontReply::Failed {
+                        code,
+                        message: e.to_string(),
+                    })
+                }
+            };
+        });
+        if let Err(rejected) = submitted {
+            let retry_after_ms = rejected.retry_after.as_millis() as u64;
+            write_frame(&mut writer, &ServerMsg::Busy { retry_after_ms }.encode())?;
+            writer.flush()?;
+            continue;
+        }
+        for reply in rx {
+            let encoded = match reply {
+                FrontReply::Chunk(c) => ServerMsg::Chunk(c).encode(),
+                FrontReply::Done { points } => ServerMsg::Done { points }.encode(),
+                FrontReply::Failed { code, message } => ServerMsg::Error { code, message }.encode(),
+            };
+            write_frame(&mut writer, &encoded)?;
+        }
+        writer.flush()?;
+        bat_obs::counter_add("router.sessions_requests", 1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        for (num_leaves, num_shards) in [(10, 4), (1, 1), (7, 7), (16, 3), (5, 8)] {
+            let mut seen = Vec::new();
+            for s in 0..num_shards {
+                let owned = owned_leaves(s, num_leaves, num_shards);
+                // Contiguous run.
+                for w in owned.windows(2) {
+                    assert_eq!(w[1], w[0] + 1);
+                }
+                for &l in &owned {
+                    assert_eq!(shard_of(l, num_leaves, num_shards), s);
+                }
+                seen.extend(owned);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..num_leaves as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ctrl_roundtrip() {
+        let c = Ctrl::Query {
+            req_tag: 77,
+            budget_ms: 1500,
+            query: Query::new().with_quality(0.5),
+            leaves: vec![3, 1, 9],
+        };
+        match Ctrl::decode(&c.encode()).unwrap() {
+            Ctrl::Query {
+                req_tag,
+                budget_ms,
+                leaves,
+                ..
+            } => {
+                assert_eq!(req_tag, 77);
+                assert_eq!(budget_ms, 1500);
+                assert_eq!(leaves, vec![3, 1, 9]);
+            }
+            _ => panic!("wrong ctrl variant"),
+        }
+        assert!(matches!(
+            Ctrl::decode(&Ctrl::Shutdown.encode()).unwrap(),
+            Ctrl::Shutdown
+        ));
+    }
+
+    #[test]
+    fn shard_msg_roundtrip() {
+        let msgs = [
+            ShardMsg::Chunk(Chunk {
+                positions: vec![bat_geom::Vec3::ONE],
+                attrs: vec![2.5],
+                num_attrs: 1,
+            }),
+            ShardMsg::LeafDone { leaf: 4 },
+            ShardMsg::Done { points: 12 },
+            ShardMsg::Failed {
+                code: ERR_INTERNAL,
+                message: "boom".into(),
+            },
+        ];
+        for m in msgs {
+            let rt = ShardMsg::decode(&m.encode()).unwrap();
+            match (&m, &rt) {
+                (ShardMsg::Chunk(a), ShardMsg::Chunk(b)) => assert_eq!(a, b),
+                (ShardMsg::LeafDone { leaf: a }, ShardMsg::LeafDone { leaf: b }) => {
+                    assert_eq!(a, b)
+                }
+                (ShardMsg::Done { points: a }, ShardMsg::Done { points: b }) => assert_eq!(a, b),
+                (
+                    ShardMsg::Failed {
+                        code: a,
+                        message: am,
+                    },
+                    ShardMsg::Failed {
+                        code: b,
+                        message: bm,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(am, bm);
+                }
+                _ => panic!("variant changed in roundtrip"),
+            }
+        }
+    }
+}

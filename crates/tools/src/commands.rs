@@ -522,6 +522,220 @@ fn next_list(
     Ok(vals)
 }
 
+/// `bat shard-serve` — serve a dataset through a multi-process shard
+/// fabric: this process becomes the router (rank 0) and client-facing
+/// front; `--shards N` worker processes are spawned, each owning a
+/// contiguous slice of the aggregation tree's leaves and connected over a
+/// Unix-socket bat-comm cluster.
+pub fn shard_serve(args: &[String]) -> Result<()> {
+    let (dir, basename) = match (args.first(), args.get(1)) {
+        (Some(d), Some(b)) => (d.clone(), b.clone()),
+        _ => return Err("expected <dir> <basename>".into()),
+    };
+    let rest = &args[2..];
+    let mut addr = "127.0.0.1:4928".to_string();
+    let mut shards = 2usize;
+    let mut smoke = false;
+    let mut options = bat_serve::ServeOptions::from_env();
+    let mut it = rest.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--shards" => shards = next_f64(&mut it, "--shards")?.max(1.0) as usize,
+            "--workers" => {
+                options.workers = Some(next_f64(&mut it, "--workers")?.max(1.0) as usize)
+            }
+            "--queue" => {
+                options.queue_depth = Some(next_f64(&mut it, "--queue")?.max(1.0) as usize)
+            }
+            "--deadline-ms" => {
+                options.deadline = Some(std::time::Duration::from_millis(next_f64(
+                    &mut it,
+                    "--deadline-ms",
+                )? as u64))
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+
+    // The cluster: rank 0 (this process) is the router; ranks 1..=N are
+    // spawned shard workers, all meshed over Unix sockets in a scratch dir.
+    let sock_dir = std::env::temp_dir().join(format!("bat-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&sock_dir).map_err(|e| format!("socket dir: {e}"))?;
+    let cfg = bat_comm::ClusterConfig::unix_in_dir(&sock_dir, 1 + shards);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::new();
+    for s in 0..shards {
+        let child = std::process::Command::new(&exe)
+            .args(["shard-worker", &dir, &basename])
+            .env("BAT_CLUSTER", cfg.with_rank(1 + s).to_spec())
+            .spawn()
+            .map_err(|e| format!("spawn shard {s}: {e}"))?;
+        children.push(child);
+    }
+    let comm = bat_comm::Cluster::connect(&cfg).map_err(|e| format!("cluster connect: {e}"))?;
+
+    let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+    let particles = ds.num_particles();
+    let leaves = ds.meta().leaves.len();
+    let router = std::sync::Arc::new(bat_stream::ShardRouter::new(comm, std::sync::Arc::new(ds)));
+    let front = bat_stream::ShardFront::bind(&addr, router.clone(), options)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = front.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    let handle = front.spawn().map_err(|e| format!("start front: {e}"))?;
+    println!(
+        "shard-serving {particles} particles ({leaves} leaves) on {bound} across {shards} shard processes"
+    );
+
+    let teardown = |handle: bat_stream::ServerHandle,
+                    router: std::sync::Arc<bat_stream::ShardRouter>,
+                    mut children: Vec<std::process::Child>| {
+        handle.shutdown();
+        router.shutdown();
+        for c in &mut children {
+            c.wait().ok();
+        }
+        std::fs::remove_dir_all(&sock_dir).ok();
+    };
+
+    if smoke {
+        // Smoke mode: one local client proves the fan-out path end to
+        // end, then everything drains (used by CI and the tests).
+        let mut client = bat_stream::StreamClient::connect(bound)
+            .map_err(|e| format!("smoke client connect: {e}"))?;
+        let n = client
+            .request_with_retry(&Query::new().with_quality(0.2), 8, |_| {})
+            .map_err(|e| format!("smoke request: {e}"))?;
+        drop(client);
+        teardown(handle, router, children);
+        println!("smoke: streamed {n} points through {shards} shards, drained cleanly");
+        return Ok(());
+    }
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `bat shard-worker` — internal: one shard process of a `shard-serve`
+/// fabric. Expects its rank's topology in `BAT_CLUSTER`.
+pub fn shard_worker(args: &[String]) -> Result<()> {
+    let (dir, basename) = match (args.first(), args.get(1)) {
+        (Some(d), Some(b)) => (d.clone(), b.clone()),
+        _ => return Err("expected <dir> <basename>".into()),
+    };
+    let cfg = bat_comm::ClusterConfig::from_env()
+        .ok_or("shard-worker needs BAT_CLUSTER (it is spawned by shard-serve)")?
+        .map_err(|e| format!("BAT_CLUSTER: {e}"))?;
+    let comm = bat_comm::Cluster::connect(&cfg).map_err(|e| format!("cluster connect: {e}"))?;
+    let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+    let result = bat_stream::run_shard(&*comm, &ds);
+    comm.shutdown();
+    result.map_err(|e| format!("shard serve loop: {e}"))
+}
+
+/// `bat env` — print every `BAT_*` knob the workspace reads, with the
+/// value in effect for this process (see the README's environment table).
+pub fn env(_args: &[String]) -> Result<()> {
+    let get = |name: &str| std::env::var(name).ok();
+    let show = |name: &str, default: &str, what: &str| {
+        let (val, src) = match get(name) {
+            Some(v) => (v, "set"),
+            None => (default.to_string(), "default"),
+        };
+        println!("{name:<24} {val:<28} {src:<8} {what}");
+    };
+    println!(
+        "{:<24} {:<28} {:<8} meaning",
+        "knob", "effective value", "origin"
+    );
+    show(
+        "BAT_THREADS",
+        "(available cores)",
+        "work-stealing pool size for builds/queries",
+    );
+    show(
+        "BAT_TRANSPORT",
+        "channel",
+        "cluster transport: channel | socket | sim",
+    );
+    show(
+        "BAT_CLUSTER",
+        "(thread-hosted)",
+        "multi-process topology spec (transport=;rank=;size=;peers=)",
+    );
+    show(
+        "BAT_RECV_TIMEOUT_MS",
+        "(unbounded)",
+        "default deadline for bounded receives",
+    );
+    show(
+        "BAT_CONNECT_TIMEOUT_MS",
+        "10000",
+        "socket-transport mesh connect/handshake budget",
+    );
+    show(
+        "BAT_SOCKET_MAX_RANKS",
+        "12",
+        "thread-hosted socket cap before channel fallback",
+    );
+    show("BAT_SIM_LATENCY_US", "2", "sim transport one-way latency");
+    show(
+        "BAT_SIM_GBPS",
+        "7.14",
+        "sim transport per-NIC bandwidth (stampede2/oversub)",
+    );
+    show(
+        "BAT_SHARD_WAIT_MS",
+        "30000",
+        "router wait on a silent shard (no query deadline)",
+    );
+    show("BAT_SERVE_WORKERS", "(auto)", "serve pool worker threads");
+    show("BAT_SERVE_QUEUE", "64", "serve pool bounded queue depth");
+    show(
+        "BAT_SERVE_DEADLINE_MS",
+        "(none)",
+        "per-query serving deadline",
+    );
+    show(
+        "BAT_CACHE_BYTES",
+        "(off)",
+        "treelet page cache budget (accepts k/m/g suffixes)",
+    );
+    show(
+        "BAT_READ_BACKEND",
+        "mmap",
+        "reader backend: mmap | owned | range-file | range-sim",
+    );
+    show(
+        "BAT_RANGE_GAP_BYTES",
+        "16k",
+        "max gap merged into one coalesced range request",
+    );
+    show(
+        "BAT_RANGE_RETRIES",
+        "3",
+        "retries per failed/torn range request",
+    );
+    show(
+        "BAT_RANGE_BACKOFF_MS",
+        "1",
+        "base retry backoff (doubles per attempt)",
+    );
+    show(
+        "BAT_RANGE_PREFETCH",
+        "on",
+        "coalesced prefetch of planned treelets",
+    );
+    show(
+        "BAT_FAULTS",
+        "(none)",
+        "fault-injection spec (needs --features failpoints)",
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,9 @@
 //!                                           print the per-phase metrics breakdown
 //! batcli serve  <dir> <basename> [options]  serve the dataset to stream clients
 //!                                           (bounded pool, treelet cache, deadlines)
+//! batcli shard-serve <dir> <basename> [options]  serve through a multi-process
+//!                                           shard fabric (router + N workers)
+//! batcli env                                print every BAT_* knob in effect
 //! batcli density <dir> <basename>           ASCII density projection
 //! ```
 //!
@@ -35,6 +38,9 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "stats" => commands::stats(rest),
         "serve" => commands::serve(rest),
+        "shard-serve" => commands::shard_serve(rest),
+        "shard-worker" => commands::shard_worker(rest),
+        "env" => commands::env(rest),
         "density" => commands::density(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -71,5 +77,9 @@ USAGE:
                                    [--deadline-ms MS] [--cache-bytes N[k|m|g]]
                                    [--backend mmap|owned|range-file|range-sim]
                                    [--smoke]
+    batcli shard-serve <dir> <basename> [--shards N] [--addr HOST:PORT]
+                                   [--workers N] [--queue N] [--deadline-ms MS]
+                                   [--smoke]   (spawns N shard worker processes)
+    batcli env                        (print every BAT_* knob and its value)
     batcli density <dir> <basename> [--quality Q]"
 }
