@@ -161,7 +161,7 @@ fn run_smoke() {
         t1 * 1e3,
         t4 * 1e3,
     );
-    std::fs::write(JSON_PATH, json).expect("write BENCH_bat_build.json");
+    bat_bench::report::append_run(JSON_PATH, &json).expect("append BENCH_bat_build.json");
     println!("saved {JSON_PATH}");
 }
 

@@ -256,7 +256,7 @@ fn run_smoke() {
         naive.sim_ns as f64 / 1e6,
         coalesced.sim_ns as f64 / 1e6,
     );
-    std::fs::write(JSON_PATH, json).expect("write BENCH_range.json");
+    bat_bench::report::append_run(JSON_PATH, &json).expect("append BENCH_range.json");
     println!("saved {JSON_PATH}");
     std::fs::remove_dir_all(&dir).ok();
 }

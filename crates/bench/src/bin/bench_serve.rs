@@ -260,7 +260,7 @@ fn run_smoke() {
         cold * 1e3,
         warm * 1e3,
     );
-    std::fs::write(JSON_PATH, json).expect("write BENCH_serve.json");
+    bat_bench::report::append_run(JSON_PATH, &json).expect("append BENCH_serve.json");
     println!("saved {JSON_PATH}");
 }
 

@@ -339,7 +339,7 @@ fn run_smoke() {
         REPS * query_mix().len(),
         rows.join(",\n"),
     );
-    std::fs::write(JSON_PATH, json).expect("write BENCH_shard.json");
+    bat_bench::report::append_run(JSON_PATH, &json).expect("append BENCH_shard.json");
     println!("saved {JSON_PATH}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -119,6 +119,13 @@ impl Bat {
         crate::format::BatWriter::new(self)
     }
 
+    /// Like [`Bat::writer`] but with an explicit treelet codec, ignoring
+    /// `BAT_TREELET_CODEC`. Use [`crate::codec::Codec::V1`] to pin the
+    /// uncompressed format regardless of environment.
+    pub fn writer_with(&self, codec: crate::codec::Codec) -> crate::format::BatWriter<'_> {
+        crate::format::BatWriter::with_codec(self, codec)
+    }
+
     /// Stream the compacted form to `w` (byte-identical to
     /// [`Bat::to_bytes`]). Wrap file sinks in a `BufWriter`.
     pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<u64> {

@@ -56,6 +56,7 @@ pub mod attr;
 pub mod bitmap;
 pub mod build;
 pub mod cache;
+pub mod codec;
 pub mod columns;
 pub mod dict;
 pub mod footer;
@@ -75,6 +76,7 @@ pub use attr::{AttributeArray, AttributeDesc, AttributeType};
 pub use bitmap::Bitmap32;
 pub use build::{Bat, BatBuilder, BatConfig};
 pub use cache::{CacheStats, PageCache};
+pub use codec::Codec;
 pub use columns::ColumnarParticles;
 pub use dict::BitmapDictionary;
 pub use footer::{CrcSectionWriter, FileFooter, SectionCrc, SectionMismatch};

@@ -416,10 +416,85 @@ impl BatFile {
         };
         let mut scratch = QueryScratch::default();
         self.prefetch(plan);
+        self.decode_planned(plan);
         for &t in &plan.treelets {
             self.execute_treelet(q, plan, t, &mut scratch, &mut stats, &mut cb)?;
         }
         Ok(stats)
+    }
+
+    /// v2 + cache: decode the plan's not-yet-resident blocks in parallel
+    /// through the rayon pool, populating the cache ahead of the (still
+    /// sequential, deterministic) scan. Each block decodes independently to
+    /// the same bytes regardless of pool size, so results are byte-identical
+    /// with this warm-up disabled. Best-effort: any fetch/decode error is
+    /// dropped here and surfaced as the typed error on the demand path.
+    fn decode_planned(&self, plan: &FilePlan) {
+        let Some(codecs) = &self.head.codecs else {
+            return;
+        };
+        let Some(cache) = &self.cache else { return };
+        let pending: Vec<u32> = plan
+            .treelets
+            .iter()
+            .copied()
+            .filter(|&t| !cache.contains(self.file_id, t))
+            .collect();
+        if pending.len() < 2 {
+            return;
+        }
+        // Rayon workers don't inherit the query thread's cache-admission
+        // priority (it's thread-local), so capture and pass it through.
+        let priority = cache::thread_priority();
+        use rayon::prelude::*;
+        let _: Vec<()> = pending
+            .par_iter()
+            .map(|&t| {
+                let (Some(leaf), Some(rec)) =
+                    (self.head.leaves.get(t as usize), codecs.get(t as usize))
+                else {
+                    return;
+                };
+                let layout = TreeletLayout::compute(
+                    leaf.num_nodes as usize,
+                    leaf.num_particles as usize,
+                    &self.head.descs,
+                );
+                let start = leaf.offset as usize;
+                let stored = rec.stored_size();
+                if start + stored > self.backing.len() {
+                    return;
+                }
+                let decoded = match &self.backing {
+                    Backing::Block(data) => format::decode_block(
+                        &data[start..start + stored],
+                        rec,
+                        &layout,
+                        &self.head.descs,
+                        leaf.num_particles as usize,
+                    ),
+                    Backing::Range(reader) => {
+                        let comp = match reader.take_staged(t) {
+                            Some(arc) if arc.len() == stored => arc,
+                            _ => match reader.fetch(start as u64, stored) {
+                                Ok(bytes) => Arc::new(bytes),
+                                Err(_) => return,
+                            },
+                        };
+                        format::decode_block(
+                            &comp,
+                            rec,
+                            &layout,
+                            &self.head.descs,
+                            leaf.num_particles as usize,
+                        )
+                    }
+                };
+                if let Ok(block) = decoded {
+                    cache.insert(self.file_id, t, Arc::new(block), priority);
+                }
+            })
+            .collect();
     }
 
     /// Speculatively fetch the plan's treelet blocks in coalesced range
@@ -451,13 +526,13 @@ impl BatFile {
             let Some(leaf) = self.head.leaves.get(t as usize) else {
                 continue;
             };
-            let layout = TreeletLayout::compute(
-                leaf.num_nodes as usize,
-                leaf.num_particles as usize,
-                &self.head.descs,
-            );
-            if leaf.offset as usize + layout.size <= self.backing.len() {
-                wanted.push((t, leaf.offset, layout.size));
+            // Stored size: compressed bytes for v2, layout size for v1 —
+            // a remote prefetch only ever moves the on-disk bytes.
+            let Some(size) = self.head.stored_block_size(t as usize) else {
+                continue;
+            };
+            if leaf.offset as usize + size <= self.backing.len() {
+                wanted.push((t, leaf.offset, size));
             }
         }
         reader.prefetch_blocks(&wanted);
@@ -605,9 +680,12 @@ impl BatFile {
     }
 
     /// Interpret a treelet block in place, or from the page cache when one
-    /// is attached. Cached blocks are verbatim copies of the on-disk bytes,
-    /// so the two paths are byte-identical by construction; `storage` keeps
-    /// the cache's `Arc` alive for the borrow the returned view holds.
+    /// is attached. For v1 files, cached blocks are verbatim copies of the
+    /// on-disk bytes; for v2 files the cache holds *decoded* blocks (the
+    /// backing and any range fetch move only compressed bytes), and the
+    /// decoded image is a verbatim v1-layout block — so every path is
+    /// byte-identical by construction. `storage` keeps the materialized
+    /// `Arc` alive for the borrow the returned view holds.
     fn treelet_view<'a>(
         &'a self,
         leaf: &LeafRec,
@@ -621,13 +699,22 @@ impl BatFile {
             &self.head.descs,
         );
         let start = leaf.offset as usize;
-        let end = start + layout.size;
+        let stored_size = self
+            .head
+            .stored_block_size(treelet as usize)
+            .unwrap_or(layout.size);
+        let end = start + stored_size;
         if end > self.backing.len() {
             return Err(WireError::Truncated {
                 what: "treelet block",
                 needed: end,
                 remaining: self.backing.len(),
             });
+        }
+        if self.head.is_v2() {
+            let arc = self.decoded_block(leaf, treelet, &layout, start, stored_size, stats)?;
+            let block: &'a [u8] = storage.insert(arc).as_slice();
+            return TreeletView::over(block, leaf, &layout, &self.head, start, end);
         }
         // Pre-slice the block's sections once: every per-point access below
         // is then a cheap in-bounds index (section lengths are exact by
@@ -674,30 +761,65 @@ impl BatFile {
                 storage.insert(arc).as_slice()
             }
         };
-        let num_nodes = leaf.num_nodes as usize;
-        let num_points = leaf.num_particles as usize;
-        let nodes = &block[layout.nodes_off
-            ..layout.nodes_off + num_nodes * format::node_record_bytes(self.head.descs.len())];
-        let positions = &block
-            [layout.positions_off..layout.positions_off + num_points * format::POSITION_BYTES];
-        let attr_sections = self
+        TreeletView::over(block, leaf, &layout, &self.head, start, end)
+    }
+
+    /// Materialize one *decoded* v2 treelet block: attached cache first
+    /// (which stores decoded blocks and charges their decoded size), then
+    /// decode from the backing — a compressed slice of the block backing,
+    /// or staged/fetched compressed bytes over a range backing.
+    fn decoded_block(
+        &self,
+        leaf: &LeafRec,
+        treelet: u32,
+        layout: &TreeletLayout,
+        start: usize,
+        stored_size: usize,
+        stats: &mut QueryStats,
+    ) -> WireResult<Arc<Vec<u8>>> {
+        if let Some(cache) = &self.cache {
+            if let Some(arc) = cache.get(self.file_id, treelet) {
+                if arc.len() == layout.size {
+                    stats.cache_hits += 1;
+                    return Ok(arc);
+                }
+            }
+        }
+        let rec = self
             .head
-            .descs
-            .iter()
-            .zip(&layout.attr_offs)
-            .map(|(d, &off)| (&block[off..off + num_points * d.dtype.size()], d.dtype))
-            .collect();
-        Ok(TreeletView {
-            nodes,
-            positions,
-            attr_sections,
-            na: self.head.descs.len(),
-            num_nodes,
-            num_points,
-            // Distinct 4 KiB pages the block spans in the file — the unit
-            // the OS faults in on the mmap read path.
-            pages_4k: bat_wire::pages_spanned(start, end),
-        })
+            .codec_rec(treelet as usize)
+            .ok_or(WireError::BadTag {
+                what: "treelet codec table index",
+                tag: treelet as u64,
+            })?;
+        let num_points = leaf.num_particles as usize;
+        let decoded = match &self.backing {
+            Backing::Block(data) => format::decode_block(
+                &data[start..start + stored_size],
+                rec,
+                layout,
+                &self.head.descs,
+                num_points,
+            )?,
+            Backing::Range(reader) => {
+                let comp = match reader.take_staged(treelet) {
+                    Some(arc) if arc.len() == stored_size => arc,
+                    _ => Arc::new(reader.fetch(start as u64, stored_size).map_err(|e| {
+                        WireError::Io {
+                            what: "treelet block",
+                            message: e.to_string(),
+                        }
+                    })?),
+                };
+                format::decode_block(&comp, rec, layout, &self.head.descs, num_points)?
+            }
+        };
+        let arc = Arc::new(decoded);
+        if let Some(cache) = &self.cache {
+            stats.cache_misses += 1;
+            cache.insert(self.file_id, treelet, arc.clone(), cache::thread_priority());
+        }
+        Ok(arc)
     }
 
     /// Materialize one treelet block over a range backing: attached cache
@@ -773,6 +895,44 @@ pub struct TreeletView<'a> {
 }
 
 impl<'a> TreeletView<'a> {
+    /// Slice a (decoded) block image into its sections. `block` must be
+    /// exactly `layout.size` bytes — verbatim file bytes for v1, the
+    /// decoded image for v2. `start..end` is the block's *stored* span in
+    /// the file, which sizes `pages_4k` (compressed pages for v2: the I/O
+    /// a reader actually performs).
+    fn over(
+        block: &'a [u8],
+        leaf: &LeafRec,
+        layout: &TreeletLayout,
+        head: &FileHead,
+        start: usize,
+        end: usize,
+    ) -> WireResult<TreeletView<'a>> {
+        let num_nodes = leaf.num_nodes as usize;
+        let num_points = leaf.num_particles as usize;
+        let nodes = &block[layout.nodes_off
+            ..layout.nodes_off + num_nodes * format::node_record_bytes(head.descs.len())];
+        let positions = &block
+            [layout.positions_off..layout.positions_off + num_points * format::POSITION_BYTES];
+        let attr_sections = head
+            .descs
+            .iter()
+            .zip(&layout.attr_offs)
+            .map(|(d, &off)| (&block[off..off + num_points * d.dtype.size()], d.dtype))
+            .collect();
+        Ok(TreeletView {
+            nodes,
+            positions,
+            attr_sections,
+            na: head.descs.len(),
+            num_nodes,
+            num_points,
+            // Distinct 4 KiB pages the stored block spans in the file — the
+            // unit the OS faults in on the mmap read path.
+            pages_4k: bat_wire::pages_spanned(start, end),
+        })
+    }
+
     /// Decode node `i`'s record.
     pub fn node(&self, i: usize) -> WireResult<FileTreeletNode> {
         if i >= self.num_nodes {
@@ -870,6 +1030,30 @@ mod tests {
         ]);
         for _ in 0..n {
             let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            set.push(p, &[p.x as f64 * 100.0, p.z as f64 * 10.0]);
+        }
+        (set, Aabb::unit())
+    }
+
+    /// Clustered cloud (dense treelets — the regime where v2 compression
+    /// actually shrinks blocks; see `format::tests::clustered_bat`).
+    fn clustered(n: usize, seed: u64) -> (ParticleSet, Aabb) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut set = ParticleSet::new(vec![
+            AttributeDesc::f64("energy"),
+            AttributeDesc::f32("speed"),
+        ]);
+        let centers: Vec<Vec3> = (0..6)
+            .map(|_| Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
+            .collect();
+        for i in 0..n {
+            let c = centers[i % centers.len()];
+            let j = |r: &mut Xoshiro256| (r.next_f32() - 0.5) * 0.04;
+            let p = Vec3::new(
+                (c.x + j(&mut rng)).clamp(0.0, 1.0),
+                (c.y + j(&mut rng)).clamp(0.0, 1.0),
+                (c.z + j(&mut rng)).clamp(0.0, 1.0),
+            );
             set.push(p, &[p.x as f64 * 100.0, p.z as f64 * 10.0]);
         }
         (set, Aabb::unit())
@@ -1115,6 +1299,122 @@ mod tests {
         // failure; only a successfully opened file must fail at query time.
         if let Ok(f) = BatFile::from_source_with(src, cfg) {
             assert!(f.query(&Query::new(), |_| {}).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_lossless_matches_v1_across_backings() {
+        use crate::format::write_bat_with;
+        use crate::source::MemorySource;
+        let (set, domain) = sample(15_000, 30);
+        let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+        let v1 = BatFile::from_bytes(write_bat_with(&bat, crate::codec::Codec::V1)).unwrap();
+        let v2_bytes = write_bat_with(&bat, crate::codec::Codec::V2Lossless);
+        let cfg = RangeConfig {
+            backoff_ms: 0,
+            ..RangeConfig::default()
+        };
+        let queries = [
+            Query::new(),
+            Query::new().with_bounds(Aabb::new(Vec3::ZERO, Vec3::splat(0.5))),
+            Query::new().with_filter(0, 10.0, 70.0).with_quality(0.4),
+            Query::new().with_prev_quality(0.2).with_quality(0.8),
+        ];
+        let collect = |f: &BatFile, q: &Query| {
+            let mut out: Vec<(u64, [u32; 3], u64)> = Vec::new();
+            f.query(q, |p| {
+                out.push((
+                    p.index,
+                    [
+                        p.position.x.to_bits(),
+                        p.position.y.to_bits(),
+                        p.position.z.to_bits(),
+                    ],
+                    p.attrs[0].to_bits(),
+                ));
+            })
+            .unwrap();
+            out
+        };
+        let v2_files = [
+            BatFile::from_bytes(v2_bytes.clone()).unwrap(),
+            BatFile::from_bytes(v2_bytes.clone())
+                .unwrap()
+                .with_cache(Some(PageCache::new(64 << 20))),
+            BatFile::from_source_with(Arc::new(MemorySource::new(v2_bytes.clone())), cfg.clone())
+                .unwrap(),
+            BatFile::from_source_with(Arc::new(MemorySource::new(v2_bytes.clone())), cfg)
+                .unwrap()
+                .with_cache(Some(PageCache::new(64 << 20))),
+        ];
+        for q in &queries {
+            let want = collect(&v1, q);
+            for (i, f) in v2_files.iter().enumerate() {
+                assert_eq!(collect(f, q), want, "v2 backing {i} diverged");
+                // Warm pass must match too (decoded blocks from cache).
+                assert_eq!(collect(f, q), want, "v2 backing {i} warm diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn v2_range_backend_fetches_fewer_bytes() {
+        use crate::format::write_bat_with;
+        use crate::source::MemorySource;
+        let (set, domain) = clustered(20_000, 31);
+        let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+        let cfg = RangeConfig {
+            backoff_ms: 0,
+            ..RangeConfig::default()
+        };
+        let fetched = |bytes: Vec<u8>| {
+            let f =
+                BatFile::from_source_with(Arc::new(MemorySource::new(bytes)), cfg.clone()).unwrap();
+            f.query(&Query::new(), |_| {}).unwrap();
+            f.range_stats().unwrap().bytes_fetched
+        };
+        let b1 = fetched(write_bat_with(&bat, crate::codec::Codec::V1));
+        let b2 = fetched(write_bat_with(&bat, crate::codec::Codec::V2Lossless));
+        assert!(
+            b2 < b1,
+            "v2 should move fewer bytes over the wire: {b2} !< {b1}"
+        );
+    }
+
+    #[test]
+    fn v2_lossy_respects_error_bound() {
+        use crate::format::write_bat_with;
+        let bound = 1e-3;
+        let (set, domain) = sample(8_000, 32);
+        let bat = BatBuilder::new(BatConfig::default()).build(set, domain);
+        let v1 = BatFile::from_bytes(write_bat_with(&bat, crate::codec::Codec::V1)).unwrap();
+        let lossy = BatFile::from_bytes(write_bat_with(
+            &bat,
+            crate::codec::Codec::V2Lossy { error_bound: bound },
+        ))
+        .unwrap();
+        let gather = |f: &BatFile| {
+            let mut out: Vec<(u64, Vec3, f64, f64)> = Vec::new();
+            f.query(&Query::new(), |p| {
+                out.push((p.index, p.position, p.attrs[0], p.attrs[1]));
+            })
+            .unwrap();
+            out.sort_by_key(|r| r.0);
+            out
+        };
+        let exact = gather(&v1);
+        let approx = gather(&lossy);
+        assert_eq!(exact.len(), approx.len());
+        for (e, a) in exact.iter().zip(&approx) {
+            assert_eq!(e.0, a.0, "particle order must be preserved");
+            for (x, y) in [(e.1.x, a.1.x), (e.1.y, a.1.y), (e.1.z, a.1.z)] {
+                assert!(
+                    (x as f64 - y as f64).abs() <= bound,
+                    "position |{x}-{y}| > {bound}"
+                );
+            }
+            assert!((e.2 - a.2).abs() <= bound);
+            assert!((e.3 - a.3).abs() <= bound);
         }
     }
 

@@ -10,11 +10,17 @@ use crate::format;
 /// Size breakdown of a compacted BAT image.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayoutStats {
-    /// Raw particle payload bytes (positions + attributes).
+    /// Raw particle payload bytes (positions + attributes), pre-compression.
     pub raw_bytes: u64,
+    /// Particle payload bytes as stored on disk. Equal to `raw_bytes` for v1
+    /// files; for v2 this is the sum of the compressed position/attribute
+    /// sections, so `stored_payload_bytes / raw_bytes` is the payload
+    /// compression ratio.
+    pub stored_payload_bytes: u64,
     /// Total compacted file bytes.
     pub file_bytes: u64,
-    /// Structure bytes: headers, trees, bitmap IDs, dictionary.
+    /// Structure bytes: headers, trees, bitmap IDs, dictionary, codec tables,
+    /// and in-block node records.
     pub structure_bytes: u64,
     /// Page-alignment padding bytes.
     pub padding_bytes: u64,
@@ -44,33 +50,60 @@ impl LayoutStats {
         self.structure_bytes as f64 / self.raw_bytes as f64
     }
 
+    /// Payload compression ratio: stored payload / raw payload. 1.0 for v1
+    /// files (payload is stored verbatim); < 1.0 when v2 codecs save bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 1.0;
+        }
+        self.stored_payload_bytes as f64 / self.raw_bytes as f64
+    }
+
     /// Measure a compacted BAT image exactly from its own bookkeeping.
+    ///
+    /// The accounting identity is
+    /// `stored_payload_bytes + structure_bytes + padding_bytes == file_bytes`
+    /// for both v1 and v2 images; for v1, `stored_payload_bytes == raw_bytes`.
     pub fn measure(bytes: &[u8]) -> bat_wire::WireResult<LayoutStats> {
         let head = format::read_head(bytes)?;
         let bpp: usize = 12 + head.descs.iter().map(|d| d.dtype.size()).sum::<usize>();
         let raw = head.num_particles * bpp as u64;
         let num_nodes: u64 = head.leaves.iter().map(|l| l.num_nodes as u64).sum();
 
-        // Padding = gap after the head payload + gaps between blocks.
-        let mut leaves_sorted: Vec<_> = head.leaves.iter().collect();
-        leaves_sorted.sort_by_key(|l| l.offset);
+        // Padding = gap after the head payload + gaps between stored blocks.
+        // For v2 the stored block is the compressed image, and the payload is
+        // every section except the node records (section 0).
+        let mut order: Vec<usize> = (0..head.leaves.len()).collect();
+        order.sort_by_key(|&i| head.leaves[i].offset);
         let mut padding = 0u64;
+        let mut stored_payload = 0u64;
         let mut payload_end = head.head_end as usize;
-        for l in &leaves_sorted {
+        for &i in &order {
+            let l = &head.leaves[i];
             padding += l.offset - payload_end as u64;
             let layout = format::TreeletLayout::compute(
                 l.num_nodes as usize,
                 l.num_particles as usize,
                 &head.descs,
             );
-            payload_end = l.offset as usize + layout.size;
+            stored_payload += match head.codec_rec(i) {
+                Some(rec) => rec
+                    .sections
+                    .iter()
+                    .skip(1)
+                    .map(|s| s.stored_len as u64)
+                    .sum::<u64>(),
+                None => (layout.size - layout.positions_off) as u64,
+            };
+            payload_end = l.offset as usize + head.stored_block_size(i).unwrap_or(layout.size);
         }
         padding += (bytes.len() - payload_end) as u64;
 
         Ok(LayoutStats {
             raw_bytes: raw,
+            stored_payload_bytes: stored_payload,
             file_bytes: bytes.len() as u64,
-            structure_bytes: bytes.len() as u64 - raw - padding,
+            structure_bytes: bytes.len() as u64 - stored_payload - padding,
             padding_bytes: padding,
             num_treelets: head.leaves.len() as u64,
             num_nodes,
@@ -109,12 +142,42 @@ mod tests {
         let bytes = bat.to_bytes();
         let stats = LayoutStats::measure(&bytes).unwrap();
         assert_eq!(
-            stats.raw_bytes + stats.structure_bytes + stats.padding_bytes,
+            stats.stored_payload_bytes + stats.structure_bytes + stats.padding_bytes,
             stats.file_bytes
         );
         assert_eq!(stats.raw_bytes, 50_000 * (12 + 7 * 8));
         assert_eq!(stats.num_treelets, bat.treelets.len() as u64);
         assert!(stats.dict_entries >= 1);
+    }
+
+    #[test]
+    fn v1_stores_payload_verbatim() {
+        let bat = coal_like_bat(20_000);
+        let bytes = crate::format::write_bat_with(&bat, crate::codec::Codec::V1);
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        assert_eq!(stats.stored_payload_bytes, stats.raw_bytes);
+        assert_eq!(stats.compression_ratio(), 1.0);
+        assert_eq!(
+            stats.raw_bytes + stats.structure_bytes + stats.padding_bytes,
+            stats.file_bytes
+        );
+    }
+
+    #[test]
+    fn v2_accounting_reports_compression() {
+        let bat = coal_like_bat(50_000);
+        let bytes = crate::format::write_bat_with(&bat, crate::codec::Codec::V2Lossless);
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        // Identity still holds with compressed payload sections.
+        assert_eq!(
+            stats.stored_payload_bytes + stats.structure_bytes + stats.padding_bytes,
+            stats.file_bytes
+        );
+        // Raw bytes report the pre-compression payload; the stored payload
+        // never exceeds it (codecs fall back to raw when not smaller).
+        assert_eq!(stats.raw_bytes, 50_000 * (12 + 7 * 8));
+        assert!(stats.stored_payload_bytes <= stats.raw_bytes);
+        assert!(stats.compression_ratio() <= 1.0);
     }
 
     #[test]
@@ -162,7 +225,9 @@ mod tests {
         let bytes = bat.to_bytes();
         let stats = LayoutStats::measure(&bytes).unwrap();
         assert_eq!(stats.raw_bytes, 0);
+        assert_eq!(stats.stored_payload_bytes, 0);
         assert_eq!(stats.overhead(), 0.0);
+        assert_eq!(stats.compression_ratio(), 1.0);
         assert_eq!(
             stats.padding_bytes + stats.structure_bytes,
             stats.file_bytes

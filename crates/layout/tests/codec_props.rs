@@ -1,0 +1,222 @@
+//! Property tests for the v2 treelet codecs (DESIGN.md §15): the lossless
+//! pipeline (Morton-delta XOR + bitshuffle + RLE) must be byte-exact for
+//! *arbitrary* column blocks — including empty, single-record, and
+//! all-identical (duplicate-Morton) blocks — and the bit-adaptive
+//! quantizer must keep every decoded value within the absolute error
+//! bound stored in its own section header.
+
+use bat_layout::codec::{
+    decode_lossless, decode_quant_attr, decode_quant_positions, decode_section, encode_lossless,
+    encode_quant_attr, encode_quant_positions, encode_section, rle_decode, rle_encode, Codec,
+    SectionKind, TAG_RAW,
+};
+use bat_layout::AttributeType;
+use proptest::prelude::*;
+
+/// Arbitrary bytes (full 0..=255 value range; the shim has no `any::<u8>()`).
+fn bytes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u16..256, len).prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// Arbitrary position blocks: n records of 12 bytes (three LE f32 words),
+/// drawn from raw bytes so NaN/Inf/denormal bit patterns are included —
+/// the lossless path must treat them as opaque bytes.
+fn position_block() -> impl Strategy<Value = Vec<u8>> {
+    bytes(0..200).prop_map(|mut v| {
+        v.truncate(v.len() - v.len() % 12);
+        v
+    })
+}
+
+/// Blocks of `word`-sized records with heavy duplication: a handful of
+/// distinct records repeated in a cycle (sorted layouts repeat runs).
+fn dup_block(word: usize) -> impl Strategy<Value = Vec<u8>> {
+    (bytes(word * 3..word * 3 + 1), 0usize..64).prop_map(move |(pool, n)| {
+        let mut out = Vec::with_capacity(n * word);
+        for i in 0..n {
+            let rec = (i % 3) * word;
+            out.extend_from_slice(&pool[rec..rec + word]);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn rle_roundtrips_arbitrary_bytes(data in bytes(0..2048)) {
+        let enc = rle_encode(&data);
+        let dec = rle_decode(&enc, data.len()).expect("own encoding must decode");
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn lossless_positions_roundtrip_exact(raw in position_block()) {
+        let (tag, stored) = encode_lossless(&raw, 12, 4);
+        prop_assert!(stored.len() <= raw.len(), "stored may never exceed raw");
+        let back = if tag == TAG_RAW {
+            stored.clone()
+        } else {
+            decode_lossless(&stored, 12, 4, raw.len()).expect("decode own encoding")
+        };
+        prop_assert_eq!(back, raw);
+    }
+
+    #[test]
+    fn lossless_attr_roundtrip_exact(
+        raw in bytes(0..400),
+        wide in 0u8..2,
+    ) {
+        let word = if wide == 1 { 8 } else { 4 };
+        let mut raw = raw;
+        raw.truncate(raw.len() - raw.len() % word);
+        let (tag, stored) = encode_lossless(&raw, word, word);
+        let back = if tag == TAG_RAW {
+            stored.clone()
+        } else {
+            decode_lossless(&stored, word, word, raw.len()).expect("decode own encoding")
+        };
+        prop_assert_eq!(back, raw);
+    }
+
+    /// Duplicate-record blocks (identical Morton codes) are the
+    /// best case for delta coding and a classic off-by-one trap for RLE.
+    #[test]
+    fn lossless_exact_on_duplicate_records(raw in dup_block(12)) {
+        let (tag, stored) = encode_lossless(&raw, 12, 4);
+        let back = if tag == TAG_RAW {
+            stored.clone()
+        } else {
+            decode_lossless(&stored, 12, 4, raw.len()).expect("decode own encoding")
+        };
+        prop_assert_eq!(back, raw);
+    }
+
+    /// Full section round trip through the tag dispatch used by the file
+    /// reader, for every section kind under the lossless codec.
+    #[test]
+    fn lossless_section_roundtrip_exact(raw in position_block(), which in 0u8..3) {
+        let (kind, raw) = match which {
+            0 => (SectionKind::Positions, raw),
+            1 => {
+                let mut r = raw;
+                r.truncate(r.len() - r.len() % 4);
+                (SectionKind::Attr(AttributeType::F32), r)
+            }
+            _ => {
+                let mut r = raw;
+                r.truncate(r.len() - r.len() % 8);
+                (SectionKind::Attr(AttributeType::F64), r)
+            }
+        };
+        let n = match kind {
+            SectionKind::Positions => raw.len() / 12,
+            SectionKind::Attr(t) => raw.len() / t.size(),
+            SectionKind::Nodes => 0,
+        };
+        let (tag, stored) = encode_section(kind, &raw, Codec::V2Lossless);
+        let back = decode_section(kind, tag, &stored, n, raw.len()).expect("decode own encoding");
+        prop_assert_eq!(back, raw);
+    }
+
+    /// Every decoded f64 attribute value lands within the bound that the
+    /// encoder stored in the section header (read it back from the stored
+    /// bytes rather than trusting the input — that is the on-disk contract).
+    #[test]
+    fn quant_attr_f64_respects_stored_bound(
+        vals in prop::collection::vec(-1.0e6f64..1.0e6, 0..300),
+        bound in 1.0e-6f64..1.0,
+    ) {
+        let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        if let Some(stored) = encode_quant_attr(&raw, AttributeType::F64, bound) {
+            let stored_bound =
+                f64::from_le_bytes(stored[..8].try_into().unwrap());
+            prop_assert_eq!(stored_bound, bound);
+            let back = decode_quant_attr(&stored, AttributeType::F64, vals.len())
+                .expect("decode own encoding");
+            for (i, (orig, dec)) in vals
+                .iter()
+                .zip(back.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())))
+                .enumerate()
+            {
+                prop_assert!(
+                    (orig - dec).abs() <= stored_bound,
+                    "value {i}: |{orig} - {dec}| > {stored_bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_attr_f32_respects_stored_bound(
+        vals in prop::collection::vec(-1.0e5f32..1.0e5, 0..300),
+        bound in 1.0e-3f64..1.0,
+    ) {
+        let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        if let Some(stored) = encode_quant_attr(&raw, AttributeType::F32, bound) {
+            let back = decode_quant_attr(&stored, AttributeType::F32, vals.len())
+                .expect("decode own encoding");
+            for (orig, dec) in vals
+                .iter()
+                .zip(back.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())))
+            {
+                prop_assert!(
+                    (*orig as f64 - dec as f64).abs() <= bound,
+                    "|{orig} - {dec}| > {bound}"
+                );
+            }
+        }
+    }
+
+    /// Positions quantize per axis; every decoded component must respect
+    /// the bound, for clustered unit-cube data like real layouts hold.
+    #[test]
+    fn quant_positions_respect_stored_bound(
+        pts in prop::collection::vec((0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0), 0..300),
+        bound in 1.0e-5f64..0.1,
+    ) {
+        let raw: Vec<u8> = pts
+            .iter()
+            .flat_map(|&(x, y, z)| {
+                [x.to_le_bytes(), y.to_le_bytes(), z.to_le_bytes()].concat()
+            })
+            .collect();
+        if let Some(stored) = encode_quant_positions(&raw, bound) {
+            let stored_bound = f64::from_le_bytes(stored[..8].try_into().unwrap());
+            prop_assert_eq!(stored_bound, bound);
+            let back =
+                decode_quant_positions(&stored, pts.len()).expect("decode own encoding");
+            for (i, (&(x, y, z), rec)) in pts.iter().zip(back.chunks_exact(12)).enumerate() {
+                for (a, orig) in [x, y, z].into_iter().enumerate() {
+                    let dec =
+                        f32::from_le_bytes(rec[a * 4..a * 4 + 4].try_into().unwrap());
+                    prop_assert!(
+                        (orig as f64 - dec as f64).abs() <= stored_bound,
+                        "point {i} axis {a}: |{orig} - {dec}| > {stored_bound}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fixed degenerate shapes, spelled out so a proptest shrink can never
+/// hide them: empty block, one record, all-identical records.
+#[test]
+fn lossless_degenerate_blocks_are_exact() {
+    for raw in [
+        Vec::new(),
+        vec![0x42u8; 12],
+        [0xAB; 12].repeat(57).to_vec(),
+        vec![0u8; 12 * 33],
+    ] {
+        let (tag, stored) = encode_lossless(&raw, 12, 4);
+        let back = if tag == TAG_RAW {
+            stored
+        } else {
+            decode_lossless(&stored, 12, 4, raw.len()).unwrap()
+        };
+        assert_eq!(back, raw);
+    }
+}

@@ -8,7 +8,14 @@
 use bat_geom::rng::Xoshiro256;
 use bat_geom::{Aabb, Vec3};
 use bat_layout::build::Bat;
+use bat_layout::codec::Codec;
 use bat_layout::{AttributeDesc, BatBuilder, BatConfig, ParticleSet};
+
+/// v1 bytes, pinned regardless of `BAT_TREELET_CODEC` — the goldens guard
+/// the *v1* encoding, and CI reruns this suite under `v2-lossless`.
+fn v1_bytes(bat: &Bat) -> Vec<u8> {
+    bat_layout::format::write_bat_with(bat, Codec::V1)
+}
 
 /// FNV-1a 64-bit over a byte slice (stable, dependency-free).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -49,10 +56,23 @@ const GOLDEN: [(usize, u64, usize, u64); 4] = [
 #[test]
 fn bytes_identical_to_seed_encoder() {
     for (n, seed, len, fnv) in GOLDEN {
-        let bytes = golden_bat(n, seed).to_bytes();
+        let bytes = v1_bytes(&golden_bat(n, seed));
         assert_eq!(bytes.len(), len, "file length changed for n={n}");
         assert_eq!(fnv1a(&bytes), fnv, "file bytes changed for n={n}");
     }
+}
+
+#[test]
+fn default_codec_is_v1_when_env_unset() {
+    // `Bat::to_bytes` follows `BAT_TREELET_CODEC`; with the knob unset (or
+    // "v1") it must keep producing the golden v1 bytes.
+    if !matches!(Codec::from_env(), Codec::V1) {
+        return; // codec-matrix CI run — v2 bytes are covered elsewhere
+    }
+    let (n, seed, len, fnv) = GOLDEN[2];
+    let bytes = golden_bat(n, seed).to_bytes();
+    assert_eq!(bytes.len(), len);
+    assert_eq!(fnv1a(&bytes), fnv);
 }
 
 #[test]
@@ -70,8 +90,8 @@ fn streaming_writer_matches_vec_writer() {
 #[test]
 fn writer_precomputes_exact_sizes_and_offsets() {
     let bat = golden_bat(5000, 3);
-    let writer = bat.writer();
-    let bytes = bat.to_bytes();
+    let writer = bat.writer_with(Codec::V1);
+    let bytes = v1_bytes(&bat);
     assert_eq!(writer.file_size(), bytes.len());
     let head = bat_layout::format::read_head(&bytes).unwrap();
     assert_eq!(writer.head_end(), head.head_end);
@@ -81,8 +101,10 @@ fn writer_precomputes_exact_sizes_and_offsets() {
 
 #[test]
 fn copy_accounting_streaming_stages_only_the_head() {
+    // Pinned to v1: the v2 path stages the encoded treelet buffers in memory
+    // as well, so "only the head" is a v1-specific guarantee.
     let bat = golden_bat(5000, 3);
-    let writer = bat.writer();
+    let writer = bat.writer_with(Codec::V1);
     let head = writer.head_end();
     let file = writer.file_size() as u64;
     assert!(
@@ -93,10 +115,10 @@ fn copy_accounting_streaming_stages_only_the_head() {
     let reg = std::sync::Arc::new(bat_obs::Registry::new());
     let _on = bat_obs::enable();
     let _scope = bat_obs::scope(reg.clone());
-    let _ = bat.to_bytes();
+    let _ = v1_bytes(&bat);
     let vec_copied = reg.snapshot().counter("compact.bytes_copied").unwrap_or(0);
     let mut sink = std::io::sink();
-    bat.write_to(&mut sink).unwrap();
+    writer.write_to(&mut sink).unwrap();
     let total = reg.snapshot().counter("compact.bytes_copied").unwrap_or(0);
     assert_eq!(vec_copied, file, "Vec path materializes the whole file");
     assert_eq!(

@@ -302,7 +302,8 @@ pub fn stats(args: &[String]) -> Result<()> {
             acc.0,
             acc.1,
             acc.2 as f64 / acc.0 as f64 * 100.0,
-            (acc.1 - acc.0) as f64 / acc.0 as f64 * 100.0
+            // Negative for compressed (v2) datasets: files smaller than raw.
+            (acc.1 as f64 - acc.0 as f64) / acc.0 as f64 * 100.0
         );
     }
     Ok(())
@@ -635,104 +636,119 @@ pub fn shard_worker(args: &[String]) -> Result<()> {
     result.map_err(|e| format!("shard serve loop: {e}"))
 }
 
+/// One row of the `bat env` table: knob name, default shown when unset,
+/// one-line meaning. Kept as data so tests can assert the table covers
+/// every `BAT_*` literal the workspace reads.
+pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
+    (
+        "BAT_THREADS",
+        "(available cores)",
+        "work-stealing pool size for builds/queries",
+    ),
+    (
+        "BAT_TRANSPORT",
+        "channel",
+        "cluster transport: channel | socket | sim",
+    ),
+    (
+        "BAT_CLUSTER",
+        "(thread-hosted)",
+        "multi-process topology spec (transport=;rank=;size=;peers=)",
+    ),
+    (
+        "BAT_RECV_TIMEOUT_MS",
+        "(unbounded)",
+        "default deadline for bounded receives",
+    ),
+    (
+        "BAT_CONNECT_TIMEOUT_MS",
+        "10000",
+        "socket-transport mesh connect/handshake budget",
+    ),
+    (
+        "BAT_SOCKET_MAX_RANKS",
+        "12",
+        "thread-hosted socket cap before channel fallback",
+    ),
+    ("BAT_SIM_LATENCY_US", "2", "sim transport one-way latency"),
+    (
+        "BAT_SIM_GBPS",
+        "7.14",
+        "sim transport per-NIC bandwidth (stampede2/oversub)",
+    ),
+    (
+        "BAT_SHARD_WAIT_MS",
+        "30000",
+        "router wait on a silent shard (no query deadline)",
+    ),
+    ("BAT_SERVE_WORKERS", "(auto)", "serve pool worker threads"),
+    ("BAT_SERVE_QUEUE", "64", "serve pool bounded queue depth"),
+    (
+        "BAT_SERVE_DEADLINE_MS",
+        "(none)",
+        "per-query serving deadline",
+    ),
+    (
+        "BAT_CACHE_BYTES",
+        "(off)",
+        "treelet page cache budget (accepts k/m/g suffixes)",
+    ),
+    (
+        "BAT_READ_BACKEND",
+        "mmap",
+        "reader backend: mmap | owned | range-file | range-sim",
+    ),
+    (
+        "BAT_RANGE_GAP_BYTES",
+        "16k",
+        "max gap merged into one coalesced range request",
+    ),
+    (
+        "BAT_RANGE_RETRIES",
+        "3",
+        "retries per failed/torn range request",
+    ),
+    (
+        "BAT_RANGE_BACKOFF_MS",
+        "1",
+        "base retry backoff (doubles per attempt)",
+    ),
+    (
+        "BAT_RANGE_PREFETCH",
+        "on",
+        "coalesced prefetch of planned treelets",
+    ),
+    (
+        "BAT_TREELET_CODEC",
+        "v1",
+        "treelet write codec: v1 | v2-lossless | v2-lossy",
+    ),
+    (
+        "BAT_CODEC_ERROR_BOUND",
+        "0.001",
+        "absolute error bound for the v2-lossy quantizer",
+    ),
+    (
+        "BAT_FAULTS",
+        "(none)",
+        "fault-injection spec (needs --features failpoints)",
+    ),
+];
+
 /// `bat env` — print every `BAT_*` knob the workspace reads, with the
 /// value in effect for this process (see the README's environment table).
 pub fn env(_args: &[String]) -> Result<()> {
-    let get = |name: &str| std::env::var(name).ok();
-    let show = |name: &str, default: &str, what: &str| {
-        let (val, src) = match get(name) {
-            Some(v) => (v, "set"),
-            None => (default.to_string(), "default"),
-        };
-        println!("{name:<24} {val:<28} {src:<8} {what}");
-    };
     println!(
         "{:<24} {:<28} {:<8} meaning",
         "knob", "effective value", "origin"
     );
-    show(
-        "BAT_THREADS",
-        "(available cores)",
-        "work-stealing pool size for builds/queries",
-    );
-    show(
-        "BAT_TRANSPORT",
-        "channel",
-        "cluster transport: channel | socket | sim",
-    );
-    show(
-        "BAT_CLUSTER",
-        "(thread-hosted)",
-        "multi-process topology spec (transport=;rank=;size=;peers=)",
-    );
-    show(
-        "BAT_RECV_TIMEOUT_MS",
-        "(unbounded)",
-        "default deadline for bounded receives",
-    );
-    show(
-        "BAT_CONNECT_TIMEOUT_MS",
-        "10000",
-        "socket-transport mesh connect/handshake budget",
-    );
-    show(
-        "BAT_SOCKET_MAX_RANKS",
-        "12",
-        "thread-hosted socket cap before channel fallback",
-    );
-    show("BAT_SIM_LATENCY_US", "2", "sim transport one-way latency");
-    show(
-        "BAT_SIM_GBPS",
-        "7.14",
-        "sim transport per-NIC bandwidth (stampede2/oversub)",
-    );
-    show(
-        "BAT_SHARD_WAIT_MS",
-        "30000",
-        "router wait on a silent shard (no query deadline)",
-    );
-    show("BAT_SERVE_WORKERS", "(auto)", "serve pool worker threads");
-    show("BAT_SERVE_QUEUE", "64", "serve pool bounded queue depth");
-    show(
-        "BAT_SERVE_DEADLINE_MS",
-        "(none)",
-        "per-query serving deadline",
-    );
-    show(
-        "BAT_CACHE_BYTES",
-        "(off)",
-        "treelet page cache budget (accepts k/m/g suffixes)",
-    );
-    show(
-        "BAT_READ_BACKEND",
-        "mmap",
-        "reader backend: mmap | owned | range-file | range-sim",
-    );
-    show(
-        "BAT_RANGE_GAP_BYTES",
-        "16k",
-        "max gap merged into one coalesced range request",
-    );
-    show(
-        "BAT_RANGE_RETRIES",
-        "3",
-        "retries per failed/torn range request",
-    );
-    show(
-        "BAT_RANGE_BACKOFF_MS",
-        "1",
-        "base retry backoff (doubles per attempt)",
-    );
-    show(
-        "BAT_RANGE_PREFETCH",
-        "on",
-        "coalesced prefetch of planned treelets",
-    );
-    show(
-        "BAT_FAULTS",
-        "(none)",
-        "fault-injection spec (needs --features failpoints)",
-    );
+    for &(name, default, what) in ENV_KNOBS {
+        let (val, src) = match std::env::var(name) {
+            Ok(v) => (v, "set"),
+            Err(_) => (default.to_string(), "default"),
+        };
+        println!("{name:<24} {val:<28} {src:<8} {what}");
+    }
     Ok(())
 }
 
@@ -839,5 +855,76 @@ mod tests {
         let bogus = vec!["/nonexistent".to_string(), "x".to_string()];
         assert!(info(&bogus).is_err());
         assert!(verify(&bogus).is_err());
+    }
+
+    /// Every `"BAT_*"` string literal anywhere in the workspace sources must
+    /// have a row in `ENV_KNOBS`, so `bat env` (and the README table built
+    /// from it) can never silently drift when a knob is added.
+    #[test]
+    fn env_table_covers_every_workspace_knob() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut found = std::collections::BTreeSet::new();
+        let mut stack: Vec<std::path::PathBuf> = ["crates", "src", "shims", "tests", "examples"]
+            .iter()
+            .map(|d| root.join(d))
+            .filter(|d| d.is_dir())
+            .collect();
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    if path.file_name().is_some_and(|n| n == "target") {
+                        continue;
+                    }
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    let text = std::fs::read_to_string(&path).unwrap();
+                    let bytes = text.as_bytes();
+                    let mut i = 0;
+                    while let Some(hit) = text[i..].find("\"BAT_") {
+                        let start = i + hit + 1;
+                        let mut end = start;
+                        while end < bytes.len()
+                            && (bytes[end].is_ascii_uppercase()
+                                || bytes[end].is_ascii_digit()
+                                || bytes[end] == b'_')
+                        {
+                            end += 1;
+                        }
+                        // Only full literals: the next byte must close the string.
+                        if end < bytes.len() && bytes[end] == b'"' && end > start + 4 {
+                            found.insert(text[start..end].to_string());
+                        }
+                        i = end;
+                    }
+                }
+            }
+        }
+        assert!(
+            found.len() >= 20,
+            "workspace scan looks broken: only {} BAT_* literals found",
+            found.len()
+        );
+        let table: std::collections::BTreeSet<&str> =
+            ENV_KNOBS.iter().map(|&(name, _, _)| name).collect();
+        let missing: Vec<&String> = found
+            .iter()
+            .filter(|k| !table.contains(k.as_str()))
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "BAT_* knobs read by the workspace but missing from `bat env` \
+             (add them to ENV_KNOBS and the README environment table): {missing:?}"
+        );
+        // And the reverse: the table must not advertise knobs nothing reads.
+        let stale: Vec<&str> = table
+            .iter()
+            .copied()
+            .filter(|&name| !found.contains(name))
+            .collect();
+        assert!(
+            stale.is_empty(),
+            "`bat env` advertises knobs no workspace source reads: {stale:?}"
+        );
     }
 }
