@@ -12,11 +12,17 @@
 //! server, and drives a mixed query workload through a real client.
 //! Hard gate #1: every merged point stream is FNV-identical to the
 //! single-process `QueryPlan` answer — sharding must never change bytes.
-//! Hard gate #2: SIGKILLing a shard process yields a typed server error
-//! within a bounded wait — never a hang, never partial data passed off as
-//! a complete result. QPS and p99 are reported (and saved to
-//! `BENCH_shard.json`) but not gated: wall-clock ratios across process
-//! counts are too host-dependent for CI.
+//! Hard gate #2: SIGKILLing a shard process (at `replicas = 1`) yields a
+//! typed server error within a bounded wait — never a hang, never partial
+//! data passed off as a complete result. Hard gate #3 (DESIGN.md §16): a
+//! supervised fabric at `replicas = 2` rides out a SIGKILL mid-load with
+//! zero shard errors and byte-identical streams, and the supervisor
+//! respawns and re-admits the worker within a couple of heartbeat
+//! intervals. Failpoint builds add hard gate #4: against a delayed shard,
+//! hedged reads win and improve p99 without changing bytes
+//! (`BENCH_HEDGE_WARN_ONLY=1` demotes the p99 gate on noisy hosts). QPS
+//! and p99 are reported (and saved to `BENCH_shard.json`) but not gated:
+//! wall-clock ratios across process counts are too host-dependent for CI.
 
 use bat_comm::{Cluster, ClusterConfig};
 use bat_geom::{Aabb, Vec3};
@@ -122,36 +128,86 @@ fn baseline_digests(ds: &Dataset) -> Vec<Digest> {
 }
 
 /// A running shard fabric: router + front in-process, `shards` worker
-/// child processes meshed over Unix sockets.
+/// child processes over Unix sockets — meshed, or star-wired with a
+/// heartbeat supervisor when `FabricOpts::supervised` (DESIGN.md §16).
+#[derive(Default, Clone)]
+struct FabricOpts {
+    /// Star topology + supervisor with a respawn callback.
+    supervised: bool,
+    /// Extra env vars for the worker children only (e.g. `BAT_FAULTS`).
+    worker_env: Vec<(String, String)>,
+}
+
 struct Fabric {
     handle: bat_stream::ServerHandle,
     router: Arc<ShardRouter>,
-    children: Vec<std::process::Child>,
+    supervisor: Option<bat_stream::Supervisor>,
+    children: Arc<std::sync::Mutex<Vec<Option<std::process::Child>>>>,
     sock_dir: std::path::PathBuf,
     addr: std::net::SocketAddr,
 }
 
 impl Fabric {
     fn spawn(dataset_dir: &std::path::Path, tag: &str, shards: usize) -> Fabric {
+        Fabric::spawn_opts(dataset_dir, tag, shards, FabricOpts::default())
+    }
+
+    fn spawn_opts(
+        dataset_dir: &std::path::Path,
+        tag: &str,
+        shards: usize,
+        opts: FabricOpts,
+    ) -> Fabric {
         let sock_dir = std::env::temp_dir().join(format!(
             "bat-bench-shard-sock-{tag}-{shards}-{}",
             std::process::id()
         ));
         std::fs::create_dir_all(&sock_dir).expect("socket dir");
-        let cfg = ClusterConfig::unix_in_dir(&sock_dir, 1 + shards);
+        let mut cfg = ClusterConfig::unix_in_dir(&sock_dir, 1 + shards);
+        if opts.supervised {
+            cfg = cfg.star();
+        }
         let exe = std::env::current_exe().expect("current_exe");
-        let children: Vec<_> = (0..shards)
-            .map(|s| {
-                std::process::Command::new(&exe)
-                    .arg("--shard-worker")
-                    .arg(dataset_dir)
+        let spawn_worker = {
+            let exe = exe.clone();
+            let dir = dataset_dir.to_path_buf();
+            let cfg = cfg.clone();
+            let envs = opts.worker_env.clone();
+            move |s: usize| -> std::io::Result<std::process::Child> {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("--shard-worker")
+                    .arg(&dir)
                     .arg("shard")
-                    .env("BAT_CLUSTER", cfg.with_rank(1 + s).to_spec())
-                    .spawn()
-                    .expect("spawn shard worker")
-            })
-            .collect();
+                    .env("BAT_CLUSTER", cfg.with_rank(1 + s).to_spec());
+                for (k, v) in &envs {
+                    cmd.env(k, v);
+                }
+                cmd.spawn()
+            }
+        };
+        let children: Arc<std::sync::Mutex<Vec<Option<std::process::Child>>>> =
+            Arc::new(std::sync::Mutex::new(
+                (0..shards)
+                    .map(|s| Some(spawn_worker(s).expect("spawn shard worker")))
+                    .collect(),
+            ));
         let comm = Cluster::connect(&cfg).expect("router connect");
+        let supervisor = opts.supervised.then(|| {
+            let children = children.clone();
+            bat_stream::supervise(
+                comm.clone_comm(),
+                bat_stream::SupervisorConfig::from_env(),
+                move |s| {
+                    let mut kids = children.lock().unwrap();
+                    if let Some(mut old) = kids[s].take() {
+                        old.kill().ok();
+                        old.wait().ok();
+                    }
+                    kids[s] = Some(spawn_worker(s)?);
+                    Ok(())
+                },
+            )
+        });
         let ds = Dataset::open(dataset_dir, "shard").expect("open dataset");
         let router = Arc::new(ShardRouter::new(comm, Arc::new(ds)));
         let options = ServeOptions {
@@ -166,19 +222,65 @@ impl Fabric {
         Fabric {
             handle,
             router,
+            supervisor,
             children,
             sock_dir,
             addr,
         }
     }
 
-    fn teardown(mut self) {
+    /// SIGKILL shard `s`'s current worker process.
+    fn kill_worker(&self, s: usize) {
+        if let Some(c) = self.children.lock().unwrap()[s].as_mut() {
+            c.kill().expect("kill shard worker");
+        }
+    }
+
+    fn teardown(self) {
         self.handle.shutdown();
+        // Supervision stops before the shutdown broadcast, or exiting
+        // workers would be respawned mid-teardown.
+        if let Some(sup) = self.supervisor {
+            sup.stop();
+        }
         self.router.shutdown();
-        for c in &mut self.children {
-            c.wait().ok();
+        for c in self.children.lock().unwrap().iter_mut() {
+            if let Some(c) = c.as_mut() {
+                c.wait().ok();
+            }
         }
         std::fs::remove_dir_all(&self.sock_dir).ok();
+    }
+}
+
+/// Scoped env overrides for the router-side policy knobs (single-threaded
+/// bench setup; restored on drop).
+struct EnvGuard {
+    saved: Vec<(&'static str, Option<String>)>,
+}
+
+impl EnvGuard {
+    fn set(vars: &[(&'static str, &str)]) -> EnvGuard {
+        let saved = vars
+            .iter()
+            .map(|&(k, v)| {
+                let old = std::env::var(k).ok();
+                std::env::set_var(k, v);
+                (k, old)
+            })
+            .collect();
+        EnvGuard { saved }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        for (k, old) in self.saved.drain(..) {
+            match old {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
     }
 }
 
@@ -249,19 +351,18 @@ fn measure(dataset_dir: &std::path::Path, expected: &[Digest], shards: usize) ->
 /// both must surface as a server error, never a hang and never an `Ok`
 /// built from partial data.
 fn killed_shard_demo(dataset_dir: &std::path::Path) -> (u32, f64) {
-    let mut fabric = Fabric::spawn(dataset_dir, "kill", 2);
+    let fabric = Fabric::spawn(dataset_dir, "kill", 2);
     let mut client = StreamClient::connect(fabric.addr).expect("client connect");
 
     // Warm request proves the fabric is healthy before the kill.
     let (_, healthy) = timed_request(&mut client, &Query::new());
     assert!(healthy.1 > 0, "healthy fabric must stream points");
 
-    let victim = &mut fabric.children[1];
     let t0 = Instant::now();
     let mut error = None;
     for attempt in 0..10u32 {
         if attempt == 0 {
-            victim.kill().expect("kill shard worker");
+            fabric.kill_worker(1);
         }
         match client.request(&Query::new(), |_| {}) {
             // The kill may not have landed yet; a completed answer must
@@ -294,6 +395,206 @@ fn killed_shard_demo(dataset_dir: &std::path::Path) -> (u32, f64) {
     (code, elapsed.as_secs_f64() * 1e3)
 }
 
+struct FailoverResult {
+    requests: usize,
+    detect_ms: f64,
+    restored_ms: f64,
+}
+
+/// Self-healing demo (DESIGN.md §16): a supervised 4-worker fabric with
+/// `BAT_SHARD_REPLICAS=2` takes a SIGKILL mid-load. Hard gates: every
+/// query — including the ones racing the kill — returns the
+/// FNV-identical stream with zero shard errors (the replica absorbs the
+/// loss), and the supervisor respawns the worker and restores mesh
+/// membership within a couple of heartbeat intervals.
+fn failover_demo(dataset_dir: &std::path::Path, expected: &[Digest]) -> FailoverResult {
+    const HEARTBEAT_MS: u64 = 250;
+    const MISSED_BEATS: u64 = 2;
+    let _env = EnvGuard::set(&[
+        ("BAT_SHARD_REPLICAS", "2"),
+        ("BAT_SHARD_HEDGE_MS", "off"),
+        ("BAT_SHARD_HEARTBEAT_MS", "250"),
+        ("BAT_SHARD_MISSED_BEATS", "2"),
+    ]);
+    let _on = bat_obs::enable();
+    let respawns = bat_obs::Registry::global().counter("shard.respawn");
+    let respawns_before = respawns.get();
+    let fabric = Fabric::spawn_opts(
+        dataset_dir,
+        "failover",
+        4,
+        FabricOpts {
+            supervised: true,
+            worker_env: Vec::new(),
+        },
+    );
+    let mut client = StreamClient::connect(fabric.addr).expect("client connect");
+    let mix = query_mix();
+
+    // Mixed load with a SIGKILL landing mid-stream. No client retry: a
+    // single ERR_SHARD fails the gate.
+    let victim = 2usize;
+    let mut requests = 0usize;
+    let mut t_kill = None;
+    for rep in 0..6 {
+        for (q, want) in mix.iter().zip(expected) {
+            if rep == 2 && t_kill.is_none() {
+                fabric.kill_worker(victim);
+                t_kill = Some(Instant::now());
+            }
+            let mut hash = StreamHash::new();
+            client
+                .request(q, |c| {
+                    for (i, p) in c.positions.iter().enumerate() {
+                        hash.point(*p, (0..c.num_attrs).map(|a| c.attr(i, a)));
+                    }
+                })
+                .expect("HARD GATE: query failed despite replica coverage");
+            assert_eq!(
+                hash.digest(),
+                *want,
+                "HARD GATE: failover changed the merged stream"
+            );
+            requests += 1;
+        }
+    }
+    let t_kill = t_kill.expect("kill happened");
+
+    // The supervisor must notice the death (missed beats), respawn the
+    // worker, and the replacement must rejoin: membership restored
+    // within ~2 heartbeat intervals on top of the detection window.
+    let detect_budget =
+        Duration::from_millis(HEARTBEAT_MS * (MISSED_BEATS + 2)) + Duration::from_secs(2);
+    let detect_ms = loop {
+        if respawns.get() > respawns_before {
+            break t_kill.elapsed().as_secs_f64() * 1e3;
+        }
+        assert!(
+            t_kill.elapsed() < detect_budget,
+            "HARD GATE: supervisor never respawned the killed worker"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let restore_budget = Duration::from_millis(HEARTBEAT_MS * 2) + Duration::from_secs(3);
+    let t_respawn = Instant::now();
+    let restored_ms = loop {
+        if fabric.router.shard_alive(victim) {
+            break t_kill.elapsed().as_secs_f64() * 1e3;
+        }
+        assert!(
+            t_respawn.elapsed() < restore_budget,
+            "HARD GATE: respawned worker never rejoined the mesh"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The healed fabric still serves identically.
+    for (q, want) in mix.iter().zip(expected) {
+        let (_, got) = timed_request(&mut client, q);
+        assert_eq!(got, *want, "HARD GATE: healed fabric stream differs");
+        requests += 1;
+    }
+    drop(client);
+    fabric.teardown();
+    FailoverResult {
+        requests,
+        detect_ms,
+        restored_ms,
+    }
+}
+
+struct HedgeResult {
+    ran: bool,
+    p99_off_ms: f64,
+    p99_on_ms: f64,
+    hedges_won: u64,
+}
+
+/// Hedged-read demo (failpoint builds only): one shard delayed 25 ms per
+/// leaf. With `BAT_SHARD_HEDGE_MS=10` the router re-issues slow
+/// sub-queries to the replica; p99 must improve and hedges must win,
+/// with the stream identity untouched. `BENCH_HEDGE_WARN_ONLY=1` demotes
+/// the p99 gate to a warning (shared CI hosts).
+#[cfg(feature = "failpoints")]
+fn hedge_demo(dataset_dir: &std::path::Path, expected: &[Digest]) -> HedgeResult {
+    const DELAY_REPS: usize = 6;
+    let delayed_env = vec![(
+        "BAT_FAULTS".to_string(),
+        "shard.exec=delay:25@rank=2".to_string(),
+    )];
+    let mix: Vec<Query> = query_mix().into_iter().take(2).collect();
+    let run_phase = |hedge: &str| -> (f64, Vec<Digest>) {
+        let _env = EnvGuard::set(&[("BAT_SHARD_REPLICAS", "2"), ("BAT_SHARD_HEDGE_MS", hedge)]);
+        let fabric = Fabric::spawn_opts(
+            dataset_dir,
+            "hedge",
+            2,
+            FabricOpts {
+                supervised: false,
+                worker_env: delayed_env.clone(),
+            },
+        );
+        let mut client = StreamClient::connect(fabric.addr).expect("client connect");
+        let mut latencies = Vec::new();
+        let mut digests = Vec::new();
+        for rep in 0..DELAY_REPS {
+            for q in &mix {
+                let (dt, d) = timed_request(&mut client, q);
+                latencies.push(dt);
+                if rep == 0 {
+                    digests.push(d);
+                }
+            }
+        }
+        drop(client);
+        fabric.teardown();
+        latencies.sort();
+        let idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+        (latencies[idx].as_secs_f64() * 1e3, digests)
+    };
+
+    let _on = bat_obs::enable();
+    let won = bat_obs::Registry::global().counter("shard.hedge.won");
+    let (p99_off_ms, digests_off) = run_phase("off");
+    let won_before = won.get();
+    let (p99_on_ms, digests_on) = run_phase("10");
+    let hedges_won = won.get() - won_before;
+
+    let want: Vec<Digest> = expected.iter().take(2).copied().collect();
+    assert_eq!(digests_off, want, "HARD GATE: delayed stream differs");
+    assert_eq!(digests_on, want, "HARD GATE: hedged stream differs");
+    assert!(
+        hedges_won > 0,
+        "HARD GATE: a 25 ms/leaf handicap must make hedges win"
+    );
+    if p99_on_ms >= p99_off_ms {
+        let msg =
+            format!("hedged p99 {p99_on_ms:.2} ms did not improve on unhedged {p99_off_ms:.2} ms");
+        if std::env::var("BENCH_HEDGE_WARN_ONLY").is_ok() {
+            eprintln!("WARN: {msg}");
+        } else {
+            panic!("HARD GATE: {msg} (set BENCH_HEDGE_WARN_ONLY=1 on noisy hosts)");
+        }
+    }
+    HedgeResult {
+        ran: true,
+        p99_off_ms,
+        p99_on_ms,
+        hedges_won,
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn hedge_demo(_dataset_dir: &std::path::Path, _expected: &[Digest]) -> HedgeResult {
+    println!("hedge demo skipped (build without --features failpoints)");
+    HedgeResult {
+        ran: false,
+        p99_off_ms: 0.0,
+        p99_on_ms: 0.0,
+        hedges_won: 0,
+    }
+}
+
 fn run_smoke() {
     println!(
         "bench_shard --smoke: {} particles over {RANKS} ranks, shard processes 1/2/4",
@@ -321,6 +622,22 @@ fn run_smoke() {
         "killed shard: typed server error {kill_code} after {kill_ms:.1} ms — no hang, no partial success"
     );
 
+    let fo = failover_demo(&dir, &expected);
+    println!(
+        "failover: {} requests over a SIGKILL with replicas=2 — zero shard errors, \
+         respawn {:.0} ms, membership restored {:.0} ms after the kill",
+        fo.requests, fo.detect_ms, fo.restored_ms
+    );
+
+    let hedge = hedge_demo(&dir, &expected);
+    if hedge.ran {
+        println!(
+            "hedged reads: p99 {:.2} ms -> {:.2} ms against a 25 ms/leaf slow shard, \
+             {} hedges won, streams identical",
+            hedge.p99_off_ms, hedge.p99_on_ms, hedge.hedges_won
+        );
+    }
+
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
@@ -334,9 +651,19 @@ fn run_smoke() {
         "{{\n  \"bench\": \"shard_smoke\",\n  \"particles\": {},\n  \"leaves\": {leaves},\n  \
          \"requests_per_shard_count\": {},\n  \"bytes_identical\": true,\n  \
          \"killed_shard_error_code\": {kill_code},\n  \"killed_shard_detect_ms\": {kill_ms:.1},\n  \
+         \"failover\": {{\"requests\": {}, \"shard_errors\": 0, \"respawn_ms\": {:.1}, \
+         \"membership_restored_ms\": {:.1}}},\n  \
+         \"hedge\": {{\"ran\": {}, \"p99_off_ms\": {:.3}, \"p99_on_ms\": {:.3}, \"hedges_won\": {}}},\n  \
          \"shard_counts\": [\n{}\n  ]\n}}\n",
         RANKS as u64 * PER_RANK,
         REPS * query_mix().len(),
+        fo.requests,
+        fo.detect_ms,
+        fo.restored_ms,
+        hedge.ran,
+        hedge.p99_off_ms,
+        hedge.p99_on_ms,
+        hedge.hedges_won,
         rows.join(",\n"),
     );
     bat_bench::report::append_run(JSON_PATH, &json).expect("append BENCH_shard.json");

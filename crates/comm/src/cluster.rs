@@ -47,13 +47,37 @@ impl TransportKind {
     }
 }
 
+/// How socket ranks are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Full mesh: every rank connects to every other (the original
+    /// shape; worker↔worker traffic possible, no rejoin after a crash).
+    #[default]
+    Mesh,
+    /// Hub-and-spoke: ranks `1..n` connect only to rank 0, which keeps
+    /// its listener alive and re-admits a restarted rank. The shard
+    /// fabric's shape — all traffic flows through the router, and a
+    /// supervised worker can crash, respawn, and rejoin.
+    Star,
+}
+
+impl Topology {
+    fn parse(s: &str) -> Result<Topology, String> {
+        match s {
+            "mesh" | "full" => Ok(Topology::Mesh),
+            "star" | "hub" => Ok(Topology::Star),
+            other => Err(format!("unknown topology `{other}` (expected mesh|star)")),
+        }
+    }
+}
+
 /// Explicit cluster topology: size, this process's rank, the transport,
 /// and every rank's endpoint. Parsed from a `key=value;…` spec, the shape
 /// the `BAT_CLUSTER` env var and `batcli` flags share:
 ///
 /// ```text
 /// transport=tcp;rank=1;size=3;peers=127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
-/// transport=unix;rank=0;size=2;peers=/tmp/bat0.sock,/tmp/bat1.sock
+/// transport=unix;rank=0;size=2;topo=star;peers=/tmp/bat0.sock,/tmp/bat1.sock
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -63,6 +87,8 @@ pub struct ClusterConfig {
     pub rank: usize,
     /// Transport the cluster runs over.
     pub transport: TransportKind,
+    /// Wiring shape for socket clusters (`topo=` key, default mesh).
+    pub topology: Topology,
     /// One endpoint per rank (`host:port` for TCP, paths for Unix
     /// sockets); empty for in-process transports.
     pub endpoints: Vec<String>,
@@ -74,6 +100,7 @@ impl ClusterConfig {
         let mut size = None;
         let mut rank = None;
         let mut transport = TransportKind::Socket;
+        let mut topology = Topology::default();
         let mut endpoints = Vec::new();
         for kv in spec.split(';').filter(|s| !s.is_empty()) {
             let (key, val) = kv
@@ -93,6 +120,7 @@ impl ClusterConfig {
                     )
                 }
                 "transport" => transport = TransportKind::parse(val.trim())?,
+                "topo" | "topology" => topology = Topology::parse(val.trim())?,
                 "peers" => {
                     endpoints = val
                         .split(',')
@@ -120,6 +148,7 @@ impl ClusterConfig {
             size,
             rank,
             transport,
+            topology,
             endpoints,
         })
     }
@@ -137,11 +166,17 @@ impl ClusterConfig {
             TransportKind::Socket => "tcp",
             TransportKind::Sim => "sim",
         };
+        let topo = match self.topology {
+            // Omitted when mesh so specs from older builds round-trip.
+            Topology::Mesh => String::new(),
+            Topology::Star => ";topo=star".to_string(),
+        };
         format!(
-            "transport={};rank={};size={};peers={}",
+            "transport={};rank={};size={}{};peers={}",
             transport,
             self.rank,
             self.size,
+            topo,
             self.endpoints.join(",")
         )
     }
@@ -161,10 +196,18 @@ impl ClusterConfig {
             size,
             rank: 0,
             transport: TransportKind::Socket,
+            topology: Topology::default(),
             endpoints: (0..size)
                 .map(|r| dir.join(format!("rank{r}.sock")).display().to_string())
                 .collect(),
         }
+    }
+
+    /// The same topology wired as a star (supervised fabrics: workers
+    /// dial only the hub, and a respawned worker can rejoin).
+    pub fn star(mut self) -> ClusterConfig {
+        self.topology = Topology::Star;
+        self
     }
 
     pub(crate) fn parsed_endpoints(&self) -> io::Result<Vec<Endpoint>> {
@@ -270,6 +313,7 @@ impl Cluster {
                         size: n,
                         rank,
                         transport: TransportKind::Socket,
+                        topology: Topology::default(),
                         endpoints: endpoints.clone(),
                     };
                     let comm = SocketComm::establish(listener, &cfg, poison.clone())

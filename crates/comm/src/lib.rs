@@ -65,7 +65,7 @@ mod socket;
 mod state;
 
 pub use channel::ChannelComm;
-pub use cluster::{Cluster, ClusterConfig, TransportKind};
+pub use cluster::{Cluster, ClusterConfig, Topology, TransportKind};
 pub use comm::{Comm, Message, ProbeInfo};
 pub use error::CommError;
 pub use ibarrier::IBarrier;

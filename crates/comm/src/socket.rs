@@ -1,12 +1,23 @@
 //! The socket transport: ranks are processes (or threads) exchanging
 //! length-prefixed frames over TCP or Unix-domain stream sockets.
 //!
-//! Topology is a full mesh, built deadlock-free by ordering: rank `r`
-//! *connects* to every lower rank and *accepts* from every higher rank
-//! (listen backlogs absorb arrival-order skew). Each connection starts
-//! with a HELLO handshake exchanging a magic number, protocol version,
-//! rank, and cluster size, so a misconfigured peer fails fast instead of
-//! corrupting a mailbox.
+//! Topology is a full mesh by default, built deadlock-free by ordering:
+//! rank `r` *connects* to every lower rank and *accepts* from every
+//! higher rank (listen backlogs absorb arrival-order skew). Each
+//! connection starts with a HELLO handshake exchanging a magic number,
+//! protocol version, rank, and cluster size, so a misconfigured peer
+//! fails fast instead of corrupting a mailbox. Connect *and* handshake
+//! are retried with bounded backoff inside `BAT_CONNECT_TIMEOUT_MS`, so
+//! a worker that dials before a peer is listening (or gets reset by a
+//! restarting peer's backlog) heals instead of failing the mesh build.
+//!
+//! A `topo=star` cluster wires ranks `1..n` to rank 0 only. The hub
+//! keeps its listener for the cluster's lifetime and *re-admits* a
+//! restarted rank: a later HELLO from a known rank replaces its write
+//! half, purges stale mailbox frames from the dead incarnation, spawns a
+//! fresh reader (epoch-guarded so the old reader's EOF can't re-kill
+//! it), and clears the dead flag. This is the membership layer under the
+//! shard supervisor's crash→respawn→rejoin cycle.
 //!
 //! Wire format (all integers little-endian, matching `bat_wire`):
 //!
@@ -113,12 +124,48 @@ impl Conn {
         }
     }
 
-    /// Connect with retry until `deadline`: the peer's listener may not be
-    /// bound yet (process startup is unordered).
-    fn connect_retry(ep: &Endpoint, deadline: Instant) -> io::Result<Conn> {
+    /// Connect *and handshake* with retry until `deadline`. Process
+    /// startup is unordered: the peer's listener may not be bound yet
+    /// (connection refused), or may be bound but not yet accepting — a
+    /// backlogged connection can be reset or EOF'd mid-handshake when the
+    /// peer restarts. All of those are startup races, so any I/O-level
+    /// failure before the handshake completes retries with exponential
+    /// backoff; only a *semantic* rejection (wrong magic, version, rank,
+    /// or size — `InvalidData`) is fatal, because retrying a
+    /// misconfigured peer would just spin out the deadline.
+    fn connect_handshake(
+        ep: &Endpoint,
+        deadline: Instant,
+        rank: u32,
+        size: u32,
+        expect_peer: u32,
+    ) -> io::Result<Conn> {
+        let mut backoff = Duration::from_millis(5);
         loop {
-            match Conn::connect(ep) {
+            let attempt = (|| -> io::Result<Conn> {
+                let mut c = Conn::connect(ep)?;
+                // set_read_timeout rejects a zero Duration; clamp up.
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                c.set_read_timeout(Some(remaining))?;
+                write_hello(&mut c, rank, size)?;
+                let (r, s) = read_hello(&mut c)?;
+                if r != expect_peer || s != size {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "endpoint {expect_peer} answered as rank {r} of {s} \
+                             (expected {expect_peer} of {size})"
+                        ),
+                    ));
+                }
+                c.set_read_timeout(None)?;
+                Ok(c)
+            })();
+            match attempt {
                 Ok(c) => return Ok(c),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
                 Err(e) => {
                     if Instant::now() >= deadline {
                         return Err(io::Error::new(
@@ -126,7 +173,10 @@ impl Conn {
                             format!("connecting to {ep:?} timed out: {e}"),
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
                 }
             }
         }
@@ -377,6 +427,10 @@ struct SocketState {
     /// after a connection failed).
     writers: Vec<Mutex<Option<Conn>>>,
     dead: Vec<AtomicBool>,
+    /// Per-peer connection incarnation. A reader thread only marks its
+    /// peer dead if its epoch is still current, so a stale reader from a
+    /// replaced connection can't kill a re-admitted peer.
+    epochs: Vec<AtomicU64>,
     ibarrier_gen: AtomicU64,
     poison: Arc<PoisonCell>,
     /// Set by `shutdown` so reader threads exit silently instead of
@@ -421,7 +475,7 @@ impl SocketState {
     }
 }
 
-fn reader_loop(mut conn: Conn, peer: usize, state: Arc<SocketState>) {
+fn reader_loop(mut conn: Conn, peer: usize, epoch: u64, state: Arc<SocketState>) {
     // Set once the peer announces a clean departure; the EOF that follows
     // is then an orderly exit, not a death.
     let mut peer_left = false;
@@ -447,11 +501,69 @@ fn reader_loop(mut conn: Conn, peer: usize, state: Arc<SocketState>) {
                 _ => {}
             },
             Ok(None) | Err(_) => {
-                if !peer_left && !state.closed.load(Ordering::Acquire) {
+                let current = state.epochs[peer].load(Ordering::Acquire) == epoch;
+                if !peer_left && current && !state.closed.load(Ordering::Acquire) {
                     state.mark_dead_local(peer);
                 }
                 return;
             }
+        }
+    }
+}
+
+/// Wire a (re)connected peer into the fabric: purge any queued frames
+/// from its previous incarnation, install the write half, spawn a fresh
+/// reader, and finally clear the dead flag so sends resume. Called by the
+/// hub's rejoin loop when a supervised worker restarts and dials back in.
+fn readmit(state: &Arc<SocketState>, peer: usize, conn: Conn) -> io::Result<()> {
+    let reader_half = conn.try_clone()?;
+    // Bump the epoch first: a reader still draining the replaced
+    // connection must not mark the new incarnation dead on its EOF.
+    let epoch = state.epochs[peer].fetch_add(1, Ordering::AcqRel) + 1;
+    {
+        // Frames from the dead incarnation would otherwise sit in the
+        // mailbox forever (their req tags are retired).
+        let mut q = state.inbox.queue.lock();
+        q.retain(|m| m.src != peer);
+    }
+    *state.writers[peer].lock() = Some(conn);
+    let st = state.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("bat-sock-r{}p{}e{}", state.rank, peer, epoch))
+        .spawn(move || reader_loop(reader_half, peer, epoch, st))?;
+    state.readers.lock().push(handle);
+    state.dead[peer].store(false, Ordering::Release);
+    let _guard = state.inbox.queue.lock();
+    state.inbox.cv.notify_all();
+    Ok(())
+}
+
+/// Hub-only accept loop (star topology): the listener stays bound for the
+/// cluster's lifetime, and any later HELLO from a known rank re-admits
+/// that peer — the membership half of supervised respawn.
+fn rejoin_loop(listener: Listener, state: Arc<SocketState>) {
+    let poll = Duration::from_millis(100);
+    while !state.closed.load(Ordering::Acquire) {
+        let mut c = match listener.accept_deadline(Instant::now() + poll) {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+            Err(_) => continue,
+        };
+        let hello = (|| -> io::Result<u32> {
+            c.set_read_timeout(Some(connect_timeout()))?;
+            let (r, s) = read_hello(&mut c)?;
+            if r as usize == 0 || r as usize >= state.size || s as usize != state.size {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("rejoin HELLO from rank {r} of {s} rejected"),
+                ));
+            }
+            write_hello(&mut c, state.rank as u32, state.size as u32)?;
+            c.set_read_timeout(None)?;
+            Ok(r)
+        })();
+        if let Ok(r) = hello {
+            readmit(&state, r as usize, c).ok();
         }
     }
 }
@@ -491,27 +603,26 @@ impl SocketComm {
                 format!("cluster size {n} but {} endpoints", eps.len()),
             ));
         }
+        let star = cfg.topology == crate::cluster::Topology::Star;
         let deadline = Instant::now() + connect_timeout();
         let handshake_timeout = Some(connect_timeout());
         let mut conns: Vec<Option<Conn>> = (0..n).map(|_| None).collect();
 
-        // Connect to every lower rank…
-        for (j, ep) in eps.iter().enumerate().take(rank) {
-            let mut c = Conn::connect_retry(ep, deadline)?;
-            c.set_read_timeout(handshake_timeout)?;
-            write_hello(&mut c, rank as u32, n as u32)?;
-            let (r, s) = read_hello(&mut c)?;
-            if r as usize != j || s as usize != n {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("endpoint {j} answered as rank {r} of {s} (expected {j} of {n})"),
-                ));
-            }
-            c.set_read_timeout(None)?;
-            conns[j] = Some(c);
+        // Connect to every lower rank (star spokes dial only the hub)…
+        let dial_to = if star && rank > 0 { 1 } else { rank };
+        for (j, ep) in eps.iter().enumerate().take(dial_to) {
+            conns[j] = Some(Conn::connect_handshake(
+                ep,
+                deadline,
+                rank as u32,
+                n as u32,
+                j as u32,
+            )?);
         }
-        // …and accept from every higher rank.
-        for _ in rank + 1..n {
+        // …and accept from every higher rank (none for star spokes; the
+        // hub, rank 0, accepts everyone — same as its mesh role).
+        let accepts = if star && rank > 0 { 0 } else { n - rank - 1 };
+        for _ in 0..accepts {
             let mut c = listener.accept_deadline(deadline)?;
             c.set_read_timeout(handshake_timeout)?;
             let (r, s) = read_hello(&mut c)?;
@@ -543,6 +654,7 @@ impl SocketComm {
             inbox,
             writers: conns.into_iter().map(Mutex::new).collect(),
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
             ibarrier_gen: AtomicU64::new(0),
             poison,
             closed: AtomicBool::new(false),
@@ -555,15 +667,27 @@ impl SocketComm {
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("bat-sock-r{rank}p{j}"))
-                        .spawn(move || reader_loop(conn, j, st))
+                        .spawn(move || reader_loop(conn, j, 0, st))
                         .expect("spawn reader thread"),
                 );
             }
         }
         *state.readers.lock() = handles;
-        // Keep the listener alive until the mesh is up; drop it now (Unix
-        // paths are unlinked — reconnects are not part of the protocol).
-        drop(listener);
+        if star && rank == 0 {
+            // The hub keeps listening for the cluster's lifetime so a
+            // supervised worker that crashed and respawned can dial back
+            // in; `rejoin_loop` re-admits it and clears its dead flag.
+            let st = state.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("bat-sock-hub{rank}"))
+                .spawn(move || rejoin_loop(listener, st))
+                .expect("spawn hub accept thread");
+            state.readers.lock().push(h);
+        } else {
+            // Mesh (and star spokes): drop the listener now — Unix paths
+            // are unlinked; reconnects are not part of the mesh protocol.
+            drop(listener);
+        }
         Ok(SocketComm {
             state,
             timeout: default_timeout(),

@@ -30,6 +30,12 @@ pub struct Query {
     pub quality: f64,
     /// Previously loaded quality for progressive reads (0 = fresh read).
     pub prev_quality: f64,
+    /// Degraded-mode opt-in: the caller accepts results from surviving
+    /// shards when part of the fabric is unreachable. A partial result is
+    /// always announced explicitly (the stream protocol's `PARTIAL` frame
+    /// with served/total leaf counts) — never silently passed off as
+    /// complete. Without this flag, shard exhaustion is a typed error.
+    pub allow_partial: bool,
 }
 
 impl Default for Query {
@@ -46,6 +52,7 @@ impl Query {
             filters: Vec::new(),
             quality: 1.0,
             prev_quality: 0.0,
+            allow_partial: false,
         }
     }
 
@@ -70,6 +77,12 @@ impl Query {
     /// Set the progressive baseline (quality already loaded).
     pub fn with_prev_quality(mut self, q: f64) -> Query {
         self.prev_quality = q;
+        self
+    }
+
+    /// Opt into degraded-mode serving (see [`Query::allow_partial`]).
+    pub fn with_allow_partial(mut self, allow: bool) -> Query {
+        self.allow_partial = allow;
         self
     }
 
@@ -339,6 +352,7 @@ impl Query {
         }
         enc.put_f64(self.quality);
         enc.put_f64(self.prev_quality);
+        enc.put_bool(self.allow_partial);
     }
 
     /// Inverse of [`Query::encode`].
@@ -373,11 +387,19 @@ impl Query {
         }
         let quality = dec.get_f64("query quality")?;
         let prev_quality = dec.get_f64("query prev quality")?;
+        // Absent in streams written before degraded mode existed; absence
+        // means the strict default.
+        let allow_partial = if dec.remaining() > 0 {
+            dec.get_bool("query allow partial")?
+        } else {
+            false
+        };
         Ok(Query {
             bounds,
             filters,
             quality,
             prev_quality,
+            allow_partial,
         })
     }
 }

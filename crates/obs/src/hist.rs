@@ -127,6 +127,37 @@ impl AtomicHistogram {
         self.min.fetch_min(data.min, Ordering::Relaxed);
         self.max.fetch_max(data.max, Ordering::Relaxed);
     }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile straight off the live buckets, without
+    /// the snapshot allocation of `load().quantile(q)`. Same semantics as
+    /// [`HistData::quantile`]; under concurrent writers the estimate may
+    /// lag in-flight records, which is fine for its consumer — streaming
+    /// latency budgets (the shard router's hedged-read trigger) that only
+    /// need a bounded-error p99 over what has been observed so far.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let mid = bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) / 2;
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return if min <= max { mid.clamp(min, max) } else { mid };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
 }
 
 /// Plain (non-atomic) histogram contents: what snapshots and merges work
@@ -279,5 +310,19 @@ mod tests {
             p.record(v);
         }
         assert_eq!(a.load(), p);
+    }
+
+    #[test]
+    fn live_quantile_matches_snapshot_quantile() {
+        let a = AtomicHistogram::default();
+        assert_eq!(a.quantile(0.99), 0, "empty histogram estimates 0");
+        for v in 1..=1000u64 {
+            a.record(v);
+        }
+        let snap = a.load();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), snap.quantile(q), "q={q}");
+        }
+        assert_eq!(a.count(), 1000);
     }
 }

@@ -26,7 +26,7 @@ pub mod pool;
 pub use bat_layout::cache::{
     self, PageCache, PRIORITY_BULK, PRIORITY_INTERACTIVE, PRIORITY_NORMAL,
 };
-pub use plan::{PlanStats, QueryPlan, ServeError};
+pub use plan::{owned_leaves, replica_owners, shard_of, PlanStats, QueryPlan, ServeError};
 pub use pool::{PoolStats, Rejected, ServePool, ServePoolConfig};
 
 use bat_layout::Query;

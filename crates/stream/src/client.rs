@@ -26,6 +26,20 @@ pub enum RequestError {
         /// Human-readable detail from the server.
         message: String,
     },
+    /// The request completed *degraded*: the query opted in with
+    /// `Query::allow_partial` and part of the fabric was unreachable, so
+    /// the chunks streamed to `on_chunk` cover only `served_leaves` of
+    /// `total_leaves` planned leaves. A distinct outcome (never folded
+    /// into a successful return) so partial data can't silently pass as
+    /// complete. The session stays usable.
+    Partial {
+        /// Points streamed to `on_chunk` before the PARTIAL frame.
+        points: u64,
+        /// Planned leaves actually served.
+        served_leaves: u64,
+        /// Leaves the plan wanted in total.
+        total_leaves: u64,
+    },
 }
 
 impl std::fmt::Display for RequestError {
@@ -37,6 +51,16 @@ impl std::fmt::Display for RequestError {
             }
             RequestError::Server { code, message } => {
                 write!(f, "server error {code}: {message}")
+            }
+            RequestError::Partial {
+                points,
+                served_leaves,
+                total_leaves,
+            } => {
+                write!(
+                    f,
+                    "partial result: {points} points from {served_leaves}/{total_leaves} leaves"
+                )
             }
         }
     }
@@ -140,6 +164,23 @@ impl StreamClient {
                 }
                 ServerMsg::Error { code, message } => {
                     return Err(RequestError::Server { code, message })
+                }
+                ServerMsg::Partial {
+                    points,
+                    served_leaves,
+                    total_leaves,
+                } => {
+                    if points != received {
+                        return Err(RequestError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("server reported {points} partial points, received {received}"),
+                        )));
+                    }
+                    return Err(RequestError::Partial {
+                        points,
+                        served_leaves,
+                        total_leaves,
+                    });
                 }
                 ServerMsg::Schema(_) => {
                     return Err(RequestError::Io(std::io::Error::new(

@@ -61,6 +61,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod supervise;
 
 pub use client::{RequestError, StreamClient};
 pub use protocol::{
@@ -68,5 +69,7 @@ pub use protocol::{
 };
 pub use server::{ServerHandle, StreamServer};
 pub use shard::{
-    owned_leaves, run_shard, shard_of, ShardFront, ShardQueryError, ShardRouter, ROUTER_RANK,
+    owned_leaves, replica_owners, run_shard, shard_of, QueryOutcome, ShardFront, ShardQueryError,
+    ShardRouter, ROUTER_RANK,
 };
+pub use supervise::{supervise, Supervisor, SupervisorConfig};

@@ -34,6 +34,7 @@ const MSG_CHUNK: u8 = 3;
 const MSG_DONE: u8 = 4;
 const MSG_BUSY: u8 = 5;
 const MSG_ERROR: u8 = 6;
+const MSG_PARTIAL: u8 = 7;
 
 /// [`ServerMsg::Error`] code: the per-query deadline expired.
 pub const ERR_DEADLINE: u32 = 1;
@@ -120,6 +121,19 @@ pub enum ServerMsg {
         code: u32,
         /// Human-readable detail.
         message: String,
+    },
+    /// End of a *degraded* request: the client opted in with
+    /// `Query::allow_partial` and part of the fabric was unreachable, so
+    /// the streamed chunks cover only `served_leaves` of `total_leaves`
+    /// planned leaves. Never sent unless the client opted in — partial
+    /// data is never passed off as a `Done`.
+    Partial {
+        /// Points actually streamed.
+        points: u64,
+        /// Planned leaves whose points were served.
+        served_leaves: u64,
+        /// Leaves the plan wanted in total.
+        total_leaves: u64,
     },
 }
 
@@ -260,6 +274,16 @@ impl ServerMsg {
                 enc.put_u32(*code);
                 enc.put_str(message);
             }
+            ServerMsg::Partial {
+                points,
+                served_leaves,
+                total_leaves,
+            } => {
+                enc.put_u8(MSG_PARTIAL);
+                enc.put_u64(*points);
+                enc.put_u64(*served_leaves);
+                enc.put_u64(*total_leaves);
+            }
         }
         enc.finish()
     }
@@ -298,6 +322,11 @@ impl ServerMsg {
                 code: dec.get_u32("error code")?,
                 message: dec.get_str("error message")?,
             }),
+            MSG_PARTIAL => Ok(ServerMsg::Partial {
+                points: dec.get_u64("partial points")?,
+                served_leaves: dec.get_u64("partial served leaves")?,
+                total_leaves: dec.get_u64("partial total leaves")?,
+            }),
             tag => Err(WireError::BadTag {
                 what: "server message tag",
                 tag: tag as u64,
@@ -318,7 +347,8 @@ mod tests {
                 .with_quality(0.4)
                 .with_prev_quality(0.2)
                 .with_bounds(Aabb::unit())
-                .with_filter(1, -2.0, 5.0),
+                .with_filter(1, -2.0, 5.0)
+                .with_allow_partial(true),
         };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
     }
@@ -340,6 +370,11 @@ mod tests {
             ServerMsg::Error {
                 code: ERR_DEADLINE,
                 message: "query deadline expired after 3/9 treelets".into(),
+            },
+            ServerMsg::Partial {
+                points: 70,
+                served_leaves: 7,
+                total_leaves: 9,
             },
         ];
         for m in msgs {

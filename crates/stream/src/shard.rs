@@ -1,5 +1,5 @@
 //! The shard fabric: one thin router process fanning queries out to N
-//! shard processes over a `bat-comm` cluster (DESIGN.md §14).
+//! shard processes over a `bat-comm` cluster (DESIGN.md §14, §16).
 //!
 //! Each shard owns a contiguous slice of the aggregation tree's leaf
 //! files ([`owned_leaves`]) and plans/executes queries against only its
@@ -23,22 +23,53 @@
 //! The router consumes frames leaf-by-leaf in global plan order; frames
 //! from not-yet-merged shards simply wait in the mailbox.
 //!
+//! # Self-healing (DESIGN.md §16)
+//!
+//! With `BAT_SHARD_REPLICAS ≥ 2` every leaf slice has a replica chain
+//! ([`replica_owners`]) and the router becomes a routing *policy* layer on
+//! top of the same wire protocol:
+//!
+//! * **Failover** — a failed or silent sub-query is re-dispatched from the
+//!   current merge position to the next untried replica, with bounded
+//!   backoff (`BAT_SHARD_RETRY_MS`), instead of surfacing `ERR_SHARD`.
+//! * **Hedged reads** — when the current leaf has been pending longer than
+//!   a latency budget (fixed `BAT_SHARD_HEDGE_MS`, or 3× the streaming
+//!   per-leaf p99 once warmed), the remaining slice is speculatively
+//!   issued to a replica and the merge takes whichever stream completes
+//!   each leaf first. Chunk boundaries are deterministic per leaf, so the
+//!   winning stream is byte-identical either way.
+//! * **Circuit breaker** — per-shard closed/open/half-open state
+//!   (`BAT_SHARD_BREAKER_*`) steers initial placement and hedges away
+//!   from recently failing shards; a half-open shard admits one probe.
+//! * **Degraded mode** — when a slice's chain is exhausted and the query
+//!   opted in (`Query::allow_partial`), its remaining leaves are skipped
+//!   and the outcome reports `served_leaves < total_leaves`; partial data
+//!   is never folded into a complete result.
+//!
+//! Because replica routing is purely router-side (workers always open the
+//! full dataset and plan whatever slice they are handed), `replicas = 1`
+//! reduces exactly to the original fabric: one stream per slice, strict
+//! per-shard `Done` accounting, and typed errors on any failure.
+//!
 //! Failure semantics: every router receive is deadline-bounded, so a shard
 //! killed mid-query surfaces as a typed [`ShardQueryError`] within the
 //! wait budget — never a hang, and never partial bytes presented as a
-//! complete result (the client sees `Error`, not `Done`).
+//! complete result (the client sees `Error` or `Partial`, not `Done`).
 
 use crate::protocol::{
     decode_chunk, encode_chunk, Chunk, CHUNK_POINTS, ERR_BAD_QUERY, ERR_DEADLINE, ERR_INTERNAL,
 };
 use bat_comm::{Comm, CommError, MAX_USER_TAG};
 use bat_layout::Query;
+pub use bat_serve::{owned_leaves, replica_owners, shard_of};
 use bat_serve::{QueryPlan, ServeError};
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
 use bytes::Bytes;
 use libbat::Dataset;
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The router's rank in the shard cluster; shards are ranks `1..=N`.
@@ -46,9 +77,20 @@ pub const ROUTER_RANK: usize = 0;
 
 /// Control tag (router → shard).
 const TAG_CTRL: u32 = 1;
-/// First per-query streaming tag; queries allocate tags round-robin above
-/// this so concurrent fan-outs never share a (source, tag) stream.
+/// Heartbeat tag (supervisor ping ↔ worker pong); separate from control
+/// so liveness probes never queue behind fanned-out queries.
+pub(crate) const TAG_HEARTBEAT: u32 = 2;
+/// Cancellation tag (router → shard): a retired request tag whose frames
+/// the worker should stop producing.
+const TAG_CANCEL: u32 = 3;
+/// First per-query streaming tag; each dispatched stream allocates a tag
+/// round-robin above this so concurrent fan-outs (and a slice's replica
+/// streams) never share a (source, tag) stream.
 const FIRST_REQ_TAG: u32 = 64;
+
+/// Grace on top of the query's own deadline, so a shard's typed
+/// `DeadlineExpired` beats the router's transport timeout.
+const DEADLINE_GRACE: Duration = Duration::from_secs(2);
 
 /// How long the router waits on a silent shard when the query has no
 /// deadline of its own (`BAT_SHARD_WAIT_MS`, default 30 s).
@@ -60,21 +102,139 @@ fn shard_wait() -> Duration {
         .unwrap_or(Duration::from_secs(30))
 }
 
-// ---------------------------------------------------------------------------
-// Leaf partition
-// ---------------------------------------------------------------------------
-
-/// Owner shard (0-based, contiguous equal slices) of `leaf`.
-pub fn shard_of(leaf: u32, num_leaves: usize, num_shards: usize) -> usize {
-    debug_assert!((leaf as usize) < num_leaves);
-    ((leaf as usize + 1) * num_shards - 1) / num_leaves.max(1)
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default)
 }
 
-/// The sorted leaves shard `shard` owns out of `num_leaves`.
-pub fn owned_leaves(shard: usize, num_leaves: usize, num_shards: usize) -> Vec<u32> {
-    (0..num_leaves as u32)
-        .filter(|&l| shard_of(l, num_leaves, num_shards) == shard)
-        .collect()
+// ---------------------------------------------------------------------------
+// Routing policy (read once per router, so tests can scope env changes)
+// ---------------------------------------------------------------------------
+
+/// When the router issues a speculative replica stream for a slow leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hedge {
+    /// Never hedge.
+    Off,
+    /// Budget = 3× the streaming per-leaf p99, clamped to
+    /// `[25 ms, BAT_SHARD_WAIT_MS]`, once ≥ 16 leaves have been observed.
+    Auto,
+    /// Fixed budget.
+    Fixed(Duration),
+}
+
+impl Hedge {
+    /// `BAT_SHARD_HEDGE_MS`: unset or `auto` → [`Hedge::Auto`]; `0` or
+    /// `off` → [`Hedge::Off`]; a number → fixed budget in ms.
+    fn parse(v: Option<&str>) -> Hedge {
+        match v.map(str::trim) {
+            None | Some("") | Some("auto") => Hedge::Auto,
+            Some("0") | Some("off") => Hedge::Off,
+            Some(s) => s
+                .parse::<u64>()
+                .map(|ms| Hedge::Fixed(Duration::from_millis(ms)))
+                .unwrap_or(Hedge::Auto),
+        }
+    }
+}
+
+/// The self-healing knobs, snapshotted at [`ShardRouter::new`].
+#[derive(Debug, Clone, Copy)]
+struct RouterPolicy {
+    /// Owners per leaf slice (`BAT_SHARD_REPLICAS`, default 1 = the
+    /// original primary-only fabric).
+    replicas: usize,
+    hedge: Hedge,
+    /// Base failover backoff (`BAT_SHARD_RETRY_MS`), doubled per retry.
+    retry_backoff: Duration,
+    /// Consecutive failures that open a shard's breaker
+    /// (`BAT_SHARD_BREAKER_FAILS`).
+    breaker_fails: u32,
+    /// How long an open breaker rejects before half-opening
+    /// (`BAT_SHARD_BREAKER_COOLDOWN_MS`).
+    breaker_cooldown: Duration,
+}
+
+impl RouterPolicy {
+    fn from_env() -> RouterPolicy {
+        RouterPolicy {
+            replicas: env_u64("BAT_SHARD_REPLICAS", 1).max(1) as usize,
+            hedge: Hedge::parse(std::env::var("BAT_SHARD_HEDGE_MS").ok().as_deref()),
+            retry_backoff: Duration::from_millis(env_u64("BAT_SHARD_RETRY_MS", 10).max(1)),
+            breaker_fails: env_u64("BAT_SHARD_BREAKER_FAILS", 3).max(1) as u32,
+            breaker_cooldown: Duration::from_millis(env_u64("BAT_SHARD_BREAKER_COOLDOWN_MS", 1000)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard circuit breaker
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct BreakerInner {
+    consecutive: u32,
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight; further admits are rejected until
+    /// it reports.
+    probing: bool,
+}
+
+/// Closed / open / half-open breaker over one shard's recent failures.
+#[derive(Default)]
+struct Breaker {
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// May a new sub-query be routed to this shard? An open breaker past
+    /// its cooldown admits exactly one half-open probe.
+    fn admit(&self, cooldown: Duration) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        match g.opened_at {
+            None => true,
+            Some(t) if t.elapsed() >= cooldown => {
+                if g.probing {
+                    false
+                } else {
+                    g.probing = true;
+                    true
+                }
+            }
+            Some(_) => false,
+        }
+    }
+
+    fn success(&self) {
+        let mut g = self.inner.lock().unwrap();
+        *g = BreakerInner::default();
+    }
+
+    /// Record a failure; returns true when this failure newly opened the
+    /// breaker.
+    fn failure(&self, threshold: u32) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        g.consecutive += 1;
+        g.probing = false;
+        let newly = g.opened_at.is_none() && g.consecutive >= threshold;
+        if g.consecutive >= threshold {
+            // Re-arm the cooldown on every failure at/over the threshold.
+            g.opened_at = Some(Instant::now());
+        }
+        newly
+    }
+
+    /// 0 = closed, 1 = open, 2 = half-open (probe in flight).
+    fn gauge(&self) -> f64 {
+        let g = self.inner.lock().unwrap();
+        match (g.opened_at, g.probing) {
+            (None, _) => 0.0,
+            (Some(_), true) => 2.0,
+            (Some(_), false) => 1.0,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +317,34 @@ impl Ctrl {
     }
 }
 
+/// Heartbeat kinds on [`TAG_HEARTBEAT`].
+pub(crate) const HB_PING: u8 = 1;
+pub(crate) const HB_PONG: u8 = 2;
+
+pub(crate) fn encode_heartbeat(kind: u8, seq: u64) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.put_u8(kind);
+    enc.put_u64(seq);
+    Bytes::from(enc.finish())
+}
+
+pub(crate) fn decode_heartbeat(payload: &[u8]) -> Option<(u8, u64)> {
+    let mut dec = Decoder::new(payload);
+    let kind = dec.get_u8("heartbeat kind").ok()?;
+    let seq = dec.get_u64("heartbeat seq").ok()?;
+    Some((kind, seq))
+}
+
+fn encode_cancel(req_tag: u32) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.put_u32(req_tag);
+    Bytes::from(enc.finish())
+}
+
+fn decode_cancel(payload: &[u8]) -> Option<u32> {
+    Decoder::new(payload).get_u32("cancel req tag").ok()
+}
+
 const SHARD_CHUNK: u8 = 1;
 const SHARD_LEAF_DONE: u8 = 2;
 const SHARD_DONE: u8 = 3;
@@ -221,21 +409,86 @@ impl ShardMsg {
 // Shard worker
 // ---------------------------------------------------------------------------
 
+/// Request tags the router has retired; the worker stops producing for
+/// them at leaf boundaries. Bounded so a long-lived worker can't grow it
+/// without limit.
+struct CancelSet {
+    tags: VecDeque<u32>,
+}
+
+impl CancelSet {
+    fn new() -> CancelSet {
+        CancelSet {
+            tags: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, tag: u32) {
+        if !self.tags.contains(&tag) {
+            self.tags.push_back(tag);
+            if self.tags.len() > 256 {
+                self.tags.pop_front();
+            }
+        }
+    }
+
+    fn contains(&self, tag: u32) -> bool {
+        self.tags.contains(&tag)
+    }
+
+    fn remove(&mut self, tag: u32) -> bool {
+        if let Some(i) = self.tags.iter().position(|&t| t == tag) {
+            self.tags.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Drain liveness pings (answering each with a pong) and cancellation
+/// notices. Called from the worker's idle loop and at leaf boundaries, so
+/// a worker busy streaming a long request still heartbeats.
+///
+/// The `shard.heartbeat` failpoint fires per ping: `delay:MS` makes the
+/// pong late (a laggy-but-live worker), `error` drops it (a worker that
+/// will be declared missing), `kill` marks the rank dead.
+fn drain_control(comm: &dyn Comm, cancelled: &mut CancelSet) {
+    while let Some(m) = comm.try_recv_raw(Some(ROUTER_RANK), TAG_HEARTBEAT) {
+        if let Some((HB_PING, seq)) = decode_heartbeat(&m.payload) {
+            match bat_faults::fire("shard.heartbeat") {
+                Some(bat_faults::Fault::Kill) => comm.mark_dead(),
+                Some(_) => {} // drop the pong: a silent worker
+                None => comm.isend(ROUTER_RANK, TAG_HEARTBEAT, encode_heartbeat(HB_PONG, seq)),
+            }
+        }
+    }
+    while let Some(m) = comm.try_recv_raw(Some(ROUTER_RANK), TAG_CANCEL) {
+        if let Some(tag) = decode_cancel(&m.payload) {
+            cancelled.insert(tag);
+        }
+    }
+}
+
 /// Run a shard worker until the router shuts the cluster down (or dies).
 /// `comm.rank()` must be in `1..=num_shards`; the worker serves queries
-/// over its contiguous slice of `ds`'s leaves, streaming results back to
-/// [`ROUTER_RANK`].
+/// over whichever slice of `ds`'s leaves each request assigns, streaming
+/// results back to [`ROUTER_RANK`], answering heartbeats, and honoring
+/// cancellations at leaf boundaries.
 pub fn run_shard(comm: &dyn Comm, ds: &Dataset) -> std::io::Result<()> {
     assert!(comm.rank() != ROUTER_RANK, "the router is not a shard");
+    let mut cancelled = CancelSet::new();
     loop {
         // A rank that abandoned the protocol (fault kill) can no longer
         // be sent a shutdown: stop serving on its behalf.
         if comm.is_dead(comm.rank()) {
             return Ok(());
         }
+        drain_control(comm, &mut cancelled);
         // Poll with a bounded receive so a dead router ends the worker
-        // instead of parking it forever.
-        let msg = match comm.recv_timeout(Some(ROUTER_RANK), TAG_CTRL, Duration::from_secs(1)) {
+        // instead of parking it forever; short enough that heartbeats get
+        // answered well inside a supervision interval.
+        let msg = match comm.recv_timeout(Some(ROUTER_RANK), TAG_CTRL, Duration::from_millis(250)) {
             Ok(m) => m,
             Err(CommError::Timeout { .. }) => continue,
             Err(CommError::PeerDead { .. }) => return Ok(()),
@@ -251,15 +504,29 @@ pub fn run_shard(comm: &dyn Comm, ds: &Dataset) -> std::io::Result<()> {
                 query,
                 leaves,
             } => {
-                serve_one(comm, ds, req_tag, budget_ms, &query, &leaves);
+                // A cancel can outrun its query when the router retires a
+                // hedge it never needed; skip without producing frames.
+                if cancelled.remove(req_tag) {
+                    continue;
+                }
+                serve_one(
+                    comm,
+                    ds,
+                    req_tag,
+                    budget_ms,
+                    &query,
+                    &leaves,
+                    &mut cancelled,
+                );
                 bat_obs::counter_add("shard.requests", 1);
             }
         }
     }
 }
 
-/// Execute one fanned-out request on a shard: plan the owned slice, run
-/// each assigned leaf in the router's order, stream bounded chunks.
+/// Execute one fanned-out request on a shard: plan the assigned slice, run
+/// each leaf in the router's order, stream bounded chunks.
+#[allow(clippy::too_many_arguments)]
 fn serve_one(
     comm: &dyn Comm,
     ds: &Dataset,
@@ -267,6 +534,7 @@ fn serve_one(
     budget_ms: u64,
     query: &Query,
     leaves: &[u32],
+    cancelled: &mut CancelSet,
 ) {
     let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
     let fail = |e: &ServeError| {
@@ -299,6 +567,14 @@ fn serve_one(
         num_attrs,
     };
     for &leaf in leaves {
+        // Leaf boundaries are the cancellation / liveness granularity: a
+        // worker whose stream the router retired stops producing here
+        // (silently — the router is already draining the tag), and a
+        // worker mid-request still answers pings.
+        drain_control(comm, cancelled);
+        if cancelled.contains(req_tag) {
+            return;
+        }
         // The `shard.exec` failpoint: `delay:MS` makes this a slow shard
         // (the fault matrix's slow-peer case); `kill` abandons the
         // request mid-stream like a crash, with the rank marked dead so
@@ -353,7 +629,9 @@ pub enum ShardQueryError {
         /// Its message.
         message: String,
     },
-    /// A shard went silent or died mid-query; the wait was bounded.
+    /// A shard went silent or died mid-query; the wait was bounded. With
+    /// replicas this is only surfaced once the whole replica chain is
+    /// exhausted (and the query did not opt into partial results).
     Comm {
         /// The shard the router was waiting on (0-based).
         shard: usize,
@@ -388,31 +666,141 @@ impl From<ServeError> for ShardQueryError {
     }
 }
 
-/// The router: plans globally, fans out to owning shards, merges streams.
-/// Shareable across session threads (receives use per-query tags, so
-/// concurrent fan-outs never steal each other's frames).
+/// What a successful fan-out produced. `served_leaves < total_leaves`
+/// only happens when the query opted in via [`Query::allow_partial`]; a
+/// partial outcome is always announced, never folded into a complete one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Points handed to the sink.
+    pub points: u64,
+    /// Planned leaves actually merged.
+    pub served_leaves: u64,
+    /// Leaves the global plan wanted.
+    pub total_leaves: u64,
+}
+
+impl QueryOutcome {
+    /// True when degraded serving skipped part of the plan.
+    pub fn is_partial(&self) -> bool {
+        self.served_leaves < self.total_leaves
+    }
+}
+
+/// A tag the router abandoned (hedge loser, failed-over stream): its
+/// late frames are drained on subsequent queries until it expires.
+struct Retired {
+    shard: usize,
+    tag: u32,
+    expires: Instant,
+}
+
+/// One contiguous leaf slice's fan-out state: its replica chain, merge
+/// position, and the stream(s) currently racing to serve it.
+struct SubQuery {
+    /// Primary owner (for error attribution).
+    primary: usize,
+    /// Replica chain, primary first.
+    chain: Vec<usize>,
+    /// This slice's leaves in global plan order.
+    leaves: Vec<u32>,
+    /// Next index into `leaves` to merge.
+    next: usize,
+    /// Active streams (one normally; two while a hedge races).
+    streams: Vec<StreamCur>,
+    /// Shards already dispatched to (never re-tried).
+    dispatched: Vec<usize>,
+    /// Failover re-dispatches so far (drives backoff).
+    attempts: u32,
+    /// Anything non-clean happened (failover, hedge, skip): per-shard
+    /// `Done` accounting is no longer meaningful for this slice.
+    dirty: bool,
+    /// Degraded: merge position where the chain was exhausted and the
+    /// remaining leaves abandoned (requires `Query::allow_partial`).
+    skipped_at: Option<usize>,
+    /// Most recent stream failure, surfaced if the chain is exhausted.
+    last_err: Option<ShardQueryError>,
+}
+
+/// One dispatched stream: frames are parsed into completed per-leaf chunk
+/// groups so the merge can take whole leaves from whichever replica
+/// finishes first (chunk boundaries are deterministic per leaf, so the
+/// merged bytes don't depend on the winner).
+struct StreamCur {
+    shard: usize,
+    tag: u32,
+    /// This is the later, speculative dispatch of a hedge pair.
+    hedge: bool,
+    /// Leaf index (into the slice) of the front of `groups`.
+    base: usize,
+    /// Completed leaves awaiting merge, in order from `base`.
+    groups: VecDeque<Vec<Chunk>>,
+    /// Chunks of the leaf currently being received.
+    cur: Vec<Chunk>,
+    /// Terminal `Done { points }` received.
+    done: bool,
+    done_points: u64,
+    failed: Option<ShardQueryError>,
+}
+
+impl StreamCur {
+    /// Leaf index the next incoming frame belongs to.
+    fn recv_pos(&self) -> usize {
+        self.base + self.groups.len()
+    }
+
+    /// Still expecting frames from the wire.
+    fn receivable(&self) -> bool {
+        !self.done && self.failed.is_none()
+    }
+}
+
+/// The router: plans globally, fans out to owning shards (and their
+/// replicas), merges streams. Shareable across session threads (receives
+/// use per-stream tags, so concurrent fan-outs never steal each other's
+/// frames).
 pub struct ShardRouter {
     comm: Box<dyn Comm>,
     ds: Arc<Dataset>,
     next_tag: AtomicU32,
+    policy: RouterPolicy,
+    breakers: Vec<Breaker>,
+    /// Streaming per-leaf merge latency (µs) — the hedge trigger's p99
+    /// source. Router-owned (not the obs registry) so hedging works with
+    /// observability disabled.
+    leaf_latency: bat_obs::AtomicHistogram,
+    retired: Mutex<Vec<Retired>>,
 }
 
 impl ShardRouter {
     /// Wrap the router rank's communicator (`comm.rank()` must be
     /// [`ROUTER_RANK`]; shards are the other `comm.size() - 1` ranks).
+    /// Routing knobs (`BAT_SHARD_REPLICAS`, `BAT_SHARD_HEDGE_MS`,
+    /// `BAT_SHARD_RETRY_MS`, `BAT_SHARD_BREAKER_*`) are snapshotted here.
     pub fn new(comm: Box<dyn Comm>, ds: Arc<Dataset>) -> ShardRouter {
         assert_eq!(comm.rank(), ROUTER_RANK, "the router must be rank 0");
         assert!(comm.size() >= 2, "a shard cluster needs at least one shard");
+        let shards = comm.size() - 1;
         ShardRouter {
             comm,
             ds,
             next_tag: AtomicU32::new(0),
+            policy: RouterPolicy::from_env(),
+            breakers: (0..shards).map(|_| Breaker::default()).collect(),
+            leaf_latency: bat_obs::AtomicHistogram::default(),
+            retired: Mutex::new(Vec::new()),
         }
     }
 
     /// Number of shard processes behind this router.
     pub fn num_shards(&self) -> usize {
         self.comm.size() - 1
+    }
+
+    /// Whether shard `shard` (0-based) is currently reachable — false
+    /// after the transport observed its death, true again once a
+    /// supervised respawn rejoins the mesh.
+    pub fn shard_alive(&self, shard: usize) -> bool {
+        !self.comm.is_dead(1 + shard)
     }
 
     /// The dataset served (for session schema preambles).
@@ -431,18 +819,78 @@ impl ShardRouter {
         self.comm.shutdown();
     }
 
-    /// Fan `q` out to the owning shards and merge the result streams in
-    /// global plan order, handing each merged chunk to `sink`. Returns the
-    /// total points streamed. Every receive is bounded by the remaining
-    /// `deadline` (plus a relay grace period) or `BAT_SHARD_WAIT_MS`, so a
-    /// killed or wedged shard yields a typed error, never a hang — and
-    /// chunks already sunk are explicitly partial (`Err`, not `Ok`).
+    fn fresh_tag(&self) -> u32 {
+        let seq = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        FIRST_REQ_TAG + seq % (MAX_USER_TAG - FIRST_REQ_TAG)
+    }
+
+    fn admit(&self, shard: usize) -> bool {
+        let ok = self.breakers[shard].admit(self.policy.breaker_cooldown);
+        bat_obs::gauge_set(
+            &format!("shard.breaker.state.{shard}"),
+            self.breakers[shard].gauge(),
+        );
+        ok
+    }
+
+    fn breaker_failure(&self, shard: usize) {
+        if self.breakers[shard].failure(self.policy.breaker_fails) {
+            bat_obs::counter_add("shard.breaker.opened", 1);
+        }
+        bat_obs::gauge_set(
+            &format!("shard.breaker.state.{shard}"),
+            self.breakers[shard].gauge(),
+        );
+    }
+
+    fn breaker_success(&self, shard: usize) {
+        self.breakers[shard].success();
+        bat_obs::gauge_set(&format!("shard.breaker.state.{shard}"), 0.0);
+    }
+
+    /// Tell `shard` to stop producing `tag` and remember to drain its
+    /// late frames.
+    fn cancel_and_retire(&self, shard: usize, tag: u32) {
+        self.comm.isend(1 + shard, TAG_CANCEL, encode_cancel(tag));
+        self.retired.lock().unwrap().push(Retired {
+            shard,
+            tag,
+            expires: Instant::now() + Duration::from_secs(60),
+        });
+    }
+
+    /// Drop queued frames of retired tags (mailbox hygiene between
+    /// queries); entries whose terminal frame arrived — or that expired —
+    /// are forgotten.
+    fn scrub_retired(&self) {
+        let mut retired = self.retired.lock().unwrap();
+        retired.retain_mut(|r| {
+            let mut terminal = false;
+            while let Some(m) = self.comm.try_recv_raw(Some(1 + r.shard), r.tag) {
+                if let Ok(ShardMsg::Done { .. } | ShardMsg::Failed { .. }) =
+                    ShardMsg::decode(&m.payload)
+                {
+                    terminal = true;
+                }
+            }
+            !terminal && r.expires > Instant::now()
+        });
+    }
+
+    /// Fan `q` out to the owning shards (and, on failure or latency,
+    /// their replicas) and merge the result streams in global plan order,
+    /// handing each merged chunk to `sink`. Every receive is bounded by
+    /// the remaining `deadline` (plus a relay grace period) or
+    /// `BAT_SHARD_WAIT_MS`, so a killed or wedged fabric yields a typed
+    /// error — never a hang — and chunks already sunk are explicitly
+    /// partial (`Err`, or an `Ok` outcome that says so).
     pub fn query(
         &self,
         q: &Query,
         deadline: Option<Duration>,
         mut sink: impl FnMut(Chunk),
-    ) -> Result<u64, ShardQueryError> {
+    ) -> Result<QueryOutcome, ShardQueryError> {
+        self.scrub_retired();
         let num_leaves = self.ds.meta().leaves.len();
         let num_shards = self.num_shards();
         let expires = deadline.map(|d| Instant::now() + d);
@@ -456,115 +904,522 @@ impl ShardRouter {
             assigned[shard_of(leaf, num_leaves, num_shards)].push(leaf);
         }
 
-        let seq = self.next_tag.fetch_add(1, Ordering::Relaxed);
-        let req_tag = FIRST_REQ_TAG + seq % (MAX_USER_TAG - FIRST_REQ_TAG);
-        let budget_ms = deadline.map_or(0, |d| d.as_millis().max(1) as u64);
-        let participants: Vec<usize> = (0..num_shards)
-            .filter(|&s| !assigned[s].is_empty())
-            .collect();
-        for &s in &participants {
-            self.comm.isend(
-                1 + s,
-                TAG_CTRL,
-                Ctrl::Query {
-                    req_tag,
-                    budget_ms,
-                    query: q.clone(),
-                    leaves: std::mem::take(&mut assigned[s]),
-                }
-                .encode(),
-            );
+        let run = RouterRun {
+            router: self,
+            q,
+            expires,
+            last_progress: Cell::new(Instant::now()),
+        };
+
+        // One sub-query per participating primary; `sub_of[s]` maps a
+        // primary shard back to its slot.
+        let mut subs: Vec<SubQuery> = Vec::new();
+        let mut sub_of: Vec<Option<usize>> = vec![None; num_shards];
+        for (s, leaves) in assigned.iter_mut().enumerate() {
+            if leaves.is_empty() {
+                continue;
+            }
+            let mut sub = SubQuery {
+                primary: s,
+                chain: replica_owners(s, num_shards, self.policy.replicas),
+                leaves: std::mem::take(leaves),
+                next: 0,
+                streams: Vec::new(),
+                dispatched: Vec::new(),
+                attempts: 0,
+                dirty: false,
+                skipped_at: None,
+                last_err: None,
+            };
+            let owner = run.initial_owner(&sub);
+            let stream = run.dispatch(&mut sub, owner, false);
+            sub.streams.push(stream);
+            sub_of[s] = Some(subs.len());
+            subs.push(sub);
         }
 
         // Merge leaf-by-leaf in global order. Per-(source, tag) FIFO means
-        // each shard's frames arrive in emission order; frames from shards
-        // later in the merge wait in the mailbox.
-        let recv = |shard: usize| -> Result<ShardMsg, ShardQueryError> {
-            let wait = match expires {
-                // Grace on top of the shard's own budget, so the shard's
-                // typed DeadlineExpired beats the router's Timeout.
-                Some(e) => e.saturating_duration_since(Instant::now()) + Duration::from_secs(2),
-                None => shard_wait(),
-            };
-            let msg = self
-                .comm
-                .recv_timeout(Some(1 + shard), req_tag, wait)
-                .map_err(|error| ShardQueryError::Comm { shard, error })?;
-            ShardMsg::decode(&msg.payload).map_err(|e| ShardQueryError::Shard {
-                shard,
-                code: ERR_INTERNAL,
-                message: format!("undecodable shard frame: {e}"),
-            })
-        };
-
+        // each stream's frames arrive in emission order; frames from
+        // slices later in the merge wait in the mailbox (or in their
+        // stream's completed-leaf groups).
         let mut points = 0u64;
+        let mut served = 0u64;
         for &leaf in &order {
-            let shard = shard_of(leaf, num_leaves, num_shards);
-            loop {
-                match recv(shard)? {
-                    ShardMsg::Chunk(c) => {
-                        points += c.len() as u64;
-                        sink(c);
-                    }
-                    ShardMsg::LeafDone { leaf: l } => {
-                        if l != leaf {
-                            return Err(ShardQueryError::Shard {
-                                shard,
-                                code: ERR_INTERNAL,
-                                message: format!("shard finished leaf {l}, router expected {leaf}"),
-                            });
-                        }
-                        break;
-                    }
-                    ShardMsg::Done { .. } => {
-                        return Err(ShardQueryError::Shard {
-                            shard,
-                            code: ERR_INTERNAL,
-                            message: format!("shard done before finishing leaf {leaf}"),
-                        })
-                    }
-                    ShardMsg::Failed { code, message } => {
-                        return Err(ShardQueryError::Shard {
-                            shard,
-                            code,
-                            message,
-                        })
-                    }
+            let si = sub_of[shard_of(leaf, num_leaves, num_shards)].expect("assigned leaf");
+            if let Some(chunks) = run.merge_leaf(&mut subs[si])? {
+                for c in chunks {
+                    points += c.len() as u64;
+                    sink(c);
                 }
+                served += 1;
             }
         }
-        // Every participant's terminal frame; their per-shard counts must
-        // re-add to the merged total or the merge dropped something.
-        let mut confirmed = 0u64;
-        for &s in &participants {
-            match recv(s)? {
-                ShardMsg::Done { points: p } => confirmed += p,
-                ShardMsg::Failed { code, message } => {
-                    return Err(ShardQueryError::Shard {
-                        shard: s,
-                        code,
-                        message,
-                    })
-                }
-                _ => {
-                    return Err(ShardQueryError::Shard {
-                        shard: s,
-                        code: ERR_INTERNAL,
-                        message: "unexpected frame after the last leaf".into(),
-                    })
-                }
-            }
-        }
-        if confirmed != points {
-            return Err(ShardQueryError::Shard {
-                shard: usize::MAX,
-                code: ERR_INTERNAL,
-                message: format!("shards report {confirmed} points, router merged {points}"),
-            });
+
+        run.finalize(&mut subs, points)?;
+
+        let skipped = order.len() as u64 - served;
+        if skipped > 0 {
+            bat_obs::counter_add("shard.partial.queries", 1);
+            bat_obs::counter_add("shard.partial.leaves_skipped", skipped);
         }
         bat_obs::counter_add("router.requests", 1);
         bat_obs::counter_add("router.points_merged", points);
-        Ok(points)
+        self.scrub_retired();
+        Ok(QueryOutcome {
+            points,
+            served_leaves: served,
+            total_leaves: order.len() as u64,
+        })
+    }
+}
+
+/// One query's routing pass: the merge engine with failover, hedging, and
+/// breaker bookkeeping. Stack-local to [`ShardRouter::query`].
+struct RouterRun<'a> {
+    router: &'a ShardRouter,
+    q: &'a Query,
+    expires: Option<Instant>,
+    /// Last time any frame arrived; the silence bound for unbounded
+    /// queries is measured from here.
+    last_progress: Cell<Instant>,
+}
+
+impl RouterRun<'_> {
+    /// How much longer the router may wait without any frame arriving
+    /// before declaring the active streams silent.
+    fn remaining_silence(&self) -> Duration {
+        match self.expires {
+            // Grace on top of the shard's own budget, so the shard's
+            // typed DeadlineExpired beats the router's Timeout.
+            Some(e) => (e + DEADLINE_GRACE).saturating_duration_since(Instant::now()),
+            None => shard_wait().saturating_sub(self.last_progress.get().elapsed()),
+        }
+    }
+
+    /// First choice of owner for a slice: the first live, admitted shard
+    /// in the chain; failing that any live one; failing that the primary
+    /// (whose fast PeerDead keeps the error typed and bounded). A
+    /// single-owner chain always dispatches to its primary — exactly the
+    /// `replicas = 1` fabric.
+    fn initial_owner(&self, sub: &SubQuery) -> usize {
+        if sub.chain.len() == 1 {
+            return sub.chain[0];
+        }
+        let alive: Vec<usize> = sub
+            .chain
+            .iter()
+            .copied()
+            .filter(|&s| !self.router.comm.is_dead(1 + s))
+            .collect();
+        alive
+            .iter()
+            .copied()
+            .find(|&s| self.router.admit(s))
+            .or_else(|| alive.first().copied())
+            .unwrap_or(sub.chain[0])
+    }
+
+    /// Send the slice's remaining leaves to `shard` on a fresh tag.
+    fn dispatch(&self, sub: &mut SubQuery, shard: usize, hedge: bool) -> StreamCur {
+        let tag = self.router.fresh_tag();
+        let budget_ms = self.expires.map_or(0, |e| {
+            (e.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)
+        });
+        self.router.comm.isend(
+            1 + shard,
+            TAG_CTRL,
+            Ctrl::Query {
+                req_tag: tag,
+                budget_ms,
+                query: self.q.clone(),
+                leaves: sub.leaves[sub.next..].to_vec(),
+            }
+            .encode(),
+        );
+        sub.dispatched.push(shard);
+        StreamCur {
+            shard,
+            tag,
+            hedge,
+            base: sub.next,
+            groups: VecDeque::new(),
+            cur: Vec::new(),
+            done: false,
+            done_points: 0,
+            failed: None,
+        }
+    }
+
+    /// Parse one frame into stream `i`'s state. Protocol violations are
+    /// recorded as that stream's failure (so replicas can still save the
+    /// slice), not returned.
+    fn apply(&self, sub: &mut SubQuery, i: usize, payload: &[u8]) {
+        self.last_progress.set(Instant::now());
+        let total = sub.leaves.len();
+        let s = &mut sub.streams[i];
+        let shard = s.shard;
+        let msg = match ShardMsg::decode(payload) {
+            Ok(m) => m,
+            Err(e) => {
+                s.failed = Some(ShardQueryError::Shard {
+                    shard,
+                    code: ERR_INTERNAL,
+                    message: format!("undecodable shard frame: {e}"),
+                });
+                return;
+            }
+        };
+        let unexpected = |s: &mut StreamCur| {
+            s.failed = Some(ShardQueryError::Shard {
+                shard,
+                code: ERR_INTERNAL,
+                message: "unexpected frame after the last leaf".into(),
+            });
+        };
+        match msg {
+            ShardMsg::Chunk(c) => {
+                if s.recv_pos() < total {
+                    s.cur.push(c);
+                } else {
+                    unexpected(s);
+                }
+            }
+            ShardMsg::LeafDone { leaf } => {
+                if s.recv_pos() >= total {
+                    unexpected(s);
+                } else if leaf != sub.leaves[s.recv_pos()] {
+                    let expected = sub.leaves[s.recv_pos()];
+                    s.failed = Some(ShardQueryError::Shard {
+                        shard,
+                        code: ERR_INTERNAL,
+                        message: format!("shard finished leaf {leaf}, router expected {expected}"),
+                    });
+                } else {
+                    let group = std::mem::take(&mut s.cur);
+                    s.groups.push_back(group);
+                }
+            }
+            ShardMsg::Done { points } => {
+                if s.recv_pos() < total {
+                    s.failed = Some(ShardQueryError::Shard {
+                        shard,
+                        code: ERR_INTERNAL,
+                        message: format!(
+                            "shard done before finishing leaf {}",
+                            sub.leaves[s.recv_pos()]
+                        ),
+                    });
+                } else {
+                    s.done = true;
+                    s.done_points = points;
+                }
+            }
+            ShardMsg::Failed { code, message } => {
+                s.failed = Some(ShardQueryError::Shard {
+                    shard,
+                    code,
+                    message,
+                });
+            }
+        }
+    }
+
+    /// Discard completed leaves a stream delivered behind the merge
+    /// position (the hedge race's duplicates).
+    fn advance_lagging(&self, sub: &mut SubQuery) {
+        let next = sub.next;
+        for s in &mut sub.streams {
+            while s.base < next && !s.groups.is_empty() {
+                s.groups.pop_front();
+                s.base += 1;
+                bat_obs::counter_add("shard.hedge.wasted", 1);
+            }
+        }
+    }
+
+    /// Remove failed streams, recording breaker state and keeping the
+    /// most recent error for exhaustion reporting.
+    fn reap_failed(&self, sub: &mut SubQuery) {
+        let mut i = 0;
+        while i < sub.streams.len() {
+            if let Some(err) = sub.streams[i].failed.take() {
+                let s = sub.streams.remove(i);
+                self.router.breaker_failure(s.shard);
+                self.router.cancel_and_retire(s.shard, s.tag);
+                sub.dirty = true;
+                sub.last_err = Some(err);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The hedge latency budget, if hedging is currently armed.
+    fn hedge_budget(&self) -> Option<Duration> {
+        if self.router.policy.replicas < 2 {
+            return None;
+        }
+        match self.router.policy.hedge {
+            Hedge::Off => None,
+            Hedge::Fixed(d) => Some(d),
+            Hedge::Auto => {
+                // Not enough signal to estimate a tail yet: don't hedge.
+                if self.router.leaf_latency.count() < 16 {
+                    return None;
+                }
+                let p99 = Duration::from_micros(self.router.leaf_latency.quantile(0.99));
+                Some((p99 * 3).clamp(Duration::from_millis(25), shard_wait()))
+            }
+        }
+    }
+
+    /// An untried, live, breaker-admitted shard to hedge onto.
+    fn hedge_candidate(&self, sub: &SubQuery) -> Option<usize> {
+        sub.chain
+            .iter()
+            .copied()
+            .filter(|s| !sub.dispatched.contains(s))
+            .filter(|&s| !self.router.comm.is_dead(1 + s))
+            .find(|&s| self.router.admit(s))
+    }
+
+    /// An untried, live shard to fail over to (breaker-admitted
+    /// preferred, but an open breaker is only advisory when it's the last
+    /// option).
+    fn failover_candidate(&self, sub: &SubQuery) -> Option<usize> {
+        let alive: Vec<usize> = sub
+            .chain
+            .iter()
+            .copied()
+            .filter(|s| !sub.dispatched.contains(s))
+            .filter(|&s| !self.router.comm.is_dead(1 + s))
+            .collect();
+        alive
+            .iter()
+            .copied()
+            .find(|&s| self.router.admit(s))
+            .or_else(|| alive.first().copied())
+    }
+
+    /// Produce the chunks of the slice's next leaf, pumping, failing
+    /// over, and hedging as needed. `Ok(None)` means the leaf was skipped
+    /// under degraded mode.
+    fn merge_leaf(&self, sub: &mut SubQuery) -> Result<Option<Vec<Chunk>>, ShardQueryError> {
+        if sub.skipped_at.is_some() {
+            return Ok(None);
+        }
+        let leaf_start = Instant::now();
+        loop {
+            self.advance_lagging(sub);
+
+            // A stream completed the merge leaf: it wins.
+            if let Some(i) = sub
+                .streams
+                .iter()
+                .position(|s| s.base == sub.next && !s.groups.is_empty())
+            {
+                let s = &mut sub.streams[i];
+                let chunks = s.groups.pop_front().expect("non-empty groups");
+                s.base += 1;
+                if s.hedge {
+                    bat_obs::counter_add("shard.hedge.won", 1);
+                }
+                sub.next += 1;
+                let us = leaf_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                self.router.leaf_latency.record(us);
+                bat_obs::observe("router.leaf_merge_us", us);
+                return Ok(Some(chunks));
+            }
+
+            self.reap_failed(sub);
+
+            // All streams gone: fail over, degrade, or surface the error.
+            if sub.streams.is_empty() {
+                match self.failover_candidate(sub) {
+                    Some(shard) => {
+                        let backoff = self
+                            .router
+                            .policy
+                            .retry_backoff
+                            .saturating_mul(1 << sub.attempts.min(4))
+                            .min(Duration::from_millis(200))
+                            .min(self.remaining_silence());
+                        std::thread::sleep(backoff);
+                        sub.attempts += 1;
+                        let stream = self.dispatch(sub, shard, false);
+                        sub.streams.push(stream);
+                        bat_obs::counter_add("shard.failover", 1);
+                        continue;
+                    }
+                    None => {
+                        let err = sub.last_err.take().unwrap_or(ShardQueryError::Shard {
+                            shard: sub.primary,
+                            code: ERR_INTERNAL,
+                            message: "replica chain exhausted".into(),
+                        });
+                        if self.q.allow_partial {
+                            sub.skipped_at = Some(sub.next);
+                            return Ok(None);
+                        }
+                        return Err(err);
+                    }
+                }
+            }
+
+            // Hedge: the merge leaf has waited past the latency budget
+            // and a replica is available.
+            let receivable = sub.streams.iter().filter(|s| s.receivable()).count();
+            let mut hedge_in: Option<Duration> = None;
+            if receivable == 1 && sub.streams.len() == 1 {
+                if let Some(budget) = self.hedge_budget() {
+                    let due = budget.saturating_sub(leaf_start.elapsed());
+                    if due.is_zero() {
+                        if let Some(shard) = self.hedge_candidate(sub) {
+                            let stream = self.dispatch(sub, shard, true);
+                            sub.streams.push(stream);
+                            sub.dirty = true;
+                            bat_obs::counter_add("shard.hedge.issued", 1);
+                            continue;
+                        }
+                    } else if self.hedge_candidate_exists(sub) {
+                        hedge_in = Some(due);
+                    }
+                }
+            }
+
+            // Pump: drain everything queued without blocking first.
+            let mut progressed = false;
+            for i in 0..sub.streams.len() {
+                if !sub.streams[i].receivable() {
+                    continue;
+                }
+                let (shard, tag) = (sub.streams[i].shard, sub.streams[i].tag);
+                while let Some(m) = self.router.comm.try_recv_raw(Some(1 + shard), tag) {
+                    progressed = true;
+                    self.apply(sub, i, &m.payload);
+                    if !sub.streams[i].receivable() {
+                        break;
+                    }
+                }
+            }
+            if progressed {
+                continue;
+            }
+
+            // Nothing queued: block (briefly when racing streams, fully
+            // otherwise), bounded by the silence budget and the hedge
+            // trigger.
+            let silence = self.remaining_silence();
+            if silence.is_zero() {
+                // Harvest the real transport error per silent stream.
+                for i in 0..sub.streams.len() {
+                    let (shard, tag) = (sub.streams[i].shard, sub.streams[i].tag);
+                    if !sub.streams[i].receivable() {
+                        continue;
+                    }
+                    match self.router.comm.recv_timeout(
+                        Some(1 + shard),
+                        tag,
+                        Duration::from_millis(1),
+                    ) {
+                        Ok(m) => self.apply(sub, i, &m.payload),
+                        Err(error) => {
+                            sub.streams[i].failed = Some(ShardQueryError::Comm { shard, error });
+                        }
+                    }
+                }
+                continue;
+            }
+            let racing = sub.streams.len() > 1;
+            let mut slice = silence;
+            if let Some(h) = hedge_in {
+                slice = slice.min(h);
+            }
+            if racing {
+                slice = slice.min(Duration::from_millis(5));
+            }
+            // Prefer the stream positioned on the merge leaf.
+            let i = sub
+                .streams
+                .iter()
+                .position(|s| s.receivable() && s.recv_pos() <= sub.next)
+                .or_else(|| sub.streams.iter().position(|s| s.receivable()))
+                .unwrap_or(0);
+            if !sub.streams[i].receivable() {
+                continue;
+            }
+            let (shard, tag) = (sub.streams[i].shard, sub.streams[i].tag);
+            match self.router.comm.recv_timeout(Some(1 + shard), tag, slice) {
+                Ok(m) => self.apply(sub, i, &m.payload),
+                Err(CommError::Timeout { .. }) => {
+                    // Hedge trigger or short race slice: loop and
+                    // re-evaluate. True exhaustion is caught by
+                    // remaining_silence above.
+                }
+                Err(error) => {
+                    sub.streams[i].failed = Some(ShardQueryError::Comm { shard, error });
+                }
+            }
+        }
+    }
+
+    /// Like [`RouterRun::hedge_candidate`] but without consuming a
+    /// half-open probe slot (pure existence check).
+    fn hedge_candidate_exists(&self, sub: &SubQuery) -> bool {
+        sub.chain
+            .iter()
+            .any(|s| !sub.dispatched.contains(s) && !self.router.comm.is_dead(1 + s))
+    }
+
+    /// After the merge: strict `Done` accounting for clean slices (the
+    /// original fabric's invariant), cancel-and-retire for everything
+    /// touched by failover, hedging, or degradation.
+    fn finalize(&self, subs: &mut [SubQuery], merged_points: u64) -> Result<(), ShardQueryError> {
+        let all_clean = subs.iter().all(|s| !s.dirty && s.skipped_at.is_none());
+        let mut confirmed = 0u64;
+        for sub in subs.iter_mut() {
+            let clean = !sub.dirty && sub.skipped_at.is_none();
+            if clean {
+                debug_assert_eq!(sub.streams.len(), 1);
+                while !sub.streams[0].done {
+                    let (shard, tag) = (sub.streams[0].shard, sub.streams[0].tag);
+                    let wait = match self.expires {
+                        Some(e) => (e + DEADLINE_GRACE).saturating_duration_since(Instant::now()),
+                        None => shard_wait(),
+                    };
+                    let msg = self
+                        .router
+                        .comm
+                        .recv_timeout(Some(1 + shard), tag, wait)
+                        .map_err(|error| ShardQueryError::Comm { shard, error })?;
+                    self.apply(sub, 0, &msg.payload);
+                    if let Some(err) = sub.streams[0].failed.take() {
+                        return Err(err);
+                    }
+                }
+                confirmed += sub.streams[0].done_points;
+                self.router.breaker_success(sub.streams[0].shard);
+            } else {
+                for s in &sub.streams {
+                    if s.done {
+                        self.router.breaker_success(s.shard);
+                    } else {
+                        self.router.cancel_and_retire(s.shard, s.tag);
+                    }
+                }
+            }
+        }
+        // Every clean slice's terminal count must re-add to the merged
+        // total or the merge dropped something. Only meaningful when no
+        // slice was hedged, failed over, or skipped.
+        if all_clean && confirmed != merged_points {
+            return Err(ShardQueryError::Shard {
+                shard: usize::MAX,
+                code: ERR_INTERNAL,
+                message: format!("shards report {confirmed} points, router merged {merged_points}"),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -576,7 +1431,9 @@ impl ShardRouter {
 /// as [`crate::StreamServer`] to clients, but executes every request as a
 /// shard fan-out. The bounded [`bat_serve::ServePool`] caps concurrent
 /// fan-outs; a full queue surfaces as `Busy { retry_after }` exactly like
-/// the single-process server.
+/// the single-process server. Degraded fan-outs (opted in via
+/// [`Query::allow_partial`]) terminate with a `Partial` frame carrying
+/// served/total leaf counts.
 pub struct ShardFront {
     listener: std::net::TcpListener,
     router: Arc<ShardRouter>,
@@ -591,8 +1448,18 @@ struct FrontCtx {
 
 enum FrontReply {
     Chunk(Chunk),
-    Done { points: u64 },
-    Failed { code: u32, message: String },
+    Done {
+        points: u64,
+    },
+    Partial {
+        points: u64,
+        served_leaves: u64,
+        total_leaves: u64,
+    },
+    Failed {
+        code: u32,
+        message: String,
+    },
 }
 
 impl ShardFront {
@@ -681,7 +1548,14 @@ fn front_session(stream: std::net::TcpStream, ctx: &FrontCtx) -> std::io::Result
                 let _ = tx.send(FrontReply::Chunk(c));
             });
             let _ = match result {
-                Ok(points) => tx.send(FrontReply::Done { points }),
+                Ok(outcome) if outcome.is_partial() => tx.send(FrontReply::Partial {
+                    points: outcome.points,
+                    served_leaves: outcome.served_leaves,
+                    total_leaves: outcome.total_leaves,
+                }),
+                Ok(outcome) => tx.send(FrontReply::Done {
+                    points: outcome.points,
+                }),
                 Err(e) => {
                     let code = match &e {
                         ShardQueryError::Plan(ServeError::Query(_)) => ERR_BAD_QUERY,
@@ -707,6 +1581,16 @@ fn front_session(stream: std::net::TcpStream, ctx: &FrontCtx) -> std::io::Result
             let encoded = match reply {
                 FrontReply::Chunk(c) => ServerMsg::Chunk(c).encode(),
                 FrontReply::Done { points } => ServerMsg::Done { points }.encode(),
+                FrontReply::Partial {
+                    points,
+                    served_leaves,
+                    total_leaves,
+                } => ServerMsg::Partial {
+                    points,
+                    served_leaves,
+                    total_leaves,
+                }
+                .encode(),
                 FrontReply::Failed { code, message } => ServerMsg::Error { code, message }.encode(),
             };
             write_frame(&mut writer, &encoded)?;
@@ -807,5 +1691,84 @@ mod tests {
                 _ => panic!("variant changed in roundtrip"),
             }
         }
+    }
+
+    #[test]
+    fn heartbeat_and_cancel_roundtrip() {
+        let hb = encode_heartbeat(HB_PING, 42);
+        assert_eq!(decode_heartbeat(&hb), Some((HB_PING, 42)));
+        let hb = encode_heartbeat(HB_PONG, u64::MAX);
+        assert_eq!(decode_heartbeat(&hb), Some((HB_PONG, u64::MAX)));
+        assert_eq!(decode_heartbeat(b""), None);
+        assert_eq!(decode_cancel(&encode_cancel(99)), Some(99));
+        assert_eq!(decode_cancel(b"x"), None);
+    }
+
+    #[test]
+    fn cancel_set_is_bounded() {
+        let mut set = CancelSet::new();
+        for t in 0..300u32 {
+            set.insert(t);
+        }
+        assert!(set.tags.len() <= 256);
+        assert!(!set.contains(0), "oldest entries evicted");
+        assert!(set.contains(299));
+        assert!(set.remove(299));
+        assert!(!set.contains(299));
+        assert!(!set.remove(299));
+    }
+
+    #[test]
+    fn breaker_lifecycle() {
+        let cooldown = Duration::from_millis(20);
+        let b = Breaker::default();
+        assert!(b.admit(cooldown), "closed admits");
+        assert_eq!(b.gauge(), 0.0);
+        assert!(!b.failure(3));
+        assert!(!b.failure(3));
+        assert!(b.failure(3), "third consecutive failure opens");
+        assert_eq!(b.gauge(), 1.0);
+        assert!(!b.admit(cooldown), "open rejects during cooldown");
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(b.admit(cooldown), "half-open admits one probe");
+        assert_eq!(b.gauge(), 2.0);
+        assert!(!b.admit(cooldown), "second probe rejected");
+        assert!(!b.failure(3), "probe failure re-opens, not newly");
+        assert!(!b.admit(cooldown), "cooldown re-armed");
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(b.admit(cooldown));
+        b.success();
+        assert_eq!(b.gauge(), 0.0);
+        assert!(b.admit(cooldown), "closed again after probe success");
+    }
+
+    #[test]
+    fn hedge_knob_parses() {
+        assert_eq!(Hedge::parse(None), Hedge::Auto);
+        assert_eq!(Hedge::parse(Some("auto")), Hedge::Auto);
+        assert_eq!(Hedge::parse(Some("")), Hedge::Auto);
+        assert_eq!(Hedge::parse(Some("off")), Hedge::Off);
+        assert_eq!(Hedge::parse(Some("0")), Hedge::Off);
+        assert_eq!(
+            Hedge::parse(Some("25")),
+            Hedge::Fixed(Duration::from_millis(25))
+        );
+        assert_eq!(Hedge::parse(Some("bogus")), Hedge::Auto);
+    }
+
+    #[test]
+    fn outcome_partial_flag() {
+        let complete = QueryOutcome {
+            points: 10,
+            served_leaves: 4,
+            total_leaves: 4,
+        };
+        assert!(!complete.is_partial());
+        let partial = QueryOutcome {
+            points: 7,
+            served_leaves: 3,
+            total_leaves: 4,
+        };
+        assert!(partial.is_partial());
     }
 }

@@ -69,85 +69,175 @@ pub fn files(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// Minimal JSON string escaping for the `verify --json` report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// `bat verify` — crash-consistency check against the commit manifest:
 /// the `.batmeta` commit marker, then every leaf file's committed length
 /// and CRC32C (damage localized to sections via the per-file footer).
 /// `--deep` additionally opens every intact leaf and cross-checks particle
 /// counts with a full query. Exits nonzero with a per-file report when
-/// anything is damaged.
+/// anything is damaged. `--json` swaps the human report for one
+/// machine-readable document on stdout (stable schema, `schema_version`
+/// 1); exit codes are identical either way.
 pub fn verify(args: &[String]) -> Result<()> {
     let (dir, basename) = match (args.first(), args.get(1)) {
         (Some(d), Some(b)) => (d.clone(), b.clone()),
         _ => return Err("expected <dir> <basename>".into()),
     };
     let deep = args.iter().skip(2).any(|a| a == "--deep");
-    if let Some(bad) = args.iter().skip(2).find(|a| *a != "--deep") {
-        return Err(format!("unknown option '{bad}' (expected --deep)"));
+    let json = args.iter().skip(2).any(|a| a == "--json");
+    if let Some(bad) = args
+        .iter()
+        .skip(2)
+        .find(|a| *a != "--deep" && *a != "--json")
+    {
+        return Err(format!("unknown option '{bad}' (expected --deep | --json)"));
     }
 
     let report = verify_dataset(&dir, &basename).map_err(|e| format!("verify: {e}"))?;
     let mut problems = 0usize;
-    match &report.commit {
-        CommitState::Committed => println!("commit : ok (manifest present and intact)"),
-        CommitState::Legacy => {
-            println!("commit : legacy metadata (no manifest; footers checked where present)")
-        }
-        CommitState::NotCommitted => {
-            eprintln!("FAIL: dataset never committed (no metadata on disk)");
-            return Err("1 problem(s) found".into());
-        }
-        CommitState::TornCommit(why) => {
-            eprintln!("FAIL: torn commit marker: {why}");
-            return Err("1 problem(s) found".into());
-        }
-    }
-    for (i, check) in report.leaves.iter().enumerate() {
-        if check.status.is_ok() {
-            println!("leaf {i:>4} : ok  {}", check.file);
-        } else {
-            problems += 1;
-            eprintln!("FAIL: leaf {i} ({}): {}", check.file, check.status);
+    // (commit tag, optional detail, commit itself counts as fatal)
+    let (commit_tag, commit_detail, commit_fatal) = match &report.commit {
+        CommitState::Committed => ("committed", None, false),
+        CommitState::Legacy => ("legacy", None, false),
+        CommitState::NotCommitted => ("not-committed", None, true),
+        CommitState::TornCommit(why) => ("torn-commit", Some(why.clone()), true),
+    };
+    if !json {
+        match &report.commit {
+            CommitState::Committed => println!("commit : ok (manifest present and intact)"),
+            CommitState::Legacy => {
+                println!("commit : legacy metadata (no manifest; footers checked where present)")
+            }
+            CommitState::NotCommitted => {
+                eprintln!("FAIL: dataset never committed (no metadata on disk)")
+            }
+            CommitState::TornCommit(why) => eprintln!("FAIL: torn commit marker: {why}"),
         }
     }
-
-    // Deep check: the intact leaves must also *query* consistently.
-    if deep && problems == 0 {
-        let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
-        let meta = ds.meta();
-        let mut total = 0u64;
-        for (i, leaf) in meta.leaves.iter().enumerate() {
-            let path = std::path::Path::new(&dir).join(&leaf.file);
-            match BatFile::open(&path)
-                .map_err(|e| e.to_string())
-                .and_then(|f| f.count(&Query::new()).map_err(|e| e.to_string()))
-            {
-                Ok(n) => {
-                    if n != leaf.particles {
-                        problems += 1;
-                        eprintln!(
-                            "FAIL: leaf {i}: full query returned {n}, metadata says {}",
-                            leaf.particles
-                        );
-                    }
-                    total += n;
+    // Per-leaf rows: (leaf index, file, status string, ok) — the JSON
+    // schema's `leaves` array and the human report share this.
+    let mut rows: Vec<(usize, String, String, bool)> = Vec::new();
+    let mut deep_problems: Vec<String> = Vec::new();
+    if !commit_fatal {
+        for (i, check) in report.leaves.iter().enumerate() {
+            let ok = check.status.is_ok();
+            let status = if ok {
+                "ok".to_string()
+            } else {
+                check.status.to_string()
+            };
+            if !ok {
+                problems += 1;
+            }
+            if !json {
+                if ok {
+                    println!("leaf {i:>4} : ok  {}", check.file);
+                } else {
+                    eprintln!("FAIL: leaf {i} ({}): {status}", check.file);
                 }
-                Err(e) => {
-                    problems += 1;
-                    eprintln!("FAIL: leaf {i} ({}): {e}", leaf.file);
+            }
+            rows.push((i, check.file.clone(), status, ok));
+        }
+
+        // Deep check: the intact leaves must also *query* consistently.
+        if deep && problems == 0 {
+            let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
+            let meta = ds.meta();
+            let mut total = 0u64;
+            for (i, leaf) in meta.leaves.iter().enumerate() {
+                let path = std::path::Path::new(&dir).join(&leaf.file);
+                match BatFile::open(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|f| f.count(&Query::new()).map_err(|e| e.to_string()))
+                {
+                    Ok(n) => {
+                        if n != leaf.particles {
+                            deep_problems.push(format!(
+                                "leaf {i}: full query returned {n}, metadata says {}",
+                                leaf.particles
+                            ));
+                        }
+                        total += n;
+                    }
+                    Err(e) => deep_problems.push(format!("leaf {i} ({}): {e}", leaf.file)),
+                }
+            }
+            if total != meta.total_particles {
+                deep_problems.push(format!(
+                    "dataset total {total} does not match metadata {}",
+                    meta.total_particles
+                ));
+            }
+            problems += deep_problems.len();
+            if !json {
+                for p in &deep_problems {
+                    eprintln!("FAIL: {p}");
                 }
             }
         }
-        if total != meta.total_particles {
-            problems += 1;
-            eprintln!(
-                "FAIL: dataset total {total} does not match metadata {}",
-                meta.total_particles
+    }
+    if commit_fatal {
+        problems += 1;
+    }
+
+    if json {
+        let mut doc = String::new();
+        let _ = write!(
+            doc,
+            "{{\"schema_version\":1,\"dir\":\"{}\",\"basename\":\"{}\",\"commit\":\"{commit_tag}\"",
+            json_escape(&dir),
+            json_escape(&basename)
+        );
+        match &commit_detail {
+            Some(d) => {
+                let _ = write!(doc, ",\"commit_detail\":\"{}\"", json_escape(d));
+            }
+            None => doc.push_str(",\"commit_detail\":null"),
+        }
+        let _ = write!(doc, ",\"deep\":{deep},\"leaves\":[");
+        for (n, (i, file, status, ok)) in rows.iter().enumerate() {
+            if n > 0 {
+                doc.push(',');
+            }
+            let _ = write!(
+                doc,
+                "{{\"leaf\":{i},\"file\":\"{}\",\"ok\":{ok},\"status\":\"{}\"}}",
+                json_escape(file),
+                json_escape(status)
             );
         }
+        doc.push_str("],\"deep_problems\":[");
+        for (n, p) in deep_problems.iter().enumerate() {
+            if n > 0 {
+                doc.push(',');
+            }
+            let _ = write!(doc, "\"{}\"", json_escape(p));
+        }
+        let _ = write!(doc, "],\"problems\":{problems},\"ok\":{}}}", problems == 0);
+        println!("{doc}");
+    } else if problems == 0 {
+        println!("OK: {} files verified", report.leaves.len());
     }
 
     if problems == 0 {
-        println!("OK: {} files verified", report.leaves.len());
         Ok(())
     } else {
         Err(format!("{problems} problem(s) found"))
@@ -560,22 +650,55 @@ pub fn shard_serve(args: &[String]) -> Result<()> {
         }
     }
 
-    // The cluster: rank 0 (this process) is the router; ranks 1..=N are
-    // spawned shard workers, all meshed over Unix sockets in a scratch dir.
+    // The cluster: rank 0 (this process) is the router hub; ranks 1..=N
+    // are spawned shard workers, wired as a star over Unix sockets in a
+    // scratch dir. The star keeps the hub's listener bound so a respawned
+    // worker can rejoin (DESIGN.md §16).
     let sock_dir = std::env::temp_dir().join(format!("bat-shard-{}", std::process::id()));
     std::fs::create_dir_all(&sock_dir).map_err(|e| format!("socket dir: {e}"))?;
-    let cfg = bat_comm::ClusterConfig::unix_in_dir(&sock_dir, 1 + shards);
+    let cfg = bat_comm::ClusterConfig::unix_in_dir(&sock_dir, 1 + shards).star();
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    let mut children = Vec::new();
+    let spawn_worker = {
+        let exe = exe.clone();
+        let dir = dir.clone();
+        let basename = basename.clone();
+        let cfg = cfg.clone();
+        move |s: usize| -> std::io::Result<std::process::Child> {
+            std::process::Command::new(&exe)
+                .args(["shard-worker", &dir, &basename])
+                .env("BAT_CLUSTER", cfg.with_rank(1 + s).to_spec())
+                .spawn()
+        }
+    };
+    let children: std::sync::Arc<std::sync::Mutex<Vec<Option<std::process::Child>>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     for s in 0..shards {
-        let child = std::process::Command::new(&exe)
-            .args(["shard-worker", &dir, &basename])
-            .env("BAT_CLUSTER", cfg.with_rank(1 + s).to_spec())
-            .spawn()
-            .map_err(|e| format!("spawn shard {s}: {e}"))?;
-        children.push(child);
+        let child = spawn_worker(s).map_err(|e| format!("spawn shard {s}: {e}"))?;
+        children.lock().unwrap().push(Some(child));
     }
     let comm = bat_comm::Cluster::connect(&cfg).map_err(|e| format!("cluster connect: {e}"))?;
+
+    // Supervision: heartbeat the workers; on loss, kill any stale process
+    // and relaunch the same rank. The replacement dials the hub's
+    // retained listener and is re-admitted to the mesh.
+    let supervisor = {
+        let children = children.clone();
+        bat_stream::supervise(
+            comm.clone_comm(),
+            bat_stream::SupervisorConfig::from_env(),
+            move |s| {
+                let mut kids = children.lock().unwrap();
+                if let Some(mut old) = kids[s].take() {
+                    old.kill().ok();
+                    old.wait().ok();
+                }
+                let fresh = spawn_worker(s)?;
+                eprintln!("shard-serve: respawned shard {s} (rank {})", 1 + s);
+                kids[s] = Some(fresh);
+                Ok(())
+            },
+        )
+    };
 
     let ds = Dataset::open(&dir, &basename).map_err(|e| format!("open dataset: {e}"))?;
     let particles = ds.num_particles();
@@ -589,16 +712,23 @@ pub fn shard_serve(args: &[String]) -> Result<()> {
         "shard-serving {particles} particles ({leaves} leaves) on {bound} across {shards} shard processes"
     );
 
-    let teardown = |handle: bat_stream::ServerHandle,
-                    router: std::sync::Arc<bat_stream::ShardRouter>,
-                    mut children: Vec<std::process::Child>| {
-        handle.shutdown();
-        router.shutdown();
-        for c in &mut children {
-            c.wait().ok();
-        }
-        std::fs::remove_dir_all(&sock_dir).ok();
-    };
+    let teardown =
+        |handle: bat_stream::ServerHandle,
+         supervisor: bat_stream::Supervisor,
+         router: std::sync::Arc<bat_stream::ShardRouter>,
+         children: std::sync::Arc<std::sync::Mutex<Vec<Option<std::process::Child>>>>| {
+            handle.shutdown();
+            // Stop supervision before the shutdown broadcast, or exiting
+            // workers would be "lost" and respawned mid-teardown.
+            supervisor.stop();
+            router.shutdown();
+            for c in children.lock().unwrap().iter_mut() {
+                if let Some(c) = c.as_mut() {
+                    c.wait().ok();
+                }
+            }
+            std::fs::remove_dir_all(&sock_dir).ok();
+        };
 
     if smoke {
         // Smoke mode: one local client proves the fan-out path end to
@@ -609,7 +739,7 @@ pub fn shard_serve(args: &[String]) -> Result<()> {
             .request_with_retry(&Query::new().with_quality(0.2), 8, |_| {})
             .map_err(|e| format!("smoke request: {e}"))?;
         drop(client);
-        teardown(handle, router, children);
+        teardown(handle, supervisor, router, children);
         println!("smoke: streamed {n} points through {shards} shards, drained cleanly");
         return Ok(());
     }
@@ -680,6 +810,46 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "BAT_SHARD_WAIT_MS",
         "30000",
         "router wait on a silent shard (no query deadline)",
+    ),
+    (
+        "BAT_SHARD_REPLICAS",
+        "1",
+        "replicas per leaf slice (primary + N-1 failover targets)",
+    ),
+    (
+        "BAT_SHARD_HEDGE_MS",
+        "auto",
+        "hedged-read trigger: auto (3x streaming p99) | off | fixed ms",
+    ),
+    (
+        "BAT_SHARD_RETRY_MS",
+        "10",
+        "base backoff before retrying a sub-query on a replica",
+    ),
+    (
+        "BAT_SHARD_BREAKER_FAILS",
+        "3",
+        "consecutive failures that open a shard's circuit breaker",
+    ),
+    (
+        "BAT_SHARD_BREAKER_COOLDOWN_MS",
+        "1000",
+        "breaker open time before a half-open probe",
+    ),
+    (
+        "BAT_SHARD_HEARTBEAT_MS",
+        "500",
+        "supervisor ping interval for shard workers",
+    ),
+    (
+        "BAT_SHARD_MISSED_BEATS",
+        "4",
+        "missed pongs before the supervisor respawns a worker",
+    ),
+    (
+        "BAT_CHAOS_SEED",
+        "(fixed)",
+        "seed for the randomized shard chaos test schedule",
     ),
     ("BAT_SERVE_WORKERS", "(auto)", "serve pool worker threads"),
     ("BAT_SERVE_QUEUE", "64", "serve pool bounded queue depth"),
@@ -801,6 +971,35 @@ mod tests {
         std::fs::write(&leaf, bytes).unwrap();
         assert!(verify(&args(&dir, &base, &[])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--json` must track the human report's exit behavior exactly: same
+    /// Ok/Err, same problem count in the error.
+    #[test]
+    fn verify_json_matches_human_exit_codes() {
+        let (dir, base) = make_dataset("verify-json");
+        verify(&args(&dir, &base, &["--json"])).unwrap();
+        verify(&args(&dir, &base, &["--json", "--deep"])).unwrap();
+        assert!(verify(&args(&dir, &base, &["--json", "--bogus"])).is_err());
+        let leaf = dir.join(libbat::write::leaf_file_name(&base, 0));
+        let mut bytes = std::fs::read(&leaf).unwrap();
+        let cut = bytes.len() / 2;
+        bytes.truncate(cut);
+        std::fs::write(&leaf, bytes).unwrap();
+        let human = verify(&args(&dir, &base, &[])).unwrap_err();
+        let json = verify(&args(&dir, &base, &["--json"])).unwrap_err();
+        assert_eq!(human, json, "json mode must not change the exit contract");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(
+            json_escape("line\nbreak\tand\u{1}"),
+            "line\\nbreak\\tand\\u0001"
+        );
     }
 
     #[test]

@@ -107,7 +107,7 @@ fn fanout_digests(
                 .iter()
                 .map(|q| {
                     let mut hash = StreamHash::new();
-                    let points = router
+                    let outcome = router
                         .query(q, None, |c| {
                             for (i, p) in c.positions.iter().enumerate() {
                                 let attrs: Vec<f64> =
@@ -117,7 +117,11 @@ fn fanout_digests(
                         })
                         .expect("fan-out succeeds");
                     let (h, merged) = hash.digest();
-                    assert_eq!(points, merged, "router count matches sunk points");
+                    assert_eq!(outcome.points, merged, "router count matches sunk points");
+                    assert!(
+                        !outcome.is_partial(),
+                        "no-fault fan-out must serve every leaf"
+                    );
                     (h, merged)
                 })
                 .collect();
