@@ -254,6 +254,8 @@ impl Dataset {
             stats.bitmap_skips += s.bitmap_skips;
             stats.cache_hits += s.cache_hits;
             stats.cache_misses += s.cache_misses;
+            stats.filter_hits += s.filter_hits;
+            stats.filter_false_positives += s.filter_false_positives;
         }
         Ok(stats)
     }

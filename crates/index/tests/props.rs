@@ -1,0 +1,122 @@
+//! Property tests for the packed static B-tree: for arbitrary columns —
+//! duplicates, NaNs, infinities, empty — a built index searched over any
+//! range must return exactly the payload set a scalar scan produces, at
+//! every tree geometry (single leaf through several inner levels).
+
+use bat_index::{
+    build_index_with, key_of, range_keys, scan_matches, IndexSearcher, SliceFetch, FANOUT,
+    LEAF_ENTRIES,
+};
+use proptest::prelude::*;
+
+/// Value pool mixing smooth values, exact duplicates, signed zeros,
+/// infinities, and NaN — every ordering edge the key mapping must handle.
+fn column(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..10, -1.0f64..1.0), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(kind, x)| match kind {
+                0 => 42.0, // planted duplicate run
+                1 => 0.0,
+                2 => -0.0, // must collate with +0
+                3 => f64::INFINITY,
+                4 => f64::NEG_INFINITY,
+                5 => f64::NAN, // excluded from every finite range
+                _ => x * 1.0e6,
+            })
+            .collect()
+    })
+}
+
+/// Tree geometries from degenerate (everything in one leaf) to deep
+/// (tiny blocks force multiple inner levels).
+const GEOMETRIES: [(u32, u32); 3] = [(4, 4), (16, 8), (LEAF_ENTRIES, FANOUT)];
+
+/// Build → open → rank-search `[lo, hi]`, returning sorted payloads.
+fn search_range(values: &[f64], lo: f64, hi: f64, leaf: u32, fanout: u32) -> Vec<u32> {
+    let blob = build_index_with(values, values.len() as u64, leaf, fanout);
+    let fetch = SliceFetch(&blob);
+    let s = IndexSearcher::open(&fetch, blob.len() as u64, values.len() as u64)
+        .expect("own blob must open");
+    let Some((lo_key, hi_key)) = range_keys(lo, hi) else {
+        return Vec::new();
+    };
+    let lo_rank = s.lower_bound(lo_key).expect("own blob must search");
+    let hi_rank = s.upper_bound(hi_key).expect("own blob must search");
+    let mut got = s.payloads(lo_rank, hi_rank).expect("payloads in range");
+    got.sort_unstable();
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn search_equals_scalar_scan(values in column(0..300), lo in -2.0e6f64..2.0e6, w in 0.0f64..4.0e6) {
+        let hi = lo + w;
+        let mut expect = scan_matches(&values, lo, hi);
+        expect.sort_unstable();
+        for (leaf, fanout) in GEOMETRIES {
+            let got = search_range(&values, lo, hi, leaf, fanout);
+            prop_assert_eq!(&got, &expect, "leaf={} fanout={}", leaf, fanout);
+        }
+    }
+
+    #[test]
+    fn duplicate_runs_return_every_payload(values in column(1..200)) {
+        // Query exactly the planted duplicate value: every 42.0 payload
+        // must come back, ties notwithstanding.
+        let mut expect = scan_matches(&values, 42.0, 42.0);
+        expect.sort_unstable();
+        for (leaf, fanout) in GEOMETRIES {
+            let got = search_range(&values, 42.0, 42.0, leaf, fanout);
+            prop_assert_eq!(&got, &expect, "leaf={} fanout={}", leaf, fanout);
+        }
+    }
+
+    #[test]
+    fn bounds_agree_with_scan_count(values in column(0..300), lo in -2.0e6f64..2.0e6, w in 0.0f64..4.0e6) {
+        let hi = lo + w;
+        let blob = build_index_with(&values, values.len() as u64, 8, 4);
+        let fetch = SliceFetch(&blob);
+        let s = IndexSearcher::open(&fetch, blob.len() as u64, values.len() as u64)
+            .expect("open");
+        let (lo_key, hi_key) = range_keys(lo, hi).expect("finite range");
+        let count = s.count_range(lo_key, hi_key).expect("count");
+        prop_assert_eq!(count as usize, scan_matches(&values, lo, hi).len());
+    }
+
+    #[test]
+    fn full_range_returns_every_non_nan(values in column(0..300)) {
+        let expect: Vec<u32> = (0..values.len() as u32)
+            .filter(|&i| !values[i as usize].is_nan())
+            .collect();
+        let got = search_range(&values, f64::NEG_INFINITY, f64::INFINITY, 8, 4);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn keys_stay_monotone(a in -1.0e12f64..1.0e12, b in -1.0e12f64..1.0e12) {
+        if a < b {
+            prop_assert!(key_of(a) < key_of(b));
+        } else if a == b {
+            prop_assert_eq!(key_of(a), key_of(b));
+        } else {
+            prop_assert!(key_of(a) > key_of(b));
+        }
+    }
+}
+
+#[test]
+fn empty_column_round_trips() {
+    for (leaf, fanout) in GEOMETRIES {
+        let got = search_range(&[], f64::NEG_INFINITY, f64::INFINITY, leaf, fanout);
+        assert!(got.is_empty());
+    }
+}
+
+#[test]
+fn nan_range_is_rejected_before_search() {
+    assert!(range_keys(f64::NAN, 1.0).is_none());
+    assert!(range_keys(0.0, f64::NAN).is_none());
+    assert!(range_keys(2.0, 1.0).is_none(), "inverted range");
+}

@@ -20,6 +20,12 @@
 //! parsed eagerly on open; treelets sit on page boundaries and are accessed
 //! lazily through memory mapping or in-memory slices, with node records
 //! decoded in place during traversal (no treelet-wide deserialization).
+//!
+//! Files written with `BAT_INDEX_ATTRS` additionally carry one packed
+//! static B-tree blob per indexed attribute (DESIGN.md §17), page-aligned
+//! after the last treelet, with a directory appended to the head recording
+//! each blob's extent. Files written without indexes are byte-identical to
+//! the pre-index format (the golden hashes pin this).
 
 use crate::attr::{AttributeArray, AttributeDesc};
 use crate::build::Bat;
@@ -27,6 +33,7 @@ use crate::codec::{self, Codec, SectionKind};
 use crate::dict::BitmapDictionary;
 use crate::radix::NodeRef;
 use bat_geom::{Aabb, Vec3};
+use bat_index::IndexSpec;
 use bat_wire::{Decoder, Encoder, WireError, WireResult};
 use rayon::prelude::*;
 use std::io::{self, Write};
@@ -41,6 +48,41 @@ pub const VERSION: u32 = 1;
 pub const VERSION_V2: u32 = 2;
 /// Treelet alignment (one page).
 pub const TREELET_ALIGN: usize = 4096;
+
+/// Attribute-index directory magic: "BIDR". The directory sits at the end
+/// of the head (after the dictionary / v2 codec table) and is present only
+/// when the file carries at least one index blob, so index-free files stay
+/// byte-identical to the pre-index format.
+pub const INDEX_DIR_MAGIC: u32 = 0x5244_4942;
+
+/// One attribute-index directory entry: which attribute, where its packed
+/// B-tree blob lives in the file, and how many leaf entries it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexDirEntry {
+    /// Attribute index into the file's attribute table.
+    pub attr: u32,
+    /// Absolute byte offset of the blob (page-aligned, after the treelets).
+    pub offset: u64,
+    /// Blob length in bytes.
+    pub len: u64,
+    /// Leaf-entry count (== the file's particle count at build time).
+    pub entries: u64,
+}
+
+impl IndexDirEntry {
+    /// Encoded size: attr u32 + offset u64 + len u64 + entries u64.
+    pub const BYTES: usize = 28;
+}
+
+/// Encoded directory size for `count` entries (0 when no indexes — the
+/// directory is omitted entirely).
+fn index_dir_bytes(count: usize) -> usize {
+    if count == 0 {
+        0
+    } else {
+        8 + count * IndexDirEntry::BYTES
+    }
+}
 
 /// Fixed-size node record inside a treelet block:
 /// bounds (24) + start/count/left/right/depth (20).
@@ -106,6 +148,10 @@ pub struct FileHead {
     pub dict: BitmapDictionary,
     /// Format version of the file ([`VERSION`] or [`VERSION_V2`]).
     pub version: u32,
+    /// Attribute-index directory: one entry per indexed attribute, empty
+    /// when the file carries no indexes *or* the directory failed
+    /// validation (the file is then served with indexes ignored).
+    pub indexes: Vec<IndexDirEntry>,
     /// v2 only: the per-treelet section codec table (`None` for v1, whose
     /// blocks are verbatim [`TreeletLayout`] images).
     pub codecs: Option<Vec<TreeletCodecRec>>,
@@ -132,6 +178,11 @@ impl FileHead {
                     .size
             }),
         }
+    }
+
+    /// The directory entry for attribute `attr`, when it is indexed.
+    pub fn index_for(&self, attr: usize) -> Option<&IndexDirEntry> {
+        self.indexes.iter().find(|e| e.attr as usize == attr)
     }
 }
 
@@ -292,22 +343,35 @@ pub struct BatWriter<'a> {
     /// v2 only: per-treelet encoded sections `(tag, stored bytes)`, in
     /// block order. Empty for v1, whose blocks are streamed verbatim.
     encoded: Vec<Vec<(u8, Vec<u8>)>>,
+    /// Attribute-index blobs `(directory entry, blob bytes)`, placed after
+    /// the last treelet. Empty unless the writer was given an
+    /// [`IndexSpec`] that selects attributes.
+    indexes: Vec<(IndexDirEntry, Vec<u8>)>,
 }
 
 impl<'a> BatWriter<'a> {
     /// Precompute the dictionary and the full section table for `bat`,
-    /// with the codec taken from the environment (`BAT_TREELET_CODEC`;
-    /// see [`Codec::from_env`]).
+    /// with the codec and index spec taken from the environment
+    /// (`BAT_TREELET_CODEC`, `BAT_INDEX_ATTRS`).
     pub fn new(bat: &'a Bat) -> BatWriter<'a> {
-        BatWriter::with_codec(bat, Codec::from_env())
+        BatWriter::with_options(bat, Codec::from_env(), &IndexSpec::from_env())
     }
 
-    /// As [`BatWriter::new`] with an explicit codec. `Codec::V1` emits the
-    /// golden-pinned v1 bytes; either v2 variant compresses every treelet
-    /// block section-by-section (in parallel, through the rayon pool —
-    /// each treelet encodes independently, so the bytes are identical for
-    /// any pool size).
+    /// As [`BatWriter::new`] with an explicit codec and *no* attribute
+    /// indexes (bypasses both env knobs — the golden byte hashes pin this
+    /// path).
     pub fn with_codec(bat: &'a Bat, codec: Codec) -> BatWriter<'a> {
+        BatWriter::with_options(bat, codec, &IndexSpec::None)
+    }
+
+    /// As [`BatWriter::new`] with an explicit codec and index spec.
+    /// `Codec::V1` emits the golden-pinned v1 bytes; either v2 variant
+    /// compresses every treelet block section-by-section (in parallel,
+    /// through the rayon pool — each treelet encodes independently, so the
+    /// bytes are identical for any pool size). Attributes selected by
+    /// `spec` get a packed static B-tree blob appended after the treelets
+    /// with its extent recorded in a head directory.
+    pub fn with_options(bat: &'a Bat, codec: Codec, spec: &IndexSpec) -> BatWriter<'a> {
         let na = bat.particles.num_attrs();
         let mut dict = BitmapDictionary::new();
 
@@ -344,9 +408,36 @@ impl<'a> BatWriter<'a> {
             Vec::new()
         };
 
+        // Attribute-index blobs: one packed B-tree per selected attribute,
+        // keyed on the f64-widened column (the same widening the reader's
+        // exact filter applies). Columns longer than u32::MAX payloads are
+        // silently skipped — the file is still valid, just unindexed.
+        let n = bat.num_particles();
+        let mut indexes: Vec<(IndexDirEntry, Vec<u8>)> = Vec::new();
+        if !spec.is_none() && n > 0 && n <= u32::MAX as usize {
+            for (a, d) in bat.particles.descs().iter().enumerate() {
+                if !spec.selects(&d.name) {
+                    continue;
+                }
+                let col: Vec<f64> = match bat.particles.attr(a) {
+                    AttributeArray::F32(v) => v.iter().map(|&x| x as f64).collect(),
+                    AttributeArray::F64(v) => v.clone(),
+                };
+                let blob = bat_index::build_index(&col, n as u64);
+                let entry = IndexDirEntry {
+                    attr: a as u32,
+                    offset: 0, // patched after treelet placement
+                    len: blob.len() as u64,
+                    entries: n as u64,
+                };
+                indexes.push((entry, blob));
+            }
+        }
+
         // Head size: fixed header + attribute table + inner records + leaf
-        // table + dictionary (+ the v2 section codec table). Every term is
-        // exact, so nothing needs to be patched after the fact.
+        // table + dictionary (+ the v2 section codec table) (+ the index
+        // directory). Every term is exact, so nothing needs to be patched
+        // after the fact.
         let mut head_end = HEADER_BYTES;
         for d in bat.particles.descs() {
             head_end += attr_entry_bytes(d);
@@ -357,6 +448,7 @@ impl<'a> BatWriter<'a> {
         if codec.is_v2() {
             head_end += bat.treelets.len() * (2 + na) * SectionRec::BYTES;
         }
+        head_end += index_dir_bytes(indexes.len());
 
         // Treelet placement: each block starts at the next page boundary
         // after the previous section and spans its stored size exactly
@@ -374,6 +466,13 @@ impl<'a> BatWriter<'a> {
             };
         }
 
+        // Index blobs after the last treelet, each on a page boundary.
+        for (entry, blob) in &mut indexes {
+            off = bat_wire::page_align(off);
+            entry.offset = off as u64;
+            off += blob.len();
+        }
+
         BatWriter {
             bat,
             dict,
@@ -384,6 +483,7 @@ impl<'a> BatWriter<'a> {
             file_size: off,
             codec,
             encoded,
+            indexes,
         }
     }
 
@@ -418,6 +518,12 @@ impl<'a> BatWriter<'a> {
     /// Absolute byte offset of each treelet block.
     pub fn treelet_offsets(&self) -> &[usize] {
         &self.treelet_offsets
+    }
+
+    /// Directory entries of the attribute-index blobs this writer will
+    /// emit (empty without an index spec).
+    pub fn index_entries(&self) -> Vec<IndexDirEntry> {
+        self.indexes.iter().map(|(e, _)| *e).collect()
     }
 
     /// Emit the complete file to `w` in one forward pass. Wrap file sinks
@@ -499,6 +605,18 @@ impl<'a> BatWriter<'a> {
                 }
             }
         }
+        if !self.indexes.is_empty() {
+            // Attribute-index directory: magic + count + one extent record
+            // per blob. Omitted entirely for index-free files.
+            enc.put_u32(INDEX_DIR_MAGIC);
+            enc.put_u32(self.indexes.len() as u32);
+            for (e, _) in &self.indexes {
+                enc.put_u32(e.attr);
+                enc.put_u64(e.offset);
+                enc.put_u64(e.len);
+                enc.put_u64(e.entries);
+            }
+        }
         debug_assert_eq!(enc.len(), self.head_end, "head layout mismatch");
         bat_obs::counter_add("compact.bytes_copied", enc.len() as u64);
         w.write_all(&enc.finish())?;
@@ -525,8 +643,7 @@ impl<'a> BatWriter<'a> {
                 .flat_map(|s| s.iter().map(|(_, b)| b.len()))
                 .sum();
             bat_obs::counter_add("compact.bytes_copied", staged as u64);
-            debug_assert_eq!(pos, self.file_size, "file size mismatch");
-            return Ok(());
+            return self.write_index_blobs(w, pos);
         }
 
         // --- v1 treelets, streamed at their page boundaries ---
@@ -580,6 +697,27 @@ impl<'a> BatWriter<'a> {
                 }
             }
             pos += TreeletLayout::compute(t.nodes.len(), n, bat.particles.descs()).size;
+        }
+        self.write_index_blobs(w, pos)
+    }
+
+    /// Emit the attribute-index blobs (padding each to its page boundary)
+    /// and check the final position against the precomputed file size.
+    fn write_index_blobs<W: Write>(&self, w: &mut W, mut pos: usize) -> io::Result<()> {
+        const ZEROS: [u8; TREELET_ALIGN] = [0; TREELET_ALIGN];
+        let mut staged = 0usize;
+        for (entry, blob) in &self.indexes {
+            let target = entry.offset as usize;
+            debug_assert!(target >= pos && target.is_multiple_of(TREELET_ALIGN));
+            w.write_all(&ZEROS[..target - pos])?;
+            w.write_all(blob)?;
+            pos = target + blob.len();
+            staged += blob.len();
+        }
+        if staged > 0 {
+            // Like the v2 section buffers, blobs were staged in memory by
+            // `with_options`; charge them as copies.
+            bat_obs::counter_add("compact.bytes_copied", staged as u64);
         }
         debug_assert_eq!(pos, self.file_size, "file size mismatch");
         Ok(())
@@ -742,6 +880,12 @@ pub fn write_bat_with(bat: &Bat, codec: Codec) -> Vec<u8> {
     write_bat_inner(BatWriter::with_codec(bat, codec))
 }
 
+/// As [`write_bat`] with an explicit codec *and* index spec (bypasses both
+/// `BAT_TREELET_CODEC` and `BAT_INDEX_ATTRS`).
+pub fn write_bat_indexed(bat: &Bat, codec: Codec, spec: &IndexSpec) -> Vec<u8> {
+    write_bat_inner(BatWriter::with_options(bat, codec, spec))
+}
+
 fn write_bat_inner(writer: BatWriter<'_>) -> Vec<u8> {
     let mut out = Vec::with_capacity(writer.file_size());
     writer
@@ -901,6 +1045,20 @@ pub fn read_head_bounded(data: &[u8], file_len: usize) -> WireResult<FileHead> {
         None
     };
 
+    // Attribute-index directory: present when head bytes remain after the
+    // dictionary / codec table. The directory is advisory — any validation
+    // failure rejects it wholesale and the file is served with indexes
+    // ignored; a corrupt index must never take down the read path.
+    let indexes = match parse_index_dir(&mut dec, head_end, file_len, na, num_particles) {
+        Some(entries) => entries,
+        None => {
+            if (dec.position() as u64) < head_end {
+                bat_obs::counter_add("index.dir_rejected", 1);
+            }
+            Vec::new()
+        }
+    };
+
     Ok(FileHead {
         head_end,
         num_particles,
@@ -915,8 +1073,64 @@ pub fn read_head_bounded(data: &[u8], file_len: usize) -> WireResult<FileHead> {
         leaves,
         dict,
         version,
+        indexes,
         codecs,
     })
+}
+
+/// Parse and validate the attribute-index directory, `None` on any
+/// inconsistency (the caller then serves the file index-free). Also `None`
+/// when the head simply has no directory — the caller distinguishes the
+/// two by whether head bytes remain.
+fn parse_index_dir(
+    dec: &mut Decoder,
+    head_end: u64,
+    file_len: usize,
+    na: usize,
+    num_particles: u64,
+) -> Option<Vec<IndexDirEntry>> {
+    let start = dec.position() as u64;
+    if start >= head_end {
+        return None;
+    }
+    if dec.get_u32("index dir magic").ok()? != INDEX_DIR_MAGIC {
+        return None;
+    }
+    let count = dec.get_u32("index dir count").ok()? as usize;
+    if count == 0 || count > na {
+        return None;
+    }
+    // The directory must fill the head exactly — a flipped count lands
+    // short or long and is rejected here.
+    if start + index_dir_bytes(count) as u64 != head_end {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let attr = dec.get_u32("index attr").ok()?;
+        let offset = dec.get_u64("index offset").ok()?;
+        let len = dec.get_u64("index len").ok()?;
+        let n = dec.get_u64("index entries").ok()?;
+        let valid = (attr as usize) < na
+            && entries.iter().all(|e: &IndexDirEntry| e.attr != attr)
+            && n > 0
+            && n <= num_particles
+            && len >= bat_index::HEADER_BYTES as u64
+            && offset >= head_end
+            && offset
+                .checked_add(len)
+                .is_some_and(|end| end <= file_len as u64);
+        if !valid {
+            return None;
+        }
+        entries.push(IndexDirEntry {
+            attr,
+            offset,
+            len,
+            entries: n,
+        });
+    }
+    Some(entries)
 }
 
 /// Byte size of one treelet node record for `na` attributes.

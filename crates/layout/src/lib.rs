@@ -73,6 +73,7 @@ pub mod stats;
 pub mod treelet;
 
 pub use attr::{AttributeArray, AttributeDesc, AttributeType};
+pub use bat_index::{IndexError, IndexSpec};
 pub use bitmap::Bitmap32;
 pub use build::{Bat, BatBuilder, BatConfig};
 pub use cache::{CacheStats, PageCache};
@@ -80,10 +81,11 @@ pub use codec::Codec;
 pub use columns::ColumnarParticles;
 pub use dict::BitmapDictionary;
 pub use footer::{CrcSectionWriter, FileFooter, SectionCrc, SectionMismatch};
+pub use format::{write_bat_indexed, IndexDirEntry};
 pub use particles::ParticleSet;
 pub use quantize::{quantize_positions, QuantizeReport};
 pub use query::{quality_to_depth, PointRecord, Query, QueryError};
-pub use reader::{BatFile, FilePlan, QueryScratch};
+pub use reader::{BatFile, FilePlan, PlanStrategy, QueryScratch};
 pub use source::{
     coalesce_ranges, ByteSource, FileSource, MemorySource, RangeConfig, RangeReader, RangeStats,
 };

@@ -44,6 +44,49 @@ pub struct QueryStats {
     /// Treelet blocks materialized from the backing mapping (and offered
     /// to the attached cache, if any).
     pub cache_misses: u64,
+    /// Points that survived the binned-bitmap pre-filter *and* passed the
+    /// exact attribute filters (counted only for filtered queries).
+    pub filter_hits: u64,
+    /// Points that survived the bitmap pre-filter but failed the exact
+    /// filters — the bins' measured false positives.
+    pub filter_false_positives: u64,
+}
+
+/// How [`BatFile::plan`] culled treelets for an attribute-filtered query
+/// (`BAT_PLAN_STRATEGY` forces a choice; `auto` picks by selectivity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// No attribute-based culling: every bounds-surviving treelet is
+    /// scanned and only the exact per-point filters reject.
+    Scan,
+    /// Binned-bitmap pre-filtering (the default paper path).
+    Bitmap,
+    /// Exact packed B-tree culling layered on top of the bitmap plan.
+    Index,
+}
+
+impl PlanStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanStrategy::Scan => "scan",
+            PlanStrategy::Bitmap => "bitmap",
+            PlanStrategy::Index => "index",
+        }
+    }
+}
+
+/// `BAT_PLAN_STRATEGY` override: `scan`, `bitmap`, or `index`; anything
+/// else (including the default `auto`) lets the planner choose.
+fn strategy_override() -> Option<PlanStrategy> {
+    match std::env::var("BAT_PLAN_STRATEGY") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scan" => Some(PlanStrategy::Scan),
+            "bitmap" => Some(PlanStrategy::Bitmap),
+            "index" => Some(PlanStrategy::Index),
+            _ => None,
+        },
+        Err(_) => None,
+    }
 }
 
 /// The per-file slice of a query plan (paper §V + DESIGN.md §12): the
@@ -65,6 +108,12 @@ pub struct FilePlan {
     pub pruned_bitmap: u64,
     /// Shallow nodes whose bitmaps overlapped every filter mask.
     pub shallow_bitmap_hits: u64,
+    /// How attribute predicates culled treelets for this plan.
+    pub strategy: PlanStrategy,
+    /// Exact match fraction from the B-tree rank search, when one ran:
+    /// `matching entries / file particles` for the most selective indexed
+    /// filter.
+    pub index_selectivity: Option<f64>,
 }
 
 impl FilePlan {
@@ -285,6 +334,15 @@ impl BatFile {
             bat_obs::counter_add("read.query.points_returned", stats.points_returned);
             bat_obs::counter_add("read.query.bitmap_hits", stats.bitmap_hits);
             bat_obs::counter_add("read.query.bitmap_skips", stats.bitmap_skips);
+            bat_obs::counter_add("bitmap.hits", stats.filter_hits);
+            bat_obs::counter_add("bitmap.false_positives", stats.filter_false_positives);
+            let survived = stats.filter_hits + stats.filter_false_positives;
+            if survived > 0 {
+                bat_obs::gauge_set(
+                    "bitmap.false_positive_rate",
+                    stats.filter_false_positives as f64 / survived as f64,
+                );
+            }
         }
         result
     }
@@ -301,6 +359,7 @@ impl BatFile {
     /// driving [`BatFile::execute_treelet`]) then does the page-touching
     /// work.
     pub fn plan(&self, q: &Query) -> WireResult<FilePlan> {
+        let forced = strategy_override();
         let mut plan = FilePlan {
             treelets: Vec::new(),
             masks: Vec::with_capacity(q.filters.len()),
@@ -308,12 +367,20 @@ impl BatFile {
             pruned_bounds: 0,
             pruned_bitmap: 0,
             shallow_bitmap_hits: 0,
+            strategy: if forced == Some(PlanStrategy::Scan) {
+                PlanStrategy::Scan
+            } else {
+                PlanStrategy::Bitmap
+            },
+            index_selectivity: None,
         };
         let na = self.head.descs.len();
 
         // Per-filter query masks over this file's local ranges. An empty
         // mask proves no particle here can match (bins have no false
-        // negatives), so the whole file is skipped.
+        // negatives), so the whole file is skipped. Under a forced `scan`
+        // strategy no masks are built: every treelet the bounds admit is
+        // scanned and only the exact per-point filters reject.
         for f in &q.filters {
             if f.attr >= na {
                 return Err(WireError::BadTag {
@@ -321,17 +388,20 @@ impl BatFile {
                     tag: f.attr as u64,
                 });
             }
+            if plan.strategy == PlanStrategy::Scan {
+                continue;
+            }
             let (lo, hi) = self.head.attr_ranges[f.attr];
             let mask = Bitmap32::query_mask(f.lo, f.hi, lo, hi);
             if mask == Bitmap32::EMPTY {
                 plan.masks.clear();
-                return Ok(plan);
+                return Ok(Self::finish_plan(plan));
             }
             plan.masks.push((f.attr, mask));
         }
 
         let root = match self.head.leaves.len() {
-            0 => return Ok(plan),
+            0 => return Ok(Self::finish_plan(plan)),
             1 => NodeRef::Leaf(0),
             _ => NodeRef::Inner(0),
         };
@@ -395,7 +465,127 @@ impl BatFile {
                 }
             }
         }
-        Ok(plan)
+
+        // Exact B-tree refinement: when the query filters an indexed
+        // attribute, rank-search the index for an exact match count; a
+        // selective-enough predicate then culls every treelet without a
+        // match (`auto` picks by selectivity, `index` forces it). A broken
+        // index degrades to the bitmap plan — typed, never a query error.
+        if forced != Some(PlanStrategy::Scan)
+            && forced != Some(PlanStrategy::Bitmap)
+            && !q.filters.is_empty()
+            && !self.head.indexes.is_empty()
+            && !plan.treelets.is_empty()
+        {
+            if let Err(err) = self.index_refine(q, &mut plan, forced == Some(PlanStrategy::Index)) {
+                bat_obs::counter_add("index.errors", 1);
+                let _ = err;
+            }
+        }
+        Ok(Self::finish_plan(plan))
+    }
+
+    /// Emit the per-plan strategy counter and hand the plan back.
+    fn finish_plan(plan: FilePlan) -> FilePlan {
+        if bat_obs::enabled() {
+            let name = match plan.strategy {
+                PlanStrategy::Scan => "plan.strategy.scan",
+                PlanStrategy::Bitmap => "plan.strategy.bitmap",
+                PlanStrategy::Index => "plan.strategy.index",
+            };
+            bat_obs::counter_add(name, 1);
+        }
+        plan
+    }
+
+    /// Consult the attribute indexes for `q` and, when the most selective
+    /// indexed filter is sparse enough (or `forced`), retain only the
+    /// planned treelets that hold an exact match.
+    fn index_refine(
+        &self,
+        q: &Query,
+        plan: &mut FilePlan,
+        forced: bool,
+    ) -> Result<(), bat_index::IndexError> {
+        /// `auto` cutoff: above this match fraction, pulling the payload
+        /// list costs more pages than the bitmap plan would save.
+        const INDEX_MAX_SELECTIVITY: f64 = 0.1;
+
+        // Rank-search every indexed filter; the most selective one culls.
+        let mut best: Option<(usize, u64, u64, u64)> = None; // (attr, r0, r1, count)
+        let mut lookups = 0u64;
+        let mut fetched = 0u64;
+        for f in &q.filters {
+            let Some(entry) = self.head.index_for(f.attr) else {
+                continue;
+            };
+            let Some((klo, khi)) = bat_index::range_keys(f.lo, f.hi) else {
+                // Inverted bounds match nothing; NaN bounds never get here
+                // (`Query::validated` rejects them).
+                best = Some((f.attr, 0, 0, 0));
+                break;
+            };
+            let fetch = IndexBlobFetch::new(self, entry);
+            let searcher = bat_index::IndexSearcher::open(&fetch, entry.len, entry.entries)?;
+            let r0 = searcher.lower_bound(klo)?;
+            let r1 = searcher.upper_bound(khi)?;
+            lookups += 1;
+            fetched += fetch.fetches.get();
+            let count = r1.saturating_sub(r0);
+            if best.is_none_or(|(.., c)| count < c) {
+                best = Some((f.attr, r0, r1, count));
+            }
+            if count == 0 {
+                break;
+            }
+        }
+        bat_obs::counter_add("index.lookups", lookups);
+        let Some((attr, r0, r1, count)) = best else {
+            bat_obs::counter_add("index.nodes_fetched", fetched);
+            return Ok(()); // no filter touches an indexed attribute
+        };
+        let selectivity = count as f64 / self.head.num_particles.max(1) as f64;
+        plan.index_selectivity = Some(selectivity);
+        if count == 0 {
+            // Exact proof of emptiness: nothing in this file matches.
+            plan.treelets.clear();
+            plan.strategy = PlanStrategy::Index;
+            bat_obs::counter_add("index.nodes_fetched", fetched);
+            return Ok(());
+        }
+        if !forced && selectivity > INDEX_MAX_SELECTIVITY {
+            bat_obs::counter_add("index.nodes_fetched", fetched);
+            return Ok(()); // dense predicate: stay on the bitmap plan
+        }
+
+        // Pull the matching payloads (particle indices in file order) and
+        // keep only the treelets that own at least one of them. The payload
+        // read is one contiguous range; on remote backings it streams past
+        // the page cache.
+        let entry = self
+            .head
+            .index_for(attr)
+            .expect("winning attribute came from the directory");
+        let fetch = IndexBlobFetch::new(self, entry);
+        let searcher = bat_index::IndexSearcher::open(&fetch, entry.len, entry.entries)?;
+        let payloads = searcher.payloads(r0, r1)?;
+        fetched += fetch.fetches.get();
+        bat_obs::counter_add("index.nodes_fetched", fetched);
+        let mut keep = vec![false; self.head.leaves.len()];
+        for &p in &payloads {
+            // Leaves are laid out in particle order: find the treelet whose
+            // particle range contains payload `p`.
+            let i = self
+                .head
+                .leaves
+                .partition_point(|l| l.first_particle <= p as u64);
+            if i > 0 {
+                keep[i - 1] = true;
+            }
+        }
+        plan.treelets.retain(|&t| keep[t as usize]);
+        plan.strategy = PlanStrategy::Index;
+        Ok(())
     }
 
     /// Execute a plan produced by [`BatFile::plan`] for the same query,
@@ -656,12 +846,19 @@ impl BatFile {
                     *slot = view.attr(a, local as usize)?;
                 }
                 // Exact false-positive rejection for attribute filters.
-                if !q
-                    .filters
-                    .iter()
-                    .all(|f| attr_buf[f.attr] >= f.lo && attr_buf[f.attr] <= f.hi)
-                {
-                    continue;
+                // Points reaching here already survived the bitmap
+                // pre-filter, so the reject/accept split is the bins'
+                // measured false-positive rate.
+                if !q.filters.is_empty() {
+                    if q.filters
+                        .iter()
+                        .all(|f| attr_buf[f.attr] >= f.lo && attr_buf[f.attr] <= f.hi)
+                    {
+                        stats.filter_hits += 1;
+                    } else {
+                        stats.filter_false_positives += 1;
+                        continue;
+                    }
                 }
                 stats.points_returned += 1;
                 cb(PointRecord {
@@ -859,6 +1056,135 @@ impl BatFile {
             cache.insert(self.file_id, treelet, arc.clone(), cache::thread_priority());
         }
         Ok(arc)
+    }
+}
+
+/// Cache key space for index-blob pages: the high bit separates index keys
+/// from treelet-block indices, then 11 bits of attribute and 20 bits of
+/// page number within the blob. Offsets past the encodable range simply
+/// bypass the cache.
+const INDEX_KEY_BASE: u32 = 0x8000_0000;
+/// Index blobs are cached in 4 KiB pages, like everything else.
+const INDEX_PAGE: u64 = 4096;
+
+fn index_cache_key(attr: u32, page: u64) -> Option<u32> {
+    if attr >= 1 << 11 || page >= 1 << 20 {
+        return None;
+    }
+    Some(INDEX_KEY_BASE | (attr << 20) | page as u32)
+}
+
+/// [`bat_index::IndexFetch`] over an open file's backing: direct slices on
+/// the block path, page-granular cached range requests on the remote path
+/// (so a warm search costs zero GETs and a cold one `O(log_B n)`).
+struct IndexBlobFetch<'a> {
+    file: &'a BatFile,
+    entry: &'a format::IndexDirEntry,
+    /// Backing reads actually issued (each one a GET on the range path).
+    fetches: std::cell::Cell<u64>,
+}
+
+impl<'a> IndexBlobFetch<'a> {
+    fn new(file: &'a BatFile, entry: &'a format::IndexDirEntry) -> IndexBlobFetch<'a> {
+        IndexBlobFetch {
+            file,
+            entry,
+            fetches: std::cell::Cell::new(0),
+        }
+    }
+
+    fn direct(
+        &self,
+        reader: &RangeReader,
+        off: u64,
+        len: usize,
+    ) -> bat_index::IndexResult<Vec<u8>> {
+        self.fetches.set(self.fetches.get() + 1);
+        reader
+            .fetch(self.entry.offset + off, len)
+            .map_err(|e| bat_index::IndexError::Io {
+                what: "index range fetch",
+                message: e.to_string(),
+            })
+    }
+
+    fn fetch_range(
+        &self,
+        reader: &RangeReader,
+        off: u64,
+        len: usize,
+    ) -> bat_index::IndexResult<Vec<u8>> {
+        let Some(cache) = &self.file.cache else {
+            return self.direct(reader, off, len);
+        };
+        let p0 = off / INDEX_PAGE;
+        let p1 = (off + len as u64 - 1) / INDEX_PAGE;
+        // Node and leaf-block reads span at most two pages; anything larger
+        // is a payload pull, which streams directly so it cannot evict the
+        // search working set.
+        if p1 - p0 > 1 {
+            return self.direct(reader, off, len);
+        }
+        let mut out = Vec::with_capacity(len);
+        for page in p0..=p1 {
+            let Some(key) = index_cache_key(self.entry.attr, page) else {
+                return self.direct(reader, off, len);
+            };
+            let page_off = page * INDEX_PAGE;
+            let page_len = INDEX_PAGE.min(self.entry.len - page_off) as usize;
+            let bytes = match cache.get(self.file.file_id, key) {
+                Some(b) if b.len() == page_len => b,
+                _ => {
+                    let arc = Arc::new(self.direct(reader, page_off, page_len)?);
+                    cache.insert(
+                        self.file.file_id,
+                        key,
+                        arc.clone(),
+                        cache::thread_priority(),
+                    );
+                    arc
+                }
+            };
+            let s = (off.max(page_off) - page_off) as usize;
+            let e = ((off + len as u64).min(page_off + page_len as u64) - page_off) as usize;
+            out.extend_from_slice(&bytes[s..e]);
+        }
+        debug_assert_eq!(out.len(), len);
+        Ok(out)
+    }
+}
+
+impl bat_index::IndexFetch for IndexBlobFetch<'_> {
+    fn fetch(&self, off: u64, len: usize) -> bat_index::IndexResult<Vec<u8>> {
+        let end = off
+            .checked_add(len as u64)
+            .ok_or(bat_index::IndexError::Corrupt {
+                what: "index fetch range",
+                value: off,
+            })?;
+        if end > self.entry.len {
+            return Err(bat_index::IndexError::Truncated {
+                what: "index blob range",
+                needed: end,
+                have: self.entry.len,
+            });
+        }
+        match &self.file.backing {
+            Backing::Block(data) => {
+                let lo = (self.entry.offset + off) as usize;
+                let hi = lo + len;
+                if hi > data.len() {
+                    return Err(bat_index::IndexError::Truncated {
+                        what: "index blob bytes",
+                        needed: hi as u64,
+                        have: data.len() as u64,
+                    });
+                }
+                self.fetches.set(self.fetches.get() + 1);
+                Ok(data[lo..hi].to_vec())
+            }
+            Backing::Range(reader) => self.fetch_range(reader, off, len),
+        }
     }
 }
 

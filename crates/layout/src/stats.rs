@@ -24,6 +24,9 @@ pub struct LayoutStats {
     pub structure_bytes: u64,
     /// Page-alignment padding bytes.
     pub padding_bytes: u64,
+    /// Attribute-index blob bytes (the packed B-trees after the treelets);
+    /// 0 for files written without `BAT_INDEX_ATTRS`.
+    pub index_bytes: u64,
     /// Number of treelets.
     pub num_treelets: u64,
     /// Total treelet nodes.
@@ -61,9 +64,11 @@ impl LayoutStats {
 
     /// Measure a compacted BAT image exactly from its own bookkeeping.
     ///
-    /// The accounting identity is
-    /// `stored_payload_bytes + structure_bytes + padding_bytes == file_bytes`
-    /// for both v1 and v2 images; for v1, `stored_payload_bytes == raw_bytes`.
+    /// The accounting identity is `stored_payload_bytes + structure_bytes +
+    /// index_bytes + padding_bytes == file_bytes` for both v1 and v2 images;
+    /// for v1, `stored_payload_bytes == raw_bytes`. Post-treelet index blobs
+    /// are charged to `index_bytes` (with their page-alignment gaps as
+    /// padding), so totals always sum to the file size.
     pub fn measure(bytes: &[u8]) -> bat_wire::WireResult<LayoutStats> {
         let head = format::read_head(bytes)?;
         let bpp: usize = 12 + head.descs.iter().map(|d| d.dtype.size()).sum::<usize>();
@@ -97,14 +102,26 @@ impl LayoutStats {
             };
             payload_end = l.offset as usize + head.stored_block_size(i).unwrap_or(layout.size);
         }
+
+        // Attribute-index blobs follow the last treelet; without this the
+        // old accounting misclassified them as padding.
+        let mut index_bytes = 0u64;
+        let mut idx_order: Vec<&format::IndexDirEntry> = head.indexes.iter().collect();
+        idx_order.sort_by_key(|e| e.offset);
+        for e in idx_order {
+            padding += e.offset.saturating_sub(payload_end as u64);
+            index_bytes += e.len;
+            payload_end = payload_end.max((e.offset + e.len) as usize);
+        }
         padding += (bytes.len() - payload_end) as u64;
 
         Ok(LayoutStats {
             raw_bytes: raw,
             stored_payload_bytes: stored_payload,
             file_bytes: bytes.len() as u64,
-            structure_bytes: bytes.len() as u64 - stored_payload - padding,
+            structure_bytes: bytes.len() as u64 - stored_payload - index_bytes - padding,
             padding_bytes: padding,
+            index_bytes,
             num_treelets: head.leaves.len() as u64,
             num_nodes,
             dict_entries: head.dict.len() as u64,
@@ -139,10 +156,15 @@ mod tests {
     #[test]
     fn accounting_adds_up() {
         let bat = coal_like_bat(50_000);
+        // `to_bytes` honors `BAT_INDEX_ATTRS`, so the identity must include
+        // `index_bytes` (0 on unindexed runs).
         let bytes = bat.to_bytes();
         let stats = LayoutStats::measure(&bytes).unwrap();
         assert_eq!(
-            stats.stored_payload_bytes + stats.structure_bytes + stats.padding_bytes,
+            stats.stored_payload_bytes
+                + stats.structure_bytes
+                + stats.index_bytes
+                + stats.padding_bytes,
             stats.file_bytes
         );
         assert_eq!(stats.raw_bytes, 50_000 * (12 + 7 * 8));
@@ -217,6 +239,31 @@ mod tests {
             large < small,
             "overhead should shrink: {small:.4} -> {large:.4}"
         );
+    }
+
+    #[test]
+    fn indexed_file_accounting_adds_up() {
+        use bat_index::IndexSpec;
+        let bat = coal_like_bat(50_000);
+        let plain = LayoutStats::measure(&crate::format::write_bat_with(
+            &bat,
+            crate::codec::Codec::V1,
+        ))
+        .unwrap();
+        let bytes =
+            crate::format::write_bat_indexed(&bat, crate::codec::Codec::V1, &IndexSpec::All);
+        let stats = LayoutStats::measure(&bytes).unwrap();
+        assert!(stats.index_bytes > 0, "every attribute should be indexed");
+        assert_eq!(
+            stats.stored_payload_bytes
+                + stats.structure_bytes
+                + stats.index_bytes
+                + stats.padding_bytes,
+            stats.file_bytes
+        );
+        // Index blobs must not be misclassified as padding or payload.
+        assert_eq!(stats.stored_payload_bytes, plain.stored_payload_bytes);
+        assert!(stats.padding_bytes < plain.padding_bytes + 8 * 4096);
     }
 
     #[test]

@@ -11,10 +11,22 @@ use bat_layout::build::Bat;
 use bat_layout::codec::Codec;
 use bat_layout::{AttributeDesc, BatBuilder, BatConfig, ParticleSet};
 
-/// v1 bytes, pinned regardless of `BAT_TREELET_CODEC` — the goldens guard
-/// the *v1* encoding, and CI reruns this suite under `v2-lossless`.
+/// v1 bytes, pinned regardless of `BAT_TREELET_CODEC` / `BAT_INDEX_ATTRS`
+/// — the goldens guard the *v1, index-free* encoding; CI reruns this suite
+/// under `v2-lossless` and `BAT_INDEX_ATTRS=all`.
 fn v1_bytes(bat: &Bat) -> Vec<u8> {
     bat_layout::format::write_bat_with(bat, Codec::V1)
+}
+
+/// Explicitly-index-free writes are byte-identical to the plain path, so
+/// golden files never shift when index support is compiled in.
+#[test]
+fn index_free_writes_are_byte_identical() {
+    let bat = golden_bat(257, 2);
+    let plain = bat_layout::format::write_bat_with(&bat, Codec::V1);
+    let spec_none =
+        bat_layout::format::write_bat_indexed(&bat, Codec::V1, &bat_layout::IndexSpec::None);
+    assert_eq!(plain, spec_none);
 }
 
 /// FNV-1a 64-bit over a byte slice (stable, dependency-free).
@@ -64,10 +76,13 @@ fn bytes_identical_to_seed_encoder() {
 
 #[test]
 fn default_codec_is_v1_when_env_unset() {
-    // `Bat::to_bytes` follows `BAT_TREELET_CODEC`; with the knob unset (or
-    // "v1") it must keep producing the golden v1 bytes.
+    // `Bat::to_bytes` follows `BAT_TREELET_CODEC` and `BAT_INDEX_ATTRS`;
+    // with both knobs unset it must keep producing the golden v1 bytes.
     if !matches!(Codec::from_env(), Codec::V1) {
         return; // codec-matrix CI run — v2 bytes are covered elsewhere
+    }
+    if !bat_layout::IndexSpec::from_env().is_none() {
+        return; // index-matrix CI run — indexed bytes are covered elsewhere
     }
     let (n, seed, len, fnv) = GOLDEN[2];
     let bytes = golden_bat(n, seed).to_bytes();

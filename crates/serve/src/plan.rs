@@ -88,6 +88,12 @@ pub struct PlanStats {
     pub nodes_pruned_bitmap: u64,
     /// Treelets execution will materialize, across all files.
     pub treelets_planned: u64,
+    /// Files planned with the forced full-scan strategy.
+    pub files_scan: u64,
+    /// Files planned on the binned-bitmap path.
+    pub files_bitmap: u64,
+    /// Files whose plan was refined by an attribute index rank search.
+    pub files_index: u64,
 }
 
 impl PlanStats {
@@ -190,6 +196,11 @@ impl QueryPlan {
             let plan = file.plan(&query)?;
             stats.nodes_pruned_bounds += plan.pruned_bounds;
             stats.nodes_pruned_bitmap += plan.pruned_bitmap;
+            match plan.strategy {
+                bat_layout::PlanStrategy::Scan => stats.files_scan += 1,
+                bat_layout::PlanStrategy::Bitmap => stats.files_bitmap += 1,
+                bat_layout::PlanStrategy::Index => stats.files_index += 1,
+            }
             if plan.is_empty() {
                 stats.files_pruned += 1;
                 continue;

@@ -364,19 +364,23 @@ pub fn stats(args: &[String]) -> Result<()> {
     let (ds, dir, _) = open(args)?;
     let meta = ds.meta();
     println!(
-        "{:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>8}  {:>6}",
-        "leaf", "raw_B", "file_B", "struct_B", "pad_B", "treelets", "dict"
+        "{:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}  {:>8}  {:>6}",
+        "leaf", "raw_B", "file_B", "struct_B", "idx_B", "pad_B", "treelets", "dict"
     );
-    let mut acc = (0u64, 0u64, 0u64, 0u64);
+    let mut acc = (0u64, 0u64, 0u64, 0u64, 0u64);
+    // Per-attribute index rollup: (files indexed, total bytes, max depth).
+    let descs = ds.descs().to_vec();
+    let mut idx_attrs: Vec<(u64, u64, u64)> = vec![(0, 0, 0); descs.len()];
     for (i, leaf) in meta.leaves.iter().enumerate() {
         let path = std::path::Path::new(&dir).join(&leaf.file);
         let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", leaf.file))?;
         let s = LayoutStats::measure(&bytes).map_err(|e| e.to_string())?;
         println!(
-            "{i:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>8}  {:>6}",
+            "{i:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}  {:>8}  {:>6}",
             s.raw_bytes,
             s.file_bytes,
             s.structure_bytes,
+            s.index_bytes,
             s.padding_bytes,
             s.num_treelets,
             s.dict_entries
@@ -385,16 +389,46 @@ pub fn stats(args: &[String]) -> Result<()> {
         acc.1 += s.file_bytes;
         acc.2 += s.structure_bytes;
         acc.3 += s.padding_bytes;
+        acc.4 += s.index_bytes;
+        let head = bat_layout::format::read_head(&bytes).map_err(|e| e.to_string())?;
+        for e in &head.indexes {
+            if let Some(a) = idx_attrs.get_mut(e.attr as usize) {
+                a.0 += 1;
+                a.1 += e.len;
+                let depth = bat_index::IndexGeometry::with_defaults(e.entries).depth() as u64;
+                a.2 = a.2.max(depth);
+            }
+        }
     }
     if acc.0 > 0 {
         println!(
-            "total: raw {} B, files {} B — structure overhead {:.2}%, with padding {:.2}%",
+            "total: raw {} B, files {} B — structure overhead {:.2}%, index {:.2}%, with padding {:.2}%",
             acc.0,
             acc.1,
             acc.2 as f64 / acc.0 as f64 * 100.0,
+            acc.4 as f64 / acc.0 as f64 * 100.0,
             // Negative for compressed (v2) datasets: files smaller than raw.
             (acc.1 as f64 - acc.0 as f64) / acc.0 as f64 * 100.0
         );
+    }
+    // Attribute-index presence (paper's "spatially aware" read path gains
+    // exact value culling when a column is indexed at write time).
+    if idx_attrs.iter().any(|a| a.0 > 0) {
+        println!(
+            "{:>12}  {:>7}  {:>10}  {:>5}",
+            "attribute", "indexed", "index_B", "depth"
+        );
+        for (a, (files, bytes, depth)) in idx_attrs.iter().enumerate() {
+            println!(
+                "{:>12}  {:>7}  {:>10}  {:>5}",
+                descs[a].name,
+                format!("{files}/{}", meta.leaves.len()),
+                bytes,
+                depth
+            );
+        }
+    } else {
+        println!("no attribute indexes (write with BAT_INDEX_ATTRS=all to build them)");
     }
     Ok(())
 }
@@ -892,6 +926,16 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "BAT_TREELET_CODEC",
         "v1",
         "treelet write codec: v1 | v2-lossless | v2-lossy",
+    ),
+    (
+        "BAT_INDEX_ATTRS",
+        "(none)",
+        "attributes to B-tree index at write time: all | name,name,...",
+    ),
+    (
+        "BAT_PLAN_STRATEGY",
+        "auto",
+        "filter-plan strategy: auto | scan | bitmap | index",
     ),
     (
         "BAT_CODEC_ERROR_BOUND",

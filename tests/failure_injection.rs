@@ -109,13 +109,17 @@ fn truncated_treelet_page_returns_err() {
     write_sample(&scratch.path, 2);
     let leaf = scratch.path.join(leaf_file_name("x", 0));
     let original = std::fs::read(&leaf).unwrap();
-    // Leaf files end with the commit protocol's CRC footer; strip it first
-    // so the cut lands in the last treelet page, not the footer.
-    let payload_len = bat_layout::FileFooter::detect(&original)
-        .expect("intact footer")
-        .expect("leaf files carry a footer")
-        .payload_len as usize;
-    let cut = payload_len - 64;
+    // Cut 64 bytes into the *last treelet block*: past the footer and any
+    // trailing attribute-index blobs (a cut index merely degrades to the
+    // bitmap plan by design), squarely truncating treelet data.
+    let head = bat_layout::format::read_head(&original).expect("head parses");
+    let last = head
+        .leaves
+        .iter()
+        .map(|l| l.offset)
+        .max()
+        .expect("treelets") as usize;
+    let cut = last + 64;
     // Also acceptable: the head itself notices the truncation (Err here).
     if let Ok(file) = BatFile::from_bytes(original[..cut].to_vec()) {
         let err = file.query(&Query::new(), |_| {});
